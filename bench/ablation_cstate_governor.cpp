@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ABL-GOV — Ablation: LTR/TNTE idle-state governance vs always-DRIPS.
+ *
+ * The paper's PMU selects the idle state from LTR and TNTE (Sec. 2.2)
+ * instead of always diving to the deepest state. This sweep shows why:
+ * below DRIPS's break-even, short idle periods are cheaper in shallower
+ * C-states, and a naive always-DRIPS policy *loses* energy on bursty
+ * wake patterns.
+ */
+
+#include <iostream>
+
+#include "core/governor.hh"
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile drips =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CStateTable table = CStateTable::skylake();
+    const IdleGovernor governor(table, drips, /*LTR*/ 3 * oneMs);
+
+    std::cout << "ABLATION: idle-state governance (LTR/TNTE) vs "
+                 "always-DRIPS\n\nDerived per-state models:\n";
+    stats::Table states("C-state models (from the DRIPS profile)");
+    states.setHeader({"state", "idle power", "entry+exit", "transition E",
+                      "break-even vs C1"});
+    for (const DerivedStateModel &m : governor.states()) {
+        states.addRow(
+            {m.name, stats::fmtPower(m.idlePower),
+             stats::fmtTime(
+                 ticksToSeconds(m.entryLatency + m.exitLatency)),
+             stats::fmt(m.transitionEnergy * 1e6, 1) + " uJ",
+             m.breakEvenVsShallowest == 0
+                 ? "-"
+                 : stats::fmtTime(
+                       ticksToSeconds(m.breakEvenVsShallowest))});
+    }
+    states.print(std::cout);
+
+    std::cout << "\nUniform idle-dwell sweep (active window 20 ms):\n";
+    stats::Table sweep("policy comparison");
+    sweep.setHeader({"idle dwell", "always-DRIPS", "TNTE governor",
+                     "oracle", "governor picks"});
+    const Tick active = 20 * oneMs;
+    for (double dwell_s :
+         {0.0005, 0.001, 0.002, 0.005, 0.02, 0.1, 1.0, 30.0}) {
+        const std::vector<Tick> dwells(16, secondsToTicks(dwell_s));
+        const GovernedResult always =
+            governor.evaluate(dwells, active, false, 10);
+        const GovernedResult governed =
+            governor.evaluate(dwells, active, false);
+        const GovernedResult oracle =
+            governor.evaluate(dwells, active, true);
+        sweep.addRow({stats::fmtTime(dwell_s),
+                      stats::fmtPower(always.averagePower),
+                      stats::fmtPower(governed.averagePower),
+                      stats::fmtPower(oracle.averagePower),
+                      governed.decisions.front().state->name});
+    }
+    sweep.print(std::cout);
+
+    // A bursty trace: mostly 30 s dwells with short wake storms.
+    std::cout << "\nBursty trace (80% 30 s dwells, 20% 2 ms storms):\n";
+    std::vector<Tick> bursty;
+    for (int i = 0; i < 8; ++i) {
+        bursty.push_back(30 * oneSec);
+        bursty.push_back(2 * oneMs);
+        bursty.push_back(2 * oneMs);
+    }
+    for (int i = 0; i < 16; ++i)
+        bursty.push_back(30 * oneSec);
+
+    const GovernedResult always =
+        governor.evaluate(bursty, active, false, 10);
+    const GovernedResult governed = governor.evaluate(bursty, active);
+    std::cout << "  always-DRIPS : "
+              << stats::fmtPower(always.averagePower) << '\n'
+              << "  governed     : "
+              << stats::fmtPower(governed.averagePower) << "  (";
+    for (const auto &[name, share] : governed.stateResidency)
+        std::cout << name << " " << stats::fmtPercent(share) << " ";
+    std::cout << "of idle time)\n";
+
+    std::cout << "\nShape: governance matters below DRIPS's ~6 ms "
+                 "break-even; at the 30 s\nconnected-standby dwell all "
+                 "policies converge on DRIPS — which is why the\npaper "
+                 "can optimize DRIPS itself.\n";
+    return 0;
+}

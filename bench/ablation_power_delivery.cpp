@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ABL-PD — Ablation: power-delivery efficiency vs ODRIPS savings.
+ * The paper credits 5% of the 22% savings to the delivery "tax" at its
+ * measured 74% DRIPS efficiency; this sweep shows how the technique's
+ * value grows on platforms with worse light-load regulators.
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    std::cout << "ABLATION: light-load delivery efficiency vs ODRIPS "
+                 "savings\n\n";
+
+    stats::Table table("delivery-efficiency sweep");
+    table.setHeader({"DRIPS efficiency", "baseline idle", "ODRIPS idle",
+                     "avg savings", "break-even"});
+
+    for (double eff : {0.55, 0.65, 0.74, 0.85, 0.95}) {
+        PlatformConfig cfg = skylakeConfig();
+        cfg.pdLowEfficiency = eff;
+
+        const CyclePowerProfile base =
+            measureCycleProfile(cfg, TechniqueSet::baseline());
+        const CyclePowerProfile odrips =
+            measureCycleProfile(cfg, TechniqueSet::odrips());
+        const double saving =
+            1.0 - standardWorkloadAverage(odrips, cfg) /
+                      standardWorkloadAverage(base, cfg);
+        const BreakevenResult be = findBreakeven(odrips, base);
+
+        table.addRow({stats::fmtPercent(eff),
+                      stats::fmtPower(base.idlePower),
+                      stats::fmtPower(odrips.idlePower),
+                      stats::fmtPercent(saving),
+                      stats::fmtTime(ticksToSeconds(be.breakEvenDwell))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape: at the paper's 74% the battery saves "
+                 "1/0.74 = 1.35 W per watt of\neliminated load; worse "
+                 "regulators amplify every technique's value.\n";
+    return 0;
+}

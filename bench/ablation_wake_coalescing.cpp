@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ABL-COAL — Ablation: interrupt coalescing vs average power.
+ *
+ * Observation 1 of the paper rests on SoCs buffering peripheral events
+ * and handling them together with the next scheduled wake ("a modern
+ * SoC aggregates multiple interrupts and handles them together at the
+ * same time to reduce the number of wake-ups"). This sweep quantifies
+ * that: a chatty network (push every ~15 s) with a growing coalescing
+ * window trades notification latency for fewer full wake cycles.
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    std::cout << "ABLATION: interrupt-coalescing window vs average "
+                 "power\n(kernel wake ~30 s, network pushes ~15 s, "
+                 "ODRIPS)\n\n";
+
+    stats::Table table("coalescing sweep (40 cycles)");
+    table.setHeader({"window", "wake cycles/hour", "coalesced",
+                     "avg power", "savings vs none"});
+
+    double no_coalescing = 0.0;
+    for (double window_s : {0.0, 1.0, 5.0, 10.0, 20.0, 30.0}) {
+        PlatformConfig cfg = skylakeConfig();
+        cfg.workload.networkWakeMeanSeconds = 15.0;
+        cfg.workload.coalescingWindowSeconds = window_s;
+        cfg.workload.seed = 5;
+
+        StandbyWorkloadGenerator gen(cfg.workload);
+        const StandbyTrace trace = gen.generate(40);
+
+        Platform platform(cfg);
+        StandbySimulator sim(platform, TechniqueSet::odrips());
+        const StandbyResult r = sim.run(trace);
+        if (window_s == 0.0)
+            no_coalescing = r.averageBatteryPower;
+
+        const double hours =
+            ticksToSeconds(r.simulatedTime) / 3600.0;
+        table.addRow(
+            {window_s == 0.0 ? "off" : stats::fmtTime(window_s),
+             stats::fmt(static_cast<double>(r.cycles) / hours, 1),
+             std::to_string(trace.totalCoalesced()),
+             stats::fmtPower(r.averageBatteryPower),
+             window_s == 0.0
+                 ? "-"
+                 : stats::fmtPercent(1.0 - r.averageBatteryPower /
+                                               no_coalescing)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape: each absorbed wake saves a full entry/exit "
+                 "plus most of an active\nwindow; the cost is up to one "
+                 "window of notification latency — the buffering\n"
+                 "trade-off that lets DRIPS afford millisecond-scale "
+                 "exit latencies (Sec. 3).\n";
+    return 0;
+}

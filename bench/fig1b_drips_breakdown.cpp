@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FIG1B — Reproduces Fig. 1(b): breakdown of platform power consumption
+ * in DRIPS (~60 mW total at 30 C with 8 GB DDR3L-1600).
+ *
+ * Paper anchors: processor = 18% of platform power; wake-up/timer plus
+ * the 24 MHz crystal = 5%; AON IOs = 7%; S/R SRAMs = 9%; power-delivery
+ * loss = 26% (74% efficiency).
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::baseline());
+    flows.enterIdle();
+
+    const PowerBreakdown bd =
+        snapshotBreakdown(platform.pm, platform.pd);
+
+    std::cout << "FIG 1(b): platform power breakdown in DRIPS\n";
+    std::cout << "(baseline DRIPS, idle platform, DDR3L-1600 8GB)\n\n";
+    bd.toTable("DRIPS power breakdown").print(std::cout);
+
+    const std::string proc = platform.processor.name();
+    const std::string board = platform.board.name();
+
+    stats::Table anchors("paper anchors vs model");
+    anchors.setHeader({"quantity", "paper", "model"});
+    anchors.addRow({"total platform power", "~60 mW",
+                    stats::fmtPower(bd.totalBattery)});
+    anchors.addRow({"processor share", "18%",
+                    stats::fmtPercent(bd.groupShare("processor"))});
+    anchors.addRow(
+        {"wake-up/timer + 24MHz XTAL", "5%",
+         stats::fmtPercent(bd.componentShare(proc + ".wake_timer") +
+                           bd.componentShare(board + ".xtal24"))});
+    anchors.addRow({"AON IOs", "7%",
+                    stats::fmtPercent(
+                        bd.componentShare(proc + ".aon_io"))});
+    anchors.addRow(
+        {"S/R SRAMs", "9%",
+         stats::fmtPercent(bd.componentShare(proc + ".sr_sram_sa") +
+                           bd.componentShare(proc + ".sr_sram_cores"))});
+    anchors.addRow({"power delivery loss", "26% (74% eff.)",
+                    stats::fmtPercent(bd.deliveryLoss / bd.totalBattery)});
+    std::cout << '\n';
+    anchors.print(std::cout);
+    return 0;
+}

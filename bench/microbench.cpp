@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the simulator's hot paths: the
+ * event queue, the crypto primitives, the MEE context path, and a full
+ * standby cycle. These guard the simulator's own performance (a full
+ * connected-standby cycle must stay cheap enough for the sweeps).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int counter = 0;
+        Event tick("tick", [&] {
+            if (++counter < 1000)
+                eq.scheduleAfter(tick, 100);
+        });
+        eq.schedule(tick, 100);
+        eq.run();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                   0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data.data(), data.size()));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void
+BM_SpeckEncrypt(benchmark::State &state)
+{
+    Speck128::Key key{};
+    key[0] = 1;
+    Speck128 cipher(key);
+    Block128 block{1, 2};
+    for (auto _ : state) {
+        block = cipher.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SpeckEncrypt);
+
+void
+BM_MeeContextWrite(benchmark::State &state)
+{
+    Dram dram("d", DramConfig{});
+    MeeConfig cfg;
+    cfg.dataBase = 1 << 20;
+    cfg.dataSize = 200 << 10;
+    cfg.metaBase = 8 << 20;
+    Mee mee("mee", dram, cfg);
+    std::vector<std::uint8_t> context(200 << 10, 0x5A);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mee.secureWrite(cfg.dataBase, context.data(), context.size(),
+                            0));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(context.size()));
+}
+BENCHMARK(BM_MeeContextWrite);
+
+void
+BM_FullStandbyCycle(benchmark::State &state)
+{
+    Logger::quiet(true);
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::odrips());
+    for (auto _ : state) {
+        flows.enterIdle();
+        platform.eq.run(platform.now() + oneMs);
+        flows.exitIdle();
+        platform.eq.run(platform.now() + oneMs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullStandbyCycle);
+
+void
+BM_StepCalibration(benchmark::State &state)
+{
+    Crystal fast("f", 24.0e6, 18.0, 0.0);
+    Crystal slow("s", 32768.0, -35.0, 0.0);
+    StepCalibrator cal(fast, slow);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cal.calibrateForPpb());
+    }
+}
+BENCHMARK(BM_StepCalibration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SEC63 — Reproduces the context save/restore latency analysis of
+ * Sec. 6.3: transferring the ~200 KB processor context through the MEE
+ * into the SGX-protected DDR3L-1600 region takes ~18 us to write and
+ * ~13 us to read.
+ *
+ * Also exercises the latency decomposition (raw stream, metadata
+ * traffic, crypto pipeline) and the MEE traffic statistics.
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::odrips());
+
+    // One full cycle to collect the transfer records.
+    flows.enterIdle();
+    platform.eq.run(platform.now() + oneMs);
+    flows.exitIdle();
+    const CycleRecord &rec = flows.lastCycle();
+
+    std::cout << "SEC 6.3: processor-context transfer latency "
+              << "(DDR3L-1600, dual channel)\n\n";
+
+    stats::Table table("context transfer");
+    table.setHeader({"quantity", "paper", "model"});
+    table.addRow({"context size", "~200 KB",
+                  std::to_string(rec.contextSave->bytes >> 10) + " KB"});
+    table.addRow({"save (write to DRAM)", "~18 us",
+                  stats::fmtTime(
+                      ticksToSeconds(rec.contextSave->latency))});
+    table.addRow({"restore (read from DRAM)", "~13 us",
+                  stats::fmtTime(
+                      ticksToSeconds(rec.contextRestore->latency))});
+    table.addRow({"authenticated", "yes (SGX/MEE)",
+                  rec.contextRestore->authentic ? "yes" : "NO"});
+    table.addRow({"content intact", "-",
+                  rec.contextIntact ? "yes" : "NO"});
+    table.print(std::cout);
+
+    const MeeStats &mee = platform.mee->statistics();
+    const double data_bytes =
+        static_cast<double>(platform.contextRegionSize());
+    const double raw_stream_us =
+        data_bytes / platform.cfg.dram.peakBandwidth() * 1e6;
+
+    std::cout << "\nLatency decomposition (one-way):\n"
+              << "  raw 200 KB stream at 25.6 GB/s : "
+              << stats::fmt(raw_stream_us, 2) << " us\n"
+              << "  + MEE metadata traffic and crypto pipeline\n";
+
+    std::cout << "\nMEE statistics over the cycle:\n"
+              << "  protected lines written : " << mee.linesWritten
+              << "\n  protected lines read    : " << mee.linesRead
+              << "\n  metadata bytes R/W      : " << mee.metadataBytesRead
+              << " / " << mee.metadataBytesWritten
+              << "\n  metadata cache hit rate : "
+              << stats::fmtPercent(
+                     static_cast<double>(mee.cacheHits) /
+                     static_cast<double>(mee.cacheHits + mee.cacheMisses))
+              << "\n  metadata footprint      : "
+              << (platform.mee->metadataBytes() >> 10) << " KB ("
+              << stats::fmtPercent(
+                     static_cast<double>(platform.mee->metadataBytes()) /
+                     static_cast<double>(platform.cfg.sgxRegionSize))
+              << " of the SGX region)\n";
+
+    std::cout << "\nBoot subset kept on-chip: "
+              << platform.cfg.bootContextBytes << " B in the Boot SRAM ("
+              << stats::fmtPercent(
+                     static_cast<double>(platform.cfg.bootContextBytes) /
+                     static_cast<double>(
+                         platform.contextRegionSize()))
+              << " of the context, paper: ~0.5%)\n";
+    return 0;
+}

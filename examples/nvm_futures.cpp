@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Exploration of the paper's future-work direction (Sec. 8.3 / Sec. 10):
+ * non-volatile memories for the idle state.
+ *
+ *  - How optimistic does eMRAM have to be? Sweeps the write-cost
+ *    pessimism knob and finds where ODRIPS-MRAM stops paying off.
+ *  - Does PCM endurance survive connected standby? Projects write wear
+ *    on the context region over years of 30-second standby cycles.
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    const PlatformConfig base_cfg = skylakeConfig();
+    const CyclePowerProfile baseline =
+        measureCycleProfile(base_cfg, TechniqueSet::baseline());
+    const CyclePowerProfile odrips =
+        measureCycleProfile(base_cfg, TechniqueSet::odrips());
+
+    // --- eMRAM pessimism sweep ---
+    std::cout << "eMRAM optimism sweep (paper assumes pessimism = 1.0, "
+                 "i.e. SRAM-class writes):\n\n";
+    stats::Table table("ODRIPS-MRAM vs write-cost pessimism");
+    table.setHeader({"pessimism", "ctx save", "avg power",
+                     "vs ODRIPS(DRAM)", "break-even"});
+    for (double pessimism : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+        PlatformConfig cfg = base_cfg;
+        cfg.emramPessimism = pessimism;
+        const CyclePowerProfile p =
+            measureCycleProfile(cfg, TechniqueSet::odripsMram());
+        const double avg = standardWorkloadAverage(p, cfg);
+        const double odrips_avg =
+            standardWorkloadAverage(odrips, base_cfg);
+        const BreakevenResult be = findBreakeven(p, baseline);
+        table.addRow(
+            {stats::fmt(pessimism, 0) + "x",
+             stats::fmtTime(ticksToSeconds(p.contextSaveLatency)),
+             stats::fmtPower(avg),
+             stats::fmtPercent(avg / odrips_avg - 1.0),
+             be.found() ? stats::fmtTime(ticksToSeconds(be.breakEvenDwell))
+                        : "never"});
+    }
+    table.print(std::cout);
+
+    // --- PCM endurance projection ---
+    std::cout << "\nPCM endurance on the context region (one full "
+                 "context write per standby cycle):\n\n";
+    PlatformConfig pcm_cfg = base_cfg;
+    pcm_cfg.memoryKind = MainMemoryKind::Pcm;
+
+    Platform platform(pcm_cfg);
+    StandbySimulator sim(platform, TechniqueSet::odripsPcm());
+    const StandbyTrace trace = StandbyWorkloadGenerator::fixed(
+        12, 20 * oneMs, 20 * oneMs, 0.7, 0.8e9);
+    sim.run(trace);
+
+    auto *pcm = dynamic_cast<Pcm *>(platform.memory.get());
+    const double writes_per_cycle =
+        static_cast<double>(pcm->maxLineWrites()) / 12.0;
+    const double cycles_per_day = 86400.0 / 30.2;
+    const double writes_per_day = writes_per_cycle * cycles_per_day;
+    const double years_to_wearout =
+        static_cast<double>(pcm->config().enduranceWrites) /
+        writes_per_day / 365.0;
+
+    stats::Table wear("context-region wear projection");
+    wear.setHeader({"quantity", "value"});
+    wear.addRow({"hottest-line writes per standby cycle",
+                 stats::fmt(writes_per_cycle, 1)});
+    wear.addRow({"standby cycles per day (30 s dwell)",
+                 stats::fmt(cycles_per_day, 0)});
+    wear.addRow({"rated endurance (writes/cell)",
+                 std::to_string(pcm->config().enduranceWrites)});
+    wear.addRow({"years to context-region wear-out",
+                 stats::fmt(years_to_wearout, 0) + " years"});
+    wear.print(std::cout);
+
+    std::cout << "\nConclusion: a 1e8-write PCM outlives the device by "
+                 "orders of magnitude on\nthis access pattern, and "
+                 "wear-leveling across the 64 MB SGX region would\n"
+                 "stretch it further — endurance does not block "
+                 "ODRIPS-PCM.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: build the Skylake platform, run a short connected-standby
+ * workload under baseline DRIPS and under ODRIPS, and print the average
+ * power and savings.
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main()
+{
+    Logger::quiet(true);
+
+    PlatformConfig cfg = skylakeConfig();
+
+    // A short workload: 6 standby cycles of ~30 s idle each.
+    StandbyWorkloadGenerator generator(cfg.workload);
+    const StandbyTrace trace = generator.generate(6);
+
+    std::cout << "ODRIPS quickstart: " << trace.cycles.size()
+              << " standby cycles, mean idle dwell "
+              << stats::fmtTime(trace.meanIdleSeconds()) << "\n\n";
+
+    double baseline_power = 0.0;
+    for (const TechniqueSet &tech :
+         {TechniqueSet::baseline(), TechniqueSet::odrips()}) {
+        Platform platform(cfg);
+        StandbySimulator sim(platform, tech);
+        const StandbyResult result = sim.run(trace);
+
+        std::cout << tech.label() << ":\n";
+        std::cout << "  average platform power : "
+                  << stats::fmtPower(result.averageBatteryPower) << '\n';
+        std::cout << "  idle-state power       : "
+                  << stats::fmtPower(result.idleBatteryPower) << '\n';
+        std::cout << "  active-state power     : "
+                  << stats::fmtPower(result.activeBatteryPower) << '\n';
+        std::cout << "  idle residency         : "
+                  << stats::fmtPercent(result.idleResidency) << '\n';
+        std::cout << "  entry / exit latency   : "
+                  << stats::fmtTime(ticksToSeconds(result.meanEntryLatency))
+                  << " / "
+                  << stats::fmtTime(ticksToSeconds(result.meanExitLatency))
+                  << '\n';
+        std::cout << "  context intact         : "
+                  << (result.contextIntact ? "yes" : "NO") << '\n';
+        if (result.lastCycle.contextSave) {
+            std::cout << "  context save / restore : "
+                      << stats::fmtTime(ticksToSeconds(
+                             result.lastCycle.contextSave->latency))
+                      << " / "
+                      << stats::fmtTime(ticksToSeconds(
+                             result.lastCycle.contextRestore->latency))
+                      << '\n';
+        }
+
+        if (tech.any() && baseline_power > 0.0) {
+            std::cout << "  savings vs baseline    : "
+                      << stats::fmtPercent(
+                             1.0 - result.averageBatteryPower /
+                                       baseline_power)
+                      << '\n';
+        } else {
+            baseline_power = result.averageBatteryPower;
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

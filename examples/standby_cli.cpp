@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Command-line driver for the connected-standby simulator.
+ *
+ * Examples:
+ *   standby_cli --technique=odrips --cycles=10
+ *   standby_cli --technique=baseline --dwell=0.5 --active=0.15
+ *   standby_cli --technique=odrips --pcm --stats --breakdown
+ *   standby_cli --cycles=50 --trace-out=night.trace
+ *   standby_cli --trace-in=night.trace --technique=odrips-mram
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+struct Options
+{
+    std::string technique = "odrips";
+    std::size_t cycles = 5;
+    std::optional<double> dwellSeconds;
+    std::optional<double> activeSeconds;
+    double coreGhz = 0.8;
+    bool pcm = false;
+    bool stats = false;
+    bool breakdown = false;
+    bool analyzer = false;
+    std::uint64_t seed = 1;
+    std::string traceIn;
+    std::string traceOut;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "standby_cli — connected-standby simulation driver\n\n"
+        "  --technique=NAME   baseline | wakeup-off | aon-io-gate |\n"
+        "                     ctx-sgx-dram | odrips | odrips-mram\n"
+        "  --cycles=N         standby cycles to simulate (default 5)\n"
+        "  --dwell=SECONDS    fixed idle dwell (default: ~30 s workload)\n"
+        "  --active=SECONDS   fixed active window (with --dwell)\n"
+        "  --core-ghz=F       core frequency in GHz (default 0.8)\n"
+        "  --seed=N           workload seed\n"
+        "  --pcm              use PCM main memory (ODRIPS-PCM)\n"
+        "  --analyzer         also sample with the 50 us power analyzer\n"
+        "  --stats            dump simulator statistics\n"
+        "  --breakdown        dump the idle power breakdown and rails\n"
+        "  --trace-in=FILE    replay a recorded wake trace\n"
+        "  --trace-out=FILE   record the generated wake trace\n";
+}
+
+TechniqueSet
+techniqueByName(const std::string &name)
+{
+    if (name == "baseline")
+        return TechniqueSet::baseline();
+    if (name == "wakeup-off")
+        return TechniqueSet::wakeupOffOnly();
+    if (name == "aon-io-gate")
+        return TechniqueSet::aonIoGated();
+    if (name == "ctx-sgx-dram")
+        return TechniqueSet::ctxSgxDram();
+    if (name == "odrips")
+        return TechniqueSet::odrips();
+    if (name == "odrips-mram")
+        return TechniqueSet::odripsMram();
+    fatal("unknown technique '", name, "' (see --help)");
+}
+
+bool
+parseOption(Options &opt, const std::string &arg)
+{
+    auto value = [&](const char *prefix) -> std::optional<std::string> {
+        const std::size_t n = std::strlen(prefix);
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(n);
+        return std::nullopt;
+    };
+
+    if (arg == "--help" || arg == "-h") {
+        usage();
+        std::exit(0);
+    }
+    if (auto v = value("--technique=")) { opt.technique = *v; return true; }
+    if (auto v = value("--cycles=")) { opt.cycles = std::stoul(*v); return true; }
+    if (auto v = value("--dwell=")) { opt.dwellSeconds = std::stod(*v); return true; }
+    if (auto v = value("--active=")) { opt.activeSeconds = std::stod(*v); return true; }
+    if (auto v = value("--core-ghz=")) { opt.coreGhz = std::stod(*v); return true; }
+    if (auto v = value("--seed=")) { opt.seed = std::stoull(*v); return true; }
+    if (auto v = value("--trace-in=")) { opt.traceIn = *v; return true; }
+    if (auto v = value("--trace-out=")) { opt.traceOut = *v; return true; }
+    if (arg == "--pcm") { opt.pcm = true; return true; }
+    if (arg == "--stats") { opt.stats = true; return true; }
+    if (arg == "--breakdown") { opt.breakdown = true; return true; }
+    if (arg == "--analyzer") { opt.analyzer = true; return true; }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Logger::quiet(true);
+    Logger::throwOnError(true);
+
+    try {
+        Options opt;
+        for (int i = 1; i < argc; ++i) {
+            if (!parseOption(opt, argv[i])) {
+                std::cerr << "unknown option: " << argv[i] << "\n\n";
+                usage();
+                return 1;
+            }
+        }
+
+        PlatformConfig cfg = skylakeConfig();
+        cfg.workload.seed = opt.seed;
+        cfg.coreFrequencyHz = opt.coreGhz * 1e9;
+        if (opt.pcm)
+            cfg.memoryKind = MainMemoryKind::Pcm;
+
+        const TechniqueSet tech = techniqueByName(opt.technique);
+
+        // Build or load the trace.
+        StandbyTrace trace;
+        if (!opt.traceIn.empty()) {
+            std::ifstream in(opt.traceIn);
+            if (!in)
+                fatal("cannot open trace file '", opt.traceIn, "'");
+            std::ostringstream text;
+            text << in.rdbuf();
+            trace = StandbyTrace::parse(text.str());
+        } else if (opt.dwellSeconds) {
+            trace = StandbyWorkloadGenerator::fixed(
+                opt.cycles, secondsToTicks(*opt.dwellSeconds),
+                secondsToTicks(opt.activeSeconds.value_or(0.150)), 0.7,
+                0.8e9);
+        } else {
+            StandbyWorkloadGenerator gen(cfg.workload);
+            trace = gen.generate(opt.cycles);
+        }
+        if (!opt.traceOut.empty()) {
+            std::ofstream out(opt.traceOut);
+            if (!out)
+                fatal("cannot open output trace '", opt.traceOut, "'");
+            out << trace.serialize();
+            std::cout << "recorded " << trace.cycles.size()
+                      << " cycles to " << opt.traceOut << '\n';
+        }
+
+        Platform platform(cfg);
+        StandbySimulator sim(platform, tech);
+        const StandbyResult r = sim.run(trace, opt.analyzer);
+
+        stats::Table table(tech.label() + (opt.pcm ? " (PCM)" : "") +
+                           " on " + std::to_string(trace.cycles.size()) +
+                           " cycles");
+        table.setHeader({"metric", "value"});
+        table.addRow({"average platform power",
+                      stats::fmtPower(r.averageBatteryPower)});
+        table.addRow({"idle-state power",
+                      stats::fmtPower(r.idleBatteryPower)});
+        table.addRow({"active-state power",
+                      stats::fmtPower(r.activeBatteryPower)});
+        table.addRow({"idle residency",
+                      stats::fmtPercent(r.idleResidency)});
+        table.addRow({"entry / exit latency",
+                      stats::fmtTime(ticksToSeconds(r.meanEntryLatency)) +
+                          " / " +
+                          stats::fmtTime(
+                              ticksToSeconds(r.meanExitLatency))});
+        table.addRow({"context intact",
+                      r.contextIntact ? "yes" : "NO"});
+        if (opt.analyzer) {
+            table.addRow({"sampled average (50 us SMU)",
+                          stats::fmtPower(r.analyzerAverage)});
+        }
+        table.print(std::cout);
+
+        if (opt.stats) {
+            std::cout << '\n';
+            stats::dumpStats(std::cout, sim.statistics());
+        }
+
+        if (opt.breakdown) {
+            StandbyFlows flows(platform, tech);
+            flows.enterIdle();
+            std::cout << '\n';
+            snapshotBreakdown(platform.pm, platform.pd)
+                .toTable("idle power breakdown")
+                .print(std::cout);
+            std::cout << '\n';
+            platform.rails.toTable("voltage rails (idle)")
+                .print(std::cout);
+        }
+        return 0;
+    } catch (const SimError &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the full test suite, and regenerate every
+# table/figure of the paper into test_output.txt / bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Clock domain derived from a crystal source.
+ *
+ * A ClockDomain distributes a (possibly multiplied/divided) version of a
+ * crystal's output to a set of consumers and supports clock gating. Cycle
+ * counting is done arithmetically — the simulator never schedules an
+ * event per clock edge.
+ */
+
+#ifndef ODRIPS_CLOCK_CLOCK_DOMAIN_HH
+#define ODRIPS_CLOCK_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "clock/crystal.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** A gateable clock domain fed by a Crystal. */
+class ClockDomain : public Named
+{
+  public:
+    /**
+     * @param name   instance name
+     * @param source crystal feeding this domain
+     * @param ratio  frequency multiplier relative to the source (PLL
+     *               ratio); 1.0 means the domain runs at crystal speed
+     */
+    ClockDomain(std::string name, const Crystal &source, double ratio = 1.0)
+        : Named(std::move(name)), source_(source), ratio_(ratio)
+    {
+        ODRIPS_ASSERT(ratio > 0, "clock ratio must be positive");
+    }
+
+    const Crystal &source() const { return source_; }
+
+    /** Effective frequency in Hz (0 when the source is off or gated). */
+    double
+    frequency() const
+    {
+        if (gated_ || !source_.enabled())
+            return 0.0;
+        return source_.actualHz() * ratio_;
+    }
+
+    /** Nominal frequency ignoring gating (for period computations). */
+    double ungatedFrequency() const { return source_.actualHz() * ratio_; }
+
+    /** Clock period in ticks (of the ungated clock). */
+    Tick period() const { return frequencyToPeriod(ungatedFrequency()); }
+
+    bool gated() const { return gated_; }
+    void gate() { gated_ = true; }
+    void ungate() { gated_ = false; }
+
+    /** True if edges are being delivered right now. */
+    bool running() const { return !gated_ && source_.enabled(); }
+
+    /**
+     * Number of full clock cycles that elapse in the half-open tick
+     * interval [from, to), assuming the clock runs throughout.
+     */
+    std::uint64_t
+    cyclesIn(Tick from, Tick to) const
+    {
+        if (to <= from)
+            return 0;
+        return static_cast<std::uint64_t>((to - from) / period());
+    }
+
+    /** Next clock edge at or after @p t (edges at integer periods). */
+    Tick
+    nextEdge(Tick t) const
+    {
+        const Tick p = period();
+        const Tick k = (t + p - 1) / p;
+        return k * p;
+    }
+
+  private:
+    const Crystal &source_;
+    double ratio_;
+    bool gated_ = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_CLOCK_CLOCK_DOMAIN_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Crystal oscillator (XTAL) model.
+ *
+ * The platform has two board-level crystals (Fig. 1(a) of the paper):
+ * a 24 MHz XTAL feeding the processor/chipset fast clocks and a
+ * 32.768 kHz RTC XTAL. Real crystals deviate from their nominal frequency
+ * by a few tens of ppm; that deviation is what makes the Step calibration
+ * of Sec. 4.1.3 necessary, so the model carries an exact rational actual
+ * frequency.
+ */
+
+#ifndef ODRIPS_CLOCK_CRYSTAL_HH
+#define ODRIPS_CLOCK_CRYSTAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/**
+ * A crystal oscillator with a nominal frequency, a manufacturing
+ * tolerance expressed in ppm, and an on/off state with associated power.
+ */
+class Crystal : public Named
+{
+  public:
+    /**
+     * @param name        instance name
+     * @param nominal_hz  data-sheet frequency in Hz
+     * @param ppm_error   actual deviation from nominal in parts-per-million
+     *                    (positive = runs fast)
+     * @param power_watts power drawn while enabled
+     */
+    Crystal(std::string name, double nominal_hz, double ppm_error,
+            double power_watts)
+        : Named(std::move(name)), nominalHz_(nominal_hz),
+          ppmError_(ppm_error), powerWatts_(power_watts)
+    {
+        ODRIPS_ASSERT(nominal_hz > 0, "crystal frequency must be positive");
+    }
+
+    double nominalHz() const { return nominalHz_; }
+    double ppmError() const { return ppmError_; }
+
+    /** Actual oscillation frequency including the ppm deviation. */
+    double
+    actualHz() const
+    {
+        return nominalHz_ * (1.0 + ppmError_ * 1e-6);
+    }
+
+    /** Actual period in simulator ticks (rounded to nearest ps). */
+    Tick period() const { return frequencyToPeriod(actualHz()); }
+
+    bool enabled() const { return on; }
+
+    /** Turn the oscillator on; takes a start-up time in reality, which
+     * the flows account for separately. */
+    void enable() { on = true; }
+
+    /** Turn the oscillator off (e.g. the 24 MHz XTAL in ODRIPS). */
+    void disable() { on = false; }
+
+    /** Power currently drawn by the oscillator. */
+    double power() const { return on ? powerWatts_ : 0.0; }
+
+    /** Power drawn when enabled (regardless of current state). */
+    double ratedPower() const { return powerWatts_; }
+
+  private:
+    double nominalHz_;
+    double ppmError_;
+    double powerWatts_;
+    bool on = true;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_CLOCK_CRYSTAL_HH

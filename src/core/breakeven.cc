@@ -1,0 +1,105 @@
+#include "core/breakeven.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+/**
+ * Average power over one period-pinned cycle. Wake events (kernel
+ * timers) arrive at fixed wall-clock times, so a technique with longer
+ * transitions gets correspondingly *less* idle dwell within the same
+ * period — it cannot win by stretching the cycle.
+ */
+double
+pinnedAverage(const CyclePowerProfile &p, Tick period, Tick active_cpu,
+              Tick active_stall, bool &feasible)
+{
+    const Tick trans = p.entryLatency + p.exitLatency;
+    const Tick dwell = period - trans - active_cpu - active_stall;
+    if (dwell < 0) {
+        feasible = false;
+        return 0.0;
+    }
+    feasible = true;
+    const double energy = p.entryEnergy + p.exitEnergy +
+                          p.idlePower * ticksToSeconds(dwell) +
+                          p.activePower * ticksToSeconds(active_cpu) +
+                          p.stallPower * ticksToSeconds(active_stall);
+    return energy / ticksToSeconds(period);
+}
+
+} // namespace
+
+BreakevenResult
+findBreakeven(const CyclePowerProfile &technique,
+              const CyclePowerProfile &baseline,
+              const BreakevenSweep &sweep, std::size_t curve_points)
+{
+    ODRIPS_ASSERT(sweep.step > 0 && sweep.end > sweep.start,
+                  "bad break-even sweep");
+
+    BreakevenResult result;
+
+    const Tick active_cpu = static_cast<Tick>(
+        static_cast<double>(sweep.activeWindow) * sweep.scalableFraction);
+    const Tick active_stall = sweep.activeWindow - active_cpu;
+    const Tick base_trans =
+        baseline.entryLatency + baseline.exitLatency;
+
+    const std::size_t total_points = static_cast<std::size_t>(
+        (sweep.end - sweep.start) / sweep.step + 1);
+    const std::size_t stride =
+        std::max<std::size_t>(1, total_points / curve_points);
+
+    std::size_t index = 0;
+    for (Tick dwell = sweep.start; dwell <= sweep.end;
+         dwell += sweep.step, ++index) {
+        // The swept quantity is the *baseline's* DRIPS residency; both
+        // designs share the wall-clock period it implies.
+        const Tick period = dwell + base_trans + sweep.activeWindow;
+
+        bool base_ok = true;
+        bool tech_ok = true;
+        const double p_base = pinnedAverage(baseline, period, active_cpu,
+                                            active_stall, base_ok);
+        const double p_tech = pinnedAverage(technique, period, active_cpu,
+                                            active_stall, tech_ok);
+
+        if (base_ok && tech_ok && p_tech < p_base &&
+            result.breakEvenDwell == maxTick) {
+            result.breakEvenDwell = dwell;
+        }
+
+        if (index % stride == 0 && base_ok && tech_ok)
+            result.curve.emplace_back(dwell, p_tech, p_base);
+    }
+
+    // Closed form of the period-pinned equality: with overhead(x) =
+    // transition energy above what idling at the technique's idle power
+    // for the same time would cost,
+    //   dwell* = (overhead_tech - overhead_base) / (P_idle_base -
+    //            P_idle_tech)
+    const double ref_idle = technique.idlePower;
+    const double overhead_tech =
+        technique.entryEnergy + technique.exitEnergy -
+        ref_idle * ticksToSeconds(technique.entryLatency +
+                                  technique.exitLatency);
+    const double overhead_base =
+        baseline.entryEnergy + baseline.exitEnergy -
+        ref_idle * ticksToSeconds(base_trans);
+    const double d_power = baseline.idlePower - technique.idlePower;
+    const double d_overhead = overhead_tech - overhead_base;
+    if (d_power > 0) {
+        result.analyticBreakEven =
+            d_overhead > 0 ? secondsToTicks(d_overhead / d_power)
+                           : Tick{0};
+    }
+
+    return result;
+}
+
+} // namespace odrips

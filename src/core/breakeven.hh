@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy break-even analysis (paper Sec. 7 / Fig. 6(a) right axis).
+ *
+ * For each technique the paper sweeps the DRIPS residency from 0.6 ms
+ * to 1 s at 0.1 ms granularity and reports the smallest residency at
+ * which the technique's connected-standby average power drops below
+ * the baseline's. Below the break-even point the technique's extra
+ * entry/exit energy outweighs its idle-power savings.
+ */
+
+#ifndef ODRIPS_CORE_BREAKEVEN_HH
+#define ODRIPS_CORE_BREAKEVEN_HH
+
+#include <vector>
+
+#include "core/profile.hh"
+
+namespace odrips
+{
+
+/** Parameters of the residency sweep (defaults = the paper's). */
+struct BreakevenSweep
+{
+    Tick start = secondsToTicks(0.6e-3);
+    Tick end = secondsToTicks(1.0);
+    Tick step = secondsToTicks(0.1e-3);
+    /** Active window held constant across the sweep. */
+    Tick activeWindow = 150 * oneMs;
+    double scalableFraction = 0.70;
+};
+
+/** Result of a break-even analysis. */
+struct BreakevenResult
+{
+    /** Smallest swept dwell where the technique wins; maxTick if it
+     * never does within the sweep. */
+    Tick breakEvenDwell = maxTick;
+
+    /** Closed-form check: transition-overhead difference divided by
+     * idle-power savings. */
+    Tick analyticBreakEven = maxTick;
+
+    /** Sampled (dwell, technique avg W, baseline avg W) triples —
+     * decimated for reporting. */
+    std::vector<std::tuple<Tick, double, double>> curve;
+
+    bool found() const { return breakEvenDwell != maxTick; }
+};
+
+/**
+ * Sweep the idle dwell and find the break-even point of @p technique
+ * against @p baseline.
+ *
+ * @param curve_points number of (decimated) sweep samples to retain
+ */
+BreakevenResult findBreakeven(const CyclePowerProfile &technique,
+                              const CyclePowerProfile &baseline,
+                              const BreakevenSweep &sweep = {},
+                              std::size_t curve_points = 24);
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_BREAKEVEN_HH

@@ -1,0 +1,68 @@
+#include "core/experiment.hh"
+
+namespace odrips
+{
+
+double
+standardWorkloadAverage(const CyclePowerProfile &profile,
+                        const PlatformConfig &cfg)
+{
+    const Tick dwell = secondsToTicks(cfg.workload.idleDwellSeconds);
+    const Tick active = secondsToTicks(
+        0.5 * (cfg.workload.activeMinSeconds +
+               cfg.workload.activeMaxSeconds));
+    return averagePowerEq1(profile, dwell, active,
+                           cfg.workload.scalableFraction);
+}
+
+TechniqueEvaluation
+evaluate(const PlatformConfig &cfg, const TechniqueSet &techniques,
+         const CyclePowerProfile &baseline_profile,
+         double baseline_average)
+{
+    TechniqueEvaluation eval;
+    eval.label = techniques.label();
+    if (cfg.memoryKind == MainMemoryKind::Pcm && techniques.any())
+        eval.label += "-PCM";
+    eval.profile = measureCycleProfile(cfg, techniques);
+    eval.averagePower = standardWorkloadAverage(eval.profile, cfg);
+    eval.savingsVsBaseline =
+        baseline_average > 0
+            ? 1.0 - eval.averagePower / baseline_average
+            : 0.0;
+
+    BreakevenSweep sweep;
+    sweep.scalableFraction = cfg.workload.scalableFraction;
+    eval.breakEven =
+        findBreakeven(eval.profile, baseline_profile, sweep).breakEvenDwell;
+    return eval;
+}
+
+std::vector<TechniqueEvaluation>
+evaluateFig6aSet(const PlatformConfig &cfg)
+{
+    const CyclePowerProfile baseline_profile =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const double baseline_average =
+        standardWorkloadAverage(baseline_profile, cfg);
+
+    std::vector<TechniqueEvaluation> out;
+
+    TechniqueEvaluation base;
+    base.label = TechniqueSet::baseline().label();
+    base.profile = baseline_profile;
+    base.averagePower = baseline_average;
+    base.savingsVsBaseline = 0.0;
+    base.breakEven = 0;
+    out.push_back(std::move(base));
+
+    for (const TechniqueSet &t :
+         {TechniqueSet::wakeupOffOnly(), TechniqueSet::aonIoGated(),
+          TechniqueSet::ctxSgxDram(), TechniqueSet::odrips()}) {
+        out.push_back(evaluate(cfg, t, baseline_profile,
+                               baseline_average));
+    }
+    return out;
+}
+
+} // namespace odrips

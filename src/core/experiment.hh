@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harnesses: evaluate a
+ * technique configuration at the paper's standard connected-standby
+ * workload and compute savings + break-even against a baseline.
+ */
+
+#ifndef ODRIPS_CORE_EXPERIMENT_HH
+#define ODRIPS_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/breakeven.hh"
+#include "core/profile.hh"
+
+namespace odrips
+{
+
+/** One evaluated configuration (a bar of Fig. 6). */
+struct TechniqueEvaluation
+{
+    std::string label;
+    CyclePowerProfile profile;
+    /** Eq. 1 average power at the standard workload. */
+    double averagePower = 0.0;
+    /** Fractional savings vs the baseline (positive = better). */
+    double savingsVsBaseline = 0.0;
+    /** Break-even DRIPS residency vs the baseline. */
+    Tick breakEven = maxTick;
+};
+
+/** The standard workload point: ~30 s dwell, mean active window. */
+double standardWorkloadAverage(const CyclePowerProfile &profile,
+                               const PlatformConfig &cfg);
+
+/** Evaluate one technique set against a pre-measured baseline. */
+TechniqueEvaluation evaluate(const PlatformConfig &cfg,
+                             const TechniqueSet &techniques,
+                             const CyclePowerProfile &baseline_profile,
+                             double baseline_average);
+
+/**
+ * The full Fig. 6(a) set: baseline, WAKE-UP-OFF, AON-IO-GATE,
+ * CTX-SGX-DRAM, ODRIPS (first entry is the baseline itself).
+ */
+std::vector<TechniqueEvaluation> evaluateFig6aSet(
+    const PlatformConfig &cfg);
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_EXPERIMENT_HH

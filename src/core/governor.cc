@@ -1,0 +1,160 @@
+#include "core/governor.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+IdleGovernor::IdleGovernor(const CStateTable &table,
+                           const CyclePowerProfile &drips_profile,
+                           Tick ltr)
+    : table(table), drips(drips_profile), ltr(ltr)
+{
+    const CState &deepest = table.deepest();
+    ODRIPS_ASSERT(deepest.exitLatency > 0, "deepest state needs latency");
+
+    const double drips_trans_energy = drips.entryEnergy + drips.exitEnergy;
+    const Tick drips_trans_latency =
+        drips.entryLatency + drips.exitLatency;
+
+    // Derive shallow-state models: power from the table's relative
+    // factors, transition energy proportional to transition latency
+    // (both are dominated by the same VR ramp physics).
+    for (const CState &s : table.states()) {
+        if (s.index == 0)
+            continue;
+        DerivedStateModel m;
+        m.name = s.name;
+        m.index = s.index;
+        m.idlePower = drips.idlePower * s.powerRelativeToDrips;
+        if (s.isDrips) {
+            m.entryLatency = drips.entryLatency;
+            m.exitLatency = drips.exitLatency;
+            m.transitionEnergy = drips_trans_energy;
+        } else {
+            m.entryLatency = s.entryLatency;
+            m.exitLatency = s.exitLatency;
+            m.transitionEnergy =
+                drips_trans_energy *
+                static_cast<double>(s.entryLatency + s.exitLatency) /
+                static_cast<double>(drips_trans_latency);
+        }
+        models.push_back(m);
+    }
+
+    // Break-even of each state against the shallowest idle state.
+    const DerivedStateModel &shallow = models.front();
+    for (DerivedStateModel &m : models) {
+        const double d_power = shallow.idlePower - m.idlePower;
+        const double d_overhead =
+            (m.transitionEnergy -
+             m.idlePower * ticksToSeconds(m.entryLatency +
+                                          m.exitLatency)) -
+            (shallow.transitionEnergy -
+             m.idlePower * ticksToSeconds(shallow.entryLatency +
+                                          shallow.exitLatency));
+        m.breakEvenVsShallowest =
+            d_power > 0 && d_overhead > 0
+                ? secondsToTicks(d_overhead / d_power)
+                : 0;
+    }
+}
+
+const DerivedStateModel &
+IdleGovernor::modelFor(const CState &state) const
+{
+    for (const DerivedStateModel &m : models) {
+        if (m.index == state.index)
+            return m;
+    }
+    panic("no derived model for state ", state.name);
+}
+
+GovernorDecision
+IdleGovernor::decide(Tick tnte) const
+{
+    GovernorDecision d;
+    d.ltr = ltr;
+    d.tnte = tnte;
+    d.state = &table.select(ltr, tnte);
+    return d;
+}
+
+double
+IdleGovernor::idleEnergy(const DerivedStateModel &state, Tick dwell) const
+{
+    // The transitions eat into the period; residency is what remains.
+    const Tick resident =
+        std::max<Tick>(0, dwell - state.entryLatency - state.exitLatency);
+    return state.transitionEnergy +
+           state.idlePower * ticksToSeconds(resident);
+}
+
+GovernorDecision
+IdleGovernor::decideOracle(Tick dwell) const
+{
+    GovernorDecision d;
+    d.ltr = ltr;
+    d.tnte = dwell;
+
+    const DerivedStateModel *best = &models.front();
+    double best_energy = idleEnergy(*best, dwell);
+    for (const DerivedStateModel &m : models) {
+        if (m.exitLatency > ltr)
+            continue;
+        if (m.entryLatency + m.exitLatency > dwell)
+            continue;
+        const double energy = idleEnergy(m, dwell);
+        if (energy < best_energy) {
+            best = &m;
+            best_energy = energy;
+        }
+    }
+    d.state = &table.byIndex(best->index);
+    return d;
+}
+
+GovernedResult
+IdleGovernor::evaluate(const std::vector<Tick> &dwells, Tick active,
+                       bool oracle, int force_state) const
+{
+    ODRIPS_ASSERT(!dwells.empty(), "no idle periods to evaluate");
+
+    GovernedResult result;
+    double total_energy = 0.0;
+    double total_seconds = 0.0;
+    std::map<std::string, Tick> residency_ticks;
+    Tick idle_ticks = 0;
+
+    for (Tick dwell : dwells) {
+        GovernorDecision d;
+        if (force_state >= 0) {
+            d.state = &table.byIndex(force_state);
+            d.tnte = dwell;
+            d.ltr = ltr;
+        } else if (oracle) {
+            d = decideOracle(dwell);
+        } else {
+            d = decide(dwell);
+        }
+        const DerivedStateModel &m = modelFor(*d.state);
+        result.decisions.push_back(d);
+
+        total_energy += idleEnergy(m, dwell);
+        total_energy += drips.activePower * ticksToSeconds(active);
+        total_seconds += ticksToSeconds(dwell + active);
+
+        residency_ticks[m.name] += dwell;
+        idle_ticks += dwell;
+    }
+
+    result.averagePower =
+        total_seconds > 0 ? total_energy / total_seconds : 0.0;
+    for (const auto &[name, ticks] : residency_ticks) {
+        result.stateResidency[name] =
+            static_cast<double>(ticks) / static_cast<double>(idle_ticks);
+    }
+    return result;
+}
+
+} // namespace odrips

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * PMU idle-state governor (paper Sec. 2.2).
+ *
+ * Before entering an idle state the PMU looks at *latency tolerance
+ * reporting* (LTR) from the devices and the *time to next timer event*
+ * (TNTE) and picks the deepest C-state whose exit latency fits both.
+ * DRIPS only pays off when the expected dwell clears its energy
+ * break-even, so short idle periods land in shallower states.
+ *
+ * The governor evaluates a trace of idle dwells analytically against a
+ * measured DRIPS cycle profile: shallower states are derived from the
+ * C-state table's relative powers and latencies. This reproduces *why*
+ * connected standby needs long dwells — and what selecting states
+ * naively (always-DRIPS) costs on bursty workloads.
+ */
+
+#ifndef ODRIPS_CORE_GOVERNOR_HH
+#define ODRIPS_CORE_GOVERNOR_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+#include "platform/cstate.hh"
+
+namespace odrips
+{
+
+/** One governor decision. */
+struct GovernorDecision
+{
+    const CState *state = nullptr;
+    Tick ltr = 0;
+    Tick tnte = 0;
+};
+
+/** Per-state model derived from the DRIPS profile + C-state table. */
+struct DerivedStateModel
+{
+    std::string name;
+    int index = 0;
+    double idlePower = 0.0;      ///< battery watts while resident
+    Tick entryLatency = 0;
+    Tick exitLatency = 0;
+    double transitionEnergy = 0.0; ///< battery joules per entry+exit
+    Tick breakEvenVsShallowest = 0;
+};
+
+/** Result of a governed standby evaluation. */
+struct GovernedResult
+{
+    double averagePower = 0.0;
+    /** Residency fraction per state name (idle time only). */
+    std::map<std::string, double> stateResidency;
+    /** Decisions taken, one per idle period. */
+    std::vector<GovernorDecision> decisions;
+};
+
+/** The governor. */
+class IdleGovernor
+{
+  public:
+    /**
+     * @param table         the platform's C-state table
+     * @param drips_profile measured cycle profile of the deepest state
+     * @param ltr           current device latency tolerance
+     */
+    IdleGovernor(const CStateTable &table,
+                 const CyclePowerProfile &drips_profile,
+                 Tick ltr = 3 * oneMs);
+
+    /** The derived per-state models (ordered shallow to deep). */
+    const std::vector<DerivedStateModel> &states() const
+    {
+        return models;
+    }
+
+    /** Choose a state for an idle period with the given TNTE. */
+    GovernorDecision decide(Tick tnte) const;
+
+    /**
+     * Choose the state that minimizes *energy* for a known dwell
+     * (oracle policy): latency-feasible and past its break-even.
+     */
+    GovernorDecision decideOracle(Tick dwell) const;
+
+    /** Energy of one idle period of @p dwell spent in @p state. */
+    double idleEnergy(const DerivedStateModel &state, Tick dwell) const;
+
+    /**
+     * Evaluate a sequence of idle dwells with a policy.
+     *
+     * @param dwells       idle-period lengths
+     * @param active       active window between idle periods
+     * @param oracle       use the energy-oracle policy instead of the
+     *                     LTR/TNTE rule
+     * @param force_state  if >= 0, always use the state with this
+     *                     index (e.g. always-DRIPS)
+     */
+    GovernedResult evaluate(const std::vector<Tick> &dwells, Tick active,
+                            bool oracle = false,
+                            int force_state = -1) const;
+
+    const DerivedStateModel &modelFor(const CState &state) const;
+
+  private:
+    const CStateTable &table;
+    CyclePowerProfile drips;
+    Tick ltr;
+    std::vector<DerivedStateModel> models;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_GOVERNOR_HH

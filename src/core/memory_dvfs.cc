@@ -1,0 +1,126 @@
+#include "core/memory_dvfs.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "stats/report.hh"
+
+using odrips::stats::fmt;
+
+namespace odrips
+{
+
+namespace
+{
+
+/** Stall time after bandwidth dilation at rate index vs the reference. */
+Tick
+dilatedStall(Tick stall, double rate, double ref_rate, double mem_bound)
+{
+    const double dilation = 1.0 + mem_bound * (ref_rate / rate - 1.0);
+    return static_cast<Tick>(static_cast<double>(stall) * dilation);
+}
+
+} // namespace
+
+std::vector<MemoryDvfsPoint>
+exploreMemoryDvfs(const PlatformConfig &cfg, const TechniqueSet &technique,
+                  const MemoryDvfsConfig &dvfs)
+{
+    ODRIPS_ASSERT(!dvfs.rates.empty(), "no DVFS rates to explore");
+    const double ref_rate =
+        *std::max_element(dvfs.rates.begin(), dvfs.rates.end());
+
+    // Workload shape (the standard connected-standby point).
+    const Tick dwell = secondsToTicks(cfg.workload.idleDwellSeconds);
+    const double active_s = 0.5 * (cfg.workload.activeMinSeconds +
+                                   cfg.workload.activeMaxSeconds);
+    const Tick cpu = secondsToTicks(active_s *
+                                    cfg.workload.scalableFraction);
+    const Tick stall = secondsToTicks(
+        active_s * (1.0 - cfg.workload.scalableFraction));
+
+    // Measure a cycle profile per rate.
+    std::vector<CyclePowerProfile> profiles;
+    for (double rate : dvfs.rates) {
+        PlatformConfig rate_cfg = cfg;
+        rate_cfg.dram = rate_cfg.dram.withDataRate(rate);
+        profiles.push_back(measureCycleProfile(rate_cfg, technique));
+    }
+
+    std::vector<MemoryDvfsPoint> points;
+
+    // Static points.
+    for (std::size_t i = 0; i < dvfs.rates.size(); ++i) {
+        const double rate = dvfs.rates[i];
+        const Tick stall_r =
+            dilatedStall(stall, rate, ref_rate, dvfs.memBoundFraction);
+        MemoryDvfsPoint p;
+        p.label = "static " + fmt(rate / 1e9, 3) + " GT/s";
+        p.activeRate = rate;
+        p.transferRate = rate;
+        p.averagePower =
+            averagePowerEq1(profiles[i], dwell, cpu, stall_r);
+        p.transitionLatency =
+            profiles[i].entryLatency + profiles[i].exitLatency;
+        points.push_back(p);
+    }
+
+    // Per-phase oracle: transfers at the reference (fastest) rate; the
+    // active window at whichever rate minimizes its energy including
+    // the stall dilation; switch pauses added per cycle.
+    std::size_t ref_index = 0;
+    for (std::size_t i = 0; i < dvfs.rates.size(); ++i) {
+        if (dvfs.rates[i] == ref_rate)
+            ref_index = i;
+    }
+    const CyclePowerProfile &ref_profile = profiles[ref_index];
+
+    std::size_t best_index = ref_index;
+    double best_active_energy = -1.0;
+    for (std::size_t i = 0; i < dvfs.rates.size(); ++i) {
+        const Tick stall_r = dilatedStall(stall, dvfs.rates[i], ref_rate,
+                                          dvfs.memBoundFraction);
+        const double energy =
+            profiles[i].activePower * ticksToSeconds(cpu) +
+            profiles[i].stallPower * ticksToSeconds(stall_r);
+        if (best_active_energy < 0 || energy < best_active_energy) {
+            best_active_energy = energy;
+            best_index = i;
+        }
+    }
+
+    const bool switches_needed = best_index != ref_index;
+    const unsigned switches =
+        switches_needed ? dvfs.switchesPerCycle : 0;
+    const Tick switch_time =
+        static_cast<Tick>(switches) * dvfs.switchLatency;
+    const double switch_energy =
+        ticksToSeconds(switch_time) *
+        (dvfs.switchPower / cfg.pdHighEfficiency);
+
+    const Tick best_stall =
+        dilatedStall(stall, dvfs.rates[best_index], ref_rate,
+                     dvfs.memBoundFraction);
+    const double cycle_energy =
+        ref_profile.entryEnergy + ref_profile.exitEnergy +
+        ref_profile.idlePower * ticksToSeconds(dwell) +
+        best_active_energy + switch_energy;
+    const double cycle_seconds = ticksToSeconds(
+        dwell + ref_profile.entryLatency + ref_profile.exitLatency +
+        cpu + best_stall + switch_time);
+
+    MemoryDvfsPoint dynamic;
+    dynamic.label = "dynamic (per-phase oracle)";
+    dynamic.activeRate = dvfs.rates[best_index];
+    dynamic.transferRate = ref_rate;
+    dynamic.averagePower = cycle_energy / cycle_seconds;
+    dynamic.transitionLatency = ref_profile.entryLatency +
+                                ref_profile.exitLatency + switch_time;
+    dynamic.dynamic = true;
+    points.push_back(dynamic);
+
+    return points;
+}
+
+} // namespace odrips

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory DVFS exploration (the paper's stated future direction).
+ *
+ * Sec. 8.2 concludes that statically under-clocking DRAM is a bad
+ * global strategy and suggests applying dynamic voltage and frequency
+ * scaling to main memory instead (citing MemScale-style work). This
+ * module evaluates that idea on the connected-standby workload:
+ *
+ *  - static points: the platform runs the DRAM at one rate always
+ *    (Fig. 6(c)'s sweep);
+ *  - per-phase oracle: each phase picks its best rate — the idle state
+ *    does not care (self-refresh is rate-independent), context
+ *    transfers prefer the highest rate (shorter), and the active
+ *    window trades interface power against stall-time dilation.
+ *
+ * Stall dilation model: the memory-bound share of the active window
+ * stretches with the bandwidth ratio, CPU-bound work does not:
+ *   stall'(r) = stall * (1 + memBoundFraction * (bw_ref / bw(r) - 1)).
+ * Frequency switches cost a re-lock pause at SA-rail power.
+ */
+
+#ifndef ODRIPS_CORE_MEMORY_DVFS_HH
+#define ODRIPS_CORE_MEMORY_DVFS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+
+namespace odrips
+{
+
+/** One evaluated DVFS operating mode. */
+struct MemoryDvfsPoint
+{
+    std::string label;
+    /** DRAM data rate during the active window (Hz). */
+    double activeRate = 0.0;
+    /** DRAM data rate during context transfers (Hz). */
+    double transferRate = 0.0;
+    /** Eq. 1 average power at the standard workload. */
+    double averagePower = 0.0;
+    /** Entry + exit latency (includes transfer + switch time). */
+    Tick transitionLatency = 0;
+    bool dynamic = false;
+};
+
+/** Parameters of the exploration. */
+struct MemoryDvfsConfig
+{
+    /** Candidate data rates (defaults: the paper's three points). */
+    std::vector<double> rates{1.6e9, 1.067e9, 0.8e9};
+    /** Share of the active window's stall time that is memory-
+     * bandwidth-bound (the rest is latency/IO-bound and does not
+     * dilate). */
+    double memBoundFraction = 0.5;
+    /** DRAM frequency-switch pause (self-refresh + DLL re-lock). */
+    Tick switchLatency = 28 * oneUs;
+    /** Rail power burned during a switch pause (nominal watts). */
+    double switchPower = 0.35;
+    /** Frequency switches per cycle for the dynamic policy (down to
+     * the active rate after exit, back up before the transfer). */
+    unsigned switchesPerCycle = 2;
+};
+
+/**
+ * Evaluate static operating points and the per-phase dynamic policy
+ * for @p technique on the platform config @p cfg.
+ *
+ * @return one point per static rate, then the dynamic policy.
+ */
+std::vector<MemoryDvfsPoint> exploreMemoryDvfs(
+    const PlatformConfig &cfg, const TechniqueSet &technique,
+    const MemoryDvfsConfig &dvfs = {});
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_MEMORY_DVFS_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Umbrella public header for the ODRIPS connected-standby simulator.
+ *
+ * Quick start:
+ * @code
+ *   #include "core/odrips.hh"
+ *   using namespace odrips;
+ *
+ *   PlatformConfig cfg = skylakeConfig();
+ *   Platform platform(cfg);
+ *   StandbySimulator sim(platform, TechniqueSet::odrips());
+ *
+ *   StandbyWorkloadGenerator gen(cfg.workload);
+ *   StandbyResult r = sim.run(gen.generate(10));
+ *   // r.averageBatteryPower, r.idleResidency, ...
+ * @endcode
+ */
+
+#ifndef ODRIPS_CORE_ODRIPS_HH
+#define ODRIPS_CORE_ODRIPS_HH
+
+#include "core/breakeven.hh"
+#include "core/experiment.hh"
+#include "core/governor.hh"
+#include "core/memory_dvfs.hh"
+#include "core/profile.hh"
+#include "core/standby_simulator.hh"
+#include "flows/standby_flows.hh"
+#include "platform/platform.hh"
+#include "platform/techniques.hh"
+#include "power/breakdown.hh"
+#include "stats/report.hh"
+#include "workload/standby_workload.hh"
+
+#endif // ODRIPS_CORE_ODRIPS_HH

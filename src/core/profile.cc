@@ -1,0 +1,85 @@
+#include "core/profile.hh"
+
+#include "core/standby_simulator.hh"
+#include "platform/platform.hh"
+
+namespace odrips
+{
+
+CyclePowerProfile
+measureCycleProfile(const PlatformConfig &cfg,
+                    const TechniqueSet &techniques)
+{
+    Platform platform(cfg);
+    StandbyFlows flows(platform, techniques);
+    EventQueue &eq = platform.eq;
+    EnergyAccountant &acc = platform.accountant;
+
+    CyclePowerProfile profile;
+
+    // Settle at C0 for a moment.
+    eq.run(eq.now() + 10 * oneUs);
+
+    // --- entry ---
+    acc.reset(eq.now());
+    const FlowResult entry = flows.enterIdle();
+    acc.integrateTo(eq.now());
+    profile.entryLatency = entry.latency();
+    profile.entryEnergy = acc.batteryEnergy();
+    profile.idlePower = platform.batteryPower();
+
+    // Dwell briefly so the idle level is well-defined in the record.
+    eq.run(eq.now() + oneMs);
+
+    // --- exit ---
+    acc.reset(eq.now());
+    const FlowResult exit = flows.exitIdle();
+    acc.integrateTo(eq.now());
+    profile.exitLatency = exit.latency();
+    profile.exitEnergy = acc.batteryEnergy();
+    profile.activePower = platform.batteryPower();
+
+    // Stall-segment power: cores clock-gated.
+    platform.processor.coresGfx.setPower(platform.processor.stallPower(),
+                                         eq.now());
+    profile.stallPower = platform.batteryPower();
+    platform.processor.applyActivePower(eq.now());
+
+    const CycleRecord &rec = flows.lastCycle();
+    if (rec.contextSave)
+        profile.contextSaveLatency = rec.contextSave->latency;
+    if (rec.contextRestore)
+        profile.contextRestoreLatency = rec.contextRestore->latency;
+    profile.contextIntact = rec.contextIntact;
+
+    return profile;
+}
+
+double
+averagePowerEq1(const CyclePowerProfile &profile, Tick idle_dwell,
+                Tick active_cpu, Tick active_stall)
+{
+    const double idle_s = ticksToSeconds(idle_dwell);
+    const double cpu_s = ticksToSeconds(active_cpu);
+    const double stall_s = ticksToSeconds(active_stall);
+    const double trans_s =
+        ticksToSeconds(profile.entryLatency + profile.exitLatency);
+
+    const double energy = profile.entryEnergy + profile.exitEnergy +
+                          profile.idlePower * idle_s +
+                          profile.activePower * cpu_s +
+                          profile.stallPower * stall_s;
+    const double period = idle_s + cpu_s + stall_s + trans_s;
+    return period > 0 ? energy / period : 0.0;
+}
+
+double
+averagePowerEq1(const CyclePowerProfile &profile, Tick idle_dwell,
+                Tick active_total, double scalable_fraction)
+{
+    const Tick cpu = static_cast<Tick>(
+        static_cast<double>(active_total) * scalable_fraction);
+    return averagePowerEq1(profile, idle_dwell, cpu, active_total - cpu);
+}
+
+} // namespace odrips

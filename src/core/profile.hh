@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cycle power profile: the per-state powers and per-transition energies
+ * that feed Equation 1 (Sec. 2.3). Measuring the profile once per
+ * technique and then evaluating Eq. 1 analytically is exactly the
+ * paper's power-model methodology (Sec. 7) — and it is what makes the
+ * 10,000-point break-even residency sweep cheap.
+ */
+
+#ifndef ODRIPS_CORE_PROFILE_HH
+#define ODRIPS_CORE_PROFILE_HH
+
+#include "platform/config.hh"
+#include "platform/techniques.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Measured profile of one standby cycle. */
+struct CyclePowerProfile
+{
+    /** Battery power in the deep idle state. */
+    double idlePower = 0.0;
+    /** Battery power during the CPU-bound active segment. */
+    double activePower = 0.0;
+    /** Battery power during the memory-stall active segment. */
+    double stallPower = 0.0;
+
+    Tick entryLatency = 0;
+    Tick exitLatency = 0;
+    /** Battery energy of the whole entry / exit transition. */
+    double entryEnergy = 0.0;
+    double exitEnergy = 0.0;
+
+    /** Context save/restore latencies (zero without CTX offload). */
+    Tick contextSaveLatency = 0;
+    Tick contextRestoreLatency = 0;
+
+    bool contextIntact = true;
+
+    /** Energy overhead of one entry+exit pair relative to idling at
+     * idlePower for the same duration. */
+    double
+    transitionOverheadEnergy() const
+    {
+        const double transition_seconds =
+            ticksToSeconds(entryLatency + exitLatency);
+        return entryEnergy + exitEnergy -
+               idlePower * transition_seconds;
+    }
+};
+
+/**
+ * Measure the profile by running one full entry/exit cycle on a fresh
+ * platform built from @p cfg.
+ */
+CyclePowerProfile measureCycleProfile(const PlatformConfig &cfg,
+                                      const TechniqueSet &techniques);
+
+/**
+ * Equation 1: average battery power of a periodic standby cycle with
+ * the given idle dwell and active window (CPU + stall split).
+ */
+double averagePowerEq1(const CyclePowerProfile &profile, Tick idle_dwell,
+                       Tick active_cpu, Tick active_stall);
+
+/** Eq. 1 with the active window split per @p scalable_fraction. */
+double averagePowerEq1(const CyclePowerProfile &profile, Tick idle_dwell,
+                       Tick active_total, double scalable_fraction);
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_PROFILE_HH

@@ -1,0 +1,129 @@
+#include "core/standby_simulator.hh"
+
+namespace odrips
+{
+
+StandbySimulator::StandbySimulator(Platform &platform,
+                                   const TechniqueSet &techniques)
+    : p(platform), flows_(platform, techniques),
+      statGroup("standby"),
+      cycleCount(statGroup, "cycles", "standby cycles simulated"),
+      batteryEnergy(statGroup, "battery_energy",
+                    "battery energy drawn", "J"),
+      entryLatency(statGroup, "entry_latency",
+                   "idle-entry flow latency", "s"),
+      exitLatency(statGroup, "exit_latency", "idle-exit flow latency",
+                  "s"),
+      wakeDetect(statGroup, "wake_detect",
+                 "wake-event detection latency", 0.0, 40e-6, 40, "s"),
+      idleDwell(statGroup, "idle_dwell", "idle-state residency per "
+                                         "cycle",
+                "s")
+{
+}
+
+void
+StandbySimulator::runActiveWindow(const StandbyCycle &cycle)
+{
+    // CPU-bound segment at full core power.
+    const double core_hz = p.processor.coreFrequencyHz;
+    const Tick cpu_time = secondsToTicks(
+        static_cast<double>(cycle.cpuCycles) / core_hz);
+    p.processor.applyActivePower(p.now());
+    p.eq.run(p.now() + cpu_time);
+
+    // Memory/IO-stall segment: cores clock-gated.
+    if (cycle.stallTime > 0) {
+        p.processor.coresGfx.setPower(p.processor.stallPower(), p.now());
+        p.eq.run(p.now() + cycle.stallTime);
+        p.processor.applyActivePower(p.now());
+    }
+
+    // The active window mutates architectural state: refresh the
+    // context so every save/restore moves fresh bytes.
+    p.processor.context.touch();
+}
+
+StandbyResult
+StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
+{
+    ODRIPS_ASSERT(!trace.cycles.empty(), "empty standby trace");
+
+    StandbyResult result;
+    const Tick start = p.now();
+    p.accountant.reset(start);
+    if (arm_analyzer) {
+        p.analyzer.clear();
+        p.analyzer.arm();
+    }
+
+    Tick idle_time = 0;
+    Tick active_time = 0;
+    Tick transition_time = 0;
+    Tick entry_total = 0;
+    Tick exit_total = 0;
+
+    const double core_hz = p.processor.coreFrequencyHz;
+
+    for (const StandbyCycle &cycle : trace.cycles) {
+        const FlowResult entry = flows_.enterIdle();
+        entry_total += entry.latency();
+        transition_time += entry.latency();
+        entryLatency.sample(ticksToSeconds(entry.latency()));
+
+        if (result.idleBatteryPower == 0.0)
+            result.idleBatteryPower = flows_.idleBatteryPower();
+
+        // Dwell in the idle state until the wake event fires.
+        p.eq.run(p.now() + cycle.idleDwell);
+        idle_time += cycle.idleDwell;
+
+        const FlowResult exit = flows_.exitIdle(cycle.reason);
+        exit_total += exit.latency();
+        transition_time += exit.latency();
+        exitLatency.sample(ticksToSeconds(exit.latency()));
+        wakeDetect.sample(
+            ticksToSeconds(flows_.lastCycle().wakeDetectLatency));
+        idleDwell.sample(ticksToSeconds(cycle.idleDwell));
+        ++cycleCount;
+
+        if (result.activeBatteryPower == 0.0)
+            result.activeBatteryPower = p.batteryPower();
+
+        runActiveWindow(cycle);
+        active_time += cycle.activeDuration(core_hz);
+
+        result.contextIntact =
+            result.contextIntact && flows_.lastCycle().contextIntact;
+    }
+
+    const Tick end = p.now();
+    p.accountant.integrateTo(end);
+    if (arm_analyzer) {
+        p.analyzer.disarm();
+        result.analyzerAverage = p.analyzer.channel(0).average();
+    }
+
+    batteryEnergy += p.accountant.batteryEnergy();
+
+    result.simulatedTime = end - start;
+    result.cycles = trace.cycles.size();
+    result.averageBatteryPower =
+        p.accountant.batteryEnergy() / ticksToSeconds(end - start);
+
+    const double total = static_cast<double>(end - start);
+    result.idleResidency = static_cast<double>(idle_time) / total;
+    result.activeResidency = static_cast<double>(active_time) / total;
+    result.transitionResidency =
+        static_cast<double>(transition_time) / total;
+
+    result.meanEntryLatency =
+        entry_total / static_cast<Tick>(trace.cycles.size());
+    result.meanExitLatency =
+        exit_total / static_cast<Tick>(trace.cycles.size());
+
+    result.lastCycle = flows_.lastCycle();
+    return result;
+}
+
+} // namespace odrips

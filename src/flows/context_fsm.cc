@@ -1,0 +1,191 @@
+#include "flows/context_fsm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+/** 64 B aligned length covering @p n bytes. */
+std::uint64_t
+padTo64(std::uint64_t n)
+{
+    return (n + 63) & ~std::uint64_t{63};
+}
+
+} // namespace
+
+ContextTransferFsm::ContextTransferFsm(std::string name, Sram &sram,
+                                       MemoryController &controller,
+                                       std::uint64_t dram_offset,
+                                       Tick fsm_overhead)
+    : Named(std::move(name)), sram(sram), controller(controller),
+      dramOffset(dram_offset), fsmOverhead(fsm_overhead)
+{
+}
+
+Tick
+ContextTransferFsm::saveToSram(const ContextRegion &region, Tick now)
+{
+    (void)now;
+    ODRIPS_ASSERT(region.bytes.size() <= sram.capacityBytes(),
+                  name(), ": region larger than its S/R SRAM");
+    return sram.write(0, region.bytes.data(), region.bytes.size());
+}
+
+TransferResult
+ContextTransferFsm::restoreFromSram(ContextRegion &region, Tick now)
+{
+    (void)now;
+    TransferResult r;
+    r.bytes = region.bytes.size();
+    const std::uint64_t expected = region.checksum();
+    r.latency = sram.read(0, region.bytes.data(), region.bytes.size());
+    r.intact = region.checksum() == expected;
+    return r;
+}
+
+TransferResult
+ContextTransferFsm::save(const ContextRegion &region, Tick now)
+{
+    TransferResult r;
+    const std::uint64_t len = region.bytes.size();
+    r.bytes = len;
+
+    // Stream out of the SRAM...
+    std::vector<std::uint8_t> buffer(padTo64(len), 0);
+    const Tick sram_latency = sram.read(0, buffer.data(), len);
+
+    // ... and through the memory controller into the protected range.
+    const RangeRegister &range = controller.protectedRange();
+    const std::uint64_t addr = range.base + dramOffset;
+    const RoutedAccess routed =
+        controller.write(addr, buffer.data(), buffer.size(), now);
+    ODRIPS_ASSERT(routed.secure,
+                  name(), ": context save bypassed the MEE");
+
+    // The FSM pipelines SRAM reads with DRAM writes; the slower side
+    // dominates, plus a fixed sequencing overhead.
+    r.latency = std::max(sram_latency, routed.result.latency) + fsmOverhead;
+    return r;
+}
+
+TransferResult
+ContextTransferFsm::restore(ContextRegion &region, Tick now)
+{
+    TransferResult r;
+    const std::uint64_t len = region.bytes.size();
+    r.bytes = len;
+
+    const std::uint64_t expected = region.checksum();
+
+    const RangeRegister &range = controller.protectedRange();
+    const std::uint64_t addr = range.base + dramOffset;
+    std::vector<std::uint8_t> buffer(padTo64(len), 0);
+    const RoutedAccess routed =
+        controller.read(addr, buffer.data(), buffer.size(), now);
+    ODRIPS_ASSERT(routed.secure,
+                  name(), ": context restore bypassed the MEE");
+    r.authentic = routed.authentic;
+
+    // Back into the SRAM, then into the architectural state.
+    const Tick sram_latency = sram.write(0, buffer.data(), len);
+    std::copy_n(buffer.begin(), len, region.bytes.begin());
+
+    r.intact = r.authentic && region.checksum() == expected;
+    r.latency = std::max(routed.result.latency, sram_latency) + fsmOverhead;
+    return r;
+}
+
+BootFsm::BootFsm(std::string name, Sram &boot_sram, Mee &mee,
+                 MemoryController &controller, Tick restore_latency)
+    : Named(std::move(name)), bootSram(boot_sram), mee(mee),
+      controller(controller), restoreLatency(restore_latency)
+{
+}
+
+Tick
+BootFsm::save(const ContextRegion &boot_region, Tick now)
+{
+    // Boot context layout: [MEE root | PMU/MC state...]. The MEE root
+    // (counter + key) must survive so restored context stays fresh.
+    std::uint8_t root[MeeRootState::storageBytes];
+    mee.exportRoot().serialize(root);
+
+    ODRIPS_ASSERT(boot_region.bytes.size() + sizeof(root) <=
+                      bootSram.capacityBytes(),
+                  name(), ": boot context exceeds Boot SRAM");
+
+    bootSram.setState(SramState::Active, now);
+    Tick latency = bootSram.write(0, root, sizeof(root));
+    latency += bootSram.write(sizeof(root), boot_region.bytes.data(),
+                              boot_region.bytes.size());
+    bootSram.setState(SramState::Retention, now + latency);
+    return latency;
+}
+
+Tick
+BootFsm::restore(const ContextRegion &boot_region, Tick now, bool &intact)
+{
+    const std::uint64_t expected = boot_region.checksum();
+
+    bootSram.setState(SramState::Active, now);
+    std::uint8_t root[MeeRootState::storageBytes];
+    Tick latency = bootSram.read(0, root, sizeof(root));
+
+    std::vector<std::uint8_t> state(boot_region.bytes.size());
+    latency += bootSram.read(sizeof(root), state.data(), state.size());
+    bootSram.setState(SramState::Retention, now);
+
+    // Bring the MEE and the memory controller back to life.
+    mee.importRoot(MeeRootState::deserialize(root));
+    controller.setPowered(true);
+
+    intact = ContextRegion{state}.checksum() == expected;
+    return latency + restoreLatency;
+}
+
+EmramContextPath::EmramContextPath(std::string name, Emram &emram)
+    : Named(std::move(name)), emram(emram)
+{
+}
+
+TransferResult
+EmramContextPath::save(const ContextRegion &sa, const ContextRegion &cores,
+                       Tick now)
+{
+    TransferResult r;
+    r.bytes = sa.bytes.size() + cores.bytes.size();
+    emram.setPowered(true, now);
+    r.latency = emram.write(0, sa.bytes.data(), sa.bytes.size());
+    r.latency += emram.write(sa.bytes.size(), cores.bytes.data(),
+                             cores.bytes.size());
+    emram.setPowered(false, now + r.latency);
+    return r;
+}
+
+TransferResult
+EmramContextPath::restore(ContextRegion &sa, ContextRegion &cores,
+                          Tick now)
+{
+    TransferResult r;
+    r.bytes = sa.bytes.size() + cores.bytes.size();
+    const std::uint64_t expected_sa = sa.checksum();
+    const std::uint64_t expected_cores = cores.checksum();
+
+    emram.setPowered(true, now);
+    r.latency = emram.read(0, sa.bytes.data(), sa.bytes.size());
+    r.latency += emram.read(sa.bytes.size(), cores.bytes.data(),
+                            cores.bytes.size());
+    emram.setPowered(false, now + r.latency);
+
+    r.intact = sa.checksum() == expected_sa &&
+               cores.checksum() == expected_cores;
+    return r;
+}
+
+} // namespace odrips

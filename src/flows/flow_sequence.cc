@@ -1,0 +1,66 @@
+#include "flows/flow_sequence.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+FlowStep
+makeStep(std::string name, Tick duration, std::function<void(Tick)> action)
+{
+    ODRIPS_ASSERT(duration >= 0, "negative step duration");
+    return FlowStep{
+        std::move(name),
+        [duration, action = std::move(action)](Tick start) {
+            if (action)
+                action(start);
+            return duration;
+        },
+    };
+}
+
+Tick
+FlowResult::stepDuration(const std::string &name) const
+{
+    for (const StepRecord &r : steps) {
+        if (r.name == name)
+            return r.duration;
+    }
+    return 0;
+}
+
+FlowResult
+FlowSequence::execute(EventQueue &eq) const
+{
+    FlowResult result;
+    result.started = eq.now();
+
+    bool done = steps.empty();
+    std::size_t index = 0;
+
+    Event step_event(name_ + ".step", [&] {
+        if (index >= steps.size()) {
+            done = true;
+            return;
+        }
+        const FlowStep &step = steps[index];
+        const Tick start = eq.now();
+        const Tick duration = step.run(start);
+        ODRIPS_ASSERT(duration >= 0, name_, ": step '", step.name,
+                      "' returned negative duration");
+        result.steps.push_back(StepRecord{step.name, start, duration});
+        ++index;
+        eq.scheduleAfter(step_event, duration);
+    });
+
+    eq.scheduleAfter(step_event, 0);
+    while (!done) {
+        if (!eq.step())
+            panic(name_, ": event queue drained before flow completion");
+    }
+
+    result.completed = eq.now();
+    return result;
+}
+
+} // namespace odrips

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ordered firmware flow execution.
+ *
+ * The PMU orchestrates DRIPS entry/exit as an ordered sequence of steps
+ * (Sec. 2.2). A FlowStep performs its side effects at its start tick
+ * and returns its duration (durations may depend on the start tick —
+ * e.g. waiting for a 32 kHz clock edge). The sequence executes on the
+ * event queue, so measurement events interleave naturally.
+ */
+
+#ifndef ODRIPS_FLOWS_FLOW_SEQUENCE_HH
+#define ODRIPS_FLOWS_FLOW_SEQUENCE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** One step of a firmware flow. */
+struct FlowStep
+{
+    std::string name;
+    /** Perform the step's side effects at @p start; return duration. */
+    std::function<Tick(Tick start)> run;
+};
+
+/** A FlowStep with a fixed duration and a side-effect action. */
+FlowStep makeStep(std::string name, Tick duration,
+                  std::function<void(Tick)> action = {});
+
+/** Timing record of one executed step. */
+struct StepRecord
+{
+    std::string name;
+    Tick start = 0;
+    Tick duration = 0;
+};
+
+/** Result of a completed flow. */
+struct FlowResult
+{
+    Tick started = 0;
+    Tick completed = 0;
+    std::vector<StepRecord> steps;
+
+    Tick latency() const { return completed - started; }
+
+    /** Duration of the named step (0 if absent). */
+    Tick stepDuration(const std::string &name) const;
+};
+
+/** An ordered sequence of flow steps. */
+class FlowSequence
+{
+  public:
+    explicit FlowSequence(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void
+    add(FlowStep step)
+    {
+        steps.push_back(std::move(step));
+    }
+
+    void
+    addFixed(std::string step_name, Tick duration,
+             std::function<void(Tick)> action = {})
+    {
+        add(makeStep(std::move(step_name), duration, std::move(action)));
+    }
+
+    std::size_t size() const { return steps.size(); }
+
+    /**
+     * Execute all steps back-to-back on the event queue, starting now.
+     * Runs the queue until the flow completes (other pending events
+     * interleave). @return the timing record.
+     */
+    FlowResult execute(EventQueue &eq) const;
+
+  private:
+    std::string name_;
+    std::vector<FlowStep> steps;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_FLOWS_FLOW_SEQUENCE_HH

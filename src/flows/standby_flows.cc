@@ -1,0 +1,458 @@
+#include "flows/standby_flows.hh"
+
+namespace odrips
+{
+
+StandbyFlows::StandbyFlows(Platform &platform,
+                           const TechniqueSet &techniques)
+    : Named(platform.name() + ".flows"),
+      p(platform), tech(techniques),
+      saFsm(p.name() + ".sa_fsm", p.processor.saSram,
+            *p.memoryController, 0),
+      llcFsm(p.name() + ".llc_fsm", p.processor.coresSram,
+             *p.memoryController, p.cfg.saContextBytes),
+      bootFsm(p.name() + ".boot_fsm", p.processor.bootSram, *p.mee,
+              *p.memoryController, p.cfg.timings.bootFsmRestore),
+      emramPath(p.name() + ".emram_path", *p.emram)
+{
+    tech.validate();
+
+    if (tech.aonIoGate) {
+        p.chipset.claimOdripsPins();
+        fet = std::make_unique<FetGate>(
+            p.name() + ".aon_fet", p.processor.aonIos, p.chipset.gpios,
+            p.chipset.fetControlPin, &p.board.fetLeakage, 0.003,
+            p.cfg.timings.fetSwitch);
+        // The EC thermal line moves to a chipset GPIO sampled with the
+        // 32 kHz clock (Sec. 5.2).
+        thermal = std::make_unique<ThermalMonitor>(
+            p.name() + ".thermal_monitor", p.chipset.gpios,
+            p.chipset.thermalPin, p.chipset.slowClock);
+    }
+
+    if (tech.wakeupOff) {
+        // One-time Step calibration after reset (Sec. 4.1.3). The
+        // calibration itself takes tens of seconds of wall-clock but
+        // happens once per boot, outside the standby cycles.
+        StepCalibrator calibrator(p.board.xtal24, p.board.xtal32);
+        const unsigned f = StepCalibrator::requiredFractionBits(
+            p.board.xtal24.nominalHz(), p.board.xtal32.nominalHz(),
+            p.cfg.timerPrecisionCycles);
+        calib = calibrator.calibrate(f);
+        p.chipset.wakeTimer.applyCalibration(*calib);
+    }
+}
+
+double
+StandbyFlows::idleBatteryPower() const
+{
+    ODRIPS_ASSERT(idle, name(), ": idle power read while not idle");
+    return p.batteryPower();
+}
+
+void
+StandbyFlows::applyFinalIdleLevels(Tick now)
+{
+    const DripsPowerBudget &dp = p.cfg.dripsPower;
+
+    p.processor.transition.setPower(0.0, now);
+    p.processor.pmuActive.setPower(0.0, now);
+    p.processor.systemAgent.setPower(0.0, now);
+    p.processor.llc.setPower(0.0, now);
+    p.processor.coresGfx.setPower(0.0, now);
+
+    // Wake monitoring stays on the processor only in the baseline.
+    p.processor.wakeTimer.setPower(
+        tech.wakeupOff ? 0.0 : dp.procWakeTimer, now);
+
+    if (tech.contextOffload) {
+        // With eMRAM the NVM replaces the SRAM arrays outright, so
+        // only control/range-register retention remains.
+        const double residual =
+            tech.contextStorage == ContextStorage::Emram
+                ? p.cfg.emramResidualFraction
+                : p.cfg.srSramResidualFraction;
+        p.processor.srResidual.setPower(
+            (dp.srSramSa + dp.srSramCores) * residual, now);
+    } else {
+        p.processor.srResidual.setPower(0.0, now);
+    }
+
+    p.chipset.applyIdlePower(now, tech.wakeupOff);
+    p.board.applyIdlePower(now);
+}
+
+FlowSequence
+StandbyFlows::buildEntryFlow()
+{
+    const FlowTimings &t = p.cfg.timings;
+    const double transition = p.cfg.activePower.transitionNominal;
+    FlowSequence flow(name() + ".entry");
+
+    // 1. Compute domains enter their deepest state; their context is
+    //    saved into the cores/GFX S/R SRAM (Sec. 2.2).
+    flow.add({"compute-context-save", [this, transition](Tick now) {
+        p.processor.applyComputeIdle(now);
+        p.processor.transition.setPower(transition, now);
+        p.memory->setActiveTraffic(0.0, now);
+        return llcFsm.saveToSram(p.processor.context.cores(), now);
+    }});
+
+    // 2. PMU evaluates LTR/TNTE and selects DRIPS as the target state.
+    flow.addFixed("firmware-decision", t.firmwareDecision);
+
+    // Technique firmware negotiation (runs at transition power; this
+    // is the bulk of each technique's energy overhead).
+    if (tech.wakeupOff)
+        flow.addFixed("wakeup-entry-firmware", t.wakeupEntryFirmware);
+    if (tech.aonIoGate)
+        flow.addFixed("aon-gate-entry-firmware", t.aonGateEntryFirmware);
+    if (tech.contextOffload)
+        flow.addFixed("ctx-entry-firmware", t.ctxEntryFirmware);
+
+    // 3. Flush the LLC into DRAM (entry step 1 of Sec. 2.2).
+    flow.add({"llc-flush", [this](Tick) {
+        const double dirty_bytes =
+            static_cast<double>(p.cfg.llcBytes) * p.cfg.llcDirtyFraction;
+        return secondsToTicks(dirty_bytes / p.cfg.mainMemoryBandwidth() +
+                              2e-6);
+    }});
+
+    // 4. Compute-domain voltage regulators off (entry step 2).
+    flow.add({"vr-compute-off", [this, t](Tick now) {
+        p.processor.llc.setPower(0.0, now);
+        return t.vrRampDown;
+    }});
+
+    // 5. SA context into the SA S/R SRAM (entry step 3).
+    flow.add({"sa-context-save", [this](Tick now) {
+        return saFsm.saveToSram(p.processor.context.sa(), now);
+    }});
+
+    // Technique 3: flush both context regions off-chip, save the boot
+    // subset, then power the S/R SRAMs off entirely.
+    if (tech.contextOffload) {
+        // The context flush runs with only the memory path powered
+        // (SA + memory controller + MEE); compute rails are already
+        // down, so only a fraction of the fabric burns power.
+        flow.add({"memory-path-power", [this, transition](Tick now) {
+            p.processor.transition.setPower(transition * 0.35, now);
+            return Tick{0};
+        }});
+        if (tech.contextStorage == ContextStorage::Dram) {
+            flow.add({"ctx-flush-sa", [this](Tick now) {
+                const TransferResult r =
+                    saFsm.save(p.processor.context.sa(), now);
+                record.contextSave = r;
+                return r.latency;
+            }});
+            flow.add({"ctx-flush-cores", [this](Tick now) {
+                const TransferResult r =
+                    llcFsm.save(p.processor.context.cores(), now);
+                if (record.contextSave) {
+                    record.contextSave->latency += r.latency;
+                    record.contextSave->bytes += r.bytes;
+                }
+                return r.latency;
+            }});
+            flow.add({"boot-context-save", [this](Tick now) {
+                return bootFsm.save(p.processor.context.boot(), now);
+            }});
+        } else if (tech.contextStorage == ContextStorage::Emram) {
+            flow.add({"ctx-emram-save", [this](Tick now) {
+                const TransferResult r = emramPath.save(
+                    p.processor.context.sa(), p.processor.context.cores(),
+                    now);
+                record.contextSave = r;
+                return r.latency;
+            }});
+        }
+        flow.add({"sr-srams-off", [this](Tick now) {
+            p.processor.saSram.setState(SramState::Off, now);
+            p.processor.coresSram.setState(SramState::Off, now);
+            return oneUs;
+        }});
+    } else {
+        // Baseline: the SRAMs drop to retention voltage.
+        flow.add({"sr-srams-retention", [this](Tick now) {
+            p.processor.saSram.setState(SramState::Retention, now);
+            p.processor.coresSram.setState(SramState::Retention, now);
+            return oneUs;
+        }});
+    }
+
+    // 6. DRAM into self-refresh via CKE (entry step 4); with a DRAM
+    //    context the MEE must write back its cached metadata first.
+    flow.add({"dram-self-refresh", [this](Tick now) {
+        Tick latency = 0;
+        if (tech.contextOffload &&
+            tech.contextStorage == ContextStorage::Dram) {
+            latency += p.mee->flush(now);
+            p.mee->powerOff();
+            p.memoryController->setPowered(false);
+        }
+        latency += p.memory->enterRetention(now + latency);
+        return latency;
+    }});
+
+    // 7. Technique 1: migrate the timer to the chipset and switch to
+    //    the slow clock (entry step 5 replaces "keep 24 MHz running").
+    if (tech.wakeupOff) {
+        flow.add({"timer-migrate", [this, transition](Tick now) {
+            // By this point only the PMU fabric slice is still up.
+            p.processor.transition.setPower(transition * 0.25, now);
+            // Main timer value travels over the PML.
+            const PmlTransfer xfer = p.pml.transfer(2, now);
+            p.chipset.wakeTimer.loadFromProcessor(
+                p.processor.tsc.valueAt(now), xfer.delivered);
+            p.processor.tsc.halt(xfer.delivered);
+
+            // Switch counting to the 32 kHz slow timer; this waits for
+            // a slow-clock rising edge and then kills the 24 MHz XTAL.
+            const HandoverRecord rec =
+                p.chipset.wakeTimer.switchToSlow(xfer.delivered);
+            record.toSlow = rec;
+
+            p.board.syncXtalPower(rec.completed);
+            return rec.completed - now;
+        }});
+    }
+
+    // 8. Technique 2: the chipset takes the IO functions and opens the
+    //    FET, power-gating the processor's AON IOs.
+    if (tech.aonIoGate) {
+        flow.add({"aon-io-gate", [this](Tick now) {
+            p.pml.setUp(false);
+            return fet->open(now);
+        }});
+    }
+
+    // 9. PMU rail off and power-gating (entry step 6); power decays
+    //    through the gating sequence.
+    flow.add({"pmu-gate", [this, t, transition](Tick now) {
+        p.processor.transition.setPower(transition * 0.25, now);
+        p.processor.systemAgent.setPower(0.0, now);
+        return t.pmuGate;
+    }});
+
+    flow.add({"idle-entered", [this](Tick now) {
+        applyFinalIdleLevels(now);
+        return Tick{0};
+    }});
+
+    return flow;
+}
+
+Tick
+StandbyFlows::wakeDetectLatency(WakeReason reason, Tick now) const
+{
+    const Tick base = p.cfg.timings.wakeDetect;
+    if (!tech.wakeupOff) {
+        // Baseline: continuous monitoring on the 24 MHz clock; the
+        // sampling granularity (~42 ns) is negligible.
+        return base;
+    }
+    // ODRIPS: every wake source is observed on 32 kHz edges. Timer
+    // wakes are already edge-aligned by the slow timer; external
+    // events land mid-period and wait for the next edge.
+    switch (reason) {
+      case WakeReason::KernelTimer:
+        return base;
+      case WakeReason::Network:
+        return p.chipset.slowClock.nextEdge(now) - now + base;
+      case WakeReason::User:
+        return p.chipset.slowClock.nextEdge(now) - now + base;
+    }
+    return base;
+}
+
+FlowSequence
+StandbyFlows::buildExitFlow(WakeReason reason)
+{
+    const FlowTimings &t = p.cfg.timings;
+    const double transition = p.cfg.activePower.transitionNominal;
+    FlowSequence flow(name() + ".exit");
+
+    // 1. The wake hub (chipset in ODRIPS, PMU in baseline) detects the
+    //    wake event; external events offloaded to the chipset are
+    //    sampled with the 32 kHz clock while in ODRIPS.
+    flow.add({"wake-detect", [this, reason](Tick now) {
+        Tick latency;
+        if (thermal && tech.wakeupOff &&
+            reason != WakeReason::KernelTimer &&
+            thermal->lineAsserted()) {
+            // Offloaded EC line, sampled on the next 32 kHz edge.
+            latency = thermal->detectionTick(now) - now +
+                      p.cfg.timings.wakeDetect;
+        } else {
+            latency = wakeDetectLatency(reason, now);
+        }
+        record.wakeReason = reason;
+        record.wakeDetectLatency = latency;
+        return latency;
+    }});
+
+    // 2. Technique 1: restart the 24 MHz crystal and hand counting
+    //    back to the fast timer.
+    if (tech.wakeupOff) {
+        flow.add({"timer-to-fast", [this](Tick now) {
+            const HandoverRecord rec =
+                p.chipset.wakeTimer.switchToFast(now);
+            record.toFast = rec;
+            p.board.syncXtalPower(now); // crystal restarting draws power
+            p.chipset.applyIdlePower(rec.completed, false);
+            return rec.completed - now;
+        }});
+    }
+
+    // 3. Technique 2: close the FET, restoring the AON IO rail, then
+    //    bring the PML back up.
+    if (tech.aonIoGate) {
+        flow.add({"aon-io-ungate", [this](Tick now) {
+            const Tick latency = fet->close(now);
+            p.pml.setUp(true);
+            return latency;
+        }});
+    }
+
+    // 4. Technique 1: deliver the timer value back to the processor
+    //    over the PML (with the deterministic-latency compensation).
+    if (tech.wakeupOff) {
+        flow.add({"timer-to-processor", [this](Tick now) {
+            const PmlTransfer xfer = p.pml.transfer(2, now);
+            p.processor.tsc.load(
+                p.chipset.wakeTimer.deliverToProcessor(now),
+                xfer.delivered);
+            return xfer.delivered - now;
+        }});
+    }
+
+    // 5. Boot FSM: restore PMU, memory controller, and MEE state from
+    //    the Boot SRAM — before any protected DRAM access (Sec. 6.2).
+    if (tech.contextOffload &&
+        tech.contextStorage == ContextStorage::Dram) {
+        flow.add({"boot-fsm-restore", [this](Tick now) {
+            bool intact = true;
+            const Tick latency =
+                bootFsm.restore(p.processor.context.boot(), now, intact);
+            record.contextIntact = record.contextIntact && intact;
+            return latency;
+        }});
+    }
+
+    // 6. The SA/memory rail comes up first: the context must be back
+    //    before the compute domains can be restored.
+    flow.add({"sa-rail-up", [this, transition](Tick now) {
+        p.processor.transition.setPower(transition * 0.35, now);
+        p.processor.pmuActive.setPower(p.cfg.activePower.pmu, now);
+        return 10 * oneUs;
+    }});
+
+    // 7. DRAM leaves self-refresh (reverse of entry step 4).
+    flow.add({"dram-exit-self-refresh", [this](Tick now) {
+        return p.memory->exitRetention(now);
+    }});
+
+    // 8. Context restore.
+    if (tech.contextOffload) {
+        if (tech.contextStorage == ContextStorage::Dram) {
+            flow.add({"ctx-restore-sa", [this](Tick now) {
+                p.processor.saSram.setState(SramState::Active, now);
+                const TransferResult r =
+                    saFsm.restore(p.processor.context.sa(), now);
+                record.contextRestore = r;
+                record.contextIntact = record.contextIntact && r.intact;
+                return r.latency;
+            }});
+            flow.add({"ctx-restore-cores", [this](Tick now) {
+                p.processor.coresSram.setState(SramState::Active, now);
+                const TransferResult r =
+                    llcFsm.restore(p.processor.context.cores(), now);
+                if (record.contextRestore) {
+                    record.contextRestore->latency += r.latency;
+                    record.contextRestore->bytes += r.bytes;
+                    record.contextRestore->authentic =
+                        record.contextRestore->authentic && r.authentic;
+                }
+                record.contextIntact = record.contextIntact && r.intact;
+                return r.latency;
+            }});
+        } else if (tech.contextStorage == ContextStorage::Emram) {
+            flow.add({"ctx-emram-restore", [this](Tick now) {
+                p.processor.saSram.setState(SramState::Active, now);
+                p.processor.coresSram.setState(SramState::Active, now);
+                const TransferResult r = emramPath.restore(
+                    p.processor.context.sa(), p.processor.context.cores(),
+                    now);
+                record.contextRestore = r;
+                record.contextIntact = record.contextIntact && r.intact;
+                return r.latency;
+            }});
+        }
+    } else {
+        flow.add({"sa-restore-from-sram", [this](Tick now) {
+            p.processor.saSram.setState(SramState::Active, now);
+            const TransferResult r = saFsm.restoreFromSram(
+                p.processor.context.sa(), now);
+            record.contextIntact = record.contextIntact && r.intact;
+            return r.latency;
+        }});
+        flow.add({"cores-restore-from-sram", [this](Tick now) {
+            p.processor.coresSram.setState(SramState::Active, now);
+            const TransferResult r = llcFsm.restoreFromSram(
+                p.processor.context.cores(), now);
+            record.contextIntact = record.contextIntact && r.intact;
+            return r.latency;
+        }});
+    }
+
+    // 9. Main (compute) voltage regulators ramp back up.
+    flow.add({"vr-ramp-up", [this, t, transition](Tick now) {
+        p.processor.transition.setPower(transition, now);
+        return t.vrRampUp;
+    }});
+
+    // Technique exit firmware (re-arming, state bookkeeping).
+    if (tech.wakeupOff)
+        flow.addFixed("wakeup-exit-firmware", t.wakeupExitFirmware);
+    if (tech.aonIoGate)
+        flow.addFixed("aon-gate-exit-firmware", t.aonGateExitFirmware);
+    if (tech.contextOffload)
+        flow.addFixed("ctx-exit-firmware", t.ctxExitFirmware);
+
+    // 9. Cores out of their deep state; platform back at C0 levels.
+    flow.add({"platform-active", [this](Tick now) {
+        p.processor.transition.setPower(0.0, now);
+        p.processor.applyActivePower(now);
+        p.chipset.applyActivePower(now);
+        p.board.applyActivePower(now);
+        p.memory->setActiveTraffic(
+            p.cfg.activePower.activeMemoryTraffic, now);
+        return Tick{0};
+    }});
+
+    return flow;
+}
+
+FlowResult
+StandbyFlows::enterIdle()
+{
+    ODRIPS_ASSERT(!idle, name(), ": already idle");
+    record = CycleRecord{};
+    const FlowSequence flow = buildEntryFlow();
+    record.entry = flow.execute(p.eq);
+    idle = true;
+    return record.entry;
+}
+
+FlowResult
+StandbyFlows::exitIdle(WakeReason reason)
+{
+    ODRIPS_ASSERT(idle, name(), ": not idle");
+    const FlowSequence flow = buildExitFlow(reason);
+    record.exit = flow.execute(p.eq);
+    idle = false;
+    return record.exit;
+}
+
+} // namespace odrips

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * DRIPS / ODRIPS entry and exit flows.
+ *
+ * Implements the six-step baseline entry flow and its exit counterpart
+ * (paper Sec. 2.2), extended by the three ODRIPS techniques:
+ *
+ *  - WAKE-UP-OFF: after the platform is otherwise down, the main timer
+ *    migrates over the PML into the chipset's fast timer, counting
+ *    switches to the 32 kHz slow timer on a slow-clock edge, and the
+ *    24 MHz crystal turns off (Sec. 4, Fig. 3).
+ *  - AON-IO-GATE: the chipset takes over the thermal/PML/VR-serial/
+ *    debug IO functions and opens the board FET, cutting the
+ *    processor's AON IO rail (Sec. 5).
+ *  - CTX offload: the SA/LLC FSMs flush the ~200 KB context through
+ *    the MEE into protected DRAM (or into eMRAM), the Boot FSM saves
+ *    the ~1 KB boot subset, and the S/R SRAMs power off (Sec. 6).
+ *
+ * Exit reverses everything in the required order (Boot FSM before any
+ * protected DRAM access; IO ungating before PML traffic).
+ */
+
+#ifndef ODRIPS_FLOWS_STANDBY_FLOWS_HH
+#define ODRIPS_FLOWS_STANDBY_FLOWS_HH
+
+#include <memory>
+#include <optional>
+
+#include "flows/context_fsm.hh"
+#include "flows/flow_sequence.hh"
+#include "io/fet_gate.hh"
+#include "platform/platform.hh"
+#include "io/thermal_monitor.hh"
+#include "platform/techniques.hh"
+#include "timing/step_calibrator.hh"
+#include "workload/wake_source.hh"
+
+namespace odrips
+{
+
+/** Records from the most recent entry/exit pair. */
+struct CycleRecord
+{
+    FlowResult entry;
+    FlowResult exit;
+    std::optional<TransferResult> contextSave;
+    std::optional<TransferResult> contextRestore;
+    std::optional<HandoverRecord> toSlow;
+    std::optional<HandoverRecord> toFast;
+    /** What woke the platform and how long detection took. */
+    WakeReason wakeReason = WakeReason::KernelTimer;
+    Tick wakeDetectLatency = 0;
+    /** End-to-end context verification for the cycle. */
+    bool contextIntact = true;
+};
+
+/** Builds and runs the standby flows for one platform + technique set. */
+class StandbyFlows : public Named
+{
+  public:
+    StandbyFlows(Platform &platform, const TechniqueSet &techniques);
+
+    const TechniqueSet &techniques() const { return tech; }
+
+    /**
+     * Run the full entry flow (C0 -> DRIPS/ODRIPS) on the platform's
+     * event queue, starting now.
+     */
+    FlowResult enterIdle();
+
+    /**
+     * Run the full exit flow (DRIPS/ODRIPS -> C0).
+     *
+     * @param reason what woke the platform. In ODRIPS the chipset is
+     * the wake hub and samples external events with the 32 kHz clock,
+     * so detection gains up to one slow period of latency; baseline
+     * DRIPS monitors continuously on the 24 MHz clock.
+     */
+    FlowResult exitIdle(WakeReason reason = WakeReason::KernelTimer);
+
+    /** True while the platform sits in the idle state. */
+    bool inIdleState() const { return idle; }
+
+    /** Records of the last completed entry/exit pair. */
+    const CycleRecord &lastCycle() const { return record; }
+
+    /** The Step calibration performed at reset (WAKE-UP-OFF only). */
+    const std::optional<CalibrationResult> &calibration() const
+    {
+        return calib;
+    }
+
+    /** FET gate (present when AON IO gating is enabled). */
+    const FetGate *fetGate() const { return fet.get(); }
+
+    /** Thermal monitor (present when the thermal IO is offloaded to
+     * the chipset, i.e. with AON IO gating). */
+    const ThermalMonitor *thermalMonitor() const { return thermal.get(); }
+
+    /** Detection latency of a wake of @p reason asserted at @p now. */
+    Tick wakeDetectLatency(WakeReason reason, Tick now) const;
+
+    /**
+     * Battery power measured at the platform level while in the idle
+     * state (call between enterIdle and exitIdle).
+     */
+    double idleBatteryPower() const;
+
+  private:
+    FlowSequence buildEntryFlow();
+    FlowSequence buildExitFlow(WakeReason reason);
+
+    void applyFinalIdleLevels(Tick now);
+
+    Platform &p;
+    TechniqueSet tech;
+
+    ContextTransferFsm saFsm;
+    ContextTransferFsm llcFsm;
+    BootFsm bootFsm;
+    EmramContextPath emramPath;
+    std::unique_ptr<FetGate> fet;
+    std::unique_ptr<ThermalMonitor> thermal;
+    std::optional<CalibrationResult> calib;
+
+    CycleRecord record;
+    bool idle = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_FLOWS_STANDBY_FLOWS_HH

@@ -1,0 +1,52 @@
+#include "io/aon_io.hh"
+
+namespace odrips
+{
+
+const char *
+to_string(AonIoFunction f)
+{
+    switch (f) {
+      case AonIoFunction::Clock24Buffers: return "24MHz clock buffers";
+      case AonIoFunction::PmlProcessorSide: return "PML (processor side)";
+      case AonIoFunction::ThermalReport: return "thermal report";
+      case AonIoFunction::VrSerial: return "VR serial interface";
+      case AonIoFunction::Debug: return "debug interface";
+    }
+    return "?";
+}
+
+AonIoBank::AonIoBank(std::string name, PowerComponent *comp,
+                     double total_power)
+    : Named(std::move(name)), comp(comp), totalPower(total_power)
+{
+    if (comp)
+        comp->setPower(totalPower, 0);
+}
+
+double
+AonIoBank::functionPower(AonIoFunction f) const
+{
+    // Share of bank power by function (clock buffers dominate because
+    // they toggle at 24 MHz; the rest is mostly pad leakage).
+    switch (f) {
+      case AonIoFunction::Clock24Buffers: return totalPower * 0.40;
+      case AonIoFunction::PmlProcessorSide: return totalPower * 0.25;
+      case AonIoFunction::ThermalReport: return totalPower * 0.10;
+      case AonIoFunction::VrSerial: return totalPower * 0.15;
+      case AonIoFunction::Debug: return totalPower * 0.10;
+    }
+    return 0.0;
+}
+
+void
+AonIoBank::setPowered(bool powered, Tick now)
+{
+    if (powered == on)
+        return;
+    on = powered;
+    if (comp)
+        comp->setPower(on ? totalPower : 0.0, now);
+}
+
+} // namespace odrips

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Processor always-on (AON) IO bank.
+ *
+ * The IOs that stay powered in baseline DRIPS (paper Sec. 5): 24 MHz
+ * differential clock buffers, the two PML interfaces, thermal reporting
+ * from the embedded controller, the voltage-regulator control serial
+ * interface, and the debug interface. In ODRIPS the whole bank is
+ * power-gated by an on-board FET once its functions are offloaded to
+ * the chipset.
+ */
+
+#ifndef ODRIPS_IO_AON_IO_HH
+#define ODRIPS_IO_AON_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "power/component.hh"
+#include "sim/logging.hh"
+#include "sim/named.hh"
+
+namespace odrips
+{
+
+/** The functions hosted on the processor's AON IO bank. */
+enum class AonIoFunction
+{
+    Clock24Buffers,  ///< differential 24 MHz clock buffers
+    PmlProcessorSide,///< both PML interfaces, processor side
+    ThermalReport,   ///< embedded-controller thermal interface
+    VrSerial,        ///< voltage-regulator control serial interface
+    Debug,           ///< debug interface
+};
+
+/** Printable function name. */
+const char *to_string(AonIoFunction f);
+
+/** The bank of AON IOs with per-function power. */
+class AonIoBank : public Named
+{
+  public:
+    /**
+     * @param name  instance name
+     * @param comp  power component accounting the bank's draw
+     * @param total_power nominal power of the whole bank when powered
+     */
+    AonIoBank(std::string name, PowerComponent *comp, double total_power);
+
+    /** Per-function share of the bank power. */
+    double functionPower(AonIoFunction f) const;
+
+    /** Total bank power when powered. */
+    double ratedPower() const { return totalPower; }
+
+    bool powered() const { return on; }
+
+    /**
+     * Power the bank on/off at @p now. Called by the FET gate. While
+     * off, none of the IO functions may be used.
+     */
+    void setPowered(bool powered, Tick now);
+
+    /** Check that a function is usable (powered). */
+    void
+    requireFunction(AonIoFunction f) const
+    {
+        ODRIPS_ASSERT(on, name(), ": IO function '", to_string(f),
+                      "' used while power-gated");
+    }
+
+  private:
+    PowerComponent *comp;
+    double totalPower;
+    bool on = true;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_IO_AON_IO_HH

@@ -1,0 +1,92 @@
+#include "io/gpio.hh"
+
+namespace odrips
+{
+
+GpioBank::GpioBank(std::string name, unsigned pin_count)
+    : Named(std::move(name)), pins(pin_count)
+{
+}
+
+void
+GpioBank::checkPin(unsigned pin) const
+{
+    ODRIPS_ASSERT(pin < pins.size(), name(), ": bad GPIO index ", pin);
+}
+
+unsigned
+GpioBank::sparePins() const
+{
+    unsigned spare = 0;
+    for (const Pin &p : pins) {
+        if (p.dir == GpioDirection::Unassigned)
+            ++spare;
+    }
+    return spare;
+}
+
+unsigned
+GpioBank::claim(const std::string &function, GpioDirection direction)
+{
+    ODRIPS_ASSERT(direction != GpioDirection::Unassigned,
+                  name(), ": claiming with no direction");
+    for (unsigned i = 0; i < pins.size(); ++i) {
+        if (pins[i].dir == GpioDirection::Unassigned) {
+            pins[i].dir = direction;
+            pins[i].function = function;
+            pins[i].level = false;
+            return i;
+        }
+    }
+    fatal(name(), ": no spare GPIO for function '", function, "'");
+}
+
+void
+GpioBank::release(unsigned pin)
+{
+    checkPin(pin);
+    pins[pin] = Pin{};
+}
+
+void
+GpioBank::setLevel(unsigned pin, bool level)
+{
+    checkPin(pin);
+    ODRIPS_ASSERT(pins[pin].dir == GpioDirection::Output,
+                  name(), ": setLevel on non-output pin ", pin);
+    pins[pin].level = level;
+}
+
+bool
+GpioBank::level(unsigned pin) const
+{
+    checkPin(pin);
+    ODRIPS_ASSERT(pins[pin].dir != GpioDirection::Unassigned,
+                  name(), ": reading unassigned pin ", pin);
+    return pins[pin].level;
+}
+
+void
+GpioBank::driveInput(unsigned pin, bool level)
+{
+    checkPin(pin);
+    ODRIPS_ASSERT(pins[pin].dir == GpioDirection::Input,
+                  name(), ": driveInput on non-input pin ", pin);
+    pins[pin].level = level;
+}
+
+const std::string &
+GpioBank::function(unsigned pin) const
+{
+    checkPin(pin);
+    return pins[pin].function;
+}
+
+GpioDirection
+GpioBank::direction(unsigned pin) const
+{
+    checkPin(pin);
+    return pins[pin].dir;
+}
+
+} // namespace odrips

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * General-purpose IO bank.
+ *
+ * The chipset has spare GPIOs; the AON-IO-gating technique consumes two
+ * of them (paper Sec. 5.3): one input to monitor the embedded
+ * controller's thermal-event line (sampled with the 32 kHz clock in
+ * ODRIPS) and one output to drive the on-board FET that gates the
+ * processor's AON IO power rail.
+ */
+
+#ifndef ODRIPS_IO_GPIO_HH
+#define ODRIPS_IO_GPIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/named.hh"
+
+namespace odrips
+{
+
+/** Direction of a GPIO pin. */
+enum class GpioDirection
+{
+    Unassigned,
+    Input,
+    Output,
+};
+
+/** A bank of GPIO pins with allocation tracking. */
+class GpioBank : public Named
+{
+  public:
+    GpioBank(std::string name, unsigned pin_count);
+
+    unsigned pinCount() const { return static_cast<unsigned>(pins.size()); }
+
+    /** Number of pins not yet claimed. */
+    unsigned sparePins() const;
+
+    /**
+     * Claim a spare pin for a function. @return pin index.
+     * Fails (fatal) when no spare pin remains — GPIOs are a finite
+     * resource, which is the point the paper makes about pin cost.
+     */
+    unsigned claim(const std::string &function, GpioDirection direction);
+
+    /** Release a claimed pin back to the spare pool. */
+    void release(unsigned pin);
+
+    /** Drive an output pin. */
+    void setLevel(unsigned pin, bool level);
+
+    /** Sample a pin. */
+    bool level(unsigned pin) const;
+
+    /** Externally drive an input pin (board-side stimulus). */
+    void driveInput(unsigned pin, bool level);
+
+    const std::string &function(unsigned pin) const;
+    GpioDirection direction(unsigned pin) const;
+
+  private:
+    struct Pin
+    {
+        GpioDirection dir = GpioDirection::Unassigned;
+        bool level = false;
+        std::string function;
+    };
+
+    void checkPin(unsigned pin) const;
+
+    std::vector<Pin> pins;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_IO_GPIO_HH

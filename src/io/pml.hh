@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Power Management Link (PML).
+ *
+ * Two physical master-slave interfaces between the processor and the
+ * chipset, both clocked at 24 MHz (paper Sec. 4.1.2). The processor
+ * masters the processor-to-chipset direction; the chipset masters the
+ * reverse. Because each interface is synchronous and master-driven the
+ * channel is *deterministic*: a message of W words takes a fixed number
+ * of clock cycles, which is why a constant compensation can be added to
+ * timer values in flight.
+ */
+
+#ifndef ODRIPS_IO_PML_HH
+#define ODRIPS_IO_PML_HH
+
+#include <cstdint>
+
+#include "clock/clock_domain.hh"
+#include "sim/logging.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Direction of a PML transfer. */
+enum class PmlDirection
+{
+    ProcessorToChipset,
+    ChipsetToProcessor,
+};
+
+/** Result of a PML message transfer. */
+struct PmlTransfer
+{
+    Tick issued = 0;
+    Tick delivered = 0;
+    std::uint64_t cycles = 0;
+
+    Tick latency() const { return delivered - issued; }
+};
+
+/** The deterministic power-management link. */
+class Pml : public Named
+{
+  public:
+    /**
+     * @param name             instance name
+     * @param clock            24 MHz link clock
+     * @param cycles_per_word  serialization cost of one 32-bit word
+     * @param protocol_cycles  fixed handshake overhead per message
+     */
+    Pml(std::string name, const ClockDomain &clock,
+        std::uint64_t cycles_per_word = 4,
+        std::uint64_t protocol_cycles = 8)
+        : Named(std::move(name)), clock(clock),
+          cyclesPerWord(cycles_per_word), protocolCycles(protocol_cycles)
+    {}
+
+    /** True when messages can flow (both IO sides powered, clock on). */
+    bool up() const { return linkUp && clock.running(); }
+
+    /** Bring the link up/down (AON IO gating drops it). */
+    void setUp(bool is_up) { linkUp = is_up; }
+
+    /** Deterministic cycle count for a message of @p words words. */
+    std::uint64_t
+    messageCycles(std::uint64_t words) const
+    {
+        return protocolCycles + words * cyclesPerWord;
+    }
+
+    /**
+     * Transfer a message of @p words 32-bit words at @p now.
+     * The link must be up.
+     */
+    PmlTransfer
+    transfer(std::uint64_t words, Tick now)
+    {
+        ODRIPS_ASSERT(up(), name(), ": transfer while link down");
+        PmlTransfer t;
+        t.issued = now;
+        t.cycles = messageCycles(words);
+        t.delivered = now + static_cast<Tick>(t.cycles) * clock.period();
+        ++messageCount;
+        return t;
+    }
+
+    /** Cycles to move a 64-bit timer value (two words). */
+    std::uint64_t timerTransferCycles() const { return messageCycles(2); }
+
+    std::uint64_t messagesSent() const { return messageCount; }
+
+  private:
+    const ClockDomain &clock;
+    std::uint64_t cyclesPerWord;
+    std::uint64_t protocolCycles;
+    bool linkUp = true;
+    std::uint64_t messageCount = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_IO_PML_HH

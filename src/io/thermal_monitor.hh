@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thermal-event monitor (paper Sec. 5.2).
+ *
+ * The embedded controller (EC) reports thermal events to the platform.
+ * In baseline DRIPS the processor's AON thermal-report IO sees the line
+ * continuously; in ODRIPS that IO is power-gated and the event is
+ * offloaded to a chipset GPIO that the chipset PMU *samples with the
+ * 32 kHz clock* — detection gains up to one slow-clock period of
+ * latency, which connected standby can afford (Sec. 3).
+ */
+
+#ifndef ODRIPS_IO_THERMAL_MONITOR_HH
+#define ODRIPS_IO_THERMAL_MONITOR_HH
+
+#include "clock/clock_domain.hh"
+#include "io/gpio.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Samples an EC-driven GPIO line on slow-clock edges. */
+class ThermalMonitor : public Named
+{
+  public:
+    /**
+     * @param name           instance name
+     * @param gpios          chipset GPIO bank
+     * @param pin            claimed input pin wired to the EC
+     * @param sampling_clock clock whose rising edges sample the pin
+     *                       (the 32.768 kHz RTC clock in ODRIPS)
+     */
+    ThermalMonitor(std::string name, GpioBank &gpios, unsigned pin,
+                   const ClockDomain &sampling_clock)
+        : Named(std::move(name)), gpios(gpios), pin(pin),
+          clock(sampling_clock)
+    {}
+
+    /** EC asserts/deasserts the thermal line at @p now. */
+    void
+    driveLine(bool asserted, Tick now)
+    {
+        gpios.driveInput(pin, asserted);
+        assertedAt = asserted ? now : maxTick;
+    }
+
+    /** Line level right now. */
+    bool lineAsserted() const { return gpios.level(pin); }
+
+    /**
+     * Tick at which a line asserted at @p asserted_at is *detected*:
+     * the first sampling-clock rising edge at or after the assertion.
+     * The sampling clock must be running.
+     */
+    Tick
+    detectionTick(Tick asserted_at) const
+    {
+        ODRIPS_ASSERT(clock.running(),
+                      name(), ": sampling clock not running");
+        return clock.nextEdge(asserted_at);
+    }
+
+    /** Worst-case detection latency (one sampling period). */
+    Tick worstCaseLatency() const { return clock.period(); }
+
+    /** Detection tick of the currently asserted event (maxTick if the
+     * line is idle). */
+    Tick
+    pendingDetection() const
+    {
+        return assertedAt == maxTick ? maxTick : detectionTick(assertedAt);
+    }
+
+  private:
+    GpioBank &gpios;
+    unsigned pin;
+    const ClockDomain &clock;
+    Tick assertedAt = maxTick;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_IO_THERMAL_MONITOR_HH

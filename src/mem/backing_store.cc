@@ -1,0 +1,69 @@
+#include "mem/backing_store.hh"
+
+namespace odrips
+{
+
+BackingStore::Page &
+BackingStore::pageFor(std::uint64_t addr)
+{
+    const std::uint64_t pn = addr / pageBytes;
+    auto it = pages.find(pn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages.emplace(pn, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const BackingStore::Page *
+BackingStore::pageForRead(std::uint64_t addr) const
+{
+    const auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+void
+BackingStore::write(std::uint64_t addr, const std::uint8_t *data,
+                    std::uint64_t len)
+{
+    ODRIPS_ASSERT(addr + len <= capacity, "write beyond memory capacity");
+    while (len > 0) {
+        Page &page = pageFor(addr);
+        const std::uint64_t offset = addr % pageBytes;
+        const std::uint64_t chunk = std::min(len, pageBytes - offset);
+        std::memcpy(page.data() + offset, data, chunk);
+        addr += chunk;
+        data += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::read(std::uint64_t addr, std::uint8_t *data,
+                   std::uint64_t len) const
+{
+    ODRIPS_ASSERT(addr + len <= capacity, "read beyond memory capacity");
+    while (len > 0) {
+        const Page *page = pageForRead(addr);
+        const std::uint64_t offset = addr % pageBytes;
+        const std::uint64_t chunk = std::min(len, pageBytes - offset);
+        if (page)
+            std::memcpy(data, page->data() + offset, chunk);
+        else
+            std::memset(data, 0, chunk);
+        addr += chunk;
+        data += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::flipBit(std::uint64_t addr, unsigned bit)
+{
+    ODRIPS_ASSERT(bit < 8, "bit index out of range");
+    Page &page = pageFor(addr);
+    page[addr % pageBytes] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+} // namespace odrips

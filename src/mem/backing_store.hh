@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store shared by all memory models.
+ *
+ * Capacity can be many gigabytes while only touched pages allocate
+ * storage. Holding real bytes (rather than modelling timing only) lets
+ * the security tests corrupt DRAM contents and watch the memory
+ * encryption engine detect it.
+ */
+
+#ifndef ODRIPS_MEM_BACKING_STORE_HH
+#define ODRIPS_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** Sparse, page-granular byte store. */
+class BackingStore
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    explicit BackingStore(std::uint64_t capacity_bytes)
+        : capacity(capacity_bytes)
+    {}
+
+    std::uint64_t capacityBytes() const { return capacity; }
+
+    /** Write @p len bytes at @p addr. */
+    void write(std::uint64_t addr, const std::uint8_t *data,
+               std::uint64_t len);
+
+    /** Read @p len bytes at @p addr; untouched bytes read as zero. */
+    void read(std::uint64_t addr, std::uint8_t *data,
+              std::uint64_t len) const;
+
+    /** Convenience overloads for vectors. */
+    void
+    write(std::uint64_t addr, const std::vector<std::uint8_t> &data)
+    {
+        write(addr, data.data(), data.size());
+    }
+
+    std::vector<std::uint8_t>
+    read(std::uint64_t addr, std::uint64_t len) const
+    {
+        std::vector<std::uint8_t> out(len);
+        read(addr, out.data(), len);
+        return out;
+    }
+
+    /** Number of pages currently materialized. */
+    std::size_t touchedPages() const { return pages.size(); }
+
+    /** Drop all contents (e.g. power loss on a volatile memory). */
+    void clear() { pages.clear(); }
+
+    /** Flip a single bit — fault injection for security tests. */
+    void flipBit(std::uint64_t addr, unsigned bit);
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    Page &pageFor(std::uint64_t addr);
+    const Page *pageForRead(std::uint64_t addr) const;
+
+    std::uint64_t capacity;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_MEM_BACKING_STORE_HH

@@ -1,0 +1,108 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odrips
+{
+
+DramConfig
+DramConfig::withDataRate(double new_rate) const
+{
+    ODRIPS_ASSERT(new_rate > 0, "DRAM data rate must be positive");
+    DramConfig c = *this;
+    const double ratio = new_rate / dataRateHz;
+    c.dataRateHz = new_rate;
+    // IO/DLL power tracks frequency; self-refresh power does not.
+    c.idlePower = idlePower * (0.4 + 0.6 * ratio);
+    c.activePower = activePower * ratio;
+    return c;
+}
+
+Dram::Dram(std::string name, const DramConfig &config,
+           PowerComponent *array_comp, PowerComponent *cke_comp)
+    : MainMemory(std::move(name)), cfg(config), bytes(config.capacityBytes),
+      arrayComp(array_comp), ckeComp(cke_comp)
+{
+    updatePower(0);
+}
+
+void
+Dram::updatePower(Tick now)
+{
+    if (arrayComp) {
+        arrayComp->setPower(selfRefreshing
+                                ? cfg.selfRefreshPower
+                                : cfg.idlePower + trafficPower,
+                            now);
+    }
+    if (ckeComp)
+        ckeComp->setPower(selfRefreshing ? cfg.ckeDrivePower : 0.0, now);
+}
+
+void
+Dram::setActiveTraffic(double bytes_per_sec, Tick now)
+{
+    ODRIPS_ASSERT(bytes_per_sec >= 0, name(), ": negative traffic");
+    trafficPower = std::min(cfg.energyPerByte * bytes_per_sec,
+                            cfg.activePower);
+    updatePower(now);
+}
+
+MemAccessResult
+Dram::access(std::uint64_t addr, std::uint64_t len, Tick now)
+{
+    (void)addr;
+    (void)now;
+    ODRIPS_ASSERT(!selfRefreshing,
+                  name(), ": access while in self-refresh");
+    MemAccessResult r;
+    r.bytes = len;
+    const double stream_seconds =
+        static_cast<double>(len) / cfg.peakBandwidth();
+    r.latency = secondsToTicks(cfg.accessLatencyNs * 1e-9 + stream_seconds);
+    transferred += len;
+    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    return r;
+}
+
+MemAccessResult
+Dram::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
+           Tick now)
+{
+    MemAccessResult r = access(addr, len, now);
+    bytes.read(addr, data, len);
+    return r;
+}
+
+MemAccessResult
+Dram::write(std::uint64_t addr, const std::uint8_t *data,
+            std::uint64_t len, Tick now)
+{
+    MemAccessResult r = access(addr, len, now);
+    bytes.write(addr, data, len);
+    return r;
+}
+
+Tick
+Dram::enterRetention(Tick now)
+{
+    ODRIPS_ASSERT(!selfRefreshing, name(), ": already in self-refresh");
+    selfRefreshing = true;
+    trafficPower = 0.0;
+    const Tick latency = secondsToTicks(cfg.selfRefreshEntryNs * 1e-9);
+    updatePower(now + latency);
+    return latency;
+}
+
+Tick
+Dram::exitRetention(Tick now)
+{
+    ODRIPS_ASSERT(selfRefreshing, name(), ": not in self-refresh");
+    selfRefreshing = false;
+    const Tick latency = secondsToTicks(cfg.selfRefreshExitNs * 1e-9);
+    updatePower(now + latency);
+    return latency;
+}
+
+} // namespace odrips

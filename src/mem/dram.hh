@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DDR3L DRAM model (paper Table 1: DDR3L-1.6GHz, non-ECC, dual channel,
+ * 8 GB).
+ *
+ * Models: access timing (fixed access latency plus bandwidth-limited
+ * streaming), self-refresh entry/exit with the CKE handshake, frequency
+ * scaling (Fig. 6(c) runs 1.6 / 1.067 / 0.8 GHz), and per-state power.
+ * The CKE driver is accounted separately because in ODRIPS-PCM the paper
+ * credits the removal of CKE drive power to the processor.
+ */
+
+#ifndef ODRIPS_MEM_DRAM_HH
+#define ODRIPS_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "mem/main_memory.hh"
+#include "power/component.hh"
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** Configuration of the DDR3L device. */
+struct DramConfig
+{
+    /** Data rate in transfers/second (paper: "DDR3L-1.6GHz"). */
+    double dataRateHz = 1.6e9;
+    /** Number of channels (Table 1: dual-channel). */
+    unsigned channels = 2;
+    /** Bus width per channel in bytes (64-bit). */
+    unsigned busBytes = 8;
+    /** Total capacity in bytes (Table 1: 8 GB). */
+    std::uint64_t capacityBytes = 8ULL << 30;
+
+    /** First-access latency (row activate + CAS), nanoseconds. */
+    double accessLatencyNs = 50.0;
+    /** Self-refresh entry latency (CKE low + tCKESR), nanoseconds. */
+    double selfRefreshEntryNs = 200.0;
+    /** Self-refresh exit latency (tXS + DLL relock), nanoseconds. */
+    double selfRefreshExitNs = 800.0;
+
+    /** Nominal self-refresh power for the whole array, watts. */
+    double selfRefreshPower = 7.0e-3;
+    /** Nominal idle (powered, CKE high, no traffic) power, watts. */
+    double idlePower = 55.0e-3;
+    /** Additional power while streaming at full bandwidth, watts. */
+    double activePower = 145.0e-3;
+    /** Access energy per byte transferred, joules. */
+    double energyPerByte = 25.0e-12;
+    /** Processor-side CKE drive power while self-refresh is held. */
+    double ckeDrivePower = 1.4e-3;
+
+    /** Effective peak bandwidth in bytes/second. */
+    double
+    peakBandwidth() const
+    {
+        return dataRateHz * busBytes * channels;
+    }
+
+    /** Return a copy clocked at a different data rate; idle/active
+     * power scale with frequency (I/O and DLL power), self-refresh
+     * power does not (refresh is temperature-driven). */
+    DramConfig withDataRate(double new_rate) const;
+};
+
+/** The DDR3L device. */
+class Dram : public MainMemory
+{
+  public:
+    /**
+     * @param name       instance name
+     * @param config     device configuration
+     * @param array_comp power component for the DRAM array/IO power
+     * @param cke_comp   power component for the processor-side CKE
+     *                   drive (active while self-refresh is maintained);
+     *                   may be nullptr
+     */
+    Dram(std::string name, const DramConfig &config,
+         PowerComponent *array_comp = nullptr,
+         PowerComponent *cke_comp = nullptr);
+
+    BackingStore &store() override { return bytes; }
+    const BackingStore &store() const override { return bytes; }
+
+    MemAccessResult read(std::uint64_t addr, std::uint8_t *data,
+                         std::uint64_t len, Tick now) override;
+    MemAccessResult write(std::uint64_t addr, const std::uint8_t *data,
+                          std::uint64_t len, Tick now) override;
+
+    RetentionKind
+    retentionKind() const override
+    {
+        return RetentionKind::SelfRefresh;
+    }
+
+    Tick enterRetention(Tick now) override;
+    Tick exitRetention(Tick now) override;
+    bool inRetention() const override { return selfRefreshing; }
+
+    void setActiveTraffic(double bytes_per_sec, Tick now) override;
+
+    double peakBandwidth() const override { return cfg.peakBandwidth(); }
+    std::uint64_t capacityBytes() const override
+    {
+        return cfg.capacityBytes;
+    }
+
+    const DramConfig &config() const { return cfg; }
+
+    /** Total bytes transferred (reads + writes). */
+    std::uint64_t bytesTransferred() const { return transferred; }
+
+    /** Accumulated access energy in joules. */
+    double accessEnergy() const { return accessJoules; }
+
+  private:
+    MemAccessResult access(std::uint64_t addr, std::uint64_t len,
+                           Tick now);
+    void updatePower(Tick now);
+
+    DramConfig cfg;
+    BackingStore bytes;
+    PowerComponent *arrayComp;
+    PowerComponent *ckeComp;
+    bool selfRefreshing = false;
+    double trafficPower = 0.0;
+    std::uint64_t transferred = 0;
+    double accessJoules = 0.0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_MEM_DRAM_HH

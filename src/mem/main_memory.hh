@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Abstract main-memory device: the interface shared by the DDR3L DRAM
+ * model and the PCM model so the context-transfer path and the platform
+ * are agnostic to the memory technology (Sec. 8.3 swaps them).
+ */
+
+#ifndef ODRIPS_MEM_MAIN_MEMORY_HH
+#define ODRIPS_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "mem/backing_store.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Timing outcome of a memory access. */
+struct MemAccessResult
+{
+    Tick latency = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** Retention behaviour of a main memory technology. */
+enum class RetentionKind
+{
+    SelfRefresh, ///< volatile; data retained only via self-refresh (DRAM)
+    NonVolatile, ///< data retained with power removed (PCM)
+};
+
+/** Byte-addressable main memory with timing, energy, and retention. */
+class MainMemory : public Named
+{
+  public:
+    using Named::Named;
+
+    /** Backing bytes (shared by functional and timing paths). */
+    virtual BackingStore &store() = 0;
+    virtual const BackingStore &store() const = 0;
+
+    /** Functional + timed read. */
+    virtual MemAccessResult read(std::uint64_t addr, std::uint8_t *data,
+                                 std::uint64_t len, Tick now) = 0;
+
+    /** Functional + timed write. */
+    virtual MemAccessResult write(std::uint64_t addr,
+                                  const std::uint8_t *data,
+                                  std::uint64_t len, Tick now) = 0;
+
+    /** Retention technology of this memory. */
+    virtual RetentionKind retentionKind() const = 0;
+
+    /**
+     * Enter the retention state (self-refresh for DRAM; full power-off
+     * for a non-volatile memory). @return transition latency.
+     */
+    virtual Tick enterRetention(Tick now) = 0;
+
+    /** Leave the retention state. @return transition latency. */
+    virtual Tick exitRetention(Tick now) = 0;
+
+    virtual bool inRetention() const = 0;
+
+    /**
+     * Set the sustained traffic level while the platform is active;
+     * the device adds the corresponding access power on top of its
+     * idle power (technology-dependent energy per byte). Cleared on
+     * retention entry.
+     */
+    virtual void setActiveTraffic(double bytes_per_sec, Tick now) = 0;
+
+    /** Peak sequential bandwidth in bytes/second. */
+    virtual double peakBandwidth() const = 0;
+
+    /** Capacity in bytes. */
+    virtual std::uint64_t capacityBytes() const = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,76 @@
+#include "mem/memory_controller.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+MemoryController::MemoryController(std::string name, MainMemory &memory,
+                                   SecureMemoryPath *secure_path)
+    : Named(std::move(name)), mem(memory), securePath(secure_path)
+{
+}
+
+void
+MemoryController::setProtectedRange(const RangeRegister &range)
+{
+    ODRIPS_ASSERT(range.base + range.size <= mem.capacityBytes(),
+                  name(), ": protected range beyond memory capacity");
+    rangeReg = range;
+}
+
+void
+MemoryController::checkAccess(std::uint64_t addr, std::uint64_t len) const
+{
+    ODRIPS_ASSERT(on, name(), ": access while power-gated");
+    ODRIPS_ASSERT(len > 0, name(), ": zero-length access");
+    ODRIPS_ASSERT(addr + len <= mem.capacityBytes(),
+                  name(), ": access beyond memory capacity");
+    // An access must be entirely inside or entirely outside the
+    // protected range; straddling accesses indicate a firmware bug.
+    if (rangeReg.size > 0 && rangeReg.overlaps(addr, len)) {
+        ODRIPS_ASSERT(rangeReg.contains(addr, len),
+                      name(), ": access straddles the protected range");
+    }
+}
+
+RoutedAccess
+MemoryController::write(std::uint64_t addr, const std::uint8_t *data,
+                        std::uint64_t len, Tick now)
+{
+    checkAccess(addr, len);
+    RoutedAccess out;
+    if (rangeReg.size > 0 && rangeReg.contains(addr, len)) {
+        ODRIPS_ASSERT(securePath, name(),
+                      ": protected write with no MEE attached");
+        out.secure = true;
+        ++secureCount;
+        out.result = securePath->secureWrite(addr, data, len, now);
+    } else {
+        ++directCount;
+        out.result = mem.write(addr, data, len, now);
+    }
+    return out;
+}
+
+RoutedAccess
+MemoryController::read(std::uint64_t addr, std::uint8_t *data,
+                       std::uint64_t len, Tick now)
+{
+    checkAccess(addr, len);
+    RoutedAccess out;
+    if (rangeReg.size > 0 && rangeReg.contains(addr, len)) {
+        ODRIPS_ASSERT(securePath, name(),
+                      ": protected read with no MEE attached");
+        out.secure = true;
+        ++secureCount;
+        out.result = securePath->secureRead(addr, data, len, now,
+                                            out.authentic);
+    } else {
+        ++directCount;
+        out.result = mem.read(addr, data, len, now);
+    }
+    return out;
+}
+
+} // namespace odrips

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Memory controller with protected-range routing.
+ *
+ * Implements the paper's "Context/SGX range register" (Sec. 6.2): a
+ * range register inside the memory controller decides whether an access
+ * targets the protected region; protected accesses are redirected to the
+ * memory encryption engine (MEE) before reaching DRAM.
+ *
+ * The controller itself is power-gated in DRIPS; its (small)
+ * configuration is part of the Boot SRAM context and it must be
+ * restored before any exit-flow DRAM access (enforced with a powered
+ * flag).
+ */
+
+#ifndef ODRIPS_MEM_MEMORY_CONTROLLER_HH
+#define ODRIPS_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "sim/named.hh"
+
+namespace odrips
+{
+
+/** Interface implemented by the MEE: an authenticated-encryption path
+ * to main memory. */
+class SecureMemoryPath
+{
+  public:
+    virtual ~SecureMemoryPath() = default;
+
+    virtual MemAccessResult secureWrite(std::uint64_t addr,
+                                        const std::uint8_t *data,
+                                        std::uint64_t len, Tick now) = 0;
+
+    /**
+     * @return access result; sets @p authentic to false when the
+     * integrity check fails (tampered memory).
+     */
+    virtual MemAccessResult secureRead(std::uint64_t addr,
+                                       std::uint8_t *data,
+                                       std::uint64_t len, Tick now,
+                                       bool &authentic) = 0;
+};
+
+/** A protected physical range (the Context/SGX range register). */
+struct RangeRegister
+{
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(std::uint64_t addr, std::uint64_t len) const
+    {
+        return addr >= base && addr + len <= base + size;
+    }
+
+    bool
+    overlaps(std::uint64_t addr, std::uint64_t len) const
+    {
+        return addr < base + size && addr + len > base;
+    }
+};
+
+/** Outcome of a routed memory access. */
+struct RoutedAccess
+{
+    MemAccessResult result;
+    bool secure = false;
+    bool authentic = true;
+};
+
+/** The memory controller. */
+class MemoryController : public Named
+{
+  public:
+    MemoryController(std::string name, MainMemory &memory,
+                     SecureMemoryPath *secure_path = nullptr);
+
+    /** Program the protected range register (PMU firmware does this
+     * before triggering the context FSMs). */
+    void setProtectedRange(const RangeRegister &range);
+    const RangeRegister &protectedRange() const { return rangeReg; }
+
+    /** Attach/replace the secure path (MEE). */
+    void setSecurePath(SecureMemoryPath *path) { securePath = path; }
+
+    bool powered() const { return on; }
+
+    /** Power-gate / restore the controller (Boot FSM). */
+    void setPowered(bool powered) { on = powered; }
+
+    /** Routed write: secure if the range register matches. */
+    RoutedAccess write(std::uint64_t addr, const std::uint8_t *data,
+                       std::uint64_t len, Tick now);
+
+    /** Routed read. */
+    RoutedAccess read(std::uint64_t addr, std::uint8_t *data,
+                      std::uint64_t len, Tick now);
+
+    MainMemory &memory() const { return mem; }
+
+    std::uint64_t secureAccesses() const { return secureCount; }
+    std::uint64_t directAccesses() const { return directCount; }
+
+  private:
+    void checkAccess(std::uint64_t addr, std::uint64_t len) const;
+
+    MainMemory &mem;
+    SecureMemoryPath *securePath;
+    RangeRegister rangeReg;
+    bool on = true;
+    std::uint64_t secureCount = 0;
+    std::uint64_t directCount = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_MEM_MEMORY_CONTROLLER_HH

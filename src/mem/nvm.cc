@@ -1,0 +1,151 @@
+#include "mem/nvm.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace odrips
+{
+
+Pcm::Pcm(std::string name, const PcmConfig &config, PowerComponent *comp)
+    : MainMemory(std::move(name)), cfg(config), bytes(config.capacityBytes),
+      comp(comp)
+{
+    updatePower(0);
+}
+
+void
+Pcm::updatePower(Tick now)
+{
+    if (comp) {
+        comp->setPower(standby ? cfg.standbyPower
+                               : cfg.idlePower + trafficPower,
+                       now);
+    }
+}
+
+void
+Pcm::setActiveTraffic(double bytes_per_sec, Tick now)
+{
+    ODRIPS_ASSERT(bytes_per_sec >= 0, name(), ": negative traffic");
+    const double energy_per_byte =
+        cfg.trafficReadFraction * cfg.readEnergyPerByte +
+        (1.0 - cfg.trafficReadFraction) * cfg.writeEnergyPerByte;
+    trafficPower = energy_per_byte * bytes_per_sec;
+    updatePower(now);
+}
+
+MemAccessResult
+Pcm::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
+          Tick now)
+{
+    (void)now;
+    ODRIPS_ASSERT(!standby, name(), ": read while in standby");
+    MemAccessResult r;
+    r.bytes = len;
+    r.latency = secondsToTicks(
+        cfg.readLatencyNs * 1e-9 +
+        static_cast<double>(len) / cfg.readBandwidth);
+    accessJoules += cfg.readEnergyPerByte * static_cast<double>(len);
+    bytes.read(addr, data, len);
+    return r;
+}
+
+MemAccessResult
+Pcm::write(std::uint64_t addr, const std::uint8_t *data, std::uint64_t len,
+           Tick now)
+{
+    (void)now;
+    ODRIPS_ASSERT(!standby, name(), ": write while in standby");
+    MemAccessResult r;
+    r.bytes = len;
+    r.latency = secondsToTicks(
+        cfg.writeLatencyNs * 1e-9 +
+        static_cast<double>(len) / cfg.writeBandwidth);
+    accessJoules += cfg.writeEnergyPerByte * static_cast<double>(len);
+    bytes.write(addr, data, len);
+
+    // Endurance tracking per 64 B line.
+    for (std::uint64_t line = addr / lineBytes;
+         line <= (addr + len - 1) / lineBytes; ++line) {
+        const std::uint64_t count = ++lineWrites[line];
+        maxWrites = std::max(maxWrites, count);
+    }
+    return r;
+}
+
+Tick
+Pcm::enterRetention(Tick now)
+{
+    ODRIPS_ASSERT(!standby, name(), ": already in standby");
+    standby = true;
+    trafficPower = 0.0;
+    // Powering down PCM banks is fast: no refresh state to set up.
+    const Tick latency = secondsToTicks(50e-9);
+    updatePower(now + latency);
+    return latency;
+}
+
+Tick
+Pcm::exitRetention(Tick now)
+{
+    ODRIPS_ASSERT(standby, name(), ": not in standby");
+    standby = false;
+    const Tick latency = secondsToTicks(200e-9);
+    updatePower(now + latency);
+    return latency;
+}
+
+Emram::Emram(std::string name, const EmramConfig &config,
+             PowerComponent *comp)
+    : Named(std::move(name)), cfg(config), data_(config.capacityBytes, 0),
+      comp(comp)
+{
+    if (comp)
+        comp->setPower(0.0, 0);
+}
+
+void
+Emram::setPowered(bool powered, Tick now)
+{
+    if (powered == on)
+        return;
+    on = powered;
+    // Contents persist either way: that is the point of MRAM.
+    if (comp)
+        comp->setPower(on ? cfg.activePower : 0.0, now);
+}
+
+Tick
+Emram::accessLatency(std::uint64_t len, bool is_write) const
+{
+    const double factor = is_write ? cfg.pessimism : 1.0;
+    const double stream = static_cast<double>(len) / cfg.streamBandwidth;
+    return secondsToTicks(
+        (cfg.accessLatencyNs * 1e-9 + stream) * factor);
+}
+
+Tick
+Emram::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len)
+{
+    ODRIPS_ASSERT(on, name(), ": read while powered off");
+    ODRIPS_ASSERT(addr + len <= data_.size(), name(), ": read out of range");
+    std::memcpy(data, data_.data() + addr, len);
+    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    return accessLatency(len, false);
+}
+
+Tick
+Emram::write(std::uint64_t addr, const std::uint8_t *data,
+             std::uint64_t len)
+{
+    ODRIPS_ASSERT(on, name(), ": write while powered off");
+    ODRIPS_ASSERT(addr + len <= data_.size(),
+                  name(), ": write out of range");
+    std::memcpy(data_.data() + addr, data, len);
+    accessJoules +=
+        cfg.energyPerByte * cfg.pessimism * static_cast<double>(len);
+    ++writes;
+    return accessLatency(len, true);
+}
+
+} // namespace odrips

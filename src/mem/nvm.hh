@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Emerging non-volatile memory models (paper Sec. 8.3).
+ *
+ *  - Pcm: phase-change memory used *as main memory* in place of DRAM
+ *    (ODRIPS-PCM). Non-volatility removes self-refresh and the CKE
+ *    drive, at the cost of slower, more energetic accesses and finite
+ *    write endurance.
+ *  - Emram: embedded MRAM replacing the on-chip save/restore SRAMs
+ *    (ODRIPS-MRAM). The paper assumes an *optimistic* design with
+ *    SRAM-comparable endurance, power and performance; the model keeps
+ *    a pessimism knob so the assumption can be relaxed.
+ */
+
+#ifndef ODRIPS_MEM_NVM_HH
+#define ODRIPS_MEM_NVM_HH
+
+#include <cstdint>
+
+#include "mem/main_memory.hh"
+#include "mem/sram.hh"
+#include "power/component.hh"
+
+namespace odrips
+{
+
+/** PCM device configuration. */
+struct PcmConfig
+{
+    std::uint64_t capacityBytes = 8ULL << 30;
+
+    /** Read array latency, nanoseconds (slower than DRAM). */
+    double readLatencyNs = 150.0;
+    /** Write (SET/RESET pulse) latency, nanoseconds. */
+    double writeLatencyNs = 500.0;
+
+    /** Peak read bandwidth, bytes/s. */
+    double readBandwidth = 12.8e9;
+    /** Peak write bandwidth, bytes/s (write-limited). */
+    double writeBandwidth = 3.2e9;
+
+    /** Idle (powered) power, watts. */
+    double idlePower = 40.0e-3;
+    /** Standby power with banks powered down — no refresh needed. */
+    double standbyPower = 0.0;
+
+    /** Read energy per byte, joules. */
+    double readEnergyPerByte = 50.0e-12;
+    /** Write energy per byte, joules (RESET pulses are costly). */
+    double writeEnergyPerByte = 400.0e-12;
+
+    /** Rated write endurance per cell (typ. 1e8 for PCM). */
+    std::uint64_t enduranceWrites = 100000000ULL;
+
+    /** Fraction of active-traffic bytes that are reads (the rest are
+     * costly RESET/SET writes). */
+    double trafficReadFraction = 0.8;
+};
+
+/** Phase-change main memory. */
+class Pcm : public MainMemory
+{
+  public:
+    Pcm(std::string name, const PcmConfig &config,
+        PowerComponent *comp = nullptr);
+
+    BackingStore &store() override { return bytes; }
+    const BackingStore &store() const override { return bytes; }
+
+    MemAccessResult read(std::uint64_t addr, std::uint8_t *data,
+                         std::uint64_t len, Tick now) override;
+    MemAccessResult write(std::uint64_t addr, const std::uint8_t *data,
+                          std::uint64_t len, Tick now) override;
+
+    RetentionKind
+    retentionKind() const override
+    {
+        return RetentionKind::NonVolatile;
+    }
+
+    Tick enterRetention(Tick now) override;
+    Tick exitRetention(Tick now) override;
+    bool inRetention() const override { return standby; }
+
+    void setActiveTraffic(double bytes_per_sec, Tick now) override;
+
+    double peakBandwidth() const override { return cfg.readBandwidth; }
+    std::uint64_t capacityBytes() const override
+    {
+        return cfg.capacityBytes;
+    }
+
+    const PcmConfig &config() const { return cfg; }
+
+    /** Max per-line write count observed (endurance tracking). */
+    std::uint64_t maxLineWrites() const { return maxWrites; }
+
+    /** Fraction of rated endurance consumed by the hottest line. */
+    double
+    enduranceConsumed() const
+    {
+        return static_cast<double>(maxWrites) /
+               static_cast<double>(cfg.enduranceWrites);
+    }
+
+    /** Accumulated access energy in joules. */
+    double accessEnergy() const { return accessJoules; }
+
+  private:
+    static constexpr std::uint64_t lineBytes = 64;
+
+    void updatePower(Tick now);
+
+    PcmConfig cfg;
+    BackingStore bytes;
+    PowerComponent *comp;
+    bool standby = false;
+    double trafficPower = 0.0;
+    double accessJoules = 0.0;
+    std::uint64_t maxWrites = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> lineWrites;
+};
+
+/** Optimism setting for the eMRAM model. */
+struct EmramConfig
+{
+    std::uint64_t capacityBytes = 0;
+
+    /**
+     * Paper assumption: optimistic eMRAM matches SRAM power and
+     * performance. Pessimism > 1 scales write latency/energy up to
+     * explore less optimistic designs.
+     */
+    double pessimism = 1.0;
+
+    /** SRAM-equivalent access parameters (matched when optimistic). */
+    double accessLatencyNs = 2.0;
+    double energyPerByte = 0.8e-12;
+    double streamBandwidth = 64.0e9;
+
+    /** Active leakage (only while accessible); retention costs zero. */
+    double activePower = 1.0e-3;
+
+    /** Rated endurance (optimistic assumption: effectively unlimited). */
+    std::uint64_t enduranceWrites = 1000000000000ULL;
+};
+
+/**
+ * Embedded MRAM macro for context storage: like an Sram but contents
+ * survive power-off and the off-state power is exactly zero.
+ */
+class Emram : public Named
+{
+  public:
+    Emram(std::string name, const EmramConfig &config,
+          PowerComponent *comp = nullptr);
+
+    const EmramConfig &config() const { return cfg; }
+    std::uint64_t capacityBytes() const { return cfg.capacityBytes; }
+
+    bool poweredOn() const { return on; }
+
+    /** Power the macro on/off; contents persist across power-off. */
+    void setPowered(bool powered, Tick now);
+
+    Tick read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len);
+    Tick write(std::uint64_t addr, const std::uint8_t *data,
+               std::uint64_t len);
+
+    std::uint64_t totalWrites() const { return writes; }
+    double accessEnergy() const { return accessJoules; }
+
+  private:
+    Tick accessLatency(std::uint64_t len, bool is_write) const;
+
+    EmramConfig cfg;
+    std::vector<std::uint8_t> data_;
+    PowerComponent *comp;
+    bool on = false;
+    std::uint64_t writes = 0;
+    double accessJoules = 0.0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_MEM_NVM_HH

@@ -1,0 +1,82 @@
+#include "mem/sram.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace odrips
+{
+
+Sram::Sram(std::string name, const SramConfig &config, PowerComponent *comp)
+    : Named(std::move(name)), cfg(config), data_(config.capacityBytes, 0),
+      comp(comp)
+{
+    if (comp)
+        comp->setPower(leakagePower(state_), 0);
+}
+
+double
+Sram::leakagePower(SramState state) const
+{
+    double per_byte = cfg.hpRetentionLeakPerByte;
+    if (cfg.process == SramProcess::LowPower)
+        per_byte /= cfg.processLeakRatio;
+
+    const double retention =
+        per_byte * static_cast<double>(cfg.capacityBytes);
+    switch (state) {
+      case SramState::Off:
+        return 0.0;
+      case SramState::Retention:
+        return retention;
+      case SramState::Active:
+        return retention * cfg.activeLeakMultiplier;
+    }
+    return 0.0;
+}
+
+void
+Sram::setState(SramState new_state, Tick now)
+{
+    if (new_state == state_)
+        return;
+    if (new_state == SramState::Off) {
+        // Power removed: SRAM is volatile.
+        std::fill(data_.begin(), data_.end(), 0);
+    }
+    state_ = new_state;
+    if (comp)
+        comp->setPower(leakagePower(state_), now);
+}
+
+Tick
+Sram::accessLatency(std::uint64_t len) const
+{
+    const double stream =
+        static_cast<double>(len) / cfg.streamBandwidth;
+    return secondsToTicks(cfg.accessLatencyNs * 1e-9 + stream);
+}
+
+Tick
+Sram::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len)
+{
+    ODRIPS_ASSERT(state_ == SramState::Active,
+                  name(), ": read while not active");
+    ODRIPS_ASSERT(addr + len <= data_.size(), name(), ": read out of range");
+    std::memcpy(data, data_.data() + addr, len);
+    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    return accessLatency(len);
+}
+
+Tick
+Sram::write(std::uint64_t addr, const std::uint8_t *data, std::uint64_t len)
+{
+    ODRIPS_ASSERT(state_ == SramState::Active,
+                  name(), ": write while not active");
+    ODRIPS_ASSERT(addr + len <= data_.size(),
+                  name(), ": write out of range");
+    std::memcpy(data_.data() + addr, data, len);
+    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    return accessLatency(len);
+}
+
+} // namespace odrips

@@ -1,0 +1,45 @@
+#include "platform/board.hh"
+
+namespace odrips
+{
+
+Board::Board(std::string name, PowerModel &pm, const PlatformConfig &config)
+    : Named(name),
+      xtal24(name + ".xtal24", 24.0e6, config.xtal24Ppm,
+             config.dripsPower.xtal24),
+      xtal32(name + ".xtal32k", 32768.0, config.xtal32Ppm,
+             config.dripsPower.xtal32),
+      xtal24Comp(pm, name + ".xtal24", "board"),
+      xtal32Comp(pm, name + ".xtal32k", "board"),
+      otherComp(pm, name + ".other", "board"),
+      activeExtra(pm, name + ".active_extra", "board"),
+      fetLeakage(pm, name + ".fet_leakage", "board"),
+      cfg(config)
+{
+    applyActivePower(0);
+}
+
+void
+Board::syncXtalPower(Tick now)
+{
+    xtal24Comp.setPower(xtal24.power(), now);
+    xtal32Comp.setPower(xtal32.power(), now);
+}
+
+void
+Board::applyActivePower(Tick now)
+{
+    syncXtalPower(now);
+    otherComp.setPower(cfg.dripsPower.boardOther, now);
+    activeExtra.setPower(cfg.activePower.boardActive, now);
+}
+
+void
+Board::applyIdlePower(Tick now)
+{
+    syncXtalPower(now);
+    otherComp.setPower(cfg.dripsPower.boardOther, now);
+    activeExtra.setPower(0.0, now);
+}
+
+} // namespace odrips

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Board-level components: the two crystal oscillators, the remaining
+ * board loads (embedded controller, sensors, rails), and the power
+ * bookkeeping that ties crystal enable state to the power model.
+ */
+
+#ifndef ODRIPS_PLATFORM_BOARD_HH
+#define ODRIPS_PLATFORM_BOARD_HH
+
+#include "clock/crystal.hh"
+#include "platform/config.hh"
+#include "power/power_model.hh"
+
+namespace odrips
+{
+
+/** The motherboard. */
+class Board : public Named
+{
+  public:
+    Board(std::string name, PowerModel &pm, const PlatformConfig &cfg);
+
+    Crystal xtal24;
+    Crystal xtal32;
+
+    PowerComponent xtal24Comp;
+    PowerComponent xtal32Comp;
+    PowerComponent otherComp;     ///< EC, sensors, misc rails
+    PowerComponent activeExtra;   ///< extra board power while C0
+    PowerComponent fetLeakage;    ///< FET off-state leakage
+
+    /**
+     * Re-sync the crystal power components with the crystals' enable
+     * state. Must be called after anything (e.g. the WakeTimerUnit)
+     * toggles a crystal.
+     */
+    void syncXtalPower(Tick now);
+
+    void applyActivePower(Tick now);
+    void applyIdlePower(Tick now);
+
+  private:
+    const PlatformConfig &cfg;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_BOARD_HH

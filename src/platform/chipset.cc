@@ -1,0 +1,58 @@
+#include "platform/chipset.hh"
+
+namespace odrips
+{
+
+Chipset::Chipset(std::string name, PowerModel &pm,
+                 const PlatformConfig &config, Crystal &xtal24,
+                 Crystal &xtal32)
+    : Named(name),
+      fastClock(name + ".clk24", xtal24),
+      slowClock(name + ".clk32k", xtal32),
+      aonDomain(pm, name + ".aon_domain", "chipset"),
+      fastClockTree(pm, name + ".fast_clock_tree", "chipset"),
+      activeExtra(pm, name + ".active_extra", "chipset"),
+      timers(pm, name + ".wake_timers", "chipset"),
+      wakeTimer(name + ".wake_timer_unit", fastClock, slowClock, xtal24,
+                config.pmlProtocolCycles + 2 * config.pmlCyclesPerWord,
+                config.timings.xtalRestart),
+      gpios(name + ".gpio", config.gpioPins),
+      cfg(config)
+{
+    applyActivePower(0);
+}
+
+void
+Chipset::claimOdripsPins()
+{
+    if (odripsPinsClaimed)
+        return;
+    thermalPin = gpios.claim("ec-thermal-monitor", GpioDirection::Input);
+    fetControlPin = gpios.claim("aon-io-fet-control",
+                                GpioDirection::Output);
+    odripsPinsClaimed = true;
+}
+
+void
+Chipset::applyActivePower(Tick now)
+{
+    aonDomain.setPower(cfg.dripsPower.chipsetAon, now);
+    fastClockTree.setPower(cfg.dripsPower.chipsetFastClock, now);
+    activeExtra.setPower(cfg.activePower.chipsetActive, now);
+    // The fast timer toggles whenever the chipset 24 MHz clock runs;
+    // its power is negligible (paper Sec. 4.2) but nonzero.
+    timers.setPower(cfg.dripsPower.chipsetAon * 1e-5, now);
+}
+
+void
+Chipset::applyIdlePower(Tick now, bool slow_mode)
+{
+    aonDomain.setPower(cfg.dripsPower.chipsetAon, now);
+    fastClockTree.setPower(
+        slow_mode ? 0.0 : cfg.dripsPower.chipsetFastClock, now);
+    activeExtra.setPower(0.0, now);
+    timers.setPower(cfg.dripsPower.chipsetAon * (slow_mode ? 1e-6 : 1e-5),
+                    now);
+}
+
+} // namespace odrips

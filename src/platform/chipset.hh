@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The chipset die (Sunrise Point-LP class): the always-on "hub" that
+ * ODRIPS makes responsible for all wake events. Hosts the new
+ * fast/slow wake-timer pair (Sec. 4), the GPIO bank whose two spare
+ * pins serve thermal monitoring and FET control (Sec. 5), and the
+ * always-on domain power.
+ */
+
+#ifndef ODRIPS_PLATFORM_CHIPSET_HH
+#define ODRIPS_PLATFORM_CHIPSET_HH
+
+#include "clock/clock_domain.hh"
+#include "io/gpio.hh"
+#include "platform/config.hh"
+#include "power/power_model.hh"
+#include "timing/wake_timer_unit.hh"
+
+namespace odrips
+{
+
+/** The chipset die. */
+class Chipset : public Named
+{
+  public:
+    Chipset(std::string name, PowerModel &pm, const PlatformConfig &cfg,
+            Crystal &xtal24, Crystal &xtal32);
+
+    /** 24 MHz clock domain inside the chipset. */
+    ClockDomain fastClock;
+    /** 32.768 kHz RTC clock domain. */
+    ClockDomain slowClock;
+
+    // --- power components ---
+    PowerComponent aonDomain;   ///< always-on domain (wake hub)
+    PowerComponent fastClockTree; ///< 24 MHz distribution (off in slow
+                                  ///  mode)
+    PowerComponent activeExtra; ///< additional power while platform C0
+    PowerComponent timers;      ///< the new fast/slow timer pair
+                                ///  (paper: < 0.001% of chipset power)
+
+    /** The new wake-timer unit (fast + slow timers + Step). */
+    WakeTimerUnit wakeTimer;
+
+    /** GPIO bank; ODRIPS claims two spare pins. */
+    GpioBank gpios;
+
+    /** Pin indices claimed for ODRIPS (set by claimOdripsPins). */
+    unsigned thermalPin = 0;
+    unsigned fetControlPin = 0;
+    bool odripsPinsClaimed = false;
+
+    /** Claim the thermal-monitor input and FET-control output. */
+    void claimOdripsPins();
+
+    /** Chipset power while the platform is active / in DRIPS. */
+    void applyActivePower(Tick now);
+    void applyIdlePower(Tick now, bool slow_mode);
+
+  private:
+    const PlatformConfig &cfg;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_CHIPSET_HH

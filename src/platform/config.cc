@@ -1,0 +1,79 @@
+#include "platform/config.hh"
+
+namespace odrips
+{
+
+double
+PlatformConfig::coresGfxPowerAt(double hz) const
+{
+    // P(f) = P_base * (f / f_base) * (V(f) / V(f_base))^2 + leakage
+    // folded into the base coefficient; evaluated against the paper's
+    // 0.8 GHz connected-standby operating point.
+    const double f_base = 0.8e9;
+    const double v_base = vfCurve.voltageAt(f_base);
+    const double v = vfCurve.voltageAt(hz);
+    return activePower.coresGfxBase * (hz / f_base) *
+           (v / v_base) * (v / v_base);
+}
+
+double
+PlatformConfig::mainMemoryBandwidth() const
+{
+    return memoryKind == MainMemoryKind::Ddr3l ? dram.peakBandwidth()
+                                               : pcm.readBandwidth;
+}
+
+PlatformConfig
+skylakeConfig()
+{
+    PlatformConfig cfg;
+    cfg.name = "skylake-i5-6300U";
+    // Defaults in the struct definitions are the Skylake calibration.
+    return cfg;
+}
+
+PlatformConfig
+haswellUltConfig()
+{
+    // Start from Skylake and unscale the silicon power back to 22 nm.
+    // Board-level components (crystals, board other, DRAM) do not
+    // scale with the processor node.
+    PlatformConfig cfg = skylakeConfig();
+    cfg.name = "haswell-i5-4300U";
+    cfg.processorNode = ProcessNode::Nm22;
+    cfg.chipsetNode = ProcessNode::Nm32;
+
+    const double leak_up =
+        1.0 / leakageScale(ProcessNode::Nm22, ProcessNode::Nm14);
+    const double dyn_up =
+        1.0 / dynamicScale(ProcessNode::Nm22, ProcessNode::Nm14);
+    const double chipset_leak_up =
+        1.0 / leakageScale(ProcessNode::Nm32, ProcessNode::Nm22);
+
+    DripsPowerBudget &dp = cfg.dripsPower;
+    // DRIPS power is leakage-dominated on-die; toggling blocks carry a
+    // dynamic component.
+    dp.procWakeTimer *= 0.5 * leak_up + 0.5 * dyn_up;
+    dp.procAonIo *= 0.6 * leak_up + 0.4 * dyn_up;
+    dp.srSramSa *= leak_up;
+    dp.srSramCores *= leak_up;
+    dp.bootSram *= leak_up;
+    dp.chipsetAon *= chipset_leak_up;
+    dp.chipsetFastClock *= chipset_leak_up;
+
+    ActivePowerBudget &ap = cfg.activePower;
+    ap.coresGfxBase *= dyn_up;
+    ap.systemAgent *= dyn_up;
+    ap.llc *= dyn_up;
+    ap.pmu *= dyn_up;
+    ap.chipsetActive *= chipset_leak_up;
+
+    // Haswell-ULT's DRIPS (C10) exit latency was ~3 ms, dominated by
+    // voltage-regulator re-initialization (paper Sec. 3).
+    cfg.timings.vrRampUp = 2800 * oneUs;
+    cfg.timings.baselineExit = 3000 * oneUs;
+
+    return cfg;
+}
+
+} // namespace odrips

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Platform configuration: Table 1 of the paper plus every calibrated
+ * power/latency constant of the power model.
+ *
+ * Calibration anchors (all from the paper, see DESIGN.md Sec. 4):
+ *  - platform DRIPS power ~60 mW at the battery, 74% delivery efficiency
+ *    (so ~44.4 mW nominal);
+ *  - processor share 18%; wake/timer + 24 MHz XTAL 5%; AON IO 7%;
+ *    S/R SRAM 9%;
+ *  - C0 (display off) ~3 W; exit latency ~300 us; entry ~200 us;
+ *  - idle dwell ~30 s; active dwell 100-300 ms.
+ */
+
+#ifndef ODRIPS_PLATFORM_CONFIG_HH
+#define ODRIPS_PLATFORM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/dram.hh"
+#include "mem/nvm.hh"
+#include "power/process_scaling.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Technology used to hold the processor context in the idle state. */
+enum class ContextStorage
+{
+    SrSram, ///< baseline: on-chip save/restore SRAMs
+    Dram,   ///< ODRIPS: SGX-protected DRAM region
+    Emram,  ///< ODRIPS-MRAM: on-die embedded MRAM
+};
+
+/** Main-memory technology (Sec. 8.3 swaps DRAM for PCM). */
+enum class MainMemoryKind
+{
+    Ddr3l,
+    Pcm,
+};
+
+/** Nominal (load-side) power constants for the DRIPS breakdown. */
+struct DripsPowerBudget
+{
+    /** Processor PMU wake-up monitoring + timer toggling. */
+    double procWakeTimer = 1.2e-3;
+    /** Processor AON IO bank. */
+    double procAonIo = 4.2e-3;
+    /** System-agent save/restore SRAM (part of the 200 KB context). */
+    double srSramSa = 1.7e-3;
+    /** Cores/GFX save/restore SRAM. */
+    double srSramCores = 3.7e-3;
+    /** Boot SRAM (~1 KB, always retained, both designs). */
+    double bootSram = 0.03e-3;
+    /** Chipset always-on domain (the wake "hub"). */
+    double chipsetAon = 16.6e-3;
+    /** Chipset 24 MHz clock tree (off in ODRIPS slow mode). */
+    double chipsetFastClock = 0.5e-3;
+    /** 24 MHz crystal oscillator on the board. */
+    double xtal24 = 1.8e-3;
+    /** 32.768 kHz RTC crystal. */
+    double xtal32 = 0.3e-3;
+    /** Remaining board components (EC, sensors, rails). */
+    double boardOther = 5.97e-3;
+    // DRAM self-refresh (7.0e-3) and CKE drive (1.4e-3) come from
+    // DramConfig.
+};
+
+/** Active-state (C0, display off) nominal power constants. */
+struct ActivePowerBudget
+{
+    /** Core+GFX dynamic coefficient: watts at baseFrequency/baseVolt. */
+    double coresGfxBase = 1.90;
+    /** System agent while active. */
+    double systemAgent = 0.18;
+    /** LLC while active. */
+    double llc = 0.08;
+    /** PMU while active. */
+    double pmu = 0.01;
+    /** Chipset additional active power (on top of AON). */
+    double chipsetActive = 0.18;
+    /** Board additional active power (on top of boardOther). */
+    double boardActive = 0.15;
+    /** Core power while clock-gated on a memory stall (fraction of
+     * active core power). */
+    double stallPowerFraction = 0.12;
+    /**
+     * Fabric/uncore power while the entry/exit flows sequence the
+     * platform (rails partially up, cores off). Dominates Entry_power
+     * and Exit_power in Eq. 1.
+     */
+    double transitionNominal = 1.0;
+
+    /**
+     * Sustained main-memory traffic during the active window, bytes/s.
+     * DRAM and PCM convert it to access power with their own energy
+     * per byte — this is what makes PCM costlier in C0 (Sec. 8.3).
+     */
+    double activeMemoryTraffic = 0.5e9;
+};
+
+/** Core voltage-frequency curve (piecewise linear with a Vmin floor). */
+struct VfCurve
+{
+    double vminVolts = 0.70;
+    /** Frequency up to which the core runs at Vmin. */
+    double vminCeilingHz = 1.0e9;
+    /** Voltage slope above the floor, volts per GHz. */
+    double slopeVoltsPerGHz = 0.12;
+    double maxFrequencyHz = 2.4e9;
+
+    /** Operating voltage at frequency @p hz. */
+    double
+    voltageAt(double hz) const
+    {
+        if (hz <= vminCeilingHz)
+            return vminVolts;
+        return vminVolts + slopeVoltsPerGHz * (hz - vminCeilingHz) / 1e9;
+    }
+};
+
+/** Flow latencies and firmware overheads. */
+struct FlowTimings
+{
+    /** Baseline DRIPS entry latency budget (paper: ~200 us). */
+    Tick baselineEntry = 200 * oneUs;
+    /** Baseline DRIPS exit latency budget (paper: ~300 us). */
+    Tick baselineExit = 300 * oneUs;
+
+    /** Voltage-regulator re-init on exit (paper: few hundred us on
+     * Skylake; this is the bulk of baselineExit). */
+    Tick vrRampUp = 265 * oneUs;
+    Tick vrRampDown = 60 * oneUs;
+    /** PMU rail turn-off and power-gate sequencing at entry. */
+    Tick pmuGate = 100 * oneUs;
+    /** Wake-event detection in the chipset. */
+    Tick wakeDetect = 1 * oneUs;
+    /** Firmware idle-state decision (LTR/TNTE evaluation). */
+    Tick firmwareDecision = 2 * oneUs;
+
+    /** 24 MHz crystal restart/stabilization on ODRIPS exit. */
+    Tick xtalRestart = 30 * oneUs;
+
+    /** FET switching time for AON IO gating. */
+    Tick fetSwitch = 2 * oneUs;
+
+    /**
+     * Firmware overhead per technique, spent at *pre-power-down* level
+     * (these dominate each technique's energy overhead and hence the
+     * break-even point; see DESIGN.md).
+     */
+    Tick wakeupEntryFirmware = 6 * oneUs;
+    Tick wakeupExitFirmware = 7 * oneUs;
+    Tick aonGateEntryFirmware = 12 * oneUs;
+    Tick aonGateExitFirmware = 13 * oneUs;
+    Tick ctxEntryFirmware = 6 * oneUs;
+    Tick ctxExitFirmware = 7 * oneUs;
+
+    /** Boot FSM: restore PMU + memory controller + MEE from Boot SRAM. */
+    Tick bootFsmRestore = 3 * oneUs;
+};
+
+/** Connected-standby workload parameters (Sec. 7, Workloads). */
+struct WorkloadConfig
+{
+    /** Mean idle dwell between kernel-maintenance wakes (~30 s). */
+    double idleDwellSeconds = 30.0;
+    /** Kernel maintenance active window: 100 - 300 ms. */
+    double activeMinSeconds = 0.100;
+    double activeMaxSeconds = 0.300;
+    /** CPU-bound cycles fraction of the active window (the rest is
+     * memory/IO stall time that does not scale with core frequency). */
+    double scalableFraction = 0.70;
+    /** Mean interval between push-notification (network) wakes; zero
+     * disables them. */
+    double networkWakeMeanSeconds = 0.0;
+    /**
+     * Interrupt-coalescing window (paper Sec. 3, Observation 1): an
+     * external wake arriving within this long *before* the next
+     * kernel-timer wake is buffered by the SoC/peripheral and handled
+     * together with it, eliminating a full wake cycle. Zero disables
+     * coalescing.
+     */
+    double coalescingWindowSeconds = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/** Top-level platform configuration. */
+struct PlatformConfig
+{
+    std::string name = "skylake-mobile";
+
+    /** Process node of the processor die. */
+    ProcessNode processorNode = ProcessNode::Nm14;
+    /** Process node of the chipset die. */
+    ProcessNode chipsetNode = ProcessNode::Nm22;
+
+    /** Core base frequency for connected-standby C0 (paper: 0.8 GHz). */
+    double coreFrequencyHz = 0.8e9;
+    VfCurve vfCurve;
+
+    /** LLC capacity (Table 1: 3 MB) and dirty fraction at entry. */
+    std::uint64_t llcBytes = 3ULL << 20;
+    double llcDirtyFraction = 0.20;
+
+    /** Processor context sizes (Sec. 6: ~200 KB total, ~1 KB boot). */
+    std::uint64_t saContextBytes = 64ULL << 10;
+    std::uint64_t coresContextBytes = 136ULL << 10;
+    std::uint64_t bootContextBytes = 1ULL << 10;
+
+    /** Crystals: nominal Hz and manufacturing deviation (ppm). */
+    double xtal24Ppm = 18.0;
+    double xtal32Ppm = -35.0;
+
+    /** Timer precision requirement: drift < 1 cycle per this many fast
+     * cycles (1e9 = 1 ppb, the paper's choice). */
+    std::uint64_t timerPrecisionCycles = 1000000000ULL;
+
+    MainMemoryKind memoryKind = MainMemoryKind::Ddr3l;
+    DramConfig dram;
+    PcmConfig pcm;
+
+    /** SGX/MEE: protected context region inside main memory. */
+    std::uint64_t sgxRegionBase = 64ULL << 20;
+    std::uint64_t sgxRegionSize = 64ULL << 20;
+    /** MEE metadata cache capacity in nodes (80 B each). */
+    std::size_t meeCacheNodes = 128;
+    std::size_t meeCacheAssociativity = 8;
+
+    ContextStorage contextStorage = ContextStorage::SrSram;
+    /** eMRAM pessimism (1.0 = the paper's optimistic assumption). */
+    double emramPessimism = 1.0;
+
+    /**
+     * Fraction of S/R SRAM power that cannot be removed by
+     * CTX-SGX-DRAM (array periphery, range registers, MEE retention).
+     */
+    double srSramResidualFraction = 0.15;
+
+    /**
+     * Residual with eMRAM context storage: the NVM array replaces the
+     * SRAM arrays outright, so only range-register/control retention
+     * remains.
+     */
+    double emramResidualFraction = 0.04;
+
+    DripsPowerBudget dripsPower;
+    ActivePowerBudget activePower;
+    FlowTimings timings;
+    WorkloadConfig workload;
+
+    /** Power delivery: low-load efficiency (DRIPS) and high-load
+     * efficiency (C0), with the threshold between them. */
+    double pdLowEfficiency = 0.74;
+    double pdHighEfficiency = 0.87;
+    double pdThresholdWatts = 0.2;
+
+    /** Chipset GPIO pin count (two spares get claimed by ODRIPS). */
+    unsigned gpioPins = 32;
+
+    /** PML serialization parameters. */
+    std::uint64_t pmlCyclesPerWord = 4;
+    std::uint64_t pmlProtocolCycles = 8;
+
+    /** Core active power at a given frequency (nominal watts). */
+    double coresGfxPowerAt(double hz) const;
+
+    /** Effective peak bandwidth of the configured main memory. */
+    double mainMemoryBandwidth() const;
+};
+
+/** The paper's target system: Skylake + Sunrise Point-LP (Table 1). */
+PlatformConfig skylakeConfig();
+
+/**
+ * The paper's measurement baseline: Haswell-ULT + Lynx Point-LP at
+ * 22 nm. Produced by *unscaling* the Skylake numbers with the process
+ * model — mirroring (in reverse) the paper's measure-then-scale
+ * methodology.
+ */
+PlatformConfig haswellUltConfig();
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_CONFIG_HH

@@ -1,0 +1,58 @@
+#include "platform/context.hh"
+
+namespace odrips
+{
+
+std::uint64_t
+ContextRegion::checksum() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+ContextRegion::regenerate(Rng &rng)
+{
+    for (std::size_t i = 0; i + 8 <= bytes.size(); i += 8) {
+        const std::uint64_t v = rng.next64();
+        for (int k = 0; k < 8; ++k)
+            bytes[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+    for (std::size_t i = bytes.size() & ~std::size_t{7}; i < bytes.size();
+         ++i) {
+        bytes[i] = static_cast<std::uint8_t>(rng.next64());
+    }
+}
+
+ProcessorContext::ProcessorContext(std::uint64_t sa_bytes,
+                                   std::uint64_t cores_bytes,
+                                   std::uint64_t boot_bytes,
+                                   std::uint64_t seed)
+    : rng(seed)
+{
+    sa_.bytes.resize(sa_bytes);
+    cores_.bytes.resize(cores_bytes);
+    boot_.bytes.resize(boot_bytes);
+    touch();
+}
+
+void
+ProcessorContext::touch()
+{
+    sa_.regenerate(rng);
+    cores_.regenerate(rng);
+    boot_.regenerate(rng);
+}
+
+std::uint64_t
+ProcessorContext::checksum() const
+{
+    return sa_.checksum() ^ (cores_.checksum() << 1) ^
+           (boot_.checksum() << 2);
+}
+
+} // namespace odrips

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Processor context: the ~200 KB of state that must survive DRIPS
+ * (Sec. 6: configuration/status registers, firmware persistent data and
+ * patches, fuse values), plus the ~1 KB boot-critical subset (PMU,
+ * memory-controller, and MEE state) that always stays on-chip.
+ *
+ * The blobs hold real pseudo-random bytes so the save/restore paths
+ * (SRAM, MEE-protected DRAM, eMRAM) can be verified end-to-end with
+ * checksums.
+ */
+
+#ifndef ODRIPS_PLATFORM_CONTEXT_HH
+#define ODRIPS_PLATFORM_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace odrips
+{
+
+/** One region of processor context. */
+struct ContextRegion
+{
+    std::vector<std::uint8_t> bytes;
+
+    /** FNV-1a checksum for end-to-end verification. */
+    std::uint64_t checksum() const;
+
+    /** Fill with fresh deterministic content (as if the processor ran
+     * and mutated its CSRs). */
+    void regenerate(Rng &rng);
+};
+
+/** The full processor context. */
+class ProcessorContext
+{
+  public:
+    ProcessorContext(std::uint64_t sa_bytes, std::uint64_t cores_bytes,
+                     std::uint64_t boot_bytes, std::uint64_t seed = 7);
+
+    /** System-agent context (saved by the SA FSM). */
+    ContextRegion &sa() { return sa_; }
+    const ContextRegion &sa() const { return sa_; }
+
+    /** Cores + graphics context (saved by the LLC FSM). */
+    ContextRegion &cores() { return cores_; }
+    const ContextRegion &cores() const { return cores_; }
+
+    /** Boot-critical context (PMU/MC/MEE state; stays in Boot SRAM). */
+    ContextRegion &boot() { return boot_; }
+    const ContextRegion &boot() const { return boot_; }
+
+    /** Total size excluding the boot subset. */
+    std::uint64_t
+    transferableBytes() const
+    {
+        return sa_.bytes.size() + cores_.bytes.size();
+    }
+
+    /** Mutate all regions (a new active period ran). */
+    void touch();
+
+    /** Combined checksum over all regions. */
+    std::uint64_t checksum() const;
+
+  private:
+    Rng rng;
+    ContextRegion sa_;
+    ContextRegion cores_;
+    ContextRegion boot_;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_CONTEXT_HH

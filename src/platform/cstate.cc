@@ -1,0 +1,68 @@
+#include "platform/cstate.hh"
+
+namespace odrips
+{
+
+CStateTable::CStateTable(std::vector<CState> states)
+    : table(std::move(states))
+{
+    ODRIPS_ASSERT(table.size() >= 2, "C-state table needs C0 and an idle "
+                                     "state");
+    ODRIPS_ASSERT(table.front().index == 0, "first state must be C0");
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        ODRIPS_ASSERT(table[i].index > table[i - 1].index,
+                      "C-states must be ordered by depth");
+        ODRIPS_ASSERT(table[i].exitLatency >= table[i - 1].exitLatency,
+                      "deeper C-states cannot have shorter exit latency");
+    }
+    ODRIPS_ASSERT(table.back().isDrips, "deepest state must be DRIPS");
+}
+
+CStateTable
+CStateTable::skylake()
+{
+    // Latencies follow the platform's published order of magnitude;
+    // relative powers are calibrated to the paper's 60 mW DRIPS and
+    // ~3 W C0 anchors.
+    return CStateTable({
+        {"C0", 0, 0, 0, 50.0, false},
+        {"C1", 1, 2 * oneUs, oneUs, 25.0, false},
+        {"C3", 3, 50 * oneUs, 30 * oneUs, 8.0, false},
+        {"C6", 6, 85 * oneUs, 50 * oneUs, 4.0, false},
+        {"C7", 7, 110 * oneUs, 70 * oneUs, 2.5, false},
+        {"C8", 8, 200 * oneUs, 140 * oneUs, 1.6, false},
+        {"C10", 10, 300 * oneUs, 200 * oneUs, 1.0, true},
+    });
+}
+
+const CState &
+CStateTable::select(Tick ltr, Tick tnte) const
+{
+    // Deepest state that wakes within the latency tolerance AND whose
+    // transitions will be amortized by the expected dwell.
+    for (auto it = table.rbegin(); it != table.rend(); ++it) {
+        if (it->index == 0)
+            continue;
+        if (it->exitLatency > ltr)
+            continue;
+        const Tick transitions = it->entryLatency + it->exitLatency;
+        if (residencyFactor * transitions > tnte)
+            continue;
+        return *it;
+    }
+    // Nothing qualifies: take the shallowest idle state anyway
+    // (C0 is not an idle choice).
+    return table[1];
+}
+
+const CState &
+CStateTable::byIndex(int index) const
+{
+    for (const CState &s : table) {
+        if (s.index == index)
+            return s;
+    }
+    fatal("no C-state with index ", index);
+}
+
+} // namespace odrips

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Processor idle power states (C-states).
+ *
+ * C-states are numbered C0 (active) to Cn; deeper states consume less
+ * power but cost more entry/exit latency (paper Sec. 1). The deepest,
+ * C10 on this platform, is DRIPS. The PMU selects the target state from
+ * latency tolerance reporting (LTR) and the time to the next timer
+ * event (TNTE).
+ */
+
+#ifndef ODRIPS_PLATFORM_CSTATE_HH
+#define ODRIPS_PLATFORM_CSTATE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** One idle power state. */
+struct CState
+{
+    std::string name;
+    /** Numeric depth (0 = active). */
+    int index = 0;
+    /** Worst-case exit latency back to C0. */
+    Tick exitLatency = 0;
+    /** Entry latency from C0. */
+    Tick entryLatency = 0;
+    /**
+     * Platform power in this state relative to DRIPS power
+     * (1.0 = DRIPS; shallower states burn more).
+     */
+    double powerRelativeToDrips = 1.0;
+    /** True for the deepest runtime idle power state. */
+    bool isDrips = false;
+};
+
+/** Ordered table of the platform's C-states. */
+class CStateTable
+{
+  public:
+    explicit CStateTable(std::vector<CState> states);
+
+    /** The Skylake mobile table (C0..C10). */
+    static CStateTable skylake();
+
+    const std::vector<CState> &states() const { return table; }
+
+    const CState &active() const { return table.front(); }
+    const CState &deepest() const { return table.back(); }
+
+    /**
+     * PMU selection policy: the deepest state that is both
+     * latency-feasible and residency-worthy. The exit latency must fit
+     * the devices' latency tolerance (@p ltr); and the time to the next
+     * timer event (@p tnte) must cover the state's transitions with
+     * margin (the firmware's energy-break-even heuristic:
+     * tnte >= residencyFactor * (entry + exit)). Never selects C0.
+     */
+    const CState &select(Tick ltr, Tick tnte) const;
+
+    /** Residency heuristic multiplier used by select(). */
+    static constexpr Tick residencyFactor = 3;
+
+    /** Find by index (fatal if absent). */
+    const CState &byIndex(int index) const;
+
+  private:
+    std::vector<CState> table;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_CSTATE_HH

@@ -1,0 +1,136 @@
+#include "platform/platform.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+std::uint64_t
+roundUp64(std::uint64_t v)
+{
+    return (v + 63) & ~std::uint64_t{63};
+}
+
+} // namespace
+
+Platform::Platform(const PlatformConfig &config)
+    : Named(config.name),
+      cfg(config),
+      pd(PowerDelivery::stepped(config.pdThresholdWatts,
+                                config.pdLowEfficiency,
+                                config.pdHighEfficiency)),
+      board(name() + ".board", pm, cfg),
+      chipset(name() + ".chipset", pm, cfg, board.xtal24, board.xtal32),
+      processor(name() + ".processor", pm, cfg, board.xtal24),
+      memoryComp(pm, name() + ".dram", "memory"),
+      ckeComp(pm, name() + ".cke_drive", "memory"),
+      emramComp(pm, name() + ".emram", "processor"),
+      pml(name() + ".pml", chipset.fastClock, cfg.pmlCyclesPerWord,
+          cfg.pmlProtocolCycles),
+      accountant(pm, pd),
+      analyzer(name() + ".analyzer", eq)
+{
+    // Main memory technology (Sec. 8.3 swaps DRAM for PCM).
+    if (cfg.memoryKind == MainMemoryKind::Ddr3l) {
+        memory = std::make_unique<Dram>(name() + ".ddr3l", cfg.dram,
+                                        &memoryComp, &ckeComp);
+    } else {
+        memory = std::make_unique<Pcm>(name() + ".pcm", cfg.pcm,
+                                       &memoryComp);
+    }
+
+    // The platform boots into C0 with nominal memory traffic.
+    memory->setActiveTraffic(cfg.activePower.activeMemoryTraffic, 0);
+
+    // Protected context region + MEE.
+    ctxBase = cfg.sgxRegionBase;
+    ctxSize = roundUp64(cfg.saContextBytes + cfg.coresContextBytes);
+
+    MeeConfig mee_cfg;
+    for (std::size_t i = 0; i < mee_cfg.key.size(); ++i)
+        mee_cfg.key[i] = static_cast<std::uint8_t>(0xA5 ^ (17 * i));
+    mee_cfg.dataBase = ctxBase;
+    mee_cfg.dataSize = ctxSize;
+    mee_cfg.metaBase = cfg.sgxRegionBase + cfg.sgxRegionSize / 2;
+    mee_cfg.cacheNodes = cfg.meeCacheNodes;
+    mee_cfg.cacheAssociativity = cfg.meeCacheAssociativity;
+    mee = std::make_unique<Mee>(name() + ".mee", *memory, mee_cfg);
+
+    memoryController = std::make_unique<MemoryController>(
+        name() + ".mem_ctrl", *memory, mee.get());
+    memoryController->setProtectedRange({ctxBase, ctxSize});
+
+    // eMRAM macro sized for the transferable context (ODRIPS-MRAM).
+    EmramConfig em_cfg;
+    em_cfg.capacityBytes = cfg.saContextBytes + cfg.coresContextBytes;
+    em_cfg.pessimism = cfg.emramPessimism;
+    emram = std::make_unique<Emram>(name() + ".emram", em_cfg,
+                                    &emramComp);
+
+    // Voltage rails. The AON supply stays up through DRIPS; everything
+    // else is switchable.
+    Rail &aon = rails.add("vcc_aon", 1.0);
+    aon.attach(processor.wakeTimer);
+    aon.attach(processor.aonIoComp);
+    aon.attach(processor.saSramComp);
+    aon.attach(processor.coresSramComp);
+    aon.attach(processor.bootSramComp);
+    aon.attach(processor.srResidual);
+    aon.attach(chipset.aonDomain);
+    aon.attach(chipset.fastClockTree);
+    aon.attach(chipset.timers);
+
+    Rail &compute = rails.add("vcc_compute", 0.70);
+    compute.attach(processor.coresGfx);
+
+    Rail &sa = rails.add("vcc_sa", 0.85);
+    sa.attach(processor.systemAgent);
+    sa.attach(processor.llc);
+    sa.attach(processor.pmuActive);
+    sa.attach(processor.transition);
+    sa.attach(chipset.activeExtra);
+
+    Rail &mem_rail = rails.add("vddq_mem", 1.35); // DDR3L
+    mem_rail.attach(memoryComp);
+    mem_rail.attach(ckeComp);
+    mem_rail.attach(emramComp);
+
+    Rail &board_rail = rails.add("v3p3_board", 3.3);
+    board_rail.attach(board.xtal24Comp);
+    board_rail.attach(board.xtal32Comp);
+    board_rail.attach(board.otherComp);
+    board_rail.attach(board.activeExtra);
+    board_rail.attach(board.fetLeakage);
+
+    // Default measurement channels: the four SMU channels of the
+    // paper's setup.
+    analyzer.addChannel("platform", [this] { return batteryPower(); });
+    analyzer.addChannel("processor",
+                        [this] { return groupBatteryPower("processor"); });
+    analyzer.addChannel("chipset",
+                        [this] { return groupBatteryPower("chipset"); });
+    analyzer.addChannel("memory",
+                        [this] { return groupBatteryPower("memory"); });
+}
+
+double
+Platform::groupBatteryPower(const std::string &group) const
+{
+    const double total = pm.totalPower();
+    if (total <= 0)
+        return 0.0;
+    const double tax = pd.batteryPower(total) / total;
+    return pm.groupPower(group) * tax;
+}
+
+Dram &
+Platform::dram()
+{
+    auto *d = dynamic_cast<Dram *>(memory.get());
+    if (!d)
+        fatal(name(), ": platform is not configured with DDR3L");
+    return *d;
+}
+
+} // namespace odrips

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The full mobile platform of Fig. 1(a): board + chipset + processor +
+ * main memory + MEE + memory controller + PML, wired to a shared event
+ * queue, power model, and measurement infrastructure.
+ */
+
+#ifndef ODRIPS_PLATFORM_PLATFORM_HH
+#define ODRIPS_PLATFORM_PLATFORM_HH
+
+#include <memory>
+
+#include "io/pml.hh"
+#include "mem/dram.hh"
+#include "mem/memory_controller.hh"
+#include "mem/nvm.hh"
+#include "platform/board.hh"
+#include "platform/chipset.hh"
+#include "platform/config.hh"
+#include "platform/processor.hh"
+#include "power/energy_accountant.hh"
+#include "power/power_analyzer.hh"
+#include "power/power_delivery.hh"
+#include "power/rail.hh"
+#include "security/mee.hh"
+
+namespace odrips
+{
+
+/** The complete simulated platform. */
+class Platform : public Named
+{
+  public:
+    explicit Platform(const PlatformConfig &config);
+
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
+
+    /** Owned copy of the configuration. */
+    const PlatformConfig cfg;
+
+    EventQueue eq;
+    PowerModel pm;
+    PowerDelivery pd;
+
+    Board board;
+    Chipset chipset;
+    Processor processor;
+
+    /** Main memory array power (self-refresh vs idle). */
+    PowerComponent memoryComp;
+    /** Processor-side CKE drive power. */
+    PowerComponent ckeComp;
+    /** eMRAM macro power (ODRIPS-MRAM only). */
+    PowerComponent emramComp;
+
+    /** DDR3L or PCM, per cfg.memoryKind. */
+    std::unique_ptr<MainMemory> memory;
+    /** Memory encryption engine over the protected context region. */
+    std::unique_ptr<Mee> mee;
+    /** Memory controller with the Context/SGX range register. */
+    std::unique_ptr<MemoryController> memoryController;
+    /** Embedded MRAM for ODRIPS-MRAM context storage. */
+    std::unique_ptr<Emram> emram;
+
+    /** Power-management link between processor and chipset. */
+    Pml pml;
+
+    /** Voltage rails (the AON supply of Fig. 1(a) plus the switchable
+     * compute/SA/memory rails). */
+    RailSet rails;
+
+    /** Exact battery-energy integration. */
+    EnergyAccountant accountant;
+    /** Sampling measurement emulation (Keysight N6705B). */
+    PowerAnalyzer analyzer;
+
+    /** Current simulated time. */
+    Tick now() const { return eq.now(); }
+
+    /** Instantaneous battery power at current component levels. */
+    double
+    batteryPower() const
+    {
+        return pd.batteryPower(pm.totalPower());
+    }
+
+    /** Battery-level power of a component group right now. */
+    double groupBatteryPower(const std::string &group) const;
+
+    /** Base address of the protected context region in main memory. */
+    std::uint64_t contextRegionBase() const { return ctxBase; }
+    /** Size of the protected context region (64 B aligned). */
+    std::uint64_t contextRegionSize() const { return ctxSize; }
+
+    /** Dram accessor (fatal when the platform uses PCM). */
+    Dram &dram();
+
+  private:
+    std::uint64_t ctxBase = 0;
+    std::uint64_t ctxSize = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_PLATFORM_HH

@@ -1,0 +1,94 @@
+#include "platform/processor.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+SramConfig
+srSramConfig(std::uint64_t capacity, double retention_watts)
+{
+    SramConfig c;
+    c.capacityBytes = capacity;
+    c.process = SramProcess::HighPerformance;
+    c.hpRetentionLeakPerByte =
+        retention_watts / static_cast<double>(capacity);
+    return c;
+}
+
+} // namespace
+
+Processor::Processor(std::string name, PowerModel &pm,
+                     const PlatformConfig &config, const Crystal &xtal24)
+    : Named(name),
+      clock(name + ".clk24", xtal24),
+      coresGfx(pm, name + ".cores_gfx", "processor"),
+      systemAgent(pm, name + ".system_agent", "processor"),
+      llc(pm, name + ".llc", "processor"),
+      pmuActive(pm, name + ".pmu", "processor"),
+      wakeTimer(pm, name + ".wake_timer", "processor"),
+      srResidual(pm, name + ".sr_sram_residual", "processor"),
+      transition(pm, name + ".transition_fabric", "processor"),
+      aonIoComp(pm, name + ".aon_io", "processor"),
+      saSramComp(pm, name + ".sr_sram_sa", "processor"),
+      coresSramComp(pm, name + ".sr_sram_cores", "processor"),
+      bootSramComp(pm, name + ".boot_sram", "processor"),
+      saSram(name + ".sa_sram",
+             srSramConfig(config.saContextBytes,
+                          config.dripsPower.srSramSa),
+             &saSramComp),
+      coresSram(name + ".cores_sram",
+                srSramConfig(config.coresContextBytes,
+                             config.dripsPower.srSramCores),
+                &coresSramComp),
+      // The Boot SRAM holds the boot context plus the MEE root record.
+      bootSram(name + ".boot_sram",
+               srSramConfig(config.bootContextBytes + 64,
+                            config.dripsPower.bootSram),
+               &bootSramComp),
+      aonIos(name + ".aon_ios", &aonIoComp, config.dripsPower.procAonIo),
+      tsc(clock),
+      context(config.saContextBytes, config.coresContextBytes,
+              config.bootContextBytes),
+      cstates(CStateTable::skylake()),
+      coreFrequencyHz(config.coreFrequencyHz),
+      cfg(config)
+{
+    // The platform starts awake.
+    tsc.load(0, 0);
+    applyActivePower(0);
+    // Boot SRAM is always retained; the S/R SRAMs start active.
+    bootSram.setState(SramState::Retention, 0);
+}
+
+void
+Processor::applyActivePower(Tick now)
+{
+    coresGfx.setPower(cfg.coresGfxPowerAt(coreFrequencyHz), now);
+    systemAgent.setPower(cfg.activePower.systemAgent, now);
+    llc.setPower(cfg.activePower.llc, now);
+    pmuActive.setPower(cfg.activePower.pmu, now);
+    wakeTimer.setPower(cfg.dripsPower.procWakeTimer, now);
+    srResidual.setPower(0.0, now);
+    if (saSram.state() != SramState::Active)
+        saSram.setState(SramState::Active, now);
+    if (coresSram.state() != SramState::Active)
+        coresSram.setState(SramState::Active, now);
+}
+
+void
+Processor::applyComputeIdle(Tick now)
+{
+    coresGfx.setPower(0.0, now);
+    llc.setPower(cfg.activePower.llc * 0.5, now); // still powered, idle
+}
+
+double
+Processor::stallPower() const
+{
+    return cfg.coresGfxPowerAt(coreFrequencyHz) *
+           cfg.activePower.stallPowerFraction;
+}
+
+} // namespace odrips

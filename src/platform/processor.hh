@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The processor die: compute domains, system agent, LLC, PMU, wake
+ * timer, save/restore SRAMs, Boot SRAM, AON IO bank, and the processor
+ * context. Matches the green-highlighted blocks of Fig. 1(a).
+ */
+
+#ifndef ODRIPS_PLATFORM_PROCESSOR_HH
+#define ODRIPS_PLATFORM_PROCESSOR_HH
+
+#include "clock/clock_domain.hh"
+#include "io/aon_io.hh"
+#include "mem/sram.hh"
+#include "platform/config.hh"
+#include "platform/context.hh"
+#include "platform/cstate.hh"
+#include "power/power_model.hh"
+#include "timing/fast_timer.hh"
+
+namespace odrips
+{
+
+/** The processor die. */
+class Processor : public Named
+{
+  public:
+    Processor(std::string name, PowerModel &pm, const PlatformConfig &cfg,
+              const Crystal &xtal24);
+
+    /** Own 24 MHz clock domain (fed through the AON clock buffers). */
+    ClockDomain clock;
+
+    // --- power components (nominal watts; flows drive them) ---
+    PowerComponent coresGfx;    ///< cores + graphics compute power
+    PowerComponent systemAgent; ///< SA (memory/IO controllers)
+    PowerComponent llc;         ///< last-level cache
+    PowerComponent pmuActive;   ///< PMU logic while awake
+    PowerComponent wakeTimer;   ///< PMU wake monitoring + timer toggle
+    PowerComponent srResidual;  ///< S/R SRAM residual with CTX offload
+    PowerComponent transition;  ///< fabric power during entry/exit flows
+    PowerComponent aonIoComp;   ///< backing component for aonIos
+    PowerComponent saSramComp;
+    PowerComponent coresSramComp;
+    PowerComponent bootSramComp;
+
+    // --- state-holding blocks ---
+    Sram saSram;       ///< SA save/restore SRAM
+    Sram coresSram;    ///< cores/GFX save/restore SRAM
+    Sram bootSram;     ///< ~1 KB always-retained boot context
+    AonIoBank aonIos;  ///< the gateable AON IO bank
+    FastTimer tsc;     ///< main wake timer (time-stamp counter proxy)
+    ProcessorContext context;
+    CStateTable cstates;
+
+    /** Core frequency currently programmed for C0. */
+    double coreFrequencyHz;
+
+    /** Put compute + SA + LLC + PMU at active (C0) levels. */
+    void applyActivePower(Tick now);
+
+    /** Compute domains entered their deepest state (pre-DRIPS). */
+    void applyComputeIdle(Tick now);
+
+    /** Core power while clock-gated on a memory stall. */
+    double stallPower() const;
+
+  private:
+    const PlatformConfig &cfg;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_PROCESSOR_HH

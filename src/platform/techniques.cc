@@ -1,0 +1,87 @@
+#include "platform/techniques.hh"
+
+namespace odrips
+{
+
+std::string
+TechniqueSet::label() const
+{
+    if (!any())
+        return "DRIPS (baseline)";
+    if (wakeupOff && aonIoGate && contextOffload) {
+        switch (contextStorage) {
+          case ContextStorage::Dram: return "ODRIPS";
+          case ContextStorage::Emram: return "ODRIPS-MRAM";
+          case ContextStorage::SrSram: break;
+        }
+        return "ODRIPS";
+    }
+    if (wakeupOff && aonIoGate)
+        return "AON-IO-GATE";
+    if (wakeupOff)
+        return "WAKE-UP-OFF";
+    if (contextOffload)
+        return "CTX-SGX-DRAM";
+    return "custom";
+}
+
+TechniqueSet
+TechniqueSet::baseline()
+{
+    return {};
+}
+
+TechniqueSet
+TechniqueSet::wakeupOffOnly()
+{
+    TechniqueSet t;
+    t.wakeupOff = true;
+    return t;
+}
+
+TechniqueSet
+TechniqueSet::aonIoGated()
+{
+    TechniqueSet t;
+    t.wakeupOff = true;
+    t.aonIoGate = true;
+    return t;
+}
+
+TechniqueSet
+TechniqueSet::ctxSgxDram()
+{
+    TechniqueSet t;
+    t.contextOffload = true;
+    t.contextStorage = ContextStorage::Dram;
+    return t;
+}
+
+TechniqueSet
+TechniqueSet::odrips()
+{
+    TechniqueSet t;
+    t.wakeupOff = true;
+    t.aonIoGate = true;
+    t.contextOffload = true;
+    t.contextStorage = ContextStorage::Dram;
+    return t;
+}
+
+TechniqueSet
+TechniqueSet::odripsMram()
+{
+    TechniqueSet t = odrips();
+    t.contextStorage = ContextStorage::Emram;
+    return t;
+}
+
+TechniqueSet
+TechniqueSet::odripsPcm()
+{
+    // Same techniques as ODRIPS; the platform must be configured with
+    // MainMemoryKind::Pcm so self-refresh and CKE drive disappear.
+    return odrips();
+}
+
+} // namespace odrips

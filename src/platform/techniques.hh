@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The ODRIPS technique set: which of the paper's three power-reduction
+ * techniques are enabled on a platform, plus the named configurations
+ * evaluated in Fig. 6.
+ */
+
+#ifndef ODRIPS_PLATFORM_TECHNIQUES_HH
+#define ODRIPS_PLATFORM_TECHNIQUES_HH
+
+#include <string>
+
+#include "platform/config.hh"
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** Enabled techniques for a run. */
+struct TechniqueSet
+{
+    /** Technique 1 (Sec. 4): migrate timer wake-up handling to the
+     * chipset's slow timer; turn off the 24 MHz crystal. */
+    bool wakeupOff = false;
+
+    /** Technique 2 (Sec. 5): offload AON IO functions to the chipset
+     * and power-gate the processor's AON IOs with the board FET.
+     * Requires wakeupOff (paper footnote 4). */
+    bool aonIoGate = false;
+
+    /** Technique 3 (Sec. 6): store the processor context outside the
+     * S/R SRAMs. Where it goes is contextStorage. */
+    bool contextOffload = false;
+
+    /** Destination for the offloaded context. */
+    ContextStorage contextStorage = ContextStorage::Dram;
+
+    /** Validate technique dependencies. */
+    void
+    validate() const
+    {
+        if (aonIoGate && !wakeupOff) {
+            fatal("AON IO gating requires wake-up event migration "
+                  "(the chipset must host wake events before the "
+                  "processor's AON IOs can be gated)");
+        }
+    }
+
+    bool
+    any() const
+    {
+        return wakeupOff || aonIoGate || contextOffload;
+    }
+
+    std::string label() const;
+
+    /** Named configurations from Fig. 6. */
+    static TechniqueSet baseline();       ///< DRIPS as shipped
+    static TechniqueSet wakeupOffOnly();  ///< WAKE-UP-OFF
+    static TechniqueSet aonIoGated();     ///< AON-IO-GATE (incl. T1)
+    static TechniqueSet ctxSgxDram();     ///< CTX-SGX-DRAM alone
+    static TechniqueSet odrips();         ///< all three
+    static TechniqueSet odripsMram();     ///< ODRIPS-MRAM
+    static TechniqueSet odripsPcm();      ///< ODRIPS-PCM (with PCM main
+                                          ///  memory in PlatformConfig)
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_TECHNIQUES_HH

@@ -1,0 +1,86 @@
+#include "power/breakdown.hh"
+
+#include <algorithm>
+
+namespace odrips
+{
+
+double
+PowerBreakdown::groupShare(const std::string &group) const
+{
+    double sum = 0.0;
+    for (const auto &e : entries) {
+        if (e.group == group)
+            sum += e.share;
+    }
+    return sum;
+}
+
+double
+PowerBreakdown::componentShare(const std::string &component) const
+{
+    for (const auto &e : entries) {
+        if (e.component == component)
+            return e.share;
+    }
+    return 0.0;
+}
+
+stats::Table
+PowerBreakdown::toTable(const std::string &title) const
+{
+    stats::Table table(title);
+    table.setHeader({"component", "group", "rail power", "share"});
+
+    std::vector<BreakdownEntry> sorted = entries;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BreakdownEntry &a, const BreakdownEntry &b) {
+                  return a.batteryWatts > b.batteryWatts;
+              });
+
+    for (const auto &e : sorted) {
+        if (e.nominalWatts <= 0.0)
+            continue;
+        table.addRow({e.component, e.group,
+                      stats::fmtPower(e.nominalWatts),
+                      stats::fmtPercent(e.share)});
+    }
+    table.addSeparator();
+    table.addRow({"power delivery loss", "board",
+                  stats::fmtPower(deliveryLoss),
+                  stats::fmtPercent(totalBattery > 0
+                                        ? deliveryLoss / totalBattery
+                                        : 0.0)});
+    table.addRow({"TOTAL (battery)", "", stats::fmtPower(totalBattery),
+                  "100.0%"});
+    return table;
+}
+
+PowerBreakdown
+snapshotBreakdown(const PowerModel &model, const PowerDelivery &pd)
+{
+    PowerBreakdown bd;
+    bd.totalNominal = model.totalPower();
+    bd.totalBattery = pd.batteryPower(bd.totalNominal);
+    bd.deliveryLoss = bd.totalBattery - bd.totalNominal;
+
+    // Fig. 1(b) shows each component's rail-side power as a share of
+    // the total battery power, with the power-delivery loss as its own
+    // slice (26% at the paper's 74% DRIPS efficiency). Components keep
+    // their nominal (rail-side) watts; shares are taken against the
+    // battery total so that component shares plus the loss share sum
+    // to one.
+    for (const PowerComponent *c : model.components()) {
+        BreakdownEntry e;
+        e.component = c->name();
+        e.group = c->group();
+        e.nominalWatts = c->power();
+        e.batteryWatts = c->power();
+        e.share = bd.totalBattery > 0 ? e.nominalWatts / bd.totalBattery
+                                      : 0.0;
+        bd.entries.push_back(std::move(e));
+    }
+    return bd;
+}
+
+} // namespace odrips

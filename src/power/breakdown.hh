@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Platform power breakdown reporting (used for Fig. 1(b)).
+ */
+
+#ifndef ODRIPS_POWER_BREAKDOWN_HH
+#define ODRIPS_POWER_BREAKDOWN_HH
+
+#include <string>
+#include <vector>
+
+#include "power/power_delivery.hh"
+#include "power/power_model.hh"
+#include "stats/report.hh"
+
+namespace odrips
+{
+
+/** One row of a power-breakdown snapshot. */
+struct BreakdownEntry
+{
+    std::string component;
+    std::string group;
+    /** Rail-side (nominal) watts drawn by the component. */
+    double nominalWatts;
+    /** Same as nominalWatts (kept for reporting symmetry). */
+    double batteryWatts;
+    /** Share of total *battery* power; all component shares plus the
+     * delivery-loss share sum to one (Fig. 1(b) convention). */
+    double share;
+};
+
+/** Snapshot of the platform power breakdown at an instant. */
+struct PowerBreakdown
+{
+    std::vector<BreakdownEntry> entries;
+    double totalNominal = 0.0;
+    double totalBattery = 0.0;
+    double deliveryLoss = 0.0;
+
+    /** Sum the battery share of all components in a group. */
+    double groupShare(const std::string &group) const;
+
+    /** Battery share of a single named component (0 if absent). */
+    double componentShare(const std::string &component) const;
+
+    /** Render as a table (sorted by descending battery power). */
+    stats::Table toTable(const std::string &title) const;
+};
+
+/** Take a breakdown snapshot of the model's current power levels. */
+PowerBreakdown snapshotBreakdown(const PowerModel &model,
+                                 const PowerDelivery &pd);
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_BREAKDOWN_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A power-consuming platform component.
+ *
+ * Each component reports a *nominal* (load-side) power draw that changes
+ * piecewise over time as flows turn blocks on and off. The PowerModel
+ * integrates these into per-component energies; the power-delivery model
+ * converts nominal power into battery power.
+ */
+
+#ifndef ODRIPS_POWER_COMPONENT_HH
+#define ODRIPS_POWER_COMPONENT_HH
+
+#include <string>
+
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+class PowerModel;
+
+/** A component with a piecewise-constant nominal power draw. */
+class PowerComponent : public Named
+{
+  public:
+    /**
+     * @param model the owning power model (registers automatically)
+     * @param name  instance name
+     * @param group reporting group ("processor", "chipset", "board",
+     *              "memory") used by breakdown tables
+     */
+    PowerComponent(PowerModel &model, std::string name, std::string group);
+    ~PowerComponent() override;
+
+    PowerComponent(const PowerComponent &) = delete;
+    PowerComponent &operator=(const PowerComponent &) = delete;
+
+    /** Current nominal power in watts. */
+    double power() const { return watts; }
+
+    /** Change the draw at time @p when (integrates history first). */
+    void setPower(double new_watts, Tick when);
+
+    /** Reporting group. */
+    const std::string &group() const { return _group; }
+
+    /** Energy consumed so far in joules (up to the last integration). */
+    double energy() const { return joules; }
+
+  private:
+    friend class PowerModel;
+
+    PowerModel &model;
+    std::string _group;
+    double watts = 0.0;
+    double joules = 0.0;
+    Tick lastUpdate = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_COMPONENT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Exact battery-energy integration.
+ *
+ * Listens to PowerModel changes and integrates battery power (nominal
+ * power put through the PowerDelivery model) piecewise-exactly. This is
+ * the analytic counterpart of the sampling PowerAnalyzer; tests check
+ * the two agree.
+ */
+
+#ifndef ODRIPS_POWER_ENERGY_ACCOUNTANT_HH
+#define ODRIPS_POWER_ENERGY_ACCOUNTANT_HH
+
+#include "power/power_delivery.hh"
+#include "power/power_model.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Integrates battery-side energy exactly across power changes. */
+class EnergyAccountant
+{
+  public:
+    EnergyAccountant(PowerModel &model, const PowerDelivery &delivery)
+        : model(model), pd(delivery)
+    {
+        lastLoad = model.totalPower();
+        model.addListener([this](Tick when, double new_total) {
+            integrateTo(when);
+            lastLoad = new_total;
+        });
+    }
+
+    /** Integrate up to @p now (idempotent per tick). */
+    void
+    integrateTo(Tick now)
+    {
+        if (now <= lastTick) {
+            return;
+        }
+        batteryJoules += pd.batteryPower(lastLoad)
+                         * ticksToSeconds(now - lastTick);
+        loadJoules += lastLoad * ticksToSeconds(now - lastTick);
+        lastTick = now;
+    }
+
+    /** Restart accounting at @p now (energy counters cleared). */
+    void
+    reset(Tick now)
+    {
+        integrateTo(now);
+        batteryJoules = 0.0;
+        loadJoules = 0.0;
+        startTick = now;
+        lastTick = now;
+        lastLoad = model.totalPower();
+    }
+
+    /** Battery energy in joules since the last reset. */
+    double batteryEnergy() const { return batteryJoules; }
+
+    /** Nominal (load-side) energy in joules since the last reset. */
+    double loadEnergy() const { return loadJoules; }
+
+    /** Average battery power over [reset, lastIntegration]. */
+    double
+    averageBatteryPower() const
+    {
+        const double secs = ticksToSeconds(lastTick - startTick);
+        return secs > 0 ? batteryJoules / secs : 0.0;
+    }
+
+    /** Instantaneous battery power at the current load level. */
+    double instantaneousBatteryPower() const
+    {
+        return pd.batteryPower(lastLoad);
+    }
+
+    Tick windowStart() const { return startTick; }
+    Tick windowEnd() const { return lastTick; }
+
+  private:
+    PowerModel &model;
+    const PowerDelivery &pd;
+    double lastLoad = 0.0;
+    double batteryJoules = 0.0;
+    double loadJoules = 0.0;
+    Tick lastTick = 0;
+    Tick startTick = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_ENERGY_ACCOUNTANT_HH

@@ -1,0 +1,84 @@
+#include "power/power_analyzer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+PowerAnalyzer::PowerAnalyzer(std::string name, EventQueue &event_queue,
+                             Tick sample_interval)
+    : SimObject(std::move(name), event_queue), interval(sample_interval),
+      sampling(this->name() + ".sample", [this] { takeSample(); },
+               Event::statsPriority)
+{
+    ODRIPS_ASSERT(sample_interval > 0, "sample interval must be positive");
+}
+
+std::size_t
+PowerAnalyzer::addChannel(std::string label, std::function<double()> probe)
+{
+    if (channels.size() >= 4) {
+        warn(name(), ": more than four channels configured; a real "
+                     "N6705B mainframe has four slots");
+    }
+    channels.push_back(
+        AnalyzerChannel{std::move(label), std::move(probe), 0, 0, 0, 0, {}});
+    return channels.size() - 1;
+}
+
+void
+PowerAnalyzer::arm()
+{
+    if (!sampling.scheduled())
+        eq.scheduleAfter(sampling, interval);
+}
+
+void
+PowerAnalyzer::disarm()
+{
+    if (sampling.scheduled())
+        eq.deschedule(sampling);
+}
+
+void
+PowerAnalyzer::clear()
+{
+    for (auto &ch : channels) {
+        ch.samples = 0;
+        ch.sum = 0.0;
+        ch.minSample = 0.0;
+        ch.maxSample = 0.0;
+        ch.trace.clear();
+    }
+}
+
+const AnalyzerChannel &
+PowerAnalyzer::channel(std::size_t index) const
+{
+    ODRIPS_ASSERT(index < channels.size(), name(), ": bad channel index");
+    return channels[index];
+}
+
+void
+PowerAnalyzer::takeSample()
+{
+    for (auto &ch : channels) {
+        const double value = ch.probe();
+        if (ch.samples == 0) {
+            ch.minSample = value;
+            ch.maxSample = value;
+        } else {
+            ch.minSample = std::min(ch.minSample, value);
+            ch.maxSample = std::max(ch.maxSample, value);
+        }
+        ch.sum += value;
+        ++ch.samples;
+        if (tracing)
+            ch.trace.emplace_back(now(), value);
+    }
+    eq.scheduleAfter(sampling, interval);
+}
+
+} // namespace odrips

@@ -1,0 +1,99 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+PowerComponent::PowerComponent(PowerModel &model, std::string name,
+                               std::string group)
+    : Named(std::move(name)), model(model), _group(std::move(group))
+{
+    model.registerComponent(this);
+}
+
+PowerComponent::~PowerComponent()
+{
+    model.unregisterComponent(this);
+}
+
+void
+PowerComponent::setPower(double new_watts, Tick when)
+{
+    ODRIPS_ASSERT(new_watts >= 0.0, name(), ": negative power");
+    ODRIPS_ASSERT(when >= lastUpdate, name(), ": power change in the past");
+
+    // Integrate the interval at the previous level.
+    joules += watts * ticksToSeconds(when - lastUpdate);
+    lastUpdate = when;
+
+    model.total += new_watts - watts;
+    watts = new_watts;
+    model.notifyChange(when);
+}
+
+void
+PowerModel::registerComponent(PowerComponent *c)
+{
+    comps.push_back(c);
+    total += c->watts;
+}
+
+void
+PowerModel::unregisterComponent(PowerComponent *c)
+{
+    total -= c->watts;
+    std::erase(comps, c);
+}
+
+void
+PowerModel::notifyChange(Tick when)
+{
+    for (auto &listener : listeners)
+        listener(when, total);
+}
+
+void
+PowerModel::advanceTo(Tick now)
+{
+    for (PowerComponent *c : comps) {
+        ODRIPS_ASSERT(now >= c->lastUpdate,
+                      "power model advanced into the past");
+        c->joules += c->watts * ticksToSeconds(now - c->lastUpdate);
+        c->lastUpdate = now;
+    }
+}
+
+PowerComponent *
+PowerModel::find(const std::string &name) const
+{
+    for (PowerComponent *c : comps) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+double
+PowerModel::groupPower(const std::string &group) const
+{
+    double sum = 0.0;
+    for (const PowerComponent *c : comps) {
+        if (c->group() == group)
+            sum += c->power();
+    }
+    return sum;
+}
+
+double
+PowerModel::totalEnergy() const
+{
+    double sum = 0.0;
+    for (const PowerComponent *c : comps)
+        sum += c->energy();
+    return sum;
+}
+
+} // namespace odrips

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Platform power model: registry of PowerComponents plus exact
+ * piecewise-constant energy integration.
+ */
+
+#ifndef ODRIPS_POWER_POWER_MODEL_HH
+#define ODRIPS_POWER_POWER_MODEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "power/component.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/**
+ * Aggregates all PowerComponents of a platform. Integration is exact:
+ * every power change first integrates the elapsed interval at the old
+ * level.
+ */
+class PowerModel
+{
+  public:
+    PowerModel() = default;
+    PowerModel(const PowerModel &) = delete;
+    PowerModel &operator=(const PowerModel &) = delete;
+
+    /** Sum of all components' current nominal power (watts). */
+    double totalPower() const { return total; }
+
+    /** Integrate all component energies up to @p now. */
+    void advanceTo(Tick now);
+
+    /** Registered components (stable order of registration). */
+    const std::vector<PowerComponent *> &components() const
+    {
+        return comps;
+    }
+
+    /** Find a component by name; nullptr if absent. */
+    PowerComponent *find(const std::string &name) const;
+
+    /** Sum of current power over components in @p group. */
+    double groupPower(const std::string &group) const;
+
+    /** Total integrated nominal energy in joules (up to last advance). */
+    double totalEnergy() const;
+
+    /**
+     * Observer invoked after any component changes power:
+     * callback(now, new_total_nominal_power).
+     */
+    void
+    addListener(std::function<void(Tick, double)> listener)
+    {
+        listeners.push_back(std::move(listener));
+    }
+
+  private:
+    friend class PowerComponent;
+
+    void registerComponent(PowerComponent *c);
+    void unregisterComponent(PowerComponent *c);
+    void notifyChange(Tick when);
+
+    std::vector<PowerComponent *> comps;
+    std::vector<std::function<void(Tick, double)>> listeners;
+    double total = 0.0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_POWER_MODEL_HH

@@ -1,0 +1,68 @@
+#include "power/process_scaling.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+std::string
+to_string(ProcessNode node)
+{
+    switch (node) {
+      case ProcessNode::Nm45: return "45nm";
+      case ProcessNode::Nm32: return "32nm";
+      case ProcessNode::Nm22: return "22nm";
+      case ProcessNode::Nm14: return "14nm";
+      case ProcessNode::Nm10: return "10nm";
+      case ProcessNode::Nm7: return "7nm";
+    }
+    return "?";
+}
+
+NodeCharacteristics
+nodeCharacteristics(ProcessNode node)
+{
+    // Relative to 45 nm planar. Trend-calibrated (see header).
+    switch (node) {
+      case ProcessNode::Nm45: return {1.00, 1.00, 1.00};
+      case ProcessNode::Nm32: return {0.93, 0.72, 0.85};
+      case ProcessNode::Nm22: return {0.86, 0.52, 0.70};
+      case ProcessNode::Nm14: return {0.79, 0.37, 0.52};
+      case ProcessNode::Nm10: return {0.75, 0.28, 0.42};
+      case ProcessNode::Nm7: return {0.70, 0.21, 0.35};
+    }
+    panic("unknown process node");
+}
+
+double
+dynamicScale(ProcessNode from, ProcessNode to)
+{
+    const NodeCharacteristics a = nodeCharacteristics(from);
+    const NodeCharacteristics b = nodeCharacteristics(to);
+    const double v = b.vdd / a.vdd;
+    return (b.capacitance / a.capacitance) * v * v;
+}
+
+double
+leakageScale(ProcessNode from, ProcessNode to)
+{
+    const NodeCharacteristics a = nodeCharacteristics(from);
+    const NodeCharacteristics b = nodeCharacteristics(to);
+    return (b.leakage / a.leakage) * (b.vdd / a.vdd);
+}
+
+double
+scaleMixedPower(double watts, double leakage_fraction,
+                double dynamic_fraction, ProcessNode from, ProcessNode to)
+{
+    ODRIPS_ASSERT(leakage_fraction >= 0 && dynamic_fraction >= 0 &&
+                      leakage_fraction + dynamic_fraction <= 1.0 + 1e-9,
+                  "power fractions out of range");
+    const double fixed_fraction =
+        1.0 - leakage_fraction - dynamic_fraction;
+    return watts * (leakage_fraction * leakageScale(from, to) +
+                    dynamic_fraction * dynamicScale(from, to) +
+                    fixed_fraction);
+}
+
+} // namespace odrips

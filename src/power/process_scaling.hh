@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Process-technology power scaling.
+ *
+ * The paper's power-model methodology (Sec. 7) measures a Haswell-ULT
+ * platform at 22 nm and scales the numbers to the 14 nm Skylake target
+ * using process characteristics, citing Stillmaker & Baas-style scaling
+ * equations. This module provides that scaling step: per-node relative
+ * supply voltage, switched capacitance, and leakage-per-device factors,
+ * and the derived dynamic/leakage power scale factors between nodes.
+ *
+ * The factors are calibrated to published inter-node trends; they are
+ * deliberately simple (a single factor per node and power type), which
+ * matches how the paper applies them (one multiplicative scale per chip).
+ */
+
+#ifndef ODRIPS_POWER_PROCESS_SCALING_HH
+#define ODRIPS_POWER_PROCESS_SCALING_HH
+
+#include <string>
+
+namespace odrips
+{
+
+/** Supported process nodes. */
+enum class ProcessNode
+{
+    Nm45,
+    Nm32,
+    Nm22, ///< Haswell-ULT (baseline measurements)
+    Nm14, ///< Skylake (target)
+    Nm10,
+    Nm7,
+};
+
+/** Printable node name ("22nm"). */
+std::string to_string(ProcessNode node);
+
+/** Per-node electrical characteristics relative to 45 nm. */
+struct NodeCharacteristics
+{
+    double vdd;        ///< relative nominal supply voltage
+    double capacitance;///< relative switched capacitance per gate
+    double leakage;    ///< relative leakage current per gate at Vmin
+};
+
+/** Look up the characteristics table. */
+NodeCharacteristics nodeCharacteristics(ProcessNode node);
+
+/**
+ * Scale factor for *dynamic* power of an equivalent design moved from
+ * @p from to @p to: (C_to/C_from) * (V_to/V_from)^2 at equal frequency.
+ */
+double dynamicScale(ProcessNode from, ProcessNode to);
+
+/**
+ * Scale factor for *leakage* power of an equivalent design moved from
+ * @p from to @p to: (I_to/I_from) * (V_to/V_from).
+ */
+double leakageScale(ProcessNode from, ProcessNode to);
+
+/**
+ * Scale a measured power composed of a leakage fraction and a dynamic
+ * fraction (fractions must sum to <= 1; the remainder is treated as
+ * node-independent board power).
+ */
+double scaleMixedPower(double watts, double leakage_fraction,
+                       double dynamic_fraction, ProcessNode from,
+                       ProcessNode to);
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_PROCESS_SCALING_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Voltage rails.
+ *
+ * Fig. 1(a) highlights the always-on (AON) supply that keeps the wake
+ * machinery alive through DRIPS, next to the switchable compute/SA
+ * rails. A Rail groups PowerComponents electrically (orthogonally to
+ * their reporting group) so per-rail power and current can be
+ * inspected — e.g. to verify that ODRIPS drains the processor's AON
+ * rail down to the Boot SRAM's retention trickle.
+ */
+
+#ifndef ODRIPS_POWER_RAIL_HH
+#define ODRIPS_POWER_RAIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/component.hh"
+#include "sim/logging.hh"
+#include "sim/named.hh"
+#include "stats/report.hh"
+
+namespace odrips
+{
+
+/** A voltage rail with attached components. */
+class Rail : public Named
+{
+  public:
+    Rail(std::string name, double volts)
+        : Named(std::move(name)), volts_(volts)
+    {
+        ODRIPS_ASSERT(volts > 0, "rail voltage must be positive");
+    }
+
+    double volts() const { return volts_; }
+
+    /** Attach a component (a component may sit on one rail only;
+     * enforced by the RailSet). */
+    void attach(const PowerComponent &component)
+    {
+        components.push_back(&component);
+    }
+
+    /** Instantaneous power drawn from this rail. */
+    double
+    power() const
+    {
+        double sum = 0.0;
+        for (const PowerComponent *c : components)
+            sum += c->power();
+        return sum;
+    }
+
+    /** Instantaneous current in amperes. */
+    double current() const { return power() / volts_; }
+
+    std::size_t componentCount() const { return components.size(); }
+
+  private:
+    double volts_;
+    std::vector<const PowerComponent *> components;
+};
+
+/** The platform's set of rails. */
+class RailSet
+{
+  public:
+    /** Create a rail. */
+    Rail &
+    add(std::string name, double volts)
+    {
+        for (const auto &r : rails)
+            ODRIPS_ASSERT(r->name() != name, "duplicate rail ", name);
+        rails.push_back(std::make_unique<Rail>(std::move(name), volts));
+        return *rails.back();
+    }
+
+    /** Attach a component to a named rail (each component once). */
+    void
+    attach(const std::string &rail_name, const PowerComponent &component)
+    {
+        for (const PowerComponent *seen : attached) {
+            ODRIPS_ASSERT(seen != &component,
+                          "component '", component.name(),
+                          "' attached to two rails");
+        }
+        find(rail_name).attach(component);
+        attached.push_back(&component);
+    }
+
+    Rail &
+    find(const std::string &name)
+    {
+        for (const auto &r : rails) {
+            if (r->name() == name)
+                return *r;
+        }
+        fatal("no rail named '", name, "'");
+    }
+
+    const std::vector<std::unique_ptr<Rail>> &all() const
+    {
+        return rails;
+    }
+
+    /** Per-rail power/current table. */
+    stats::Table
+    toTable(const std::string &title) const
+    {
+        stats::Table table(title);
+        table.setHeader({"rail", "voltage", "power", "current"});
+        for (const auto &r : rails) {
+            table.addRow({r->name(), stats::fmt(r->volts(), 2) + " V",
+                          stats::fmtPower(r->power()),
+                          stats::fmt(r->current() * 1e3, 3) + " mA"});
+        }
+        return table;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Rail>> rails;
+    std::vector<const PowerComponent *> attached;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_POWER_RAIL_HH

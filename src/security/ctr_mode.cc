@@ -1,0 +1,34 @@
+#include "security/ctr_mode.hh"
+
+#include <cstring>
+
+namespace odrips
+{
+
+void
+CtrCipher::apply(std::uint64_t address, std::uint64_t version,
+                 std::uint8_t *data, std::size_t len) const
+{
+    std::uint64_t block_index = 0;
+    std::size_t offset = 0;
+    while (offset < len) {
+        // Counter block: address in x, (version, block index) in y.
+        Block128 counter;
+        counter.x = address;
+        counter.y = (version << 16) ^ block_index;
+        const Block128 keystream = cipher.encrypt(counter);
+
+        std::uint8_t ks[16];
+        std::memcpy(ks, &keystream.x, 8);
+        std::memcpy(ks + 8, &keystream.y, 8);
+
+        const std::size_t chunk = std::min<std::size_t>(16, len - offset);
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[offset + i] ^= ks[i];
+
+        offset += chunk;
+        ++block_index;
+    }
+}
+
+} // namespace odrips

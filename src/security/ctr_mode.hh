@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Counter-mode encryption on SPECK-128.
+ *
+ * The keystream block for (line address, version) is
+ * E_k(address || version), XORed over the line. Re-encrypting the same
+ * address with a bumped version yields an unrelated keystream — exactly
+ * the property the MEE's per-line version counters provide.
+ */
+
+#ifndef ODRIPS_SECURITY_CTR_MODE_HH
+#define ODRIPS_SECURITY_CTR_MODE_HH
+
+#include <cstdint>
+
+#include "security/speck.hh"
+
+namespace odrips
+{
+
+/** Counter-mode cipher bound to one key. */
+class CtrCipher
+{
+  public:
+    explicit CtrCipher(const Speck128::Key &key) : cipher(key) {}
+
+    /**
+     * XOR the keystream for (@p address, @p version) over @p len bytes
+     * of @p data in place. Encryption and decryption are the same
+     * operation.
+     */
+    void apply(std::uint64_t address, std::uint64_t version,
+               std::uint8_t *data, std::size_t len) const;
+
+  private:
+    Speck128 cipher;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_CTR_MODE_HH

@@ -1,0 +1,74 @@
+#include "security/integrity_tree.hh"
+
+namespace odrips
+{
+
+TreeLayout::TreeLayout(std::uint64_t data_size)
+{
+    ODRIPS_ASSERT(data_size > 0 && data_size % lineBytes == 0,
+                  "protected region must be a positive multiple of 64 B");
+    nLines = data_size / lineBytes;
+
+    // Build counter levels until a single root counter would remain.
+    std::uint64_t count = nLines;
+    while (count > 1) {
+        levelCounters.push_back(count);
+        count = (count + arity - 1) / arity;
+    }
+    // A one-line region still needs its level-0 counter (root above it).
+    if (levelCounters.empty())
+        levelCounters.push_back(1);
+
+    // Node numbering: counter levels first, then data-MAC nodes.
+    std::uint64_t base = 0;
+    for (std::uint64_t counters : levelCounters) {
+        levelNodeBase.push_back(base);
+        base += (counters + arity - 1) / arity;
+    }
+    dataMacBase = base;
+    base += dataMacNodes();
+    totalNodeCount = base;
+}
+
+std::uint64_t
+TreeLayout::counterCount(unsigned level) const
+{
+    ODRIPS_ASSERT(level < levelCounters.size(), "bad tree level");
+    return levelCounters[level];
+}
+
+std::uint64_t
+TreeLayout::counterNodes(unsigned level) const
+{
+    return (counterCount(level) + arity - 1) / arity;
+}
+
+std::uint64_t
+TreeLayout::totalNodes() const
+{
+    return totalNodeCount;
+}
+
+std::uint64_t
+TreeLayout::metadataBytes() const
+{
+    return totalNodeCount * MetadataNode::storageBytes;
+}
+
+std::uint64_t
+TreeLayout::nodeOffset(NodeKind kind, unsigned level,
+                       std::uint64_t group) const
+{
+    std::uint64_t node_index;
+    if (kind == NodeKind::CounterGroup) {
+        ODRIPS_ASSERT(level < levelCounters.size(), "bad tree level");
+        ODRIPS_ASSERT(group < counterNodes(level), "bad tree group");
+        node_index = levelNodeBase[level] + group;
+    } else {
+        ODRIPS_ASSERT(group < dataMacNodes(), "bad data-MAC group");
+        node_index = dataMacBase + group;
+    }
+    return node_index * MetadataNode::storageBytes;
+}
+
+} // namespace odrips

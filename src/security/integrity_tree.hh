@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Integrity (authentication) tree layout.
+ *
+ * The protected region is covered by a counter tree of arity 8:
+ *  - every 64 B data line has a version counter (level 0) and a MAC
+ *    binding (address, version, ciphertext);
+ *  - counters are grouped eight to a metadata node; each node carries a
+ *    MAC keyed by its *parent* counter (one level up);
+ *  - the single top counter (the root) lives on-chip and never leaves
+ *    the security perimeter — it is part of the ~1 KB Boot-SRAM context
+ *    in ODRIPS.
+ *
+ * This class computes the pure layout: level sizes, node counts, and
+ * the DRAM offsets of serialized nodes. The Mee engine implements the
+ * cryptographic walk on top of it.
+ */
+
+#ifndef ODRIPS_SECURITY_INTEGRITY_TREE_HH
+#define ODRIPS_SECURITY_INTEGRITY_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "security/mee_cache.hh"
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** Kinds of metadata nodes stored in DRAM. */
+enum class NodeKind : std::uint64_t
+{
+    CounterGroup = 0, ///< eight version counters + group MAC
+    DataMacGroup = 1, ///< eight data-line MACs (packed in counter slots)
+};
+
+/** Pure layout of the integrity tree over a protected region. */
+class TreeLayout
+{
+  public:
+    static constexpr std::uint64_t lineBytes = 64;
+    static constexpr std::uint64_t arity = MetadataNode::arity;
+
+    /**
+     * @param data_size protected-region size in bytes (multiple of 64)
+     */
+    explicit TreeLayout(std::uint64_t data_size);
+
+    /** Number of protected 64 B data lines. */
+    std::uint64_t dataLines() const { return nLines; }
+
+    /**
+     * Number of counter levels below the root. Level l holds
+     * counterCount(l) counters grouped into counterNodes(l) nodes.
+     */
+    unsigned counterLevels() const
+    {
+        return static_cast<unsigned>(levelCounters.size());
+    }
+
+    /** Counters at level @p l (level 0 = per data line). */
+    std::uint64_t counterCount(unsigned level) const;
+
+    /** Metadata nodes at level @p l. */
+    std::uint64_t counterNodes(unsigned level) const;
+
+    /** Nodes holding data-line MACs. */
+    std::uint64_t
+    dataMacNodes() const
+    {
+        return (nLines + arity - 1) / arity;
+    }
+
+    /** Total serialized metadata footprint in bytes. */
+    std::uint64_t metadataBytes() const;
+
+    /** Total number of metadata nodes of all kinds. */
+    std::uint64_t totalNodes() const;
+
+    /** Unique cache/storage key for a node. */
+    static std::uint64_t
+    nodeKey(NodeKind kind, unsigned level, std::uint64_t group)
+    {
+        return (static_cast<std::uint64_t>(kind) << 62) |
+               (static_cast<std::uint64_t>(level) << 56) | group;
+    }
+
+    /** Byte offset of a node's serialized form within the metadata
+     * region. */
+    std::uint64_t nodeOffset(NodeKind kind, unsigned level,
+                             std::uint64_t group) const;
+
+  private:
+    std::uint64_t nLines;
+    /** levelCounters[l] = number of counters at level l (root excluded;
+     * the root is the single counter above the last level). */
+    std::vector<std::uint64_t> levelCounters;
+    /** Cumulative node-offset base per counter level. */
+    std::vector<std::uint64_t> levelNodeBase;
+    std::uint64_t dataMacBase = 0;
+    std::uint64_t totalNodeCount = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_INTEGRITY_TREE_HH

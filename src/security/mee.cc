@@ -1,0 +1,354 @@
+#include "security/mee.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace odrips
+{
+
+void
+MeeRootState::serialize(std::uint8_t *out) const
+{
+    std::memcpy(out, &rootCounter, 8);
+    std::memcpy(out + 8, key.data(), 16);
+}
+
+MeeRootState
+MeeRootState::deserialize(const std::uint8_t *in)
+{
+    MeeRootState s;
+    std::memcpy(&s.rootCounter, in, 8);
+    std::memcpy(s.key.data(), in + 8, 16);
+    return s;
+}
+
+Mee::Mee(std::string name, MainMemory &memory, const MeeConfig &config)
+    : Named(std::move(name)), mem(memory), cfg(config),
+      tree(config.dataSize), ctr(config.key),
+      cache(config.cacheNodes, config.cacheAssociativity)
+{
+    ODRIPS_ASSERT(cfg.dataBase % TreeLayout::lineBytes == 0,
+                  this->name(), ": protected base must be 64 B aligned");
+    // Metadata region must not overlap data.
+    const std::uint64_t meta_end = cfg.metaBase + tree.metadataBytes();
+    const std::uint64_t data_end = cfg.dataBase + cfg.dataSize;
+    ODRIPS_ASSERT(meta_end <= cfg.dataBase || cfg.metaBase >= data_end,
+                  this->name(), ": metadata region overlaps the data region");
+    ODRIPS_ASSERT(meta_end <= mem.capacityBytes(),
+                  this->name(), ": metadata region beyond memory capacity");
+}
+
+std::uint64_t
+Mee::nodeAddress(NodeKind kind, unsigned level, std::uint64_t group) const
+{
+    return cfg.metaBase + tree.nodeOffset(kind, level, group);
+}
+
+void
+Mee::splitKey(std::uint64_t key, NodeKind &kind, unsigned &level,
+              std::uint64_t &group)
+{
+    kind = static_cast<NodeKind>(key >> 62);
+    level = static_cast<unsigned>((key >> 56) & 0x3f);
+    group = key & ((std::uint64_t{1} << 56) - 1);
+}
+
+void
+Mee::writebackNode(std::uint64_t key, const MetadataNode &node, Tick now)
+{
+    NodeKind kind;
+    unsigned level;
+    std::uint64_t group;
+    splitKey(key, kind, level, group);
+
+    std::uint8_t buf[MetadataNode::storageBytes];
+    node.serialize(buf);
+    mem.write(nodeAddress(kind, level, group), buf, sizeof(buf), now);
+    stats.metadataBytesWritten += sizeof(buf);
+}
+
+MetadataNode &
+Mee::fetchNode(NodeKind kind, unsigned level, std::uint64_t group,
+               bool is_write, Tick now, Tick &latency, bool for_read_path)
+{
+    ODRIPS_ASSERT(poweredOn, name(), ": metadata access while powered off");
+    const std::uint64_t key = TreeLayout::nodeKey(kind, level, group);
+
+    if (cache.contains(key)) {
+        // Hit path still needs to update LRU/dirty state.
+        MetadataNode dummy;
+        const MeeCacheResult r = cache.access(key, dummy, is_write);
+        ODRIPS_ASSERT(r.hit, "resident node missed");
+        ++stats.cacheHits;
+        return cache.nodeFor(key);
+    }
+
+    // Miss: read the node from memory.
+    ++stats.cacheMisses;
+    std::uint8_t buf[MetadataNode::storageBytes];
+    mem.read(nodeAddress(kind, level, group), buf, sizeof(buf), now);
+    stats.metadataBytesRead += sizeof(buf);
+
+    const double penalty_ns = for_read_path ? cfg.missPenaltyReadNs
+                                            : cfg.missPenaltyWriteNs;
+    latency += secondsToTicks(
+        penalty_ns * 1e-9 +
+        static_cast<double>(sizeof(buf)) / mem.peakBandwidth());
+
+    const MeeCacheResult r =
+        cache.access(key, MetadataNode::deserialize(buf), is_write);
+    if (r.writeback) {
+        writebackNode(r.writeback->first, r.writeback->second, now);
+        latency += secondsToTicks(
+            static_cast<double>(MetadataNode::storageBytes) /
+            mem.peakBandwidth());
+    }
+    return cache.nodeFor(key);
+}
+
+std::uint64_t
+Mee::nodeMac(unsigned level, std::uint64_t group, const MetadataNode &node,
+             std::uint64_t parent_counter) const
+{
+    std::uint8_t msg[8 * MetadataNode::arity + 8];
+    for (unsigned i = 0; i < MetadataNode::arity; ++i)
+        std::memcpy(msg + 8 * i, &node.counters[i], 8);
+    std::memcpy(msg + 8 * MetadataNode::arity, &parent_counter, 8);
+
+    const std::uint64_t domain =
+        0x4e4f4445ULL ^ (std::uint64_t{level} << 56) ^ group;
+    return mac64(cfg.key, domain, msg, sizeof(msg));
+}
+
+std::uint64_t
+Mee::lineMac(std::uint64_t addr, std::uint64_t version,
+             const std::uint8_t *ciphertext) const
+{
+    std::uint8_t msg[TreeLayout::lineBytes + 16];
+    std::memcpy(msg, ciphertext, TreeLayout::lineBytes);
+    std::memcpy(msg + TreeLayout::lineBytes, &addr, 8);
+    std::memcpy(msg + TreeLayout::lineBytes + 8, &version, 8);
+    return mac64(cfg.key, 0x4c494e45ULL, msg, sizeof(msg));
+}
+
+std::uint64_t
+Mee::parentCounter(unsigned level, std::uint64_t group, bool bump,
+                   Tick now, Tick &latency, bool for_read_path)
+{
+    // Counter index `group` at level (level + 1); the root sits above
+    // the last counter level.
+    if (level + 1 >= tree.counterLevels()) {
+        if (bump)
+            ++rootCounter;
+        return rootCounter;
+    }
+    MetadataNode &node =
+        fetchNode(NodeKind::CounterGroup, level + 1,
+                  group / TreeLayout::arity, bump, now, latency,
+                  for_read_path);
+    std::uint64_t &counter = node.counters[group % TreeLayout::arity];
+    if (bump)
+        ++counter;
+    return counter;
+}
+
+MemAccessResult
+Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
+                 std::uint64_t len, Tick now)
+{
+    ODRIPS_ASSERT(poweredOn, name(), ": write while powered off");
+    ODRIPS_ASSERT(addr >= cfg.dataBase &&
+                      addr + len <= cfg.dataBase + cfg.dataSize,
+                  name(), ": write outside the protected region");
+    ODRIPS_ASSERT(addr % TreeLayout::lineBytes == 0 &&
+                      len % TreeLayout::lineBytes == 0,
+                  name(), ": unaligned protected write");
+
+    Tick latency = 0;
+    std::vector<std::uint8_t> ciphertext(data, data + len);
+
+    const std::uint64_t lines = len / TreeLayout::lineBytes;
+    for (std::uint64_t k = 0; k < lines; ++k) {
+        const std::uint64_t line_addr = addr + k * TreeLayout::lineBytes;
+        const std::uint64_t index =
+            (line_addr - cfg.dataBase) / TreeLayout::lineBytes;
+        std::uint8_t *line = ciphertext.data() + k * TreeLayout::lineBytes;
+
+        // Bump the version counter and encrypt under the new version.
+        std::uint64_t version;
+        {
+            MetadataNode &l0 =
+                fetchNode(NodeKind::CounterGroup, 0,
+                          index / TreeLayout::arity, true, now, latency,
+                          false);
+            version = ++l0.counters[index % TreeLayout::arity];
+        }
+        ctr.apply(line_addr, version, line, TreeLayout::lineBytes);
+
+        // Record the line MAC.
+        {
+            MetadataNode &macs =
+                fetchNode(NodeKind::DataMacGroup, 0,
+                          index / TreeLayout::arity, true, now, latency,
+                          false);
+            macs.counters[index % TreeLayout::arity] =
+                lineMac(line_addr, version, line);
+        }
+
+        // Propagate: bump parents and re-MAC every node on the path.
+        std::uint64_t idx = index;
+        for (unsigned level = 0; level < tree.counterLevels(); ++level) {
+            const std::uint64_t group = idx / TreeLayout::arity;
+            const std::uint64_t parent =
+                parentCounter(level, group, true, now, latency, false);
+            MetadataNode &node =
+                fetchNode(NodeKind::CounterGroup, level, group, true, now,
+                          latency, false);
+            node.mac = nodeMac(level, group, node, parent);
+            idx = group;
+        }
+        ++stats.linesWritten;
+    }
+
+    // Stream the ciphertext to memory in one burst.
+    MemAccessResult mem_result =
+        mem.write(addr, ciphertext.data(), len, now);
+
+    stats.cryptoEnergy +=
+        cfg.cryptoEnergyPerByte * static_cast<double>(len);
+
+    MemAccessResult out;
+    out.bytes = len;
+    out.latency =
+        mem_result.latency + latency +
+        secondsToTicks(cfg.cryptoWriteNsPerLine * 1e-9 *
+                       static_cast<double>(lines));
+    return out;
+}
+
+MemAccessResult
+Mee::secureRead(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
+                Tick now, bool &authentic)
+{
+    ODRIPS_ASSERT(poweredOn, name(), ": read while powered off");
+    ODRIPS_ASSERT(addr >= cfg.dataBase &&
+                      addr + len <= cfg.dataBase + cfg.dataSize,
+                  name(), ": read outside the protected region");
+    ODRIPS_ASSERT(addr % TreeLayout::lineBytes == 0 &&
+                      len % TreeLayout::lineBytes == 0,
+                  name(), ": unaligned protected read");
+
+    authentic = true;
+    Tick latency = 0;
+
+    // Fetch the ciphertext in one burst.
+    MemAccessResult mem_result = mem.read(addr, data, len, now);
+
+    const std::uint64_t lines = len / TreeLayout::lineBytes;
+    for (std::uint64_t k = 0; k < lines; ++k) {
+        const std::uint64_t line_addr = addr + k * TreeLayout::lineBytes;
+        const std::uint64_t index =
+            (line_addr - cfg.dataBase) / TreeLayout::lineBytes;
+        std::uint8_t *line = data + k * TreeLayout::lineBytes;
+
+        std::uint64_t version;
+        {
+            MetadataNode &l0 =
+                fetchNode(NodeKind::CounterGroup, 0,
+                          index / TreeLayout::arity, false, now, latency,
+                          true);
+            version = l0.counters[index % TreeLayout::arity];
+        }
+
+        // Verify the line MAC against the stored one.
+        {
+            const std::uint64_t expected =
+                lineMac(line_addr, version, line);
+            MetadataNode &macs =
+                fetchNode(NodeKind::DataMacGroup, 0,
+                          index / TreeLayout::arity, false, now, latency,
+                          true);
+            if (macs.counters[index % TreeLayout::arity] != expected)
+                authentic = false;
+        }
+
+        // Verify the counter chain up to the on-chip root.
+        std::uint64_t idx = index;
+        for (unsigned level = 0; level < tree.counterLevels(); ++level) {
+            const std::uint64_t group = idx / TreeLayout::arity;
+            const std::uint64_t parent =
+                parentCounter(level, group, false, now, latency, true);
+            MetadataNode &node =
+                fetchNode(NodeKind::CounterGroup, level, group, false,
+                          now, latency, true);
+            if (node.mac != nodeMac(level, group, node, parent))
+                authentic = false;
+            idx = group;
+        }
+
+        // Decrypt in place.
+        ctr.apply(line_addr, version, line, TreeLayout::lineBytes);
+        ++stats.linesRead;
+    }
+
+    if (!authentic)
+        ++stats.authFailures;
+
+    stats.cryptoEnergy +=
+        cfg.cryptoEnergyPerByte * static_cast<double>(len);
+
+    MemAccessResult out;
+    out.bytes = len;
+    out.latency =
+        mem_result.latency + latency +
+        secondsToTicks(cfg.cryptoReadNsPerLine * 1e-9 *
+                       static_cast<double>(lines));
+    return out;
+}
+
+Tick
+Mee::flush(Tick now)
+{
+    const auto dirty = cache.flush();
+    for (const auto &[key, node] : dirty)
+        writebackNode(key, node, now);
+
+    const double bytes = static_cast<double>(
+        dirty.size() * MetadataNode::storageBytes);
+    return secondsToTicks(bytes / mem.peakBandwidth() +
+                          (dirty.empty() ? 0.0 : 100e-9));
+}
+
+void
+Mee::powerOff()
+{
+    cache.invalidate();
+    poweredOn = false;
+}
+
+MeeRootState
+Mee::exportRoot() const
+{
+    MeeRootState s;
+    s.rootCounter = rootCounter;
+    s.key = cfg.key;
+    return s;
+}
+
+void
+Mee::importRoot(const MeeRootState &state)
+{
+    rootCounter = state.rootCounter;
+    cfg.key = state.key;
+    ctr = CtrCipher(state.key);
+    poweredOn = true;
+}
+
+void
+Mee::resetStatistics()
+{
+    stats = MeeStats{};
+    cache.resetStats();
+}
+
+} // namespace odrips

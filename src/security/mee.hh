@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Memory Encryption Engine (MEE).
+ *
+ * The SGX-style engine on the path between the memory controller and
+ * DRAM (paper Sec. 6.2 / Fig. 4): counter-mode encryption per 64 B line,
+ * a MAC per line, and an integrity tree over the per-line version
+ * counters whose root stays on-chip. The engine provides
+ * confidentiality, integrity, and freshness for the processor context
+ * stored in the protected DRAM region.
+ *
+ * Latency model: protected accesses pay the raw memory latency, plus a
+ * per-line crypto-pipeline cost, plus a per-metadata-miss penalty and
+ * the metadata bytes' bandwidth. The MEE cache absorbs most metadata
+ * traffic for streaming transfers — exactly the behaviour the paper
+ * relies on for the 18 us / 13 us context save/restore latencies.
+ */
+
+#ifndef ODRIPS_SECURITY_MEE_HH
+#define ODRIPS_SECURITY_MEE_HH
+
+#include <cstdint>
+
+#include "mem/main_memory.hh"
+#include "mem/memory_controller.hh"
+#include "security/ctr_mode.hh"
+#include "security/integrity_tree.hh"
+#include "security/mee_cache.hh"
+#include "security/sha256.hh"
+#include "security/speck.hh"
+#include "sim/named.hh"
+
+namespace odrips
+{
+
+/** MEE configuration. */
+struct MeeConfig
+{
+    Speck128::Key key{};
+
+    /** Protected data region (base within main memory, size). */
+    std::uint64_t dataBase = 0;
+    std::uint64_t dataSize = 0;
+
+    /** Metadata region base (must not overlap the data region). */
+    std::uint64_t metaBase = 0;
+
+    /** Cache geometry. */
+    std::size_t cacheNodes = 128;
+    std::size_t cacheAssociativity = 8;
+
+    /** Per-64B-line crypto pipeline latency, nanoseconds. */
+    double cryptoWriteNsPerLine = 1.0;
+    double cryptoReadNsPerLine = 0.3;
+
+    /** Per metadata-node-miss penalty, nanoseconds. */
+    double missPenaltyWriteNs = 3.0;
+    double missPenaltyReadNs = 2.0;
+
+    /** Crypto datapath energy per protected byte, joules. */
+    double cryptoEnergyPerByte = 20.0e-12;
+};
+
+/** On-chip persistent state — the part that must go into Boot SRAM. */
+struct MeeRootState
+{
+    std::uint64_t rootCounter = 0;
+    Speck128::Key key{};
+
+    /** Serialized size (fits easily in the ~1 KB Boot SRAM). */
+    static constexpr std::uint64_t storageBytes = 24;
+
+    void serialize(std::uint8_t *out) const;
+    static MeeRootState deserialize(const std::uint8_t *in);
+};
+
+/** MEE statistics. */
+struct MeeStats
+{
+    std::uint64_t linesWritten = 0;
+    std::uint64_t linesRead = 0;
+    std::uint64_t metadataBytesRead = 0;
+    std::uint64_t metadataBytesWritten = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t authFailures = 0;
+    double cryptoEnergy = 0.0;
+};
+
+/** The engine. Accesses must be 64 B aligned (the FSMs guarantee it). */
+class Mee : public SecureMemoryPath, public Named
+{
+  public:
+    Mee(std::string name, MainMemory &memory, const MeeConfig &config);
+
+    MemAccessResult secureWrite(std::uint64_t addr,
+                                const std::uint8_t *data,
+                                std::uint64_t len, Tick now) override;
+
+    MemAccessResult secureRead(std::uint64_t addr, std::uint8_t *data,
+                               std::uint64_t len, Tick now,
+                               bool &authentic) override;
+
+    /**
+     * Write every dirty cached metadata node back to memory. Must be
+     * called before DRAM enters self-refresh with the engine powered
+     * off, or cached tree updates would be lost.
+     * @return latency of the writeback burst.
+     */
+    Tick flush(Tick now);
+
+    /** Power-off: drop cache contents (they are volatile). flush()
+     * must have been called first if the tree should stay consistent. */
+    void powerOff();
+
+    /** Export the on-chip persistent state for the Boot SRAM. */
+    MeeRootState exportRoot() const;
+
+    /** Restore the on-chip state after power-up (Boot FSM). */
+    void importRoot(const MeeRootState &state);
+
+    const MeeStats &statistics() const { return stats; }
+    void resetStatistics();
+
+    const TreeLayout &layout() const { return tree; }
+    const MeeConfig &config() const { return cfg; }
+
+    /** Metadata region footprint in bytes. */
+    std::uint64_t metadataBytes() const { return tree.metadataBytes(); }
+
+  private:
+    /** Cached fetch of a metadata node; accounts traffic and latency. */
+    MetadataNode &fetchNode(NodeKind kind, unsigned level,
+                            std::uint64_t group, bool is_write, Tick now,
+                            Tick &latency, bool for_read_path);
+
+    void writebackNode(std::uint64_t key, const MetadataNode &node,
+                       Tick now);
+
+    /** DRAM address of a node. */
+    std::uint64_t nodeAddress(NodeKind kind, unsigned level,
+                              std::uint64_t group) const;
+
+    /** Decompose a cache key back into (kind, level, group). */
+    static void splitKey(std::uint64_t key, NodeKind &kind,
+                         unsigned &level, std::uint64_t &group);
+
+    /** MAC over a counter group keyed by its parent counter. */
+    std::uint64_t nodeMac(unsigned level, std::uint64_t group,
+                          const MetadataNode &node,
+                          std::uint64_t parent_counter) const;
+
+    /** MAC over a data line's ciphertext and version. */
+    std::uint64_t lineMac(std::uint64_t addr, std::uint64_t version,
+                          const std::uint8_t *ciphertext) const;
+
+    /** Parent counter of level-@p level group @p group; walks to the
+     * root. @p bump increments it (write path). */
+    std::uint64_t parentCounter(unsigned level, std::uint64_t group,
+                                bool bump, Tick now, Tick &latency,
+                                bool for_read_path);
+
+    MainMemory &mem;
+    MeeConfig cfg;
+    TreeLayout tree;
+    CtrCipher ctr;
+    MeeCache cache;
+    std::uint64_t rootCounter = 0;
+    MeeStats stats;
+    bool poweredOn = true;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_MEE_HH

@@ -1,0 +1,139 @@
+#include "security/mee_cache.hh"
+
+#include <cstring>
+
+namespace odrips
+{
+
+void
+MetadataNode::serialize(std::uint8_t *out) const
+{
+    std::memset(out, 0, storageBytes);
+    for (unsigned i = 0; i < arity; ++i)
+        std::memcpy(out + 8 * i, &counters[i], 8);
+    std::memcpy(out + 8 * arity, &mac, 8);
+}
+
+MetadataNode
+MetadataNode::deserialize(const std::uint8_t *in)
+{
+    MetadataNode node;
+    for (unsigned i = 0; i < arity; ++i)
+        std::memcpy(&node.counters[i], in + 8 * i, 8);
+    std::memcpy(&node.mac, in + 8 * arity, 8);
+    return node;
+}
+
+MeeCache::MeeCache(std::size_t capacity_nodes, std::size_t associativity)
+    : ways(associativity)
+{
+    ODRIPS_ASSERT(associativity > 0, "associativity must be positive");
+    ODRIPS_ASSERT(capacity_nodes >= associativity &&
+                      capacity_nodes % associativity == 0,
+                  "capacity must be a positive multiple of associativity");
+    sets = capacity_nodes / associativity;
+    lines.resize(capacity_nodes);
+}
+
+std::size_t
+MeeCache::setIndex(std::uint64_t key) const
+{
+    // Mix the key so (kind, level, index) fields spread across sets.
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h % sets);
+}
+
+MeeCacheResult
+MeeCache::access(std::uint64_t key, const MetadataNode &fill, bool is_write)
+{
+    MeeCacheResult result;
+    const std::size_t base = setIndex(key) * ways;
+
+    // Hit?
+    for (std::size_t w = 0; w < ways; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.key == key) {
+            line.lastUse = ++useClock;
+            line.dirty = line.dirty || is_write;
+            ++hitCount;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: pick victim (invalid first, else LRU).
+    ++missCount;
+    std::size_t victim = base;
+    for (std::size_t w = 0; w < ways; ++w) {
+        Line &line = lines[base + w];
+        if (!line.valid) {
+            victim = base + w;
+            break;
+        }
+        if (line.lastUse < lines[victim].lastUse)
+            victim = base + w;
+    }
+
+    Line &line = lines[victim];
+    if (line.valid && line.dirty) {
+        result.writeback = {line.key, line.node};
+        ++writebackCount;
+    }
+    line.valid = true;
+    line.dirty = is_write;
+    line.key = key;
+    line.lastUse = ++useClock;
+    line.node = fill;
+    return result;
+}
+
+bool
+MeeCache::contains(std::uint64_t key) const
+{
+    const std::size_t base = setIndex(key) * ways;
+    for (std::size_t w = 0; w < ways; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.key == key)
+            return true;
+    }
+    return false;
+}
+
+MetadataNode &
+MeeCache::nodeFor(std::uint64_t key)
+{
+    const std::size_t base = setIndex(key) * ways;
+    for (std::size_t w = 0; w < ways; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.key == key)
+            return line.node;
+    }
+    panic("MeeCache::nodeFor on non-resident key");
+}
+
+std::vector<std::pair<std::uint64_t, MetadataNode>>
+MeeCache::flush()
+{
+    std::vector<std::pair<std::uint64_t, MetadataNode>> dirty;
+    for (Line &line : lines) {
+        if (line.valid && line.dirty) {
+            dirty.emplace_back(line.key, line.node);
+            ++writebackCount;
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty;
+}
+
+void
+MeeCache::invalidate()
+{
+    for (Line &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace odrips

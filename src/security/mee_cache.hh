@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MEE metadata cache.
+ *
+ * The paper (Sec. 6.2, citing the MEE design) notes the engine keeps an
+ * internal cache of integrity-tree metadata to alleviate the cost of
+ * walking the authentication tree on every protected access. This is a
+ * set-associative, write-back, LRU cache whose payload is the metadata
+ * node itself (eight 64-bit counters plus a 64-bit MAC).
+ */
+
+#ifndef ODRIPS_SECURITY_MEE_CACHE_HH
+#define ODRIPS_SECURITY_MEE_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** One integrity-tree metadata node (a counter group and its MAC). */
+struct MetadataNode
+{
+    static constexpr unsigned arity = 8;
+
+    std::array<std::uint64_t, arity> counters{};
+    std::uint64_t mac = 0;
+
+    /** Serialized size in DRAM (72 B payload padded to 80 B). */
+    static constexpr std::uint64_t storageBytes = 80;
+
+    void serialize(std::uint8_t *out) const;
+    static MetadataNode deserialize(const std::uint8_t *in);
+};
+
+/** Result of a cache lookup-with-fill. */
+struct MeeCacheResult
+{
+    bool hit = false;
+    /** Key and node of a dirty eviction that must be written back. */
+    std::optional<std::pair<std::uint64_t, MetadataNode>> writeback;
+};
+
+/** Set-associative write-back LRU cache of MetadataNodes. */
+class MeeCache
+{
+  public:
+    /**
+     * @param capacity_nodes total number of nodes the cache can hold
+     * @param associativity  ways per set (capacity must divide evenly)
+     */
+    MeeCache(std::size_t capacity_nodes, std::size_t associativity);
+
+    /**
+     * Look up @p key; on miss, insert @p fill (the node read from
+     * memory) and report any dirty victim. On hit the stored node is
+     * authoritative and @p fill is ignored.
+     */
+    MeeCacheResult access(std::uint64_t key, const MetadataNode &fill,
+                          bool is_write);
+
+    /** True if @p key is resident (no state change). */
+    bool contains(std::uint64_t key) const;
+
+    /** Current node value for a resident key (must be resident). */
+    MetadataNode &nodeFor(std::uint64_t key);
+
+    /** Remove everything, returning all dirty nodes for writeback. */
+    std::vector<std::pair<std::uint64_t, MetadataNode>> flush();
+
+    /** Drop all contents WITHOUT writeback (power loss). */
+    void invalidate();
+
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+    std::uint64_t writebacks() const { return writebackCount; }
+    std::size_t capacityNodes() const { return ways * sets; }
+
+    void
+    resetStats()
+    {
+        hitCount = 0;
+        missCount = 0;
+        writebackCount = 0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        MetadataNode node;
+    };
+
+    std::size_t setIndex(std::uint64_t key) const;
+
+    std::size_t ways;
+    std::size_t sets;
+    std::vector<Line> lines; // sets * ways, set-major
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t writebackCount = 0;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_MEE_CACHE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used by the memory encryption engine to derive MACs for the integrity
+ * tree. Only the primitives needed by the MEE are provided: one-shot
+ * hashing, streaming hashing, and a keyed truncated MAC.
+ */
+
+#ifndef ODRIPS_SECURITY_SHA256_HH
+#define ODRIPS_SECURITY_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace odrips
+{
+
+/** Streaming SHA-256 hasher. */
+class Sha256
+{
+  public:
+    using Digest = std::array<std::uint8_t, 32>;
+
+    Sha256() { reset(); }
+
+    /** Restart a fresh hash computation. */
+    void reset();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    void
+    update(const void *data, std::size_t len)
+    {
+        update(static_cast<const std::uint8_t *>(data), len);
+    }
+
+    /** Finish and return the digest (object must be reset() to reuse). */
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest hash(const std::uint8_t *data, std::size_t len);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state;
+    std::array<std::uint8_t, 64> buffer;
+    std::size_t bufferLen = 0;
+    std::uint64_t totalBytes = 0;
+};
+
+/**
+ * Keyed MAC truncated to 64 bits: SHA-256(key || domain || message)
+ * truncated. Sufficient for the simulator's integrity modelling (the
+ * real MEE uses a Carter-Wegman MAC; what matters for the reproduction
+ * is the metadata layout and traffic, not the exact MAC construction).
+ */
+std::uint64_t mac64(const std::array<std::uint8_t, 16> &key,
+                    std::uint64_t domain, const std::uint8_t *message,
+                    std::size_t len);
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_SHA256_HH

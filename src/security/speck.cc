@@ -1,0 +1,74 @@
+#include "security/speck.hh"
+
+#include <cstring>
+
+namespace odrips
+{
+
+namespace
+{
+
+std::uint64_t
+ror64(std::uint64_t x, unsigned r)
+{
+    return (x >> r) | (x << (64 - r));
+}
+
+std::uint64_t
+rol64(std::uint64_t x, unsigned r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+void
+speckRound(std::uint64_t &x, std::uint64_t &y, std::uint64_t k)
+{
+    x = ror64(x, 8);
+    x += y;
+    x ^= k;
+    y = rol64(y, 3);
+    y ^= x;
+}
+
+void
+speckRoundInverse(std::uint64_t &x, std::uint64_t &y, std::uint64_t k)
+{
+    y ^= x;
+    y = ror64(y, 3);
+    x ^= k;
+    x -= y;
+    x = rol64(x, 8);
+}
+
+} // namespace
+
+Speck128::Speck128(const Key &key)
+{
+    std::uint64_t a, b;
+    std::memcpy(&a, key.data(), 8);     // low half
+    std::memcpy(&b, key.data() + 8, 8); // high half
+
+    roundKeys[0] = a;
+    for (unsigned i = 0; i < rounds - 1; ++i) {
+        speckRound(b, a, static_cast<std::uint64_t>(i));
+        roundKeys[i + 1] = a;
+    }
+}
+
+Block128
+Speck128::encrypt(Block128 block) const
+{
+    for (unsigned i = 0; i < rounds; ++i)
+        speckRound(block.x, block.y, roundKeys[i]);
+    return block;
+}
+
+Block128
+Speck128::decrypt(Block128 block) const
+{
+    for (unsigned i = rounds; i > 0; --i)
+        speckRoundInverse(block.x, block.y, roundKeys[i - 1]);
+    return block;
+}
+
+} // namespace odrips

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SPECK-128/128 block cipher (Beaulieu et al., NSA 2013), from scratch.
+ *
+ * The MEE encrypts context lines with counter-mode encryption built on a
+ * 128-bit block cipher. We use SPECK because it is compact, public, and
+ * fast in software; the reproduction cares about the *structure* of the
+ * encrypted-context path (counter mode + per-line versions + MAC tree),
+ * not about matching Intel's AES hardware.
+ */
+
+#ifndef ODRIPS_SECURITY_SPECK_HH
+#define ODRIPS_SECURITY_SPECK_HH
+
+#include <array>
+#include <cstdint>
+
+namespace odrips
+{
+
+/** A 128-bit block as two 64-bit words (x = high, y = low). */
+struct Block128
+{
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+
+    bool
+    operator==(const Block128 &other) const
+    {
+        return x == other.x && y == other.y;
+    }
+};
+
+/** SPECK-128/128: 32 rounds, 128-bit key, 128-bit block. */
+class Speck128
+{
+  public:
+    static constexpr unsigned rounds = 32;
+    using Key = std::array<std::uint8_t, 16>;
+
+    explicit Speck128(const Key &key);
+
+    /** Encrypt one block. */
+    Block128 encrypt(Block128 plaintext) const;
+
+    /** Decrypt one block. */
+    Block128 decrypt(Block128 ciphertext) const;
+
+  private:
+    std::array<std::uint64_t, rounds> roundKeys;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SECURITY_SPECK_HH

@@ -1,0 +1,121 @@
+#include "sim/event_queue.hh"
+
+namespace odrips
+{
+
+Event::~Event()
+{
+    if (_scheduled && queue)
+        queue->deschedule(*this);
+}
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    if (event._scheduled)
+        panic("event '", event.name(), "' scheduled twice");
+    if (when < _now) {
+        panic("event '", event.name(), "' scheduled in the past (",
+              when, " < ", _now, ")");
+    }
+
+    event._scheduled = true;
+    event.cancelled = false;
+    event._when = when;
+    event.sequence = nextSequence++;
+    event.queue = this;
+
+    entries.push(QueueEntry{when, event._priority, event.sequence, &event});
+    ++liveCount;
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    if (!event._scheduled)
+        panic("descheduling event '", event.name(), "' not scheduled");
+    // Lazy removal: mark cancelled, drop when popped.
+    event.cancelled = true;
+    event._scheduled = false;
+    --liveCount;
+}
+
+void
+EventQueue::reschedule(Event &event, Tick when)
+{
+    if (event._scheduled)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!entries.empty()) {
+        const QueueEntry &head = entries.top();
+        // A cancelled-then-rescheduled event has a new sequence number;
+        // drop stale entries whose sequence no longer matches.
+        if (head.event->cancelled || head.event->sequence != head.sequence ||
+            !head.event->_scheduled) {
+            entries.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return entries.empty() ? maxTick : entries.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (entries.empty())
+        return false;
+
+    QueueEntry entry = entries.top();
+    entries.pop();
+
+    Event &event = *entry.event;
+    ODRIPS_ASSERT(entry.when >= _now, "event queue went backwards");
+    _now = entry.when;
+    event._scheduled = false;
+    --liveCount;
+    ++executed;
+    event.callback();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (true) {
+        Tick next = nextEventTick();
+        if (next == maxTick || next > limit)
+            break;
+        step();
+        ++count;
+    }
+    if (limit != maxTick && limit > _now)
+        _now = limit;
+    return count;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    if (when < _now)
+        panic("advanceTo(", when, ") before now (", _now, ")");
+    if (nextEventTick() < when)
+        panic("advanceTo(", when, ") would skip a pending event");
+    _now = when;
+}
+
+} // namespace odrips

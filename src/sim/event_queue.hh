@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue holds events ordered by (when, priority, sequence) and
+ * executes them in order, advancing the global simulated time. Events are
+ * lightweight callbacks; SimObjects schedule member-function events.
+ */
+
+#ifndef ODRIPS_SIM_EVENT_QUEUE_HH
+#define ODRIPS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+class EventQueue;
+
+/**
+ * A schedulable event. An Event object is owned by its creator and can be
+ * (re)scheduled on an EventQueue; the queue holds non-owning references.
+ */
+class Event
+{
+  public:
+    /** Events at the same tick execute in increasing priority order. */
+    using Priority = int;
+
+    /** Default priority for ordinary model events. */
+    static constexpr Priority defaultPriority = 0;
+    /** Statistics / measurement events run after model events. */
+    static constexpr Priority statsPriority = 100;
+
+    Event(std::string name, std::function<void()> callback,
+          Priority priority = defaultPriority)
+        : _name(std::move(name)), callback(std::move(callback)),
+          _priority(priority)
+    {}
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    ~Event();
+
+    const std::string &name() const { return _name; }
+    Priority priority() const { return _priority; }
+
+    /** True if the event is currently in a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick at which the event will fire (valid only when scheduled). */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    std::function<void()> callback;
+    Priority _priority;
+    bool _scheduled = false;
+    bool cancelled = false;
+    Tick _when = 0;
+    std::uint64_t sequence = 0;
+    EventQueue *queue = nullptr;
+};
+
+/**
+ * The event queue: a priority queue of events plus the simulated-time
+ * cursor. A single queue drives a whole platform simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p event at absolute time @p when.
+     * Scheduling in the past (or an already scheduled event) is a bug.
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Schedule @p event @p delay ticks from now. */
+    void scheduleAfter(Event &event, Tick delay)
+    {
+        schedule(event, _now + delay);
+    }
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event &event);
+
+    /** Deschedule (if scheduled) and reschedule at @p when. */
+    void reschedule(Event &event, Tick when);
+
+    /** True if any event is pending. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return liveCount; }
+
+    /** Tick of the next pending event; maxTick if none. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run events until the queue is empty or the next event lies beyond
+     * @p limit. Time advances to the tick of each executed event and
+     * finally to @p limit (if given and not maxTick).
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Execute exactly one event (if any); @return true if one ran. */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed; }
+
+    /**
+     * Advance the time cursor without running events; used by drivers
+     * that integrate power over idle stretches. It is a bug to skip over
+     * a pending event.
+     */
+    void advanceTo(Tick when);
+
+  private:
+    struct QueueEntry
+    {
+        Tick when;
+        Event::Priority priority;
+        std::uint64_t sequence;
+        Event *event;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const QueueEntry &a, const QueueEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryCompare>
+        entries;
+
+    Tick _now = 0;
+    std::uint64_t nextSequence = 0;
+    std::uint64_t executed = 0;
+    std::size_t liveCount = 0;
+
+    /** Pop cancelled entries off the head of the queue. */
+    void skipCancelled();
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_EVENT_QUEUE_HH

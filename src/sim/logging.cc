@@ -1,0 +1,76 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace odrips
+{
+
+namespace
+{
+
+bool throwOnErrorFlag = false;
+bool quietFlag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Logger::throwOnError(bool enable)
+{
+    throwOnErrorFlag = enable;
+}
+
+void
+Logger::quiet(bool enable)
+{
+    quietFlag = enable;
+}
+
+bool
+Logger::throwing()
+{
+    return throwOnErrorFlag;
+}
+
+void
+Logger::log(LogLevel level, const std::string &where,
+            const std::string &message)
+{
+    const bool is_error =
+        level == LogLevel::Fatal || level == LogLevel::Panic;
+
+    // In throwing (test/CLI) mode the catcher reports the error; do
+    // not print it twice.
+    if (is_error && throwOnErrorFlag)
+        throw SimError(level, message);
+
+    if (!quietFlag || is_error) {
+        std::ostream &os = is_error ? std::cerr : std::cout;
+        os << levelName(level) << ": ";
+        if (!where.empty())
+            os << where << ": ";
+        os << message << std::endl;
+    }
+
+    if (is_error) {
+        if (throwOnErrorFlag)
+            throw SimError(level, message);
+        if (level == LogLevel::Panic)
+            std::abort();
+        std::exit(1);
+    }
+}
+
+} // namespace odrips

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the style used by mainstream
+ * architecture simulators.
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in the
+ *              simulator itself). Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits with code 1.
+ *  - warn():   something may be modelled imprecisely but the simulation
+ *              can continue.
+ *  - inform(): a status message with no connotation of incorrectness.
+ */
+
+#ifndef ODRIPS_SIM_LOGGING_HH
+#define ODRIPS_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace odrips
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Global logging configuration. Tests use this to silence warnings or to
+ * turn fatal()/panic() into exceptions that can be asserted on.
+ */
+class Logger
+{
+  public:
+    /** If true, fatal()/panic() throw instead of terminating (for tests). */
+    static void throwOnError(bool enable);
+    /** If true, warn()/inform() messages are suppressed. */
+    static void quiet(bool enable);
+
+    /** Emit a message; terminates (or throws) on Fatal/Panic. */
+    [[gnu::cold]] static void log(LogLevel level, const std::string &where,
+                                  const std::string &message);
+
+    static bool throwing();
+};
+
+/** Exception thrown by fatal()/panic() in throwing mode. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(LogLevel level, const std::string &what)
+        : std::runtime_error(what), level(level)
+    {}
+
+    const LogLevel level;
+};
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort (or throw in test mode). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    Logger::log(LogLevel::Panic, "", detail::formatParts(args...));
+    // log() does not return for Panic unless throwing, in which case a
+    // SimError propagates; keep the compiler happy either way.
+    throw SimError(LogLevel::Panic, "unreachable");
+}
+
+/** Report an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    Logger::log(LogLevel::Fatal, "", detail::formatParts(args...));
+    throw SimError(LogLevel::Fatal, "unreachable");
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    Logger::log(LogLevel::Warn, "", detail::formatParts(args...));
+}
+
+/** Report simulation status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    Logger::log(LogLevel::Inform, "", detail::formatParts(args...));
+}
+
+/** panic() unless the given condition holds. */
+#define ODRIPS_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::odrips::panic("assertion '" #cond "' failed: ",               \
+                            ##__VA_ARGS__);                                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_LOGGING_HH

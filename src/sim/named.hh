@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Mixin giving an object a hierarchical instance name (e.g.
+ * "platform.processor.pmu"), used in log messages and stat reports.
+ */
+
+#ifndef ODRIPS_SIM_NAMED_HH
+#define ODRIPS_SIM_NAMED_HH
+
+#include <string>
+#include <utility>
+
+namespace odrips
+{
+
+/** An object with a dotted hierarchical name. */
+class Named
+{
+  public:
+    explicit Named(std::string name) : _name(std::move(name)) {}
+    virtual ~Named() = default;
+
+    /** Full hierarchical instance name. */
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_NAMED_HH

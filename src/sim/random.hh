@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Implements xoshiro256** (public-domain algorithm by Blackman & Vigna),
+ * seeded with splitmix64 so that a single 64-bit seed fully determines a
+ * simulation. Workload randomness must never come from std::random_device
+ * so that experiments replay exactly.
+ */
+
+#ifndef ODRIPS_SIM_RANDOM_HH
+#define ODRIPS_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace odrips
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x0d219500d219ULL) { reseed(seed); }
+
+    /** Reset the generator state from a 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (deterministic, no cache). */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_RANDOM_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Base class for simulated hardware/firmware components.
+ *
+ * A SimObject has a hierarchical name and a reference to the event queue
+ * that drives it. Components derive from SimObject and schedule Events on
+ * the shared queue.
+ */
+
+#ifndef ODRIPS_SIM_SIM_OBJECT_HH
+#define ODRIPS_SIM_SIM_OBJECT_HH
+
+#include "sim/event_queue.hh"
+#include "sim/named.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** Base class for every simulated component. */
+class SimObject : public Named
+{
+  public:
+    SimObject(std::string name, EventQueue &event_queue)
+        : Named(std::move(name)), eq(event_queue)
+    {}
+
+    /** The event queue driving this object. */
+    EventQueue &eventQueue() const { return eq; }
+
+    /** Current simulated time. */
+    Tick now() const { return eq.now(); }
+
+  protected:
+    EventQueue &eq;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_SIM_OBJECT_HH

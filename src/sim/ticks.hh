@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator counts time in integer picoseconds ("ticks"). A signed
+ * 64-bit tick counter covers roughly 106 days of simulated time, far
+ * beyond any connected-standby experiment in this repository.
+ */
+
+#ifndef ODRIPS_SIM_TICKS_HH
+#define ODRIPS_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace odrips
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::int64_t;
+
+/** One picosecond expressed in ticks. */
+constexpr Tick onePs = 1;
+/** One nanosecond expressed in ticks. */
+constexpr Tick oneNs = 1000 * onePs;
+/** One microsecond expressed in ticks. */
+constexpr Tick oneUs = 1000 * oneNs;
+/** One millisecond expressed in ticks. */
+constexpr Tick oneMs = 1000 * oneUs;
+/** One second expressed in ticks. */
+constexpr Tick oneSec = 1000 * oneMs;
+
+/** Maximum representable tick, used as "never". */
+constexpr Tick maxTick = INT64_MAX;
+
+/** Convert seconds (floating point) to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(oneSec) + 0.5);
+}
+
+/** Convert ticks to seconds (floating point). */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(oneSec);
+}
+
+/** Convert a frequency in Hz to a clock period in ticks (nearest). */
+constexpr Tick
+frequencyToPeriod(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(oneSec) / hz + 0.5);
+}
+
+/** Convert a period in ticks to a frequency in Hz. */
+constexpr double
+periodToFrequency(Tick period)
+{
+    return static_cast<double>(oneSec) / static_cast<double>(period);
+}
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_TICKS_HH

@@ -1,0 +1,44 @@
+#include "stats/group.hh"
+
+#include "stats/stat.hh"
+
+namespace odrips::stats
+{
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : _name(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->kids.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent)
+        std::erase(parent->kids, this);
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (parent && !parent->fullName().empty())
+        return parent->fullName() + "." + _name;
+    return _name;
+}
+
+void
+StatGroup::registerStat(Stat *stat)
+{
+    stats.push_back(stat);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : stats)
+        s->reset();
+    for (StatGroup *g : kids)
+        g->resetAll();
+}
+
+} // namespace odrips::stats

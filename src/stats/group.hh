@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stat grouping and hierarchical registration.
+ */
+
+#ifndef ODRIPS_STATS_GROUP_HH
+#define ODRIPS_STATS_GROUP_HH
+
+#include <string>
+#include <vector>
+
+namespace odrips::stats
+{
+
+class Stat;
+
+/**
+ * A named collection of statistics; groups nest to mirror the SimObject
+ * hierarchy.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Fully qualified dotted name (parent.child...). */
+    std::string fullName() const;
+
+    /** Called by the Stat constructor. */
+    void registerStat(Stat *stat);
+
+    const std::vector<Stat *> &statistics() const { return stats; }
+    const std::vector<StatGroup *> &children() const { return kids; }
+
+    /** Reset every stat in this group and all children. */
+    void resetAll();
+
+  private:
+    std::string _name;
+    StatGroup *parent;
+    std::vector<Stat *> stats;
+    std::vector<StatGroup *> kids;
+};
+
+} // namespace odrips::stats
+
+#endif // ODRIPS_STATS_GROUP_HH

@@ -1,0 +1,118 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace odrips::stats
+{
+
+Histogram::Histogram(StatGroup &group, std::string name,
+                     std::string description, double lo, double hi,
+                     std::size_t buckets, std::string unit)
+    : Stat(group, std::move(name), std::move(description),
+           std::move(unit)),
+      lo(lo), hi(hi), bins(buckets, 0)
+{
+    ODRIPS_ASSERT(hi > lo, "histogram range is empty");
+    ODRIPS_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count;
+    sum += v;
+    if (v < lo) {
+        ++under;
+        return;
+    }
+    if (v >= hi) {
+        ++over;
+        return;
+    }
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    auto index = static_cast<std::size_t>((v - lo) / width);
+    index = std::min(index, bins.size() - 1);
+    ++bins[index];
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    ODRIPS_ASSERT(i < bins.size(), "bucket index out of range");
+    return bins[i];
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    ODRIPS_ASSERT(i <= bins.size(), "bucket index out of range");
+    return lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(bins.size());
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    ODRIPS_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                  "percentile fraction out of range");
+    if (count == 0)
+        return lo;
+
+    const double target = fraction * static_cast<double>(count);
+    double cumulative = static_cast<double>(under);
+    if (cumulative >= target)
+        return lo;
+
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const double next = cumulative + static_cast<double>(bins[i]);
+        if (next >= target && bins[i] > 0) {
+            const double within =
+                (target - cumulative) / static_cast<double>(bins[i]);
+            return bucketLow(i) + within * (bucketLow(i + 1) -
+                                            bucketLow(i));
+        }
+        cumulative = next;
+    }
+    return hi;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+",
+                                   "*", "#", "%", "@"};
+    std::string out;
+    std::uint64_t peak = 1;
+    for (std::uint64_t b : bins)
+        peak = std::max(peak, b);
+
+    const std::size_t cells = std::min(width, bins.size());
+    for (std::size_t c = 0; c < cells; ++c) {
+        // Aggregate bins into cells.
+        const std::size_t from = c * bins.size() / cells;
+        const std::size_t to = (c + 1) * bins.size() / cells;
+        std::uint64_t total = 0;
+        for (std::size_t i = from; i < to; ++i)
+            total += bins[i];
+        const std::size_t level = static_cast<std::size_t>(
+            std::ceil(9.0 * static_cast<double>(total) /
+                      static_cast<double>(peak * (to - from))));
+        out += glyphs[std::min<std::size_t>(level, 9)];
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    under = 0;
+    over = 0;
+    count = 0;
+    sum = 0.0;
+}
+
+} // namespace odrips::stats

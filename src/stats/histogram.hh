@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-bucket histogram statistic.
+ *
+ * Used for latency and power-sample distributions (e.g. the wake-detect
+ * latency spread caused by 32 kHz sampling).
+ */
+
+#ifndef ODRIPS_STATS_HISTOGRAM_HH
+#define ODRIPS_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stat.hh"
+
+namespace odrips::stats
+{
+
+/** Linear-bucket histogram over [lo, hi) with under/overflow bins. */
+class Histogram : public Stat
+{
+  public:
+    /**
+     * @param group   owning stat group
+     * @param name    stat name
+     * @param description human description
+     * @param lo      lower bound of the bucketed range
+     * @param hi      upper bound of the bucketed range
+     * @param buckets number of equal-width buckets
+     * @param unit    unit label
+     */
+    Histogram(StatGroup &group, std::string name, std::string description,
+              double lo, double hi, std::size_t buckets,
+              std::string unit = "");
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    std::uint64_t underflows() const { return under; }
+    std::uint64_t overflows() const { return over; }
+
+    /** Count in bucket @p i (0-based). */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(std::size_t i) const;
+
+    std::size_t bucketCountTotal() const { return bins.size(); }
+
+    double mean() const { return count ? sum / count : 0.0; }
+
+    /**
+     * Value below which @p fraction of samples fall (linear
+     * interpolation within a bucket; clamps to the bucketed range).
+     */
+    double percentile(double fraction) const;
+
+    /** Render a compact ASCII sparkline of the distribution. */
+    std::string render(std::size_t width = 40) const;
+
+    double value() const override { return mean(); }
+    void reset() override;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+} // namespace odrips::stats
+
+#endif // ODRIPS_STATS_HISTOGRAM_HH

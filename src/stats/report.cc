@@ -1,0 +1,166 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/group.hh"
+#include "stats/stat.hh"
+
+namespace odrips::stats
+{
+
+Table::Table(std::string title) : title(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> new_header)
+{
+    header = std::move(new_header);
+    body.clear();
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header.empty() && row.size() != header.size()) {
+        panic("table '", title, "': row width ", row.size(),
+              " != header width ", header.size());
+    }
+    body.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    body.emplace_back();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    // Compute column widths.
+    std::vector<std::size_t> widths;
+    auto account = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header.empty())
+        account(header);
+    for (const auto &row : body)
+        account(row);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    auto rule = [&]() { os << std::string(std::max<std::size_t>(total, 8), '-') << '\n'; };
+
+    if (!title.empty()) {
+        rule();
+        os << title << '\n';
+    }
+    rule();
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << row[i];
+            if (i + 1 < row.size())
+                os << " | ";
+        }
+        os << '\n';
+    };
+
+    if (!header.empty()) {
+        print_row(header);
+        rule();
+    }
+    for (const auto &row : body) {
+        if (row.empty())
+            rule();
+        else
+            print_row(row);
+    }
+    rule();
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+fmt(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+fmtPower(double watts)
+{
+    const double aw = std::fabs(watts);
+    if (aw >= 1.0)
+        return fmt(watts, 3) + " W";
+    if (aw >= 1e-3)
+        return fmt(watts * 1e3, 3) + " mW";
+    return fmt(watts * 1e6, 3) + " uW";
+}
+
+std::string
+fmtTime(double seconds)
+{
+    const double as = std::fabs(seconds);
+    if (as >= 1.0)
+        return fmt(seconds, 3) + " s";
+    if (as >= 1e-3)
+        return fmt(seconds * 1e3, 3) + " ms";
+    if (as >= 1e-6)
+        return fmt(seconds * 1e6, 3) + " us";
+    return fmt(seconds * 1e9, 3) + " ns";
+}
+
+std::string
+fmtPercent(double fraction, int digits)
+{
+    return fmt(fraction * 100.0, digits) + "%";
+}
+
+namespace
+{
+
+void
+dumpGroup(std::ostream &os, const StatGroup &group)
+{
+    const std::string prefix =
+        group.fullName().empty() ? "" : group.fullName() + ".";
+    for (const Stat *s : group.statistics()) {
+        os << prefix << s->name() << " = " << s->value();
+        if (!s->unit().empty())
+            os << ' ' << s->unit();
+        if (!s->description().empty())
+            os << "  # " << s->description();
+        os << '\n';
+    }
+    for (const StatGroup *g : group.children())
+        dumpGroup(os, *g);
+}
+
+} // namespace
+
+void
+dumpStats(std::ostream &os, const StatGroup &group)
+{
+    dumpGroup(os, group);
+}
+
+} // namespace odrips::stats

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Text table rendering used by the benchmark harnesses so that every
+ * reproduced table/figure prints in a consistent format.
+ */
+
+#ifndef ODRIPS_STATS_REPORT_HH
+#define ODRIPS_STATS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace odrips::stats
+{
+
+class StatGroup;
+
+/** A simple left/right aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Define the column headers (resets rows). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width if a header is set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body; // empty vector = separator
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string fmt(double value, int digits = 3);
+
+/** Format a power value in engineering units (W / mW / uW). */
+std::string fmtPower(double watts);
+
+/** Format a time value in engineering units (s / ms / us / ns). */
+std::string fmtTime(double seconds);
+
+/** Format a ratio as a signed percentage ("-22.0%"). */
+std::string fmtPercent(double fraction, int digits = 1);
+
+/** Dump a stat group hierarchy as "name = value unit # description". */
+void dumpStats(std::ostream &os, const StatGroup &group);
+
+} // namespace odrips::stats
+
+#endif // ODRIPS_STATS_REPORT_HH

@@ -1,0 +1,54 @@
+#include "stats/stat.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/group.hh"
+
+namespace odrips::stats
+{
+
+Stat::Stat(StatGroup &group, std::string name, std::string description,
+           std::string unit)
+    : _name(std::move(name)), _description(std::move(description)),
+      _unit(std::move(unit))
+{
+    group.registerStat(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count == 0) {
+        minVal = v;
+        maxVal = v;
+    } else {
+        minVal = std::min(minVal, v);
+        maxVal = std::max(maxVal, v);
+    }
+    total += v;
+    totalSq += v * v;
+    ++count;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count < 2)
+        return 0.0;
+    const double n = static_cast<double>(count);
+    const double var = (totalSq - total * total / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count = 0;
+    total = 0;
+    totalSq = 0;
+    minVal = 0;
+    maxVal = 0;
+}
+
+} // namespace odrips::stats

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal statistics framework.
+ *
+ * Stats register themselves with a StatGroup; groups form the same
+ * hierarchy as the SimObjects that own them and can be dumped into a text
+ * report at the end of a simulation.
+ */
+
+#ifndef ODRIPS_STATS_STAT_HH
+#define ODRIPS_STATS_STAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odrips::stats
+{
+
+class StatGroup;
+
+/** Base class of all statistics. */
+class Stat
+{
+  public:
+    Stat(StatGroup &group, std::string name, std::string description,
+         std::string unit = "");
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &description() const { return _description; }
+    const std::string &unit() const { return _unit; }
+
+    /** Current value rendered for reports. */
+    virtual double value() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _description;
+    std::string _unit;
+};
+
+/** A simple additive counter / gauge. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator-=(double v) { val -= v; return *this; }
+    Scalar &operator++() { val += 1; return *this; }
+    void set(double v) { val = v; }
+
+    double value() const override { return val; }
+    void reset() override { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/** Mean of all samples pushed so far. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    std::uint64_t samples() const { return count; }
+    double value() const override { return count ? sum / count : 0.0; }
+
+    void
+    reset() override
+    {
+        sum = 0;
+        count = 0;
+    }
+
+  private:
+    double sum = 0;
+    std::uint64_t count = 0;
+};
+
+/** Running min/max/mean/sum of samples. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double min() const { return count ? minVal : 0.0; }
+    double max() const { return count ? maxVal : 0.0; }
+    double sum() const { return total; }
+    double mean() const { return count ? total / count : 0.0; }
+    /** Sample standard deviation (0 when fewer than two samples). */
+    double stddev() const;
+
+    double value() const override { return mean(); }
+    void reset() override;
+
+  private:
+    std::uint64_t count = 0;
+    double total = 0;
+    double totalSq = 0;
+    double minVal = 0;
+    double maxVal = 0;
+};
+
+} // namespace odrips::stats
+
+#endif // ODRIPS_STATS_STAT_HH

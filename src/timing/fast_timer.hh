@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fast wake-up timer: a 64-bit counter incremented once per fast-clock
+ * cycle (Fast_Timer += 1 at 24 MHz). The simulator computes its value
+ * arithmetically from the load point instead of toggling per cycle.
+ */
+
+#ifndef ODRIPS_TIMING_FAST_TIMER_HH
+#define ODRIPS_TIMING_FAST_TIMER_HH
+
+#include <cstdint>
+
+#include "clock/clock_domain.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** 64-bit fast timer clocked by a fast clock domain. */
+class FastTimer
+{
+  public:
+    explicit FastTimer(const ClockDomain &clock) : clock(clock) {}
+
+    /** Load a counter value at time @p t and start counting. */
+    void
+    load(std::uint64_t value, Tick t)
+    {
+        baseValue = value;
+        baseTick = t;
+        running_ = true;
+    }
+
+    /** Stop counting at time @p t; value freezes at valueAt(t). */
+    void
+    halt(Tick t)
+    {
+        baseValue = valueAt(t);
+        baseTick = t;
+        running_ = false;
+    }
+
+    bool running() const { return running_; }
+
+    /** Counter value at time @p t (>= the last load/halt point). */
+    std::uint64_t
+    valueAt(Tick t) const
+    {
+        ODRIPS_ASSERT(t >= baseTick, "fast timer read in the past");
+        if (!running_)
+            return baseValue;
+        return baseValue + clock.cyclesIn(baseTick, t);
+    }
+
+    /** Tick at which the counter first reaches @p target (maxTick if
+     * halted or already past). */
+    Tick
+    tickWhenReaches(std::uint64_t target, Tick from) const
+    {
+        if (!running_)
+            return maxTick;
+        const std::uint64_t current = valueAt(from);
+        if (current >= target)
+            return from;
+        const std::uint64_t remaining = target - current;
+        return from + static_cast<Tick>(remaining) * clock.period();
+    }
+
+    const ClockDomain &clockDomain() const { return clock; }
+
+  private:
+    const ClockDomain &clock;
+    std::uint64_t baseValue = 0;
+    Tick baseTick = 0;
+    bool running_ = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_TIMING_FAST_TIMER_HH

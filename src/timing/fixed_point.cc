@@ -1,0 +1,20 @@
+#include "timing/fixed_point.hh"
+
+#include <sstream>
+
+namespace odrips
+{
+
+std::string
+FixedUint::toString() const
+{
+    std::ostringstream os;
+    os << integerPart();
+    if (fracBits > 0) {
+        os << " + 0x" << std::hex << fractionPart() << std::dec << "/2^"
+           << fracBits;
+    }
+    return os.str();
+}
+
+} // namespace odrips

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unsigned fixed-point arithmetic for the slow wake-up timer.
+ *
+ * The paper's slow timer is a (64 + f)-bit fixed-point counter that is
+ * incremented by a fixed-point Step value every 32.768 kHz cycle
+ * (Sec. 4.1.3). We store raw values in an unsigned 128-bit integer with a
+ * configurable number of fraction bits, which comfortably covers the
+ * paper's 64 + 21 bits.
+ */
+
+#ifndef ODRIPS_TIMING_FIXED_POINT_HH
+#define ODRIPS_TIMING_FIXED_POINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** 128-bit unsigned integer used as the raw fixed-point container. */
+using uint128 = unsigned __int128;
+
+/**
+ * Unsigned fixed-point number: raw / 2^fractionBits.
+ *
+ * The fraction width is a runtime property so that the ablation bench can
+ * sweep it; two operands of an arithmetic operation must agree on the
+ * width.
+ */
+class FixedUint
+{
+  public:
+    /** Zero with the given fraction width. */
+    explicit FixedUint(unsigned fraction_bits = 0)
+        : fracBits(fraction_bits), raw_(0)
+    {
+        ODRIPS_ASSERT(fraction_bits <= 64, "fraction too wide");
+    }
+
+    /** Construct from a raw container value. */
+    static FixedUint
+    fromRaw(uint128 raw, unsigned fraction_bits)
+    {
+        FixedUint v(fraction_bits);
+        v.raw_ = raw;
+        return v;
+    }
+
+    /** Construct from an integer (no fractional part). */
+    static FixedUint
+    fromInteger(std::uint64_t integer, unsigned fraction_bits)
+    {
+        return fromRaw(static_cast<uint128>(integer) << fraction_bits,
+                       fraction_bits);
+    }
+
+    /**
+     * Construct the exact ratio numerator/denominator rounded down to
+     * the fixed-point grid. This is the Step computation: with
+     * denominator = 2^f the division is just a shift of the binary point
+     * (Sec. 4.1.3).
+     */
+    static FixedUint
+    fromRatio(std::uint64_t numerator, std::uint64_t denominator,
+              unsigned fraction_bits)
+    {
+        ODRIPS_ASSERT(denominator != 0, "ratio denominator is zero");
+        const uint128 scaled = static_cast<uint128>(numerator)
+                               << fraction_bits;
+        return fromRaw(scaled / denominator, fraction_bits);
+    }
+
+    unsigned fractionBits() const { return fracBits; }
+    uint128 raw() const { return raw_; }
+
+    /** Integer part (floor). */
+    std::uint64_t
+    integerPart() const
+    {
+        return static_cast<std::uint64_t>(raw_ >> fracBits);
+    }
+
+    /** Fractional part as raw bits (in [0, 2^fracBits)). */
+    std::uint64_t
+    fractionPart() const
+    {
+        if (fracBits == 0)
+            return 0;
+        const uint128 mask = (static_cast<uint128>(1) << fracBits) - 1;
+        return static_cast<std::uint64_t>(raw_ & mask);
+    }
+
+    /** Value as a double (may lose precision; for reporting only). */
+    double
+    toDouble() const
+    {
+        return static_cast<double>(raw_) /
+               static_cast<double>(static_cast<uint128>(1) << fracBits);
+    }
+
+    FixedUint &
+    operator+=(const FixedUint &other)
+    {
+        ODRIPS_ASSERT(fracBits == other.fracBits,
+                      "fixed-point width mismatch");
+        raw_ += other.raw_;
+        return *this;
+    }
+
+    FixedUint
+    operator+(const FixedUint &other) const
+    {
+        FixedUint r = *this;
+        r += other;
+        return r;
+    }
+
+    /** Multiply by a plain integer (e.g. Step * elapsed slow cycles). */
+    FixedUint
+    times(std::uint64_t k) const
+    {
+        return fromRaw(raw_ * static_cast<uint128>(k), fracBits);
+    }
+
+    bool
+    operator==(const FixedUint &other) const
+    {
+        return fracBits == other.fracBits && raw_ == other.raw_;
+    }
+
+    bool
+    operator<(const FixedUint &other) const
+    {
+        ODRIPS_ASSERT(fracBits == other.fracBits,
+                      "fixed-point width mismatch");
+        return raw_ < other.raw_;
+    }
+
+    /** Render as "integer.fraction(hex)" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    unsigned fracBits;
+    uint128 raw_;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_TIMING_FIXED_POINT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Slow wake-up timer: a (64 + f)-bit fixed-point counter incremented by
+ * the calibrated Step every slow-clock (32.768 kHz) cycle
+ * (Slow_Timer += Step, paper Sec. 4.1).
+ */
+
+#ifndef ODRIPS_TIMING_SLOW_TIMER_HH
+#define ODRIPS_TIMING_SLOW_TIMER_HH
+
+#include <cstdint>
+
+#include "clock/clock_domain.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+#include "timing/fixed_point.hh"
+
+namespace odrips
+{
+
+/** Fixed-point slow timer driven by the RTC clock. */
+class SlowTimer
+{
+  public:
+    explicit SlowTimer(const ClockDomain &clock)
+        : clock(clock), base(0), step(0)
+    {}
+
+    /** Program the Step increment (from a CalibrationResult). */
+    void
+    setStep(const FixedUint &s)
+    {
+        step = s;
+    }
+
+    const FixedUint &stepValue() const { return step; }
+
+    /**
+     * Load the fast-timer value into the slow timer at time @p t
+     * (the copy happens on a slow-clock rising edge in hardware).
+     */
+    void
+    load(std::uint64_t fast_value, Tick t)
+    {
+        base = FixedUint::fromInteger(fast_value, step.fractionBits());
+        baseTick = t;
+        running_ = true;
+    }
+
+    /** Stop counting; the value freezes. */
+    void
+    halt(Tick t)
+    {
+        base = fixedValueAt(t);
+        baseTick = t;
+        running_ = false;
+    }
+
+    bool running() const { return running_; }
+
+    /** Full fixed-point value at time @p t. */
+    FixedUint
+    fixedValueAt(Tick t) const
+    {
+        ODRIPS_ASSERT(t >= baseTick, "slow timer read in the past");
+        if (!running_)
+            return base;
+        const std::uint64_t cycles = clock.cyclesIn(baseTick, t);
+        return base + step.times(cycles);
+    }
+
+    /** Integer (upper 64-bit) part: the fast-timer estimate that is
+     * copied back on ODRIPS exit. */
+    std::uint64_t
+    valueAt(Tick t) const
+    {
+        return fixedValueAt(t).integerPart();
+    }
+
+    /**
+     * Tick of the slow-clock edge at which the integer value first
+     * reaches @p target (wake events have slow-cycle granularity while
+     * in ODRIPS). Returns maxTick when halted.
+     */
+    Tick
+    tickWhenReaches(std::uint64_t target, Tick from) const
+    {
+        if (!running_ || step.raw() == 0)
+            return maxTick;
+        const FixedUint now_val = fixedValueAt(from);
+        const uint128 target_raw = static_cast<uint128>(target)
+                                   << step.fractionBits();
+        if (now_val.raw() >= target_raw)
+            return from;
+        const uint128 deficit = target_raw - now_val.raw();
+        // ceil(deficit / step) slow cycles from the last edge <= from.
+        const uint128 cycles = (deficit + step.raw() - 1) / step.raw();
+        const Tick period = clock.period();
+        const Tick last_edge = (from / period) * period;
+        return last_edge + static_cast<Tick>(cycles) * period;
+    }
+
+    const ClockDomain &clockDomain() const { return clock; }
+
+  private:
+    const ClockDomain &clock;
+    FixedUint base;
+    FixedUint step;
+    Tick baseTick = 0;
+    bool running_ = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_TIMING_SLOW_TIMER_HH

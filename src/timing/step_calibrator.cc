@@ -1,0 +1,96 @@
+#include "timing/step_calibrator.hh"
+
+#include <cmath>
+
+namespace odrips
+{
+
+unsigned
+StepCalibrator::requiredIntegerBits(double fast_hz, double slow_hz)
+{
+    ODRIPS_ASSERT(fast_hz > slow_hz && slow_hz > 0,
+                  "fast clock must be faster than slow clock");
+    return static_cast<unsigned>(std::floor(std::log2(fast_hz / slow_hz)))
+           + 1;
+}
+
+unsigned
+StepCalibrator::requiredFractionBits(double fast_hz, double slow_hz,
+                                     std::uint64_t precision_cycles)
+{
+    // Eq. 4: N_slow = 2^f must exceed (precision_cycles - 1) / ratio so
+    // that a quantization error below one raw LSB per slow cycle cannot
+    // accumulate to a full fast cycle within the precision window.
+    const double ratio = fast_hz / slow_hz;
+    const double min_slow_cycles =
+        (static_cast<double>(precision_cycles) - 1.0) / ratio;
+    unsigned f = 0;
+    while (std::ldexp(1.0, static_cast<int>(f)) <= min_slow_cycles)
+        ++f;
+    return f;
+}
+
+CalibrationResult
+StepCalibrator::calibrate(unsigned fraction_bits,
+                          std::uint64_t phase_fast_cycles) const
+{
+    CalibrationResult r;
+    r.fractionBits = fraction_bits;
+    r.integerBits = requiredIntegerBits(fast.actualHz(), slow.actualHz());
+    r.slowCycles = std::uint64_t{1} << fraction_bits;
+
+    // Exact count of fast edges inside N_slow slow periods. A hardware
+    // counter gated by the slow clock would see this count give or take
+    // the initial phase offset, modelled by phase_fast_cycles.
+    const double window_seconds =
+        static_cast<double>(r.slowCycles) / slow.actualHz();
+    r.durationSeconds = window_seconds;
+    r.fastCycles = static_cast<std::uint64_t>(
+                       std::floor(window_seconds * fast.actualHz()))
+                   + phase_fast_cycles;
+
+    // Dividing N_fast by N_slow = 2^f is a binary-point placement: the
+    // raw fixed-point Step value *is* N_fast.
+    r.step = FixedUint::fromRaw(static_cast<uint128>(r.fastCycles),
+                                fraction_bits);
+    return r;
+}
+
+CalibrationResult
+StepCalibrator::calibrateForPpb() const
+{
+    const unsigned f = requiredFractionBits(
+        fast.nominalHz(), slow.nominalHz(), 1000000000ULL);
+    return calibrate(f);
+}
+
+double
+StepCalibrator::evaluateDriftCycles(const CalibrationResult &calibration,
+                                    std::uint64_t slow_cycles) const
+{
+    // Estimated fast count after slow_cycles increments of Step.
+    const FixedUint estimated = calibration.step.times(slow_cycles);
+    const double estimated_cycles = estimated.toDouble();
+
+    // Actual fast count over the same wall-clock span.
+    const double span_seconds =
+        static_cast<double>(slow_cycles) / slow.actualHz();
+    const double actual_cycles = span_seconds * fast.actualHz();
+
+    return estimated_cycles - actual_cycles;
+}
+
+double
+StepCalibrator::evaluateDriftPpb(const CalibrationResult &calibration,
+                                 std::uint64_t slow_cycles) const
+{
+    const double span_seconds =
+        static_cast<double>(slow_cycles) / slow.actualHz();
+    const double actual_cycles = span_seconds * fast.actualHz();
+    if (actual_cycles <= 0)
+        return 0.0;
+    return evaluateDriftCycles(calibration, slow_cycles) / actual_cycles
+           * 1e9;
+}
+
+} // namespace odrips

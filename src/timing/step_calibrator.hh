@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Step calibration (paper Sec. 4.1.3).
+ *
+ * The slow timer must advance by a fixed-point Step per slow-clock cycle
+ * so that it tracks the (switched-off) fast timer. The Step is the
+ * average fast/slow frequency ratio measured over N_slow = 2^f slow
+ * cycles: counting N_fast fast edges within that window and dividing by
+ * 2^f (a binary-point shift).
+ *
+ * This module implements:
+ *  - Eq. 2: required integer bits  m = floor(log2(fast/slow)) + 1
+ *  - Eq. 4: required fraction bits f for a target precision (e.g. 1 ppb)
+ *  - the calibration "measurement" itself, computed exactly from the two
+ *    crystals' actual (ppm-deviated) frequencies
+ *  - drift evaluation of a calibrated Step over a given interval
+ */
+
+#ifndef ODRIPS_TIMING_STEP_CALIBRATOR_HH
+#define ODRIPS_TIMING_STEP_CALIBRATOR_HH
+
+#include <cstdint>
+
+#include "clock/crystal.hh"
+#include "sim/ticks.hh"
+#include "timing/fixed_point.hh"
+
+namespace odrips
+{
+
+/** Result of a Step calibration run. */
+struct CalibrationResult
+{
+    /** The calibrated fixed-point Step (fast cycles per slow cycle). */
+    FixedUint step{0};
+    /** Integer bits m of the Step representation. */
+    unsigned integerBits = 0;
+    /** Fraction bits f of the Step representation. */
+    unsigned fractionBits = 0;
+    /** Number of slow cycles observed (N_slow = 2^f). */
+    std::uint64_t slowCycles = 0;
+    /** Number of fast cycles counted within the window (N_fast). */
+    std::uint64_t fastCycles = 0;
+    /** Wall-clock duration of the calibration window in seconds. */
+    double durationSeconds = 0.0;
+};
+
+/**
+ * Computes Step representations and performs calibration measurements
+ * against a pair of crystals.
+ */
+class StepCalibrator
+{
+  public:
+    /**
+     * @param fast the fast crystal (e.g. 24 MHz XTAL)
+     * @param slow the slow crystal (e.g. 32.768 kHz RTC XTAL)
+     */
+    StepCalibrator(const Crystal &fast, const Crystal &slow)
+        : fast(fast), slow(slow)
+    {}
+
+    /** Eq. 2: integer bits needed for the frequency ratio. */
+    static unsigned requiredIntegerBits(double fast_hz, double slow_hz);
+
+    /**
+     * Eq. 4: fraction bits needed so the counting drift stays below one
+     * fast cycle within @p precision_cycles fast cycles (1e9 for 1 ppb).
+     */
+    static unsigned requiredFractionBits(double fast_hz, double slow_hz,
+                                         std::uint64_t precision_cycles);
+
+    /**
+     * Run the calibration over N_slow = 2^f slow cycles. The fast-edge
+     * count is derived exactly from the crystals' actual frequencies
+     * (the hardware counter would observe the same count, +/- one edge
+     * of phase uncertainty, which @p phase_fast_cycles models).
+     */
+    CalibrationResult calibrate(unsigned fraction_bits,
+                                std::uint64_t phase_fast_cycles = 0) const;
+
+    /** Calibrate with the fraction width required for 1 ppb. */
+    CalibrationResult calibrateForPpb() const;
+
+    /**
+     * Evaluate the counting drift of a calibrated Step: simulate
+     * @p slow_cycles slow-timer increments and compare against the exact
+     * number of fast cycles in the same wall-clock interval.
+     *
+     * @return drift in fast-timer cycles (estimated - actual).
+     */
+    double evaluateDriftCycles(const CalibrationResult &calibration,
+                               std::uint64_t slow_cycles) const;
+
+    /** Drift in parts-per-billion over @p slow_cycles slow cycles. */
+    double evaluateDriftPpb(const CalibrationResult &calibration,
+                            std::uint64_t slow_cycles) const;
+
+    /** Exact fast/slow frequency ratio (actual frequencies). */
+    double
+    actualRatio() const
+    {
+        return fast.actualHz() / slow.actualHz();
+    }
+
+  private:
+    const Crystal &fast;
+    const Crystal &slow;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_TIMING_STEP_CALIBRATOR_HH

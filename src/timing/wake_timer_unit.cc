@@ -1,0 +1,123 @@
+#include "timing/wake_timer_unit.hh"
+
+namespace odrips
+{
+
+WakeTimerUnit::WakeTimerUnit(std::string name, ClockDomain &fast_clock,
+                             ClockDomain &slow_clock, Crystal &fast_xtal,
+                             std::uint64_t pml_transfer_cycles,
+                             Tick xtal_restart_latency)
+    : Named(std::move(name)), fastClock(fast_clock), slowClock(slow_clock),
+      fastXtal(fast_xtal), fast(fast_clock), slow(slow_clock),
+      pmlCycles(pml_transfer_cycles), xtalRestart(xtal_restart_latency)
+{
+}
+
+void
+WakeTimerUnit::applyCalibration(const CalibrationResult &calibration)
+{
+    slow.setStep(calibration.step);
+    isCalibrated = true;
+}
+
+void
+WakeTimerUnit::loadFromProcessor(std::uint64_t tsc_value, Tick now)
+{
+    ODRIPS_ASSERT(fastXtal.enabled(), "fast crystal off during load");
+    // The value travelled pmlCycles fast cycles on the deterministic PML
+    // channel; compensate so the local copy matches the source "now".
+    fast.load(tsc_value + pmlCycles, now);
+    fastClock.ungate();
+    mode_ = Mode::Fast;
+}
+
+HandoverRecord
+WakeTimerUnit::switchToSlow(Tick now)
+{
+    ODRIPS_ASSERT(mode_ == Mode::Fast, name(),
+                  ": switchToSlow outside fast mode");
+    ODRIPS_ASSERT(isCalibrated, name(), ": switchToSlow before calibration");
+
+    HandoverRecord rec;
+    rec.requested = now;
+    // Assert Switch_to_32KHz; the copy happens on the next rising edge
+    // of the slow clock (Fig. 3(b)).
+    rec.edge = slowClock.nextEdge(now);
+    rec.value = fast.valueAt(rec.edge);
+
+    slow.load(rec.value, rec.edge);
+    fast.halt(rec.edge);
+    fastClock.gate();
+    fastXtal.disable();
+    mode_ = Mode::Slow;
+
+    rec.completed = rec.edge;
+    return rec;
+}
+
+HandoverRecord
+WakeTimerUnit::switchToFast(Tick now)
+{
+    ODRIPS_ASSERT(mode_ == Mode::Slow, name(),
+                  ": switchToFast outside slow mode");
+
+    HandoverRecord rec;
+    rec.requested = now;
+
+    // Restart the 24 MHz crystal and wait for it to stabilize.
+    fastXtal.enable();
+    fastClock.ungate();
+    const Tick xtal_ready = now + xtalRestart;
+
+    // De-assert Switch_to_32KHz; copy happens on the next slow edge
+    // after the fast clock is available again.
+    rec.edge = slowClock.nextEdge(xtal_ready);
+    rec.value = slow.valueAt(rec.edge);
+
+    fast.load(rec.value, rec.edge);
+    slow.halt(rec.edge);
+    mode_ = Mode::Fast;
+
+    rec.completed = rec.edge;
+    return rec;
+}
+
+std::uint64_t
+WakeTimerUnit::deliverToProcessor(Tick now) const
+{
+    ODRIPS_ASSERT(mode_ == Mode::Fast, name(),
+                  ": deliver outside fast mode");
+    // Add the PML compensation so the processor-side timer is correct
+    // when the value lands there pmlCycles later.
+    return fast.valueAt(now) + pmlCycles;
+}
+
+std::uint64_t
+WakeTimerUnit::valueAt(Tick t) const
+{
+    switch (mode_) {
+      case Mode::Off:
+        return 0;
+      case Mode::Fast:
+        return fast.valueAt(t);
+      case Mode::Slow:
+        return slow.valueAt(t);
+    }
+    return 0;
+}
+
+Tick
+WakeTimerUnit::wakeTickFor(std::uint64_t target, Tick from) const
+{
+    switch (mode_) {
+      case Mode::Off:
+        return maxTick;
+      case Mode::Fast:
+        return fast.tickWhenReaches(target, from);
+      case Mode::Slow:
+        return slow.tickWhenReaches(target, from);
+    }
+    return maxTick;
+}
+
+} // namespace odrips

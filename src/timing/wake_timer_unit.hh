@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Chipset wake-timer unit: the fast-timer/slow-timer pair plus the
+ * handover protocol of paper Sec. 4.1.2 / Fig. 3.
+ *
+ * ODRIPS entry: the processor's main timer value arrives over the PML
+ * (with a fixed transfer-latency compensation), the fast timer toggles at
+ * 24 MHz, then on the next rising edge of the 32.768 kHz clock the value
+ * is copied into the slow timer, the fast clock is gated and the 24 MHz
+ * crystal can be turned off.
+ *
+ * ODRIPS exit: the 24 MHz crystal restarts, on the next slow-clock edge
+ * the slow timer's upper 64 bits are copied back into the fast timer,
+ * and the value (plus PML compensation) is returned to the processor.
+ */
+
+#ifndef ODRIPS_TIMING_WAKE_TIMER_UNIT_HH
+#define ODRIPS_TIMING_WAKE_TIMER_UNIT_HH
+
+#include <cstdint>
+
+#include "clock/clock_domain.hh"
+#include "clock/crystal.hh"
+#include "sim/named.hh"
+#include "timing/fast_timer.hh"
+#include "timing/slow_timer.hh"
+#include "timing/step_calibrator.hh"
+
+namespace odrips
+{
+
+/** Outcome of a timer handover (either direction). */
+struct HandoverRecord
+{
+    /** Tick at which the handover was requested. */
+    Tick requested = 0;
+    /** Tick of the slow-clock rising edge where the copy happened. */
+    Tick edge = 0;
+    /** Tick at which the handover completed (incl. PML transfer). */
+    Tick completed = 0;
+    /** Timer value established at the destination timer. */
+    std::uint64_t value = 0;
+
+    /** Total handover latency. */
+    Tick latency() const { return completed - requested; }
+};
+
+/**
+ * The chipset-side wake timer: owns the fast/slow timer pair and
+ * implements the switch protocol. Also owns the calibrated Step.
+ */
+class WakeTimerUnit : public Named
+{
+  public:
+    /** Counting mode of the unit. */
+    enum class Mode
+    {
+        Off,   ///< not yet loaded
+        Fast,  ///< fast timer counting at 24 MHz
+        Slow,  ///< slow timer counting at 32.768 kHz (ODRIPS)
+    };
+
+    /**
+     * @param name                 instance name
+     * @param fast_clock           24 MHz chipset clock domain
+     * @param slow_clock           32.768 kHz RTC clock domain
+     * @param fast_xtal            the 24 MHz crystal (gets disabled in
+     *                             slow mode)
+     * @param pml_transfer_cycles  deterministic PML transfer latency in
+     *                             fast-clock cycles, added as the timer
+     *                             compensation constant
+     * @param xtal_restart_latency time for the 24 MHz crystal to restart
+     *                             and stabilize on ODRIPS exit
+     */
+    WakeTimerUnit(std::string name, ClockDomain &fast_clock,
+                  ClockDomain &slow_clock, Crystal &fast_xtal,
+                  std::uint64_t pml_transfer_cycles,
+                  Tick xtal_restart_latency);
+
+    /** Program the Step from a calibration result (required once after
+     * reset, before the first slow-mode entry). */
+    void applyCalibration(const CalibrationResult &calibration);
+
+    bool calibrated() const { return isCalibrated; }
+    Mode mode() const { return mode_; }
+
+    /**
+     * Load the processor's timer value (as sent over the PML at
+     * @p now); the unit compensates for the transfer latency and starts
+     * the fast timer. This is the first step of ODRIPS entry.
+     */
+    void loadFromProcessor(std::uint64_t tsc_value, Tick now);
+
+    /**
+     * Switch counting to the slow timer (asserts Switch_to_32KHz and
+     * waits for the next slow-clock rising edge). Gates the fast clock
+     * and disables the 24 MHz crystal.
+     */
+    HandoverRecord switchToSlow(Tick now);
+
+    /**
+     * Switch counting back to the fast timer on ODRIPS exit: restart the
+     * 24 MHz crystal, wait for a slow-clock edge, copy the upper 64 bits
+     * into the fast timer.
+     */
+    HandoverRecord switchToFast(Tick now);
+
+    /**
+     * Deliver the fast-timer value back to the processor over the PML at
+     * @p now; the returned value includes the transfer compensation so
+     * the processor's timer is correct on arrival.
+     */
+    std::uint64_t deliverToProcessor(Tick now) const;
+
+    /** Current timer value, regardless of mode. */
+    std::uint64_t valueAt(Tick t) const;
+
+    /**
+     * Tick at which the timer reaches @p target, honouring the current
+     * mode's granularity (cycle-accurate in fast mode, slow-edge
+     * granularity in slow mode).
+     */
+    Tick wakeTickFor(std::uint64_t target, Tick from) const;
+
+    const FastTimer &fastTimer() const { return fast; }
+    const SlowTimer &slowTimer() const { return slow; }
+    std::uint64_t pmlCompensationCycles() const { return pmlCycles; }
+    Tick xtalRestartLatency() const { return xtalRestart; }
+
+  private:
+    ClockDomain &fastClock;
+    ClockDomain &slowClock;
+    Crystal &fastXtal;
+    FastTimer fast;
+    SlowTimer slow;
+    std::uint64_t pmlCycles;
+    Tick xtalRestart;
+    Mode mode_ = Mode::Off;
+    bool isCalibrated = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_TIMING_WAKE_TIMER_UNIT_HH

@@ -1,0 +1,158 @@
+#include "workload/standby_workload.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+std::string
+StandbyTrace::serialize() const
+{
+    std::ostringstream os;
+    os << "# idle_dwell_ps cpu_cycles stall_ps reason coalesced\n";
+    for (const StandbyCycle &c : cycles) {
+        os << c.idleDwell << ' ' << c.cpuCycles << ' ' << c.stallTime
+           << ' ' << static_cast<int>(c.reason) << ' ' << c.coalesced
+           << '\n';
+    }
+    return os.str();
+}
+
+StandbyTrace
+StandbyTrace::parse(const std::string &text)
+{
+    StandbyTrace trace;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        StandbyCycle c;
+        int reason = 0;
+        if (!(ls >> c.idleDwell >> c.cpuCycles >> c.stallTime >> reason))
+            fatal("malformed standby trace line: '", line, "'");
+        ODRIPS_ASSERT(reason >= 0 && reason <= 2, "bad wake reason");
+        c.reason = static_cast<WakeReason>(reason);
+        ls >> c.coalesced; // optional fifth field (older traces)
+        trace.cycles.push_back(c);
+    }
+    return trace;
+}
+
+double
+StandbyTrace::meanIdleSeconds() const
+{
+    if (cycles.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const StandbyCycle &c : cycles)
+        sum += ticksToSeconds(c.idleDwell);
+    return sum / static_cast<double>(cycles.size());
+}
+
+double
+StandbyTrace::meanActiveSeconds(double core_hz) const
+{
+    if (cycles.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const StandbyCycle &c : cycles)
+        sum += ticksToSeconds(c.activeDuration(core_hz));
+    return sum / static_cast<double>(cycles.size());
+}
+
+StandbyWorkloadGenerator::StandbyWorkloadGenerator(const WorkloadConfig &cfg)
+    : cfg(cfg), rng(cfg.seed)
+{
+}
+
+StandbyTrace
+StandbyWorkloadGenerator::generate(std::size_t count)
+{
+    // The active window is defined at the 0.8 GHz reference point: the
+    // scalable fraction converts to core cycles, the rest is stall.
+    const double reference_hz = 0.8e9;
+
+    KernelTimerSource kernel(secondsToTicks(cfg.idleDwellSeconds), 0.05);
+    std::unique_ptr<PoissonSource> network;
+    if (cfg.networkWakeMeanSeconds > 0.0) {
+        network = std::make_unique<PoissonSource>(
+            WakeReason::Network, cfg.networkWakeMeanSeconds);
+    }
+    const Tick window = secondsToTicks(cfg.coalescingWindowSeconds);
+
+    StandbyTrace trace;
+    trace.cycles.reserve(count);
+    Tick cursor = 0;
+    Tick pending_network = maxTick;
+    for (std::size_t i = 0; i < count; ++i) {
+        const WakeEvent kernel_wake = kernel.nextAfter(cursor, rng);
+        if (network && pending_network == maxTick)
+            pending_network = network->nextAfter(cursor, rng).time;
+
+        StandbyCycle c;
+        WakeEvent wake = kernel_wake;
+        if (pending_network < kernel_wake.time) {
+            if (kernel_wake.time - pending_network <= window) {
+                // Buffered by the peripheral/SoC: handled together
+                // with the kernel-maintenance wake (Observation 1).
+                c.coalesced = 1;
+            } else {
+                wake = WakeEvent{pending_network, WakeReason::Network};
+            }
+            pending_network = maxTick;
+        }
+        c.idleDwell = wake.time - cursor;
+        c.reason = wake.reason;
+
+        // A coalesced event adds its (smaller) handling work to the
+        // maintenance window instead of paying its own wake cycle.
+        const double active_seconds =
+            rng.uniform(cfg.activeMinSeconds, cfg.activeMaxSeconds) *
+            (1.0 + 0.3 * c.coalesced);
+        const double cpu_seconds = active_seconds * cfg.scalableFraction;
+        c.cpuCycles =
+            static_cast<std::uint64_t>(cpu_seconds * reference_hz);
+        c.stallTime =
+            secondsToTicks(active_seconds * (1.0 - cfg.scalableFraction));
+
+        cursor = wake.time + secondsToTicks(active_seconds);
+        trace.cycles.push_back(c);
+    }
+    return trace;
+}
+
+std::uint64_t
+StandbyTrace::totalCoalesced() const
+{
+    std::uint64_t sum = 0;
+    for (const StandbyCycle &c : cycles)
+        sum += c.coalesced;
+    return sum;
+}
+
+StandbyTrace
+StandbyWorkloadGenerator::fixed(std::size_t count, Tick idle_dwell,
+                                Tick active_duration,
+                                double scalable_fraction,
+                                double reference_core_hz)
+{
+    StandbyTrace trace;
+    trace.cycles.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        StandbyCycle c;
+        c.idleDwell = idle_dwell;
+        const double active_seconds = ticksToSeconds(active_duration);
+        c.cpuCycles = static_cast<std::uint64_t>(
+            active_seconds * scalable_fraction * reference_core_hz);
+        c.stallTime = secondsToTicks(active_seconds *
+                                     (1.0 - scalable_fraction));
+        trace.cycles.push_back(c);
+    }
+    return trace;
+}
+
+} // namespace odrips

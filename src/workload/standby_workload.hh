@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Connected-standby workload generation.
+ *
+ * A workload is a sequence of standby cycles: an idle dwell (time spent
+ * in the deep idle state until a wake event) followed by an active
+ * window (OS kernel maintenance, 100-300 ms in the paper). The active
+ * window splits into a frequency-scalable CPU-bound part and a fixed
+ * memory/IO-stall part, which is what makes the core-frequency
+ * experiment (Fig. 6(b)) non-trivial.
+ */
+
+#ifndef ODRIPS_WORKLOAD_STANDBY_WORKLOAD_HH
+#define ODRIPS_WORKLOAD_STANDBY_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/config.hh"
+#include "sim/random.hh"
+#include "workload/wake_source.hh"
+
+namespace odrips
+{
+
+/** One standby cycle of the workload. */
+struct StandbyCycle
+{
+    /** Time in the idle state before the wake event. */
+    Tick idleDwell = 0;
+    /** CPU-bound work in the active window, in core cycles. */
+    std::uint64_t cpuCycles = 0;
+    /** Fixed (non-frequency-scalable) stall time. */
+    Tick stallTime = 0;
+    WakeReason reason = WakeReason::KernelTimer;
+    /** External events buffered into this wake by interrupt
+     * coalescing (paper Sec. 3, Observation 1). */
+    std::uint32_t coalesced = 0;
+
+    /** Active-window duration at a given core frequency. */
+    Tick
+    activeDuration(double core_hz) const
+    {
+        const double cpu_seconds =
+            static_cast<double>(cpuCycles) / core_hz;
+        return secondsToTicks(cpu_seconds) + stallTime;
+    }
+};
+
+/** A generated (or replayed) trace of standby cycles. */
+class StandbyTrace
+{
+  public:
+    std::vector<StandbyCycle> cycles;
+
+    /** Serialize to a simple text format (one cycle per line). */
+    std::string serialize() const;
+
+    /** Parse the text format back. */
+    static StandbyTrace parse(const std::string &text);
+
+    /** Average idle dwell in seconds. */
+    double meanIdleSeconds() const;
+
+    /** Average active duration (at @p core_hz) in seconds. */
+    double meanActiveSeconds(double core_hz) const;
+
+    /** Total externally-triggered events absorbed by coalescing. */
+    std::uint64_t totalCoalesced() const;
+};
+
+/** Generates StandbyTraces from a WorkloadConfig. */
+class StandbyWorkloadGenerator
+{
+  public:
+    explicit StandbyWorkloadGenerator(const WorkloadConfig &cfg);
+
+    /** Generate @p count cycles. */
+    StandbyTrace generate(std::size_t count);
+
+    /**
+     * Generate @p count identical cycles with a fixed dwell and active
+     * window — the shape used for the paper's break-even residency
+     * sweep (Sec. 7).
+     */
+    static StandbyTrace fixed(std::size_t count, Tick idle_dwell,
+                              Tick active_duration,
+                              double scalable_fraction,
+                              double reference_core_hz);
+
+  private:
+    WorkloadConfig cfg;
+    Rng rng;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_WORKLOAD_STANDBY_WORKLOAD_HH

@@ -1,0 +1,65 @@
+#include "workload/wake_source.hh"
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+const char *
+to_string(WakeReason reason)
+{
+    switch (reason) {
+      case WakeReason::KernelTimer: return "kernel-timer";
+      case WakeReason::Network: return "network";
+      case WakeReason::User: return "user";
+    }
+    return "?";
+}
+
+KernelTimerSource::KernelTimerSource(Tick period, double jitter_fraction)
+    : period(period), jitter(jitter_fraction)
+{
+    ODRIPS_ASSERT(period > 0, "timer period must be positive");
+    ODRIPS_ASSERT(jitter >= 0.0 && jitter < 1.0, "bad jitter fraction");
+}
+
+WakeEvent
+KernelTimerSource::nextAfter(Tick after, Rng &rng)
+{
+    Tick interval = period;
+    if (jitter > 0.0) {
+        const double scale = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+        interval = static_cast<Tick>(static_cast<double>(period) * scale);
+    }
+    return WakeEvent{after + interval, WakeReason::KernelTimer};
+}
+
+PoissonSource::PoissonSource(WakeReason reason,
+                             double mean_interval_seconds)
+    : reason(reason), meanSeconds(mean_interval_seconds)
+{
+    ODRIPS_ASSERT(mean_interval_seconds > 0,
+                  "mean wake interval must be positive");
+}
+
+WakeEvent
+PoissonSource::nextAfter(Tick after, Rng &rng)
+{
+    const double gap = rng.exponential(meanSeconds);
+    return WakeEvent{after + secondsToTicks(gap), reason};
+}
+
+WakeEvent
+CombinedWakeSource::nextAfter(Tick after, Rng &rng)
+{
+    ODRIPS_ASSERT(!sources.empty(), "no wake sources configured");
+    WakeEvent best = sources.front()->nextAfter(after, rng);
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+        const WakeEvent candidate = sources[i]->nextAfter(after, rng);
+        if (candidate.time < best.time)
+            best = candidate;
+    }
+    return best;
+}
+
+} // namespace odrips

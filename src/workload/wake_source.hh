@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Wake-event sources for the connected-standby workload.
+ *
+ * The platform wakes either on the internal kernel-maintenance timer
+ * (~every 30 s in the paper's measurements) or on external triggers —
+ * network push notifications, user input — arriving through the IOs
+ * (Sec. 2.3).
+ */
+
+#ifndef ODRIPS_WORKLOAD_WAKE_SOURCE_HH
+#define ODRIPS_WORKLOAD_WAKE_SOURCE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/** What triggered a wake. */
+enum class WakeReason
+{
+    KernelTimer, ///< OS maintenance timer (TNTE-scheduled)
+    Network,     ///< push notification through a NIC
+    User,        ///< user input
+};
+
+const char *to_string(WakeReason reason);
+
+/** A scheduled wake event. */
+struct WakeEvent
+{
+    Tick time = 0;
+    WakeReason reason = WakeReason::KernelTimer;
+};
+
+/** Generator of wake events of one kind. */
+class WakeSource
+{
+  public:
+    virtual ~WakeSource() = default;
+
+    /** First wake strictly after @p after. */
+    virtual WakeEvent nextAfter(Tick after, Rng &rng) = 0;
+};
+
+/** Periodic kernel-maintenance timer with optional jitter. */
+class KernelTimerSource : public WakeSource
+{
+  public:
+    /**
+     * @param period          nominal interval (paper: ~30 s)
+     * @param jitter_fraction uniform jitter as a fraction of the period
+     */
+    explicit KernelTimerSource(Tick period, double jitter_fraction = 0.0);
+
+    WakeEvent nextAfter(Tick after, Rng &rng) override;
+
+  private:
+    Tick period;
+    double jitter;
+};
+
+/** Poisson-arrival external wake source (network or user). */
+class PoissonSource : public WakeSource
+{
+  public:
+    PoissonSource(WakeReason reason, double mean_interval_seconds);
+
+    WakeEvent nextAfter(Tick after, Rng &rng) override;
+
+  private:
+    WakeReason reason;
+    double meanSeconds;
+};
+
+/** Earliest-of combinator over several sources. */
+class CombinedWakeSource : public WakeSource
+{
+  public:
+    void
+    add(std::unique_ptr<WakeSource> source)
+    {
+        sources.push_back(std::move(source));
+    }
+
+    bool empty() const { return sources.empty(); }
+
+    WakeEvent nextAfter(Tick after, Rng &rng) override;
+
+  private:
+    std::vector<std::unique_ptr<WakeSource>> sources;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_WORKLOAD_WAKE_SOURCE_HH

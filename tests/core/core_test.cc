@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the core API: the standby simulator, Eq. 1 profiles, the
+ * break-even analysis, and the headline paper-anchor reproduction
+ * checks (Fig. 1(b), Fig. 2, Fig. 6(a)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class CoreFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+
+    static StandbyTrace
+    shortTrace(std::size_t cycles = 3, Tick dwell = 200 * oneMs)
+    {
+        return StandbyWorkloadGenerator::fixed(cycles, dwell, 150 * oneMs,
+                                               0.7, 0.8e9);
+    }
+};
+
+TEST_F(CoreFixture, BaselineIdlePowerIsSixtyMilliwatts)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::baseline());
+    const StandbyResult r = sim.run(shortTrace());
+    // Fig. 1(b): ~60 mW platform power in DRIPS.
+    EXPECT_NEAR(r.idleBatteryPower, 0.060, 0.001);
+}
+
+TEST_F(CoreFixture, ActivePowerIsAboutThreeWatts)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::baseline());
+    const StandbyResult r = sim.run(shortTrace());
+    // Fig. 2: ~3 W in C0 with display off.
+    EXPECT_NEAR(r.activeBatteryPower, 3.0, 0.15);
+}
+
+TEST_F(CoreFixture, StandardWorkloadResidencyMatchesPaper)
+{
+    // Paper Sec. 7: 99.5% DRIPS residency, 0.5% active+transitions.
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::baseline());
+    const StandbyTrace trace = StandbyWorkloadGenerator::fixed(
+        2, 30 * oneSec, 150 * oneMs, 0.7, 0.8e9);
+    const StandbyResult r = sim.run(trace);
+    EXPECT_NEAR(r.idleResidency, 0.995, 0.001);
+    EXPECT_NEAR(r.activeResidency + r.transitionResidency, 0.005,
+                0.001);
+    // Fig. 2: average platform power in the tens of milliwatts. With
+    // this trace's 150 ms active window (70% CPU-bound, 30% stalled)
+    // the model lands at ~72 mW.
+    EXPECT_NEAR(r.averageBatteryPower, 0.072, 0.003);
+}
+
+TEST_F(CoreFixture, SampledAnalyzerAgreesWithExactIntegration)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    const StandbyResult r = sim.run(shortTrace(2, 50 * oneMs), true);
+    ASSERT_GT(r.analyzerAverage, 0.0);
+    EXPECT_NEAR(r.analyzerAverage, r.averageBatteryPower,
+                r.averageBatteryPower * 0.01);
+}
+
+TEST_F(CoreFixture, ContextIntactAcrossManyCycles)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    const StandbyResult r = sim.run(shortTrace(8, 20 * oneMs));
+    EXPECT_TRUE(r.contextIntact);
+    EXPECT_EQ(r.cycles, 8u);
+}
+
+TEST_F(CoreFixture, MeanLatenciesReported)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::baseline());
+    const StandbyResult r = sim.run(shortTrace());
+    EXPECT_GT(r.meanEntryLatency, 100 * oneUs);
+    EXPECT_GT(r.meanExitLatency, 200 * oneUs);
+}
+
+TEST_F(CoreFixture, ProfileMatchesEventDrivenSimulation)
+{
+    // Eq. 1 on a measured profile must reproduce the event-driven
+    // simulator's average power (the paper's power-model methodology).
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile profile =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+
+    for (Tick dwell : {20 * oneMs, 500 * oneMs, 5 * oneSec}) {
+        Platform platform(cfg);
+        StandbySimulator sim(platform, TechniqueSet::odrips());
+        const StandbyResult sim_result =
+            sim.run(StandbyWorkloadGenerator::fixed(
+                2, dwell, 150 * oneMs, 0.7, 0.8e9));
+        const double eq1 =
+            averagePowerEq1(profile, dwell, 150 * oneMs, 0.7);
+        EXPECT_NEAR(eq1, sim_result.averageBatteryPower,
+                    sim_result.averageBatteryPower * 0.02)
+            << "dwell " << ticksToSeconds(dwell);
+    }
+}
+
+TEST_F(CoreFixture, ProfileLatenciesAndEnergiesPositive)
+{
+    const CyclePowerProfile p =
+        measureCycleProfile(skylakeConfig(), TechniqueSet::odrips());
+    EXPECT_GT(p.entryEnergy, 0.0);
+    EXPECT_GT(p.exitEnergy, 0.0);
+    EXPECT_GT(p.entryLatency, 0);
+    EXPECT_GT(p.exitLatency, 0);
+    EXPECT_GT(p.stallPower, p.idlePower);
+    EXPECT_GT(p.activePower, p.stallPower);
+    EXPECT_TRUE(p.contextIntact);
+    EXPECT_GT(p.transitionOverheadEnergy(), 0.0);
+}
+
+TEST_F(CoreFixture, Eq1LimitBehaviour)
+{
+    CyclePowerProfile p;
+    p.idlePower = 0.060;
+    p.activePower = 3.0;
+    p.stallPower = 1.0;
+    p.entryLatency = 200 * oneUs;
+    p.exitLatency = 300 * oneUs;
+    p.entryEnergy = 200e-6;
+    p.exitEnergy = 450e-6;
+
+    // Infinite dwell limit: the idle power.
+    EXPECT_NEAR(averagePowerEq1(p, 1000 * oneSec, 150 * oneMs, 0.7),
+                0.060, 0.001);
+    // Zero dwell: dominated by active + transitions.
+    EXPECT_GT(averagePowerEq1(p, 0, 150 * oneMs, 0.7), 1.0);
+}
+
+TEST_F(CoreFixture, BreakevenSweepAgreesWithClosedForm)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile tech =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+
+    const BreakevenResult r = findBreakeven(tech, base);
+    ASSERT_TRUE(r.found());
+    // The swept and analytic break-even agree to one sweep step.
+    EXPECT_NEAR(ticksToSeconds(r.breakEvenDwell),
+                ticksToSeconds(r.analyticBreakEven), 0.2e-3);
+    EXPECT_FALSE(r.curve.empty());
+}
+
+TEST_F(CoreFixture, BreakevenCurveCrossesAtBreakeven)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile tech =
+        measureCycleProfile(cfg, TechniqueSet::wakeupOffOnly());
+    const BreakevenResult r = findBreakeven(tech, base);
+    ASSERT_TRUE(r.found());
+
+    for (const auto &[dwell, p_tech, p_base] : r.curve) {
+        if (dwell < r.breakEvenDwell) {
+            EXPECT_GE(p_tech, p_base) << "below break-even";
+        } else if (dwell > r.breakEvenDwell) {
+            EXPECT_LE(p_tech, p_base) << "above break-even";
+        }
+    }
+}
+
+TEST_F(CoreFixture, Fig6aSavingsMatchPaperShape)
+{
+    const auto evals = evaluateFig6aSet(skylakeConfig());
+    ASSERT_EQ(evals.size(), 5u);
+
+    // Paper Fig. 6(a): 6% / 13% / 8% / 22% savings.
+    EXPECT_EQ(evals[0].label, "DRIPS (baseline)");
+    EXPECT_NEAR(evals[1].savingsVsBaseline, 0.06, 0.015);  // WAKE-UP-OFF
+    EXPECT_NEAR(evals[2].savingsVsBaseline, 0.13, 0.02);   // AON-IO-GATE
+    EXPECT_NEAR(evals[3].savingsVsBaseline, 0.08, 0.015);  // CTX-SGX-DRAM
+    EXPECT_NEAR(evals[4].savingsVsBaseline, 0.22, 0.02);   // ODRIPS
+
+    // Ordering: ODRIPS > AON-IO-GATE > CTX > WAKE-UP-OFF > baseline.
+    EXPECT_GT(evals[4].savingsVsBaseline, evals[2].savingsVsBaseline);
+    EXPECT_GT(evals[2].savingsVsBaseline, evals[3].savingsVsBaseline);
+    EXPECT_GT(evals[3].savingsVsBaseline, evals[1].savingsVsBaseline);
+}
+
+TEST_F(CoreFixture, Fig6aBreakevensInPaperRange)
+{
+    const auto evals = evaluateFig6aSet(skylakeConfig());
+    // Paper: 6.6 / 6.3 / 7.4 / 6.5 ms — all single-digit milliseconds,
+    // far below the 30 s dwell of connected standby.
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+        EXPECT_GT(evals[i].breakEven, oneMs) << evals[i].label;
+        EXPECT_LT(evals[i].breakEven, 12 * oneMs) << evals[i].label;
+    }
+}
+
+TEST_F(CoreFixture, OdripsSavingsAreTwentyTwoPercent)
+{
+    // The headline result of the paper.
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile odrips =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+    const double saving =
+        1.0 - standardWorkloadAverage(odrips, cfg) /
+                  standardWorkloadAverage(base, cfg);
+    EXPECT_NEAR(saving, 0.22, 0.02);
+}
+
+TEST_F(CoreFixture, ActiveAndTransitionsShareAboveEighteenPercent)
+{
+    // Paper observation 5 in Sec. 8: Active&Transitions account for
+    // > 18% of connected-standby average power.
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile p =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const double avg = standardWorkloadAverage(p, cfg);
+    const double idle_part =
+        p.idlePower * cfg.workload.idleDwellSeconds /
+        (cfg.workload.idleDwellSeconds + 0.2);
+    const double share = 1.0 - idle_part / avg;
+    EXPECT_GT(share, 0.18);
+    EXPECT_LT(share, 0.30);
+}
+
+TEST_F(CoreFixture, DripsBreakdownMatchesFig1b)
+{
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::baseline());
+    flows.enterIdle();
+
+    const PowerBreakdown bd = snapshotBreakdown(platform.pm, platform.pd);
+    EXPECT_NEAR(bd.totalBattery, 0.060, 0.001);
+
+    // Fig. 1(b) anchors: processor 18%, AON IO 7%, S/R SRAM 9%,
+    // wake/timer + 24 MHz crystal 5%.
+    EXPECT_NEAR(bd.groupShare("processor"), 0.18, 0.01);
+    const std::string proc = platform.processor.name();
+    EXPECT_NEAR(bd.componentShare(proc + ".aon_io"), 0.07, 0.005);
+    EXPECT_NEAR(bd.componentShare(proc + ".sr_sram_sa") +
+                    bd.componentShare(proc + ".sr_sram_cores"),
+                0.09, 0.005);
+    EXPECT_NEAR(bd.componentShare(proc + ".wake_timer") +
+                    bd.componentShare(platform.board.name() + ".xtal24"),
+                0.05, 0.005);
+    // Power delivery loss = 26% of battery power (74% efficiency).
+    EXPECT_NEAR(bd.deliveryLoss / bd.totalBattery, 0.26, 0.005);
+}
+
+TEST_F(CoreFixture, SimulatorStatisticsPopulated)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    sim.run(shortTrace(4, 50 * oneMs));
+
+    const stats::StatGroup &g = sim.statistics();
+    ASSERT_FALSE(g.statistics().empty());
+
+    auto find = [&](const std::string &name) -> const stats::Stat * {
+        for (const stats::Stat *s : g.statistics()) {
+            if (s->name() == name)
+                return s;
+        }
+        return nullptr;
+    };
+    ASSERT_NE(find("cycles"), nullptr);
+    EXPECT_DOUBLE_EQ(find("cycles")->value(), 4.0);
+    EXPECT_GT(find("battery_energy")->value(), 0.0);
+    // Mean entry latency in the expected range (seconds).
+    EXPECT_GT(find("entry_latency")->value(), 150e-6);
+    EXPECT_LT(find("entry_latency")->value(), 350e-6);
+    // Wake-detect histogram saw one sample per cycle.
+    const auto *wd =
+        dynamic_cast<const stats::Histogram *>(find("wake_detect"));
+    ASSERT_NE(wd, nullptr);
+    EXPECT_EQ(wd->samples(), 4u);
+
+    sim.resetStatistics();
+    EXPECT_DOUBLE_EQ(find("cycles")->value(), 0.0);
+}
+
+TEST_F(CoreFixture, AonRailDrainsUnderOdrips)
+{
+    Platform platform(skylakeConfig());
+    StandbyFlows baseline_flows(platform, TechniqueSet::baseline());
+    baseline_flows.enterIdle();
+    const double aon_baseline =
+        platform.rails.find("vcc_aon").power();
+    platform.eq.run(platform.now() + oneMs);
+    baseline_flows.exitIdle();
+
+    Platform platform2(skylakeConfig());
+    StandbyFlows odrips_flows(platform2, TechniqueSet::odrips());
+    odrips_flows.enterIdle();
+    const double aon_odrips = platform2.rails.find("vcc_aon").power();
+
+    // ODRIPS strips the processor-side loads off the AON rail.
+    EXPECT_LT(aon_odrips, aon_baseline - 9e-3);
+    // What remains is essentially the chipset AON domain.
+    EXPECT_NEAR(aon_odrips,
+                platform2.cfg.dripsPower.chipsetAon +
+                    platform2.cfg.dripsPower.bootSram +
+                    (platform2.cfg.dripsPower.srSramSa +
+                     platform2.cfg.dripsPower.srSramCores) *
+                        platform2.cfg.srSramResidualFraction,
+                1e-3);
+}
+
+} // namespace

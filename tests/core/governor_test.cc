@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the LTR/TNTE idle-state governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/governor.hh"
+#include "core/memory_dvfs.hh"
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class GovernorFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        Logger::quiet(true);
+        profile_ = new CyclePowerProfile(measureCycleProfile(
+            skylakeConfig(), TechniqueSet::baseline()));
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete profile_;
+        profile_ = nullptr;
+    }
+
+    GovernorFixture()
+        : table(CStateTable::skylake()),
+          governor(table, *profile_, 3 * oneMs)
+    {
+    }
+
+    static CyclePowerProfile *profile_;
+    CStateTable table;
+    IdleGovernor governor;
+};
+
+CyclePowerProfile *GovernorFixture::profile_ = nullptr;
+
+TEST_F(GovernorFixture, DerivesOneModelPerIdleState)
+{
+    // Every state except C0.
+    EXPECT_EQ(governor.states().size(), table.states().size() - 1);
+    EXPECT_EQ(governor.states().front().name, "C1");
+    EXPECT_EQ(governor.states().back().name, "C10");
+}
+
+TEST_F(GovernorFixture, DeeperStatesDrawLessAndCostMore)
+{
+    const auto &models = governor.states();
+    for (std::size_t i = 1; i < models.size(); ++i) {
+        EXPECT_LT(models[i].idlePower, models[i - 1].idlePower);
+        EXPECT_GE(models[i].transitionEnergy,
+                  models[i - 1].transitionEnergy);
+        EXPECT_GE(models[i].breakEvenVsShallowest,
+                  models[i - 1].breakEvenVsShallowest);
+    }
+}
+
+TEST_F(GovernorFixture, DripsModelMatchesMeasuredProfile)
+{
+    const DerivedStateModel &drips =
+        governor.modelFor(table.deepest());
+    EXPECT_DOUBLE_EQ(drips.idlePower, profile_->idlePower);
+    EXPECT_EQ(drips.exitLatency, profile_->exitLatency);
+    EXPECT_NEAR(drips.transitionEnergy,
+                profile_->entryEnergy + profile_->exitEnergy, 1e-12);
+}
+
+TEST_F(GovernorFixture, LongTnteSelectsDrips)
+{
+    EXPECT_EQ(governor.decide(30 * oneSec).state->name, "C10");
+}
+
+TEST_F(GovernorFixture, ShortTnteSelectsShallowState)
+{
+    const GovernorDecision d = governor.decide(300 * oneUs);
+    EXPECT_LT(d.state->index, 10);
+    EXPECT_GT(d.state->index, 0);
+}
+
+TEST_F(GovernorFixture, OracleNeverWorseThanFixedPolicies)
+{
+    const Tick active = 20 * oneMs;
+    for (double dwell_s : {0.0005, 0.002, 0.01, 0.1, 10.0}) {
+        const std::vector<Tick> dwells(8, secondsToTicks(dwell_s));
+        const double oracle =
+            governor.evaluate(dwells, active, true).averagePower;
+        for (int state : {1, 3, 6, 7, 8, 10}) {
+            const double fixed =
+                governor.evaluate(dwells, active, false, state)
+                    .averagePower;
+            EXPECT_LE(oracle, fixed * 1.0000001)
+                << "dwell " << dwell_s << " state C" << state;
+        }
+    }
+}
+
+TEST_F(GovernorFixture, GovernorTracksOracleWithinFewPercent)
+{
+    const Tick active = 20 * oneMs;
+    for (double dwell_s : {0.0005, 0.001, 0.005, 0.05, 1.0}) {
+        const std::vector<Tick> dwells(8, secondsToTicks(dwell_s));
+        const double governed =
+            governor.evaluate(dwells, active).averagePower;
+        const double oracle =
+            governor.evaluate(dwells, active, true).averagePower;
+        EXPECT_LE(governed, oracle * 1.05) << "dwell " << dwell_s;
+    }
+}
+
+TEST_F(GovernorFixture, AlwaysDripsLosesOnShortDwells)
+{
+    const std::vector<Tick> storms(16, 800 * oneUs);
+    const double always =
+        governor.evaluate(storms, 20 * oneMs, false, 10).averagePower;
+    const double governed =
+        governor.evaluate(storms, 20 * oneMs).averagePower;
+    EXPECT_LT(governed, always);
+}
+
+TEST_F(GovernorFixture, PoliciesConvergeAtConnectedStandbyDwell)
+{
+    const std::vector<Tick> dwells(4, 30 * oneSec);
+    const double always =
+        governor.evaluate(dwells, 20 * oneMs, false, 10).averagePower;
+    const double governed =
+        governor.evaluate(dwells, 20 * oneMs).averagePower;
+    EXPECT_NEAR(governed, always, always * 1e-9);
+}
+
+TEST_F(GovernorFixture, LtrCapsTheDepth)
+{
+    // With a 100 us latency tolerance the governor must never pick a
+    // state with a longer exit latency.
+    IdleGovernor strict(table, *profile_, 100 * oneUs);
+    for (double dwell_s : {0.001, 0.1, 30.0}) {
+        const GovernorDecision d =
+            strict.decide(secondsToTicks(dwell_s));
+        EXPECT_LE(d.state->exitLatency, 100 * oneUs);
+    }
+}
+
+TEST_F(GovernorFixture, ResidencyAccountingSumsToOne)
+{
+    std::vector<Tick> mixed;
+    for (int i = 0; i < 6; ++i) {
+        mixed.push_back(500 * oneUs);
+        mixed.push_back(30 * oneSec);
+    }
+    const GovernedResult r = governor.evaluate(mixed, 20 * oneMs);
+    double sum = 0.0;
+    for (const auto &[name, share] : r.stateResidency)
+        sum += share;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(r.decisions.size(), mixed.size());
+    // Long dwells dominate the idle time -> C10 residency ~ 1.
+    EXPECT_GT(r.stateResidency.at("C10"), 0.99);
+}
+
+TEST_F(GovernorFixture, IdleEnergyMonotoneInDwell)
+{
+    const DerivedStateModel &drips = governor.modelFor(table.deepest());
+    double prev = 0.0;
+    for (double dwell_s : {0.001, 0.01, 0.1, 1.0}) {
+        const double e =
+            governor.idleEnergy(drips, secondsToTicks(dwell_s));
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+class MemoryDvfsTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+};
+
+TEST_F(MemoryDvfsTest, ReturnsStaticPointsPlusDynamic)
+{
+    const auto points =
+        exploreMemoryDvfs(skylakeConfig(), TechniqueSet::odrips());
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_FALSE(points[0].dynamic);
+    EXPECT_TRUE(points.back().dynamic);
+    // Transfers always run at the fastest candidate rate.
+    EXPECT_DOUBLE_EQ(points.back().transferRate, 1.6e9);
+}
+
+TEST_F(MemoryDvfsTest, DynamicNeverWorseThanBestStatic)
+{
+    for (double mem_bound : {0.0, 0.25, 0.5, 1.0}) {
+        MemoryDvfsConfig dvfs;
+        dvfs.memBoundFraction = mem_bound;
+        const auto points = exploreMemoryDvfs(
+            skylakeConfig(), TechniqueSet::odrips(), dvfs);
+
+        double best_static = points[0].averagePower;
+        for (std::size_t i = 1; i + 1 < points.size(); ++i)
+            best_static = std::min(best_static, points[i].averagePower);
+        // Within a small tolerance for the transfer/switch accounting.
+        EXPECT_LE(points.back().averagePower, best_static * 1.001)
+            << "mem_bound " << mem_bound;
+    }
+}
+
+TEST_F(MemoryDvfsTest, OracleAdaptsToBandwidthSensitivity)
+{
+    MemoryDvfsConfig latency_bound;
+    latency_bound.memBoundFraction = 0.0;
+    const auto lat = exploreMemoryDvfs(skylakeConfig(),
+                                       TechniqueSet::odrips(),
+                                       latency_bound);
+    // Latency-bound work: under-clock the active window.
+    EXPECT_LT(lat.back().activeRate, 1.6e9);
+
+    MemoryDvfsConfig bw_bound;
+    bw_bound.memBoundFraction = 0.8;
+    const auto bw = exploreMemoryDvfs(skylakeConfig(),
+                                      TechniqueSet::odrips(), bw_bound);
+    // Bandwidth-bound work: hold full speed (dilation dominates).
+    EXPECT_DOUBLE_EQ(bw.back().activeRate, 1.6e9);
+}
+
+TEST_F(MemoryDvfsTest, StallDilationRaisesStaticLowRatePower)
+{
+    MemoryDvfsConfig none, heavy;
+    none.memBoundFraction = 0.0;
+    heavy.memBoundFraction = 1.0;
+    const auto a = exploreMemoryDvfs(skylakeConfig(),
+                                     TechniqueSet::odrips(), none);
+    const auto b = exploreMemoryDvfs(skylakeConfig(),
+                                     TechniqueSet::odrips(), heavy);
+    // The 0.8 GT/s static point (index 2) gets worse with dilation;
+    // the full-speed point is unaffected.
+    EXPECT_GT(b[2].averagePower, a[2].averagePower);
+    EXPECT_NEAR(b[0].averagePower, a[0].averagePower, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Cross-module integration tests: the NVM variants of Sec. 8.3, DRAM
+ * and core frequency scaling (Fig. 6(b)/(c) substrates), the Haswell
+ * baseline configuration, longer endurance runs, and fault injection
+ * through the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class IntegrationFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+};
+
+TEST_F(IntegrationFixture, OdripsPcmSavesAboutThirtySevenPercent)
+{
+    // Sec. 8.3: PCM main memory turns self-refresh and CKE drive off,
+    // lifting total savings to ~37% vs the DRAM baseline.
+    const PlatformConfig dram_cfg = skylakeConfig();
+    PlatformConfig pcm_cfg = dram_cfg;
+    pcm_cfg.memoryKind = MainMemoryKind::Pcm;
+
+    const CyclePowerProfile base =
+        measureCycleProfile(dram_cfg, TechniqueSet::baseline());
+    const CyclePowerProfile pcm =
+        measureCycleProfile(pcm_cfg, TechniqueSet::odripsPcm());
+
+    const double saving =
+        1.0 - standardWorkloadAverage(pcm, dram_cfg) /
+                  standardWorkloadAverage(base, dram_cfg);
+    EXPECT_NEAR(saving, 0.37, 0.03);
+}
+
+TEST_F(IntegrationFixture, OdripsMramSlightlyBeatsOdrips)
+{
+    // Sec. 8.3: ODRIPS-MRAM has slightly lower average power than
+    // ODRIPS and the lowest break-even point.
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile odrips =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+    const CyclePowerProfile mram =
+        measureCycleProfile(cfg, TechniqueSet::odripsMram());
+
+    const double p_odrips = standardWorkloadAverage(odrips, cfg);
+    const double p_mram = standardWorkloadAverage(mram, cfg);
+    EXPECT_LT(p_mram, p_odrips);
+    EXPECT_GT(p_mram, p_odrips * 0.9); // "slightly"
+
+    const Tick be_odrips =
+        findBreakeven(odrips, base).breakEvenDwell;
+    const Tick be_mram = findBreakeven(mram, base).breakEvenDwell;
+    EXPECT_LT(be_mram, be_odrips);
+}
+
+TEST_F(IntegrationFixture, CoreFrequencyRaceToSleepShape)
+{
+    // Fig. 6(b): 1.0 GHz slightly beats 0.8 GHz; 1.5 GHz loses.
+    const PlatformConfig base_cfg = skylakeConfig();
+    std::map<double, double> avg;
+    for (double hz : {0.8e9, 1.0e9, 1.5e9}) {
+        PlatformConfig cfg = base_cfg;
+        cfg.coreFrequencyHz = hz;
+        const CyclePowerProfile p =
+            measureCycleProfile(cfg, TechniqueSet::odrips());
+        // The active window shrinks with frequency (scalable part).
+        const Tick dwell = secondsToTicks(30.0);
+        const double active_s = 0.2;
+        const Tick cpu = secondsToTicks(active_s * 0.7 * 0.8e9 / hz);
+        const Tick stall = secondsToTicks(active_s * 0.3);
+        avg[hz] = averagePowerEq1(p, dwell, cpu, stall);
+    }
+    EXPECT_LT(avg[1.0e9], avg[0.8e9]);
+    EXPECT_GT(avg[1.5e9], avg[1.0e9]);
+    // Differences are small (paper: -1.4% / +1%).
+    EXPECT_NEAR(avg[1.0e9] / avg[0.8e9], 1.0, 0.03);
+    EXPECT_NEAR(avg[1.5e9] / avg[0.8e9], 1.0, 0.05);
+}
+
+TEST_F(IntegrationFixture, DramFrequencyScalingShape)
+{
+    // Fig. 6(c): lower DRAM frequency slightly reduces average power
+    // but lengthens the context transfer.
+    const PlatformConfig base_cfg = skylakeConfig();
+    std::map<double, CyclePowerProfile> profiles;
+    for (double rate : {1.6e9, 1.067e9, 0.8e9}) {
+        PlatformConfig cfg = base_cfg;
+        cfg.dram = cfg.dram.withDataRate(rate);
+        profiles[rate] =
+            measureCycleProfile(cfg, TechniqueSet::odrips());
+    }
+
+    const double p16 =
+        standardWorkloadAverage(profiles[1.6e9], base_cfg);
+    const double p08 =
+        standardWorkloadAverage(profiles[0.8e9], base_cfg);
+    EXPECT_LT(p08, p16);
+    EXPECT_NEAR(p08 / p16, 1.0, 0.02); // ~sub-1% effect
+
+    // Entry/exit grow as bandwidth shrinks (longer context moves).
+    EXPECT_GT(profiles[0.8e9].contextSaveLatency,
+              profiles[1.6e9].contextSaveLatency);
+    EXPECT_GT(profiles[0.8e9].contextRestoreLatency,
+              profiles[1.6e9].contextRestoreLatency);
+}
+
+TEST_F(IntegrationFixture, HaswellBaselineDripsMoreExpensive)
+{
+    // The 22 nm Haswell-ULT predecessor burns more in DRIPS and has a
+    // much longer exit latency (3 ms).
+    const CyclePowerProfile has = measureCycleProfile(
+        haswellUltConfig(), TechniqueSet::baseline());
+    const CyclePowerProfile sky =
+        measureCycleProfile(skylakeConfig(), TechniqueSet::baseline());
+    EXPECT_GT(has.idlePower, sky.idlePower);
+    EXPECT_GT(has.exitLatency, 5 * sky.exitLatency);
+}
+
+TEST_F(IntegrationFixture, TwentyCycleEnduranceRun)
+{
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    WorkloadConfig wl;
+    wl.idleDwellSeconds = 0.05; // keep the run fast
+    wl.activeMinSeconds = 0.01;
+    wl.activeMaxSeconds = 0.02;
+    wl.seed = 77;
+    StandbyWorkloadGenerator gen(wl);
+    const StandbyResult r = sim.run(gen.generate(20));
+    EXPECT_EQ(r.cycles, 20u);
+    EXPECT_TRUE(r.contextIntact);
+    // The MEE root advanced monotonically across all cycles.
+    EXPECT_GT(platform.mee->exportRoot().rootCounter, 0u);
+}
+
+TEST_F(IntegrationFixture, DramTamperDuringIdleIsDetectedOnExit)
+{
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::odrips());
+    flows.enterIdle();
+    platform.eq.run(platform.now() + oneMs);
+
+    // Rowhammer-style flip inside the protected context while the
+    // platform sleeps.
+    platform.memory->store().flipBit(platform.contextRegionBase() + 640,
+                                     5);
+
+    flows.exitIdle();
+    EXPECT_FALSE(flows.lastCycle().contextIntact);
+    ASSERT_TRUE(flows.lastCycle().contextRestore.has_value());
+    EXPECT_FALSE(flows.lastCycle().contextRestore->authentic);
+}
+
+TEST_F(IntegrationFixture, UnprotectedTamperOutsideContextIsSilent)
+{
+    // Flipping bits outside the protected range must not trip the MEE
+    // (nothing protects it — that is the point of the range register).
+    Platform platform(skylakeConfig());
+    StandbyFlows flows(platform, TechniqueSet::odrips());
+    flows.enterIdle();
+    platform.memory->store().flipBit(0, 0);
+    platform.eq.run(platform.now() + oneMs);
+    flows.exitIdle();
+    EXPECT_TRUE(flows.lastCycle().contextIntact);
+}
+
+TEST_F(IntegrationFixture, PmlTrafficOnlyWhenMigrating)
+{
+    Platform p1(skylakeConfig());
+    StandbySimulator baseline(p1, TechniqueSet::baseline());
+    baseline.run(StandbyWorkloadGenerator::fixed(2, 10 * oneMs,
+                                                 20 * oneMs, 0.7, 0.8e9));
+    EXPECT_EQ(p1.pml.messagesSent(), 0u);
+
+    Platform p2(skylakeConfig());
+    StandbySimulator odrips(p2, TechniqueSet::odrips());
+    odrips.run(StandbyWorkloadGenerator::fixed(2, 10 * oneMs, 20 * oneMs,
+                                               0.7, 0.8e9));
+    // Two messages per cycle (timer out, timer back).
+    EXPECT_EQ(p2.pml.messagesSent(), 4u);
+}
+
+TEST_F(IntegrationFixture, EnergyConservationAcrossAccounting)
+{
+    // Total battery energy equals load energy divided by efficiency in
+    // each regime — the accountant must never create or lose energy.
+    Platform platform(skylakeConfig());
+    StandbySimulator sim(platform, TechniqueSet::baseline());
+    const StandbyResult r = sim.run(StandbyWorkloadGenerator::fixed(
+        2, 100 * oneMs, 50 * oneMs, 0.7, 0.8e9));
+
+    const double battery = platform.accountant.batteryEnergy();
+    const double load = platform.accountant.loadEnergy();
+    EXPECT_GT(battery, load);              // delivery always loses
+    EXPECT_LT(battery, load / 0.74 + 1e-9); // bounded by worst efficiency
+    EXPECT_GT(r.averageBatteryPower, 0.0);
+}
+
+} // namespace

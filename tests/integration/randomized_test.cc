@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Randomized invariant testing: across random seeds, workloads, and
+ * technique combinations, the simulator must uphold its global
+ * invariants — energy conservation, context integrity, monotone time,
+ * technique-power ordering, and Eq. 1 consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class RandomizedRun : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+};
+
+TEST_P(RandomizedRun, InvariantsHoldAcrossRandomWorkloads)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    // Random configuration within sane bounds.
+    PlatformConfig cfg = skylakeConfig();
+    cfg.workload.seed = seed;
+    cfg.workload.idleDwellSeconds = rng.uniform(0.05, 2.0);
+    cfg.workload.activeMinSeconds = rng.uniform(0.005, 0.02);
+    cfg.workload.activeMaxSeconds =
+        cfg.workload.activeMinSeconds + rng.uniform(0.005, 0.03);
+    if (rng.chance(0.3))
+        cfg.workload.networkWakeMeanSeconds = rng.uniform(0.2, 2.0);
+    if (rng.chance(0.25))
+        cfg.memoryKind = MainMemoryKind::Pcm;
+    cfg.coreFrequencyHz = rng.uniform(0.8e9, 1.6e9);
+
+    // Random (valid) technique set.
+    TechniqueSet tech;
+    tech.wakeupOff = rng.chance(0.6);
+    tech.aonIoGate = tech.wakeupOff && rng.chance(0.7);
+    tech.contextOffload = rng.chance(0.6);
+    tech.contextStorage =
+        rng.chance(0.3) ? ContextStorage::Emram : ContextStorage::Dram;
+
+    Platform platform(cfg);
+    StandbySimulator sim(platform, tech);
+    StandbyWorkloadGenerator gen(cfg.workload);
+    const StandbyTrace trace = gen.generate(3 + rng.uniformInt(4));
+    const StandbyResult r = sim.run(trace);
+
+    // --- Invariants ---
+    // Time moved forward and residencies partition it.
+    EXPECT_GT(r.simulatedTime, 0);
+    EXPECT_NEAR(r.idleResidency + r.activeResidency +
+                    r.transitionResidency,
+                1.0, 1e-9);
+
+    // Context always survives (no fault injection here).
+    EXPECT_TRUE(r.contextIntact);
+
+    // Average power sits between the idle floor and the active peak.
+    EXPECT_GT(r.averageBatteryPower, r.idleBatteryPower * 0.99);
+    EXPECT_LT(r.averageBatteryPower, r.activeBatteryPower * 1.01);
+
+    // Energy conservation: battery >= load, bounded by the worst
+    // efficiency.
+    const double battery = platform.accountant.batteryEnergy();
+    const double load = platform.accountant.loadEnergy();
+    EXPECT_GE(battery, load);
+    EXPECT_LE(battery, load / cfg.pdLowEfficiency + 1e-9);
+
+    // Any enabled technique lowers the idle power vs the baseline's
+    // 60 mW anchor; none can beat the chipset+board floor.
+    if (tech.any()) {
+        EXPECT_LT(r.idleBatteryPower, 0.0595);
+    }
+    EXPECT_GT(r.idleBatteryPower, 0.025);
+
+    // The platform is back at C0 at the end (flows are re-entrant).
+    EXPECT_NEAR(platform.batteryPower(), r.activeBatteryPower,
+                r.activeBatteryPower * 0.05);
+}
+
+TEST_P(RandomizedRun, TechniquePowerOrderingIsStable)
+{
+    const std::uint64_t seed = GetParam();
+    PlatformConfig cfg = skylakeConfig();
+    cfg.workload.seed = seed;
+
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile t1 =
+        measureCycleProfile(cfg, TechniqueSet::wakeupOffOnly());
+    const CyclePowerProfile t12 =
+        measureCycleProfile(cfg, TechniqueSet::aonIoGated());
+    const CyclePowerProfile all =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+
+    // Adding techniques monotonically lowers idle power.
+    EXPECT_LT(t1.idlePower, base.idlePower);
+    EXPECT_LT(t12.idlePower, t1.idlePower);
+    EXPECT_LT(all.idlePower, t12.idlePower);
+
+    // ... and monotonically raises the transition overhead.
+    EXPECT_GE(t12.transitionOverheadEnergy(),
+              t1.transitionOverheadEnergy());
+    EXPECT_GE(all.transitionOverheadEnergy(),
+              t12.transitionOverheadEnergy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedRun,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull, 55ull,
+                                           89ull));
+
+} // namespace

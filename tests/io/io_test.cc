@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the IO substrates: GPIO bank, PML link, AON IO bank, and
+ * the board FET power gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/clock_domain.hh"
+#include "clock/crystal.hh"
+#include "io/aon_io.hh"
+#include "io/fet_gate.hh"
+#include "io/gpio.hh"
+#include "io/pml.hh"
+#include "io/thermal_monitor.hh"
+#include "power/power_model.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(GpioTest, ClaimAssignsSparePins)
+{
+    GpioBank bank("gpio", 4);
+    EXPECT_EQ(bank.sparePins(), 4u);
+    const unsigned p0 = bank.claim("thermal", GpioDirection::Input);
+    const unsigned p1 = bank.claim("fet", GpioDirection::Output);
+    EXPECT_NE(p0, p1);
+    EXPECT_EQ(bank.sparePins(), 2u);
+    EXPECT_EQ(bank.function(p0), "thermal");
+    EXPECT_EQ(bank.direction(p1), GpioDirection::Output);
+}
+
+TEST(GpioTest, ExhaustionIsFatal)
+{
+    Logger::throwOnError(true);
+    GpioBank bank("gpio", 1);
+    bank.claim("a", GpioDirection::Input);
+    EXPECT_THROW(bank.claim("b", GpioDirection::Output), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(GpioTest, OutputDriveAndInputSample)
+{
+    GpioBank bank("gpio", 2);
+    const unsigned out = bank.claim("out", GpioDirection::Output);
+    const unsigned in = bank.claim("in", GpioDirection::Input);
+    bank.setLevel(out, true);
+    EXPECT_TRUE(bank.level(out));
+    bank.driveInput(in, true);
+    EXPECT_TRUE(bank.level(in));
+}
+
+TEST(GpioTest, DirectionViolationsPanic)
+{
+    Logger::throwOnError(true);
+    GpioBank bank("gpio", 2);
+    const unsigned in = bank.claim("in", GpioDirection::Input);
+    const unsigned out = bank.claim("out", GpioDirection::Output);
+    EXPECT_THROW(bank.setLevel(in, true), SimError);
+    EXPECT_THROW(bank.driveInput(out, true), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(GpioTest, ReleaseReturnsPinToPool)
+{
+    GpioBank bank("gpio", 1);
+    const unsigned p = bank.claim("x", GpioDirection::Input);
+    bank.release(p);
+    EXPECT_EQ(bank.sparePins(), 1u);
+    EXPECT_NO_THROW(bank.claim("y", GpioDirection::Output));
+}
+
+class PmlTest : public ::testing::Test
+{
+  protected:
+    PmlTest()
+        : xtal("x24", 24.0e6, 0.0, 0.0), clk("clk", xtal),
+          pml("pml", clk, 4, 8)
+    {
+    }
+
+    Crystal xtal;
+    ClockDomain clk;
+    Pml pml;
+};
+
+TEST_F(PmlTest, DeterministicTransferLatency)
+{
+    const PmlTransfer a = pml.transfer(2, 0);
+    const PmlTransfer b = pml.transfer(2, oneMs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.latency(), b.latency());
+    // 8 protocol + 2 * 4 word cycles at 24 MHz.
+    EXPECT_EQ(a.cycles, 16u);
+    EXPECT_NEAR(ticksToSeconds(a.latency()), 16.0 / 24.0e6, 1e-9);
+}
+
+TEST_F(PmlTest, TimerTransferUsesTwoWords)
+{
+    EXPECT_EQ(pml.timerTransferCycles(), 16u);
+    EXPECT_EQ(pml.messageCycles(4), 24u);
+}
+
+TEST_F(PmlTest, DownLinkRefusesTraffic)
+{
+    Logger::throwOnError(true);
+    pml.setUp(false);
+    EXPECT_FALSE(pml.up());
+    EXPECT_THROW(pml.transfer(1, 0), SimError);
+    pml.setUp(true);
+    EXPECT_NO_THROW(pml.transfer(1, 0));
+    Logger::throwOnError(false);
+}
+
+TEST_F(PmlTest, GatedClockBringsLinkDown)
+{
+    clk.gate();
+    EXPECT_FALSE(pml.up());
+    clk.ungate();
+    EXPECT_TRUE(pml.up());
+}
+
+TEST_F(PmlTest, MessageCounter)
+{
+    pml.transfer(1, 0);
+    pml.transfer(2, 0);
+    EXPECT_EQ(pml.messagesSent(), 2u);
+}
+
+TEST(AonIoTest, PowerFollowsGateState)
+{
+    PowerModel pm;
+    PowerComponent comp(pm, "aon_io", "processor");
+    AonIoBank bank("aon", &comp, 4.2e-3);
+    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+    bank.setPowered(false, oneUs);
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    bank.setPowered(true, oneMs);
+    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+}
+
+TEST(AonIoTest, FunctionSharesSumToTotal)
+{
+    AonIoBank bank("aon", nullptr, 4.2e-3);
+    double sum = 0.0;
+    for (AonIoFunction f :
+         {AonIoFunction::Clock24Buffers, AonIoFunction::PmlProcessorSide,
+          AonIoFunction::ThermalReport, AonIoFunction::VrSerial,
+          AonIoFunction::Debug}) {
+        sum += bank.functionPower(f);
+    }
+    EXPECT_NEAR(sum, 4.2e-3, 1e-12);
+}
+
+TEST(AonIoTest, UsingGatedFunctionPanics)
+{
+    Logger::throwOnError(true);
+    AonIoBank bank("aon", nullptr, 4.2e-3);
+    bank.setPowered(false, 0);
+    EXPECT_THROW(bank.requireFunction(AonIoFunction::ThermalReport),
+                 SimError);
+    Logger::throwOnError(false);
+}
+
+class FetTest : public ::testing::Test
+{
+  protected:
+    FetTest()
+        : comp(pm, "aon_io", "processor"),
+          leak(pm, "fet_leak", "board"),
+          bank("aon", &comp, 4.2e-3), gpio("gpio", 4),
+          pin(gpio.claim("fet", GpioDirection::Output)),
+          fet("fet", bank, gpio, pin, &leak, 0.003, 2 * oneUs)
+    {
+    }
+
+    PowerModel pm;
+    PowerComponent comp;
+    PowerComponent leak;
+    AonIoBank bank;
+    GpioBank gpio;
+    unsigned pin;
+    FetGate fet;
+};
+
+TEST_F(FetTest, StartsConducting)
+{
+    EXPECT_TRUE(fet.conducting());
+    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+}
+
+TEST_F(FetTest, OpenCutsLoadAndLeavesLeakage)
+{
+    const Tick latency = fet.open(0);
+    EXPECT_EQ(latency, 2 * oneUs);
+    EXPECT_FALSE(fet.conducting());
+    EXPECT_FALSE(bank.powered());
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    // Paper Sec. 5.3: off-state leakage < 0.3% of the gated load.
+    EXPECT_NEAR(leak.power(), 4.2e-3 * 0.003, 1e-12);
+    EXPECT_LT(leak.power(), 4.2e-3 * 0.003 + 1e-12);
+}
+
+TEST_F(FetTest, CloseRestoresLoad)
+{
+    fet.open(0);
+    fet.close(oneMs);
+    EXPECT_TRUE(fet.conducting());
+    EXPECT_TRUE(bank.powered());
+    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+    EXPECT_DOUBLE_EQ(leak.power(), 0.0);
+}
+
+TEST_F(FetTest, ControlledThroughGpioLevel)
+{
+    fet.open(0);
+    EXPECT_FALSE(gpio.level(pin));
+    fet.close(oneMs);
+    EXPECT_TRUE(gpio.level(pin));
+}
+
+class ThermalMonitorTest : public ::testing::Test
+{
+  protected:
+    ThermalMonitorTest()
+        : xtal32("x32", 32768.0, 0.0, 0.0), slowClk("slow", xtal32),
+          gpios("gpio", 4),
+          pin(gpios.claim("ec-thermal", GpioDirection::Input)),
+          monitor("thermal", gpios, pin, slowClk)
+    {
+    }
+
+    Crystal xtal32;
+    ClockDomain slowClk;
+    GpioBank gpios;
+    unsigned pin;
+    ThermalMonitor monitor;
+};
+
+TEST_F(ThermalMonitorTest, LineFollowsEcDrive)
+{
+    EXPECT_FALSE(monitor.lineAsserted());
+    monitor.driveLine(true, oneMs);
+    EXPECT_TRUE(monitor.lineAsserted());
+    monitor.driveLine(false, 2 * oneMs);
+    EXPECT_FALSE(monitor.lineAsserted());
+}
+
+TEST_F(ThermalMonitorTest, DetectionWaitsForSamplingEdge)
+{
+    const Tick period = slowClk.period();
+    // Asserted right after an edge: detected on the next edge.
+    EXPECT_EQ(monitor.detectionTick(period + 1), 2 * period);
+    // Asserted exactly on an edge: detected immediately.
+    EXPECT_EQ(monitor.detectionTick(3 * period), 3 * period);
+}
+
+TEST_F(ThermalMonitorTest, WorstCaseLatencyIsOneSlowPeriod)
+{
+    EXPECT_EQ(monitor.worstCaseLatency(), slowClk.period());
+    EXPECT_NEAR(ticksToSeconds(monitor.worstCaseLatency()), 30.5e-6,
+                0.1e-6);
+}
+
+TEST_F(ThermalMonitorTest, PendingDetectionTracksAssertion)
+{
+    EXPECT_EQ(monitor.pendingDetection(), maxTick);
+    monitor.driveLine(true, 10 * oneUs);
+    EXPECT_EQ(monitor.pendingDetection(),
+              slowClk.nextEdge(10 * oneUs));
+    monitor.driveLine(false, oneMs);
+    EXPECT_EQ(monitor.pendingDetection(), maxTick);
+}
+
+TEST_F(ThermalMonitorTest, StoppedClockPanics)
+{
+    Logger::throwOnError(true);
+    xtal32.disable();
+    EXPECT_THROW(monitor.detectionTick(0), SimError);
+    Logger::throwOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the sparse backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(BackingStoreTest, ReadsZeroWhenUntouched)
+{
+    BackingStore s(1 << 20);
+    const auto data = s.read(0x1000, 16);
+    for (std::uint8_t b : data)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(s.touchedPages(), 0u);
+}
+
+TEST(BackingStoreTest, WriteReadRoundTrip)
+{
+    BackingStore s(1 << 20);
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    s.write(0x200, data);
+    EXPECT_EQ(s.read(0x200, 5), data);
+}
+
+TEST(BackingStoreTest, CrossPageAccess)
+{
+    BackingStore s(1 << 20);
+    std::vector<std::uint8_t> data(BackingStore::pageBytes + 100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    const std::uint64_t addr = BackingStore::pageBytes - 50;
+    s.write(addr, data);
+    EXPECT_EQ(s.read(addr, data.size()), data);
+    EXPECT_GE(s.touchedPages(), 2u);
+}
+
+TEST(BackingStoreTest, SparseAllocationOnlyTouchedPages)
+{
+    BackingStore s(8ULL << 30); // 8 GB capacity
+    const std::vector<std::uint8_t> d{0xff};
+    s.write(0, d);
+    s.write(4ULL << 30, d);
+    EXPECT_EQ(s.touchedPages(), 2u);
+}
+
+TEST(BackingStoreTest, OutOfRangePanics)
+{
+    Logger::throwOnError(true);
+    BackingStore s(1024);
+    std::uint8_t b = 0;
+    EXPECT_THROW(s.write(1020, &b, 8), SimError);
+    EXPECT_THROW(s.read(2048, &b, 1), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(BackingStoreTest, FlipBitCorruptsExactlyOneBit)
+{
+    BackingStore s(4096);
+    const std::vector<std::uint8_t> data{0b10101010};
+    s.write(100, data);
+    s.flipBit(100, 0);
+    EXPECT_EQ(s.read(100, 1)[0], 0b10101011);
+    s.flipBit(100, 7);
+    EXPECT_EQ(s.read(100, 1)[0], 0b00101011);
+}
+
+TEST(BackingStoreTest, ClearDropsEverything)
+{
+    BackingStore s(4096);
+    const std::vector<std::uint8_t> data{9, 9};
+    s.write(0, data);
+    s.clear();
+    EXPECT_EQ(s.touchedPages(), 0u);
+    EXPECT_EQ(s.read(0, 1)[0], 0);
+}
+
+TEST(BackingStoreTest, PartialPageOverwrite)
+{
+    BackingStore s(4096);
+    s.write(0, std::vector<std::uint8_t>(16, 0xAA));
+    s.write(4, std::vector<std::uint8_t>(4, 0xBB));
+    const auto out = s.read(0, 16);
+    EXPECT_EQ(out[3], 0xAA);
+    EXPECT_EQ(out[4], 0xBB);
+    EXPECT_EQ(out[7], 0xBB);
+    EXPECT_EQ(out[8], 0xAA);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the DDR3L DRAM model: timing, self-refresh + CKE, power
+ * accounting, and frequency scaling (the substrate of Fig. 6(c)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "power/power_model.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class DramTest : public ::testing::Test
+{
+  protected:
+    DramTest()
+        : array(pm, "dram", "memory"), cke(pm, "cke", "memory"),
+          dram("ddr3l", DramConfig{}, &array, &cke)
+    {
+    }
+
+    PowerModel pm;
+    PowerComponent array;
+    PowerComponent cke;
+    Dram dram;
+};
+
+TEST_F(DramTest, ConfigDefaultsMatchTable1)
+{
+    // Table 1: DDR3L-1.6GHz, dual channel, 8 GB.
+    EXPECT_DOUBLE_EQ(dram.config().dataRateHz, 1.6e9);
+    EXPECT_EQ(dram.config().channels, 2u);
+    EXPECT_EQ(dram.capacityBytes(), 8ULL << 30);
+    // 1.6 GT/s * 8 B * 2 channels = 25.6 GB/s.
+    EXPECT_DOUBLE_EQ(dram.peakBandwidth(), 25.6e9);
+}
+
+TEST_F(DramTest, FunctionalReadWrite)
+{
+    const std::vector<std::uint8_t> data{10, 20, 30};
+    dram.write(0x100, data.data(), data.size(), 0);
+    std::vector<std::uint8_t> out(3);
+    dram.read(0x100, out.data(), out.size(), 0);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(DramTest, AccessLatencyIncludesStreaming)
+{
+    std::vector<std::uint8_t> buf(256 << 10, 0xCD); // 256 KB
+    const MemAccessResult r = dram.write(0, buf.data(), buf.size(), 0);
+    const double stream_s = (256.0 * 1024.0) / 25.6e9; // ~10.24 us
+    EXPECT_NEAR(ticksToSeconds(r.latency), 50e-9 + stream_s, 10e-9);
+    EXPECT_EQ(r.bytes, buf.size());
+}
+
+TEST_F(DramTest, IdlePowerWhenActive)
+{
+    EXPECT_DOUBLE_EQ(array.power(), dram.config().idlePower);
+    EXPECT_DOUBLE_EQ(cke.power(), 0.0);
+}
+
+TEST_F(DramTest, SelfRefreshSwitchesPowerAndCke)
+{
+    const Tick latency = dram.enterRetention(0);
+    EXPECT_GT(latency, 0);
+    EXPECT_TRUE(dram.inRetention());
+    EXPECT_DOUBLE_EQ(array.power(), dram.config().selfRefreshPower);
+    // The processor drives CKE while self-refresh is held.
+    EXPECT_DOUBLE_EQ(cke.power(), dram.config().ckeDrivePower);
+
+    dram.exitRetention(oneMs);
+    EXPECT_FALSE(dram.inRetention());
+    EXPECT_DOUBLE_EQ(array.power(), dram.config().idlePower);
+    EXPECT_DOUBLE_EQ(cke.power(), 0.0);
+}
+
+TEST_F(DramTest, DataSurvivesSelfRefresh)
+{
+    const std::vector<std::uint8_t> data{1, 2, 3};
+    dram.write(64, data.data(), data.size(), 0);
+    dram.enterRetention(0);
+    dram.exitRetention(oneMs);
+    std::vector<std::uint8_t> out(3);
+    dram.read(64, out.data(), out.size(), 2 * oneMs);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(DramTest, AccessDuringSelfRefreshPanics)
+{
+    Logger::throwOnError(true);
+    dram.enterRetention(0);
+    std::uint8_t b = 0;
+    EXPECT_THROW(dram.read(0, &b, 1, oneMs), SimError);
+    EXPECT_THROW(dram.write(0, &b, 1, oneMs), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST_F(DramTest, DoubleSelfRefreshPanics)
+{
+    Logger::throwOnError(true);
+    dram.enterRetention(0);
+    EXPECT_THROW(dram.enterRetention(oneMs), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST_F(DramTest, AccessEnergyAccumulates)
+{
+    std::vector<std::uint8_t> buf(1024, 0);
+    dram.write(0, buf.data(), buf.size(), 0);
+    EXPECT_NEAR(dram.accessEnergy(),
+                1024 * dram.config().energyPerByte, 1e-15);
+    EXPECT_EQ(dram.bytesTransferred(), 1024u);
+}
+
+TEST(DramConfigTest, WithDataRateScalesBandwidthAndPower)
+{
+    const DramConfig base;
+    const DramConfig slow = base.withDataRate(0.8e9);
+    EXPECT_DOUBLE_EQ(slow.peakBandwidth(), base.peakBandwidth() / 2.0);
+    EXPECT_LT(slow.idlePower, base.idlePower);
+    EXPECT_LT(slow.activePower, base.activePower);
+    // Self-refresh power is temperature-driven, not clock-driven.
+    EXPECT_DOUBLE_EQ(slow.selfRefreshPower, base.selfRefreshPower);
+}
+
+TEST(DramConfigTest, Fig6cFrequencyPoints)
+{
+    const DramConfig base;
+    for (double rate : {1.6e9, 1.067e9, 0.8e9}) {
+        const DramConfig c = base.withDataRate(rate);
+        EXPECT_DOUBLE_EQ(c.dataRateHz, rate);
+        EXPECT_GT(c.peakBandwidth(), 0.0);
+    }
+}
+
+TEST(DramConfigTest, LowerRateMeansSlowerTransfers)
+{
+    PowerModel pm;
+    const DramConfig slow_cfg = DramConfig{}.withDataRate(0.8e9);
+    Dram fast("fast", DramConfig{});
+    Dram slow("slow", slow_cfg);
+
+    std::vector<std::uint8_t> buf(200 << 10, 0);
+    const Tick t_fast = fast.write(0, buf.data(), buf.size(), 0).latency;
+    const Tick t_slow = slow.write(0, buf.data(), buf.size(), 0).latency;
+    EXPECT_GT(t_slow, t_fast);
+    // Streaming part doubles when bandwidth halves.
+    EXPECT_NEAR(static_cast<double>(t_slow - 50000) /
+                    static_cast<double>(t_fast - 50000),
+                2.0, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for memory-controller routing with the Context/SGX range
+ * register (Sec. 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/memory_controller.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/** A fake MEE recording the accesses routed to it. */
+class FakeSecurePath : public SecureMemoryPath
+{
+  public:
+    MemAccessResult
+    secureWrite(std::uint64_t addr, const std::uint8_t *, std::uint64_t len,
+                Tick) override
+    {
+        lastAddr = addr;
+        ++writes;
+        return {oneUs, len};
+    }
+
+    MemAccessResult
+    secureRead(std::uint64_t addr, std::uint8_t *, std::uint64_t len, Tick,
+               bool &authentic) override
+    {
+        lastAddr = addr;
+        ++reads;
+        authentic = authenticResult;
+        return {oneUs, len};
+    }
+
+    std::uint64_t lastAddr = 0;
+    int writes = 0;
+    int reads = 0;
+    bool authenticResult = true;
+};
+
+class MemoryControllerTest : public ::testing::Test
+{
+  protected:
+    MemoryControllerTest()
+        : dram("d", DramConfig{}), mc("mc", dram, &mee)
+    {
+        mc.setProtectedRange({4096, 4096});
+        Logger::throwOnError(true);
+    }
+
+    ~MemoryControllerTest() override { Logger::throwOnError(false); }
+
+    Dram dram;
+    FakeSecurePath mee;
+    MemoryController mc;
+};
+
+TEST_F(MemoryControllerTest, UnprotectedAccessGoesDirect)
+{
+    std::uint8_t buf[64] = {};
+    const RoutedAccess w = mc.write(0, buf, 64, 0);
+    EXPECT_FALSE(w.secure);
+    EXPECT_EQ(mee.writes, 0);
+    EXPECT_EQ(mc.directAccesses(), 1u);
+}
+
+TEST_F(MemoryControllerTest, ProtectedAccessRoutesThroughMee)
+{
+    std::uint8_t buf[64] = {};
+    const RoutedAccess w = mc.write(4096, buf, 64, 0);
+    EXPECT_TRUE(w.secure);
+    EXPECT_EQ(mee.writes, 1);
+    EXPECT_EQ(mc.secureAccesses(), 1u);
+
+    const RoutedAccess r = mc.read(4096 + 64, buf, 64, 0);
+    EXPECT_TRUE(r.secure);
+    EXPECT_TRUE(r.authentic);
+    EXPECT_EQ(mee.reads, 1);
+}
+
+TEST_F(MemoryControllerTest, AuthenticationFailurePropagates)
+{
+    mee.authenticResult = false;
+    std::uint8_t buf[64] = {};
+    const RoutedAccess r = mc.read(4096, buf, 64, 0);
+    EXPECT_FALSE(r.authentic);
+}
+
+TEST_F(MemoryControllerTest, StraddlingAccessPanics)
+{
+    std::uint8_t buf[128] = {};
+    EXPECT_THROW(mc.write(4096 - 64, buf, 128, 0), SimError);
+    EXPECT_THROW(mc.read(8192 - 64, buf, 128, 0), SimError);
+}
+
+TEST_F(MemoryControllerTest, AccessWhilePowerGatedPanics)
+{
+    mc.setPowered(false);
+    std::uint8_t buf[64] = {};
+    EXPECT_THROW(mc.read(0, buf, 64, 0), SimError);
+    mc.setPowered(true);
+    EXPECT_NO_THROW(mc.read(0, buf, 64, 0));
+}
+
+TEST_F(MemoryControllerTest, ProtectedRangeBeyondCapacityFails)
+{
+    EXPECT_THROW(
+        mc.setProtectedRange({dram.capacityBytes() - 100, 4096}),
+        SimError);
+}
+
+TEST_F(MemoryControllerTest, ProtectedAccessWithoutMeePanics)
+{
+    MemoryController bare("bare", dram, nullptr);
+    bare.setProtectedRange({0, 4096});
+    std::uint8_t buf[64] = {};
+    EXPECT_THROW(bare.write(0, buf, 64, 0), SimError);
+}
+
+TEST_F(MemoryControllerTest, RangeRegisterContainment)
+{
+    const RangeRegister rr{100, 50};
+    EXPECT_TRUE(rr.contains(100, 50));
+    EXPECT_TRUE(rr.contains(120, 10));
+    EXPECT_FALSE(rr.contains(99, 2));
+    EXPECT_FALSE(rr.contains(140, 20));
+    EXPECT_TRUE(rr.overlaps(140, 20));
+    EXPECT_FALSE(rr.overlaps(150, 10));
+}
+
+TEST_F(MemoryControllerTest, ZeroLengthAccessPanics)
+{
+    std::uint8_t buf[1] = {};
+    EXPECT_THROW(mc.read(0, buf, 0, 0), SimError);
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the PCM and eMRAM models (Sec. 8.3 substrates).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvm.hh"
+#include "power/power_model.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(PcmTest, NonVolatileRetention)
+{
+    Pcm pcm("pcm", PcmConfig{});
+    EXPECT_EQ(pcm.retentionKind(), RetentionKind::NonVolatile);
+
+    const std::vector<std::uint8_t> data{1, 2, 3};
+    pcm.write(0, data.data(), data.size(), 0);
+    pcm.enterRetention(0);
+    pcm.exitRetention(oneMs);
+    std::vector<std::uint8_t> out(3);
+    pcm.read(0, out.data(), out.size(), 2 * oneMs);
+    EXPECT_EQ(out, data);
+}
+
+TEST(PcmTest, StandbyPowerIsZero)
+{
+    PowerModel pm;
+    PowerComponent comp(pm, "pcm", "memory");
+    Pcm pcm("pcm", PcmConfig{}, &comp);
+    EXPECT_DOUBLE_EQ(comp.power(), pcm.config().idlePower);
+    pcm.enterRetention(0);
+    // No self-refresh: standby power is (configurably) zero.
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+}
+
+TEST(PcmTest, WritesSlowerAndCostlierThanReads)
+{
+    Pcm pcm("pcm", PcmConfig{});
+    std::vector<std::uint8_t> buf(64 << 10, 0);
+    const Tick t_write = pcm.write(0, buf.data(), buf.size(), 0).latency;
+    const double e_write = pcm.accessEnergy();
+    const Tick t_read = pcm.read(0, buf.data(), buf.size(), 0).latency;
+    const double e_read = pcm.accessEnergy() - e_write;
+    EXPECT_GT(t_write, t_read);
+    EXPECT_GT(e_write, e_read);
+}
+
+TEST(PcmTest, EnduranceTracksHottestLine)
+{
+    PcmConfig cfg;
+    cfg.enduranceWrites = 1000;
+    Pcm pcm("pcm", cfg);
+    std::uint8_t b = 0xFF;
+    for (int i = 0; i < 10; ++i)
+        pcm.write(0, &b, 1, 0);
+    pcm.write(4096, &b, 1, 0);
+    EXPECT_EQ(pcm.maxLineWrites(), 10u);
+    EXPECT_NEAR(pcm.enduranceConsumed(), 0.01, 1e-12);
+}
+
+TEST(PcmTest, AccessInStandbyPanics)
+{
+    Logger::throwOnError(true);
+    Pcm pcm("pcm", PcmConfig{});
+    pcm.enterRetention(0);
+    std::uint8_t b = 0;
+    EXPECT_THROW(pcm.read(0, &b, 1, oneMs), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(PcmTest, SlowerThanDramBandwidth)
+{
+    const PcmConfig cfg;
+    // PCM read bandwidth is below DDR3L-1600 dual channel (25.6 GB/s).
+    EXPECT_LT(cfg.readBandwidth, 25.6e9);
+    EXPECT_LT(cfg.writeBandwidth, cfg.readBandwidth);
+}
+
+TEST(EmramTest, ContentsSurvivePowerOff)
+{
+    EmramConfig cfg;
+    cfg.capacityBytes = 4096;
+    Emram m("m", cfg);
+    m.setPowered(true, 0);
+    const std::vector<std::uint8_t> data{7, 8, 9};
+    m.write(0, data.data(), data.size());
+    m.setPowered(false, oneUs);
+    m.setPowered(true, oneMs);
+    std::vector<std::uint8_t> out(3);
+    m.read(0, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(EmramTest, ZeroPowerWhenOff)
+{
+    PowerModel pm;
+    PowerComponent comp(pm, "emram", "processor");
+    EmramConfig cfg;
+    cfg.capacityBytes = 1024;
+    Emram m("m", cfg, &comp);
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    m.setPowered(true, 0);
+    EXPECT_DOUBLE_EQ(comp.power(), cfg.activePower);
+    m.setPowered(false, oneUs);
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+}
+
+TEST(EmramTest, AccessWhileOffPanics)
+{
+    Logger::throwOnError(true);
+    EmramConfig cfg;
+    cfg.capacityBytes = 64;
+    Emram m("m", cfg);
+    std::uint8_t b = 0;
+    EXPECT_THROW(m.read(0, &b, 1), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(EmramTest, PessimismSlowsWrites)
+{
+    EmramConfig optimistic;
+    optimistic.capacityBytes = 64 << 10;
+    EmramConfig pessimistic = optimistic;
+    pessimistic.pessimism = 4.0;
+
+    Emram a("a", optimistic), b("b", pessimistic);
+    a.setPowered(true, 0);
+    b.setPowered(true, 0);
+    std::vector<std::uint8_t> buf(32 << 10, 0);
+    const Tick ta = a.write(0, buf.data(), buf.size());
+    const Tick tb = b.write(0, buf.data(), buf.size());
+    EXPECT_NEAR(static_cast<double>(tb) / static_cast<double>(ta), 4.0,
+                0.01);
+    // Reads are unaffected by write pessimism.
+    EXPECT_EQ(a.read(0, buf.data(), buf.size()),
+              b.read(0, buf.data(), buf.size()));
+}
+
+TEST(EmramTest, WriteCounterTracksWrites)
+{
+    EmramConfig cfg;
+    cfg.capacityBytes = 64;
+    Emram m("m", cfg);
+    m.setPowered(true, 0);
+    std::uint8_t b = 1;
+    m.write(0, &b, 1);
+    m.write(1, &b, 1);
+    EXPECT_EQ(m.totalWrites(), 2u);
+}
+
+} // namespace

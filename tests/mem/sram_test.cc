@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the retention-voltage SRAM model, including the 5x
+ * processor-vs-chipset leakage ratio the paper measures (Obs. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/sram.hh"
+#include "power/power_model.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+SramConfig
+makeConfig(std::uint64_t capacity, SramProcess process)
+{
+    SramConfig c;
+    c.capacityBytes = capacity;
+    c.process = process;
+    return c;
+}
+
+TEST(SramTest, StartsActiveWithLeakage)
+{
+    PowerModel pm;
+    PowerComponent comp(pm, "sram", "processor");
+    Sram sram("s", makeConfig(4096, SramProcess::HighPerformance), &comp);
+    EXPECT_EQ(sram.state(), SramState::Active);
+    EXPECT_GT(comp.power(), 0.0);
+}
+
+TEST(SramTest, RetentionLeaksLessThanActive)
+{
+    Sram sram("s", makeConfig(4096, SramProcess::HighPerformance));
+    EXPECT_LT(sram.leakagePower(SramState::Retention),
+              sram.leakagePower(SramState::Active));
+    EXPECT_DOUBLE_EQ(sram.leakagePower(SramState::Off), 0.0);
+}
+
+TEST(SramTest, ProcessorLeaksFiveTimesChipset)
+{
+    // Paper Obs. 3: processor SRAM leakage ~= 5x chipset SRAM at the
+    // same capacity and Vmin.
+    Sram hp("hp", makeConfig(64 << 10, SramProcess::HighPerformance));
+    Sram lp("lp", makeConfig(64 << 10, SramProcess::LowPower));
+    EXPECT_NEAR(hp.leakagePower(SramState::Retention) /
+                    lp.leakagePower(SramState::Retention),
+                5.0, 1e-9);
+}
+
+TEST(SramTest, PaperCalibration200KbLeaksFiveMilliwatts)
+{
+    // 200 KB of processor S/R SRAM at retention should leak ~5.4 mW
+    // nominal (9% of the 60 mW platform at the battery).
+    Sram sram("s", makeConfig(200 << 10, SramProcess::HighPerformance));
+    EXPECT_NEAR(sram.leakagePower(SramState::Retention), 5.4e-3, 0.1e-3);
+}
+
+TEST(SramTest, WriteReadRoundTrip)
+{
+    Sram sram("s", makeConfig(1024, SramProcess::HighPerformance));
+    const std::vector<std::uint8_t> data{5, 6, 7, 8};
+    sram.write(10, data.data(), data.size());
+    std::vector<std::uint8_t> out(4);
+    sram.read(10, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(SramTest, PowerOffLosesContents)
+{
+    Sram sram("s", makeConfig(1024, SramProcess::HighPerformance));
+    const std::vector<std::uint8_t> data{0xAB};
+    sram.write(0, data.data(), 1);
+    sram.setState(SramState::Off, 0);
+    sram.setState(SramState::Active, oneMs);
+    std::vector<std::uint8_t> out(1);
+    sram.read(0, out.data(), 1);
+    EXPECT_EQ(out[0], 0);
+}
+
+TEST(SramTest, RetentionKeepsContents)
+{
+    Sram sram("s", makeConfig(1024, SramProcess::HighPerformance));
+    const std::vector<std::uint8_t> data{0xCD};
+    sram.write(0, data.data(), 1);
+    sram.setState(SramState::Retention, 0);
+    sram.setState(SramState::Active, oneMs);
+    std::vector<std::uint8_t> out(1);
+    sram.read(0, out.data(), 1);
+    EXPECT_EQ(out[0], 0xCD);
+}
+
+TEST(SramTest, AccessWhileNotActivePanics)
+{
+    Logger::throwOnError(true);
+    Sram sram("s", makeConfig(1024, SramProcess::HighPerformance));
+    sram.setState(SramState::Retention, 0);
+    std::uint8_t b = 0;
+    EXPECT_THROW(sram.read(0, &b, 1), SimError);
+    EXPECT_THROW(sram.write(0, &b, 1), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(SramTest, OutOfRangeAccessPanics)
+{
+    Logger::throwOnError(true);
+    Sram sram("s", makeConfig(64, SramProcess::HighPerformance));
+    std::uint8_t b = 0;
+    EXPECT_THROW(sram.read(60, &b, 8), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(SramTest, StateChangeUpdatesPowerComponent)
+{
+    PowerModel pm;
+    PowerComponent comp(pm, "sram", "processor");
+    Sram sram("s", makeConfig(200 << 10, SramProcess::HighPerformance),
+              &comp);
+    sram.setState(SramState::Retention, 0);
+    EXPECT_NEAR(comp.power(), 5.4e-3, 0.1e-3);
+    sram.setState(SramState::Off, oneMs);
+    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+}
+
+TEST(SramTest, StreamLatencyScalesWithSize)
+{
+    Sram sram("s", makeConfig(128 << 10, SramProcess::HighPerformance));
+    std::vector<std::uint8_t> small(64), large(64 << 10);
+    const Tick t_small = sram.write(0, small.data(), small.size());
+    const Tick t_large = sram.write(0, large.data(), large.size());
+    EXPECT_GT(t_large, t_small);
+}
+
+TEST(SramTest, AccessEnergyAccumulates)
+{
+    Sram sram("s", makeConfig(4096, SramProcess::HighPerformance));
+    std::vector<std::uint8_t> buf(1000, 0);
+    sram.write(0, buf.data(), buf.size());
+    sram.read(0, buf.data(), buf.size());
+    EXPECT_NEAR(sram.accessEnergy(),
+                2000 * sram.config().energyPerByte, 1e-15);
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the platform aggregates: configuration presets (Table 1),
+ * C-state selection, the processor context, and the wired platform's
+ * power calibration against the paper's anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "platform/techniques.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(ConfigTest, SkylakeDefaultsMatchTable1)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    EXPECT_EQ(cfg.processorNode, ProcessNode::Nm14);
+    EXPECT_DOUBLE_EQ(cfg.coreFrequencyHz, 0.8e9);
+    EXPECT_EQ(cfg.llcBytes, 3ULL << 20);
+    EXPECT_DOUBLE_EQ(cfg.dram.dataRateHz, 1.6e9);
+    EXPECT_EQ(cfg.dram.capacityBytes, 8ULL << 30);
+    EXPECT_EQ(cfg.dram.channels, 2u);
+}
+
+TEST(ConfigTest, ContextSizesMatchPaper)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    // ~200 KB transferable context; ~1 KB boot subset (0.5%).
+    EXPECT_EQ(cfg.saContextBytes + cfg.coresContextBytes, 200ULL << 10);
+    EXPECT_EQ(cfg.bootContextBytes, 1ULL << 10);
+    EXPECT_NEAR(static_cast<double>(cfg.bootContextBytes) /
+                    static_cast<double>(cfg.saContextBytes +
+                                        cfg.coresContextBytes),
+                0.005, 0.0002);
+}
+
+TEST(ConfigTest, DripsBudgetSumsToPaperAnchor)
+{
+    // Nominal DRIPS power must be ~44.4 mW so the battery sees ~60 mW
+    // at 74% delivery efficiency (Fig. 1(b) caption).
+    const PlatformConfig cfg = skylakeConfig();
+    const DripsPowerBudget &dp = cfg.dripsPower;
+    const double nominal =
+        dp.procWakeTimer + dp.procAonIo + dp.srSramSa + dp.srSramCores +
+        dp.bootSram + dp.chipsetAon + dp.chipsetFastClock + dp.xtal24 +
+        dp.xtal32 + dp.boardOther + cfg.dram.selfRefreshPower +
+        cfg.dram.ckeDrivePower;
+    EXPECT_NEAR(nominal / cfg.pdLowEfficiency, 60e-3, 0.5e-3);
+}
+
+TEST(ConfigTest, HaswellUnscalesSiliconPower)
+{
+    const PlatformConfig sky = skylakeConfig();
+    const PlatformConfig has = haswellUltConfig();
+    // 22 nm silicon burns more than the same design at 14 nm.
+    EXPECT_GT(has.dripsPower.srSramSa, sky.dripsPower.srSramSa);
+    EXPECT_GT(has.activePower.coresGfxBase, sky.activePower.coresGfxBase);
+    // Board components do not scale.
+    EXPECT_DOUBLE_EQ(has.dripsPower.xtal24, sky.dripsPower.xtal24);
+    // Haswell-ULT C10 exit latency was ~3 ms (Sec. 3).
+    EXPECT_EQ(has.timings.baselineExit, 3000 * oneUs);
+}
+
+TEST(ConfigTest, CoreVfCurveHasVminFloor)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    EXPECT_DOUBLE_EQ(cfg.vfCurve.voltageAt(0.8e9),
+                     cfg.vfCurve.voltageAt(1.0e9));
+    EXPECT_GT(cfg.vfCurve.voltageAt(1.5e9), cfg.vfCurve.voltageAt(1.0e9));
+}
+
+TEST(ConfigTest, CorePowerScalesSuperlinearlyAboveVmin)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    const double p08 = cfg.coresGfxPowerAt(0.8e9);
+    const double p10 = cfg.coresGfxPowerAt(1.0e9);
+    const double p15 = cfg.coresGfxPowerAt(1.5e9);
+    // Linear below the Vmin ceiling...
+    EXPECT_NEAR(p10 / p08, 1.25, 1e-9);
+    // ... superlinear above it.
+    EXPECT_GT(p15 / p10, 1.5);
+}
+
+TEST(CStateTest, SkylakeTableOrdering)
+{
+    const CStateTable table = CStateTable::skylake();
+    EXPECT_EQ(table.active().name, "C0");
+    EXPECT_EQ(table.deepest().name, "C10");
+    EXPECT_TRUE(table.deepest().isDrips);
+    EXPECT_EQ(table.deepest().exitLatency, 300 * oneUs);
+}
+
+TEST(CStateTest, SelectionHonoursLtrAndTnte)
+{
+    const CStateTable table = CStateTable::skylake();
+    // Plenty of latency budget and dwell -> DRIPS.
+    EXPECT_EQ(table.select(oneSec, oneSec).name, "C10");
+    // LTR limits the exit latency to 100 us -> C6 (85 us exit).
+    EXPECT_EQ(table.select(100 * oneUs, oneSec).name, "C6");
+    // An imminent timer event fails the residency heuristic for the
+    // deep states: 300 us of dwell only amortizes C3 (3x 80 us).
+    EXPECT_EQ(table.select(oneSec, 300 * oneUs).name, "C3");
+    // DRIPS needs ~1.5 ms of expected dwell (3x its 500 us round trip).
+    EXPECT_EQ(table.select(oneSec, 2 * oneMs).name, "C10");
+    // No budget at all: still picks the shallowest idle state.
+    EXPECT_EQ(table.select(0, 0).name, "C1");
+}
+
+TEST(CStateTest, ByIndexLookup)
+{
+    const CStateTable table = CStateTable::skylake();
+    EXPECT_EQ(table.byIndex(10).name, "C10");
+    Logger::throwOnError(true);
+    EXPECT_THROW(table.byIndex(5), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(ContextTest, ChecksumDetectsChange)
+{
+    ProcessorContext ctx(1024, 2048, 128);
+    const std::uint64_t before = ctx.checksum();
+    ctx.touch();
+    EXPECT_NE(ctx.checksum(), before);
+}
+
+TEST(ContextTest, RegionSizes)
+{
+    ProcessorContext ctx(64 << 10, 136 << 10, 1 << 10);
+    EXPECT_EQ(ctx.sa().bytes.size(), 64u << 10);
+    EXPECT_EQ(ctx.cores().bytes.size(), 136u << 10);
+    EXPECT_EQ(ctx.boot().bytes.size(), 1u << 10);
+    EXPECT_EQ(ctx.transferableBytes(), 200u << 10);
+}
+
+TEST(ContextTest, RegionChecksumIsContentBased)
+{
+    ProcessorContext a(512, 512, 64, 1);
+    ProcessorContext b(512, 512, 64, 1);
+    EXPECT_EQ(a.checksum(), b.checksum()); // same seed, same content
+    ProcessorContext c(512, 512, 64, 2);
+    EXPECT_NE(a.checksum(), c.checksum());
+}
+
+TEST(TechniqueSetTest, LabelsMatchFig6)
+{
+    EXPECT_EQ(TechniqueSet::baseline().label(), "DRIPS (baseline)");
+    EXPECT_EQ(TechniqueSet::wakeupOffOnly().label(), "WAKE-UP-OFF");
+    EXPECT_EQ(TechniqueSet::aonIoGated().label(), "AON-IO-GATE");
+    EXPECT_EQ(TechniqueSet::ctxSgxDram().label(), "CTX-SGX-DRAM");
+    EXPECT_EQ(TechniqueSet::odrips().label(), "ODRIPS");
+    EXPECT_EQ(TechniqueSet::odripsMram().label(), "ODRIPS-MRAM");
+}
+
+TEST(TechniqueSetTest, AonGatingRequiresWakeupMigration)
+{
+    // Paper footnote 4: technique 2 depends on technique 1.
+    Logger::throwOnError(true);
+    TechniqueSet t;
+    t.aonIoGate = true;
+    EXPECT_THROW(t.validate(), SimError);
+    t.wakeupOff = true;
+    EXPECT_NO_THROW(t.validate());
+    Logger::throwOnError(false);
+}
+
+class PlatformFixture : public ::testing::Test
+{
+  protected:
+    PlatformFixture() : platform(skylakeConfig()) {}
+    Platform platform;
+};
+
+TEST_F(PlatformFixture, StartsActiveNearThreeWatts)
+{
+    // C0 with display off is ~3 W at the battery (Fig. 2).
+    EXPECT_NEAR(platform.batteryPower(), 3.0, 0.15);
+}
+
+TEST_F(PlatformFixture, GroupPowersArePositive)
+{
+    EXPECT_GT(platform.groupBatteryPower("processor"), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("chipset"), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("memory"), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("board"), 0.0);
+}
+
+TEST_F(PlatformFixture, AnalyzerHasFourChannels)
+{
+    // The paper's measurement setup uses four analog channels.
+    EXPECT_EQ(platform.analyzer.channelCount(), 4u);
+    EXPECT_EQ(platform.analyzer.sampleInterval(), 50 * oneUs);
+}
+
+TEST_F(PlatformFixture, ProtectedRegionCoversContext)
+{
+    EXPECT_EQ(platform.contextRegionSize(), 200ULL << 10);
+    EXPECT_EQ(platform.memoryController->protectedRange().base,
+              platform.contextRegionBase());
+    // Context region is a negligible slice of the SGX region and DRAM
+    // (paper Sec. 6.3: < 0.3% of the SGX region).
+    EXPECT_LT(static_cast<double>(platform.contextRegionSize()) /
+                  static_cast<double>(platform.cfg.sgxRegionSize),
+              0.005);
+}
+
+TEST_F(PlatformFixture, DramAccessorWorksForDdr3l)
+{
+    EXPECT_NO_THROW(platform.dram());
+    EXPECT_EQ(platform.memory->retentionKind(),
+              RetentionKind::SelfRefresh);
+}
+
+TEST(PlatformPcmTest, PcmPlatformHasNonVolatileMemory)
+{
+    PlatformConfig cfg = skylakeConfig();
+    cfg.memoryKind = MainMemoryKind::Pcm;
+    Platform platform(cfg);
+    EXPECT_EQ(platform.memory->retentionKind(),
+              RetentionKind::NonVolatile);
+    Logger::throwOnError(true);
+    EXPECT_THROW(platform.dram(), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST_F(PlatformFixture, ProcessorStallPowerBelowActive)
+{
+    const double active =
+        platform.cfg.coresGfxPowerAt(platform.processor.coreFrequencyHz);
+    EXPECT_LT(platform.processor.stallPower(), active * 0.2);
+    EXPECT_GT(platform.processor.stallPower(), 0.0);
+}
+
+TEST_F(PlatformFixture, ChipsetClaimsTwoSparePins)
+{
+    const unsigned before = platform.chipset.gpios.sparePins();
+    platform.chipset.claimOdripsPins();
+    EXPECT_EQ(platform.chipset.gpios.sparePins(), before - 2);
+    // Idempotent.
+    platform.chipset.claimOdripsPins();
+    EXPECT_EQ(platform.chipset.gpios.sparePins(), before - 2);
+}
+
+TEST_F(PlatformFixture, RailsCoverTheAonSupply)
+{
+    // The AON rail must carry exactly the Fig. 1(a) always-on blocks.
+    Rail &aon = platform.rails.find("vcc_aon");
+    EXPECT_GT(aon.power(), 0.0);
+    EXPECT_GT(aon.componentCount(), 5u);
+    // The compute rail carries the cores (active at construction).
+    EXPECT_GT(platform.rails.find("vcc_compute").power(), 1.0);
+}
+
+TEST_F(PlatformFixture, ChipsetIdlePowerDependsOnClockMode)
+{
+    platform.chipset.applyIdlePower(0, /*slow_mode=*/false);
+    const double fast_mode = platform.chipset.fastClockTree.power();
+    EXPECT_DOUBLE_EQ(fast_mode,
+                     platform.cfg.dripsPower.chipsetFastClock);
+    platform.chipset.applyIdlePower(oneUs, /*slow_mode=*/true);
+    EXPECT_DOUBLE_EQ(platform.chipset.fastClockTree.power(), 0.0);
+    // The AON domain itself stays on either way.
+    EXPECT_DOUBLE_EQ(platform.chipset.aonDomain.power(),
+                     platform.cfg.dripsPower.chipsetAon);
+}
+
+TEST_F(PlatformFixture, BoardSyncFollowsCrystalState)
+{
+    platform.board.xtal24.disable();
+    platform.board.syncXtalPower(oneUs);
+    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power(), 0.0);
+    EXPECT_GT(platform.board.xtal32Comp.power(), 0.0);
+    platform.board.xtal24.enable();
+    platform.board.syncXtalPower(2 * oneUs);
+    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power(),
+                     platform.cfg.dripsPower.xtal24);
+}
+
+TEST_F(PlatformFixture, ProcessorComputeIdleZeroesCores)
+{
+    EXPECT_GT(platform.processor.coresGfx.power(), 1.0);
+    platform.processor.applyComputeIdle(oneUs);
+    EXPECT_DOUBLE_EQ(platform.processor.coresGfx.power(), 0.0);
+    // LLC stays powered (still holds data until flushed).
+    EXPECT_GT(platform.processor.llc.power(), 0.0);
+    platform.processor.applyActivePower(2 * oneUs);
+    EXPECT_GT(platform.processor.coresGfx.power(), 1.0);
+}
+
+TEST_F(PlatformFixture, ProcessorCoreFrequencyChangesActivePower)
+{
+    const double p_low = platform.processor.coresGfx.power();
+    platform.processor.coreFrequencyHz = 1.5e9;
+    platform.processor.applyActivePower(oneUs);
+    EXPECT_GT(platform.processor.coresGfx.power(), p_low * 1.5);
+}
+
+TEST_F(PlatformFixture, TscCountsFromConstruction)
+{
+    // The TSC runs on the 24 MHz clock from t = 0.
+    const std::uint64_t v = platform.processor.tsc.valueAt(oneMs);
+    EXPECT_NEAR(static_cast<double>(v), 24000.0, 2.0);
+}
+
+} // namespace

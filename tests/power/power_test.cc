@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the power model: components, exact integration, power
+ * delivery, the sampling analyzer, process scaling, and breakdown
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/breakdown.hh"
+#include "power/energy_accountant.hh"
+#include "power/power_analyzer.hh"
+#include "power/power_delivery.hh"
+#include "power/power_model.hh"
+#include "power/process_scaling.hh"
+#include "power/rail.hh"
+#include "sim/event_queue.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(PowerComponentTest, RegistersAndSumsIntoModel)
+{
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g1");
+    PowerComponent b(pm, "b", "g2");
+    a.setPower(0.010, 0);
+    b.setPower(0.020, 0);
+    EXPECT_DOUBLE_EQ(pm.totalPower(), 0.030);
+    EXPECT_EQ(pm.components().size(), 2u);
+    EXPECT_EQ(pm.find("a"), &a);
+    EXPECT_EQ(pm.find("missing"), nullptr);
+}
+
+TEST(PowerComponentTest, GroupPower)
+{
+    PowerModel pm;
+    PowerComponent a(pm, "a", "proc");
+    PowerComponent b(pm, "b", "proc");
+    PowerComponent c(pm, "c", "board");
+    a.setPower(1.0, 0);
+    b.setPower(2.0, 0);
+    c.setPower(4.0, 0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("proc"), 3.0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("board"), 4.0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("none"), 0.0);
+}
+
+TEST(PowerComponentTest, EnergyIntegratesPiecewise)
+{
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    a.setPower(2.0, 0);              // 2 W from t=0
+    a.setPower(1.0, oneSec);         // 1 W from t=1s
+    pm.advanceTo(3 * oneSec);        // until t=3s
+    EXPECT_NEAR(a.energy(), 2.0 * 1.0 + 1.0 * 2.0, 1e-9);
+    EXPECT_NEAR(pm.totalEnergy(), 4.0, 1e-9);
+}
+
+TEST(PowerComponentTest, NegativePowerPanics)
+{
+    Logger::throwOnError(true);
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    EXPECT_THROW(a.setPower(-1.0, 0), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(PowerComponentTest, ChangeInPastPanics)
+{
+    Logger::throwOnError(true);
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    a.setPower(1.0, 100);
+    EXPECT_THROW(a.setPower(2.0, 50), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(PowerModelTest, ListenerNotifiedOnChange)
+{
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    double seen_total = -1;
+    Tick seen_when = -1;
+    pm.addListener([&](Tick when, double total) {
+        seen_when = when;
+        seen_total = total;
+    });
+    a.setPower(0.5, 42);
+    EXPECT_DOUBLE_EQ(seen_total, 0.5);
+    EXPECT_EQ(seen_when, 42);
+}
+
+TEST(PowerDeliveryTest, FixedEfficiency)
+{
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.74);
+    EXPECT_NEAR(pd.batteryPower(0.0444), 0.06, 1e-4);
+    EXPECT_DOUBLE_EQ(pd.efficiency(1.0), 0.74);
+}
+
+TEST(PowerDeliveryTest, SteppedEfficiencySwitchesAtThreshold)
+{
+    const PowerDelivery pd = PowerDelivery::stepped(0.2, 0.74, 0.87);
+    // Paper footnote 5: a 10 mW component costs 10/0.74 = 13.51 mW.
+    EXPECT_NEAR(pd.batteryPower(0.010), 0.01351, 1e-5);
+    EXPECT_DOUBLE_EQ(pd.efficiency(0.1), 0.74);
+    EXPECT_DOUBLE_EQ(pd.efficiency(2.6), 0.87);
+    EXPECT_NEAR(pd.batteryPower(2.6), 2.6 / 0.87, 1e-9);
+}
+
+TEST(PowerDeliveryTest, LoadCurveEfficiencyDropsAtLightLoad)
+{
+    const PowerDelivery pd = PowerDelivery::loadCurve(0.009, 0.146);
+    EXPECT_LT(pd.efficiency(0.01), pd.efficiency(1.0));
+    EXPECT_GT(pd.batteryPower(0.0), 0.0); // fixed loss remains
+}
+
+TEST(PowerDeliveryTest, BadEfficiencyFails)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(PowerDelivery::fixedEfficiency(0.0), SimError);
+    EXPECT_THROW(PowerDelivery::fixedEfficiency(1.5), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(EnergyAccountantTest, ExactIntegrationAcrossChanges)
+{
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.5);
+    PowerComponent a(pm, "a", "g");
+    EnergyAccountant acc(pm, pd);
+
+    a.setPower(1.0, 0);
+    a.setPower(3.0, oneSec);  // battery: 2 W for 1 s, then 6 W
+    acc.integrateTo(2 * oneSec);
+
+    EXPECT_NEAR(acc.batteryEnergy(), 2.0 + 6.0, 1e-9);
+    EXPECT_NEAR(acc.loadEnergy(), 1.0 + 3.0, 1e-9);
+    EXPECT_NEAR(acc.averageBatteryPower(), 4.0, 1e-9);
+}
+
+TEST(EnergyAccountantTest, ResetClearsWindow)
+{
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(1.0);
+    PowerComponent a(pm, "a", "g");
+    EnergyAccountant acc(pm, pd);
+    a.setPower(5.0, 0);
+    acc.integrateTo(oneSec);
+    acc.reset(oneSec);
+    EXPECT_DOUBLE_EQ(acc.batteryEnergy(), 0.0);
+    acc.integrateTo(2 * oneSec);
+    EXPECT_NEAR(acc.batteryEnergy(), 5.0, 1e-9);
+}
+
+TEST(EnergyAccountantTest, InstantaneousPowerTracksLoad)
+{
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.8);
+    PowerComponent a(pm, "a", "g");
+    EnergyAccountant acc(pm, pd);
+    a.setPower(0.8, 0);
+    EXPECT_NEAR(acc.instantaneousBatteryPower(), 1.0, 1e-12);
+}
+
+TEST(PowerAnalyzerTest, SamplesAtConfiguredInterval)
+{
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq, 50 * oneUs);
+    double level = 1.0;
+    analyzer.addChannel("ch", [&] { return level; });
+    analyzer.arm();
+    eq.run(oneMs);
+    analyzer.disarm();
+    // 1 ms / 50 us = 20 samples.
+    EXPECT_EQ(analyzer.channel(0).samples, 20u);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).average(), 1.0);
+}
+
+TEST(PowerAnalyzerTest, AverageOfChangingSignal)
+{
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq, 50 * oneUs);
+    analyzer.addChannel("ch", [&] {
+        return eq.now() <= oneMs / 2 ? 1.0 : 3.0;
+    });
+    analyzer.arm();
+    eq.run(oneMs);
+    EXPECT_NEAR(analyzer.channel(0).average(), 2.0, 0.11);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).minSample, 1.0);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).maxSample, 3.0);
+}
+
+TEST(PowerAnalyzerTest, TraceCapturesTimestampedSamples)
+{
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq, 100 * oneUs);
+    analyzer.addChannel("ch", [] { return 0.5; });
+    analyzer.enableTrace(true);
+    analyzer.arm();
+    eq.run(oneMs);
+    const auto &trace = analyzer.channel(0).trace;
+    ASSERT_EQ(trace.size(), 10u);
+    EXPECT_EQ(trace.front().first, 100 * oneUs);
+    EXPECT_EQ(trace.back().first, oneMs);
+}
+
+TEST(PowerAnalyzerTest, ClearResetsStatistics)
+{
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq);
+    analyzer.addChannel("ch", [] { return 1.0; });
+    analyzer.arm();
+    eq.run(oneMs);
+    analyzer.disarm();
+    analyzer.clear();
+    EXPECT_EQ(analyzer.channel(0).samples, 0u);
+}
+
+TEST(PowerAnalyzerTest, AgreesWithExactAccountant)
+{
+    // Sampled average must converge to the exact integral for a
+    // piecewise-constant signal.
+    EventQueue eq;
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(1.0);
+    PowerComponent a(pm, "a", "g");
+    EnergyAccountant acc(pm, pd);
+    PowerAnalyzer analyzer("pa", eq, 10 * oneUs);
+    analyzer.addChannel("p", [&] { return pd.batteryPower(pm.totalPower()); });
+    analyzer.arm();
+
+    a.setPower(1.0, 0);
+    eq.run(10 * oneMs);
+    a.setPower(0.25, eq.now());
+    eq.run(40 * oneMs);
+
+    acc.integrateTo(eq.now());
+    const double exact = acc.batteryEnergy() / ticksToSeconds(eq.now());
+    EXPECT_NEAR(analyzer.channel(0).average(), exact, exact * 0.002);
+}
+
+TEST(ProcessScalingTest, PowerShrinksWithNode)
+{
+    EXPECT_LT(dynamicScale(ProcessNode::Nm22, ProcessNode::Nm14), 1.0);
+    EXPECT_LT(leakageScale(ProcessNode::Nm22, ProcessNode::Nm14), 1.0);
+    EXPECT_GT(dynamicScale(ProcessNode::Nm14, ProcessNode::Nm22), 1.0);
+}
+
+TEST(ProcessScalingTest, RoundTripIsIdentity)
+{
+    const double down = dynamicScale(ProcessNode::Nm22, ProcessNode::Nm14);
+    const double up = dynamicScale(ProcessNode::Nm14, ProcessNode::Nm22);
+    EXPECT_NEAR(down * up, 1.0, 1e-12);
+}
+
+TEST(ProcessScalingTest, MixedPowerKeepsFixedFraction)
+{
+    // A power that is 100% board-level (fixed) must not scale at all.
+    EXPECT_DOUBLE_EQ(
+        scaleMixedPower(1.0, 0.0, 0.0, ProcessNode::Nm22,
+                        ProcessNode::Nm14),
+        1.0);
+    // Fully-leakage power scales by the leakage factor.
+    EXPECT_DOUBLE_EQ(
+        scaleMixedPower(1.0, 1.0, 0.0, ProcessNode::Nm22,
+                        ProcessNode::Nm14),
+        leakageScale(ProcessNode::Nm22, ProcessNode::Nm14));
+}
+
+TEST(ProcessScalingTest, NodeNames)
+{
+    EXPECT_EQ(to_string(ProcessNode::Nm22), "22nm");
+    EXPECT_EQ(to_string(ProcessNode::Nm14), "14nm");
+}
+
+TEST(BreakdownTest, SharesSumToOne)
+{
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.74);
+    PowerComponent a(pm, "a", "processor");
+    PowerComponent b(pm, "b", "chipset");
+    a.setPower(0.010, 0);
+    b.setPower(0.030, 0);
+
+    const PowerBreakdown bd = snapshotBreakdown(pm, pd);
+    EXPECT_NEAR(bd.totalBattery, 0.040 / 0.74, 1e-9);
+    EXPECT_NEAR(bd.deliveryLoss, bd.totalBattery - 0.040, 1e-9);
+
+    double share_sum = 0;
+    for (const auto &e : bd.entries)
+        share_sum += e.share;
+    // Component shares plus the delivery-loss share cover everything.
+    EXPECT_NEAR(share_sum + bd.deliveryLoss / bd.totalBattery, 1.0, 1e-9);
+    EXPECT_NEAR(bd.groupShare("processor"), 0.25 * 0.74, 1e-9);
+}
+
+TEST(BreakdownTest, ComponentShareLookup)
+{
+    PowerModel pm;
+    const PowerDelivery pd = PowerDelivery::fixedEfficiency(1.0);
+    PowerComponent a(pm, "sram", "processor");
+    a.setPower(0.5, 0);
+    const PowerBreakdown bd = snapshotBreakdown(pm, pd);
+    EXPECT_DOUBLE_EQ(bd.componentShare("sram"), 1.0);
+    EXPECT_DOUBLE_EQ(bd.componentShare("nope"), 0.0);
+    EXPECT_FALSE(bd.toTable("t").toString().empty());
+}
+
+TEST(RailTest, PowerAndCurrentSumAttachedComponents)
+{
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    PowerComponent b(pm, "b", "g");
+    a.setPower(1.0, 0);
+    b.setPower(0.5, 0);
+
+    RailSet rails;
+    Rail &vcc = rails.add("vcc", 1.5);
+    rails.attach("vcc", a);
+    rails.attach("vcc", b);
+    EXPECT_DOUBLE_EQ(vcc.power(), 1.5);
+    EXPECT_DOUBLE_EQ(vcc.current(), 1.0);
+    EXPECT_EQ(vcc.componentCount(), 2u);
+}
+
+TEST(RailTest, DoubleAttachOrDuplicateRailFails)
+{
+    Logger::throwOnError(true);
+    PowerModel pm;
+    PowerComponent a(pm, "a", "g");
+    RailSet rails;
+    rails.add("vcc", 1.0);
+    EXPECT_THROW(rails.add("vcc", 2.0), SimError);
+    rails.attach("vcc", a);
+    EXPECT_THROW(rails.attach("vcc", a), SimError);
+    EXPECT_THROW(rails.find("nope"), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(RailTest, TableRendersAllRails)
+{
+    RailSet rails;
+    rails.add("vcc_aon", 1.0);
+    rails.add("vcc_compute", 0.7);
+    const std::string table = rails.toTable("rails").toString();
+    EXPECT_NE(table.find("vcc_aon"), std::string::npos);
+    EXPECT_NE(table.find("vcc_compute"), std::string::npos);
+}
+
+} // namespace

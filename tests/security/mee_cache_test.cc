@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the MEE metadata cache (set-associative, write-back, LRU).
+ */
+
+#include <gtest/gtest.h>
+
+#include "security/mee_cache.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+MetadataNode
+nodeWith(std::uint64_t seed)
+{
+    MetadataNode n;
+    for (unsigned i = 0; i < MetadataNode::arity; ++i)
+        n.counters[i] = seed + i;
+    n.mac = ~seed;
+    return n;
+}
+
+TEST(MetadataNodeTest, SerializeRoundTrip)
+{
+    const MetadataNode n = nodeWith(1234);
+    std::uint8_t buf[MetadataNode::storageBytes];
+    n.serialize(buf);
+    const MetadataNode m = MetadataNode::deserialize(buf);
+    EXPECT_EQ(m.counters, n.counters);
+    EXPECT_EQ(m.mac, n.mac);
+}
+
+TEST(MeeCacheTest, MissThenHit)
+{
+    MeeCache cache(16, 4);
+    const auto r1 = cache.access(1, nodeWith(1), false);
+    EXPECT_FALSE(r1.hit);
+    const auto r2 = cache.access(1, nodeWith(99), false);
+    EXPECT_TRUE(r2.hit);
+    // The stored node is authoritative; the second fill is ignored.
+    EXPECT_EQ(cache.nodeFor(1).counters[0], 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(MeeCacheTest, ContainsDoesNotPerturb)
+{
+    MeeCache cache(16, 4);
+    EXPECT_FALSE(cache.contains(5));
+    cache.access(5, nodeWith(5), false);
+    EXPECT_TRUE(cache.contains(5));
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(MeeCacheTest, DirtyEvictionReportsWriteback)
+{
+    MeeCache cache(2, 2); // one set, two ways
+    cache.access(1, nodeWith(1), true); // dirty
+    cache.access(2, nodeWith(2), false);
+    const auto r = cache.access(3, nodeWith(3), false); // evicts LRU (1)
+    ASSERT_TRUE(r.writeback.has_value());
+    EXPECT_EQ(r.writeback->first, 1u);
+    EXPECT_EQ(r.writeback->second.counters[0], 1u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(MeeCacheTest, CleanEvictionHasNoWriteback)
+{
+    MeeCache cache(2, 2);
+    cache.access(1, nodeWith(1), false);
+    cache.access(2, nodeWith(2), false);
+    const auto r = cache.access(3, nodeWith(3), false);
+    EXPECT_FALSE(r.writeback.has_value());
+}
+
+TEST(MeeCacheTest, LruPrefersRecentlyUsed)
+{
+    MeeCache cache(2, 2);
+    cache.access(1, nodeWith(1), false);
+    cache.access(2, nodeWith(2), false);
+    cache.access(1, nodeWith(1), false); // touch 1 -> 2 becomes LRU
+    cache.access(3, nodeWith(3), false); // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(MeeCacheTest, WriteHitMarksDirty)
+{
+    MeeCache cache(2, 2);
+    cache.access(1, nodeWith(1), false); // clean
+    cache.access(1, nodeWith(1), true);  // now dirty
+    const auto dirty = cache.flush();
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0].first, 1u);
+}
+
+TEST(MeeCacheTest, FlushReturnsAllDirtyAndEmpties)
+{
+    MeeCache cache(8, 4);
+    cache.access(1, nodeWith(1), true);
+    cache.access(2, nodeWith(2), false);
+    cache.access(3, nodeWith(3), true);
+    const auto dirty = cache.flush();
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(MeeCacheTest, InvalidateDropsWithoutWriteback)
+{
+    MeeCache cache(8, 4);
+    cache.access(1, nodeWith(1), true);
+    const std::uint64_t wb_before = cache.writebacks();
+    cache.invalidate();
+    EXPECT_EQ(cache.writebacks(), wb_before);
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(MeeCacheTest, NodeMutationThroughReferencePersists)
+{
+    MeeCache cache(8, 4);
+    cache.access(1, nodeWith(1), true);
+    cache.nodeFor(1).counters[0] = 777;
+    const auto dirty = cache.flush();
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_EQ(dirty[0].second.counters[0], 777u);
+}
+
+TEST(MeeCacheTest, CapacityGeometryChecks)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(MeeCache(7, 4), SimError);  // not a multiple
+    EXPECT_THROW(MeeCache(2, 4), SimError);  // smaller than one set
+    EXPECT_THROW(MeeCache(8, 0), SimError);  // zero ways
+    Logger::throwOnError(false);
+    MeeCache ok(8, 4);
+    EXPECT_EQ(ok.capacityNodes(), 8u);
+}
+
+TEST(MeeCacheTest, StreamingWorkloadMostlyHits)
+{
+    // Sequential line writes touch each metadata node 8 times
+    // (arity 8): expect ~7/8 hit rate.
+    MeeCache cache(64, 8);
+    for (std::uint64_t line = 0; line < 512; ++line)
+        cache.access(line / 8, nodeWith(line / 8), true);
+    const double hit_rate =
+        static_cast<double>(cache.hits()) /
+        static_cast<double>(cache.hits() + cache.misses());
+    EXPECT_NEAR(hit_rate, 7.0 / 8.0, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the integrity-tree layout math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "security/integrity_tree.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(TreeLayoutTest, PaperContextRegionShape)
+{
+    // 200 KB protected region (the paper's processor context):
+    // 3200 lines -> levels of 3200 / 400 / 50 / 7 counters.
+    TreeLayout t(200 << 10);
+    EXPECT_EQ(t.dataLines(), 3200u);
+    ASSERT_EQ(t.counterLevels(), 4u);
+    EXPECT_EQ(t.counterCount(0), 3200u);
+    EXPECT_EQ(t.counterCount(1), 400u);
+    EXPECT_EQ(t.counterCount(2), 50u);
+    EXPECT_EQ(t.counterCount(3), 7u);
+    EXPECT_EQ(t.counterNodes(0), 400u);
+    EXPECT_EQ(t.counterNodes(1), 50u);
+    EXPECT_EQ(t.counterNodes(2), 7u);
+    EXPECT_EQ(t.counterNodes(3), 1u);
+    EXPECT_EQ(t.dataMacNodes(), 400u);
+}
+
+TEST(TreeLayoutTest, MetadataFootprintIsModest)
+{
+    TreeLayout t(200 << 10);
+    // (400+50+7+1) + 400 = 858 nodes of 80 B = 68.6 KB, about a third
+    // of the protected data — and < 0.2% of a 64 MB SGX region.
+    EXPECT_EQ(t.totalNodes(), 858u);
+    EXPECT_EQ(t.metadataBytes(), 858u * 80u);
+    EXPECT_LT(t.metadataBytes(), (200u << 10) / 2);
+}
+
+TEST(TreeLayoutTest, SingleLineRegion)
+{
+    TreeLayout t(64);
+    EXPECT_EQ(t.dataLines(), 1u);
+    EXPECT_EQ(t.counterLevels(), 1u);
+    EXPECT_EQ(t.counterCount(0), 1u);
+    EXPECT_EQ(t.counterNodes(0), 1u);
+    EXPECT_EQ(t.dataMacNodes(), 1u);
+}
+
+TEST(TreeLayoutTest, ExactArityBoundary)
+{
+    // 8 lines = exactly one full counter group.
+    TreeLayout t(8 * 64);
+    EXPECT_EQ(t.counterLevels(), 1u);
+    EXPECT_EQ(t.counterNodes(0), 1u);
+
+    // 9 lines needs a second level.
+    TreeLayout t2(9 * 64);
+    EXPECT_EQ(t2.counterLevels(), 2u);
+    EXPECT_EQ(t2.counterNodes(0), 2u);
+    EXPECT_EQ(t2.counterCount(1), 2u);
+}
+
+TEST(TreeLayoutTest, OffsetsAreUniqueAndInRange)
+{
+    TreeLayout t(64 << 10);
+    std::vector<std::uint64_t> offsets;
+    for (unsigned level = 0; level < t.counterLevels(); ++level) {
+        for (std::uint64_t g = 0; g < t.counterNodes(level); ++g) {
+            offsets.push_back(
+                t.nodeOffset(NodeKind::CounterGroup, level, g));
+        }
+    }
+    for (std::uint64_t g = 0; g < t.dataMacNodes(); ++g)
+        offsets.push_back(t.nodeOffset(NodeKind::DataMacGroup, 0, g));
+
+    std::sort(offsets.begin(), offsets.end());
+    EXPECT_TRUE(std::adjacent_find(offsets.begin(), offsets.end()) ==
+                offsets.end());
+    EXPECT_EQ(offsets.back() + MetadataNode::storageBytes,
+              t.metadataBytes());
+}
+
+TEST(TreeLayoutTest, NodeKeysUnique)
+{
+    const std::uint64_t a = TreeLayout::nodeKey(NodeKind::CounterGroup, 0, 5);
+    const std::uint64_t b = TreeLayout::nodeKey(NodeKind::CounterGroup, 1, 5);
+    const std::uint64_t c = TreeLayout::nodeKey(NodeKind::DataMacGroup, 0, 5);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+}
+
+TEST(TreeLayoutTest, InvalidRegionPanics)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(TreeLayout(0), SimError);
+    EXPECT_THROW(TreeLayout(100), SimError); // not a multiple of 64
+    Logger::throwOnError(false);
+}
+
+TEST(TreeLayoutTest, BadLevelOrGroupPanics)
+{
+    Logger::throwOnError(true);
+    TreeLayout t(64 << 10);
+    EXPECT_THROW(t.counterCount(99), SimError);
+    EXPECT_THROW(t.nodeOffset(NodeKind::CounterGroup, 0,
+                              t.counterNodes(0)),
+                 SimError);
+    Logger::throwOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class EventQueueTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Logger::throwOnError(true); }
+    void TearDown() override { Logger::throwOnError(false); }
+
+    EventQueue eq;
+};
+
+TEST_F(EventQueueTest, StartsEmptyAtTimeZero)
+{
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+}
+
+TEST_F(EventQueueTest, ExecutesEventAtScheduledTime)
+{
+    Tick fired_at = -1;
+    Event ev("e", [&] { fired_at = eq.now(); });
+    eq.schedule(ev, 100);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 100);
+
+    eq.run();
+    EXPECT_EQ(fired_at, 100);
+    EXPECT_EQ(eq.now(), 100);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST_F(EventQueueTest, ExecutesInTimeOrder)
+{
+    std::vector<int> order;
+    Event a("a", [&] { order.push_back(1); });
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+    eq.schedule(c, 300);
+    eq.schedule(a, 100);
+    eq.schedule(b, 200);
+
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(EventQueueTest, SameTickOrderedByPriorityThenFifo)
+{
+    std::vector<int> order;
+    Event late("late", [&] { order.push_back(3); },
+               Event::statsPriority);
+    Event first("first", [&] { order.push_back(1); });
+    Event second("second", [&] { order.push_back(2); });
+    eq.schedule(late, 50);
+    eq.schedule(first, 50);
+    eq.schedule(second, 50);
+
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(EventQueueTest, SchedulingInThePastPanics)
+{
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(a, 100);
+    eq.run();
+    EXPECT_THROW(eq.schedule(b, 50), SimError);
+}
+
+TEST_F(EventQueueTest, DoubleSchedulePanics)
+{
+    Event a("a", [] {});
+    eq.schedule(a, 10);
+    EXPECT_THROW(eq.schedule(a, 20), SimError);
+}
+
+TEST_F(EventQueueTest, DescheduleRemovesEvent)
+{
+    bool fired = false;
+    Event a("a", [&] { fired = true; });
+    eq.schedule(a, 10);
+    eq.deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.now(), 0);
+}
+
+TEST_F(EventQueueTest, DescheduleUnscheduledPanics)
+{
+    Event a("a", [] {});
+    EXPECT_THROW(eq.deschedule(a), SimError);
+}
+
+TEST_F(EventQueueTest, RescheduleMovesEvent)
+{
+    Tick fired_at = -1;
+    Event a("a", [&] { fired_at = eq.now(); });
+    eq.schedule(a, 10);
+    eq.reschedule(a, 500);
+    eq.run();
+    EXPECT_EQ(fired_at, 500);
+}
+
+TEST_F(EventQueueTest, RescheduleUnscheduledIsSchedule)
+{
+    Tick fired_at = -1;
+    Event a("a", [&] { fired_at = eq.now(); });
+    eq.reschedule(a, 42);
+    eq.run();
+    EXPECT_EQ(fired_at, 42);
+}
+
+TEST_F(EventQueueTest, RunWithLimitStopsBeforeLaterEvents)
+{
+    int count = 0;
+    Event a("a", [&] { ++count; });
+    Event b("b", [&] { ++count; });
+    eq.schedule(a, 100);
+    eq.schedule(b, 200);
+
+    const std::uint64_t executed = eq.run(150);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 150);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST_F(EventQueueTest, RunWithLimitAdvancesTimeToLimit)
+{
+    eq.run(1000);
+    EXPECT_EQ(eq.now(), 1000);
+}
+
+TEST_F(EventQueueTest, EventAtLimitBoundaryExecutes)
+{
+    bool fired = false;
+    Event a("a", [&] { fired = true; });
+    eq.schedule(a, 100);
+    eq.run(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(EventQueueTest, SelfReschedulingEvent)
+{
+    int fires = 0;
+    Event tick("tick", [&] {
+        if (++fires < 5)
+            eq.scheduleAfter(tick, 10);
+    });
+    eq.schedule(tick, 10);
+    eq.run();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.now(), 50);
+}
+
+TEST_F(EventQueueTest, EventSchedulingAnotherEventAtSameTick)
+{
+    std::vector<int> order;
+    Event b("b", [&] { order.push_back(2); });
+    Event a("a", [&] {
+        order.push_back(1);
+        eq.schedule(b, eq.now());
+    });
+    eq.schedule(a, 10);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(EventQueueTest, StepExecutesExactlyOne)
+{
+    int count = 0;
+    Event a("a", [&] { ++count; });
+    Event b("b", [&] { ++count; });
+    eq.schedule(a, 1);
+    eq.schedule(b, 2);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST_F(EventQueueTest, AdvanceToMovesTime)
+{
+    eq.advanceTo(777);
+    EXPECT_EQ(eq.now(), 777);
+}
+
+TEST_F(EventQueueTest, AdvanceToBackwardsPanics)
+{
+    eq.advanceTo(100);
+    EXPECT_THROW(eq.advanceTo(50), SimError);
+}
+
+TEST_F(EventQueueTest, AdvanceToOverPendingEventPanics)
+{
+    Event a("a", [] {});
+    eq.schedule(a, 10);
+    EXPECT_THROW(eq.advanceTo(20), SimError);
+}
+
+TEST_F(EventQueueTest, ExecutedEventsCounter)
+{
+    Event a("a", [] {});
+    Event b("b", [] {});
+    eq.schedule(a, 1);
+    eq.schedule(b, 2);
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 2u);
+}
+
+TEST_F(EventQueueTest, DestructorOfScheduledEventDeschedules)
+{
+    {
+        Event a("a", [] {});
+        eq.schedule(a, 10);
+    }
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 0u);
+}
+
+TEST_F(EventQueueTest, CancelThenRescheduleUsesNewTime)
+{
+    Tick fired_at = -1;
+    Event a("a", [&] { fired_at = eq.now(); });
+    eq.schedule(a, 100);
+    eq.deschedule(a);
+    eq.schedule(a, 300);
+    eq.run();
+    EXPECT_EQ(fired_at, 300);
+    EXPECT_EQ(eq.executedEvents(), 1u);
+}
+
+TEST(TickConversions, RoundTripSecondsTicks)
+{
+    EXPECT_EQ(secondsToTicks(1.0), oneSec);
+    EXPECT_EQ(secondsToTicks(1e-3), oneMs);
+    EXPECT_EQ(secondsToTicks(1e-6), oneUs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneMs), 1e-3);
+}
+
+TEST(TickConversions, FrequencyPeriodInverse)
+{
+    EXPECT_EQ(frequencyToPeriod(1e9), oneNs);
+    // The picosecond grid quantizes a 24 MHz period to ~8 ppm.
+    EXPECT_NEAR(periodToFrequency(frequencyToPeriod(24e6)), 24e6, 250.0);
+    // 32.768 kHz period is ~30.5 us.
+    EXPECT_NEAR(ticksToSeconds(frequencyToPeriod(32768.0)), 30.5e-6,
+                0.1e-6);
+}
+
+} // namespace

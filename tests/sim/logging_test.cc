@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the logging/error facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(LoggingTest, FatalThrowsInTestMode)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(fatal("bad config"), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(LoggingTest, PanicThrowsInTestMode)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(panic("bug"), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(LoggingTest, ErrorCarriesMessageAndLevel)
+{
+    Logger::throwOnError(true);
+    try {
+        fatal("value was ", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.level, LogLevel::Fatal);
+        EXPECT_STREQ(e.what(), "value was 42");
+    }
+    Logger::throwOnError(false);
+}
+
+TEST(LoggingTest, AssertMacroPassesAndFails)
+{
+    Logger::throwOnError(true);
+    EXPECT_NO_THROW(ODRIPS_ASSERT(1 + 1 == 2, "math works"));
+    EXPECT_THROW(ODRIPS_ASSERT(1 + 1 == 3, "math broke"), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(LoggingTest, WarnAndInformDoNotThrow)
+{
+    Logger::quiet(true);
+    EXPECT_NO_THROW(warn("soft issue ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+    Logger::quiet(false);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng r(4);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(10.0, 20.0);
+        EXPECT_GE(v, 10.0);
+        EXPECT_LT(v, 20.0);
+    }
+}
+
+TEST(RngTest, UniformIntWithinBound)
+{
+    Rng r(6);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.uniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues)
+{
+    Rng r(8);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[r.uniformInt(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 800); // each bucket should get ~1000
+}
+
+TEST(RngTest, UniformIntZeroBoundPanics)
+{
+    Logger::throwOnError(true);
+    Rng r(9);
+    EXPECT_THROW(r.uniformInt(0), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng r(10);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialNonNegative)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng r(12);
+    double sum = 0, sumsq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ChanceProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.chance(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the statistics framework and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/group.hh"
+#include "stats/histogram.hh"
+#include "stats/report.hh"
+#include "stats/stat.hh"
+
+using namespace odrips;
+using namespace odrips::stats;
+
+namespace
+{
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Scalar s(g, "count", "a counter");
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s -= 1;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(ScalarTest, SetOverwrites)
+{
+    StatGroup g("g");
+    Scalar s(g, "gauge", "a gauge");
+    s.set(12.5);
+    EXPECT_DOUBLE_EQ(s.value(), 12.5);
+}
+
+TEST(AverageTest, MeanOfSamples)
+{
+    StatGroup g("g");
+    Average a(g, "avg", "an average");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(DistributionTest, MinMaxMeanStddev)
+{
+    StatGroup g("g");
+    Distribution d(g, "dist", "a distribution");
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 15.0);
+    EXPECT_NEAR(d.stddev(), 1.5811, 1e-3);
+}
+
+TEST(DistributionTest, SingleSampleStddevZero)
+{
+    StatGroup g("g");
+    Distribution d(g, "dist", "");
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 7.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+}
+
+TEST(StatGroupTest, HierarchicalNames)
+{
+    StatGroup root("platform");
+    StatGroup child("pmu", &root);
+    EXPECT_EQ(child.fullName(), "platform.pmu");
+    EXPECT_EQ(root.children().size(), 1u);
+}
+
+TEST(StatGroupTest, ResetAllCascades)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a += 5;
+    b += 7;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(StatGroupTest, DumpContainsNamesAndUnits)
+{
+    StatGroup root("sys");
+    Scalar s(root, "energy", "total energy", "J");
+    s.set(1.5);
+    std::ostringstream os;
+    dumpStats(os, root);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sys.energy = 1.5 J"), std::string::npos);
+    EXPECT_NE(text.find("total energy"), std::string::npos);
+}
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, MismatchedRowWidthFails)
+{
+    Logger::throwOnError(true);
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(TableTest, SeparatorRows)
+{
+    Table t;
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_FALSE(t.toString().empty());
+}
+
+TEST(FormatTest, PowerUnits)
+{
+    EXPECT_EQ(fmtPower(2.5), "2.500 W");
+    EXPECT_EQ(fmtPower(0.060), "60.000 mW");
+    EXPECT_EQ(fmtPower(42e-6), "42.000 uW");
+}
+
+TEST(FormatTest, TimeUnits)
+{
+    EXPECT_EQ(fmtTime(30.0), "30.000 s");
+    EXPECT_EQ(fmtTime(1.5e-3), "1.500 ms");
+    EXPECT_EQ(fmtTime(18e-6), "18.000 us");
+    EXPECT_EQ(fmtTime(300e-9), "300.000 ns");
+}
+
+TEST(FormatTest, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.22), "22.0%");
+    EXPECT_EQ(fmtPercent(-0.05), "-5.0%");
+    EXPECT_EQ(fmtPercent(0.2235, 2), "22.35%");
+}
+
+TEST(FormatTest, FixedDigits)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+TEST(HistogramTest, BucketsAndEdges)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "latency", 0.0, 10.0, 10, "s");
+    h.sample(0.5);
+    h.sample(0.9);
+    h.sample(5.5);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(10), 10.0);
+}
+
+TEST(HistogramTest, UnderAndOverflow)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 0.0, 1.0, 4);
+    h.sample(-0.1);
+    h.sample(1.0); // hi is exclusive
+    h.sample(0.5);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+}
+
+TEST(HistogramTest, MeanIncludesOutOfRange)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 0.0, 1.0, 4);
+    h.sample(-1.0);
+    h.sample(3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(h.value(), 1.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.0), 0.0, 1.5);
+    EXPECT_NEAR(h.percentile(1.0), 100.0, 1.5);
+}
+
+TEST(HistogramTest, RenderProducesSparkline)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 0.0, 10.0, 20);
+    for (int i = 0; i < 50; ++i)
+        h.sample(5.0);
+    const std::string line = h.render(20);
+    EXPECT_EQ(line.size(), 20u);
+    EXPECT_NE(line.find('@'), std::string::npos);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 0.0, 1.0, 2);
+    h.sample(0.2);
+    h.sample(2.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflows(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(HistogramTest, InvalidConfigFails)
+{
+    Logger::throwOnError(true);
+    StatGroup g("g");
+    EXPECT_THROW(Histogram(g, "h", "", 1.0, 1.0, 4), SimError);
+    EXPECT_THROW(Histogram(g, "h", "", 0.0, 1.0, 0), SimError);
+    Logger::throwOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the fixed-point arithmetic backing the slow timer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "timing/fixed_point.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(FixedPointTest, FromIntegerRoundTrips)
+{
+    const FixedUint v = FixedUint::fromInteger(1234, 21);
+    EXPECT_EQ(v.integerPart(), 1234u);
+    EXPECT_EQ(v.fractionPart(), 0u);
+    EXPECT_EQ(v.fractionBits(), 21u);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 1234.0);
+}
+
+TEST(FixedPointTest, FromRatioExact)
+{
+    // 3/2 with 4 fraction bits = 1 + 8/16.
+    const FixedUint v = FixedUint::fromRatio(3, 2, 4);
+    EXPECT_EQ(v.integerPart(), 1u);
+    EXPECT_EQ(v.fractionPart(), 8u);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 1.5);
+}
+
+TEST(FixedPointTest, FromRatioTruncatesTowardZero)
+{
+    // 1/3 with 2 fraction bits: 0.333... -> floor(4/3)/4 = 1/4.
+    const FixedUint v = FixedUint::fromRatio(1, 3, 2);
+    EXPECT_EQ(v.integerPart(), 0u);
+    EXPECT_EQ(v.fractionPart(), 1u);
+}
+
+TEST(FixedPointTest, PaperRatio24MhzOver32Khz)
+{
+    // 24e6 / 32768 = 732.421875 exactly (= 46875/64).
+    const FixedUint v = FixedUint::fromRatio(24000000, 32768, 21);
+    EXPECT_EQ(v.integerPart(), 732u);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 732.421875);
+}
+
+TEST(FixedPointTest, AdditionCarriesIntoInteger)
+{
+    const FixedUint half = FixedUint::fromRatio(1, 2, 8);
+    const FixedUint one = half + half;
+    EXPECT_EQ(one.integerPart(), 1u);
+    EXPECT_EQ(one.fractionPart(), 0u);
+}
+
+TEST(FixedPointTest, PlusEqualsAccumulates)
+{
+    FixedUint acc(8);
+    const FixedUint step = FixedUint::fromRatio(5, 4, 8); // 1.25
+    for (int i = 0; i < 4; ++i)
+        acc += step;
+    EXPECT_DOUBLE_EQ(acc.toDouble(), 5.0);
+}
+
+TEST(FixedPointTest, TimesMatchesRepeatedAddition)
+{
+    const FixedUint step = FixedUint::fromRatio(24000000, 32768, 21);
+    FixedUint sum(21);
+    for (int i = 0; i < 1000; ++i)
+        sum += step;
+    EXPECT_EQ(sum.raw(), step.times(1000).raw());
+}
+
+TEST(FixedPointTest, TimesLargeCountNoOverflow)
+{
+    // One day of 32 kHz cycles times the paper's Step must fit in the
+    // 128-bit container: 2.8e9 cycles * 2^21 * 732 < 2^63 * 2^21.
+    const FixedUint step = FixedUint::fromRatio(24000000, 32768, 21);
+    const std::uint64_t cycles = 32768ULL * 86400ULL;
+    const FixedUint total = step.times(cycles);
+    EXPECT_NEAR(total.toDouble(), 24.0e6 * 86400.0, 1.0);
+}
+
+TEST(FixedPointTest, WidthMismatchPanics)
+{
+    Logger::throwOnError(true);
+    FixedUint a(8);
+    FixedUint b(9);
+    EXPECT_THROW(a += b, SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(FixedPointTest, ComparisonOperators)
+{
+    const FixedUint a = FixedUint::fromRatio(1, 2, 8);
+    const FixedUint b = FixedUint::fromRatio(3, 4, 8);
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(FixedPointTest, ZeroDenominatorPanics)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(FixedUint::fromRatio(1, 0, 8), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(FixedPointTest, ToStringShowsParts)
+{
+    const FixedUint v = FixedUint::fromRatio(3, 2, 4);
+    EXPECT_NE(v.toString().find("1"), std::string::npos);
+}
+
+} // namespace

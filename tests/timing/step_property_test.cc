@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property-style parameterized tests for the Step representation math
+ * (Eqs. 2-4) across clock pairs used by other architectures the paper
+ * cites (24 MHz and 100 MHz fast clocks, various RTC-class slow clocks)
+ * and across precision targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/crystal.hh"
+#include "timing/step_calibrator.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+struct ClockPair
+{
+    double fastHz;
+    double slowHz;
+};
+
+class StepRepresentationTest : public ::testing::TestWithParam<ClockPair>
+{
+};
+
+TEST_P(StepRepresentationTest, IntegerBitsCoverTheRatio)
+{
+    const ClockPair c = GetParam();
+    const unsigned m =
+        StepCalibrator::requiredIntegerBits(c.fastHz, c.slowHz);
+    const double ratio = c.fastHz / c.slowHz;
+    // Eq. 2 property: 2^(m-1) <= ratio < 2^m.
+    EXPECT_LE(std::ldexp(1.0, static_cast<int>(m) - 1), ratio);
+    EXPECT_GT(std::ldexp(1.0, static_cast<int>(m)), ratio);
+}
+
+TEST_P(StepRepresentationTest, FractionBitsSatisfyEq4)
+{
+    const ClockPair c = GetParam();
+    for (std::uint64_t precision : {std::uint64_t{1000000},
+                                    std::uint64_t{1000000000}}) {
+        const unsigned f = StepCalibrator::requiredFractionBits(
+            c.fastHz, c.slowHz, precision);
+        const double ratio = c.fastHz / c.slowHz;
+        const double bound =
+            (static_cast<double>(precision) - 1.0) / ratio;
+        // Eq. 4 property: 2^f > bound and f is minimal.
+        EXPECT_GT(std::ldexp(1.0, static_cast<int>(f)), bound);
+        if (f > 0) {
+            EXPECT_LE(std::ldexp(1.0, static_cast<int>(f) - 1), bound);
+        }
+    }
+}
+
+TEST_P(StepRepresentationTest, CalibrationDriftMeetsTarget)
+{
+    const ClockPair c = GetParam();
+    // Worst-case-ish crystal corner.
+    Crystal fast("f", c.fastHz, 42.0, 0.0);
+    Crystal slow("s", c.slowHz, -27.0, 0.0);
+    StepCalibrator cal(fast, slow);
+
+    const unsigned f = StepCalibrator::requiredFractionBits(
+        c.fastHz, c.slowHz, 1000000000ULL);
+    const CalibrationResult r = cal.calibrate(f);
+
+    // Drift over one hour of slow-clock cycles stays below 1 ppb.
+    const std::uint64_t slow_cycles =
+        static_cast<std::uint64_t>(c.slowHz * 3600.0);
+    EXPECT_LT(std::abs(cal.evaluateDriftPpb(r, slow_cycles)), 1.0)
+        << "fast " << c.fastHz << " slow " << c.slowHz << " f=" << f;
+}
+
+TEST_P(StepRepresentationTest, StepTimesCyclesTracksWallClock)
+{
+    const ClockPair c = GetParam();
+    Crystal fast("f", c.fastHz, 0.0, 0.0);
+    Crystal slow("s", c.slowHz, 0.0, 0.0);
+    StepCalibrator cal(fast, slow);
+    const CalibrationResult r = cal.calibrateForPpb();
+
+    // After k slow cycles, Step * k approximates k * ratio to within
+    // k quantization steps.
+    for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{1000},
+                            std::uint64_t{1000000}}) {
+        const double estimated = r.step.times(k).toDouble();
+        const double exact =
+            static_cast<double>(k) * (c.fastHz / c.slowHz);
+        const double quantum =
+            static_cast<double>(k) /
+            std::ldexp(1.0, static_cast<int>(r.fractionBits));
+        EXPECT_NEAR(estimated, exact, quantum + 1.0) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClockPairs, StepRepresentationTest,
+    ::testing::Values(ClockPair{24.0e6, 32768.0},   // the paper's pair
+                      ClockPair{100.0e6, 32768.0},  // Sandy Bridge class
+                      ClockPair{19.2e6, 32768.0},   // phone SoC XO
+                      ClockPair{24.0e6, 32000.0},   // non-binary RTC
+                      ClockPair{38.4e6, 32768.0},
+                      ClockPair{24.0e6, 1000.0},    // very slow backup
+                      ClockPair{65536.0, 32768.0}), // degenerate 2:1
+    [](const ::testing::TestParamInfo<ClockPair> &info) {
+        return std::to_string(
+                   static_cast<long long>(info.param.fastHz)) +
+               "_over_" +
+               std::to_string(static_cast<long long>(info.param.slowHz));
+    });
+
+} // namespace

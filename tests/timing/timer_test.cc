@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the fast/slow timers and the wake-timer handover protocol
+ * (paper Sec. 4.1.2 / Fig. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/clock_domain.hh"
+#include "clock/crystal.hh"
+#include "sim/logging.hh"
+#include "timing/fast_timer.hh"
+#include "timing/slow_timer.hh"
+#include "timing/step_calibrator.hh"
+#include "timing/wake_timer_unit.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class TimerFixture : public ::testing::Test
+{
+  protected:
+    TimerFixture()
+        : xtal24("x24", 24.0e6, 18.0, 1.8e-3),
+          xtal32("x32", 32768.0, -35.0, 0.3e-3),
+          fastClk("fast", xtal24), slowClk("slow", xtal32),
+          unit("wtu", fastClk, slowClk, xtal24, 16, 30 * oneUs)
+    {
+        StepCalibrator cal(xtal24, xtal32);
+        unit.applyCalibration(cal.calibrateForPpb());
+    }
+
+    Crystal xtal24;
+    Crystal xtal32;
+    ClockDomain fastClk;
+    ClockDomain slowClk;
+    WakeTimerUnit unit;
+};
+
+TEST(FastTimerTest, CountsAtClockRate)
+{
+    Crystal x("x", 1.0e9, 0.0, 0.0); // 1 ns period
+    ClockDomain clk("clk", x);
+    FastTimer t(clk);
+    t.load(100, 0);
+    EXPECT_EQ(t.valueAt(0), 100u);
+    EXPECT_EQ(t.valueAt(10 * oneNs), 110u);
+}
+
+TEST(FastTimerTest, HaltFreezesValue)
+{
+    Crystal x("x", 1.0e9, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    FastTimer t(clk);
+    t.load(0, 0);
+    t.halt(5 * oneNs);
+    EXPECT_FALSE(t.running());
+    EXPECT_EQ(t.valueAt(100 * oneNs), 5u);
+}
+
+TEST(FastTimerTest, TickWhenReachesTarget)
+{
+    Crystal x("x", 1.0e9, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    FastTimer t(clk);
+    t.load(0, 0);
+    EXPECT_EQ(t.tickWhenReaches(10, 0), 10 * oneNs);
+    EXPECT_EQ(t.tickWhenReaches(0, 3 * oneNs), 3 * oneNs); // already met
+    t.halt(0);
+    EXPECT_EQ(t.tickWhenReaches(10, 0), maxTick);
+}
+
+TEST(FastTimerTest, ReadInThePastPanics)
+{
+    Logger::throwOnError(true);
+    Crystal x("x", 1.0e9, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    FastTimer t(clk);
+    t.load(0, 100);
+    EXPECT_THROW(t.valueAt(50), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(SlowTimerTest, AdvancesByStepPerSlowCycle)
+{
+    Crystal x("x", 32768.0, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    SlowTimer t(clk);
+    t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
+    t.load(1000, 0);
+
+    const Tick one_cycle = clk.period();
+    // After one slow cycle the integer part advanced by ~732.
+    EXPECT_EQ(t.valueAt(one_cycle), 1000u + 732u);
+    // After 64 cycles the fractional parts have accumulated exactly:
+    // 64 * 732.421875 = 46875.
+    EXPECT_EQ(t.valueAt(64 * one_cycle), 1000u + 46875u);
+}
+
+TEST(SlowTimerTest, HaltFreezes)
+{
+    Crystal x("x", 32768.0, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    SlowTimer t(clk);
+    t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
+    t.load(0, 0);
+    t.halt(10 * clk.period());
+    const std::uint64_t frozen = t.valueAt(10 * clk.period());
+    EXPECT_EQ(t.valueAt(1000 * clk.period()), frozen);
+}
+
+TEST(SlowTimerTest, TickWhenReachesHasSlowGranularity)
+{
+    Crystal x("x", 32768.0, 0.0, 0.0);
+    ClockDomain clk("clk", x);
+    SlowTimer t(clk);
+    t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
+    t.load(0, 0);
+
+    // Target 733 fast counts needs 2 slow cycles (732.42 per cycle).
+    EXPECT_EQ(t.tickWhenReaches(733, 0), 2 * clk.period());
+    // Target 1 needs a single cycle.
+    EXPECT_EQ(t.tickWhenReaches(1, 0), clk.period());
+    // Already reached -> immediate.
+    EXPECT_EQ(t.tickWhenReaches(0, 5), 5);
+}
+
+TEST_F(TimerFixture, LoadCompensatesPmlLatency)
+{
+    unit.loadFromProcessor(5000, 0);
+    EXPECT_EQ(unit.mode(), WakeTimerUnit::Mode::Fast);
+    // The compensation constant (16 fast cycles) is already added.
+    EXPECT_EQ(unit.valueAt(0), 5016u);
+}
+
+TEST_F(TimerFixture, SwitchToSlowWaitsForSlowEdge)
+{
+    unit.loadFromProcessor(0, 0);
+    const Tick request = 10 * oneUs;
+    const HandoverRecord rec = unit.switchToSlow(request);
+
+    EXPECT_EQ(unit.mode(), WakeTimerUnit::Mode::Slow);
+    EXPECT_GE(rec.edge, request);
+    // The wait is bounded by one slow period (~30.5 us).
+    EXPECT_LE(rec.edge - request, slowClk.period());
+    // The 24 MHz crystal is now off and its domain gated.
+    EXPECT_FALSE(xtal24.enabled());
+    EXPECT_FALSE(fastClk.running());
+}
+
+TEST_F(TimerFixture, SwitchToFastRestartsCrystal)
+{
+    unit.loadFromProcessor(0, 0);
+    unit.switchToSlow(oneUs);
+    const Tick wake = 500 * oneUs;
+    const HandoverRecord rec = unit.switchToFast(wake);
+
+    EXPECT_EQ(unit.mode(), WakeTimerUnit::Mode::Fast);
+    EXPECT_TRUE(xtal24.enabled());
+    EXPECT_TRUE(fastClk.running());
+    // Restart latency (30 us) plus at most one slow period.
+    EXPECT_GE(rec.completed - wake, unit.xtalRestartLatency());
+    EXPECT_LE(rec.completed - wake,
+              unit.xtalRestartLatency() + slowClk.period());
+}
+
+TEST_F(TimerFixture, RoundTripKeepsCountingAccurate)
+{
+    // Load the timer, spend ~2 s in slow mode, switch back, and check
+    // the total count against the elapsed wall-clock time.
+    unit.loadFromProcessor(0, 0);
+    unit.switchToSlow(100 * oneUs);
+    const HandoverRecord back = unit.switchToFast(2 * oneSec);
+
+    const Tick read_at = back.completed + oneMs;
+    const std::uint64_t counted = unit.valueAt(read_at);
+    const double expected =
+        ticksToSeconds(read_at) * xtal24.actualHz() + 16.0;
+
+    // Error budget: quantization at both handover edges plus the 1 ppb
+    // calibrated drift over 2 s (~0.05 cycles) — a few fast cycles.
+    EXPECT_NEAR(static_cast<double>(counted), expected, 3.0);
+}
+
+TEST_F(TimerFixture, LongSlowDwellDriftStaysSmall)
+{
+    unit.loadFromProcessor(0, 0);
+    unit.switchToSlow(0);
+    // 60 s in slow mode.
+    const HandoverRecord back = unit.switchToFast(60 * oneSec);
+    const std::uint64_t counted = unit.valueAt(back.completed);
+    const double expected =
+        ticksToSeconds(back.completed) * xtal24.actualHz() + 16.0;
+    // Error budget: 1 ppb calibration drift over 60 s is ~1.4 cycles;
+    // the dominant term is the simulator's picosecond grid, which
+    // quantizes the 32 kHz period to ~7e-9 relative (~10 cycles of
+    // 24 MHz over 60 s). The handover edges add ~1 cycle each.
+    EXPECT_NEAR(static_cast<double>(counted), expected, 25.0);
+}
+
+TEST_F(TimerFixture, DeliverToProcessorAddsCompensation)
+{
+    unit.loadFromProcessor(0, 0);
+    const std::uint64_t local = unit.valueAt(oneMs);
+    EXPECT_EQ(unit.deliverToProcessor(oneMs), local + 16);
+}
+
+TEST_F(TimerFixture, WakeTickHonoursMode)
+{
+    unit.loadFromProcessor(0, 0);
+    const std::uint64_t target = 24000; // ~1 ms of fast cycles
+    const Tick fast_wake = unit.wakeTickFor(target, 0);
+    EXPECT_NEAR(ticksToSeconds(fast_wake), 1e-3, 1e-6);
+
+    unit.switchToSlow(0);
+    const Tick slow_wake = unit.wakeTickFor(target, oneUs);
+    // Slow-mode wake has ~30.5 us granularity but still lands near
+    // the 1 ms mark.
+    EXPECT_NEAR(ticksToSeconds(slow_wake), 1e-3, 35e-6);
+}
+
+TEST_F(TimerFixture, SwitchToSlowTwicePanics)
+{
+    Logger::throwOnError(true);
+    unit.loadFromProcessor(0, 0);
+    unit.switchToSlow(0);
+    EXPECT_THROW(unit.switchToSlow(oneMs), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST_F(TimerFixture, SwitchWithoutCalibrationPanics)
+{
+    Logger::throwOnError(true);
+    Crystal x24("x", 24.0e6, 0.0, 0.0);
+    Crystal x32("s", 32768.0, 0.0, 0.0);
+    ClockDomain f("f", x24), s("s", x32);
+    WakeTimerUnit fresh("fresh", f, s, x24, 16, 30 * oneUs);
+    fresh.loadFromProcessor(0, 0);
+    EXPECT_THROW(fresh.switchToSlow(0), SimError);
+    Logger::throwOnError(false);
+}
+
+} // namespace

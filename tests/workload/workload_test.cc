@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for wake sources and standby workload generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/standby_workload.hh"
+#include "workload/wake_source.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(WakeSourceTest, KernelTimerIsPeriodic)
+{
+    Rng rng(1);
+    KernelTimerSource src(30 * oneSec);
+    const WakeEvent a = src.nextAfter(0, rng);
+    EXPECT_EQ(a.time, 30 * oneSec);
+    EXPECT_EQ(a.reason, WakeReason::KernelTimer);
+    const WakeEvent b = src.nextAfter(a.time, rng);
+    EXPECT_EQ(b.time, 60 * oneSec);
+}
+
+TEST(WakeSourceTest, JitterStaysBounded)
+{
+    Rng rng(2);
+    KernelTimerSource src(30 * oneSec, 0.1);
+    for (int i = 0; i < 200; ++i) {
+        const WakeEvent e = src.nextAfter(0, rng);
+        EXPECT_GE(e.time, 27 * oneSec);
+        EXPECT_LE(e.time, 33 * oneSec);
+    }
+}
+
+TEST(WakeSourceTest, PoissonMeanInterval)
+{
+    Rng rng(3);
+    PoissonSource src(WakeReason::Network, 10.0);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += ticksToSeconds(src.nextAfter(0, rng).time);
+    EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(WakeSourceTest, CombinedPicksEarliest)
+{
+    Rng rng(4);
+    CombinedWakeSource combined;
+    combined.add(std::make_unique<KernelTimerSource>(30 * oneSec));
+    combined.add(std::make_unique<KernelTimerSource>(10 * oneSec));
+    const WakeEvent e = combined.nextAfter(0, rng);
+    EXPECT_EQ(e.time, 10 * oneSec);
+}
+
+TEST(WakeSourceTest, ReasonNames)
+{
+    EXPECT_STREQ(to_string(WakeReason::KernelTimer), "kernel-timer");
+    EXPECT_STREQ(to_string(WakeReason::Network), "network");
+    EXPECT_STREQ(to_string(WakeReason::User), "user");
+}
+
+TEST(StandbyCycleTest, ActiveDurationScalesWithFrequency)
+{
+    StandbyCycle c;
+    c.cpuCycles = 80000000; // 100 ms at 0.8 GHz
+    c.stallTime = 50 * oneMs;
+    EXPECT_NEAR(ticksToSeconds(c.activeDuration(0.8e9)), 0.150, 1e-6);
+    // Doubling the frequency halves only the CPU-bound part.
+    EXPECT_NEAR(ticksToSeconds(c.activeDuration(1.6e9)), 0.100, 1e-6);
+}
+
+TEST(WorkloadGeneratorTest, MatchesConfiguredShape)
+{
+    WorkloadConfig cfg;
+    cfg.idleDwellSeconds = 30.0;
+    cfg.activeMinSeconds = 0.1;
+    cfg.activeMaxSeconds = 0.3;
+    cfg.scalableFraction = 0.7;
+    cfg.seed = 11;
+    StandbyWorkloadGenerator gen(cfg);
+    const StandbyTrace trace = gen.generate(200);
+
+    ASSERT_EQ(trace.cycles.size(), 200u);
+    EXPECT_NEAR(trace.meanIdleSeconds(), 30.0, 1.0);
+    const double active = trace.meanActiveSeconds(0.8e9);
+    EXPECT_GT(active, 0.15);
+    EXPECT_LT(active, 0.25);
+
+    for (const StandbyCycle &c : trace.cycles) {
+        const double total = ticksToSeconds(c.activeDuration(0.8e9));
+        EXPECT_GE(total, 0.1 - 1e-6);
+        EXPECT_LE(total, 0.3 + 1e-6);
+        // 70/30 split between CPU-bound and stall time.
+        EXPECT_NEAR(ticksToSeconds(c.stallTime) / total, 0.3, 0.01);
+    }
+}
+
+TEST(WorkloadGeneratorTest, DeterministicForSeed)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 42;
+    StandbyWorkloadGenerator a(cfg), b(cfg);
+    const StandbyTrace ta = a.generate(20), tb = b.generate(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(ta.cycles[i].idleDwell, tb.cycles[i].idleDwell);
+        EXPECT_EQ(ta.cycles[i].cpuCycles, tb.cycles[i].cpuCycles);
+    }
+}
+
+TEST(WorkloadGeneratorTest, NetworkWakesShortenDwell)
+{
+    WorkloadConfig quiet;
+    quiet.seed = 5;
+    WorkloadConfig chatty = quiet;
+    chatty.networkWakeMeanSeconds = 10.0;
+
+    StandbyWorkloadGenerator a(quiet), b(chatty);
+    EXPECT_GT(a.generate(100).meanIdleSeconds(),
+              b.generate(100).meanIdleSeconds());
+}
+
+TEST(WorkloadGeneratorTest, FixedTraceIsUniform)
+{
+    const StandbyTrace trace = StandbyWorkloadGenerator::fixed(
+        10, 5 * oneMs, 150 * oneMs, 0.7, 0.8e9);
+    ASSERT_EQ(trace.cycles.size(), 10u);
+    for (const StandbyCycle &c : trace.cycles) {
+        EXPECT_EQ(c.idleDwell, 5 * oneMs);
+        EXPECT_NEAR(ticksToSeconds(c.activeDuration(0.8e9)), 0.150,
+                    1e-6);
+    }
+}
+
+TEST(StandbyTraceTest, SerializeParseRoundTrip)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 9;
+    StandbyWorkloadGenerator gen(cfg);
+    const StandbyTrace trace = gen.generate(25);
+
+    const StandbyTrace parsed = StandbyTrace::parse(trace.serialize());
+    ASSERT_EQ(parsed.cycles.size(), trace.cycles.size());
+    for (std::size_t i = 0; i < trace.cycles.size(); ++i) {
+        EXPECT_EQ(parsed.cycles[i].idleDwell, trace.cycles[i].idleDwell);
+        EXPECT_EQ(parsed.cycles[i].cpuCycles, trace.cycles[i].cpuCycles);
+        EXPECT_EQ(parsed.cycles[i].stallTime, trace.cycles[i].stallTime);
+        EXPECT_EQ(parsed.cycles[i].reason, trace.cycles[i].reason);
+    }
+}
+
+TEST(StandbyTraceTest, ParseRejectsGarbage)
+{
+    Logger::throwOnError(true);
+    EXPECT_THROW(StandbyTrace::parse("not a trace line"), SimError);
+    Logger::throwOnError(false);
+}
+
+TEST(StandbyTraceTest, ParseSkipsCommentsAndBlanks)
+{
+    const StandbyTrace t =
+        StandbyTrace::parse("# comment\n\n1000 2000 3000 0\n");
+    ASSERT_EQ(t.cycles.size(), 1u);
+    EXPECT_EQ(t.cycles[0].idleDwell, 1000);
+}
+
+TEST(CoalescingTest, ZeroWindowChangesNothing)
+{
+    WorkloadConfig cfg;
+    cfg.networkWakeMeanSeconds = 10.0;
+    cfg.seed = 21;
+    StandbyWorkloadGenerator gen(cfg);
+    const StandbyTrace t = gen.generate(50);
+    EXPECT_EQ(t.totalCoalesced(), 0u);
+}
+
+TEST(CoalescingTest, WindowAbsorbsNetworkWakes)
+{
+    WorkloadConfig base;
+    base.networkWakeMeanSeconds = 10.0;
+    base.seed = 22;
+    WorkloadConfig merged = base;
+    merged.coalescingWindowSeconds = 20.0;
+
+    StandbyWorkloadGenerator a(base), b(merged);
+    const StandbyTrace raw = a.generate(60);
+    const StandbyTrace coal = b.generate(60);
+
+    EXPECT_GT(coal.totalCoalesced(), 0u);
+    // Coalescing lengthens the mean dwell (fewer early wakes).
+    EXPECT_GT(coal.meanIdleSeconds(), raw.meanIdleSeconds());
+
+    // Network-reason cycles become rarer.
+    auto network_count = [](const StandbyTrace &t) {
+        std::size_t n = 0;
+        for (const StandbyCycle &c : t.cycles)
+            n += c.reason == WakeReason::Network;
+        return n;
+    };
+    EXPECT_LT(network_count(coal), network_count(raw));
+}
+
+TEST(CoalescingTest, CoalescedCyclesCarryExtraWork)
+{
+    WorkloadConfig cfg;
+    cfg.networkWakeMeanSeconds = 10.0;
+    cfg.coalescingWindowSeconds = 25.0;
+    cfg.seed = 23;
+    StandbyWorkloadGenerator gen(cfg);
+    const StandbyTrace t = gen.generate(80);
+
+    double merged_mean = 0.0, plain_mean = 0.0;
+    std::size_t merged_n = 0, plain_n = 0;
+    for (const StandbyCycle &c : t.cycles) {
+        const double active = ticksToSeconds(c.activeDuration(0.8e9));
+        if (c.coalesced > 0) {
+            merged_mean += active;
+            ++merged_n;
+        } else {
+            plain_mean += active;
+            ++plain_n;
+        }
+    }
+    ASSERT_GT(merged_n, 0u);
+    ASSERT_GT(plain_n, 0u);
+    EXPECT_GT(merged_mean / merged_n, plain_mean / plain_n);
+}
+
+TEST(CoalescingTest, TraceRoundTripKeepsCoalescedField)
+{
+    WorkloadConfig cfg;
+    cfg.networkWakeMeanSeconds = 8.0;
+    cfg.coalescingWindowSeconds = 20.0;
+    cfg.seed = 24;
+    StandbyWorkloadGenerator gen(cfg);
+    const StandbyTrace t = gen.generate(30);
+    const StandbyTrace parsed = StandbyTrace::parse(t.serialize());
+    EXPECT_EQ(parsed.totalCoalesced(), t.totalCoalesced());
+}
+
+TEST(CoalescingTest, OldTraceFormatStillParses)
+{
+    const StandbyTrace t =
+        StandbyTrace::parse("1000 2000 3000 0\n"); // four fields
+    ASSERT_EQ(t.cycles.size(), 1u);
+    EXPECT_EQ(t.cycles[0].coalesced, 0u);
+}
+
+} // namespace
