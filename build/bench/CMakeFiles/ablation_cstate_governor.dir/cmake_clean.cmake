@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cstate_governor.dir/ablation_cstate_governor.cpp.o"
+  "CMakeFiles/ablation_cstate_governor.dir/ablation_cstate_governor.cpp.o.d"
+  "ablation_cstate_governor"
+  "ablation_cstate_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cstate_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

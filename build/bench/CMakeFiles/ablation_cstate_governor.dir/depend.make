@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_cstate_governor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mee_cache.dir/ablation_mee_cache.cpp.o"
+  "CMakeFiles/ablation_mee_cache.dir/ablation_mee_cache.cpp.o.d"
+  "ablation_mee_cache"
+  "ablation_mee_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mee_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

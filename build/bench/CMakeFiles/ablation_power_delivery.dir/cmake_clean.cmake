@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_delivery.dir/ablation_power_delivery.cpp.o"
+  "CMakeFiles/ablation_power_delivery.dir/ablation_power_delivery.cpp.o.d"
+  "ablation_power_delivery"
+  "ablation_power_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step_precision.dir/ablation_step_precision.cpp.o"
+  "CMakeFiles/ablation_step_precision.dir/ablation_step_precision.cpp.o.d"
+  "ablation_step_precision"
+  "ablation_step_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wake_coalescing.dir/ablation_wake_coalescing.cpp.o"
+  "CMakeFiles/ablation_wake_coalescing.dir/ablation_wake_coalescing.cpp.o.d"
+  "ablation_wake_coalescing"
+  "ablation_wake_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wake_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

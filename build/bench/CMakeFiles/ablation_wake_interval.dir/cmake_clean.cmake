@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wake_interval.dir/ablation_wake_interval.cpp.o"
+  "CMakeFiles/ablation_wake_interval.dir/ablation_wake_interval.cpp.o.d"
+  "ablation_wake_interval"
+  "ablation_wake_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wake_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

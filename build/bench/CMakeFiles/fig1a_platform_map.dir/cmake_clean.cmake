@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_platform_map.dir/fig1a_platform_map.cpp.o"
+  "CMakeFiles/fig1a_platform_map.dir/fig1a_platform_map.cpp.o.d"
+  "fig1a_platform_map"
+  "fig1a_platform_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_platform_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

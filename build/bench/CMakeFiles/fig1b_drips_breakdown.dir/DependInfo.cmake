@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1b_drips_breakdown.cpp" "bench/CMakeFiles/fig1b_drips_breakdown.dir/fig1b_drips_breakdown.cpp.o" "gcc" "bench/CMakeFiles/fig1b_drips_breakdown.dir/fig1b_drips_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/odrips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flows/CMakeFiles/odrips_flows.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odrips_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/odrips_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/odrips_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/odrips_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/odrips_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/odrips_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

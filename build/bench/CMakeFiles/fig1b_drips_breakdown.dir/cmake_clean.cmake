@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_drips_breakdown.dir/fig1b_drips_breakdown.cpp.o"
+  "CMakeFiles/fig1b_drips_breakdown.dir/fig1b_drips_breakdown.cpp.o.d"
+  "fig1b_drips_breakdown"
+  "fig1b_drips_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_drips_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

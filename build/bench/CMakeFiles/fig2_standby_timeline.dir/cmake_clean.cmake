@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_standby_timeline.dir/fig2_standby_timeline.cpp.o"
+  "CMakeFiles/fig2_standby_timeline.dir/fig2_standby_timeline.cpp.o.d"
+  "fig2_standby_timeline"
+  "fig2_standby_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_standby_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_techniques.dir/fig6a_techniques.cpp.o"
+  "CMakeFiles/fig6a_techniques.dir/fig6a_techniques.cpp.o.d"
+  "fig6a_techniques"
+  "fig6a_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_core_freq.dir/fig6b_core_freq.cpp.o"
+  "CMakeFiles/fig6b_core_freq.dir/fig6b_core_freq.cpp.o.d"
+  "fig6b_core_freq"
+  "fig6b_core_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_core_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_dram_freq.dir/fig6c_dram_freq.cpp.o"
+  "CMakeFiles/fig6c_dram_freq.dir/fig6c_dram_freq.cpp.o.d"
+  "fig6c_dram_freq"
+  "fig6c_dram_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_dram_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

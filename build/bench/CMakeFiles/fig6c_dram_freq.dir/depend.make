@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_dram_freq.
+# This may be replaced when dependencies are built.

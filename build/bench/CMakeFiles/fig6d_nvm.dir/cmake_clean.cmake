@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_nvm.dir/fig6d_nvm.cpp.o"
+  "CMakeFiles/fig6d_nvm.dir/fig6d_nvm.cpp.o.d"
+  "fig6d_nvm"
+  "fig6d_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_timer_calibration.dir/sec4_timer_calibration.cpp.o"
+  "CMakeFiles/sec4_timer_calibration.dir/sec4_timer_calibration.cpp.o.d"
+  "sec4_timer_calibration"
+  "sec4_timer_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_timer_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

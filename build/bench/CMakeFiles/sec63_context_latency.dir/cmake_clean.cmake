@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_context_latency.dir/sec63_context_latency.cpp.o"
+  "CMakeFiles/sec63_context_latency.dir/sec63_context_latency.cpp.o.d"
+  "sec63_context_latency"
+  "sec63_context_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_context_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

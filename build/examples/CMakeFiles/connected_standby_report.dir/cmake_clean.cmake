@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_standby_report.dir/connected_standby_report.cpp.o"
+  "CMakeFiles/connected_standby_report.dir/connected_standby_report.cpp.o.d"
+  "connected_standby_report"
+  "connected_standby_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_standby_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_futures.dir/nvm_futures.cpp.o"
+  "CMakeFiles/nvm_futures.dir/nvm_futures.cpp.o.d"
+  "nvm_futures"
+  "nvm_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

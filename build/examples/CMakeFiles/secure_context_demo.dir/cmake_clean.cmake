@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_context_demo.dir/secure_context_demo.cpp.o"
+  "CMakeFiles/secure_context_demo.dir/secure_context_demo.cpp.o.d"
+  "secure_context_demo"
+  "secure_context_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_context_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standby_cli.dir/standby_cli.cpp.o"
+  "CMakeFiles/standby_cli.dir/standby_cli.cpp.o.d"
+  "standby_cli"
+  "standby_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standby_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_handover_demo.dir/timer_handover_demo.cpp.o"
+  "CMakeFiles/timer_handover_demo.dir/timer_handover_demo.cpp.o.d"
+  "timer_handover_demo"
+  "timer_handover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_handover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

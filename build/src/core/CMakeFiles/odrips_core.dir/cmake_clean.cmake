@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_core.dir/breakeven.cc.o"
+  "CMakeFiles/odrips_core.dir/breakeven.cc.o.d"
+  "CMakeFiles/odrips_core.dir/experiment.cc.o"
+  "CMakeFiles/odrips_core.dir/experiment.cc.o.d"
+  "CMakeFiles/odrips_core.dir/governor.cc.o"
+  "CMakeFiles/odrips_core.dir/governor.cc.o.d"
+  "CMakeFiles/odrips_core.dir/memory_dvfs.cc.o"
+  "CMakeFiles/odrips_core.dir/memory_dvfs.cc.o.d"
+  "CMakeFiles/odrips_core.dir/profile.cc.o"
+  "CMakeFiles/odrips_core.dir/profile.cc.o.d"
+  "CMakeFiles/odrips_core.dir/standby_simulator.cc.o"
+  "CMakeFiles/odrips_core.dir/standby_simulator.cc.o.d"
+  "libodrips_core.a"
+  "libodrips_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_flows.dir/context_fsm.cc.o"
+  "CMakeFiles/odrips_flows.dir/context_fsm.cc.o.d"
+  "CMakeFiles/odrips_flows.dir/flow_sequence.cc.o"
+  "CMakeFiles/odrips_flows.dir/flow_sequence.cc.o.d"
+  "CMakeFiles/odrips_flows.dir/standby_flows.cc.o"
+  "CMakeFiles/odrips_flows.dir/standby_flows.cc.o.d"
+  "libodrips_flows.a"
+  "libodrips_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/aon_io.cc" "src/io/CMakeFiles/odrips_io.dir/aon_io.cc.o" "gcc" "src/io/CMakeFiles/odrips_io.dir/aon_io.cc.o.d"
+  "/root/repo/src/io/gpio.cc" "src/io/CMakeFiles/odrips_io.dir/gpio.cc.o" "gcc" "src/io/CMakeFiles/odrips_io.dir/gpio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

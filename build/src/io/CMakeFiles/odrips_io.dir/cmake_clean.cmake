@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_io.dir/aon_io.cc.o"
+  "CMakeFiles/odrips_io.dir/aon_io.cc.o.d"
+  "CMakeFiles/odrips_io.dir/gpio.cc.o"
+  "CMakeFiles/odrips_io.dir/gpio.cc.o.d"
+  "libodrips_io.a"
+  "libodrips_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

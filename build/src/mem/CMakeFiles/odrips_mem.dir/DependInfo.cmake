@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/odrips_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/odrips_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/odrips_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/odrips_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/odrips_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/odrips_mem.dir/memory_controller.cc.o.d"
+  "/root/repo/src/mem/nvm.cc" "src/mem/CMakeFiles/odrips_mem.dir/nvm.cc.o" "gcc" "src/mem/CMakeFiles/odrips_mem.dir/nvm.cc.o.d"
+  "/root/repo/src/mem/sram.cc" "src/mem/CMakeFiles/odrips_mem.dir/sram.cc.o" "gcc" "src/mem/CMakeFiles/odrips_mem.dir/sram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

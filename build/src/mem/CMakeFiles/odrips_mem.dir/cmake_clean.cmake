@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_mem.dir/backing_store.cc.o"
+  "CMakeFiles/odrips_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/odrips_mem.dir/dram.cc.o"
+  "CMakeFiles/odrips_mem.dir/dram.cc.o.d"
+  "CMakeFiles/odrips_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/odrips_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/odrips_mem.dir/nvm.cc.o"
+  "CMakeFiles/odrips_mem.dir/nvm.cc.o.d"
+  "CMakeFiles/odrips_mem.dir/sram.cc.o"
+  "CMakeFiles/odrips_mem.dir/sram.cc.o.d"
+  "libodrips_mem.a"
+  "libodrips_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

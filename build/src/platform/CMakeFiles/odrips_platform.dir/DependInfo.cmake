@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/board.cc" "src/platform/CMakeFiles/odrips_platform.dir/board.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/board.cc.o.d"
+  "/root/repo/src/platform/chipset.cc" "src/platform/CMakeFiles/odrips_platform.dir/chipset.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/chipset.cc.o.d"
+  "/root/repo/src/platform/config.cc" "src/platform/CMakeFiles/odrips_platform.dir/config.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/config.cc.o.d"
+  "/root/repo/src/platform/context.cc" "src/platform/CMakeFiles/odrips_platform.dir/context.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/context.cc.o.d"
+  "/root/repo/src/platform/cstate.cc" "src/platform/CMakeFiles/odrips_platform.dir/cstate.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/cstate.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/odrips_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/platform.cc.o.d"
+  "/root/repo/src/platform/processor.cc" "src/platform/CMakeFiles/odrips_platform.dir/processor.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/processor.cc.o.d"
+  "/root/repo/src/platform/techniques.cc" "src/platform/CMakeFiles/odrips_platform.dir/techniques.cc.o" "gcc" "src/platform/CMakeFiles/odrips_platform.dir/techniques.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/odrips_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/odrips_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/odrips_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/odrips_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

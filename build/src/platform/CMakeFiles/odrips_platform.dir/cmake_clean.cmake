@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_platform.dir/board.cc.o"
+  "CMakeFiles/odrips_platform.dir/board.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/chipset.cc.o"
+  "CMakeFiles/odrips_platform.dir/chipset.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/config.cc.o"
+  "CMakeFiles/odrips_platform.dir/config.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/context.cc.o"
+  "CMakeFiles/odrips_platform.dir/context.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/cstate.cc.o"
+  "CMakeFiles/odrips_platform.dir/cstate.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/platform.cc.o"
+  "CMakeFiles/odrips_platform.dir/platform.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/processor.cc.o"
+  "CMakeFiles/odrips_platform.dir/processor.cc.o.d"
+  "CMakeFiles/odrips_platform.dir/techniques.cc.o"
+  "CMakeFiles/odrips_platform.dir/techniques.cc.o.d"
+  "libodrips_platform.a"
+  "libodrips_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breakdown.cc" "src/power/CMakeFiles/odrips_power.dir/breakdown.cc.o" "gcc" "src/power/CMakeFiles/odrips_power.dir/breakdown.cc.o.d"
+  "/root/repo/src/power/power_analyzer.cc" "src/power/CMakeFiles/odrips_power.dir/power_analyzer.cc.o" "gcc" "src/power/CMakeFiles/odrips_power.dir/power_analyzer.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/odrips_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/odrips_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/process_scaling.cc" "src/power/CMakeFiles/odrips_power.dir/process_scaling.cc.o" "gcc" "src/power/CMakeFiles/odrips_power.dir/process_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

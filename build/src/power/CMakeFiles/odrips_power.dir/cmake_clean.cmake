@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_power.dir/breakdown.cc.o"
+  "CMakeFiles/odrips_power.dir/breakdown.cc.o.d"
+  "CMakeFiles/odrips_power.dir/power_analyzer.cc.o"
+  "CMakeFiles/odrips_power.dir/power_analyzer.cc.o.d"
+  "CMakeFiles/odrips_power.dir/power_model.cc.o"
+  "CMakeFiles/odrips_power.dir/power_model.cc.o.d"
+  "CMakeFiles/odrips_power.dir/process_scaling.cc.o"
+  "CMakeFiles/odrips_power.dir/process_scaling.cc.o.d"
+  "libodrips_power.a"
+  "libodrips_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

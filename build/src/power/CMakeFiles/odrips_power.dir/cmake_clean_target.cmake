@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodrips_power.a"
+)

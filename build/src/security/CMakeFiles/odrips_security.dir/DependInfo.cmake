@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/ctr_mode.cc" "src/security/CMakeFiles/odrips_security.dir/ctr_mode.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/ctr_mode.cc.o.d"
+  "/root/repo/src/security/integrity_tree.cc" "src/security/CMakeFiles/odrips_security.dir/integrity_tree.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/integrity_tree.cc.o.d"
+  "/root/repo/src/security/mee.cc" "src/security/CMakeFiles/odrips_security.dir/mee.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/mee.cc.o.d"
+  "/root/repo/src/security/mee_cache.cc" "src/security/CMakeFiles/odrips_security.dir/mee_cache.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/mee_cache.cc.o.d"
+  "/root/repo/src/security/sha256.cc" "src/security/CMakeFiles/odrips_security.dir/sha256.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/sha256.cc.o.d"
+  "/root/repo/src/security/speck.cc" "src/security/CMakeFiles/odrips_security.dir/speck.cc.o" "gcc" "src/security/CMakeFiles/odrips_security.dir/speck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/odrips_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

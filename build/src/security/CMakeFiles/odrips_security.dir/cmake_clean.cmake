@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_security.dir/ctr_mode.cc.o"
+  "CMakeFiles/odrips_security.dir/ctr_mode.cc.o.d"
+  "CMakeFiles/odrips_security.dir/integrity_tree.cc.o"
+  "CMakeFiles/odrips_security.dir/integrity_tree.cc.o.d"
+  "CMakeFiles/odrips_security.dir/mee.cc.o"
+  "CMakeFiles/odrips_security.dir/mee.cc.o.d"
+  "CMakeFiles/odrips_security.dir/mee_cache.cc.o"
+  "CMakeFiles/odrips_security.dir/mee_cache.cc.o.d"
+  "CMakeFiles/odrips_security.dir/sha256.cc.o"
+  "CMakeFiles/odrips_security.dir/sha256.cc.o.d"
+  "CMakeFiles/odrips_security.dir/speck.cc.o"
+  "CMakeFiles/odrips_security.dir/speck.cc.o.d"
+  "libodrips_security.a"
+  "libodrips_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

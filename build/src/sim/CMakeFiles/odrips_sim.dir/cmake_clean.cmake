@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_sim.dir/event_queue.cc.o"
+  "CMakeFiles/odrips_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/odrips_sim.dir/logging.cc.o"
+  "CMakeFiles/odrips_sim.dir/logging.cc.o.d"
+  "CMakeFiles/odrips_sim.dir/random.cc.o"
+  "CMakeFiles/odrips_sim.dir/random.cc.o.d"
+  "libodrips_sim.a"
+  "libodrips_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

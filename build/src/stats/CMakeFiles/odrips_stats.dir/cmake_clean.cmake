@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_stats.dir/group.cc.o"
+  "CMakeFiles/odrips_stats.dir/group.cc.o.d"
+  "CMakeFiles/odrips_stats.dir/histogram.cc.o"
+  "CMakeFiles/odrips_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/odrips_stats.dir/report.cc.o"
+  "CMakeFiles/odrips_stats.dir/report.cc.o.d"
+  "CMakeFiles/odrips_stats.dir/stat.cc.o"
+  "CMakeFiles/odrips_stats.dir/stat.cc.o.d"
+  "libodrips_stats.a"
+  "libodrips_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

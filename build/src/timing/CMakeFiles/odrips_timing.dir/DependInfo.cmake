@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/fixed_point.cc" "src/timing/CMakeFiles/odrips_timing.dir/fixed_point.cc.o" "gcc" "src/timing/CMakeFiles/odrips_timing.dir/fixed_point.cc.o.d"
+  "/root/repo/src/timing/step_calibrator.cc" "src/timing/CMakeFiles/odrips_timing.dir/step_calibrator.cc.o" "gcc" "src/timing/CMakeFiles/odrips_timing.dir/step_calibrator.cc.o.d"
+  "/root/repo/src/timing/wake_timer_unit.cc" "src/timing/CMakeFiles/odrips_timing.dir/wake_timer_unit.cc.o" "gcc" "src/timing/CMakeFiles/odrips_timing.dir/wake_timer_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

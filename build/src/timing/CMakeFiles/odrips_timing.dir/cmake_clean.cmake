@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_timing.dir/fixed_point.cc.o"
+  "CMakeFiles/odrips_timing.dir/fixed_point.cc.o.d"
+  "CMakeFiles/odrips_timing.dir/step_calibrator.cc.o"
+  "CMakeFiles/odrips_timing.dir/step_calibrator.cc.o.d"
+  "CMakeFiles/odrips_timing.dir/wake_timer_unit.cc.o"
+  "CMakeFiles/odrips_timing.dir/wake_timer_unit.cc.o.d"
+  "libodrips_timing.a"
+  "libodrips_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

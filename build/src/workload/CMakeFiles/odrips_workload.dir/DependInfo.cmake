@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/standby_workload.cc" "src/workload/CMakeFiles/odrips_workload.dir/standby_workload.cc.o" "gcc" "src/workload/CMakeFiles/odrips_workload.dir/standby_workload.cc.o.d"
+  "/root/repo/src/workload/wake_source.cc" "src/workload/CMakeFiles/odrips_workload.dir/wake_source.cc.o" "gcc" "src/workload/CMakeFiles/odrips_workload.dir/wake_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odrips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/odrips_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/odrips_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/odrips_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/odrips_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/odrips_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odrips_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/odrips_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrips_workload.dir/standby_workload.cc.o"
+  "CMakeFiles/odrips_workload.dir/standby_workload.cc.o.d"
+  "CMakeFiles/odrips_workload.dir/wake_source.cc.o"
+  "CMakeFiles/odrips_workload.dir/wake_source.cc.o.d"
+  "libodrips_workload.a"
+  "libodrips_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrips_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

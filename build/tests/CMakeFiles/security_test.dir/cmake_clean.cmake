@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_test.dir/security/crypto_test.cc.o"
+  "CMakeFiles/security_test.dir/security/crypto_test.cc.o.d"
+  "CMakeFiles/security_test.dir/security/mee_cache_test.cc.o"
+  "CMakeFiles/security_test.dir/security/mee_cache_test.cc.o.d"
+  "CMakeFiles/security_test.dir/security/mee_property_test.cc.o"
+  "CMakeFiles/security_test.dir/security/mee_property_test.cc.o.d"
+  "CMakeFiles/security_test.dir/security/mee_test.cc.o"
+  "CMakeFiles/security_test.dir/security/mee_test.cc.o.d"
+  "CMakeFiles/security_test.dir/security/tree_layout_test.cc.o"
+  "CMakeFiles/security_test.dir/security/tree_layout_test.cc.o.d"
+  "security_test"
+  "security_test.pdb"
+  "security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
