@@ -11,26 +11,40 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/memory_dvfs.hh"
 #include "core/odrips.hh"
+#include "exec/parallel_sweep.hh"
 
 using namespace odrips;
 
 int
-main()
+main(int argc, char **argv)
 {
     Logger::quiet(true);
+    exec::setDefaultJobs(resolveJobs(argc, argv));
 
     std::cout << "ABLATION: memory DVFS (the paper's Sec. 8.2 "
                  "suggestion) under ODRIPS\n\n";
 
-    for (double mem_bound : {0.0, 0.3, 0.8}) {
-        MemoryDvfsConfig dvfs;
-        dvfs.memBoundFraction = mem_bound;
+    // Each scenario explores every DVFS operating point on fresh
+    // platforms; the three shard across the pool, tables print in
+    // order afterwards.
+    const std::vector<double> mem_bounds = {0.0, 0.3, 0.8};
+    const auto scenario_points = exec::parallelSweep(
+        "memory-dvfs-sweep", mem_bounds.size(),
+        [&](const exec::SweepPoint &point) {
+            MemoryDvfsConfig dvfs;
+            dvfs.memBoundFraction = mem_bounds[point.index];
+            return exploreMemoryDvfs(skylakeConfig(),
+                                     TechniqueSet::odrips(), dvfs);
+        });
 
-        const auto points = exploreMemoryDvfs(
-            skylakeConfig(), TechniqueSet::odrips(), dvfs);
+    for (std::size_t scenario = 0; scenario < mem_bounds.size();
+         ++scenario) {
+        const double mem_bound = mem_bounds[scenario];
+        const auto &points = scenario_points[scenario];
 
         stats::Table table("memory-bound stall share = " +
                            stats::fmtPercent(mem_bound));
@@ -72,5 +86,6 @@ main()
                  "committing globally, which is exactly why the paper "
                  "rejects static\ndown-clocking but endorses DVFS "
                  "(Sec. 8.2).\n";
+    stats::printSweepReport(std::cerr);
     return 0;
 }

@@ -8,19 +8,22 @@
 
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "core/odrips.hh"
+#include "exec/parallel_sweep.hh"
 
 using namespace odrips;
 
 int
-main()
+main(int argc, char **argv)
 {
     Logger::quiet(true);
+    exec::setDefaultJobs(resolveJobs(argc, argv));
 
     Crystal fast("f", 24.0e6, 18.0, 0.0);
     Crystal slow("s", 32768.0, -35.0, 0.0);
-    StepCalibrator cal(fast, slow);
+    const StepCalibrator cal(fast, slow);
 
     std::cout << "ABLATION: Step fraction bits vs counting drift\n"
               << "(crystals at +18 / -35 ppm; drift over 1 hour in "
@@ -31,15 +34,23 @@ main()
                      " 1 ppb", "meets 1 ppm"});
 
     const std::uint64_t hour = 32768ULL * 3600ULL;
-    for (unsigned f = 6; f <= 26; f += 2) {
-        const CalibrationResult r = cal.calibrate(f);
-        const double ppb = std::abs(cal.evaluateDriftPpb(r, hour));
-        table.addRow({std::to_string(f),
-                      stats::fmtTime(r.durationSeconds),
-                      stats::fmt(ppb, 3) + " ppb",
-                      ppb < 1.0 ? "yes" : "no",
-                      ppb < 1000.0 ? "yes" : "no"});
-    }
+    std::vector<unsigned> widths;
+    for (unsigned f = 6; f <= 26; f += 2)
+        widths.push_back(f);
+    const auto rows = exec::parallelSweep(
+        "step-precision-sweep", widths.size(),
+        [&](const exec::SweepPoint &point) -> std::vector<std::string> {
+            const unsigned f = widths[point.index];
+            const CalibrationResult r = cal.calibrate(f);
+            const double ppb = std::abs(cal.evaluateDriftPpb(r, hour));
+            return {std::to_string(f),
+                    stats::fmtTime(r.durationSeconds),
+                    stats::fmt(ppb, 3) + " ppb",
+                    ppb < 1.0 ? "yes" : "no",
+                    ppb < 1000.0 ? "yes" : "no"};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     table.print(std::cout);
 
     const unsigned f_req = StepCalibrator::requiredFractionBits(
@@ -48,5 +59,6 @@ main()
               << " (paper: 21). Each extra bit halves the residual "
                  "quantization\nbut doubles the one-time calibration "
                  "window.\n";
+    stats::printSweepReport(std::cerr);
     return 0;
 }

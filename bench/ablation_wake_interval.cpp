@@ -7,15 +7,18 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/odrips.hh"
+#include "exec/parallel_sweep.hh"
 
 using namespace odrips;
 
 int
-main()
+main(int argc, char **argv)
 {
     Logger::quiet(true);
+    exec::setDefaultJobs(resolveJobs(argc, argv));
 
     const PlatformConfig cfg = skylakeConfig();
     const CyclePowerProfile base =
@@ -31,17 +34,24 @@ main()
                      "savings"});
 
     const Tick active = 150 * oneMs;
-    for (double dwell_s : {0.002, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
-                           10.0, 30.0, 60.0, 120.0}) {
-        const Tick dwell = secondsToTicks(dwell_s);
-        const double p_base = averagePowerEq1(base, dwell, active, 0.7);
-        const double p_odrips =
-            averagePowerEq1(odrips, dwell, active, 0.7);
-        table.addRow({stats::fmtTime(dwell_s),
-                      stats::fmtPower(p_base),
-                      stats::fmtPower(p_odrips),
-                      stats::fmtPercent(1.0 - p_odrips / p_base)});
-    }
+    const std::vector<double> dwells = {0.002, 0.005, 0.01, 0.05,
+                                        0.1,   0.5,   1.0,  5.0,
+                                        10.0,  30.0,  60.0, 120.0};
+    const auto rows = exec::parallelSweep(
+        "wake-interval-sweep", dwells.size(),
+        [&](const exec::SweepPoint &point) -> std::vector<std::string> {
+            const double dwell_s = dwells[point.index];
+            const Tick dwell = secondsToTicks(dwell_s);
+            const double p_base =
+                averagePowerEq1(base, dwell, active, 0.7);
+            const double p_odrips =
+                averagePowerEq1(odrips, dwell, active, 0.7);
+            return {stats::fmtTime(dwell_s), stats::fmtPower(p_base),
+                    stats::fmtPower(p_odrips),
+                    stats::fmtPercent(1.0 - p_odrips / p_base)};
+        });
+    for (const auto &row : rows)
+        table.addRow(row);
     table.print(std::cout);
 
     std::cout << "\nAsymptotes: avg power -> idle power as the dwell "
@@ -52,5 +62,6 @@ main()
               << stats::fmtPercent(1.0 -
                                    odrips.idlePower / base.idlePower)
               << " of DRIPS power.\n";
+    stats::printSweepReport(std::cerr);
     return 0;
 }

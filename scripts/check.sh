@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Sanitizer CI gate.
+#
+# Two builds, two test selections:
+#  1. build-tsan:  -fsanitize=thread on the exec/concurrency suites
+#     (`ctest -L odrips_tsan`) — catches data races in the thread pool
+#     and parallel sweep runner. TSan and ASan cannot be combined, so
+#     this is its own tree.
+#  2. build-asan:  -fsanitize=address,undefined on everything else
+#     (`ctest -LE odrips_tsan`).
+#
+# Usage: scripts/check.sh [tsan|asan]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+mode="${1:-all}"
+
+generator=()
+command -v ninja >/dev/null 2>&1 && generator=(-G Ninja)
+
+run_tsan() {
+    echo "== TSan build (ctest -L odrips_tsan) =="
+    cmake -B build-tsan "${generator[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build build-tsan -j "$jobs"
+    ctest --test-dir build-tsan -L odrips_tsan --output-on-failure -j "$jobs"
+}
+
+run_asan() {
+    echo "== ASan/UBSan build (ctest -LE odrips_tsan) =="
+    cmake -B build-asan "${generator[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined -g" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan -LE odrips_tsan --output-on-failure -j "$jobs"
+}
+
+case "$mode" in
+tsan) run_tsan ;;
+asan) run_asan ;;
+all)
+    run_tsan
+    run_asan
+    ;;
+*)
+    echo "usage: $0 [tsan|asan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all sanitizer suites passed"

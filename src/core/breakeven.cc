@@ -34,10 +34,19 @@ pinnedAverage(const CyclePowerProfile &p, Tick period, Tick active_cpu,
 
 } // namespace
 
+/** Outcome of one residency point (a pure function of the profiles). */
+struct SweepSample
+{
+    double pBase = 0.0;
+    double pTech = 0.0;
+    bool feasible = false;
+};
+
 BreakevenResult
 findBreakeven(const CyclePowerProfile &technique,
               const CyclePowerProfile &baseline,
-              const BreakevenSweep &sweep, std::size_t curve_points)
+              const BreakevenSweep &sweep, std::size_t curve_points,
+              const exec::ExecPolicy &policy)
 {
     ODRIPS_ASSERT(sweep.step > 0 && sweep.end > sweep.start,
                   "bad break-even sweep");
@@ -55,27 +64,44 @@ findBreakeven(const CyclePowerProfile &technique,
     const std::size_t stride =
         std::max<std::size_t>(1, total_points / curve_points);
 
-    std::size_t index = 0;
-    for (Tick dwell = sweep.start; dwell <= sweep.end;
-         dwell += sweep.step, ++index) {
-        // The swept quantity is the *baseline's* DRIPS residency; both
-        // designs share the wall-clock period it implies.
-        const Tick period = dwell + base_trans + sweep.activeWindow;
+    // Phase 1 — evaluate every residency point. The points are
+    // independent, so they shard across the pool; the result vector is
+    // index-ordered and bit-identical for any worker count.
+    const std::vector<SweepSample> samples = exec::parallelSweep(
+        "breakeven-sweep", total_points,
+        [&](const exec::SweepPoint &point) {
+            const Tick dwell =
+                sweep.start + static_cast<Tick>(point.index) * sweep.step;
+            // The swept quantity is the *baseline's* DRIPS residency;
+            // both designs share the wall-clock period it implies.
+            const Tick period = dwell + base_trans + sweep.activeWindow;
 
-        bool base_ok = true;
-        bool tech_ok = true;
-        const double p_base = pinnedAverage(baseline, period, active_cpu,
-                                            active_stall, base_ok);
-        const double p_tech = pinnedAverage(technique, period, active_cpu,
-                                            active_stall, tech_ok);
+            SweepSample sample;
+            bool base_ok = true;
+            bool tech_ok = true;
+            sample.pBase = pinnedAverage(baseline, period, active_cpu,
+                                         active_stall, base_ok);
+            sample.pTech = pinnedAverage(technique, period, active_cpu,
+                                         active_stall, tech_ok);
+            sample.feasible = base_ok && tech_ok;
+            return sample;
+        },
+        policy);
 
-        if (base_ok && tech_ok && p_tech < p_base &&
+    // Phase 2 — ordered serial reduction: first winning dwell and the
+    // decimated curve, exactly as the historical serial loop produced.
+    for (std::size_t index = 0; index < samples.size(); ++index) {
+        const SweepSample &s = samples[index];
+        const Tick dwell =
+            sweep.start + static_cast<Tick>(index) * sweep.step;
+
+        if (s.feasible && s.pTech < s.pBase &&
             result.breakEvenDwell == maxTick) {
             result.breakEvenDwell = dwell;
         }
 
-        if (index % stride == 0 && base_ok && tech_ok)
-            result.curve.emplace_back(dwell, p_tech, p_base);
+        if (index % stride == 0 && s.feasible)
+            result.curve.emplace_back(dwell, s.pTech, s.pBase);
     }
 
     // Closed form of the period-pinned equality: with overhead(x) =

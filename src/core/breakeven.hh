@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/profile.hh"
+#include "exec/parallel_sweep.hh"
 
 namespace odrips
 {
@@ -52,12 +53,18 @@ struct BreakevenResult
  * Sweep the idle dwell and find the break-even point of @p technique
  * against @p baseline.
  *
+ * The ~10k sweep points are independent and are sharded across the
+ * worker pool per @p policy (default: --jobs / ODRIPS_JOBS /
+ * hardware); results are collected in index order, so the outcome is
+ * bit-identical to a serial run for any worker count.
+ *
  * @param curve_points number of (decimated) sweep samples to retain
  */
 BreakevenResult findBreakeven(const CyclePowerProfile &technique,
                               const CyclePowerProfile &baseline,
                               const BreakevenSweep &sweep = {},
-                              std::size_t curve_points = 24);
+                              std::size_t curve_points = 24,
+                              const exec::ExecPolicy &policy = {});
 
 } // namespace odrips
 

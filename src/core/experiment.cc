@@ -18,7 +18,7 @@ standardWorkloadAverage(const CyclePowerProfile &profile,
 TechniqueEvaluation
 evaluate(const PlatformConfig &cfg, const TechniqueSet &techniques,
          const CyclePowerProfile &baseline_profile,
-         double baseline_average)
+         double baseline_average, const exec::ExecPolicy &policy)
 {
     TechniqueEvaluation eval;
     eval.label = techniques.label();
@@ -33,13 +33,15 @@ evaluate(const PlatformConfig &cfg, const TechniqueSet &techniques,
 
     BreakevenSweep sweep;
     sweep.scalableFraction = cfg.workload.scalableFraction;
-    eval.breakEven =
-        findBreakeven(eval.profile, baseline_profile, sweep).breakEvenDwell;
+    eval.breakEven = findBreakeven(eval.profile, baseline_profile, sweep,
+                                   24, policy)
+                         .breakEvenDwell;
     return eval;
 }
 
 std::vector<TechniqueEvaluation>
-evaluateFig6aSet(const PlatformConfig &cfg)
+evaluateFig6aSet(const PlatformConfig &cfg,
+                 const exec::ExecPolicy &policy)
 {
     const CyclePowerProfile baseline_profile =
         measureCycleProfile(cfg, TechniqueSet::baseline());
@@ -56,12 +58,21 @@ evaluateFig6aSet(const PlatformConfig &cfg)
     base.breakEven = 0;
     out.push_back(std::move(base));
 
-    for (const TechniqueSet &t :
-         {TechniqueSet::wakeupOffOnly(), TechniqueSet::aonIoGated(),
-          TechniqueSet::ctxSgxDram(), TechniqueSet::odrips()}) {
-        out.push_back(evaluate(cfg, t, baseline_profile,
-                               baseline_average));
-    }
+    // Each evaluation measures on its own Platform/EventQueue, so the
+    // four techniques shard across the pool; the nested break-even
+    // sweep inside evaluate() runs inline on its worker.
+    const TechniqueSet sets[] = {
+        TechniqueSet::wakeupOffOnly(), TechniqueSet::aonIoGated(),
+        TechniqueSet::ctxSgxDram(), TechniqueSet::odrips()};
+    std::vector<TechniqueEvaluation> evals = exec::parallelSweep(
+        "fig6a-techniques", std::size(sets),
+        [&](const exec::SweepPoint &point) {
+            return evaluate(cfg, sets[point.index], baseline_profile,
+                            baseline_average, policy);
+        },
+        policy);
+    for (TechniqueEvaluation &eval : evals)
+        out.push_back(std::move(eval));
     return out;
 }
 

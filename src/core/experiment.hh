@@ -38,14 +38,19 @@ double standardWorkloadAverage(const CyclePowerProfile &profile,
 TechniqueEvaluation evaluate(const PlatformConfig &cfg,
                              const TechniqueSet &techniques,
                              const CyclePowerProfile &baseline_profile,
-                             double baseline_average);
+                             double baseline_average,
+                             const exec::ExecPolicy &policy = {});
 
 /**
  * The full Fig. 6(a) set: baseline, WAKE-UP-OFF, AON-IO-GATE,
  * CTX-SGX-DRAM, ODRIPS (first entry is the baseline itself).
+ *
+ * Each non-baseline evaluation runs its own Platform/EventQueue, so
+ * the four shard across the worker pool per @p policy; the returned
+ * vector is ordered and bit-identical for any worker count.
  */
 std::vector<TechniqueEvaluation> evaluateFig6aSet(
-    const PlatformConfig &cfg);
+    const PlatformConfig &cfg, const exec::ExecPolicy &policy = {});
 
 } // namespace odrips
 

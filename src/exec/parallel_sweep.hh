@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ParallelSweep: shard the independent points of an experiment sweep
+ * (break-even residency sweeps, ablation grids, technique sets) across
+ * a work-stealing thread pool with *ordered* result collection.
+ *
+ * Determinism contract: every point gets a dedicated output slot and a
+ * dedicated RNG stream forked from the sweep seed by point index
+ * (Rng::fork), so the result vector is bit-identical to the serial
+ * path for any worker count. Points must not share mutable state —
+ * simulation points build their own Platform/EventQueue.
+ *
+ * Nested sweeps (a parallel point that itself calls a parallel sweep,
+ * e.g. evaluateFig6aSet -> findBreakeven) run inline on the calling
+ * worker: this keeps the pool deadlock-free without changing results.
+ */
+
+#ifndef ODRIPS_EXEC_PARALLEL_SWEEP_HH
+#define ODRIPS_EXEC_PARALLEL_SWEEP_HH
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "sim/random.hh"
+#include "stats/sweep_meter.hh"
+
+namespace odrips::exec
+{
+
+/** How a sweep should be executed. */
+struct ExecPolicy
+{
+    /**
+     * Worker count: 0 = process default (--jobs / ODRIPS_JOBS /
+     * hardware, see defaultJobs()); 1 = serial inline (the opt-out).
+     */
+    unsigned jobs = 0;
+
+    /** Explicit pool to run on (its size wins over @c jobs > 1).
+     * Mostly for tests that need an exact worker count. */
+    ThreadPool *pool = nullptr;
+
+    /** Resolved worker count this policy will use. */
+    unsigned
+    resolvedJobs() const
+    {
+        if (pool)
+            return pool->size();
+        return jobs > 0 ? jobs : defaultJobs();
+    }
+};
+
+/** One point of a sweep: its index and its private RNG stream. */
+struct SweepPoint
+{
+    std::size_t index = 0;
+    /** Forked from the sweep seed by index; streams are independent
+     * across points and identical for any worker count. */
+    Rng rng;
+};
+
+/**
+ * Run @p n independent points through @p fn and collect the results in
+ * index order. @p fn is invoked as fn(const SweepPoint &) and its
+ * return type must be default-constructible.
+ *
+ * Records a stats::SweepRecord (wall-clock, points/sec, jobs) under
+ * @p name so every bench can report its sweep throughput.
+ */
+template <typename Fn>
+auto
+parallelSweep(const std::string &name, std::size_t n, Fn &&fn,
+              const ExecPolicy &policy = {},
+              std::uint64_t seed = 0x0d219500d219ULL)
+    -> std::vector<std::invoke_result_t<Fn &, const SweepPoint &>>
+{
+    using Result = std::invoke_result_t<Fn &, const SweepPoint &>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "sweep point results must be default-constructible");
+    static_assert(!std::is_same_v<Result, bool>,
+                  "std::vector<bool> slots are not thread-safe; wrap "
+                  "the flag in a struct");
+
+    const Rng base(seed);
+    std::vector<Result> out(n);
+
+    const auto runPoint = [&](std::size_t i) {
+        SweepPoint point;
+        point.index = i;
+        point.rng = base.fork(static_cast<std::uint64_t>(i));
+        out[i] = fn(static_cast<const SweepPoint &>(point));
+    };
+
+    // Nested parallel regions run inline on the owning worker.
+    ThreadPool *pool = nullptr;
+    std::unique_ptr<ThreadPool> transient;
+    if (!ThreadPool::current() && n > 1) {
+        if (policy.pool) {
+            pool = policy.pool;
+        } else if (policy.jobs == 0) {
+            pool = defaultPool(); // nullptr when the default is serial
+        } else if (policy.jobs > 1) {
+            transient = std::make_unique<ThreadPool>(policy.jobs);
+            pool = transient.get();
+        }
+    }
+    const unsigned jobs = pool ? pool->size() : 1;
+
+    stats::SweepMeter meter(name, n, jobs);
+
+    if (!pool || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            runPoint(i);
+        return out;
+    }
+
+    // Shard into contiguous ranges, a few per worker so the stealing
+    // deques can rebalance non-uniform points.
+    const std::size_t chunks =
+        std::min<std::size_t>(n, static_cast<std::size_t>(jobs) * 4);
+    const std::size_t grain = (n + chunks - 1) / chunks;
+
+    TaskGroup group(*pool);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+        const std::size_t end = std::min(n, begin + grain);
+        group.run([&runPoint, begin, end] {
+            for (std::size_t i = begin; i < end; ++i)
+                runPoint(i);
+        });
+    }
+    group.wait();
+    return out;
+}
+
+} // namespace odrips::exec
+
+#endif // ODRIPS_EXEC_PARALLEL_SWEEP_HH

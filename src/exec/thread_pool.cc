@@ -1,0 +1,206 @@
+#include "exec/thread_pool.hh"
+
+#include <atomic>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace odrips::exec
+{
+
+namespace
+{
+
+/** Pool owning the calling thread (set for the worker's lifetime). */
+thread_local ThreadPool *currentPool = nullptr;
+/** Index of the calling worker inside currentPool. */
+thread_local unsigned currentWorker = 0;
+
+std::atomic<unsigned> jobsOverride{0};
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    ODRIPS_ASSERT(threads > 0, "thread pool needs at least one worker");
+
+    queues.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        stopping = true;
+    }
+    sleepCv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        // Publish the task count *before* the task itself: a worker
+        // that grabs the task therefore always decrements after this
+        // increment, so `queued` can never underflow.
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        ++queued;
+        target = currentPool == this ? currentWorker
+                                     : nextVictim++ % queues.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues[target]->mutex);
+        queues[target]->tasks.push_back(std::move(task));
+    }
+    sleepCv.notify_one();
+}
+
+bool
+ThreadPool::popOwn(unsigned me, std::function<void()> &out)
+{
+    WorkerQueue &q = *queues[me];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    // Workers service their own deque back-first (depth-first).
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(unsigned me, std::function<void()> &out)
+{
+    const std::size_t n = queues.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        WorkerQueue &q = *queues[(me + off) % n];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        // Steal the oldest task from the victim's front.
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned me)
+{
+    currentPool = this;
+    currentWorker = me;
+    std::function<void()> task;
+    while (true) {
+        if (popOwn(me, task) || steal(me, task)) {
+            {
+                std::lock_guard<std::mutex> lock(sleepMutex);
+                --queued;
+            }
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        if (queued > 0)
+            continue; // posted but not yet pushed — rescan
+        if (stopping)
+            break; // every deque drained, safe to exit
+        sleepCv.wait(lock, [this] { return queued > 0 || stopping; });
+    }
+    currentPool = nullptr;
+}
+
+ThreadPool *
+ThreadPool::current()
+{
+    return currentPool;
+}
+
+TaskGroup::~TaskGroup()
+{
+    // Tasks reference this group; leaving them running would be a
+    // use-after-free. Absorb any exception: destructors must not throw.
+    try {
+        wait();
+    } catch (...) {
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++pending;
+    }
+    pool.post([this, task = std::move(task)] {
+        std::exception_ptr caught;
+        try {
+            task();
+        } catch (...) {
+            caught = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        if (caught && !error)
+            error = caught;
+        if (--pending == 0)
+            done.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return pending == 0; });
+    if (error) {
+        std::exception_ptr e = error;
+        error = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+unsigned
+defaultJobs()
+{
+    const unsigned override_jobs = jobsOverride.load();
+    return override_jobs > 0 ? override_jobs : hardwareJobs();
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    jobsOverride.store(jobs);
+}
+
+ThreadPool *
+defaultPool()
+{
+    const unsigned jobs = defaultJobs();
+    if (jobs <= 1)
+        return nullptr;
+    // Sized at first use; a later setDefaultJobs() does not resize it
+    // (callers that need an exact width pass their own pool).
+    static ThreadPool pool(jobs);
+    return &pool;
+}
+
+} // namespace odrips::exec

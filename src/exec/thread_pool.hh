@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Work-stealing thread pool for the parallel experiment runner.
+ *
+ * Each worker owns a deque of tasks: it pushes and pops at the back
+ * (LIFO, cache-friendly for task trees) and victims are robbed from the
+ * front (FIFO, takes the oldest — typically largest — work first).
+ * External submitters distribute round-robin across the worker deques.
+ *
+ * Determinism note: the pool never reorders *results* — ordered
+ * collection is the job of ParallelSweep, which gives every point a
+ * dedicated output slot. The pool only schedules.
+ */
+
+#ifndef ODRIPS_EXEC_THREAD_POOL_HH
+#define ODRIPS_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odrips::exec
+{
+
+/** A fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. Zero picks the process default
+     * (defaultJobs(), i.e. --jobs / ODRIPS_JOBS / hardware).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Queue a task. Called from a worker thread the task lands on that
+     * worker's own deque (depth-first); otherwise it is dealt
+     * round-robin across the workers.
+     */
+    void post(std::function<void()> task);
+
+    /**
+     * The pool whose worker is running the calling thread, or nullptr
+     * on a non-worker thread. Used to run nested parallel regions
+     * inline instead of deadlocking on a saturated pool.
+     */
+    static ThreadPool *current();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned me);
+    bool popOwn(unsigned me, std::function<void()> &out);
+    bool steal(unsigned me, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    /** Wakes idle workers; guarded by sleepMutex. */
+    std::mutex sleepMutex;
+    std::condition_variable sleepCv;
+    std::size_t queued = 0; ///< tasks currently in any deque
+    bool stopping = false;
+
+    std::size_t nextVictim = 0; ///< round-robin cursor for post()
+};
+
+/**
+ * A group of tasks on a pool that can be awaited together. The first
+ * exception thrown by any task is captured and rethrown from wait();
+ * later exceptions are dropped (the tasks still complete).
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool(pool) {}
+
+    /** TaskGroups must be waited before destruction. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Queue one task as part of this group. */
+    void run(std::function<void()> task);
+
+    /**
+     * Block until every task of the group finished; rethrows the first
+     * captured exception.
+     */
+    void wait();
+
+  private:
+    ThreadPool &pool;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+};
+
+/**
+ * Process-wide default worker count for parallel sweeps: the value set
+ * via setDefaultJobs() (benches feed it from --jobs / ODRIPS_JOBS, see
+ * resolveJobs() in platform/config.hh), falling back to
+ * std::thread::hardware_concurrency().
+ */
+unsigned defaultJobs();
+
+/** Override the default worker count (0 restores the hardware value). */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * Lazily constructed process-wide pool sized defaultJobs() at first
+ * use. Returns nullptr when defaultJobs() == 1 (serial opt-out): the
+ * caller should run inline instead.
+ */
+ThreadPool *defaultPool();
+
+} // namespace odrips::exec
+
+#endif // ODRIPS_EXEC_THREAD_POOL_HH

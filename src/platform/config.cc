@@ -1,7 +1,29 @@
 #include "platform/config.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/logging.hh"
+
 namespace odrips
 {
+
+namespace
+{
+
+unsigned
+parseJobsValue(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 1 || value > 4096)
+        fatal("bad worker count '", text, "' from ", origin,
+              " (expected an integer in [1, 4096])");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
 
 double
 PlatformConfig::coresGfxPowerAt(double hz) const
@@ -74,6 +96,22 @@ haswellUltConfig()
     cfg.timings.baselineExit = 3000 * oneUs;
 
     return cfg;
+}
+
+unsigned
+resolveJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            return parseJobsValue(arg + 7, "--jobs");
+        if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0')
+            return parseJobsValue(arg + 2, "-j");
+    }
+    const char *env = std::getenv("ODRIPS_JOBS");
+    if (env != nullptr && *env != '\0') // empty means unset
+        return parseJobsValue(env, "ODRIPS_JOBS");
+    return 0; // let the runner pick (hardware concurrency)
 }
 
 } // namespace odrips

@@ -282,6 +282,21 @@ PlatformConfig skylakeConfig();
  */
 PlatformConfig haswellUltConfig();
 
+/**
+ * Resolve the worker count for parallel experiment sweeps from the
+ * command line and environment:
+ *
+ *  1. a `--jobs=N` (or `-jN`) argument in @p argv wins;
+ *  2. otherwise the `ODRIPS_JOBS` environment variable;
+ *  3. otherwise 0, meaning "let the runner pick" (hardware
+ *     concurrency).
+ *
+ * `--jobs=1` / `ODRIPS_JOBS=1` is the serial opt-out: sweeps then run
+ * inline on the calling thread. Benches feed the result to
+ * exec::setDefaultJobs(). A malformed value is a fatal() config error.
+ */
+unsigned resolveJobs(int argc = 0, char **argv = nullptr);
+
 } // namespace odrips
 
 #endif // ODRIPS_PLATFORM_CONFIG_HH

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -9,8 +10,10 @@ namespace odrips
 namespace
 {
 
-bool throwOnErrorFlag = false;
-bool quietFlag = false;
+// Atomic so that worker threads of the parallel sweep runner can log
+// while the main thread flips the flags (benign, but a TSan report).
+std::atomic<bool> throwOnErrorFlag{false};
+std::atomic<bool> quietFlag{false};
 
 const char *
 levelName(LogLevel level)

@@ -36,6 +36,21 @@ Rng::reseed(std::uint64_t seed)
         word = splitmix64(x);
 }
 
+Rng
+Rng::fork(std::uint64_t index) const
+{
+    // Hash the full 256-bit parent state and the index into a child
+    // seed. Every word passes through splitmix64 so that adjacent
+    // indices land in unrelated regions of the xoshiro state space.
+    std::uint64_t x = index ^ 0x632be59bd9b4e019ULL;
+    std::uint64_t h = splitmix64(x);
+    for (const std::uint64_t word : s) {
+        x ^= word;
+        h ^= splitmix64(x);
+    }
+    return Rng(h);
+}
+
 std::uint64_t
 Rng::next64()
 {

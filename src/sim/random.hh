@@ -25,6 +25,23 @@ class Rng
     /** Reset the generator state from a 64-bit seed. */
     void reseed(std::uint64_t seed);
 
+    /**
+     * Split off the @p index-th child stream.
+     *
+     * The child's state is derived by hashing the parent's *current*
+     * state together with @p index (splitmix64 chain), so:
+     *  - forks are reproducible: the same parent state and index always
+     *    yield the same stream, on every platform;
+     *  - streams are decorrelated across indices;
+     *  - the parent is not advanced (const), so a sweep can fork point
+     *    streams in any order — or concurrently — with identical
+     *    results.
+     *
+     * This is what gives the parallel sweep runner per-point RNG
+     * streams that are bit-identical to the serial path.
+     */
+    Rng fork(std::uint64_t index) const;
+
     /** Next raw 64-bit value. */
     std::uint64_t next64();
 

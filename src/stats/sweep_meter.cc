@@ -1,0 +1,92 @@
+#include "stats/sweep_meter.hh"
+
+#include <mutex>
+#include <ostream>
+
+#include "stats/report.hh"
+
+namespace odrips::stats
+{
+
+namespace
+{
+
+std::mutex registryMutex;
+std::vector<SweepRecord> &
+registry()
+{
+    static std::vector<SweepRecord> records;
+    return records;
+}
+
+} // namespace
+
+SweepMeter::SweepMeter(std::string name, std::size_t points,
+                       unsigned jobs)
+    : name(std::move(name)), points(points), jobs(jobs),
+      start(std::chrono::steady_clock::now())
+{
+}
+
+SweepMeter::~SweepMeter()
+{
+    finish();
+}
+
+void
+SweepMeter::finish()
+{
+    if (recorded)
+        return;
+    recorded = true;
+    SweepRecord rec;
+    rec.name = name;
+    rec.points = points;
+    rec.jobs = jobs;
+    rec.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::lock_guard<std::mutex> lock(registryMutex);
+    registry().push_back(std::move(rec));
+}
+
+std::vector<SweepRecord>
+sweepRecords()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    return registry();
+}
+
+void
+clearSweepRecords()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    registry().clear();
+}
+
+void
+printSweepReport(std::ostream &os)
+{
+    const std::vector<SweepRecord> records = sweepRecords();
+    if (records.empty())
+        return;
+
+    Table table("sweep throughput");
+    table.setHeader({"sweep", "points", "jobs", "wall", "points/s"});
+    std::size_t total_points = 0;
+    double total_seconds = 0.0;
+    for (const SweepRecord &rec : records) {
+        table.addRow({rec.name, std::to_string(rec.points),
+                      std::to_string(rec.jobs),
+                      fmtTime(rec.wallSeconds),
+                      fmt(rec.pointsPerSecond(), 0)});
+        total_points += rec.points;
+        total_seconds += rec.wallSeconds;
+    }
+    table.print(os);
+    os << "total: " << total_points << " points in "
+       << fmtTime(total_seconds) << " of sweep wall-clock\n";
+}
+
+} // namespace odrips::stats

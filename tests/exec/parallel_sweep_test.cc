@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the ParallelSweep runner. The key property: a sweep's
+ * results are **bit-identical** to the serial path for any worker
+ * count — verified for the Fig. 6(a) technique set, the break-even
+ * residency sweep, and two ablation sweeps at 1, 2 and 8 threads.
+ * These run under TSan in scripts/check.sh (ctest -L tsan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/odrips.hh"
+#include "exec/parallel_sweep.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class ParallelSweepFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+
+    /** Run @p fn under serial, 2-thread and 8-thread policies and
+     * require exactly equal results (operator== must be bitwise for
+     * the payload). */
+    template <typename Fn>
+    static void
+    expectIdenticalAcrossJobs(Fn fn)
+    {
+        const auto serial = fn(exec::ExecPolicy{.jobs = 1});
+
+        exec::ThreadPool two(2);
+        const auto with2 = fn(exec::ExecPolicy{.pool = &two});
+        EXPECT_TRUE(serial == with2) << "2 threads diverged";
+
+        exec::ThreadPool eight(8);
+        const auto with8 = fn(exec::ExecPolicy{.pool = &eight});
+        EXPECT_TRUE(serial == with8) << "8 threads diverged";
+    }
+};
+
+TEST_F(ParallelSweepFixture, OrderedCollection)
+{
+    exec::ThreadPool pool(8);
+    const auto out = exec::parallelSweep(
+        "test-ordered", 1000,
+        [](const exec::SweepPoint &point) {
+            return static_cast<std::uint64_t>(point.index) * 3 + 1;
+        },
+        exec::ExecPolicy{.pool = &pool});
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * 3 + 1);
+}
+
+TEST_F(ParallelSweepFixture, PerPointRngStreamsIdenticalAcrossJobs)
+{
+    const auto draw = [](const exec::ExecPolicy &policy) {
+        return exec::parallelSweep(
+            "test-rng", 500,
+            [](const exec::SweepPoint &point) {
+                // Copy: the sweep hands each point a private stream.
+                Rng rng = point.rng;
+                double sum = 0.0;
+                for (int i = 0; i < 16; ++i)
+                    sum += rng.uniform();
+                return sum;
+            },
+            policy);
+    };
+    expectIdenticalAcrossJobs(draw);
+}
+
+TEST_F(ParallelSweepFixture, PointExceptionPropagates)
+{
+    exec::ThreadPool pool(4);
+    EXPECT_THROW(
+        exec::parallelSweep(
+            "test-throw", 100,
+            [](const exec::SweepPoint &point) -> int {
+                if (point.index == 57)
+                    throw std::runtime_error("bad point");
+                return 0;
+            },
+            exec::ExecPolicy{.pool = &pool}),
+        std::runtime_error);
+}
+
+TEST_F(ParallelSweepFixture, SerialPolicyRunsInline)
+{
+    // jobs=1 must not touch any pool: points run on the calling thread.
+    const auto out = exec::parallelSweep(
+        "test-inline", 10,
+        [](const exec::SweepPoint &) {
+            return exec::ThreadPool::current() != nullptr ? 1 : 0;
+        },
+        exec::ExecPolicy{.jobs = 1});
+    for (int on_worker : out)
+        EXPECT_EQ(on_worker, 0);
+}
+
+// --- The headline property: experiment results are bit-identical ---
+
+TEST_F(ParallelSweepFixture, BreakevenSweepBitIdentical)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile odrips =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+
+    const auto run = [&](const exec::ExecPolicy &policy) {
+        const BreakevenResult r =
+            findBreakeven(odrips, base, BreakevenSweep{}, 24, policy);
+        // Tuple of everything findBreakeven computes; == is bitwise
+        // equality on Ticks and exact equality on curve doubles.
+        return std::make_tuple(r.breakEvenDwell, r.analyticBreakEven,
+                               r.curve);
+    };
+    expectIdenticalAcrossJobs(run);
+}
+
+TEST_F(ParallelSweepFixture, Fig6aSetBitIdentical)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    const auto run = [&](const exec::ExecPolicy &policy) {
+        std::vector<std::tuple<std::string, double, double, double,
+                               double, Tick>>
+            rows;
+        for (const TechniqueEvaluation &e :
+             evaluateFig6aSet(cfg, policy)) {
+            rows.emplace_back(e.label, e.averagePower,
+                              e.savingsVsBaseline, e.profile.idlePower,
+                              e.profile.entryEnergy, e.breakEven);
+        }
+        return rows;
+    };
+    expectIdenticalAcrossJobs(run);
+}
+
+TEST_F(ParallelSweepFixture, AblationWakeIntervalBitIdentical)
+{
+    // The ablation_wake_interval sweep: Eq. 1 over a dwell grid.
+    const PlatformConfig cfg = skylakeConfig();
+    const CyclePowerProfile base =
+        measureCycleProfile(cfg, TechniqueSet::baseline());
+    const CyclePowerProfile odrips =
+        measureCycleProfile(cfg, TechniqueSet::odrips());
+
+    const std::vector<double> dwells = {0.002, 0.01, 0.1, 1.0, 30.0,
+                                        120.0};
+    const auto run = [&](const exec::ExecPolicy &policy) {
+        return exec::parallelSweep(
+            "test-wake-interval", dwells.size(),
+            [&](const exec::SweepPoint &point) {
+                const Tick dwell = secondsToTicks(dwells[point.index]);
+                const double p_base =
+                    averagePowerEq1(base, dwell, 150 * oneMs, 0.7);
+                const double p_odrips =
+                    averagePowerEq1(odrips, dwell, 150 * oneMs, 0.7);
+                return std::make_pair(p_base, p_odrips);
+            },
+            policy);
+    };
+    expectIdenticalAcrossJobs(run);
+}
+
+TEST_F(ParallelSweepFixture, AblationPowerDeliveryBitIdentical)
+{
+    // The ablation_power_delivery sweep: full platform measurement plus
+    // a nested break-even sweep per point (exercises inline nesting on
+    // the workers).
+    const std::vector<double> effs = {0.55, 0.74, 0.95};
+    const auto run = [&](const exec::ExecPolicy &policy) {
+        return exec::parallelSweep(
+            "test-power-delivery", effs.size(),
+            [&](const exec::SweepPoint &point) {
+                PlatformConfig cfg = skylakeConfig();
+                cfg.pdLowEfficiency = effs[point.index];
+                const CyclePowerProfile base =
+                    measureCycleProfile(cfg, TechniqueSet::baseline());
+                const CyclePowerProfile odrips =
+                    measureCycleProfile(cfg, TechniqueSet::odrips());
+                const BreakevenResult be = findBreakeven(odrips, base);
+                return std::make_tuple(base.idlePower, odrips.idlePower,
+                                       odrips.entryEnergy,
+                                       be.breakEvenDwell);
+            },
+            policy);
+    };
+    expectIdenticalAcrossJobs(run);
+}
+
+TEST_F(ParallelSweepFixture, SweepMeterRecordsRuns)
+{
+    stats::clearSweepRecords();
+    exec::ThreadPool pool(2);
+    exec::parallelSweep(
+        "metered-sweep", 64,
+        [](const exec::SweepPoint &point) {
+            return static_cast<int>(point.index);
+        },
+        exec::ExecPolicy{.pool = &pool});
+
+    const auto records = stats::sweepRecords();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].name, "metered-sweep");
+    EXPECT_EQ(records[0].points, 64u);
+    EXPECT_EQ(records[0].jobs, 2u);
+    EXPECT_GE(records[0].wallSeconds, 0.0);
+    stats::clearSweepRecords();
+}
+
+} // namespace
