@@ -52,7 +52,8 @@ main(int argc, char **argv)
                 hits + static_cast<double>(mee.cacheMisses);
 
             return {std::to_string(nodes),
-                    stats::fmt(nodes * MetadataNode::storageBytes /
+                    stats::fmt(static_cast<double>(
+                                   nodes * MetadataNode::storageBytes) /
                                    1024.0,
                                1),
                     stats::fmtTime(

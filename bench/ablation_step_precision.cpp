@@ -21,8 +21,8 @@ main(int argc, char **argv)
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
 
-    Crystal fast("f", 24.0e6, 18.0, 0.0);
-    Crystal slow("s", 32768.0, -35.0, 0.0);
+    Crystal fast("f", 24.0e6, 18.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, -35.0, Milliwatts::zero());
     const StepCalibrator cal(fast, slow);
 
     std::cout << "ABLATION: Step fraction bits vs counting drift\n"
@@ -44,7 +44,7 @@ main(int argc, char **argv)
             const CalibrationResult r = cal.calibrate(f);
             const double ppb = std::abs(cal.evaluateDriftPpb(r, hour));
             return {std::to_string(f),
-                    stats::fmtTime(r.durationSeconds),
+                    stats::fmtTime(r.duration),
                     stats::fmt(ppb, 3) + " ppb",
                     ppb < 1.0 ? "yes" : "no",
                     ppb < 1000.0 ? "yes" : "no"};
@@ -54,7 +54,7 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     const unsigned f_req = StepCalibrator::requiredFractionBits(
-        24.0e6, 32768.0, 1000000000ULL);
+        Hertz(24.0e6), Hertz(32768.0), 1000000000ULL);
     std::cout << "\nEq. 4 requirement for 1 ppb: f = " << f_req
               << " (paper: 21). Each extra bit halves the residual "
                  "quantization\nbut doubles the one-time calibration "

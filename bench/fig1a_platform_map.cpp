@@ -27,7 +27,7 @@ mapFor(const TechniqueSet &tech)
     stats::Table table("components powered in the idle state");
     table.setHeader({"component", "group", "state", "power"});
     for (const PowerComponent *c : platform.pm.components()) {
-        const bool on = c->power() > 0.0;
+        const bool on = c->power() > Milliwatts::zero();
         table.addRow({c->name(), c->group(), on ? "AON" : "off",
                       on ? stats::fmtPower(c->power()) : "-"});
     }
@@ -41,7 +41,7 @@ mapFor(const TechniqueSet &tech)
     std::cout << "\nAON set size: ";
     std::size_t on_count = 0;
     for (const PowerComponent *c : platform.pm.components())
-        on_count += c->power() > 0.0;
+        on_count += c->power() > Milliwatts::zero();
     std::cout << on_count << " of " << platform.pm.components().size()
               << " components\n";
 }

@@ -100,8 +100,8 @@ BENCHMARK(BM_FullStandbyCycle);
 void
 BM_StepCalibration(benchmark::State &state)
 {
-    Crystal fast("f", 24.0e6, 18.0, 0.0);
-    Crystal slow("s", 32768.0, -35.0, 0.0);
+    Crystal fast("f", 24.0e6, 18.0, Milliwatts::fromWatts(0.0));
+    Crystal slow("s", 32768.0, -35.0, Milliwatts::fromWatts(0.0));
     StepCalibrator cal(fast, slow);
     for (auto _ : state) {
         benchmark::DoNotOptimize(cal.calibrateForPpb());

@@ -20,9 +20,11 @@ main()
     std::cout << "SEC 4.1.3: slow-timer Step calibration\n\n";
 
     // Eq. 2 / Eq. 4 for the paper's clock pair.
-    const unsigned m = StepCalibrator::requiredIntegerBits(24.0e6, 32768.0);
+    const unsigned m =
+        StepCalibrator::requiredIntegerBits(Hertz(24.0e6),
+                                            Hertz(32768.0));
     const unsigned f = StepCalibrator::requiredFractionBits(
-        24.0e6, 32768.0, 1000000000ULL);
+        Hertz(24.0e6), Hertz(32768.0), 1000000000ULL);
 
     stats::Table repr("Step representation (24 MHz / 32.768 kHz, 1 ppb)");
     repr.setHeader({"quantity", "paper", "model"});
@@ -43,8 +45,8 @@ main()
     for (const auto &[fp, sp] : {std::pair{0.0, 0.0}, {18.0, -35.0},
                                  {-18.0, 35.0}, {50.0, 50.0},
                                  {100.0, -100.0}}) {
-        Crystal fast("f", 24.0e6, fp, 0.0);
-        Crystal slow("s", 32768.0, sp, 0.0);
+        Crystal fast("f", 24.0e6, fp, Milliwatts::zero());
+        Crystal slow("s", 32768.0, sp, Milliwatts::zero());
         StepCalibrator cal(fast, slow);
         const CalibrationResult r = cal.calibrateForPpb();
         const std::uint64_t hour_cycles = 32768ULL * 3600ULL;
@@ -52,7 +54,7 @@ main()
         drift.addRow({stats::fmt(fp, 0) + " ppm",
                       stats::fmt(sp, 0) + " ppm",
                       stats::fmt(r.step.toDouble(), 6),
-                      stats::fmtTime(r.durationSeconds),
+                      stats::fmtTime(r.duration),
                       stats::fmt(ppb, 3) + " ppb", "< 1 ppb"});
     }
     drift.print(std::cout);
@@ -60,8 +62,8 @@ main()
     // Contrast: using the nominal ratio without calibration.
     std::cout << "\nWithout calibration (nominal Step, crystals at "
                  "+18/-35 ppm):\n";
-    Crystal fast("f", 24.0e6, 18.0, 0.0);
-    Crystal slow("s", 32768.0, -35.0, 0.0);
+    Crystal fast("f", 24.0e6, 18.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, -35.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     CalibrationResult nominal;
     nominal.fractionBits = f;

@@ -71,7 +71,7 @@ main()
         sum += a;
 
     std::cout << "\nmodel accuracy: mean "
-              << stats::fmtPercent(sum / accuracies.size()) << ", worst "
+              << stats::fmtPercent(sum / static_cast<double>(accuracies.size())) << ", worst "
               << stats::fmtPercent(worst)
               << "  (paper reports ~95% for its power model vs "
                  "post-silicon)\n";

@@ -33,8 +33,8 @@ main()
     Logger::quiet(true);
 
     // Board crystals with realistic manufacturing deviation.
-    Crystal xtal24("xtal24", 24.0e6, 18.0, 1.8e-3);
-    Crystal xtal32("xtal32k", 32768.0, -35.0, 0.3e-3);
+    Crystal xtal24("xtal24", 24.0e6, 18.0, Milliwatts::fromWatts(1.8e-3));
+    Crystal xtal32("xtal32k", 32768.0, -35.0, Milliwatts::fromWatts(0.3e-3));
     ClockDomain fast_clk("fast", xtal24);
     ClockDomain slow_clk("slow", xtal32);
 
@@ -52,7 +52,7 @@ main()
               << cal.fractionBits << " fraction bits (paper: 10 + 21)\n"
               << "   window: N_slow = 2^" << cal.fractionBits << " = "
               << cal.slowCycles << " slow cycles = "
-              << stats::fmtTime(cal.durationSeconds) << "\n"
+              << stats::fmtTime(cal.duration) << "\n"
               << "   counted N_fast = " << cal.fastCycles << "\n"
               << "   Step = N_fast / 2^f = "
               << stats::fmt(cal.step.toDouble(), 9)

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Sanitizer CI gate.
+# CI gate: static analysis + sanitizers.
 #
-# Two builds, two test selections:
-#  1. build-tsan:  -fsanitize=thread on the exec/concurrency suites
-#     (`ctest -L odrips_tsan`) — catches data races in the thread pool
-#     and parallel sweep runner. TSan and ASan cannot be combined, so
-#     this is its own tree.
-#  2. build-asan:  -fsanitize=address,undefined on everything else
-#     (`ctest -LE odrips_tsan`).
+# Modes:
+#  lint        tools/odrips-lint (simulator invariants), the linter's
+#              fixture self-test, scripts/format.sh --check, and
+#              clang-tidy over compile_commands.json when a clang-tidy
+#              binary is installed. No compiler needed for the first
+#              three, so this is the cheapest gate.
+#  tsan        build-tsan: -fsanitize=thread on the exec/concurrency
+#              suites (`ctest -L odrips_tsan`) — catches data races in
+#              the thread pool and parallel sweep runner. TSan and ASan
+#              cannot be combined, so this is its own tree.
+#  asan        build-asan: -fsanitize=address,undefined on everything
+#              else (`ctest -LE odrips_tsan`).
+#  all         lint, then tsan, then asan (default).
 #
-# Usage: scripts/check.sh [tsan|asan]   (default: both)
+# Usage: scripts/check.sh [lint|tsan|asan]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +24,34 @@ mode="${1:-all}"
 
 generator=()
 command -v ninja >/dev/null 2>&1 && generator=(-G Ninja)
+
+run_lint() {
+    echo "== Lint gate (odrips-lint + format + clang-tidy) =="
+    python3 tools/odrips-lint --root .
+    python3 tools/test_odrips_lint.py
+    scripts/format.sh --check
+
+    if command -v clang-tidy >/dev/null 2>&1; then
+        # Any configured build tree exports compile_commands.json
+        # (CMAKE_EXPORT_COMPILE_COMMANDS is on); symlink the first one
+        # found to the root where clang-tidy looks for it.
+        local db=""
+        for d in build build-warn build-tsan build-asan; do
+            [ -f "$d/compile_commands.json" ] && { db="$d"; break; }
+        done
+        if [ -z "$db" ]; then
+            cmake -B build "${generator[@]}" >/dev/null
+            db="build"
+        fi
+        ln -sf "$db/compile_commands.json" compile_commands.json
+        git ls-files 'src/**/*.cc' | xargs -P "$jobs" -n 8 \
+            clang-tidy -p "$db" --quiet
+        echo "clang-tidy: clean"
+    else
+        echo "clang-tidy not found; skipping (install clang-tools to enable)"
+    fi
+    echo "lint gate passed"
+}
 
 run_tsan() {
     echo "== TSan build (ctest -L odrips_tsan) =="
@@ -40,16 +74,18 @@ run_asan() {
 }
 
 case "$mode" in
+lint) run_lint ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
 all)
+    run_lint
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [tsan|asan]" >&2
+    echo "usage: $0 [lint|tsan|asan]" >&2
     exit 2
     ;;
 esac
 
-echo "check.sh: all sanitizer suites passed"
+echo "check.sh: all requested gates passed"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# clang-format gate over the tracked C++ sources.
+#
+# Usage: scripts/format.sh [--check]
+#   --check   dry-run; exit 1 if any file needs reformatting (CI mode)
+#   (default) rewrite files in place
+#
+# Skips gracefully (exit 0 with a notice) when clang-format is not
+# installed, so scripts/check.sh lint works on minimal containers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-fix}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format.sh: clang-format not found; skipping format gate"
+    exit 0
+fi
+
+# Tracked C++ sources only; fixtures are intentionally odd-shaped.
+mapfile -t files < <(git ls-files \
+    'src/**/*.cc' 'src/**/*.hh' \
+    'tests/**/*.cc' 'tests/**/*.hh' \
+    'bench/*.cpp' 'examples/*.cpp' \
+    ':!:tools/fixtures/**')
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "format.sh: no C++ sources found"
+    exit 0
+fi
+
+case "$mode" in
+--check|check)
+    clang-format --dry-run --Werror "${files[@]}"
+    echo "format.sh: ${#files[@]} files clean"
+    ;;
+fix|--fix)
+    clang-format -i "${files[@]}"
+    echo "format.sh: formatted ${#files[@]} files"
+    ;;
+*)
+    echo "usage: $0 [--check]" >&2
+    exit 2
+    ;;
+esac

@@ -19,6 +19,7 @@
 #include "sim/logging.hh"
 #include "sim/named.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -35,12 +36,12 @@ class Crystal : public Named
      * @param nominal_hz  data-sheet frequency in Hz
      * @param ppm_error   actual deviation from nominal in parts-per-million
      *                    (positive = runs fast)
-     * @param power_watts power drawn while enabled
+     * @param rated_power power drawn while enabled
      */
     Crystal(std::string name, double nominal_hz, double ppm_error,
-            double power_watts)
+            Milliwatts rated_power)
         : Named(std::move(name)), nominalHz_(nominal_hz),
-          ppmError_(ppm_error), powerWatts_(power_watts)
+          ppmError_(ppm_error), ratedPower_(rated_power)
     {
         ODRIPS_ASSERT(nominal_hz > 0, "crystal frequency must be positive");
     }
@@ -55,6 +56,12 @@ class Crystal : public Named
         return nominalHz_ * (1.0 + ppmError_ * 1e-6);
     }
 
+    /** Actual frequency as a strong type. */
+    Hertz actualFrequency() const { return Hertz(actualHz()); }
+
+    /** Nominal frequency as a strong type. */
+    Hertz nominalFrequency() const { return Hertz(nominalHz_); }
+
     /** Actual period in simulator ticks (rounded to nearest ps). */
     Tick period() const { return frequencyToPeriod(actualHz()); }
 
@@ -68,15 +75,15 @@ class Crystal : public Named
     void disable() { on = false; }
 
     /** Power currently drawn by the oscillator. */
-    double power() const { return on ? powerWatts_ : 0.0; }
+    Milliwatts power() const { return on ? ratedPower_ : Milliwatts::zero(); }
 
     /** Power drawn when enabled (regardless of current state). */
-    double ratedPower() const { return powerWatts_; }
+    Milliwatts ratedPower() const { return ratedPower_; }
 
   private:
     double nominalHz_;
     double ppmError_;
-    double powerWatts_;
+    Milliwatts ratedPower_;
     bool on = true;
 };
 

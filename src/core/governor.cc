@@ -5,10 +5,10 @@
 namespace odrips
 {
 
-IdleGovernor::IdleGovernor(const CStateTable &table,
+IdleGovernor::IdleGovernor(const CStateTable &state_table,
                            const CyclePowerProfile &drips_profile,
-                           Tick ltr)
-    : table(table), drips(drips_profile), ltr(ltr)
+                           Tick wake_ltr)
+    : table(state_table), drips(drips_profile), ltr(wake_ltr)
 {
     const CState &deepest = table.deepest();
     ODRIPS_ASSERT(deepest.exitLatency > 0, "deepest state needs latency");

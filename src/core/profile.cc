@@ -25,8 +25,8 @@ measureCycleProfile(const PlatformConfig &cfg,
     const FlowResult entry = flows.enterIdle();
     acc.integrateTo(eq.now());
     profile.entryLatency = entry.latency();
-    profile.entryEnergy = acc.batteryEnergy();
-    profile.idlePower = platform.batteryPower();
+    profile.entryEnergy = acc.batteryEnergy().joules();
+    profile.idlePower = platform.batteryPower().watts();
 
     // Dwell briefly so the idle level is well-defined in the record.
     eq.run(eq.now() + oneMs);
@@ -36,13 +36,13 @@ measureCycleProfile(const PlatformConfig &cfg,
     const FlowResult exit = flows.exitIdle();
     acc.integrateTo(eq.now());
     profile.exitLatency = exit.latency();
-    profile.exitEnergy = acc.batteryEnergy();
-    profile.activePower = platform.batteryPower();
+    profile.exitEnergy = acc.batteryEnergy().joules();
+    profile.activePower = platform.batteryPower().watts();
 
     // Stall-segment power: cores clock-gated.
     platform.processor.coresGfx.setPower(platform.processor.stallPower(),
                                          eq.now());
-    profile.stallPower = platform.batteryPower();
+    profile.stallPower = platform.batteryPower().watts();
     platform.processor.applyActivePower(eq.now());
 
     const CycleRecord &rec = flows.lastCycle();

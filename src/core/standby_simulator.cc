@@ -72,7 +72,7 @@ StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
         entryLatency.sample(ticksToSeconds(entry.latency()));
 
         if (result.idleBatteryPower == 0.0)
-            result.idleBatteryPower = flows_.idleBatteryPower();
+            result.idleBatteryPower = flows_.idleBatteryPower().watts();
 
         // Dwell in the idle state until the wake event fires.
         p.eq.run(p.now() + cycle.idleDwell);
@@ -88,7 +88,7 @@ StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
         ++cycleCount;
 
         if (result.activeBatteryPower == 0.0)
-            result.activeBatteryPower = p.batteryPower();
+            result.activeBatteryPower = p.batteryPower().watts();
 
         runActiveWindow(cycle);
         active_time += cycle.activeDuration(core_hz);
@@ -101,15 +101,15 @@ StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
     p.accountant.integrateTo(end);
     if (arm_analyzer) {
         p.analyzer.disarm();
-        result.analyzerAverage = p.analyzer.channel(0).average();
+        result.analyzerAverage = p.analyzer.channel(0).average().watts();
     }
 
-    batteryEnergy += p.accountant.batteryEnergy();
+    batteryEnergy += p.accountant.batteryEnergy().joules();
 
     result.simulatedTime = end - start;
     result.cycles = trace.cycles.size();
     result.averageBatteryPower =
-        p.accountant.batteryEnergy() / ticksToSeconds(end - start);
+        p.accountant.batteryEnergy().joules() / ticksToSeconds(end - start);
 
     const double total = static_cast<double>(end - start);
     result.idleResidency = static_cast<double>(idle_time) / total;

@@ -91,7 +91,7 @@ class ThreadPool
 class TaskGroup
 {
   public:
-    explicit TaskGroup(ThreadPool &pool) : pool(pool) {}
+    explicit TaskGroup(ThreadPool &owner_pool) : pool(owner_pool) {}
 
     /** TaskGroups must be waited before destruction. */
     ~TaskGroup();

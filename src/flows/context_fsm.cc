@@ -19,11 +19,11 @@ padTo64(std::uint64_t n)
 
 } // namespace
 
-ContextTransferFsm::ContextTransferFsm(std::string name, Sram &sram,
-                                       MemoryController &controller,
+ContextTransferFsm::ContextTransferFsm(std::string name, Sram &ctx_sram,
+                                       MemoryController &mem_controller,
                                        std::uint64_t dram_offset,
                                        Tick fsm_overhead)
-    : Named(std::move(name)), sram(sram), controller(controller),
+    : Named(std::move(name)), sram(ctx_sram), controller(mem_controller),
       dramOffset(dram_offset), fsmOverhead(fsm_overhead)
 {
 }
@@ -101,10 +101,10 @@ ContextTransferFsm::restore(ContextRegion &region, Tick now)
     return r;
 }
 
-BootFsm::BootFsm(std::string name, Sram &boot_sram, Mee &mee,
-                 MemoryController &controller, Tick restore_latency)
-    : Named(std::move(name)), bootSram(boot_sram), mee(mee),
-      controller(controller), restoreLatency(restore_latency)
+BootFsm::BootFsm(std::string name, Sram &boot_sram, Mee &mee_engine,
+                 MemoryController &mem_controller, Tick restore_latency)
+    : Named(std::move(name)), bootSram(boot_sram), mee(mee_engine),
+      controller(mem_controller), restoreLatency(restore_latency)
 {
 }
 
@@ -149,8 +149,8 @@ BootFsm::restore(const ContextRegion &boot_region, Tick now, bool &intact)
     return latency + restoreLatency;
 }
 
-EmramContextPath::EmramContextPath(std::string name, Emram &emram)
-    : Named(std::move(name)), emram(emram)
+EmramContextPath::EmramContextPath(std::string name, Emram &emram_device)
+    : Named(std::move(name)), emram(emram_device)
 {
 }
 

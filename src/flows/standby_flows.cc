@@ -36,14 +36,15 @@ StandbyFlows::StandbyFlows(Platform &platform,
         // happens once per boot, outside the standby cycles.
         StepCalibrator calibrator(p.board.xtal24, p.board.xtal32);
         const unsigned f = StepCalibrator::requiredFractionBits(
-            p.board.xtal24.nominalHz(), p.board.xtal32.nominalHz(),
+            p.board.xtal24.nominalFrequency(),
+            p.board.xtal32.nominalFrequency(),
             p.cfg.timerPrecisionCycles);
         calib = calibrator.calibrate(f);
         p.chipset.wakeTimer.applyCalibration(*calib);
     }
 }
 
-double
+Milliwatts
 StandbyFlows::idleBatteryPower() const
 {
     ODRIPS_ASSERT(idle, name(), ": idle power read while not idle");
@@ -55,15 +56,15 @@ StandbyFlows::applyFinalIdleLevels(Tick now)
 {
     const DripsPowerBudget &dp = p.cfg.dripsPower;
 
-    p.processor.transition.setPower(0.0, now);
-    p.processor.pmuActive.setPower(0.0, now);
-    p.processor.systemAgent.setPower(0.0, now);
-    p.processor.llc.setPower(0.0, now);
-    p.processor.coresGfx.setPower(0.0, now);
+    p.processor.transition.setPower(Milliwatts::zero(), now);
+    p.processor.pmuActive.setPower(Milliwatts::zero(), now);
+    p.processor.systemAgent.setPower(Milliwatts::zero(), now);
+    p.processor.llc.setPower(Milliwatts::zero(), now);
+    p.processor.coresGfx.setPower(Milliwatts::zero(), now);
 
     // Wake monitoring stays on the processor only in the baseline.
     p.processor.wakeTimer.setPower(
-        tech.wakeupOff ? 0.0 : dp.procWakeTimer, now);
+        tech.wakeupOff ? Milliwatts::zero() : dp.procWakeTimer, now);
 
     if (tech.contextOffload) {
         // With eMRAM the NVM replaces the SRAM arrays outright, so
@@ -75,7 +76,7 @@ StandbyFlows::applyFinalIdleLevels(Tick now)
         p.processor.srResidual.setPower(
             (dp.srSramSa + dp.srSramCores) * residual, now);
     } else {
-        p.processor.srResidual.setPower(0.0, now);
+        p.processor.srResidual.setPower(Milliwatts::zero(), now);
     }
 
     p.chipset.applyIdlePower(now, tech.wakeupOff);
@@ -86,7 +87,7 @@ FlowSequence
 StandbyFlows::buildEntryFlow()
 {
     const FlowTimings &t = p.cfg.timings;
-    const double transition = p.cfg.activePower.transitionNominal;
+    const Milliwatts transition = p.cfg.activePower.transitionNominal;
     FlowSequence flow(name() + ".entry");
 
     // 1. Compute domains enter their deepest state; their context is
@@ -120,7 +121,7 @@ StandbyFlows::buildEntryFlow()
 
     // 4. Compute-domain voltage regulators off (entry step 2).
     flow.add({"vr-compute-off", [this, t](Tick now) {
-        p.processor.llc.setPower(0.0, now);
+        p.processor.llc.setPower(Milliwatts::zero(), now);
         return t.vrRampDown;
     }});
 
@@ -231,7 +232,7 @@ StandbyFlows::buildEntryFlow()
     //    through the gating sequence.
     flow.add({"pmu-gate", [this, t, transition](Tick now) {
         p.processor.transition.setPower(transition * 0.25, now);
-        p.processor.systemAgent.setPower(0.0, now);
+        p.processor.systemAgent.setPower(Milliwatts::zero(), now);
         return t.pmuGate;
     }});
 
@@ -270,7 +271,7 @@ FlowSequence
 StandbyFlows::buildExitFlow(WakeReason reason)
 {
     const FlowTimings &t = p.cfg.timings;
-    const double transition = p.cfg.activePower.transitionNominal;
+    const Milliwatts transition = p.cfg.activePower.transitionNominal;
     FlowSequence flow(name() + ".exit");
 
     // 1. The wake hub (chipset in ODRIPS, PMU in baseline) detects the
@@ -422,7 +423,7 @@ StandbyFlows::buildExitFlow(WakeReason reason)
 
     // 9. Cores out of their deep state; platform back at C0 levels.
     flow.add({"platform-active", [this](Tick now) {
-        p.processor.transition.setPower(0.0, now);
+        p.processor.transition.setPower(Milliwatts::zero(), now);
         p.processor.applyActivePower(now);
         p.chipset.applyActivePower(now);
         p.board.applyActivePower(now);

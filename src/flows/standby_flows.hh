@@ -104,7 +104,7 @@ class StandbyFlows : public Named
      * Battery power measured at the platform level while in the idle
      * state (call between enterIdle and exitIdle).
      */
-    double idleBatteryPower() const;
+    Milliwatts idleBatteryPower() const;
 
   private:
     FlowSequence buildEntryFlow();

@@ -16,15 +16,15 @@ to_string(AonIoFunction f)
     return "?";
 }
 
-AonIoBank::AonIoBank(std::string name, PowerComponent *comp,
-                     double total_power)
-    : Named(std::move(name)), comp(comp), totalPower(total_power)
+AonIoBank::AonIoBank(std::string name, PowerComponent *power_comp,
+                     Milliwatts total_power)
+    : Named(std::move(name)), comp(power_comp), totalPower(total_power)
 {
     if (comp)
         comp->setPower(totalPower, 0);
 }
 
-double
+Milliwatts
 AonIoBank::functionPower(AonIoFunction f) const
 {
     // Share of bank power by function (clock buffers dominate because
@@ -36,7 +36,7 @@ AonIoBank::functionPower(AonIoFunction f) const
       case AonIoFunction::VrSerial: return totalPower * 0.15;
       case AonIoFunction::Debug: return totalPower * 0.10;
     }
-    return 0.0;
+    return Milliwatts::zero();
 }
 
 void
@@ -46,7 +46,7 @@ AonIoBank::setPowered(bool powered, Tick now)
         return;
     on = powered;
     if (comp)
-        comp->setPower(on ? totalPower : 0.0, now);
+        comp->setPower(on ? totalPower : Milliwatts::zero(), now);
 }
 
 } // namespace odrips

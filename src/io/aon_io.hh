@@ -45,13 +45,13 @@ class AonIoBank : public Named
      * @param comp  power component accounting the bank's draw
      * @param total_power nominal power of the whole bank when powered
      */
-    AonIoBank(std::string name, PowerComponent *comp, double total_power);
+    AonIoBank(std::string name, PowerComponent *comp, Milliwatts total_power);
 
     /** Per-function share of the bank power. */
-    double functionPower(AonIoFunction f) const;
+    Milliwatts functionPower(AonIoFunction f) const;
 
     /** Total bank power when powered. */
-    double ratedPower() const { return totalPower; }
+    Milliwatts ratedPower() const { return totalPower; }
 
     bool powered() const { return on; }
 
@@ -71,7 +71,7 @@ class AonIoBank : public Named
 
   private:
     PowerComponent *comp;
-    double totalPower;
+    Milliwatts totalPower;
     bool on = true;
 };
 

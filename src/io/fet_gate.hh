@@ -35,11 +35,11 @@ class FetGate : public Named
      *                      load's rated power (paper: < 0.3%)
      * @param switch_latency gate switching time
      */
-    FetGate(std::string name, AonIoBank &load, GpioBank &control_gpio,
+    FetGate(std::string name, AonIoBank &gated_load, GpioBank &control_gpio,
             unsigned control_pin, PowerComponent *leak_comp = nullptr,
             double leak_fraction = 0.003,
             Tick switch_latency = 2 * oneUs)
-        : Named(std::move(name)), load(load), gpio(control_gpio),
+        : Named(std::move(name)), load(gated_load), gpio(control_gpio),
           pin(control_pin), leakComp(leak_comp),
           leakFraction(leak_fraction), switchLatency_(switch_latency)
     {
@@ -72,12 +72,12 @@ class FetGate : public Named
         gpio.setLevel(pin, true);
         load.setPowered(true, now + switchLatency_);
         if (leakComp)
-            leakComp->setPower(0.0, now + switchLatency_);
+            leakComp->setPower(Milliwatts::zero(), now + switchLatency_);
         return switchLatency_;
     }
 
     Tick switchLatency() const { return switchLatency_; }
-    double offLeakage() const { return load.ratedPower() * leakFraction; }
+    Milliwatts offLeakage() const { return load.ratedPower() * leakFraction; }
 
   private:
     AonIoBank &load;

@@ -47,14 +47,14 @@ class Pml : public Named
   public:
     /**
      * @param name             instance name
-     * @param clock            24 MHz link clock
+     * @param link_clock       24 MHz link clock
      * @param cycles_per_word  serialization cost of one 32-bit word
      * @param protocol_cycles  fixed handshake overhead per message
      */
-    Pml(std::string name, const ClockDomain &clock,
+    Pml(std::string name, const ClockDomain &link_clock,
         std::uint64_t cycles_per_word = 4,
         std::uint64_t protocol_cycles = 8)
-        : Named(std::move(name)), clock(clock),
+        : Named(std::move(name)), clock(link_clock),
           cyclesPerWord(cycles_per_word), protocolCycles(protocol_cycles)
     {}
 

@@ -27,14 +27,14 @@ class ThermalMonitor : public Named
   public:
     /**
      * @param name           instance name
-     * @param gpios          chipset GPIO bank
-     * @param pin            claimed input pin wired to the EC
+     * @param gpio_bank      chipset GPIO bank
+     * @param input_pin      claimed input pin wired to the EC
      * @param sampling_clock clock whose rising edges sample the pin
      *                       (the 32.768 kHz RTC clock in ODRIPS)
      */
-    ThermalMonitor(std::string name, GpioBank &gpios, unsigned pin,
+    ThermalMonitor(std::string name, GpioBank &gpio_bank, unsigned input_pin,
                    const ClockDomain &sampling_clock)
-        : Named(std::move(name)), gpios(gpios), pin(pin),
+        : Named(std::move(name)), gpios(gpio_bank), pin(input_pin),
           clock(sampling_clock)
     {}
 

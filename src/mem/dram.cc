@@ -36,16 +36,20 @@ Dram::updatePower(Tick now)
                                 : cfg.idlePower + trafficPower,
                             now);
     }
-    if (ckeComp)
-        ckeComp->setPower(selfRefreshing ? cfg.ckeDrivePower : 0.0, now);
+    if (ckeComp) {
+        ckeComp->setPower(selfRefreshing ? cfg.ckeDrivePower
+                                         : Milliwatts::zero(),
+                          now);
+    }
 }
 
 void
 Dram::setActiveTraffic(double bytes_per_sec, Tick now)
 {
     ODRIPS_ASSERT(bytes_per_sec >= 0, name(), ": negative traffic");
-    trafficPower = std::min(cfg.energyPerByte * bytes_per_sec,
-                            cfg.activePower);
+    trafficPower =
+        std::min(Milliwatts::fromWatts(cfg.energyPerByte * bytes_per_sec),
+                 cfg.activePower);
     updatePower(now);
 }
 
@@ -62,7 +66,8 @@ Dram::access(std::uint64_t addr, std::uint64_t len, Tick now)
         static_cast<double>(len) / cfg.peakBandwidth();
     r.latency = secondsToTicks(cfg.accessLatencyNs * 1e-9 + stream_seconds);
     transferred += len;
-    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.energyPerByte * static_cast<double>(len));
     return r;
 }
 
@@ -89,7 +94,7 @@ Dram::enterRetention(Tick now)
 {
     ODRIPS_ASSERT(!selfRefreshing, name(), ": already in self-refresh");
     selfRefreshing = true;
-    trafficPower = 0.0;
+    trafficPower = Milliwatts::zero();
     const Tick latency = secondsToTicks(cfg.selfRefreshEntryNs * 1e-9);
     updatePower(now + latency);
     return latency;

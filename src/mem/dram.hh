@@ -41,16 +41,16 @@ struct DramConfig
     /** Self-refresh exit latency (tXS + DLL relock), nanoseconds. */
     double selfRefreshExitNs = 800.0;
 
-    /** Nominal self-refresh power for the whole array, watts. */
-    double selfRefreshPower = 7.0e-3;
-    /** Nominal idle (powered, CKE high, no traffic) power, watts. */
-    double idlePower = 55.0e-3;
-    /** Additional power while streaming at full bandwidth, watts. */
-    double activePower = 145.0e-3;
+    /** Nominal self-refresh power for the whole array. */
+    Milliwatts selfRefreshPower = Milliwatts::fromWatts(7.0e-3);
+    /** Nominal idle (powered, CKE high, no traffic) power. */
+    Milliwatts idlePower = Milliwatts::fromWatts(55.0e-3);
+    /** Additional power while streaming at full bandwidth. */
+    Milliwatts activePower = Milliwatts::fromWatts(145.0e-3);
     /** Access energy per byte transferred, joules. */
     double energyPerByte = 25.0e-12;
     /** Processor-side CKE drive power while self-refresh is held. */
-    double ckeDrivePower = 1.4e-3;
+    Milliwatts ckeDrivePower = Milliwatts::fromWatts(1.4e-3);
 
     /** Effective peak bandwidth in bytes/second. */
     double
@@ -112,8 +112,8 @@ class Dram : public MainMemory
     /** Total bytes transferred (reads + writes). */
     std::uint64_t bytesTransferred() const { return transferred; }
 
-    /** Accumulated access energy in joules. */
-    double accessEnergy() const { return accessJoules; }
+    /** Accumulated access energy. */
+    Millijoules accessEnergy() const { return accessTotal; }
 
   private:
     MemAccessResult access(std::uint64_t addr, std::uint64_t len,
@@ -125,9 +125,9 @@ class Dram : public MainMemory
     PowerComponent *arrayComp;
     PowerComponent *ckeComp;
     bool selfRefreshing = false;
-    double trafficPower = 0.0;
+    Milliwatts trafficPower;
     std::uint64_t transferred = 0;
-    double accessJoules = 0.0;
+    Millijoules accessTotal;
 };
 
 } // namespace odrips

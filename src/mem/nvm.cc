@@ -6,9 +6,10 @@
 namespace odrips
 {
 
-Pcm::Pcm(std::string name, const PcmConfig &config, PowerComponent *comp)
+Pcm::Pcm(std::string name, const PcmConfig &config,
+         PowerComponent *power_comp)
     : MainMemory(std::move(name)), cfg(config), bytes(config.capacityBytes),
-      comp(comp)
+      comp(power_comp)
 {
     updatePower(0);
 }
@@ -30,7 +31,7 @@ Pcm::setActiveTraffic(double bytes_per_sec, Tick now)
     const double energy_per_byte =
         cfg.trafficReadFraction * cfg.readEnergyPerByte +
         (1.0 - cfg.trafficReadFraction) * cfg.writeEnergyPerByte;
-    trafficPower = energy_per_byte * bytes_per_sec;
+    trafficPower = Milliwatts::fromWatts(energy_per_byte * bytes_per_sec);
     updatePower(now);
 }
 
@@ -45,7 +46,8 @@ Pcm::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
     r.latency = secondsToTicks(
         cfg.readLatencyNs * 1e-9 +
         static_cast<double>(len) / cfg.readBandwidth);
-    accessJoules += cfg.readEnergyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.readEnergyPerByte * static_cast<double>(len));
     bytes.read(addr, data, len);
     return r;
 }
@@ -61,7 +63,8 @@ Pcm::write(std::uint64_t addr, const std::uint8_t *data, std::uint64_t len,
     r.latency = secondsToTicks(
         cfg.writeLatencyNs * 1e-9 +
         static_cast<double>(len) / cfg.writeBandwidth);
-    accessJoules += cfg.writeEnergyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.writeEnergyPerByte * static_cast<double>(len));
     bytes.write(addr, data, len);
 
     // Endurance tracking per 64 B line.
@@ -78,7 +81,7 @@ Pcm::enterRetention(Tick now)
 {
     ODRIPS_ASSERT(!standby, name(), ": already in standby");
     standby = true;
-    trafficPower = 0.0;
+    trafficPower = Milliwatts::zero();
     // Powering down PCM banks is fast: no refresh state to set up.
     const Tick latency = secondsToTicks(50e-9);
     updatePower(now + latency);
@@ -96,12 +99,12 @@ Pcm::exitRetention(Tick now)
 }
 
 Emram::Emram(std::string name, const EmramConfig &config,
-             PowerComponent *comp)
+             PowerComponent *power_comp)
     : Named(std::move(name)), cfg(config), data_(config.capacityBytes, 0),
-      comp(comp)
+      comp(power_comp)
 {
     if (comp)
-        comp->setPower(0.0, 0);
+        comp->setPower(Milliwatts::zero(), 0);
 }
 
 void
@@ -112,7 +115,7 @@ Emram::setPowered(bool powered, Tick now)
     on = powered;
     // Contents persist either way: that is the point of MRAM.
     if (comp)
-        comp->setPower(on ? cfg.activePower : 0.0, now);
+        comp->setPower(on ? cfg.activePower : Milliwatts::zero(), now);
 }
 
 Tick
@@ -130,7 +133,8 @@ Emram::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len)
     ODRIPS_ASSERT(on, name(), ": read while powered off");
     ODRIPS_ASSERT(addr + len <= data_.size(), name(), ": read out of range");
     std::memcpy(data, data_.data() + addr, len);
-    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.energyPerByte * static_cast<double>(len));
     return accessLatency(len, false);
 }
 
@@ -142,8 +146,8 @@ Emram::write(std::uint64_t addr, const std::uint8_t *data,
     ODRIPS_ASSERT(addr + len <= data_.size(),
                   name(), ": write out of range");
     std::memcpy(data_.data() + addr, data, len);
-    accessJoules +=
-        cfg.energyPerByte * cfg.pessimism * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.energyPerByte * cfg.pessimism * static_cast<double>(len));
     ++writes;
     return accessLatency(len, true);
 }

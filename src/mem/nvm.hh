@@ -39,10 +39,10 @@ struct PcmConfig
     /** Peak write bandwidth, bytes/s (write-limited). */
     double writeBandwidth = 3.2e9;
 
-    /** Idle (powered) power, watts. */
-    double idlePower = 40.0e-3;
+    /** Idle (powered) power. */
+    Milliwatts idlePower = Milliwatts::fromWatts(40.0e-3);
     /** Standby power with banks powered down — no refresh needed. */
-    double standbyPower = 0.0;
+    Milliwatts standbyPower = Milliwatts::zero();
 
     /** Read energy per byte, joules. */
     double readEnergyPerByte = 50.0e-12;
@@ -103,8 +103,8 @@ class Pcm : public MainMemory
                static_cast<double>(cfg.enduranceWrites);
     }
 
-    /** Accumulated access energy in joules. */
-    double accessEnergy() const { return accessJoules; }
+    /** Accumulated access energy. */
+    Millijoules accessEnergy() const { return accessTotal; }
 
   private:
     static constexpr std::uint64_t lineBytes = 64;
@@ -115,8 +115,8 @@ class Pcm : public MainMemory
     BackingStore bytes;
     PowerComponent *comp;
     bool standby = false;
-    double trafficPower = 0.0;
-    double accessJoules = 0.0;
+    Milliwatts trafficPower;
+    Millijoules accessTotal;
     std::uint64_t maxWrites = 0;
     std::unordered_map<std::uint64_t, std::uint64_t> lineWrites;
 };
@@ -139,7 +139,7 @@ struct EmramConfig
     double streamBandwidth = 64.0e9;
 
     /** Active leakage (only while accessible); retention costs zero. */
-    double activePower = 1.0e-3;
+    Milliwatts activePower = Milliwatts::fromWatts(1.0e-3);
 
     /** Rated endurance (optimistic assumption: effectively unlimited). */
     std::uint64_t enduranceWrites = 1000000000000ULL;
@@ -168,7 +168,7 @@ class Emram : public Named
                std::uint64_t len);
 
     std::uint64_t totalWrites() const { return writes; }
-    double accessEnergy() const { return accessJoules; }
+    Millijoules accessEnergy() const { return accessTotal; }
 
   private:
     Tick accessLatency(std::uint64_t len, bool is_write) const;
@@ -178,7 +178,7 @@ class Emram : public Named
     PowerComponent *comp;
     bool on = false;
     std::uint64_t writes = 0;
-    double accessJoules = 0.0;
+    Millijoules accessTotal;
 };
 
 } // namespace odrips

@@ -6,32 +6,33 @@
 namespace odrips
 {
 
-Sram::Sram(std::string name, const SramConfig &config, PowerComponent *comp)
+Sram::Sram(std::string name, const SramConfig &config,
+           PowerComponent *power_comp)
     : Named(std::move(name)), cfg(config), data_(config.capacityBytes, 0),
-      comp(comp)
+      comp(power_comp)
 {
     if (comp)
         comp->setPower(leakagePower(state_), 0);
 }
 
-double
+Milliwatts
 Sram::leakagePower(SramState state) const
 {
     double per_byte = cfg.hpRetentionLeakPerByte;
     if (cfg.process == SramProcess::LowPower)
         per_byte /= cfg.processLeakRatio;
 
-    const double retention =
-        per_byte * static_cast<double>(cfg.capacityBytes);
+    const Milliwatts retention = Milliwatts::fromWatts(
+        per_byte * static_cast<double>(cfg.capacityBytes));
     switch (state) {
       case SramState::Off:
-        return 0.0;
+        return Milliwatts::zero();
       case SramState::Retention:
         return retention;
       case SramState::Active:
         return retention * cfg.activeLeakMultiplier;
     }
-    return 0.0;
+    return Milliwatts::zero();
 }
 
 void
@@ -63,7 +64,8 @@ Sram::read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len)
                   name(), ": read while not active");
     ODRIPS_ASSERT(addr + len <= data_.size(), name(), ": read out of range");
     std::memcpy(data, data_.data() + addr, len);
-    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.energyPerByte * static_cast<double>(len));
     return accessLatency(len);
 }
 
@@ -75,7 +77,8 @@ Sram::write(std::uint64_t addr, const std::uint8_t *data, std::uint64_t len)
     ODRIPS_ASSERT(addr + len <= data_.size(),
                   name(), ": write out of range");
     std::memcpy(data_.data() + addr, data, len);
-    accessJoules += cfg.energyPerByte * static_cast<double>(len);
+    accessTotal += Millijoules::fromJoules(
+        cfg.energyPerByte * static_cast<double>(len));
     return accessLatency(len);
 }
 

@@ -84,7 +84,7 @@ class Sram : public Named
     void setState(SramState new_state, Tick now);
 
     /** Leakage power in the given state. */
-    double leakagePower(SramState state) const;
+    Milliwatts leakagePower(SramState state) const;
 
     /** Functional + timed read (requires Active state). */
     Tick read(std::uint64_t addr, std::uint8_t *data, std::uint64_t len);
@@ -96,8 +96,8 @@ class Sram : public Named
     /** Raw contents access for test inspection. */
     const std::vector<std::uint8_t> &contents() const { return data_; }
 
-    /** Accumulated access energy in joules. */
-    double accessEnergy() const { return accessJoules; }
+    /** Accumulated access energy. */
+    Millijoules accessEnergy() const { return accessTotal; }
 
   private:
     Tick accessLatency(std::uint64_t len) const;
@@ -106,7 +106,7 @@ class Sram : public Named
     std::vector<std::uint8_t> data_;
     PowerComponent *comp;
     SramState state_ = SramState::Active;
-    double accessJoules = 0.0;
+    Millijoules accessTotal;
 };
 
 } // namespace odrips

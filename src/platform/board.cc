@@ -39,7 +39,7 @@ Board::applyIdlePower(Tick now)
 {
     syncXtalPower(now);
     otherComp.setPower(cfg.dripsPower.boardOther, now);
-    activeExtra.setPower(0.0, now);
+    activeExtra.setPower(Milliwatts::zero(), now);
 }
 
 } // namespace odrips

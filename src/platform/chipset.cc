@@ -48,9 +48,10 @@ void
 Chipset::applyIdlePower(Tick now, bool slow_mode)
 {
     aonDomain.setPower(cfg.dripsPower.chipsetAon, now);
-    fastClockTree.setPower(
-        slow_mode ? 0.0 : cfg.dripsPower.chipsetFastClock, now);
-    activeExtra.setPower(0.0, now);
+    fastClockTree.setPower(slow_mode ? Milliwatts::zero()
+                                     : cfg.dripsPower.chipsetFastClock,
+                           now);
+    activeExtra.setPower(Milliwatts::zero(), now);
     timers.setPower(cfg.dripsPower.chipsetAon * (slow_mode ? 1e-6 : 1e-5),
                     now);
 }

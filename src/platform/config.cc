@@ -25,7 +25,7 @@ parseJobsValue(const char *text, const char *origin)
 
 } // namespace
 
-double
+Milliwatts
 PlatformConfig::coresGfxPowerAt(double hz) const
 {
     // P(f) = P_base * (f / f_base) * (V(f) / V(f_base))^2 + leakage

@@ -22,6 +22,7 @@
 #include "mem/nvm.hh"
 #include "power/process_scaling.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -45,44 +46,44 @@ enum class MainMemoryKind
 struct DripsPowerBudget
 {
     /** Processor PMU wake-up monitoring + timer toggling. */
-    double procWakeTimer = 1.2e-3;
+    Milliwatts procWakeTimer = Milliwatts::fromWatts(1.2e-3);
     /** Processor AON IO bank. */
-    double procAonIo = 4.2e-3;
+    Milliwatts procAonIo = Milliwatts::fromWatts(4.2e-3);
     /** System-agent save/restore SRAM (part of the 200 KB context). */
-    double srSramSa = 1.7e-3;
+    Milliwatts srSramSa = Milliwatts::fromWatts(1.7e-3);
     /** Cores/GFX save/restore SRAM. */
-    double srSramCores = 3.7e-3;
+    Milliwatts srSramCores = Milliwatts::fromWatts(3.7e-3);
     /** Boot SRAM (~1 KB, always retained, both designs). */
-    double bootSram = 0.03e-3;
+    Milliwatts bootSram = Milliwatts::fromWatts(0.03e-3);
     /** Chipset always-on domain (the wake "hub"). */
-    double chipsetAon = 16.6e-3;
+    Milliwatts chipsetAon = Milliwatts::fromWatts(16.6e-3);
     /** Chipset 24 MHz clock tree (off in ODRIPS slow mode). */
-    double chipsetFastClock = 0.5e-3;
+    Milliwatts chipsetFastClock = Milliwatts::fromWatts(0.5e-3);
     /** 24 MHz crystal oscillator on the board. */
-    double xtal24 = 1.8e-3;
+    Milliwatts xtal24 = Milliwatts::fromWatts(1.8e-3);
     /** 32.768 kHz RTC crystal. */
-    double xtal32 = 0.3e-3;
+    Milliwatts xtal32 = Milliwatts::fromWatts(0.3e-3);
     /** Remaining board components (EC, sensors, rails). */
-    double boardOther = 5.97e-3;
-    // DRAM self-refresh (7.0e-3) and CKE drive (1.4e-3) come from
+    Milliwatts boardOther = Milliwatts::fromWatts(5.97e-3);
+    // DRAM self-refresh (7.0 mW) and CKE drive (1.4 mW) come from
     // DramConfig.
 };
 
 /** Active-state (C0, display off) nominal power constants. */
 struct ActivePowerBudget
 {
-    /** Core+GFX dynamic coefficient: watts at baseFrequency/baseVolt. */
-    double coresGfxBase = 1.90;
+    /** Core+GFX dynamic coefficient: power at baseFrequency/baseVolt. */
+    Milliwatts coresGfxBase = Milliwatts::fromWatts(1.90);
     /** System agent while active. */
-    double systemAgent = 0.18;
+    Milliwatts systemAgent = Milliwatts::fromWatts(0.18);
     /** LLC while active. */
-    double llc = 0.08;
+    Milliwatts llc = Milliwatts::fromWatts(0.08);
     /** PMU while active. */
-    double pmu = 0.01;
+    Milliwatts pmu = Milliwatts::fromWatts(0.01);
     /** Chipset additional active power (on top of AON). */
-    double chipsetActive = 0.18;
+    Milliwatts chipsetActive = Milliwatts::fromWatts(0.18);
     /** Board additional active power (on top of boardOther). */
-    double boardActive = 0.15;
+    Milliwatts boardActive = Milliwatts::fromWatts(0.15);
     /** Core power while clock-gated on a memory stall (fraction of
      * active core power). */
     double stallPowerFraction = 0.12;
@@ -91,7 +92,7 @@ struct ActivePowerBudget
      * platform (rails partially up, cores off). Dominates Entry_power
      * and Exit_power in Eq. 1.
      */
-    double transitionNominal = 1.0;
+    Milliwatts transitionNominal = Milliwatts::fromWatts(1.0);
 
     /**
      * Sustained main-memory traffic during the active window, bytes/s.
@@ -255,7 +256,7 @@ struct PlatformConfig
      * efficiency (C0), with the threshold between them. */
     double pdLowEfficiency = 0.74;
     double pdHighEfficiency = 0.87;
-    double pdThresholdWatts = 0.2;
+    Milliwatts pdThreshold = Milliwatts::fromWatts(0.2);
 
     /** Chipset GPIO pin count (two spares get claimed by ODRIPS). */
     unsigned gpioPins = 32;
@@ -264,8 +265,8 @@ struct PlatformConfig
     std::uint64_t pmlCyclesPerWord = 4;
     std::uint64_t pmlProtocolCycles = 8;
 
-    /** Core active power at a given frequency (nominal watts). */
-    double coresGfxPowerAt(double hz) const;
+    /** Core active power at a given frequency (nominal). */
+    Milliwatts coresGfxPowerAt(double hz) const;
 
     /** Effective peak bandwidth of the configured main memory. */
     double mainMemoryBandwidth() const;

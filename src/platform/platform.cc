@@ -17,7 +17,7 @@ roundUp64(std::uint64_t v)
 Platform::Platform(const PlatformConfig &config)
     : Named(config.name),
       cfg(config),
-      pd(PowerDelivery::stepped(config.pdThresholdWatts,
+      pd(PowerDelivery::stepped(config.pdThreshold,
                                 config.pdLowEfficiency,
                                 config.pdHighEfficiency)),
       board(name() + ".board", pm, cfg),
@@ -114,12 +114,12 @@ Platform::Platform(const PlatformConfig &config)
                         [this] { return groupBatteryPower("memory"); });
 }
 
-double
+Milliwatts
 Platform::groupBatteryPower(const std::string &group) const
 {
-    const double total = pm.totalPower();
-    if (total <= 0)
-        return 0.0;
+    const Milliwatts total = pm.totalPower();
+    if (total <= Milliwatts::zero())
+        return Milliwatts::zero();
     const double tax = pd.batteryPower(total) / total;
     return pm.groupPower(group) * tax;
 }

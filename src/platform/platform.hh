@@ -79,14 +79,14 @@ class Platform : public Named
     Tick now() const { return eq.now(); }
 
     /** Instantaneous battery power at current component levels. */
-    double
+    Milliwatts
     batteryPower() const
     {
         return pd.batteryPower(pm.totalPower());
     }
 
     /** Battery-level power of a component group right now. */
-    double groupBatteryPower(const std::string &group) const;
+    Milliwatts groupBatteryPower(const std::string &group) const;
 
     /** Base address of the protected context region in main memory. */
     std::uint64_t contextRegionBase() const { return ctxBase; }

@@ -7,13 +7,13 @@ namespace
 {
 
 SramConfig
-srSramConfig(std::uint64_t capacity, double retention_watts)
+srSramConfig(std::uint64_t capacity, Milliwatts retention)
 {
     SramConfig c;
     c.capacityBytes = capacity;
     c.process = SramProcess::HighPerformance;
     c.hpRetentionLeakPerByte =
-        retention_watts / static_cast<double>(capacity);
+        retention.watts() / static_cast<double>(capacity);
     return c;
 }
 
@@ -70,7 +70,7 @@ Processor::applyActivePower(Tick now)
     llc.setPower(cfg.activePower.llc, now);
     pmuActive.setPower(cfg.activePower.pmu, now);
     wakeTimer.setPower(cfg.dripsPower.procWakeTimer, now);
-    srResidual.setPower(0.0, now);
+    srResidual.setPower(Milliwatts::zero(), now);
     if (saSram.state() != SramState::Active)
         saSram.setState(SramState::Active, now);
     if (coresSram.state() != SramState::Active)
@@ -80,11 +80,11 @@ Processor::applyActivePower(Tick now)
 void
 Processor::applyComputeIdle(Tick now)
 {
-    coresGfx.setPower(0.0, now);
+    coresGfx.setPower(Milliwatts::zero(), now);
     llc.setPower(cfg.activePower.llc * 0.5, now); // still powered, idle
 }
 
-double
+Milliwatts
 Processor::stallPower() const
 {
     return cfg.coresGfxPowerAt(coreFrequencyHz) *

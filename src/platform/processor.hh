@@ -62,7 +62,7 @@ class Processor : public Named
     void applyComputeIdle(Tick now);
 
     /** Core power while clock-gated on a memory stall. */
-    double stallPower() const;
+    Milliwatts stallPower() const;
 
   private:
     const PlatformConfig &cfg;

@@ -35,20 +35,19 @@ PowerBreakdown::toTable(const std::string &title) const
     std::vector<BreakdownEntry> sorted = entries;
     std::sort(sorted.begin(), sorted.end(),
               [](const BreakdownEntry &a, const BreakdownEntry &b) {
-                  return a.batteryWatts > b.batteryWatts;
+                  return a.battery > b.battery;
               });
 
     for (const auto &e : sorted) {
-        if (e.nominalWatts <= 0.0)
+        if (e.nominal <= Milliwatts::zero())
             continue;
-        table.addRow({e.component, e.group,
-                      stats::fmtPower(e.nominalWatts),
+        table.addRow({e.component, e.group, stats::fmtPower(e.nominal),
                       stats::fmtPercent(e.share)});
     }
     table.addSeparator();
     table.addRow({"power delivery loss", "board",
                   stats::fmtPower(deliveryLoss),
-                  stats::fmtPercent(totalBattery > 0
+                  stats::fmtPercent(totalBattery > Milliwatts::zero()
                                         ? deliveryLoss / totalBattery
                                         : 0.0)});
     table.addRow({"TOTAL (battery)", "", stats::fmtPower(totalBattery),
@@ -67,17 +66,18 @@ snapshotBreakdown(const PowerModel &model, const PowerDelivery &pd)
     // Fig. 1(b) shows each component's rail-side power as a share of
     // the total battery power, with the power-delivery loss as its own
     // slice (26% at the paper's 74% DRIPS efficiency). Components keep
-    // their nominal (rail-side) watts; shares are taken against the
+    // their nominal (rail-side) power; shares are taken against the
     // battery total so that component shares plus the loss share sum
     // to one.
     for (const PowerComponent *c : model.components()) {
         BreakdownEntry e;
         e.component = c->name();
         e.group = c->group();
-        e.nominalWatts = c->power();
-        e.batteryWatts = c->power();
-        e.share = bd.totalBattery > 0 ? e.nominalWatts / bd.totalBattery
-                                      : 0.0;
+        e.nominal = c->power();
+        e.battery = c->power();
+        e.share = bd.totalBattery > Milliwatts::zero()
+                      ? e.nominal / bd.totalBattery
+                      : 0.0;
         bd.entries.push_back(std::move(e));
     }
     return bd;

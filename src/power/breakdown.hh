@@ -11,6 +11,7 @@
 
 #include "power/power_delivery.hh"
 #include "power/power_model.hh"
+#include "sim/units.hh"
 #include "stats/report.hh"
 
 namespace odrips
@@ -21,10 +22,10 @@ struct BreakdownEntry
 {
     std::string component;
     std::string group;
-    /** Rail-side (nominal) watts drawn by the component. */
-    double nominalWatts;
-    /** Same as nominalWatts (kept for reporting symmetry). */
-    double batteryWatts;
+    /** Rail-side (nominal) power drawn by the component. */
+    Milliwatts nominal;
+    /** Same as nominal (kept for reporting symmetry). */
+    Milliwatts battery;
     /** Share of total *battery* power; all component shares plus the
      * delivery-loss share sum to one (Fig. 1(b) convention). */
     double share;
@@ -34,9 +35,9 @@ struct BreakdownEntry
 struct PowerBreakdown
 {
     std::vector<BreakdownEntry> entries;
-    double totalNominal = 0.0;
-    double totalBattery = 0.0;
-    double deliveryLoss = 0.0;
+    Milliwatts totalNominal;
+    Milliwatts totalBattery;
+    Milliwatts deliveryLoss;
 
     /** Sum the battery share of all components in a group. */
     double groupShare(const std::string &group) const;

@@ -15,6 +15,7 @@
 
 #include "sim/named.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -37,25 +38,25 @@ class PowerComponent : public Named
     PowerComponent(const PowerComponent &) = delete;
     PowerComponent &operator=(const PowerComponent &) = delete;
 
-    /** Current nominal power in watts. */
-    double power() const { return watts; }
+    /** Current nominal power. */
+    Milliwatts power() const { return level; }
 
     /** Change the draw at time @p when (integrates history first). */
-    void setPower(double new_watts, Tick when);
+    void setPower(Milliwatts new_power, Tick when);
 
     /** Reporting group. */
     const std::string &group() const { return _group; }
 
-    /** Energy consumed so far in joules (up to the last integration). */
-    double energy() const { return joules; }
+    /** Energy consumed so far (up to the last integration). */
+    Millijoules energy() const { return consumed; }
 
   private:
     friend class PowerModel;
 
-    PowerModel &model;
+    PowerModel &owner;
     std::string _group;
-    double watts = 0.0;
-    double joules = 0.0;
+    Milliwatts level;
+    Millijoules consumed;
     Tick lastUpdate = 0;
 };
 

@@ -14,6 +14,7 @@
 #include "power/power_delivery.hh"
 #include "power/power_model.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -22,11 +23,11 @@ namespace odrips
 class EnergyAccountant
 {
   public:
-    EnergyAccountant(PowerModel &model, const PowerDelivery &delivery)
-        : model(model), pd(delivery)
+    EnergyAccountant(PowerModel &power_model, const PowerDelivery &delivery)
+        : model(power_model), pd(delivery)
     {
         lastLoad = model.totalPower();
-        model.addListener([this](Tick when, double new_total) {
+        model.addListener([this](Tick when, Milliwatts new_total) {
             integrateTo(when);
             lastLoad = new_total;
         });
@@ -39,9 +40,9 @@ class EnergyAccountant
         if (now <= lastTick) {
             return;
         }
-        batteryJoules += pd.batteryPower(lastLoad)
-                         * ticksToSeconds(now - lastTick);
-        loadJoules += lastLoad * ticksToSeconds(now - lastTick);
+        const Seconds dt = Seconds::fromTicks(now - lastTick);
+        batteryTotal += pd.batteryPower(lastLoad) * dt;
+        loadTotal += lastLoad * dt;
         lastTick = now;
     }
 
@@ -50,29 +51,30 @@ class EnergyAccountant
     reset(Tick now)
     {
         integrateTo(now);
-        batteryJoules = 0.0;
-        loadJoules = 0.0;
+        batteryTotal = Millijoules::zero();
+        loadTotal = Millijoules::zero();
         startTick = now;
         lastTick = now;
         lastLoad = model.totalPower();
     }
 
-    /** Battery energy in joules since the last reset. */
-    double batteryEnergy() const { return batteryJoules; }
+    /** Battery energy since the last reset. */
+    Millijoules batteryEnergy() const { return batteryTotal; }
 
-    /** Nominal (load-side) energy in joules since the last reset. */
-    double loadEnergy() const { return loadJoules; }
+    /** Nominal (load-side) energy since the last reset. */
+    Millijoules loadEnergy() const { return loadTotal; }
 
     /** Average battery power over [reset, lastIntegration]. */
-    double
+    Milliwatts
     averageBatteryPower() const
     {
-        const double secs = ticksToSeconds(lastTick - startTick);
-        return secs > 0 ? batteryJoules / secs : 0.0;
+        const Seconds window = Seconds::fromTicks(lastTick - startTick);
+        return window > Seconds(0.0) ? batteryTotal / window
+                                     : Milliwatts::zero();
     }
 
     /** Instantaneous battery power at the current load level. */
-    double instantaneousBatteryPower() const
+    Milliwatts instantaneousBatteryPower() const
     {
         return pd.batteryPower(lastLoad);
     }
@@ -83,9 +85,9 @@ class EnergyAccountant
   private:
     PowerModel &model;
     const PowerDelivery &pd;
-    double lastLoad = 0.0;
-    double batteryJoules = 0.0;
-    double loadJoules = 0.0;
+    Milliwatts lastLoad;
+    Millijoules batteryTotal;
+    Millijoules loadTotal;
     Tick lastTick = 0;
     Tick startTick = 0;
 };

@@ -17,14 +17,14 @@ PowerAnalyzer::PowerAnalyzer(std::string name, EventQueue &event_queue,
 }
 
 std::size_t
-PowerAnalyzer::addChannel(std::string label, std::function<double()> probe)
+PowerAnalyzer::addChannel(std::string label, std::function<Milliwatts()> probe)
 {
     if (channels.size() >= 4) {
         warn(name(), ": more than four channels configured; a real "
                      "N6705B mainframe has four slots");
     }
-    channels.push_back(
-        AnalyzerChannel{std::move(label), std::move(probe), 0, 0, 0, 0, {}});
+    channels.push_back(AnalyzerChannel{std::move(label), std::move(probe),
+                                       0, {}, {}, {}, {}});
     return channels.size() - 1;
 }
 
@@ -47,9 +47,9 @@ PowerAnalyzer::clear()
 {
     for (auto &ch : channels) {
         ch.samples = 0;
-        ch.sum = 0.0;
-        ch.minSample = 0.0;
-        ch.maxSample = 0.0;
+        ch.sum = Milliwatts::zero();
+        ch.minSample = Milliwatts::zero();
+        ch.maxSample = Milliwatts::zero();
         ch.trace.clear();
     }
 }
@@ -65,7 +65,7 @@ void
 PowerAnalyzer::takeSample()
 {
     for (auto &ch : channels) {
-        const double value = ch.probe();
+        const Milliwatts value = ch.probe();
         if (ch.samples == 0) {
             ch.minSample = value;
             ch.maxSample = value;

@@ -16,6 +16,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
+#include "sim/units.hh"
 #include "stats/stat.hh"
 
 namespace odrips
@@ -25,15 +26,20 @@ namespace odrips
 struct AnalyzerChannel
 {
     std::string label;
-    std::function<double()> probe;
+    std::function<Milliwatts()> probe;
     std::uint64_t samples = 0;
-    double sum = 0.0;
-    double minSample = 0.0;
-    double maxSample = 0.0;
-    /** Optional full trace (tick, watts) when tracing is enabled. */
-    std::vector<std::pair<Tick, double>> trace;
+    Milliwatts sum;
+    Milliwatts minSample;
+    Milliwatts maxSample;
+    /** Optional full trace (tick, power) when tracing is enabled. */
+    std::vector<std::pair<Tick, Milliwatts>> trace;
 
-    double average() const { return samples ? sum / samples : 0.0; }
+    Milliwatts
+    average() const
+    {
+        return samples ? sum / static_cast<double>(samples)
+                       : Milliwatts::zero();
+    }
 };
 
 /**
@@ -55,7 +61,7 @@ class PowerAnalyzer : public SimObject
 
     /** Add a measurement channel; returns its index. */
     std::size_t addChannel(std::string label,
-                           std::function<double()> probe);
+                           std::function<Milliwatts()> probe);
 
     /** Begin sampling (first sample at now + interval). */
     void arm();

@@ -14,6 +14,7 @@
 #define ODRIPS_POWER_POWER_DELIVERY_HH
 
 #include "sim/logging.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -40,60 +41,61 @@ class PowerDelivery
      * the fixed loss dominates and efficiency drops.
      */
     static PowerDelivery
-    loadCurve(double fixed_loss_watts, double proportional_loss)
+    loadCurve(Milliwatts fixed_loss, double proportional_loss)
     {
-        ODRIPS_ASSERT(fixed_loss_watts >= 0 && proportional_loss >= 0,
+        ODRIPS_ASSERT(fixed_loss >= Milliwatts::zero() &&
+                          proportional_loss >= 0,
                       "negative loss");
         PowerDelivery pd;
         pd.kind = Kind::Curve;
-        pd.fixedLoss = fixed_loss_watts;
+        pd.fixedLoss = fixed_loss;
         pd.alpha = proportional_loss;
         return pd;
     }
 
     /**
-     * Create a two-level model: below @p threshold_watts of load the
+     * Create a two-level model: below @p threshold of load the
      * low-power regulator path is active with @p low_eff (the paper's
      * 74% in DRIPS); at or above it the main regulators run at
      * @p high_eff. This reproduces the paper's per-state "tax".
      */
     static PowerDelivery
-    stepped(double threshold_watts, double low_eff, double high_eff)
+    stepped(Milliwatts threshold, double low_eff, double high_eff)
     {
         ODRIPS_ASSERT(low_eff > 0 && low_eff <= 1.0 && high_eff > 0 &&
                           high_eff <= 1.0,
                       "efficiency out of range");
         PowerDelivery pd;
         pd.kind = Kind::Stepped;
-        pd.threshold = threshold_watts;
+        pd.threshold = threshold;
         pd.eff = low_eff;
         pd.effHigh = high_eff;
         return pd;
     }
 
     /** Battery power for a given nominal load. */
-    double
-    batteryPower(double load_watts) const
+    Milliwatts
+    batteryPower(Milliwatts load) const
     {
         switch (kind) {
           case Kind::Fixed:
-            return load_watts / eff;
+            return load / eff;
           case Kind::Stepped:
-            return load_watts / (load_watts < threshold ? eff : effHigh);
+            return load / (load < threshold ? eff : effHigh);
           case Kind::Curve:
             break;
         }
-        return load_watts + fixedLoss + alpha * load_watts;
+        return load + fixedLoss + alpha * load;
     }
 
     /** Efficiency at a given load. */
     double
-    efficiency(double load_watts) const
+    efficiency(Milliwatts load) const
     {
         if (kind == Kind::Fixed)
             return eff;
-        const double battery = batteryPower(load_watts);
-        return battery > 0 ? load_watts / battery : 1.0;
+        const Milliwatts battery = batteryPower(load);
+        return battery > Milliwatts::zero() ? load / battery : 1.0;
     }
 
   private:
@@ -104,8 +106,8 @@ class PowerDelivery
     Kind kind = Kind::Fixed;
     double eff = 1.0;
     double effHigh = 1.0;
-    double threshold = 0.0;
-    double fixedLoss = 0.0;
+    Milliwatts threshold;
+    Milliwatts fixedLoss;
     double alpha = 0.0;
 };
 

@@ -7,44 +7,45 @@
 namespace odrips
 {
 
-PowerComponent::PowerComponent(PowerModel &model, std::string name,
+PowerComponent::PowerComponent(PowerModel &power_model, std::string name,
                                std::string group)
-    : Named(std::move(name)), model(model), _group(std::move(group))
+    : Named(std::move(name)), owner(power_model), _group(std::move(group))
 {
-    model.registerComponent(this);
+    owner.registerComponent(this);
 }
 
 PowerComponent::~PowerComponent()
 {
-    model.unregisterComponent(this);
+    owner.unregisterComponent(this);
 }
 
 void
-PowerComponent::setPower(double new_watts, Tick when)
+PowerComponent::setPower(Milliwatts new_power, Tick when)
 {
-    ODRIPS_ASSERT(new_watts >= 0.0, name(), ": negative power");
+    ODRIPS_ASSERT(new_power >= Milliwatts::zero(), name(),
+                  ": negative power");
     ODRIPS_ASSERT(when >= lastUpdate, name(), ": power change in the past");
 
     // Integrate the interval at the previous level.
-    joules += watts * ticksToSeconds(when - lastUpdate);
+    consumed += level * Seconds::fromTicks(when - lastUpdate);
     lastUpdate = when;
 
-    model.total += new_watts - watts;
-    watts = new_watts;
-    model.notifyChange(when);
+    owner.total += new_power - level;
+    level = new_power;
+    owner.notifyChange(when);
 }
 
 void
 PowerModel::registerComponent(PowerComponent *c)
 {
     comps.push_back(c);
-    total += c->watts;
+    total += c->level;
 }
 
 void
 PowerModel::unregisterComponent(PowerComponent *c)
 {
-    total -= c->watts;
+    total -= c->level;
     std::erase(comps, c);
 }
 
@@ -61,7 +62,7 @@ PowerModel::advanceTo(Tick now)
     for (PowerComponent *c : comps) {
         ODRIPS_ASSERT(now >= c->lastUpdate,
                       "power model advanced into the past");
-        c->joules += c->watts * ticksToSeconds(now - c->lastUpdate);
+        c->consumed += c->level * Seconds::fromTicks(now - c->lastUpdate);
         c->lastUpdate = now;
     }
 }
@@ -76,10 +77,10 @@ PowerModel::find(const std::string &name) const
     return nullptr;
 }
 
-double
+Milliwatts
 PowerModel::groupPower(const std::string &group) const
 {
-    double sum = 0.0;
+    Milliwatts sum;
     for (const PowerComponent *c : comps) {
         if (c->group() == group)
             sum += c->power();
@@ -87,10 +88,10 @@ PowerModel::groupPower(const std::string &group) const
     return sum;
 }
 
-double
+Millijoules
 PowerModel::totalEnergy() const
 {
-    double sum = 0.0;
+    Millijoules sum;
     for (const PowerComponent *c : comps)
         sum += c->energy();
     return sum;

@@ -13,6 +13,7 @@
 
 #include "power/component.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -29,8 +30,8 @@ class PowerModel
     PowerModel(const PowerModel &) = delete;
     PowerModel &operator=(const PowerModel &) = delete;
 
-    /** Sum of all components' current nominal power (watts). */
-    double totalPower() const { return total; }
+    /** Sum of all components' current nominal power. */
+    Milliwatts totalPower() const { return total; }
 
     /** Integrate all component energies up to @p now. */
     void advanceTo(Tick now);
@@ -45,17 +46,17 @@ class PowerModel
     PowerComponent *find(const std::string &name) const;
 
     /** Sum of current power over components in @p group. */
-    double groupPower(const std::string &group) const;
+    Milliwatts groupPower(const std::string &group) const;
 
-    /** Total integrated nominal energy in joules (up to last advance). */
-    double totalEnergy() const;
+    /** Total integrated nominal energy (up to last advance). */
+    Millijoules totalEnergy() const;
 
     /**
      * Observer invoked after any component changes power:
      * callback(now, new_total_nominal_power).
      */
     void
-    addListener(std::function<void(Tick, double)> listener)
+    addListener(std::function<void(Tick, Milliwatts)> listener)
     {
         listeners.push_back(std::move(listener));
     }
@@ -68,8 +69,8 @@ class PowerModel
     void notifyChange(Tick when);
 
     std::vector<PowerComponent *> comps;
-    std::vector<std::function<void(Tick, double)>> listeners;
-    double total = 0.0;
+    std::vector<std::function<void(Tick, Milliwatts)>> listeners;
+    Milliwatts total;
 };
 
 } // namespace odrips

@@ -51,8 +51,8 @@ leakageScale(ProcessNode from, ProcessNode to)
     return (b.leakage / a.leakage) * (b.vdd / a.vdd);
 }
 
-double
-scaleMixedPower(double watts, double leakage_fraction,
+Milliwatts
+scaleMixedPower(Milliwatts measured, double leakage_fraction,
                 double dynamic_fraction, ProcessNode from, ProcessNode to)
 {
     ODRIPS_ASSERT(leakage_fraction >= 0 && dynamic_fraction >= 0 &&
@@ -60,9 +60,9 @@ scaleMixedPower(double watts, double leakage_fraction,
                   "power fractions out of range");
     const double fixed_fraction =
         1.0 - leakage_fraction - dynamic_fraction;
-    return watts * (leakage_fraction * leakageScale(from, to) +
-                    dynamic_fraction * dynamicScale(from, to) +
-                    fixed_fraction);
+    return measured * (leakage_fraction * leakageScale(from, to) +
+                       dynamic_fraction * dynamicScale(from, to) +
+                       fixed_fraction);
 }
 
 } // namespace odrips

@@ -19,6 +19,8 @@
 
 #include <string>
 
+#include "sim/units.hh"
+
 namespace odrips
 {
 
@@ -64,9 +66,9 @@ double leakageScale(ProcessNode from, ProcessNode to);
  * fraction (fractions must sum to <= 1; the remainder is treated as
  * node-independent board power).
  */
-double scaleMixedPower(double watts, double leakage_fraction,
-                       double dynamic_fraction, ProcessNode from,
-                       ProcessNode to);
+Milliwatts scaleMixedPower(Milliwatts measured, double leakage_fraction,
+                           double dynamic_fraction, ProcessNode from,
+                           ProcessNode to);
 
 } // namespace odrips
 

@@ -20,6 +20,7 @@
 #include "power/component.hh"
 #include "sim/logging.hh"
 #include "sim/named.hh"
+#include "sim/units.hh"
 #include "stats/report.hh"
 
 namespace odrips
@@ -29,10 +30,10 @@ namespace odrips
 class Rail : public Named
 {
   public:
-    Rail(std::string name, double volts)
-        : Named(std::move(name)), volts_(volts)
+    Rail(std::string name, double rail_volts)
+        : Named(std::move(name)), volts_(rail_volts)
     {
-        ODRIPS_ASSERT(volts > 0, "rail voltage must be positive");
+        ODRIPS_ASSERT(rail_volts > 0, "rail voltage must be positive");
     }
 
     double volts() const { return volts_; }
@@ -45,17 +46,17 @@ class Rail : public Named
     }
 
     /** Instantaneous power drawn from this rail. */
-    double
+    Milliwatts
     power() const
     {
-        double sum = 0.0;
+        Milliwatts sum;
         for (const PowerComponent *c : components)
             sum += c->power();
         return sum;
     }
 
     /** Instantaneous current in amperes. */
-    double current() const { return power() / volts_; }
+    double current() const { return power().watts() / volts_; }
 
     std::size_t componentCount() const { return components.size(); }
 
@@ -70,11 +71,12 @@ class RailSet
   public:
     /** Create a rail. */
     Rail &
-    add(std::string name, double volts)
+    add(std::string name, double rail_volts)
     {
         for (const auto &r : rails)
             ODRIPS_ASSERT(r->name() != name, "duplicate rail ", name);
-        rails.push_back(std::make_unique<Rail>(std::move(name), volts));
+        rails.push_back(
+            std::make_unique<Rail>(std::move(name), rail_volts));
         return *rails.back();
     }
 

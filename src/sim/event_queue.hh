@@ -39,9 +39,9 @@ class Event
     /** Statistics / measurement events run after model events. */
     static constexpr Priority statsPriority = 100;
 
-    Event(std::string name, std::function<void()> callback,
+    Event(std::string name, std::function<void()> cb,
           Priority priority = defaultPriority)
-        : _name(std::move(name)), callback(std::move(callback)),
+        : _name(std::move(name)), callback(std::move(cb)),
           _priority(priority)
     {}
 

@@ -53,8 +53,8 @@ class Logger
 class SimError : public std::runtime_error
 {
   public:
-    SimError(LogLevel level, const std::string &what)
-        : std::runtime_error(what), level(level)
+    SimError(LogLevel error_level, const std::string &what)
+        : std::runtime_error(what), level(error_level)
     {}
 
     const LogLevel level;

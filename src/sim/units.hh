@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Compile-time unit safety for the power and timing layers.
+ *
+ * The simulator's headline numbers (Fig. 6(a) savings, Sec. 6.3 context
+ * latencies) are produced by `double` arithmetic over seconds, joules
+ * and watts. A bare `double` carries no unit, so a mixed-up
+ * milliwatts-vs-watts or seconds-vs-ticks argument compiles silently
+ * and corrupts every downstream figure. This header provides tagged
+ * strong types with only dimension-legal operators:
+ *
+ *  - Seconds       wall-clock / simulated duration
+ *  - Picoseconds   integer simulated time, interoperable with Tick
+ *  - Milliwatts    power (the paper reports DRIPS power in mW)
+ *  - Millijoules   energy
+ *  - Hertz         frequency
+ *
+ * Legal dimension algebra (anything else does not compile):
+ *
+ *      Millijoules = Milliwatts * Seconds
+ *      Milliwatts  = Millijoules / Seconds
+ *      Seconds     = Millijoules / Milliwatts
+ *      Seconds     = Hertz::period(), cycles = Hertz * Seconds
+ *      Seconds    <-> Picoseconds <-> Tick
+ *
+ * Construction and read-out always name the unit explicitly
+ * (`Milliwatts::fromWatts(0.06)`, `p.milliwatts()`), so no call site
+ * can be ambiguous about scale. The internal representation is the SI
+ * base unit (watts, joules, seconds), which keeps the arithmetic
+ * bit-identical to the pre-units `double` code and therefore keeps the
+ * golden-value suites exact.
+ */
+
+#ifndef ODRIPS_SIM_UNITS_HH
+#define ODRIPS_SIM_UNITS_HH
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+/**
+ * Width-checked narrowing cast: panics if @p value does not survive the
+ * round trip to @p To (out of range, sign change, or truncation). Used
+ * around the m=10/f=21 Step fixed-point arithmetic where 128-bit raw
+ * values are folded back into 64-bit counters.
+ */
+template <typename To, typename From>
+constexpr To
+narrow(From value)
+{
+    static_assert(std::is_integral_v<From> || std::is_same_v<From, unsigned __int128>,
+                  "narrow() is for integer conversions");
+    const To result = static_cast<To>(value);
+    ODRIPS_ASSERT(static_cast<From>(result) == value,
+                  "narrowing cast lost bits");
+    ODRIPS_ASSERT((result < To{}) == (value < From{}),
+                  "narrowing cast changed sign");
+    return result;
+}
+
+class Seconds;
+class Picoseconds;
+class Milliwatts;
+class Millijoules;
+class Hertz;
+
+/** A duration in (fractional) seconds. */
+class Seconds
+{
+  public:
+    constexpr Seconds() = default;
+    constexpr explicit Seconds(double seconds) : rep(seconds) {}
+
+    /** Duration of @p ticks simulator ticks. */
+    static constexpr Seconds
+    fromTicks(Tick ticks)
+    {
+        return Seconds(ticksToSeconds(ticks));
+    }
+
+    static constexpr Seconds
+    fromMilliseconds(double ms)
+    {
+        return Seconds(ms * 1e-3);
+    }
+
+    static constexpr Seconds
+    fromMicroseconds(double us)
+    {
+        return Seconds(us * 1e-6);
+    }
+
+    constexpr double seconds() const { return rep; }
+    constexpr double milliseconds() const { return rep * 1e3; }
+    constexpr double microseconds() const { return rep * 1e6; }
+
+    /** Nearest-tick simulated duration. */
+    constexpr Tick ticks() const { return secondsToTicks(rep); }
+
+    constexpr Seconds operator+(Seconds o) const { return Seconds(rep + o.rep); }
+    constexpr Seconds operator-(Seconds o) const { return Seconds(rep - o.rep); }
+    constexpr Seconds operator*(double k) const { return Seconds(rep * k); }
+    constexpr Seconds operator/(double k) const { return Seconds(rep / k); }
+    /** Ratio of two durations (dimensionless). */
+    constexpr double operator/(Seconds o) const { return rep / o.rep; }
+    constexpr Seconds &operator+=(Seconds o) { rep += o.rep; return *this; }
+    constexpr Seconds &operator-=(Seconds o) { rep -= o.rep; return *this; }
+    constexpr Seconds &operator*=(double k) { rep *= k; return *this; }
+    constexpr Seconds &operator/=(double k) { rep /= k; return *this; }
+    constexpr auto operator<=>(const Seconds &) const = default;
+
+  private:
+    double rep = 0.0; ///< seconds
+};
+
+constexpr Seconds operator*(double k, Seconds s) { return s * k; }
+
+/**
+ * Integer simulated time in picoseconds. One Picosecond is exactly one
+ * simulator Tick (see sim/ticks.hh), so this type is the strong-typed
+ * face of Tick arithmetic.
+ */
+class Picoseconds
+{
+  public:
+    constexpr Picoseconds() = default;
+    constexpr explicit Picoseconds(Tick ticks) : rep(ticks) {}
+
+    /** Identity interop with the Tick time base. */
+    static constexpr Picoseconds
+    fromTicks(Tick ticks)
+    {
+        return Picoseconds(ticks);
+    }
+
+    /** Round a fractional duration to the tick grid (nearest). */
+    static constexpr Picoseconds
+    fromSeconds(Seconds s)
+    {
+        return Picoseconds(s.ticks());
+    }
+
+    constexpr Tick ticks() const { return rep; }
+    constexpr Seconds seconds() const { return Seconds::fromTicks(rep); }
+
+    constexpr Picoseconds operator+(Picoseconds o) const { return Picoseconds(rep + o.rep); }
+    constexpr Picoseconds operator-(Picoseconds o) const { return Picoseconds(rep - o.rep); }
+    constexpr Picoseconds operator*(Tick k) const { return Picoseconds(rep * k); }
+    constexpr auto operator<=>(const Picoseconds &) const = default;
+
+  private:
+    Tick rep = 0; ///< picoseconds == ticks
+};
+
+/** Power. Named for the paper's reporting granularity (DRIPS ~60 mW). */
+class Milliwatts
+{
+  public:
+    constexpr Milliwatts() = default;
+
+    static constexpr Milliwatts
+    fromWatts(double watts)
+    {
+        return Milliwatts(watts);
+    }
+
+    static constexpr Milliwatts
+    fromMilliwatts(double mw)
+    {
+        return Milliwatts(mw * 1e-3);
+    }
+
+    static constexpr Milliwatts zero() { return Milliwatts(0.0); }
+
+    constexpr double watts() const { return rep; }
+    constexpr double milliwatts() const { return rep * 1e3; }
+
+    constexpr Milliwatts operator+(Milliwatts o) const { return Milliwatts(rep + o.rep); }
+    constexpr Milliwatts operator-(Milliwatts o) const { return Milliwatts(rep - o.rep); }
+    constexpr Milliwatts operator*(double k) const { return Milliwatts(rep * k); }
+    constexpr Milliwatts operator/(double k) const { return Milliwatts(rep / k); }
+    /** Ratio of two powers (dimensionless, e.g. a share). */
+    constexpr double operator/(Milliwatts o) const { return rep / o.rep; }
+    constexpr Milliwatts &operator+=(Milliwatts o) { rep += o.rep; return *this; }
+    constexpr Milliwatts &operator-=(Milliwatts o) { rep -= o.rep; return *this; }
+    constexpr Milliwatts &operator*=(double k) { rep *= k; return *this; }
+    constexpr Milliwatts &operator/=(double k) { rep /= k; return *this; }
+    constexpr Millijoules operator*(Seconds t) const;
+    constexpr auto operator<=>(const Milliwatts &) const = default;
+
+  private:
+    constexpr explicit Milliwatts(double watts) : rep(watts) {}
+
+    double rep = 0.0; ///< watts (SI base; accessors convert)
+};
+
+constexpr Milliwatts operator*(double k, Milliwatts p) { return p * k; }
+
+/** Energy. Named for the paper's reporting granularity. */
+class Millijoules
+{
+  public:
+    constexpr Millijoules() = default;
+
+    static constexpr Millijoules
+    fromJoules(double joules)
+    {
+        return Millijoules(joules);
+    }
+
+    static constexpr Millijoules
+    fromMillijoules(double mj)
+    {
+        return Millijoules(mj * 1e-3);
+    }
+
+    static constexpr Millijoules zero() { return Millijoules(0.0); }
+
+    constexpr double joules() const { return rep; }
+    constexpr double millijoules() const { return rep * 1e3; }
+    constexpr double microjoules() const { return rep * 1e6; }
+
+    constexpr Millijoules operator+(Millijoules o) const { return Millijoules(rep + o.rep); }
+    constexpr Millijoules operator-(Millijoules o) const { return Millijoules(rep - o.rep); }
+    constexpr Millijoules operator*(double k) const { return Millijoules(rep * k); }
+    constexpr Millijoules operator/(double k) const { return Millijoules(rep / k); }
+    /** Ratio of two energies (dimensionless). */
+    constexpr double operator/(Millijoules o) const { return rep / o.rep; }
+    /** Average power over a duration. */
+    constexpr Milliwatts
+    operator/(Seconds t) const
+    {
+        return Milliwatts::fromWatts(rep / t.seconds());
+    }
+    /** Time a power level takes to consume this energy. */
+    constexpr Seconds
+    operator/(Milliwatts p) const
+    {
+        return Seconds(rep / p.watts());
+    }
+    constexpr Millijoules &operator+=(Millijoules o) { rep += o.rep; return *this; }
+    constexpr Millijoules &operator-=(Millijoules o) { rep -= o.rep; return *this; }
+    constexpr Millijoules &operator*=(double k) { rep *= k; return *this; }
+    constexpr Millijoules &operator/=(double k) { rep /= k; return *this; }
+    constexpr auto operator<=>(const Millijoules &) const = default;
+
+  private:
+    constexpr explicit Millijoules(double joules) : rep(joules) {}
+
+    double rep = 0.0; ///< joules (SI base; accessors convert)
+};
+
+constexpr Millijoules operator*(double k, Millijoules e) { return e * k; }
+
+constexpr Millijoules
+Milliwatts::operator*(Seconds t) const
+{
+    return Millijoules::fromJoules(rep * t.seconds());
+}
+
+/** Frequency. */
+class Hertz
+{
+  public:
+    constexpr Hertz() = default;
+    constexpr explicit Hertz(double hz) : rep(hz) {}
+
+    static constexpr Hertz fromKilohertz(double khz) { return Hertz(khz * 1e3); }
+    static constexpr Hertz fromMegahertz(double mhz) { return Hertz(mhz * 1e6); }
+
+    /** Frequency whose period is @p s. */
+    static constexpr Hertz
+    fromPeriod(Seconds s)
+    {
+        return Hertz(1.0 / s.seconds());
+    }
+
+    constexpr double hertz() const { return rep; }
+    constexpr double kilohertz() const { return rep * 1e-3; }
+    constexpr double megahertz() const { return rep * 1e-6; }
+
+    constexpr Seconds period() const { return Seconds(1.0 / rep); }
+    /** Period rounded to the tick grid (as ClockDomain::period()). */
+    constexpr Picoseconds
+    periodPicoseconds() const
+    {
+        return Picoseconds(frequencyToPeriod(rep));
+    }
+
+    /** Cycle count elapsed in a duration (fractional). */
+    constexpr double operator*(Seconds t) const { return rep * t.seconds(); }
+    /** Ratio of two frequencies (dimensionless, e.g. the Step). */
+    constexpr double operator/(Hertz o) const { return rep / o.rep; }
+    constexpr Hertz operator*(double k) const { return Hertz(rep * k); }
+    constexpr Hertz operator/(double k) const { return Hertz(rep / k); }
+    constexpr auto operator<=>(const Hertz &) const = default;
+
+  private:
+    double rep = 0.0; ///< hertz
+};
+
+constexpr double operator*(Seconds t, Hertz f) { return f * t; }
+constexpr Hertz operator*(double k, Hertz f) { return f * k; }
+
+namespace unit_literals
+{
+
+constexpr Seconds operator""_sec(long double s) { return Seconds(static_cast<double>(s)); }
+constexpr Seconds operator""_msec(long double ms) { return Seconds::fromMilliseconds(static_cast<double>(ms)); }
+constexpr Seconds operator""_usec(long double us) { return Seconds::fromMicroseconds(static_cast<double>(us)); }
+constexpr Milliwatts operator""_W(long double w) { return Milliwatts::fromWatts(static_cast<double>(w)); }
+constexpr Milliwatts operator""_mW(long double mw) { return Milliwatts::fromMilliwatts(static_cast<double>(mw)); }
+constexpr Millijoules operator""_J(long double j) { return Millijoules::fromJoules(static_cast<double>(j)); }
+constexpr Millijoules operator""_mJ(long double mj) { return Millijoules::fromMillijoules(static_cast<double>(mj)); }
+constexpr Hertz operator""_Hz(long double hz) { return Hertz(static_cast<double>(hz)); }
+constexpr Hertz operator""_kHz(long double khz) { return Hertz::fromKilohertz(static_cast<double>(khz)); }
+constexpr Hertz operator""_MHz(long double mhz) { return Hertz::fromMegahertz(static_cast<double>(mhz)); }
+
+} // namespace unit_literals
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_UNITS_HH

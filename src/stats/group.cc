@@ -5,8 +5,8 @@
 namespace odrips::stats
 {
 
-StatGroup::StatGroup(std::string name, StatGroup *parent)
-    : _name(std::move(name)), parent(parent)
+StatGroup::StatGroup(std::string name, StatGroup *parent_group)
+    : _name(std::move(name)), parent(parent_group)
 {
     if (parent)
         parent->kids.push_back(this);

@@ -9,11 +9,12 @@ namespace odrips::stats
 {
 
 Histogram::Histogram(StatGroup &group, std::string name,
-                     std::string description, double lo, double hi,
-                     std::size_t buckets, std::string unit)
+                     std::string description, double range_lo,
+                     double range_hi, std::size_t buckets,
+                     std::string unit)
     : Stat(group, std::move(name), std::move(description),
            std::move(unit)),
-      lo(lo), hi(hi), bins(buckets, 0)
+      lo(range_lo), hi(range_hi), bins(buckets, 0)
 {
     ODRIPS_ASSERT(hi > lo, "histogram range is empty");
     ODRIPS_ASSERT(buckets > 0, "histogram needs at least one bucket");

@@ -49,7 +49,11 @@ class Histogram : public Stat
 
     std::size_t bucketCountTotal() const { return bins.size(); }
 
-    double mean() const { return count ? sum / count : 0.0; }
+    double
+    mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
 
     /**
      * Value below which @p fraction of samples fall (linear

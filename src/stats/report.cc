@@ -13,7 +13,7 @@
 namespace odrips::stats
 {
 
-Table::Table(std::string title) : title(std::move(title)) {}
+Table::Table(std::string table_title) : title(std::move(table_title)) {}
 
 void
 Table::setHeader(std::vector<std::string> new_header)
@@ -117,6 +117,23 @@ fmtPower(double watts)
 }
 
 std::string
+fmtPower(Milliwatts power)
+{
+    return fmtPower(power.watts());
+}
+
+std::string
+fmtEnergy(Millijoules energy)
+{
+    const double aj = std::fabs(energy.joules());
+    if (aj >= 1.0)
+        return fmt(energy.joules(), 3) + " J";
+    if (aj >= 1e-3)
+        return fmt(energy.millijoules(), 3) + " mJ";
+    return fmt(energy.microjoules(), 3) + " uJ";
+}
+
+std::string
 fmtTime(double seconds)
 {
     const double as = std::fabs(seconds);
@@ -127,6 +144,12 @@ fmtTime(double seconds)
     if (as >= 1e-6)
         return fmt(seconds * 1e6, 3) + " us";
     return fmt(seconds * 1e9, 3) + " ns";
+}
+
+std::string
+fmtTime(Seconds duration)
+{
+    return fmtTime(duration.seconds());
 }
 
 std::string

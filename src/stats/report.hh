@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/units.hh"
+
 namespace odrips::stats
 {
 
@@ -50,9 +52,14 @@ std::string fmt(double value, int digits = 3);
 
 /** Format a power value in engineering units (W / mW / uW). */
 std::string fmtPower(double watts);
+std::string fmtPower(Milliwatts power);
+
+/** Format an energy value in engineering units (J / mJ / uJ). */
+std::string fmtEnergy(Millijoules energy);
 
 /** Format a time value in engineering units (s / ms / us / ns). */
 std::string fmtTime(double seconds);
+std::string fmtTime(Seconds duration);
 
 /** Format a ratio as a signed percentage ("-22.0%"). */
 std::string fmtPercent(double fraction, int digits = 1);

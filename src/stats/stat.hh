@@ -77,7 +77,11 @@ class Average : public Stat
     }
 
     std::uint64_t samples() const { return count; }
-    double value() const override { return count ? sum / count : 0.0; }
+    double
+    value() const override
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
 
     void
     reset() override
@@ -103,7 +107,11 @@ class Distribution : public Stat
     double min() const { return count ? minVal : 0.0; }
     double max() const { return count ? maxVal : 0.0; }
     double sum() const { return total; }
-    double mean() const { return count ? total / count : 0.0; }
+    double
+    mean() const
+    {
+        return count ? total / static_cast<double>(count) : 0.0;
+    }
     /** Sample standard deviation (0 when fewer than two samples). */
     double stddev() const;
 

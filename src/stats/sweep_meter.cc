@@ -21,9 +21,10 @@ registry()
 
 } // namespace
 
-SweepMeter::SweepMeter(std::string name, std::size_t points,
-                       unsigned jobs)
-    : name(std::move(name)), points(points), jobs(jobs),
+SweepMeter::SweepMeter(std::string meter_name, std::size_t point_count,
+                       unsigned job_count)
+    : name(std::move(meter_name)), points(point_count), jobs(job_count),
+      // odrips-lint: allow(wall-clock)
       start(std::chrono::steady_clock::now())
 {
 }
@@ -44,6 +45,7 @@ SweepMeter::finish()
     rec.points = points;
     rec.jobs = jobs;
     rec.wallSeconds =
+        // odrips-lint: allow(wall-clock)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();

@@ -59,7 +59,9 @@ class SweepMeter
     std::string name;
     std::size_t points;
     unsigned jobs;
-    std::chrono::steady_clock::time_point start;
+    // Host wall-clock is deliberate here: the meter reports build
+    // progress to the operator and never feeds simulation results.
+    std::chrono::steady_clock::time_point start; // odrips-lint: allow(wall-clock)
     bool recorded = false;
 };
 

@@ -21,7 +21,9 @@ namespace odrips
 class FastTimer
 {
   public:
-    explicit FastTimer(const ClockDomain &clock) : clock(clock) {}
+    explicit FastTimer(const ClockDomain &source_clock)
+        : clock(source_clock)
+    {}
 
     /** Load a counter value at time @p t and start counting. */
     void

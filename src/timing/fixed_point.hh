@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/units.hh"
 
 namespace odrips
 {
@@ -76,11 +77,11 @@ class FixedUint
     unsigned fractionBits() const { return fracBits; }
     uint128 raw() const { return raw_; }
 
-    /** Integer part (floor). */
+    /** Integer part (floor); asserts it fits the 64-bit counter. */
     std::uint64_t
     integerPart() const
     {
-        return static_cast<std::uint64_t>(raw_ >> fracBits);
+        return narrow<std::uint64_t>(raw_ >> fracBits);
     }
 
     /** Fractional part as raw bits (in [0, 2^fracBits)). */
@@ -90,7 +91,7 @@ class FixedUint
         if (fracBits == 0)
             return 0;
         const uint128 mask = (static_cast<uint128>(1) << fracBits) - 1;
-        return static_cast<std::uint64_t>(raw_ & mask);
+        return narrow<std::uint64_t>(raw_ & mask);
     }
 
     /** Value as a double (may lose precision; for reporting only). */

@@ -22,8 +22,8 @@ namespace odrips
 class SlowTimer
 {
   public:
-    explicit SlowTimer(const ClockDomain &clock)
-        : clock(clock), base(0), step(0)
+    explicit SlowTimer(const ClockDomain &source_clock)
+        : clock(source_clock), base(0), step(0)
     {}
 
     /** Program the Step increment (from a CalibrationResult). */

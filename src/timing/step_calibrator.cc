@@ -6,22 +6,23 @@ namespace odrips
 {
 
 unsigned
-StepCalibrator::requiredIntegerBits(double fast_hz, double slow_hz)
+StepCalibrator::requiredIntegerBits(Hertz fast_clock, Hertz slow_clock)
 {
-    ODRIPS_ASSERT(fast_hz > slow_hz && slow_hz > 0,
+    ODRIPS_ASSERT(fast_clock > slow_clock && slow_clock > Hertz{},
                   "fast clock must be faster than slow clock");
-    return static_cast<unsigned>(std::floor(std::log2(fast_hz / slow_hz)))
+    return static_cast<unsigned>(
+               std::floor(std::log2(fast_clock / slow_clock)))
            + 1;
 }
 
 unsigned
-StepCalibrator::requiredFractionBits(double fast_hz, double slow_hz,
+StepCalibrator::requiredFractionBits(Hertz fast_clock, Hertz slow_clock,
                                      std::uint64_t precision_cycles)
 {
     // Eq. 4: N_slow = 2^f must exceed (precision_cycles - 1) / ratio so
     // that a quantization error below one raw LSB per slow cycle cannot
     // accumulate to a full fast cycle within the precision window.
-    const double ratio = fast_hz / slow_hz;
+    const double ratio = fast_clock / slow_clock;
     const double min_slow_cycles =
         (static_cast<double>(precision_cycles) - 1.0) / ratio;
     unsigned f = 0;
@@ -36,7 +37,8 @@ StepCalibrator::calibrate(unsigned fraction_bits,
 {
     CalibrationResult r;
     r.fractionBits = fraction_bits;
-    r.integerBits = requiredIntegerBits(fast.actualHz(), slow.actualHz());
+    r.integerBits = requiredIntegerBits(fast.actualFrequency(),
+                                        slow.actualFrequency());
     r.slowCycles = std::uint64_t{1} << fraction_bits;
 
     // Exact count of fast edges inside N_slow slow periods. A hardware
@@ -44,7 +46,7 @@ StepCalibrator::calibrate(unsigned fraction_bits,
     // the initial phase offset, modelled by phase_fast_cycles.
     const double window_seconds =
         static_cast<double>(r.slowCycles) / slow.actualHz();
-    r.durationSeconds = window_seconds;
+    r.duration = Seconds(window_seconds);
     r.fastCycles = static_cast<std::uint64_t>(
                        std::floor(window_seconds * fast.actualHz()))
                    + phase_fast_cycles;
@@ -60,7 +62,7 @@ CalibrationResult
 StepCalibrator::calibrateForPpb() const
 {
     const unsigned f = requiredFractionBits(
-        fast.nominalHz(), slow.nominalHz(), 1000000000ULL);
+        fast.nominalFrequency(), slow.nominalFrequency(), 1000000000ULL);
     return calibrate(f);
 }
 

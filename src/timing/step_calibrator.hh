@@ -23,6 +23,7 @@
 
 #include "clock/crystal.hh"
 #include "sim/ticks.hh"
+#include "sim/units.hh"
 #include "timing/fixed_point.hh"
 
 namespace odrips
@@ -41,8 +42,8 @@ struct CalibrationResult
     std::uint64_t slowCycles = 0;
     /** Number of fast cycles counted within the window (N_fast). */
     std::uint64_t fastCycles = 0;
-    /** Wall-clock duration of the calibration window in seconds. */
-    double durationSeconds = 0.0;
+    /** Wall-clock duration of the calibration window. */
+    Seconds duration{};
 };
 
 /**
@@ -53,21 +54,21 @@ class StepCalibrator
 {
   public:
     /**
-     * @param fast the fast crystal (e.g. 24 MHz XTAL)
-     * @param slow the slow crystal (e.g. 32.768 kHz RTC XTAL)
+     * @param fast_xtal the fast crystal (e.g. 24 MHz XTAL)
+     * @param slow_xtal the slow crystal (e.g. 32.768 kHz RTC XTAL)
      */
-    StepCalibrator(const Crystal &fast, const Crystal &slow)
-        : fast(fast), slow(slow)
+    StepCalibrator(const Crystal &fast_xtal, const Crystal &slow_xtal)
+        : fast(fast_xtal), slow(slow_xtal)
     {}
 
     /** Eq. 2: integer bits needed for the frequency ratio. */
-    static unsigned requiredIntegerBits(double fast_hz, double slow_hz);
+    static unsigned requiredIntegerBits(Hertz fast_clock, Hertz slow_clock);
 
     /**
      * Eq. 4: fraction bits needed so the counting drift stays below one
      * fast cycle within @p precision_cycles fast cycles (1e9 for 1 ppb).
      */
-    static unsigned requiredFractionBits(double fast_hz, double slow_hz,
+    static unsigned requiredFractionBits(Hertz fast_clock, Hertz slow_clock,
                                          std::uint64_t precision_cycles);
 
     /**

@@ -64,8 +64,9 @@ StandbyTrace::meanActiveSeconds(double core_hz) const
     return sum / static_cast<double>(cycles.size());
 }
 
-StandbyWorkloadGenerator::StandbyWorkloadGenerator(const WorkloadConfig &cfg)
-    : cfg(cfg), rng(cfg.seed)
+StandbyWorkloadGenerator::StandbyWorkloadGenerator(
+    const WorkloadConfig &config)
+    : cfg(config), rng(config.seed)
 {
 }
 

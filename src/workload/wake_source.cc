@@ -16,8 +16,9 @@ to_string(WakeReason reason)
     return "?";
 }
 
-KernelTimerSource::KernelTimerSource(Tick period, double jitter_fraction)
-    : period(period), jitter(jitter_fraction)
+KernelTimerSource::KernelTimerSource(Tick timer_period,
+                                     double jitter_fraction)
+    : period(timer_period), jitter(jitter_fraction)
 {
     ODRIPS_ASSERT(period > 0, "timer period must be positive");
     ODRIPS_ASSERT(jitter >= 0.0 && jitter < 1.0, "bad jitter fraction");
@@ -34,9 +35,9 @@ KernelTimerSource::nextAfter(Tick after, Rng &rng)
     return WakeEvent{after + interval, WakeReason::KernelTimer};
 }
 
-PoissonSource::PoissonSource(WakeReason reason,
+PoissonSource::PoissonSource(WakeReason wake_reason,
                              double mean_interval_seconds)
-    : reason(reason), meanSeconds(mean_interval_seconds)
+    : reason(wake_reason), meanSeconds(mean_interval_seconds)
 {
     ODRIPS_ASSERT(mean_interval_seconds > 0,
                   "mean wake interval must be positive");

@@ -9,47 +9,48 @@
 #include "clock/crystal.hh"
 
 using namespace odrips;
+using namespace odrips::unit_literals;
 
 namespace
 {
 
 TEST(CrystalTest, NominalAndActualFrequency)
 {
-    Crystal x("x24", 24.0e6, 20.0, 1.8e-3);
+    Crystal x("x24", 24.0e6, 20.0, 1.8_mW);
     EXPECT_DOUBLE_EQ(x.nominalHz(), 24.0e6);
     EXPECT_DOUBLE_EQ(x.actualHz(), 24.0e6 * (1.0 + 20e-6));
 }
 
 TEST(CrystalTest, NegativePpmRunsSlow)
 {
-    Crystal x("x32", 32768.0, -35.0, 0.3e-3);
+    Crystal x("x32", 32768.0, -35.0, 0.3_mW);
     EXPECT_LT(x.actualHz(), 32768.0);
     EXPECT_NEAR(x.actualHz(), 32768.0 * (1.0 - 35e-6), 1e-6);
 }
 
 TEST(CrystalTest, EnableDisableControlsPower)
 {
-    Crystal x("x", 24.0e6, 0.0, 1.8e-3);
+    Crystal x("x", 24.0e6, 0.0, 1.8_mW);
     EXPECT_TRUE(x.enabled());
-    EXPECT_DOUBLE_EQ(x.power(), 1.8e-3);
+    EXPECT_DOUBLE_EQ(x.power().watts(), 1.8e-3);
     x.disable();
     EXPECT_FALSE(x.enabled());
-    EXPECT_DOUBLE_EQ(x.power(), 0.0);
-    EXPECT_DOUBLE_EQ(x.ratedPower(), 1.8e-3);
+    EXPECT_DOUBLE_EQ(x.power().watts(), 0.0);
+    EXPECT_DOUBLE_EQ(x.ratedPower().watts(), 1.8e-3);
     x.enable();
-    EXPECT_DOUBLE_EQ(x.power(), 1.8e-3);
+    EXPECT_DOUBLE_EQ(x.power().watts(), 1.8e-3);
 }
 
 TEST(CrystalTest, PeriodMatchesFrequency)
 {
-    Crystal x("x", 24.0e6, 0.0, 0.0);
+    Crystal x("x", 24.0e6, 0.0, Milliwatts::zero());
     // 24 MHz -> 41666.67 ps, rounds to nearest ps.
     EXPECT_EQ(x.period(), 41667);
 }
 
 TEST(ClockDomainTest, FrequencyFollowsSourceAndRatio)
 {
-    Crystal x("x", 24.0e6, 0.0, 0.0);
+    Crystal x("x", 24.0e6, 0.0, Milliwatts::zero());
     ClockDomain d("d", x, 2.0);
     EXPECT_DOUBLE_EQ(d.frequency(), 48.0e6);
     EXPECT_DOUBLE_EQ(d.ungatedFrequency(), 48.0e6);
@@ -57,7 +58,7 @@ TEST(ClockDomainTest, FrequencyFollowsSourceAndRatio)
 
 TEST(ClockDomainTest, GatingStopsEdges)
 {
-    Crystal x("x", 24.0e6, 0.0, 0.0);
+    Crystal x("x", 24.0e6, 0.0, Milliwatts::zero());
     ClockDomain d("d", x);
     EXPECT_TRUE(d.running());
     d.gate();
@@ -70,7 +71,7 @@ TEST(ClockDomainTest, GatingStopsEdges)
 
 TEST(ClockDomainTest, SourceDisableStopsDomain)
 {
-    Crystal x("x", 24.0e6, 0.0, 0.0);
+    Crystal x("x", 24.0e6, 0.0, Milliwatts::zero());
     ClockDomain d("d", x);
     x.disable();
     EXPECT_FALSE(d.running());
@@ -79,7 +80,7 @@ TEST(ClockDomainTest, SourceDisableStopsDomain)
 
 TEST(ClockDomainTest, CyclesInInterval)
 {
-    Crystal x("x", 1.0e9, 0.0, 0.0); // 1 GHz -> 1 ns period
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero()); // 1 GHz -> 1 ns period
     ClockDomain d("d", x);
     EXPECT_EQ(d.cyclesIn(0, 1000 * oneNs), 1000u);
     EXPECT_EQ(d.cyclesIn(0, 0), 0u);
@@ -89,7 +90,7 @@ TEST(ClockDomainTest, CyclesInInterval)
 
 TEST(ClockDomainTest, NextEdgeAlignment)
 {
-    Crystal x("x", 1.0e9, 0.0, 0.0); // period 1000 ps
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero()); // period 1000 ps
     ClockDomain d("d", x);
     EXPECT_EQ(d.nextEdge(0), 0);
     EXPECT_EQ(d.nextEdge(1), 1000);
@@ -99,7 +100,7 @@ TEST(ClockDomainTest, NextEdgeAlignment)
 
 TEST(ClockDomainTest, SlowClockEdgeSpacing)
 {
-    Crystal x32("x32", 32768.0, 0.0, 0.0);
+    Crystal x32("x32", 32768.0, 0.0, Milliwatts::zero());
     ClockDomain d("rtc", x32);
     const Tick p = d.period();
     // One RTC period is ~30.5 us.
@@ -109,7 +110,7 @@ TEST(ClockDomainTest, SlowClockEdgeSpacing)
 
 TEST(ClockDomainTest, CyclesInLongIntervalMatchesFrequency)
 {
-    Crystal x("x", 24.0e6, 0.0, 0.0);
+    Crystal x("x", 24.0e6, 0.0, Milliwatts::zero());
     ClockDomain d("d", x);
     // Over 1 s we should count ~24M cycles (quantized by ps rounding).
     const std::uint64_t cycles = d.cyclesIn(0, oneSec);

@@ -245,7 +245,7 @@ TEST_F(CoreFixture, DripsBreakdownMatchesFig1b)
     flows.enterIdle();
 
     const PowerBreakdown bd = snapshotBreakdown(platform.pm, platform.pd);
-    EXPECT_NEAR(bd.totalBattery, 0.060, 0.001);
+    EXPECT_NEAR(bd.totalBattery.watts(), 0.060, 0.001);
 
     // Fig. 1(b) anchors: processor 18%, AON IO 7%, S/R SRAM 9%,
     // wake/timer + 24 MHz crystal 5%.
@@ -300,24 +300,26 @@ TEST_F(CoreFixture, AonRailDrainsUnderOdrips)
     StandbyFlows baseline_flows(platform, TechniqueSet::baseline());
     baseline_flows.enterIdle();
     const double aon_baseline =
-        platform.rails.find("vcc_aon").power();
+        platform.rails.find("vcc_aon").power().watts();
     platform.eq.run(platform.now() + oneMs);
     baseline_flows.exitIdle();
 
     Platform platform2(skylakeConfig());
     StandbyFlows odrips_flows(platform2, TechniqueSet::odrips());
     odrips_flows.enterIdle();
-    const double aon_odrips = platform2.rails.find("vcc_aon").power();
+    const double aon_odrips =
+        platform2.rails.find("vcc_aon").power().watts();
 
     // ODRIPS strips the processor-side loads off the AON rail.
     EXPECT_LT(aon_odrips, aon_baseline - 9e-3);
     // What remains is essentially the chipset AON domain.
     EXPECT_NEAR(aon_odrips,
-                platform2.cfg.dripsPower.chipsetAon +
-                    platform2.cfg.dripsPower.bootSram +
-                    (platform2.cfg.dripsPower.srSramSa +
-                     platform2.cfg.dripsPower.srSramCores) *
-                        platform2.cfg.srSramResidualFraction,
+                (platform2.cfg.dripsPower.chipsetAon +
+                 platform2.cfg.dripsPower.bootSram +
+                 (platform2.cfg.dripsPower.srSramSa +
+                  platform2.cfg.dripsPower.srSramCores) *
+                     platform2.cfg.srSramResidualFraction)
+                    .watts(),
                 1e-3);
 }
 

@@ -109,9 +109,11 @@ TEST_F(GoldenFixture, Sec4StepBitWidths)
 {
     // EXPERIMENTS.md, Sec. 4.1.3: Eq. 2 integer bits m = 10 and Eq. 4
     // fraction bits f = 21 for 1 ppb — both exactly the paper's.
-    EXPECT_EQ(StepCalibrator::requiredIntegerBits(24.0e6, 32768.0), 10u);
-    EXPECT_EQ(StepCalibrator::requiredFractionBits(24.0e6, 32768.0,
-                                                   1000000000ULL),
+    EXPECT_EQ(StepCalibrator::requiredIntegerBits(Hertz(24.0e6),
+                                                  Hertz(32768.0)),
+              10u);
+    EXPECT_EQ(StepCalibrator::requiredFractionBits(
+                  Hertz(24.0e6), Hertz(32768.0), 1000000000ULL),
               21u);
 }
 

@@ -99,7 +99,7 @@ TEST_P(StandbyFlowTest, EntryReachesExpectedIdlePower)
     StandbyFlows flows(platform, GetParam().tech);
     flows.enterIdle();
 
-    const double idle = flows.idleBatteryPower();
+    const double idle = flows.idleBatteryPower().watts();
     // Baseline lands at ~60 mW; every technique strictly reduces it;
     // full ODRIPS lands near 43-44 mW.
     EXPECT_GT(idle, 0.040);
@@ -112,11 +112,12 @@ TEST_P(StandbyFlowTest, EntryReachesExpectedIdlePower)
 TEST_P(StandbyFlowTest, ExitRestoresActivePower)
 {
     StandbyFlows flows(platform, GetParam().tech);
-    const double before = platform.batteryPower();
+    const double before = platform.batteryPower().watts();
     flows.enterIdle();
     platform.eq.run(platform.now() + 10 * oneMs);
     flows.exitIdle();
-    EXPECT_NEAR(platform.batteryPower(), before, before * 0.01);
+    EXPECT_NEAR(platform.batteryPower().watts(), before,
+                before * 0.01);
 }
 
 TEST_P(StandbyFlowTest, ContextSurvivesCycle)
@@ -152,7 +153,7 @@ TEST_P(StandbyFlowTest, RepeatedCyclesAreStable)
     for (int i = 0; i < 3; ++i) {
         flows.enterIdle();
         platform.eq.run(platform.now() + oneMs);
-        const double idle = flows.idleBatteryPower();
+        const double idle = flows.idleBatteryPower().watts();
         if (i == 0)
             first_idle = idle;
         else
@@ -172,8 +173,8 @@ INSTANTIATE_TEST_SUITE_P(
         FlowCase{"ctx_sgx_dram", TechniqueSet::ctxSgxDram()},
         FlowCase{"odrips", TechniqueSet::odrips()},
         FlowCase{"odrips_mram", TechniqueSet::odripsMram()}),
-    [](const ::testing::TestParamInfo<FlowCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<FlowCase> &param_info) {
+        return param_info.param.name;
     });
 
 class OdripsFlowDetails : public ::testing::Test
@@ -195,7 +196,7 @@ TEST_F(OdripsFlowDetails, CrystalAndClocksOffInIdle)
     EXPECT_FALSE(platform.board.xtal24.enabled());
     EXPECT_TRUE(platform.board.xtal32.enabled());
     EXPECT_FALSE(platform.chipset.fastClock.running());
-    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power().watts(), 0.0);
 
     platform.eq.run(platform.now() + oneMs);
     flows.exitIdle();
@@ -208,14 +209,14 @@ TEST_F(OdripsFlowDetails, AonIosGatedInIdle)
     flows.enterIdle();
     EXPECT_FALSE(platform.processor.aonIos.powered());
     EXPECT_FALSE(flows.fetGate()->conducting());
-    EXPECT_GT(platform.board.fetLeakage.power(), 0.0);
+    EXPECT_GT(platform.board.fetLeakage.power().watts(), 0.0);
     EXPECT_FALSE(platform.pml.up());
 
     platform.eq.run(platform.now() + oneMs);
     flows.exitIdle();
     EXPECT_TRUE(platform.processor.aonIos.powered());
     EXPECT_TRUE(platform.pml.up());
-    EXPECT_DOUBLE_EQ(platform.board.fetLeakage.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.board.fetLeakage.power().watts(), 0.0);
 }
 
 TEST_F(OdripsFlowDetails, SrSramsOffAndResidualCharged)
@@ -223,23 +224,24 @@ TEST_F(OdripsFlowDetails, SrSramsOffAndResidualCharged)
     flows.enterIdle();
     EXPECT_EQ(platform.processor.saSram.state(), SramState::Off);
     EXPECT_EQ(platform.processor.coresSram.state(), SramState::Off);
-    EXPECT_GT(platform.processor.srResidual.power(), 0.0);
+    EXPECT_GT(platform.processor.srResidual.power().watts(), 0.0);
     // Boot SRAM still retains (it holds the MEE root).
     EXPECT_EQ(platform.processor.bootSram.state(), SramState::Retention);
 
     platform.eq.run(platform.now() + oneMs);
     flows.exitIdle();
     EXPECT_EQ(platform.processor.saSram.state(), SramState::Active);
-    EXPECT_DOUBLE_EQ(platform.processor.srResidual.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.processor.srResidual.power().watts(),
+                     0.0);
 }
 
 TEST_F(OdripsFlowDetails, DramInSelfRefreshDuringIdle)
 {
     flows.enterIdle();
     EXPECT_TRUE(platform.memory->inRetention());
-    EXPECT_DOUBLE_EQ(platform.memoryComp.power(),
-                     platform.cfg.dram.selfRefreshPower);
-    EXPECT_GT(platform.ckeComp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.memoryComp.power().watts(),
+                     platform.cfg.dram.selfRefreshPower.watts());
+    EXPECT_GT(platform.ckeComp.power().watts(), 0.0);
 
     platform.eq.run(platform.now() + oneMs);
     flows.exitIdle();
@@ -317,7 +319,7 @@ TEST(BaselineFlowDetails, BaselineKeepsCrystalAndSrams)
     EXPECT_EQ(platform.processor.saSram.state(), SramState::Retention);
     EXPECT_EQ(platform.processor.coresSram.state(),
               SramState::Retention);
-    EXPECT_GT(platform.processor.wakeTimer.power(), 0.0);
+    EXPECT_GT(platform.processor.wakeTimer.power().watts(), 0.0);
     EXPECT_EQ(flows.fetGate(), nullptr);
     EXPECT_FALSE(flows.calibration().has_value());
 }
@@ -330,7 +332,7 @@ TEST(MramFlowDetails, ContextGoesToEmramNotDram)
 
     // eMRAM holds the context with zero power while idle.
     EXPECT_FALSE(platform.emram->poweredOn());
-    EXPECT_DOUBLE_EQ(platform.emramComp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.emramComp.power().watts(), 0.0);
     EXPECT_GT(platform.emram->totalWrites(), 0u);
     // No MEE traffic for the MRAM path.
     EXPECT_EQ(platform.mee->statistics().linesWritten, 0u);

@@ -199,8 +199,8 @@ TEST_F(IntegrationFixture, EnergyConservationAcrossAccounting)
     const StandbyResult r = sim.run(StandbyWorkloadGenerator::fixed(
         2, 100 * oneMs, 50 * oneMs, 0.7, 0.8e9));
 
-    const double battery = platform.accountant.batteryEnergy();
-    const double load = platform.accountant.loadEnergy();
+    const double battery = platform.accountant.batteryEnergy().joules();
+    const double load = platform.accountant.loadEnergy().joules();
     EXPECT_GT(battery, load);              // delivery always loses
     EXPECT_LT(battery, load / 0.74 + 1e-9); // bounded by worst efficiency
     EXPECT_GT(r.averageBatteryPower, 0.0);

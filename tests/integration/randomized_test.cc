@@ -69,8 +69,8 @@ TEST_P(RandomizedRun, InvariantsHoldAcrossRandomWorkloads)
 
     // Energy conservation: battery >= load, bounded by the worst
     // efficiency.
-    const double battery = platform.accountant.batteryEnergy();
-    const double load = platform.accountant.loadEnergy();
+    const double battery = platform.accountant.batteryEnergy().joules();
+    const double load = platform.accountant.loadEnergy().joules();
     EXPECT_GE(battery, load);
     EXPECT_LE(battery, load / cfg.pdLowEfficiency + 1e-9);
 
@@ -82,7 +82,7 @@ TEST_P(RandomizedRun, InvariantsHoldAcrossRandomWorkloads)
     EXPECT_GT(r.idleBatteryPower, 0.025);
 
     // The platform is back at C0 at the end (flows are re-entrant).
-    EXPECT_NEAR(platform.batteryPower(), r.activeBatteryPower,
+    EXPECT_NEAR(platform.batteryPower().watts(), r.activeBatteryPower,
                 r.activeBatteryPower * 0.05);
 }
 

@@ -77,7 +77,7 @@ class PmlTest : public ::testing::Test
 {
   protected:
     PmlTest()
-        : xtal("x24", 24.0e6, 0.0, 0.0), clk("clk", xtal),
+        : xtal("x24", 24.0e6, 0.0, Milliwatts::zero()), clk("clk", xtal),
           pml("pml", clk, 4, 8)
     {
     }
@@ -134,31 +134,31 @@ TEST(AonIoTest, PowerFollowsGateState)
 {
     PowerModel pm;
     PowerComponent comp(pm, "aon_io", "processor");
-    AonIoBank bank("aon", &comp, 4.2e-3);
-    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+    AonIoBank bank("aon", &comp, Milliwatts::fromWatts(4.2e-3));
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 4.2e-3);
     bank.setPowered(false, oneUs);
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
     bank.setPowered(true, oneMs);
-    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 4.2e-3);
 }
 
 TEST(AonIoTest, FunctionSharesSumToTotal)
 {
-    AonIoBank bank("aon", nullptr, 4.2e-3);
-    double sum = 0.0;
+    AonIoBank bank("aon", nullptr, Milliwatts::fromWatts(4.2e-3));
+    Milliwatts sum;
     for (AonIoFunction f :
          {AonIoFunction::Clock24Buffers, AonIoFunction::PmlProcessorSide,
           AonIoFunction::ThermalReport, AonIoFunction::VrSerial,
           AonIoFunction::Debug}) {
         sum += bank.functionPower(f);
     }
-    EXPECT_NEAR(sum, 4.2e-3, 1e-12);
+    EXPECT_NEAR(sum.watts(), 4.2e-3, 1e-12);
 }
 
 TEST(AonIoTest, UsingGatedFunctionPanics)
 {
     Logger::throwOnError(true);
-    AonIoBank bank("aon", nullptr, 4.2e-3);
+    AonIoBank bank("aon", nullptr, Milliwatts::fromWatts(4.2e-3));
     bank.setPowered(false, 0);
     EXPECT_THROW(bank.requireFunction(AonIoFunction::ThermalReport),
                  SimError);
@@ -171,7 +171,7 @@ class FetTest : public ::testing::Test
     FetTest()
         : comp(pm, "aon_io", "processor"),
           leak(pm, "fet_leak", "board"),
-          bank("aon", &comp, 4.2e-3), gpio("gpio", 4),
+          bank("aon", &comp, Milliwatts::fromWatts(4.2e-3)), gpio("gpio", 4),
           pin(gpio.claim("fet", GpioDirection::Output)),
           fet("fet", bank, gpio, pin, &leak, 0.003, 2 * oneUs)
     {
@@ -189,7 +189,7 @@ class FetTest : public ::testing::Test
 TEST_F(FetTest, StartsConducting)
 {
     EXPECT_TRUE(fet.conducting());
-    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 4.2e-3);
 }
 
 TEST_F(FetTest, OpenCutsLoadAndLeavesLeakage)
@@ -198,10 +198,10 @@ TEST_F(FetTest, OpenCutsLoadAndLeavesLeakage)
     EXPECT_EQ(latency, 2 * oneUs);
     EXPECT_FALSE(fet.conducting());
     EXPECT_FALSE(bank.powered());
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
     // Paper Sec. 5.3: off-state leakage < 0.3% of the gated load.
-    EXPECT_NEAR(leak.power(), 4.2e-3 * 0.003, 1e-12);
-    EXPECT_LT(leak.power(), 4.2e-3 * 0.003 + 1e-12);
+    EXPECT_NEAR(leak.power().watts(), 4.2e-3 * 0.003, 1e-12);
+    EXPECT_LT(leak.power().watts(), 4.2e-3 * 0.003 + 1e-12);
 }
 
 TEST_F(FetTest, CloseRestoresLoad)
@@ -210,8 +210,8 @@ TEST_F(FetTest, CloseRestoresLoad)
     fet.close(oneMs);
     EXPECT_TRUE(fet.conducting());
     EXPECT_TRUE(bank.powered());
-    EXPECT_DOUBLE_EQ(comp.power(), 4.2e-3);
-    EXPECT_DOUBLE_EQ(leak.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 4.2e-3);
+    EXPECT_DOUBLE_EQ(leak.power().watts(), 0.0);
 }
 
 TEST_F(FetTest, ControlledThroughGpioLevel)
@@ -226,7 +226,7 @@ class ThermalMonitorTest : public ::testing::Test
 {
   protected:
     ThermalMonitorTest()
-        : xtal32("x32", 32768.0, 0.0, 0.0), slowClk("slow", xtal32),
+        : xtal32("x32", 32768.0, 0.0, Milliwatts::zero()), slowClk("slow", xtal32),
           gpios("gpio", 4),
           pin(gpios.claim("ec-thermal", GpioDirection::Input)),
           monitor("thermal", gpios, pin, slowClk)

@@ -60,8 +60,8 @@ TEST_F(DramTest, AccessLatencyIncludesStreaming)
 
 TEST_F(DramTest, IdlePowerWhenActive)
 {
-    EXPECT_DOUBLE_EQ(array.power(), dram.config().idlePower);
-    EXPECT_DOUBLE_EQ(cke.power(), 0.0);
+    EXPECT_DOUBLE_EQ(array.power().watts(), dram.config().idlePower.watts());
+    EXPECT_DOUBLE_EQ(cke.power().watts(), 0.0);
 }
 
 TEST_F(DramTest, SelfRefreshSwitchesPowerAndCke)
@@ -69,14 +69,16 @@ TEST_F(DramTest, SelfRefreshSwitchesPowerAndCke)
     const Tick latency = dram.enterRetention(0);
     EXPECT_GT(latency, 0);
     EXPECT_TRUE(dram.inRetention());
-    EXPECT_DOUBLE_EQ(array.power(), dram.config().selfRefreshPower);
+    EXPECT_DOUBLE_EQ(array.power().watts(),
+                     dram.config().selfRefreshPower.watts());
     // The processor drives CKE while self-refresh is held.
-    EXPECT_DOUBLE_EQ(cke.power(), dram.config().ckeDrivePower);
+    EXPECT_DOUBLE_EQ(cke.power().watts(),
+                     dram.config().ckeDrivePower.watts());
 
     dram.exitRetention(oneMs);
     EXPECT_FALSE(dram.inRetention());
-    EXPECT_DOUBLE_EQ(array.power(), dram.config().idlePower);
-    EXPECT_DOUBLE_EQ(cke.power(), 0.0);
+    EXPECT_DOUBLE_EQ(array.power().watts(), dram.config().idlePower.watts());
+    EXPECT_DOUBLE_EQ(cke.power().watts(), 0.0);
 }
 
 TEST_F(DramTest, DataSurvivesSelfRefresh)
@@ -112,7 +114,7 @@ TEST_F(DramTest, AccessEnergyAccumulates)
 {
     std::vector<std::uint8_t> buf(1024, 0);
     dram.write(0, buf.data(), buf.size(), 0);
-    EXPECT_NEAR(dram.accessEnergy(),
+    EXPECT_NEAR(dram.accessEnergy().joules(),
                 1024 * dram.config().energyPerByte, 1e-15);
     EXPECT_EQ(dram.bytesTransferred(), 1024u);
 }
@@ -122,10 +124,11 @@ TEST(DramConfigTest, WithDataRateScalesBandwidthAndPower)
     const DramConfig base;
     const DramConfig slow = base.withDataRate(0.8e9);
     EXPECT_DOUBLE_EQ(slow.peakBandwidth(), base.peakBandwidth() / 2.0);
-    EXPECT_LT(slow.idlePower, base.idlePower);
-    EXPECT_LT(slow.activePower, base.activePower);
+    EXPECT_LT(slow.idlePower.watts(), base.idlePower.watts());
+    EXPECT_LT(slow.activePower.watts(), base.activePower.watts());
     // Self-refresh power is temperature-driven, not clock-driven.
-    EXPECT_DOUBLE_EQ(slow.selfRefreshPower, base.selfRefreshPower);
+    EXPECT_DOUBLE_EQ(slow.selfRefreshPower.watts(),
+                     base.selfRefreshPower.watts());
 }
 
 TEST(DramConfigTest, Fig6cFrequencyPoints)

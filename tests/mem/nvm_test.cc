@@ -33,10 +33,10 @@ TEST(PcmTest, StandbyPowerIsZero)
     PowerModel pm;
     PowerComponent comp(pm, "pcm", "memory");
     Pcm pcm("pcm", PcmConfig{}, &comp);
-    EXPECT_DOUBLE_EQ(comp.power(), pcm.config().idlePower);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), pcm.config().idlePower.watts());
     pcm.enterRetention(0);
     // No self-refresh: standby power is (configurably) zero.
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
 }
 
 TEST(PcmTest, WritesSlowerAndCostlierThanReads)
@@ -44,9 +44,9 @@ TEST(PcmTest, WritesSlowerAndCostlierThanReads)
     Pcm pcm("pcm", PcmConfig{});
     std::vector<std::uint8_t> buf(64 << 10, 0);
     const Tick t_write = pcm.write(0, buf.data(), buf.size(), 0).latency;
-    const double e_write = pcm.accessEnergy();
+    const double e_write = pcm.accessEnergy().joules();
     const Tick t_read = pcm.read(0, buf.data(), buf.size(), 0).latency;
-    const double e_read = pcm.accessEnergy() - e_write;
+    const double e_read = pcm.accessEnergy().joules() - e_write;
     EXPECT_GT(t_write, t_read);
     EXPECT_GT(e_write, e_read);
 }
@@ -104,11 +104,11 @@ TEST(EmramTest, ZeroPowerWhenOff)
     EmramConfig cfg;
     cfg.capacityBytes = 1024;
     Emram m("m", cfg, &comp);
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
     m.setPowered(true, 0);
-    EXPECT_DOUBLE_EQ(comp.power(), cfg.activePower);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), cfg.activePower.watts());
     m.setPowered(false, oneUs);
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
 }
 
 TEST(EmramTest, AccessWhileOffPanics)

@@ -30,15 +30,15 @@ TEST(SramTest, StartsActiveWithLeakage)
     PowerComponent comp(pm, "sram", "processor");
     Sram sram("s", makeConfig(4096, SramProcess::HighPerformance), &comp);
     EXPECT_EQ(sram.state(), SramState::Active);
-    EXPECT_GT(comp.power(), 0.0);
+    EXPECT_GT(comp.power().watts(), 0.0);
 }
 
 TEST(SramTest, RetentionLeaksLessThanActive)
 {
     Sram sram("s", makeConfig(4096, SramProcess::HighPerformance));
-    EXPECT_LT(sram.leakagePower(SramState::Retention),
-              sram.leakagePower(SramState::Active));
-    EXPECT_DOUBLE_EQ(sram.leakagePower(SramState::Off), 0.0);
+    EXPECT_LT(sram.leakagePower(SramState::Retention).watts(),
+              sram.leakagePower(SramState::Active).watts());
+    EXPECT_DOUBLE_EQ(sram.leakagePower(SramState::Off).watts(), 0.0);
 }
 
 TEST(SramTest, ProcessorLeaksFiveTimesChipset)
@@ -57,7 +57,8 @@ TEST(SramTest, PaperCalibration200KbLeaksFiveMilliwatts)
     // 200 KB of processor S/R SRAM at retention should leak ~5.4 mW
     // nominal (9% of the 60 mW platform at the battery).
     Sram sram("s", makeConfig(200 << 10, SramProcess::HighPerformance));
-    EXPECT_NEAR(sram.leakagePower(SramState::Retention), 5.4e-3, 0.1e-3);
+    EXPECT_NEAR(sram.leakagePower(SramState::Retention).watts(),
+                5.4e-3, 0.1e-3);
 }
 
 TEST(SramTest, WriteReadRoundTrip)
@@ -121,9 +122,9 @@ TEST(SramTest, StateChangeUpdatesPowerComponent)
     Sram sram("s", makeConfig(200 << 10, SramProcess::HighPerformance),
               &comp);
     sram.setState(SramState::Retention, 0);
-    EXPECT_NEAR(comp.power(), 5.4e-3, 0.1e-3);
+    EXPECT_NEAR(comp.power().watts(), 5.4e-3, 0.1e-3);
     sram.setState(SramState::Off, oneMs);
-    EXPECT_DOUBLE_EQ(comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(comp.power().watts(), 0.0);
 }
 
 TEST(SramTest, StreamLatencyScalesWithSize)
@@ -141,7 +142,7 @@ TEST(SramTest, AccessEnergyAccumulates)
     std::vector<std::uint8_t> buf(1000, 0);
     sram.write(0, buf.data(), buf.size());
     sram.read(0, buf.data(), buf.size());
-    EXPECT_NEAR(sram.accessEnergy(),
+    EXPECT_NEAR(sram.accessEnergy().joules(),
                 2000 * sram.config().energyPerByte, 1e-15);
 }
 

@@ -45,12 +45,12 @@ TEST(ConfigTest, DripsBudgetSumsToPaperAnchor)
     // at 74% delivery efficiency (Fig. 1(b) caption).
     const PlatformConfig cfg = skylakeConfig();
     const DripsPowerBudget &dp = cfg.dripsPower;
-    const double nominal =
+    const Milliwatts nominal =
         dp.procWakeTimer + dp.procAonIo + dp.srSramSa + dp.srSramCores +
         dp.bootSram + dp.chipsetAon + dp.chipsetFastClock + dp.xtal24 +
         dp.xtal32 + dp.boardOther + cfg.dram.selfRefreshPower +
         cfg.dram.ckeDrivePower;
-    EXPECT_NEAR(nominal / cfg.pdLowEfficiency, 60e-3, 0.5e-3);
+    EXPECT_NEAR(nominal.watts() / cfg.pdLowEfficiency, 60e-3, 0.5e-3);
 }
 
 TEST(ConfigTest, HaswellUnscalesSiliconPower)
@@ -58,10 +58,13 @@ TEST(ConfigTest, HaswellUnscalesSiliconPower)
     const PlatformConfig sky = skylakeConfig();
     const PlatformConfig has = haswellUltConfig();
     // 22 nm silicon burns more than the same design at 14 nm.
-    EXPECT_GT(has.dripsPower.srSramSa, sky.dripsPower.srSramSa);
-    EXPECT_GT(has.activePower.coresGfxBase, sky.activePower.coresGfxBase);
+    EXPECT_GT(has.dripsPower.srSramSa.watts(),
+              sky.dripsPower.srSramSa.watts());
+    EXPECT_GT(has.activePower.coresGfxBase.watts(),
+              sky.activePower.coresGfxBase.watts());
     // Board components do not scale.
-    EXPECT_DOUBLE_EQ(has.dripsPower.xtal24, sky.dripsPower.xtal24);
+    EXPECT_DOUBLE_EQ(has.dripsPower.xtal24.watts(),
+                     sky.dripsPower.xtal24.watts());
     // Haswell-ULT C10 exit latency was ~3 ms (Sec. 3).
     EXPECT_EQ(has.timings.baselineExit, 3000 * oneUs);
 }
@@ -77,9 +80,9 @@ TEST(ConfigTest, CoreVfCurveHasVminFloor)
 TEST(ConfigTest, CorePowerScalesSuperlinearlyAboveVmin)
 {
     const PlatformConfig cfg = skylakeConfig();
-    const double p08 = cfg.coresGfxPowerAt(0.8e9);
-    const double p10 = cfg.coresGfxPowerAt(1.0e9);
-    const double p15 = cfg.coresGfxPowerAt(1.5e9);
+    const double p08 = cfg.coresGfxPowerAt(0.8e9).watts();
+    const double p10 = cfg.coresGfxPowerAt(1.0e9).watts();
+    const double p15 = cfg.coresGfxPowerAt(1.5e9).watts();
     // Linear below the Vmin ceiling...
     EXPECT_NEAR(p10 / p08, 1.25, 1e-9);
     // ... superlinear above it.
@@ -178,15 +181,15 @@ class PlatformFixture : public ::testing::Test
 TEST_F(PlatformFixture, StartsActiveNearThreeWatts)
 {
     // C0 with display off is ~3 W at the battery (Fig. 2).
-    EXPECT_NEAR(platform.batteryPower(), 3.0, 0.15);
+    EXPECT_NEAR(platform.batteryPower().watts(), 3.0, 0.15);
 }
 
 TEST_F(PlatformFixture, GroupPowersArePositive)
 {
-    EXPECT_GT(platform.groupBatteryPower("processor"), 0.0);
-    EXPECT_GT(platform.groupBatteryPower("chipset"), 0.0);
-    EXPECT_GT(platform.groupBatteryPower("memory"), 0.0);
-    EXPECT_GT(platform.groupBatteryPower("board"), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("processor").watts(), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("chipset").watts(), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("memory").watts(), 0.0);
+    EXPECT_GT(platform.groupBatteryPower("board").watts(), 0.0);
 }
 
 TEST_F(PlatformFixture, AnalyzerHasFourChannels)
@@ -230,9 +233,10 @@ TEST(PlatformPcmTest, PcmPlatformHasNonVolatileMemory)
 TEST_F(PlatformFixture, ProcessorStallPowerBelowActive)
 {
     const double active =
-        platform.cfg.coresGfxPowerAt(platform.processor.coreFrequencyHz);
-    EXPECT_LT(platform.processor.stallPower(), active * 0.2);
-    EXPECT_GT(platform.processor.stallPower(), 0.0);
+        platform.cfg.coresGfxPowerAt(platform.processor.coreFrequencyHz)
+            .watts();
+    EXPECT_LT(platform.processor.stallPower().watts(), active * 0.2);
+    EXPECT_GT(platform.processor.stallPower().watts(), 0.0);
 }
 
 TEST_F(PlatformFixture, ChipsetClaimsTwoSparePins)
@@ -249,54 +253,57 @@ TEST_F(PlatformFixture, RailsCoverTheAonSupply)
 {
     // The AON rail must carry exactly the Fig. 1(a) always-on blocks.
     Rail &aon = platform.rails.find("vcc_aon");
-    EXPECT_GT(aon.power(), 0.0);
+    EXPECT_GT(aon.power().watts(), 0.0);
     EXPECT_GT(aon.componentCount(), 5u);
     // The compute rail carries the cores (active at construction).
-    EXPECT_GT(platform.rails.find("vcc_compute").power(), 1.0);
+    EXPECT_GT(platform.rails.find("vcc_compute").power().watts(),
+              1.0);
 }
 
 TEST_F(PlatformFixture, ChipsetIdlePowerDependsOnClockMode)
 {
     platform.chipset.applyIdlePower(0, /*slow_mode=*/false);
-    const double fast_mode = platform.chipset.fastClockTree.power();
-    EXPECT_DOUBLE_EQ(fast_mode,
-                     platform.cfg.dripsPower.chipsetFastClock);
+    const Milliwatts fast_mode = platform.chipset.fastClockTree.power();
+    EXPECT_DOUBLE_EQ(fast_mode.watts(),
+                     platform.cfg.dripsPower.chipsetFastClock.watts());
     platform.chipset.applyIdlePower(oneUs, /*slow_mode=*/true);
-    EXPECT_DOUBLE_EQ(platform.chipset.fastClockTree.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.chipset.fastClockTree.power().watts(), 0.0);
     // The AON domain itself stays on either way.
-    EXPECT_DOUBLE_EQ(platform.chipset.aonDomain.power(),
-                     platform.cfg.dripsPower.chipsetAon);
+    EXPECT_DOUBLE_EQ(platform.chipset.aonDomain.power().watts(),
+                     platform.cfg.dripsPower.chipsetAon.watts());
 }
 
 TEST_F(PlatformFixture, BoardSyncFollowsCrystalState)
 {
     platform.board.xtal24.disable();
     platform.board.syncXtalPower(oneUs);
-    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power(), 0.0);
-    EXPECT_GT(platform.board.xtal32Comp.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power().watts(), 0.0);
+    EXPECT_GT(platform.board.xtal32Comp.power().watts(), 0.0);
     platform.board.xtal24.enable();
     platform.board.syncXtalPower(2 * oneUs);
-    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power(),
-                     platform.cfg.dripsPower.xtal24);
+    EXPECT_DOUBLE_EQ(platform.board.xtal24Comp.power().watts(),
+                     platform.cfg.dripsPower.xtal24.watts());
 }
 
 TEST_F(PlatformFixture, ProcessorComputeIdleZeroesCores)
 {
-    EXPECT_GT(platform.processor.coresGfx.power(), 1.0);
+    EXPECT_GT(platform.processor.coresGfx.power().watts(), 1.0);
     platform.processor.applyComputeIdle(oneUs);
-    EXPECT_DOUBLE_EQ(platform.processor.coresGfx.power(), 0.0);
+    EXPECT_DOUBLE_EQ(platform.processor.coresGfx.power().watts(),
+                     0.0);
     // LLC stays powered (still holds data until flushed).
-    EXPECT_GT(platform.processor.llc.power(), 0.0);
+    EXPECT_GT(platform.processor.llc.power().watts(), 0.0);
     platform.processor.applyActivePower(2 * oneUs);
-    EXPECT_GT(platform.processor.coresGfx.power(), 1.0);
+    EXPECT_GT(platform.processor.coresGfx.power().watts(), 1.0);
 }
 
 TEST_F(PlatformFixture, ProcessorCoreFrequencyChangesActivePower)
 {
-    const double p_low = platform.processor.coresGfx.power();
+    const double p_low = platform.processor.coresGfx.power().watts();
     platform.processor.coreFrequencyHz = 1.5e9;
     platform.processor.applyActivePower(oneUs);
-    EXPECT_GT(platform.processor.coresGfx.power(), p_low * 1.5);
+    EXPECT_GT(platform.processor.coresGfx.power().watts(),
+              p_low * 1.5);
 }
 
 TEST_F(PlatformFixture, TscCountsFromConstruction)

@@ -17,6 +17,7 @@
 #include "sim/event_queue.hh"
 
 using namespace odrips;
+using namespace odrips::unit_literals;
 
 namespace
 {
@@ -26,9 +27,9 @@ TEST(PowerComponentTest, RegistersAndSumsIntoModel)
     PowerModel pm;
     PowerComponent a(pm, "a", "g1");
     PowerComponent b(pm, "b", "g2");
-    a.setPower(0.010, 0);
-    b.setPower(0.020, 0);
-    EXPECT_DOUBLE_EQ(pm.totalPower(), 0.030);
+    a.setPower(10.0_mW, 0);
+    b.setPower(20.0_mW, 0);
+    EXPECT_DOUBLE_EQ(pm.totalPower().watts(), 0.030);
     EXPECT_EQ(pm.components().size(), 2u);
     EXPECT_EQ(pm.find("a"), &a);
     EXPECT_EQ(pm.find("missing"), nullptr);
@@ -40,23 +41,23 @@ TEST(PowerComponentTest, GroupPower)
     PowerComponent a(pm, "a", "proc");
     PowerComponent b(pm, "b", "proc");
     PowerComponent c(pm, "c", "board");
-    a.setPower(1.0, 0);
-    b.setPower(2.0, 0);
-    c.setPower(4.0, 0);
-    EXPECT_DOUBLE_EQ(pm.groupPower("proc"), 3.0);
-    EXPECT_DOUBLE_EQ(pm.groupPower("board"), 4.0);
-    EXPECT_DOUBLE_EQ(pm.groupPower("none"), 0.0);
+    a.setPower(1.0_W, 0);
+    b.setPower(2.0_W, 0);
+    c.setPower(4.0_W, 0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("proc").watts(), 3.0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("board").watts(), 4.0);
+    EXPECT_DOUBLE_EQ(pm.groupPower("none").watts(), 0.0);
 }
 
 TEST(PowerComponentTest, EnergyIntegratesPiecewise)
 {
     PowerModel pm;
     PowerComponent a(pm, "a", "g");
-    a.setPower(2.0, 0);              // 2 W from t=0
-    a.setPower(1.0, oneSec);         // 1 W from t=1s
+    a.setPower(2.0_W, 0);            // 2 W from t=0
+    a.setPower(1.0_W, oneSec);       // 1 W from t=1s
     pm.advanceTo(3 * oneSec);        // until t=3s
-    EXPECT_NEAR(a.energy(), 2.0 * 1.0 + 1.0 * 2.0, 1e-9);
-    EXPECT_NEAR(pm.totalEnergy(), 4.0, 1e-9);
+    EXPECT_NEAR(a.energy().joules(), 2.0 * 1.0 + 1.0 * 2.0, 1e-9);
+    EXPECT_NEAR(pm.totalEnergy().joules(), 4.0, 1e-9);
 }
 
 TEST(PowerComponentTest, NegativePowerPanics)
@@ -64,7 +65,7 @@ TEST(PowerComponentTest, NegativePowerPanics)
     Logger::throwOnError(true);
     PowerModel pm;
     PowerComponent a(pm, "a", "g");
-    EXPECT_THROW(a.setPower(-1.0, 0), SimError);
+    EXPECT_THROW(a.setPower(Milliwatts::fromWatts(-1.0), 0), SimError);
     Logger::throwOnError(false);
 }
 
@@ -73,8 +74,8 @@ TEST(PowerComponentTest, ChangeInPastPanics)
     Logger::throwOnError(true);
     PowerModel pm;
     PowerComponent a(pm, "a", "g");
-    a.setPower(1.0, 100);
-    EXPECT_THROW(a.setPower(2.0, 50), SimError);
+    a.setPower(1.0_W, 100);
+    EXPECT_THROW(a.setPower(2.0_W, 50), SimError);
     Logger::throwOnError(false);
 }
 
@@ -82,39 +83,40 @@ TEST(PowerModelTest, ListenerNotifiedOnChange)
 {
     PowerModel pm;
     PowerComponent a(pm, "a", "g");
-    double seen_total = -1;
+    Milliwatts seen_total = Milliwatts::fromWatts(-1.0);
     Tick seen_when = -1;
-    pm.addListener([&](Tick when, double total) {
+    pm.addListener([&](Tick when, Milliwatts total) {
         seen_when = when;
         seen_total = total;
     });
-    a.setPower(0.5, 42);
-    EXPECT_DOUBLE_EQ(seen_total, 0.5);
+    a.setPower(0.5_W, 42);
+    EXPECT_DOUBLE_EQ(seen_total.watts(), 0.5);
     EXPECT_EQ(seen_when, 42);
 }
 
 TEST(PowerDeliveryTest, FixedEfficiency)
 {
     const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.74);
-    EXPECT_NEAR(pd.batteryPower(0.0444), 0.06, 1e-4);
-    EXPECT_DOUBLE_EQ(pd.efficiency(1.0), 0.74);
+    EXPECT_NEAR(pd.batteryPower(44.4_mW).watts(), 0.06, 1e-4);
+    EXPECT_DOUBLE_EQ(pd.efficiency(1.0_W), 0.74);
 }
 
 TEST(PowerDeliveryTest, SteppedEfficiencySwitchesAtThreshold)
 {
-    const PowerDelivery pd = PowerDelivery::stepped(0.2, 0.74, 0.87);
+    const PowerDelivery pd = PowerDelivery::stepped(0.2_W, 0.74, 0.87);
     // Paper footnote 5: a 10 mW component costs 10/0.74 = 13.51 mW.
-    EXPECT_NEAR(pd.batteryPower(0.010), 0.01351, 1e-5);
-    EXPECT_DOUBLE_EQ(pd.efficiency(0.1), 0.74);
-    EXPECT_DOUBLE_EQ(pd.efficiency(2.6), 0.87);
-    EXPECT_NEAR(pd.batteryPower(2.6), 2.6 / 0.87, 1e-9);
+    EXPECT_NEAR(pd.batteryPower(10.0_mW).watts(), 0.01351, 1e-5);
+    EXPECT_DOUBLE_EQ(pd.efficiency(0.1_W), 0.74);
+    EXPECT_DOUBLE_EQ(pd.efficiency(2.6_W), 0.87);
+    EXPECT_NEAR(pd.batteryPower(2.6_W).watts(), 2.6 / 0.87, 1e-9);
 }
 
 TEST(PowerDeliveryTest, LoadCurveEfficiencyDropsAtLightLoad)
 {
-    const PowerDelivery pd = PowerDelivery::loadCurve(0.009, 0.146);
-    EXPECT_LT(pd.efficiency(0.01), pd.efficiency(1.0));
-    EXPECT_GT(pd.batteryPower(0.0), 0.0); // fixed loss remains
+    const PowerDelivery pd = PowerDelivery::loadCurve(9.0_mW, 0.146);
+    EXPECT_LT(pd.efficiency(10.0_mW), pd.efficiency(1.0_W));
+    // Fixed loss remains at zero load.
+    EXPECT_GT(pd.batteryPower(Milliwatts::zero()).watts(), 0.0);
 }
 
 TEST(PowerDeliveryTest, BadEfficiencyFails)
@@ -132,13 +134,13 @@ TEST(EnergyAccountantTest, ExactIntegrationAcrossChanges)
     PowerComponent a(pm, "a", "g");
     EnergyAccountant acc(pm, pd);
 
-    a.setPower(1.0, 0);
-    a.setPower(3.0, oneSec);  // battery: 2 W for 1 s, then 6 W
+    a.setPower(1.0_W, 0);
+    a.setPower(3.0_W, oneSec);  // battery: 2 W for 1 s, then 6 W
     acc.integrateTo(2 * oneSec);
 
-    EXPECT_NEAR(acc.batteryEnergy(), 2.0 + 6.0, 1e-9);
-    EXPECT_NEAR(acc.loadEnergy(), 1.0 + 3.0, 1e-9);
-    EXPECT_NEAR(acc.averageBatteryPower(), 4.0, 1e-9);
+    EXPECT_NEAR(acc.batteryEnergy().joules(), 2.0 + 6.0, 1e-9);
+    EXPECT_NEAR(acc.loadEnergy().joules(), 1.0 + 3.0, 1e-9);
+    EXPECT_NEAR(acc.averageBatteryPower().watts(), 4.0, 1e-9);
 }
 
 TEST(EnergyAccountantTest, ResetClearsWindow)
@@ -147,12 +149,12 @@ TEST(EnergyAccountantTest, ResetClearsWindow)
     const PowerDelivery pd = PowerDelivery::fixedEfficiency(1.0);
     PowerComponent a(pm, "a", "g");
     EnergyAccountant acc(pm, pd);
-    a.setPower(5.0, 0);
+    a.setPower(5.0_W, 0);
     acc.integrateTo(oneSec);
     acc.reset(oneSec);
-    EXPECT_DOUBLE_EQ(acc.batteryEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.batteryEnergy().joules(), 0.0);
     acc.integrateTo(2 * oneSec);
-    EXPECT_NEAR(acc.batteryEnergy(), 5.0, 1e-9);
+    EXPECT_NEAR(acc.batteryEnergy().joules(), 5.0, 1e-9);
 }
 
 TEST(EnergyAccountantTest, InstantaneousPowerTracksLoad)
@@ -161,22 +163,22 @@ TEST(EnergyAccountantTest, InstantaneousPowerTracksLoad)
     const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.8);
     PowerComponent a(pm, "a", "g");
     EnergyAccountant acc(pm, pd);
-    a.setPower(0.8, 0);
-    EXPECT_NEAR(acc.instantaneousBatteryPower(), 1.0, 1e-12);
+    a.setPower(0.8_W, 0);
+    EXPECT_NEAR(acc.instantaneousBatteryPower().watts(), 1.0, 1e-12);
 }
 
 TEST(PowerAnalyzerTest, SamplesAtConfiguredInterval)
 {
     EventQueue eq;
     PowerAnalyzer analyzer("pa", eq, 50 * oneUs);
-    double level = 1.0;
+    Milliwatts level = 1.0_W;
     analyzer.addChannel("ch", [&] { return level; });
     analyzer.arm();
     eq.run(oneMs);
     analyzer.disarm();
     // 1 ms / 50 us = 20 samples.
     EXPECT_EQ(analyzer.channel(0).samples, 20u);
-    EXPECT_DOUBLE_EQ(analyzer.channel(0).average(), 1.0);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).average().watts(), 1.0);
 }
 
 TEST(PowerAnalyzerTest, AverageOfChangingSignal)
@@ -184,20 +186,20 @@ TEST(PowerAnalyzerTest, AverageOfChangingSignal)
     EventQueue eq;
     PowerAnalyzer analyzer("pa", eq, 50 * oneUs);
     analyzer.addChannel("ch", [&] {
-        return eq.now() <= oneMs / 2 ? 1.0 : 3.0;
+        return eq.now() <= oneMs / 2 ? 1.0_W : 3.0_W;
     });
     analyzer.arm();
     eq.run(oneMs);
-    EXPECT_NEAR(analyzer.channel(0).average(), 2.0, 0.11);
-    EXPECT_DOUBLE_EQ(analyzer.channel(0).minSample, 1.0);
-    EXPECT_DOUBLE_EQ(analyzer.channel(0).maxSample, 3.0);
+    EXPECT_NEAR(analyzer.channel(0).average().watts(), 2.0, 0.11);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).minSample.watts(), 1.0);
+    EXPECT_DOUBLE_EQ(analyzer.channel(0).maxSample.watts(), 3.0);
 }
 
 TEST(PowerAnalyzerTest, TraceCapturesTimestampedSamples)
 {
     EventQueue eq;
     PowerAnalyzer analyzer("pa", eq, 100 * oneUs);
-    analyzer.addChannel("ch", [] { return 0.5; });
+    analyzer.addChannel("ch", [] { return 0.5_W; });
     analyzer.enableTrace(true);
     analyzer.arm();
     eq.run(oneMs);
@@ -211,7 +213,7 @@ TEST(PowerAnalyzerTest, ClearResetsStatistics)
 {
     EventQueue eq;
     PowerAnalyzer analyzer("pa", eq);
-    analyzer.addChannel("ch", [] { return 1.0; });
+    analyzer.addChannel("ch", [] { return 1.0_W; });
     analyzer.arm();
     eq.run(oneMs);
     analyzer.disarm();
@@ -229,17 +231,20 @@ TEST(PowerAnalyzerTest, AgreesWithExactAccountant)
     PowerComponent a(pm, "a", "g");
     EnergyAccountant acc(pm, pd);
     PowerAnalyzer analyzer("pa", eq, 10 * oneUs);
-    analyzer.addChannel("p", [&] { return pd.batteryPower(pm.totalPower()); });
+    analyzer.addChannel("p",
+                        [&] { return pd.batteryPower(pm.totalPower()); });
     analyzer.arm();
 
-    a.setPower(1.0, 0);
+    a.setPower(1.0_W, 0);
     eq.run(10 * oneMs);
-    a.setPower(0.25, eq.now());
+    a.setPower(0.25_W, eq.now());
     eq.run(40 * oneMs);
 
     acc.integrateTo(eq.now());
-    const double exact = acc.batteryEnergy() / ticksToSeconds(eq.now());
-    EXPECT_NEAR(analyzer.channel(0).average(), exact, exact * 0.002);
+    const double exact =
+        acc.batteryEnergy().joules() / ticksToSeconds(eq.now());
+    EXPECT_NEAR(analyzer.channel(0).average().watts(), exact,
+                exact * 0.002);
 }
 
 TEST(ProcessScalingTest, PowerShrinksWithNode)
@@ -260,13 +265,15 @@ TEST(ProcessScalingTest, MixedPowerKeepsFixedFraction)
 {
     // A power that is 100% board-level (fixed) must not scale at all.
     EXPECT_DOUBLE_EQ(
-        scaleMixedPower(1.0, 0.0, 0.0, ProcessNode::Nm22,
-                        ProcessNode::Nm14),
+        scaleMixedPower(1.0_W, 0.0, 0.0, ProcessNode::Nm22,
+                        ProcessNode::Nm14)
+            .watts(),
         1.0);
     // Fully-leakage power scales by the leakage factor.
     EXPECT_DOUBLE_EQ(
-        scaleMixedPower(1.0, 1.0, 0.0, ProcessNode::Nm22,
-                        ProcessNode::Nm14),
+        scaleMixedPower(1.0_W, 1.0, 0.0, ProcessNode::Nm22,
+                        ProcessNode::Nm14)
+            .watts(),
         leakageScale(ProcessNode::Nm22, ProcessNode::Nm14));
 }
 
@@ -282,12 +289,13 @@ TEST(BreakdownTest, SharesSumToOne)
     const PowerDelivery pd = PowerDelivery::fixedEfficiency(0.74);
     PowerComponent a(pm, "a", "processor");
     PowerComponent b(pm, "b", "chipset");
-    a.setPower(0.010, 0);
-    b.setPower(0.030, 0);
+    a.setPower(10.0_mW, 0);
+    b.setPower(30.0_mW, 0);
 
     const PowerBreakdown bd = snapshotBreakdown(pm, pd);
-    EXPECT_NEAR(bd.totalBattery, 0.040 / 0.74, 1e-9);
-    EXPECT_NEAR(bd.deliveryLoss, bd.totalBattery - 0.040, 1e-9);
+    EXPECT_NEAR(bd.totalBattery.watts(), 0.040 / 0.74, 1e-9);
+    EXPECT_NEAR(bd.deliveryLoss.watts(), bd.totalBattery.watts() - 0.040,
+                1e-9);
 
     double share_sum = 0;
     for (const auto &e : bd.entries)
@@ -302,7 +310,7 @@ TEST(BreakdownTest, ComponentShareLookup)
     PowerModel pm;
     const PowerDelivery pd = PowerDelivery::fixedEfficiency(1.0);
     PowerComponent a(pm, "sram", "processor");
-    a.setPower(0.5, 0);
+    a.setPower(0.5_W, 0);
     const PowerBreakdown bd = snapshotBreakdown(pm, pd);
     EXPECT_DOUBLE_EQ(bd.componentShare("sram"), 1.0);
     EXPECT_DOUBLE_EQ(bd.componentShare("nope"), 0.0);
@@ -314,14 +322,14 @@ TEST(RailTest, PowerAndCurrentSumAttachedComponents)
     PowerModel pm;
     PowerComponent a(pm, "a", "g");
     PowerComponent b(pm, "b", "g");
-    a.setPower(1.0, 0);
-    b.setPower(0.5, 0);
+    a.setPower(1.0_W, 0);
+    b.setPower(0.5_W, 0);
 
     RailSet rails;
     Rail &vcc = rails.add("vcc", 1.5);
     rails.attach("vcc", a);
     rails.attach("vcc", b);
-    EXPECT_DOUBLE_EQ(vcc.power(), 1.5);
+    EXPECT_DOUBLE_EQ(vcc.power().watts(), 1.5);
     EXPECT_DOUBLE_EQ(vcc.current(), 1.0);
     EXPECT_EQ(vcc.componentCount(), 2u);
 }

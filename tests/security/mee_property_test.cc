@@ -178,10 +178,11 @@ INSTANTIATE_TEST_SUITE_P(
         MeeGeometry{200 << 10, 128, 8},   // the paper's context size
         MeeGeometry{200 << 10, 8, 8},     // single-set cache
         MeeGeometry{1 << 20, 256, 4}),    // 1 MB region, 5-level tree
-    [](const ::testing::TestParamInfo<MeeGeometry> &info) {
-        return std::to_string(info.param.regionBytes >> 10) + "kB_" +
-               std::to_string(info.param.cacheNodes) + "n_" +
-               std::to_string(info.param.associativity) + "w";
+    [](const ::testing::TestParamInfo<MeeGeometry> &param_info) {
+        return std::to_string(param_info.param.regionBytes >> 10) +
+               "kB_" +
+               std::to_string(param_info.param.cacheNodes) + "n_" +
+               std::to_string(param_info.param.associativity) + "w";
     });
 
 } // namespace

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the compile-time units library (sim/units.hh).
+ *
+ * Three concerns: the dimension algebra produces the right types and
+ * values, Ticks <-> Picoseconds <-> Seconds round-trips survive extreme
+ * magnitudes, and accumulating energy as power * time keeps the same
+ * floating-point behavior the golden suites were calibrated against.
+ */
+
+#include <cstdint>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+#include "sim/units.hh"
+
+namespace odrips
+{
+namespace
+{
+
+using namespace odrips::unit_literals;
+
+// ---------------------------------------------------------------------
+// Dimension algebra: legal operations yield the documented type; the
+// illegal ones must not compile (checked via detection idiom below).
+// ---------------------------------------------------------------------
+
+TEST(UnitsAlgebraTest, PowerTimesTimeIsEnergy)
+{
+    const Millijoules e = 60.0_mW * 2.0_sec;
+    static_assert(std::is_same_v<decltype(60.0_mW * 2.0_sec),
+                                 Millijoules>);
+    EXPECT_DOUBLE_EQ(e.joules(), 0.12);
+    EXPECT_DOUBLE_EQ(e.millijoules(), 120.0);
+}
+
+TEST(UnitsAlgebraTest, EnergyOverTimeIsPower)
+{
+    const Milliwatts p = 0.12_J / 2.0_sec;
+    static_assert(std::is_same_v<decltype(0.12_J / 2.0_sec), Milliwatts>);
+    EXPECT_DOUBLE_EQ(p.milliwatts(), 60.0);
+}
+
+TEST(UnitsAlgebraTest, EnergyOverPowerIsTime)
+{
+    const Seconds t = 0.12_J / 60.0_mW;
+    static_assert(std::is_same_v<decltype(0.12_J / 60.0_mW), Seconds>);
+    EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+}
+
+TEST(UnitsAlgebraTest, SameDimensionRatiosAreDimensionless)
+{
+    static_assert(std::is_same_v<decltype(1.0_sec / 1.0_sec), double>);
+    static_assert(std::is_same_v<decltype(1.0_W / 1.0_W), double>);
+    static_assert(std::is_same_v<decltype(1.0_J / 1.0_J), double>);
+    static_assert(std::is_same_v<decltype(1.0_Hz / 1.0_Hz), double>);
+    EXPECT_DOUBLE_EQ(24.0_MHz / 32.768_kHz, 24.0e6 / 32768.0);
+}
+
+TEST(UnitsAlgebraTest, FrequencyTimesTimeIsCycles)
+{
+    static_assert(std::is_same_v<decltype(1.0_MHz * 1.0_sec), double>);
+    EXPECT_DOUBLE_EQ(32.768_kHz * 2.0_sec, 65536.0);
+    EXPECT_DOUBLE_EQ(2.0_sec * 32.768_kHz, 65536.0);
+}
+
+TEST(UnitsAlgebraTest, PeriodInvertsFrequency)
+{
+    EXPECT_DOUBLE_EQ(Hertz(24.0e6).period().seconds(), 1.0 / 24.0e6);
+    EXPECT_DOUBLE_EQ(Hertz::fromPeriod(Seconds(1.0 / 32768.0)).hertz(),
+                     32768.0);
+    // The tick-grid period matches the ClockDomain rounding rule.
+    EXPECT_EQ(Hertz(24.0e6).periodPicoseconds().ticks(),
+              frequencyToPeriod(24.0e6));
+}
+
+TEST(UnitsAlgebraTest, ScalarScalingAndAccumulation)
+{
+    Milliwatts p = 10.0_mW;
+    p *= 3.0;
+    p += 5.0_mW;
+    p -= 1.0_mW;
+    EXPECT_DOUBLE_EQ(p.milliwatts(), 34.0);
+    EXPECT_DOUBLE_EQ((2.0 * 10.0_mW).milliwatts(), 20.0);
+    EXPECT_DOUBLE_EQ((10.0_mW / 4.0).milliwatts(), 2.5);
+
+    Millijoules e = Millijoules::zero();
+    e += 3.0_mJ;
+    e -= 1.0_mJ;
+    EXPECT_DOUBLE_EQ(e.millijoules(), 2.0);
+}
+
+TEST(UnitsAlgebraTest, ComparisonsAreOrdered)
+{
+    EXPECT_LT(1.0_mW, 1.0_W);
+    EXPECT_GT(1.0_J, 1.0_mJ);
+    EXPECT_LE(Milliwatts::zero(), Milliwatts::zero());
+    EXPECT_EQ(1000.0_mW, 1.0_W);
+    EXPECT_EQ(1.5_msec, Seconds::fromMicroseconds(1500.0));
+}
+
+TEST(UnitsAlgebraTest, FactoriesAndAccessorsNameTheScale)
+{
+    EXPECT_DOUBLE_EQ(Milliwatts::fromMilliwatts(62.7).watts(), 0.0627);
+    EXPECT_DOUBLE_EQ(Milliwatts::fromWatts(0.0627).milliwatts(), 62.7);
+    EXPECT_DOUBLE_EQ(Millijoules::fromJoules(0.5).microjoules(), 5.0e5);
+    EXPECT_DOUBLE_EQ(Hertz::fromMegahertz(24.0).kilohertz(), 24000.0);
+    EXPECT_DOUBLE_EQ(Seconds::fromMilliseconds(2.5).microseconds(),
+                     2500.0);
+}
+
+// Detection idiom: mixed-dimension expressions must be rejected at
+// compile time. Each trait is satisfiable only if the expression is
+// well-formed for the given operand types.
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept Dividable = requires(A a, B b) { a / b; };
+template <typename A, typename B>
+concept Multipliable = requires(A a, B b) { a * b; };
+
+TEST(UnitsAlgebraTest, IllegalMixesDoNotCompile)
+{
+    static_assert(!Addable<Milliwatts, Millijoules>);
+    static_assert(!Addable<Milliwatts, Seconds>);
+    static_assert(!Addable<Millijoules, Seconds>);
+    static_assert(!Addable<Milliwatts, double>);
+    static_assert(!Addable<Hertz, Seconds>);
+    static_assert(!Dividable<Milliwatts, Seconds>);
+    static_assert(!Dividable<Seconds, Milliwatts>);
+    static_assert(!Dividable<Seconds, Millijoules>);
+    static_assert(!Multipliable<Millijoules, Seconds>);
+    static_assert(!Multipliable<Milliwatts, Milliwatts>);
+    // No implicit construction from bare doubles.
+    static_assert(!std::is_convertible_v<double, Milliwatts>);
+    static_assert(!std::is_convertible_v<double, Millijoules>);
+    static_assert(!std::is_convertible_v<double, Seconds>);
+    static_assert(!std::is_convertible_v<double, Hertz>);
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// Ticks <-> Picoseconds <-> Seconds round trips at extreme magnitudes.
+// ---------------------------------------------------------------------
+
+TEST(UnitsTickInteropTest, PicosecondsAreExactlyTicks)
+{
+    for (const Tick t : {Tick{0}, onePs, oneNs, oneUs, oneMs, oneSec,
+                         Tick{123456789012345}, maxTick}) {
+        EXPECT_EQ(Picoseconds::fromTicks(t).ticks(), t);
+    }
+}
+
+TEST(UnitsTickInteropTest, SecondsRoundTripSurvivesExtremes)
+{
+    // Round-tripping through Seconds costs two roundings whose combined
+    // error stays below half a tick while the count is under ~2^51
+    // (about 37 simulated minutes — far beyond any standby cycle), so
+    // every tick count in that range must come back exactly.
+    for (const Tick t :
+         {Tick{0}, Tick{1}, Tick{999}, oneUs - 1, oneUs, 30 * oneMs,
+          16 * oneSec, Tick{1} << 40, (Tick{1} << 50) - 1}) {
+        const Seconds s = Picoseconds::fromTicks(t).seconds();
+        EXPECT_EQ(Picoseconds::fromSeconds(s).ticks(), t)
+            << "tick count " << t;
+    }
+}
+
+TEST(UnitsTickInteropTest, SubTickDurationsRoundToNearest)
+{
+    EXPECT_EQ(Picoseconds::fromSeconds(Seconds(0.4e-12)).ticks(), 0);
+    EXPECT_EQ(Picoseconds::fromSeconds(Seconds(0.6e-12)).ticks(), 1);
+    EXPECT_EQ(Seconds::fromTicks(oneSec).seconds(), 1.0);
+}
+
+TEST(UnitsTickInteropTest, TickArithmeticStaysOnGrid)
+{
+    const Picoseconds a = Picoseconds::fromTicks(3 * oneUs);
+    const Picoseconds b = Picoseconds::fromTicks(oneUs);
+    EXPECT_EQ((a + b).ticks(), 4 * oneUs);
+    EXPECT_EQ((a - b).ticks(), 2 * oneUs);
+    EXPECT_EQ((b * 7).ticks(), 7 * oneUs);
+    EXPECT_LT(b, a);
+}
+
+TEST(UnitsTickInteropTest, NarrowPassesValuesThatFit)
+{
+    EXPECT_EQ(narrow<std::uint64_t>(std::uint64_t{0}), 0u);
+    EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{0xffffffffULL}),
+              0xffffffffu);
+    const unsigned __int128 wide =
+        (static_cast<unsigned __int128>(1) << 63) + 5;
+    EXPECT_EQ(narrow<std::uint64_t>(wide),
+              (std::uint64_t{1} << 63) + 5);
+}
+
+TEST(UnitsTickInteropDeathTest, NarrowPanicsOnLostBits)
+{
+    // ODRIPS_ASSERT aborts through fatal(); both overflow and sign
+    // change must be caught.
+    const unsigned __int128 too_wide = static_cast<unsigned __int128>(1)
+                                       << 64;
+    EXPECT_DEATH(narrow<std::uint64_t>(too_wide), "narrowing cast");
+    EXPECT_DEATH(narrow<std::uint32_t>(std::int64_t{-1}),
+                 "narrowing cast");
+}
+
+// ---------------------------------------------------------------------
+// Energy accumulation: strong-typed power * time sums must behave like
+// the raw-double arithmetic the golden values were calibrated on.
+// ---------------------------------------------------------------------
+
+TEST(UnitsEnergyAccumulationTest, MatchesRawDoubleArithmeticExactly)
+{
+    // The internal representation is SI base units, so the strong-typed
+    // accumulation is bit-identical to the pre-units code, not merely
+    // close. Mimic an EnergyAccountant integrating a power staircase.
+    const double power_w[] = {0.0627, 0.0031, 0.155, 0.0009, 1.39};
+    const double dt_s[] = {16.0, 0.030, 0.0018, 30.0, 0.25};
+
+    double raw = 0.0;
+    Millijoules typed = Millijoules::zero();
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        for (std::size_t i = 0; i < std::size(power_w); ++i) {
+            raw += power_w[i] * dt_s[i];
+            typed += Milliwatts::fromWatts(power_w[i]) *
+                     Seconds(dt_s[i]);
+        }
+    }
+    EXPECT_EQ(typed.joules(), raw);
+}
+
+TEST(UnitsEnergyAccumulationTest, AssociativityWithinTolerance)
+{
+    // Summation order may legally differ between the serial and the
+    // parallel sweep paths; the drift across 10^4 unequal terms must
+    // stay far inside the golden suites' 0.15% savings tolerance.
+    constexpr int n = 10000;
+    Millijoules forward = Millijoules::zero();
+    Millijoules backward = Millijoules::zero();
+    for (int i = 0; i < n; ++i) {
+        forward += Milliwatts::fromMilliwatts(0.1 + 0.001 * i) *
+                   Seconds(1.0 / (1.0 + i));
+    }
+    for (int i = n - 1; i >= 0; --i) {
+        backward += Milliwatts::fromMilliwatts(0.1 + 0.001 * i) *
+                    Seconds(1.0 / (1.0 + i));
+    }
+    ASSERT_GT(forward.joules(), 0.0);
+    EXPECT_NEAR(forward.joules() / backward.joules(), 1.0, 1e-12);
+}
+
+TEST(UnitsEnergyAccumulationTest, LiteralsMatchFactories)
+{
+    EXPECT_EQ(62.7_mW, Milliwatts::fromMilliwatts(62.7));
+    EXPECT_EQ(0.5_J, Millijoules::fromJoules(0.5));
+    EXPECT_EQ(24.0_MHz, Hertz(24.0e6));
+    EXPECT_EQ(16.0_sec, Seconds(16.0));
+    EXPECT_EQ(30.0_msec, Seconds::fromMilliseconds(30.0));
+    EXPECT_EQ(50.0_usec, Seconds::fromMicroseconds(50.0));
+}
+
+} // namespace
+} // namespace odrips

@@ -20,31 +20,37 @@ TEST(CalibratorTest, PaperIntegerBitsEq2)
 {
     // Eq. 2: m = floor(log2(24e6 / 32768)) + 1 = floor(log2(732.4)) + 1
     //          = 9 + 1 = 10.
-    EXPECT_EQ(StepCalibrator::requiredIntegerBits(24.0e6, 32768.0), 10u);
+    EXPECT_EQ(StepCalibrator::requiredIntegerBits(Hertz(24.0e6),
+                                             Hertz(32768.0)),
+              10u);
 }
 
 TEST(CalibratorTest, PaperFractionBitsEq4)
 {
     // Eq. 4: 2^f > (1e9 - 1) / 732.42 = 1.365e6 -> f = 21.
-    EXPECT_EQ(StepCalibrator::requiredFractionBits(24.0e6, 32768.0,
-                                                   1000000000ULL),
+    EXPECT_EQ(StepCalibrator::requiredFractionBits(
+                  Hertz(24.0e6), Hertz(32768.0), 1000000000ULL),
               21u);
 }
 
 TEST(CalibratorTest, IntegerBitsOtherRatios)
 {
     // 100 MHz fast clock (as in other architectures cited in Sec. 3).
-    EXPECT_EQ(StepCalibrator::requiredIntegerBits(100.0e6, 32768.0), 12u);
+    EXPECT_EQ(StepCalibrator::requiredIntegerBits(Hertz(100.0e6),
+                                             Hertz(32768.0)),
+              12u);
     // Equal-ish clocks.
-    EXPECT_EQ(StepCalibrator::requiredIntegerBits(65536.0, 32768.0), 2u);
+    EXPECT_EQ(StepCalibrator::requiredIntegerBits(Hertz(65536.0),
+                                             Hertz(32768.0)),
+              2u);
 }
 
 TEST(CalibratorTest, FractionBitsScaleWithPrecision)
 {
     const unsigned f_ppb = StepCalibrator::requiredFractionBits(
-        24.0e6, 32768.0, 1000000000ULL);
+        Hertz(24.0e6), Hertz(32768.0), 1000000000ULL);
     const unsigned f_ppm = StepCalibrator::requiredFractionBits(
-        24.0e6, 32768.0, 1000000ULL);
+        Hertz(24.0e6), Hertz(32768.0), 1000000ULL);
     EXPECT_GT(f_ppb, f_ppm);
     // 1 ppm needs roughly 10 fewer bits than 1 ppb (factor 1000).
     EXPECT_NEAR(static_cast<int>(f_ppb) - static_cast<int>(f_ppm), 10, 1);
@@ -54,19 +60,19 @@ TEST(CalibratorTest, CalibrationWindowIsTensOfSeconds)
 {
     // N_slow = 2^21 cycles of 32.768 kHz is 64 s — the "several
     // seconds, once per reset" cost the paper describes.
-    Crystal fast("f", 24.0e6, 0.0, 0.0);
-    Crystal slow("s", 32768.0, 0.0, 0.0);
+    Crystal fast("f", 24.0e6, 0.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrateForPpb();
     EXPECT_EQ(r.fractionBits, 21u);
     EXPECT_EQ(r.slowCycles, 1ULL << 21);
-    EXPECT_NEAR(r.durationSeconds, 64.0, 0.1);
+    EXPECT_NEAR(r.duration.seconds(), 64.0, 0.1);
 }
 
 TEST(CalibratorTest, IdealCrystalsGiveExactRatio)
 {
-    Crystal fast("f", 24.0e6, 0.0, 0.0);
-    Crystal slow("s", 32768.0, 0.0, 0.0);
+    Crystal fast("f", 24.0e6, 0.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrate(21);
     // 24e6/32768 = 732.421875 is exactly representable in 21 bits.
@@ -76,8 +82,8 @@ TEST(CalibratorTest, IdealCrystalsGiveExactRatio)
 
 TEST(CalibratorTest, StepReflectsCrystalDeviation)
 {
-    Crystal fast("f", 24.0e6, 50.0, 0.0);  // runs fast
-    Crystal slow("s", 32768.0, 0.0, 0.0);
+    Crystal fast("f", 24.0e6, 50.0, Milliwatts::zero());  // runs fast
+    Crystal slow("s", 32768.0, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrate(21);
     EXPECT_GT(r.step.toDouble(), 732.421875);
@@ -86,20 +92,20 @@ TEST(CalibratorTest, StepReflectsCrystalDeviation)
 
 TEST(CalibratorTest, FastCyclesCountMatchesWindow)
 {
-    Crystal fast("f", 24.0e6, 0.0, 0.0);
-    Crystal slow("s", 32768.0, 0.0, 0.0);
+    Crystal fast("f", 24.0e6, 0.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrate(21);
     // The raw Step value *is* N_fast (binary-point trick).
     EXPECT_EQ(static_cast<std::uint64_t>(r.step.raw()), r.fastCycles);
     EXPECT_NEAR(static_cast<double>(r.fastCycles),
-                r.durationSeconds * 24.0e6, 1.0);
+                r.duration.seconds() * 24.0e6, 1.0);
 }
 
 TEST(CalibratorTest, PhaseUncertaintyShiftsStepSlightly)
 {
-    Crystal fast("f", 24.0e6, 0.0, 0.0);
-    Crystal slow("s", 32768.0, 0.0, 0.0);
+    Crystal fast("f", 24.0e6, 0.0, Milliwatts::zero());
+    Crystal slow("s", 32768.0, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult a = cal.calibrate(21, 0);
     const CalibrationResult b = cal.calibrate(21, 1);
@@ -124,8 +130,8 @@ class DriftTest : public ::testing::TestWithParam<DriftCase>
 TEST_P(DriftTest, CalibratedStepHoldsPpbOverAnHour)
 {
     const DriftCase c = GetParam();
-    Crystal fast("f", 24.0e6, c.fastPpm, 0.0);
-    Crystal slow("s", 32768.0, c.slowPpm, 0.0);
+    Crystal fast("f", 24.0e6, c.fastPpm, Milliwatts::zero());
+    Crystal slow("s", 32768.0, c.slowPpm, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrateForPpb();
 
@@ -146,8 +152,8 @@ TEST_P(DriftTest, UncalibratedNominalStepDriftsWhenCrystalsDeviate)
     if (c.fastPpm == c.slowPpm)
         GTEST_SKIP() << "equal deviation cancels in the ratio";
 
-    Crystal fast("f", 24.0e6, c.fastPpm, 0.0);
-    Crystal slow("s", 32768.0, c.slowPpm, 0.0);
+    Crystal fast("f", 24.0e6, c.fastPpm, Milliwatts::zero());
+    Crystal slow("s", 32768.0, c.slowPpm, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
 
     // A Step computed from *nominal* frequencies (no calibration).

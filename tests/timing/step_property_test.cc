@@ -32,7 +32,8 @@ TEST_P(StepRepresentationTest, IntegerBitsCoverTheRatio)
 {
     const ClockPair c = GetParam();
     const unsigned m =
-        StepCalibrator::requiredIntegerBits(c.fastHz, c.slowHz);
+        StepCalibrator::requiredIntegerBits(Hertz(c.fastHz),
+                                            Hertz(c.slowHz));
     const double ratio = c.fastHz / c.slowHz;
     // Eq. 2 property: 2^(m-1) <= ratio < 2^m.
     EXPECT_LE(std::ldexp(1.0, static_cast<int>(m) - 1), ratio);
@@ -45,7 +46,7 @@ TEST_P(StepRepresentationTest, FractionBitsSatisfyEq4)
     for (std::uint64_t precision : {std::uint64_t{1000000},
                                     std::uint64_t{1000000000}}) {
         const unsigned f = StepCalibrator::requiredFractionBits(
-            c.fastHz, c.slowHz, precision);
+            Hertz(c.fastHz), Hertz(c.slowHz), precision);
         const double ratio = c.fastHz / c.slowHz;
         const double bound =
             (static_cast<double>(precision) - 1.0) / ratio;
@@ -61,12 +62,12 @@ TEST_P(StepRepresentationTest, CalibrationDriftMeetsTarget)
 {
     const ClockPair c = GetParam();
     // Worst-case-ish crystal corner.
-    Crystal fast("f", c.fastHz, 42.0, 0.0);
-    Crystal slow("s", c.slowHz, -27.0, 0.0);
+    Crystal fast("f", c.fastHz, 42.0, Milliwatts::zero());
+    Crystal slow("s", c.slowHz, -27.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
 
     const unsigned f = StepCalibrator::requiredFractionBits(
-        c.fastHz, c.slowHz, 1000000000ULL);
+        Hertz(c.fastHz), Hertz(c.slowHz), 1000000000ULL);
     const CalibrationResult r = cal.calibrate(f);
 
     // Drift over one hour of slow-clock cycles stays below 1 ppb.
@@ -79,8 +80,8 @@ TEST_P(StepRepresentationTest, CalibrationDriftMeetsTarget)
 TEST_P(StepRepresentationTest, StepTimesCyclesTracksWallClock)
 {
     const ClockPair c = GetParam();
-    Crystal fast("f", c.fastHz, 0.0, 0.0);
-    Crystal slow("s", c.slowHz, 0.0, 0.0);
+    Crystal fast("f", c.fastHz, 0.0, Milliwatts::zero());
+    Crystal slow("s", c.slowHz, 0.0, Milliwatts::zero());
     StepCalibrator cal(fast, slow);
     const CalibrationResult r = cal.calibrateForPpb();
 
@@ -107,11 +108,12 @@ INSTANTIATE_TEST_SUITE_P(
                       ClockPair{38.4e6, 32768.0},
                       ClockPair{24.0e6, 1000.0},    // very slow backup
                       ClockPair{65536.0, 32768.0}), // degenerate 2:1
-    [](const ::testing::TestParamInfo<ClockPair> &info) {
+    [](const ::testing::TestParamInfo<ClockPair> &param_info) {
         return std::to_string(
-                   static_cast<long long>(info.param.fastHz)) +
+                   static_cast<long long>(param_info.param.fastHz)) +
                "_over_" +
-               std::to_string(static_cast<long long>(info.param.slowHz));
+               std::to_string(
+                   static_cast<long long>(param_info.param.slowHz));
     });
 
 } // namespace

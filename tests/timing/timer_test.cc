@@ -23,8 +23,8 @@ class TimerFixture : public ::testing::Test
 {
   protected:
     TimerFixture()
-        : xtal24("x24", 24.0e6, 18.0, 1.8e-3),
-          xtal32("x32", 32768.0, -35.0, 0.3e-3),
+        : xtal24("x24", 24.0e6, 18.0, Milliwatts::fromWatts(1.8e-3)),
+          xtal32("x32", 32768.0, -35.0, Milliwatts::fromWatts(0.3e-3)),
           fastClk("fast", xtal24), slowClk("slow", xtal32),
           unit("wtu", fastClk, slowClk, xtal24, 16, 30 * oneUs)
     {
@@ -41,7 +41,7 @@ class TimerFixture : public ::testing::Test
 
 TEST(FastTimerTest, CountsAtClockRate)
 {
-    Crystal x("x", 1.0e9, 0.0, 0.0); // 1 ns period
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero()); // 1 ns period
     ClockDomain clk("clk", x);
     FastTimer t(clk);
     t.load(100, 0);
@@ -51,7 +51,7 @@ TEST(FastTimerTest, CountsAtClockRate)
 
 TEST(FastTimerTest, HaltFreezesValue)
 {
-    Crystal x("x", 1.0e9, 0.0, 0.0);
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     FastTimer t(clk);
     t.load(0, 0);
@@ -62,7 +62,7 @@ TEST(FastTimerTest, HaltFreezesValue)
 
 TEST(FastTimerTest, TickWhenReachesTarget)
 {
-    Crystal x("x", 1.0e9, 0.0, 0.0);
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     FastTimer t(clk);
     t.load(0, 0);
@@ -75,7 +75,7 @@ TEST(FastTimerTest, TickWhenReachesTarget)
 TEST(FastTimerTest, ReadInThePastPanics)
 {
     Logger::throwOnError(true);
-    Crystal x("x", 1.0e9, 0.0, 0.0);
+    Crystal x("x", 1.0e9, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     FastTimer t(clk);
     t.load(0, 100);
@@ -85,7 +85,7 @@ TEST(FastTimerTest, ReadInThePastPanics)
 
 TEST(SlowTimerTest, AdvancesByStepPerSlowCycle)
 {
-    Crystal x("x", 32768.0, 0.0, 0.0);
+    Crystal x("x", 32768.0, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     SlowTimer t(clk);
     t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
@@ -101,7 +101,7 @@ TEST(SlowTimerTest, AdvancesByStepPerSlowCycle)
 
 TEST(SlowTimerTest, HaltFreezes)
 {
-    Crystal x("x", 32768.0, 0.0, 0.0);
+    Crystal x("x", 32768.0, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     SlowTimer t(clk);
     t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
@@ -113,7 +113,7 @@ TEST(SlowTimerTest, HaltFreezes)
 
 TEST(SlowTimerTest, TickWhenReachesHasSlowGranularity)
 {
-    Crystal x("x", 32768.0, 0.0, 0.0);
+    Crystal x("x", 32768.0, 0.0, Milliwatts::zero());
     ClockDomain clk("clk", x);
     SlowTimer t(clk);
     t.setStep(FixedUint::fromRatio(24000000, 32768, 21));
@@ -233,8 +233,8 @@ TEST_F(TimerFixture, SwitchToSlowTwicePanics)
 TEST_F(TimerFixture, SwitchWithoutCalibrationPanics)
 {
     Logger::throwOnError(true);
-    Crystal x24("x", 24.0e6, 0.0, 0.0);
-    Crystal x32("s", 32768.0, 0.0, 0.0);
+    Crystal x24("x", 24.0e6, 0.0, Milliwatts::zero());
+    Crystal x32("s", 32768.0, 0.0, Milliwatts::zero());
     ClockDomain f("f", x24), s("s", x32);
     WakeTimerUnit fresh("fresh", f, s, x24, 16, 30 * oneUs);
     fresh.loadFromProcessor(0, 0);

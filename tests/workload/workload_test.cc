@@ -226,7 +226,8 @@ TEST(CoalescingTest, CoalescedCyclesCarryExtraWork)
     }
     ASSERT_GT(merged_n, 0u);
     ASSERT_GT(plain_n, 0u);
-    EXPECT_GT(merged_mean / merged_n, plain_mean / plain_n);
+    EXPECT_GT(merged_mean / static_cast<double>(merged_n),
+              plain_mean / static_cast<double>(plain_n));
 }
 
 TEST(CoalescingTest, TraceRoundTripKeepsCoalescedField)

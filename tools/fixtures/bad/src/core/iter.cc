@@ -1,0 +1,11 @@
+#include <unordered_map>
+
+double
+total(const std::unordered_map<int, double> &)
+{
+    std::unordered_map<int, double> weights;
+    double sum = 0.0;
+    for (const auto &kv : weights)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,6 @@
+// Not listed in any CMakeLists.txt: must trip cmake-target.
+int
+orphan()
+{
+    return 0;
+}

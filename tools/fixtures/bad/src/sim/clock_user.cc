@@ -1,0 +1,10 @@
+#include <chrono>
+
+double
+elapsedSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}

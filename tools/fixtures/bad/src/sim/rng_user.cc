@@ -1,0 +1,7 @@
+#include <cstdlib>
+
+int
+roll()
+{
+    return std::rand() % 6;
+}

@@ -1,0 +1,8 @@
+#pragma once
+
+#include "sim/units.hh"
+
+struct GoodRail {
+    odrips::Milliwatts rated() const;
+    double efficiency() const; // dimensionless
+};

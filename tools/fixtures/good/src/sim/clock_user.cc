@@ -1,0 +1,13 @@
+#include <chrono>
+
+// Progress metering for the operator, not a simulation result.
+double
+elapsedSeconds()
+{
+    // odrips-lint: allow(wall-clock)
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               // odrips-lint: allow(wall-clock)
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}

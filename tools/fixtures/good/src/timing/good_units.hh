@@ -1,0 +1,8 @@
+#pragma once
+
+#include "sim/units.hh"
+
+struct GoodWindow {
+    odrips::Seconds window;
+    double driftPpb; // dimensionless ratio: fine as a raw double
+};

@@ -1,0 +1,7 @@
+#include "exec/thread_pool.hh"
+
+int
+main()
+{
+    return 0;
+}

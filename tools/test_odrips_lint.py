@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Self-test for tools/odrips-lint.
+
+Runs the linter against the fixture trees in tools/fixtures/: the `bad`
+tree must trip every rule exactly where seeded, the `good` tree (same
+shapes, with allow tags / strong types / labels) must come back clean.
+Registered as a ctest so the lint rules cannot rot silently.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(TOOLS_DIR, "odrips-lint")
+FIXTURES = os.path.join(TOOLS_DIR, "fixtures")
+
+
+def run_lint(root, *extra):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, *extra],
+        capture_output=True, text=True)
+    return proc
+
+
+def findings(proc):
+    """Parse `path:line: [rule] message` lines into (path, rule) pairs."""
+    out = set()
+    for line in proc.stdout.splitlines():
+        if ": [" not in line:
+            continue
+        location, rest = line.split(": [", 1)
+        rule = rest.split("]", 1)[0]
+        path = location.rsplit(":", 1)[0]
+        out.add((path.replace(os.sep, "/"), rule))
+    return out
+
+
+class BadTree(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_lint(os.path.join(FIXTURES, "bad"))
+        cls.found = findings(cls.proc)
+
+    def test_exit_status_flags_violations(self):
+        self.assertEqual(self.proc.returncode, 1, self.proc.stdout)
+
+    def test_wall_clock_rule(self):
+        self.assertIn(("src/sim/clock_user.cc", "wall-clock"), self.found)
+
+    def test_raw_rand_rule(self):
+        self.assertIn(("src/sim/rng_user.cc", "raw-rand"), self.found)
+
+    def test_unordered_iter_rule(self):
+        self.assertIn(("src/core/iter.cc", "unordered-iter"), self.found)
+
+    def test_raw_units_rule_timing(self):
+        self.assertIn(("src/timing/bad_units.hh", "raw-units"),
+                      self.found)
+
+    def test_raw_units_rule_power(self):
+        self.assertIn(("src/power/bad_power.hh", "raw-units"), self.found)
+
+    def test_tsan_label_rule(self):
+        self.assertIn(("tests/CMakeLists.txt", "tsan-label"), self.found)
+
+    def test_cmake_target_rule(self):
+        self.assertIn(("src/core/orphan.cc", "cmake-target"), self.found)
+
+    def test_registered_files_not_flagged(self):
+        self.assertNotIn(("src/sim/clock_user.cc", "cmake-target"),
+                         self.found)
+
+
+class GoodTree(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_lint(os.path.join(FIXTURES, "good"))
+
+    def test_clean_tree_exits_zero(self):
+        self.assertEqual(
+            self.proc.returncode, 0,
+            f"stdout:\n{self.proc.stdout}\nstderr:\n{self.proc.stderr}")
+
+    def test_no_output_when_clean(self):
+        self.assertEqual(self.proc.stdout, "")
+
+
+class RuleSelection(unittest.TestCase):
+    def test_single_rule_filters_findings(self):
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "raw-rand")
+        found = findings(proc)
+        self.assertEqual(found, {("src/sim/rng_user.cc", "raw-rand")})
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "no-such-rule")
+        self.assertEqual(proc.returncode, 2)
+
+
+class RealTree(unittest.TestCase):
+    def test_repository_is_clean(self):
+        repo = os.path.dirname(TOOLS_DIR)
+        proc = run_lint(repo)
+        self.assertEqual(
+            proc.returncode, 0,
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+
+
+if __name__ == "__main__":
+    unittest.main()
