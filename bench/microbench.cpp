@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/odrips.hh"
+#include "core/profile_cache.hh"
+#include "security/ctr_mode.hh"
 
 using namespace odrips;
 
@@ -82,6 +84,80 @@ BM_MeeContextWrite(benchmark::State &state)
 BENCHMARK(BM_MeeContextWrite);
 
 void
+BM_CtrModeBatched(benchmark::State &state)
+{
+    Speck128::Key key{};
+    key[0] = 7;
+    CtrCipher ctr(key);
+    std::vector<std::uint8_t> buf(4096, 0x3C);
+    for (auto _ : state) {
+        ctr.apply(0x1000, 42, buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_CtrModeBatched);
+
+void
+BM_MeeContextTransfer(benchmark::State &state)
+{
+    // Full context round trip: secure save (write) plus authenticated
+    // restore (read) of the ~200 KB processor context.
+    Dram dram("d", DramConfig{});
+    MeeConfig cfg;
+    cfg.dataBase = 1 << 20;
+    cfg.dataSize = 200 << 10;
+    cfg.metaBase = 8 << 20;
+    Mee mee("mee", dram, cfg);
+    std::vector<std::uint8_t> context(200 << 10, 0x5A);
+    std::vector<std::uint8_t> restored(context.size());
+
+    for (auto _ : state) {
+        mee.secureWrite(cfg.dataBase, context.data(), context.size(), 0);
+        bool authentic = false;
+        mee.secureRead(cfg.dataBase, restored.data(), restored.size(), 0,
+                       authentic);
+        if (!authentic)
+            state.SkipWithError("context failed authentication");
+        benchmark::DoNotOptimize(restored.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(context.size()));
+}
+BENCHMARK(BM_MeeContextTransfer);
+
+void
+BM_CycleProfileCold(benchmark::State &state)
+{
+    Logger::quiet(true);
+    const PlatformConfig cfg = skylakeConfig();
+    const TechniqueSet techniques = TechniqueSet::odrips();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            measureCycleProfileUncached(cfg, techniques));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleProfileCold);
+
+void
+BM_CycleProfileCached(benchmark::State &state)
+{
+    Logger::quiet(true);
+    const PlatformConfig cfg = skylakeConfig();
+    const TechniqueSet techniques = TechniqueSet::odrips();
+    CycleProfileCache cache;
+    cache.getOrMeasure(cfg, techniques); // warm the entry
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.getOrMeasure(cfg, techniques));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleProfileCached);
+
+void
 BM_FullStandbyCycle(benchmark::State &state)
 {
     Logger::quiet(true);
@@ -111,4 +187,21 @@ BENCHMARK(BM_StepCalibration);
 
 } // namespace
 
+#ifdef ODRIPS_BENCH_OPTIMIZED
 BENCHMARK_MAIN();
+#else
+#include <cstdio>
+int
+main()
+{
+    // Guard (see bench/CMakeLists.txt): perf numbers from an
+    // unoptimised build would poison the tracked BENCH_kernel.json
+    // trajectory. Refuse to report any.
+    std::fprintf(stderr,
+                 "microbench: this build is not optimised; refusing to "
+                 "report perf numbers.\nConfigure with "
+                 "-DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo) and "
+                 "rebuild.\n");
+    return 1;
+}
+#endif

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Tracked perf harness: builds Release, runs bench/microbench plus an
+# end-to-end fig6a_techniques wall-clock timing, and emits the
+# BENCH_kernel.json trajectory file.
+#
+# Schema (odrips-bench-v1): {"benchmarks": {<name>: {"ns_per_op": N,
+# "bytes_per_second": N} | {"wall_clock_s": N}}}. scripts/check.sh
+# bench diffs a fresh run against the committed BENCH_kernel.json and
+# warns when any tracked benchmark regresses >25%.
+#
+# The figure binary is timed from here with `date`: simulator sources
+# must not read host time (the wall-clock lint rule), so end-to-end
+# wall clock is the harness's job.
+#
+# Usage: scripts/bench.sh [output.json]      (default: BENCH_kernel.json)
+#        ODRIPS_BENCH_BUILD=dir overrides the Release build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernel.json}"
+jobs=$(nproc 2>/dev/null || echo 2)
+build_dir="${ODRIPS_BENCH_BUILD:-build-bench}"
+
+generator=()
+[ -d "$build_dir" ] || { command -v ninja >/dev/null 2>&1 && generator=(-G Ninja); }
+
+echo "== bench.sh: Release build in $build_dir =="
+cmake -B "$build_dir" "${generator[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" -j "$jobs" \
+    --target microbench fig6a_techniques >/dev/null
+
+micro_json="$(mktemp)"
+trap 'rm -f "$micro_json"' EXIT
+
+echo "== bench.sh: microbench =="
+"$build_dir/bench/microbench" --benchmark_format=json > "$micro_json"
+
+echo "== bench.sh: fig6a_techniques wall clock (best of 3) =="
+best_ns=""
+for _ in 1 2 3; do
+    t0=$(date +%s%N)
+    "$build_dir/bench/fig6a_techniques" --jobs=1 >/dev/null 2>&1
+    t1=$(date +%s%N)
+    dt=$((t1 - t0))
+    if [ -z "$best_ns" ] || [ "$dt" -lt "$best_ns" ]; then
+        best_ns="$dt"
+    fi
+done
+
+python3 - "$micro_json" "$best_ns" "$out" <<'PY'
+import json
+import sys
+
+micro_path, fig_ns, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+benches = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    benches[b["name"]] = {
+        "ns_per_op": round(b["real_time"] * scale[b.get("time_unit", "ns")], 1),
+        "bytes_per_second": int(b.get("bytes_per_second", 0)),
+    }
+benches["fig6a_techniques"] = {"wall_clock_s": round(fig_ns / 1e9, 3)}
+
+# Preserve any history block the committed trajectory carries.
+previous = None
+try:
+    with open(out_path) as f:
+        previous = json.load(f).get("previous")
+except (OSError, ValueError):
+    pass
+
+doc = {
+    "schema": "odrips-bench-v1",
+    "note": "Tracked perf trajectory; regenerate with scripts/bench.sh. "
+            "scripts/check.sh bench warns when a fresh run regresses "
+            ">25% vs these numbers.",
+    "build_type": "Release",
+    "benchmarks": benches,
+}
+if previous is not None:
+    doc["previous"] = previous
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench.sh: wrote {out_path}")
+PY

@@ -13,9 +13,14 @@
 #              cannot be combined, so this is its own tree.
 #  asan        build-asan: -fsanitize=address,undefined on everything
 #              else (`ctest -LE odrips_tsan`).
+#  bench       scripts/bench.sh into a scratch file (Release build,
+#              -O2 -DNDEBUG), then diff against the committed
+#              BENCH_kernel.json; warns when any tracked benchmark
+#              regresses >25%. Not part of `all` — timings need an
+#              otherwise idle machine.
 #  all         lint, then tsan, then asan (default).
 #
-# Usage: scripts/check.sh [lint|tsan|asan]   (default: all)
+# Usage: scripts/check.sh [lint|tsan|asan|bench]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,17 +78,64 @@ run_asan() {
     ctest --test-dir build-asan -LE odrips_tsan --output-on-failure -j "$jobs"
 }
 
+run_bench() {
+    echo "== Bench gate (Release run vs committed BENCH_kernel.json) =="
+    if [ ! -f BENCH_kernel.json ]; then
+        echo "bench: no committed BENCH_kernel.json baseline; run" \
+             "scripts/bench.sh and commit the result" >&2
+        exit 1
+    fi
+    local fresh
+    fresh="$(mktemp)"
+    scripts/bench.sh "$fresh"
+    python3 - "$fresh" BENCH_kernel.json <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    fresh = json.load(f)["benchmarks"]
+with open(sys.argv[2]) as f:
+    base = json.load(f)["benchmarks"]
+
+warned = False
+for name, entry in base.items():
+    cur = fresh.get(name)
+    if cur is None:
+        print(f"bench: {name}: MISSING from fresh run")
+        warned = True
+        continue
+    for key in ("ns_per_op", "wall_clock_s"):
+        if key in entry and key in cur and entry[key] > 0:
+            ratio = cur[key] / entry[key]
+            marker = ""
+            if ratio > 1.25:
+                marker = "  <-- WARNING: regressed >25%"
+                warned = True
+            print(f"bench: {name} {key}: {entry[key]} -> {cur[key]}"
+                  f" ({ratio:.2f}x){marker}")
+
+if warned:
+    print("bench: WARNING: tracked benchmarks regressed >25% vs the "
+          "committed baseline (see markers above)")
+else:
+    print("bench: all tracked benchmarks within 25% of the committed "
+          "baseline")
+PY
+    rm -f "$fresh"
+}
+
 case "$mode" in
 lint) run_lint ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
+bench) run_bench ;;
 all)
     run_lint
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [lint|tsan|asan]" >&2
+    echo "usage: $0 [lint|tsan|asan|bench]" >&2
     exit 2
     ;;
 esac

@@ -1,5 +1,6 @@
 #include "core/profile.hh"
 
+#include "core/profile_cache.hh"
 #include "core/standby_simulator.hh"
 #include "platform/platform.hh"
 
@@ -9,6 +10,15 @@ namespace odrips
 CyclePowerProfile
 measureCycleProfile(const PlatformConfig &cfg,
                     const TechniqueSet &techniques)
+{
+    if (!CycleProfileCache::enabled())
+        return measureCycleProfileUncached(cfg, techniques);
+    return CycleProfileCache::global().getOrMeasure(cfg, techniques);
+}
+
+CyclePowerProfile
+measureCycleProfileUncached(const PlatformConfig &cfg,
+                            const TechniqueSet &techniques)
 {
     Platform platform(cfg);
     StandbyFlows flows(platform, techniques);

@@ -52,11 +52,20 @@ struct CyclePowerProfile
 };
 
 /**
- * Measure the profile by running one full entry/exit cycle on a fresh
- * platform built from @p cfg.
+ * Profile for (@p cfg, @p techniques), memoised through the global
+ * CycleProfileCache (see core/profile_cache.hh): the first call per
+ * distinct configuration measures, repeats return the cached result.
+ * Set ODRIPS_PROFILE_CACHE=0 to force re-measurement on every call.
  */
 CyclePowerProfile measureCycleProfile(const PlatformConfig &cfg,
                                       const TechniqueSet &techniques);
+
+/**
+ * Measure the profile by running one full entry/exit cycle on a fresh
+ * platform built from @p cfg, bypassing the cache.
+ */
+CyclePowerProfile measureCycleProfileUncached(
+    const PlatformConfig &cfg, const TechniqueSet &techniques);
 
 /**
  * Equation 1: average battery power of a periodic standby cycle with

@@ -74,13 +74,11 @@ Mee::fetchNode(NodeKind kind, unsigned level, std::uint64_t group,
     ODRIPS_ASSERT(poweredOn, name(), ": metadata access while powered off");
     const std::uint64_t key = TreeLayout::nodeKey(kind, level, group);
 
-    if (cache.contains(key)) {
-        // Hit path still needs to update LRU/dirty state.
-        MetadataNode dummy;
-        const MeeCacheResult r = cache.access(key, dummy, is_write);
-        ODRIPS_ASSERT(r.hit, "resident node missed");
+    // Hit: one associative search updates LRU/dirty and hands back the
+    // resident node.
+    if (MetadataNode *node = cache.probe(key, is_write)) {
         ++stats.cacheHits;
-        return cache.nodeFor(key);
+        return *node;
     }
 
     // Miss: read the node from memory.
@@ -95,40 +93,39 @@ Mee::fetchNode(NodeKind kind, unsigned level, std::uint64_t group,
         penalty_ns * 1e-9 +
         static_cast<double>(sizeof(buf)) / mem.peakBandwidth());
 
-    const MeeCacheResult r =
-        cache.access(key, MetadataNode::deserialize(buf), is_write);
+    const MeeInsertResult r =
+        cache.insert(key, MetadataNode::deserialize(buf), is_write);
     if (r.writeback) {
         writebackNode(r.writeback->first, r.writeback->second, now);
         latency += secondsToTicks(
             static_cast<double>(MetadataNode::storageBytes) /
             mem.peakBandwidth());
     }
-    return cache.nodeFor(key);
+    return *r.node;
 }
 
 std::uint64_t
 Mee::nodeMac(unsigned level, std::uint64_t group, const MetadataNode &node,
              std::uint64_t parent_counter) const
 {
-    std::uint8_t msg[8 * MetadataNode::arity + 8];
-    for (unsigned i = 0; i < MetadataNode::arity; ++i)
-        std::memcpy(msg + 8 * i, &node.counters[i], 8);
-    std::memcpy(msg + 8 * MetadataNode::arity, &parent_counter, 8);
-
+    // The counter array is contiguous, so it streams into the MAC in
+    // place; no staging copy. Digest is identical to MACing the
+    // concatenated buffer.
     const std::uint64_t domain =
         0x4e4f4445ULL ^ (std::uint64_t{level} << 56) ^ group;
-    return mac64(cfg.key, domain, msg, sizeof(msg));
+    return mac64(cfg.key, domain,
+                 {{node.counters.data(), 8 * MetadataNode::arity},
+                  {&parent_counter, 8}});
 }
 
 std::uint64_t
 Mee::lineMac(std::uint64_t addr, std::uint64_t version,
              const std::uint8_t *ciphertext) const
 {
-    std::uint8_t msg[TreeLayout::lineBytes + 16];
-    std::memcpy(msg, ciphertext, TreeLayout::lineBytes);
-    std::memcpy(msg + TreeLayout::lineBytes, &addr, 8);
-    std::memcpy(msg + TreeLayout::lineBytes + 8, &version, 8);
-    return mac64(cfg.key, 0x4c494e45ULL, msg, sizeof(msg));
+    return mac64(cfg.key, 0x4c494e45ULL,
+                 {{ciphertext, TreeLayout::lineBytes},
+                  {&addr, 8},
+                  {&version, 8}});
 }
 
 std::uint64_t
@@ -165,14 +162,17 @@ Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
                   name(), ": unaligned protected write");
 
     Tick latency = 0;
-    std::vector<std::uint8_t> ciphertext(data, data + len);
+    // Reuse the scratch buffer across calls: a context transfer issues
+    // thousands of secureWrite bursts, and a fresh vector per call was
+    // an allocation on every one of them.
+    writeScratch.assign(data, data + len);
 
     const std::uint64_t lines = len / TreeLayout::lineBytes;
     for (std::uint64_t k = 0; k < lines; ++k) {
         const std::uint64_t line_addr = addr + k * TreeLayout::lineBytes;
         const std::uint64_t index =
             (line_addr - cfg.dataBase) / TreeLayout::lineBytes;
-        std::uint8_t *line = ciphertext.data() + k * TreeLayout::lineBytes;
+        std::uint8_t *line = writeScratch.data() + k * TreeLayout::lineBytes;
 
         // Bump the version counter and encrypt under the new version.
         std::uint64_t version;
@@ -212,7 +212,7 @@ Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
 
     // Stream the ciphertext to memory in one burst.
     MemAccessResult mem_result =
-        mem.write(addr, ciphertext.data(), len, now);
+        mem.write(addr, writeScratch.data(), len, now);
 
     stats.cryptoEnergy +=
         cfg.cryptoEnergyPerByte * static_cast<double>(len);

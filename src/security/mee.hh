@@ -20,6 +20,7 @@
 #define ODRIPS_SECURITY_MEE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "mem/main_memory.hh"
 #include "mem/memory_controller.hh"
@@ -168,6 +169,8 @@ class Mee : public SecureMemoryPath, public Named
     std::uint64_t rootCounter = 0;
     MeeStats stats;
     bool poweredOn = true;
+    /** Ciphertext staging buffer reused across secureWrite calls. */
+    std::vector<std::uint8_t> writeScratch;
 };
 
 } // namespace odrips

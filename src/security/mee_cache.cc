@@ -48,22 +48,38 @@ MeeCacheResult
 MeeCache::access(std::uint64_t key, const MetadataNode &fill, bool is_write)
 {
     MeeCacheResult result;
-    const std::size_t base = setIndex(key) * ways;
+    if (probe(key, is_write) != nullptr) {
+        result.hit = true;
+        return result;
+    }
+    result.writeback = insert(key, fill, is_write).writeback;
+    return result;
+}
 
-    // Hit?
+MetadataNode *
+MeeCache::probe(std::uint64_t key, bool is_write)
+{
+    const std::size_t base = setIndex(key) * ways;
     for (std::size_t w = 0; w < ways; ++w) {
         Line &line = lines[base + w];
         if (line.valid && line.key == key) {
             line.lastUse = ++useClock;
             line.dirty = line.dirty || is_write;
             ++hitCount;
-            result.hit = true;
-            return result;
+            return &line.node;
         }
     }
+    return nullptr;
+}
 
-    // Miss: pick victim (invalid first, else LRU).
+MeeInsertResult
+MeeCache::insert(std::uint64_t key, const MetadataNode &fill, bool is_write)
+{
+    MeeInsertResult result;
     ++missCount;
+
+    // Pick victim (invalid first, else LRU).
+    const std::size_t base = setIndex(key) * ways;
     std::size_t victim = base;
     for (std::size_t w = 0; w < ways; ++w) {
         Line &line = lines[base + w];
@@ -85,6 +101,7 @@ MeeCache::access(std::uint64_t key, const MetadataNode &fill, bool is_write)
     line.key = key;
     line.lastUse = ++useClock;
     line.node = fill;
+    result.node = &line.node;
     return result;
 }
 

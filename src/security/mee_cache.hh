@@ -45,6 +45,15 @@ struct MeeCacheResult
     std::optional<std::pair<std::uint64_t, MetadataNode>> writeback;
 };
 
+/** Result of filling the cache after a probe() miss. */
+struct MeeInsertResult
+{
+    /** The freshly inserted, resident node. */
+    MetadataNode *node = nullptr;
+    /** Key and node of a dirty eviction that must be written back. */
+    std::optional<std::pair<std::uint64_t, MetadataNode>> writeback;
+};
+
 /** Set-associative write-back LRU cache of MetadataNodes. */
 class MeeCache
 {
@@ -62,6 +71,25 @@ class MeeCache
      */
     MeeCacheResult access(std::uint64_t key, const MetadataNode &fill,
                           bool is_write);
+
+    /**
+     * Single-lookup hit path: if @p key is resident, update LRU/dirty
+     * state, count the hit, and return the node; otherwise return
+     * nullptr with no state change (the miss is counted by the
+     * follow-up insert()). probe()+insert() together count exactly one
+     * hit or one miss per access, the same as access() — the hot path
+     * just avoids the historical contains()+access()+nodeFor() triple
+     * associative search.
+     */
+    MetadataNode *probe(std::uint64_t key, bool is_write);
+
+    /**
+     * Fill @p key with @p fill after a probe() miss: counts the miss,
+     * evicts the LRU way if needed, and returns the resident node plus
+     * any dirty victim. @p key must not be resident.
+     */
+    MeeInsertResult insert(std::uint64_t key, const MetadataNode &fill,
+                           bool is_write);
 
     /** True if @p key is resident (no state change). */
     bool contains(std::uint64_t key) const;

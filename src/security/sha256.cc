@@ -109,18 +109,21 @@ Sha256::finish()
 {
     const std::uint64_t bit_len = totalBytes * 8;
 
-    // Padding: 0x80, zeros, 64-bit big-endian length.
-    const std::uint8_t pad = 0x80;
-    update(&pad, 1);
-    const std::uint8_t zero = 0x00;
-    while (bufferLen != 56)
-        update(&zero, 1);
-
-    std::uint8_t len_bytes[8];
-    for (int i = 0; i < 8; ++i)
-        len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-    // Bypass update()'s totalBytes accounting for the length field.
-    std::memcpy(buffer.data() + bufferLen, len_bytes, 8);
+    // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit
+    // length — written straight into the block buffer (one memset)
+    // rather than byte-at-a-time through update().
+    buffer[bufferLen++] = std::uint8_t{0x80};
+    if (bufferLen > 56) {
+        std::memset(buffer.data() + bufferLen, 0,
+                    buffer.size() - bufferLen);
+        processBlock(buffer.data());
+        bufferLen = 0;
+    }
+    std::memset(buffer.data() + bufferLen, 0, 56 - bufferLen);
+    for (int i = 0; i < 8; ++i) {
+        buffer[static_cast<std::size_t>(56 + i)] =
+            static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
     processBlock(buffer.data());
 
     Digest digest;
@@ -145,10 +148,18 @@ std::uint64_t
 mac64(const std::array<std::uint8_t, 16> &key, std::uint64_t domain,
       const std::uint8_t *message, std::size_t len)
 {
+    return mac64(key, domain, {{message, len}});
+}
+
+std::uint64_t
+mac64(const std::array<std::uint8_t, 16> &key, std::uint64_t domain,
+      std::initializer_list<MacSegment> segments)
+{
     Sha256 h;
     h.update(key.data(), key.size());
     h.update(&domain, sizeof(domain));
-    h.update(message, len);
+    for (const MacSegment &seg : segments)
+        h.update(seg.data, seg.len);
     const Sha256::Digest d = h.finish();
     std::uint64_t mac;
     std::memcpy(&mac, d.data(), sizeof(mac));

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 
 namespace odrips
 {
@@ -61,6 +62,24 @@ class Sha256
 std::uint64_t mac64(const std::array<std::uint8_t, 16> &key,
                     std::uint64_t domain, const std::uint8_t *message,
                     std::size_t len);
+
+/** A (pointer, length) view of one segment of a MAC input. */
+struct MacSegment
+{
+    const void *data;
+    std::size_t len;
+};
+
+/**
+ * Segmented variant: MACs the concatenation of @p segments. Because
+ * SHA-256 is a streaming hash, this produces exactly the digest of the
+ * concatenated message without the caller copying the pieces into one
+ * buffer first — the MEE line/node MAC paths feed their fields in
+ * place.
+ */
+std::uint64_t mac64(const std::array<std::uint8_t, 16> &key,
+                    std::uint64_t domain,
+                    std::initializer_list<MacSegment> segments);
 
 } // namespace odrips
 

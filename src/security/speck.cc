@@ -63,6 +63,16 @@ Speck128::encrypt(Block128 block) const
     return block;
 }
 
+void
+Speck128::encryptBatch(Block128 *blocks, std::size_t count) const
+{
+    for (unsigned i = 0; i < rounds; ++i) {
+        const std::uint64_t k = roundKeys[i];
+        for (std::size_t b = 0; b < count; ++b)
+            speckRound(blocks[b].x, blocks[b].y, k);
+    }
+}
+
 Block128
 Speck128::decrypt(Block128 block) const
 {

@@ -13,6 +13,7 @@
 #define ODRIPS_SECURITY_SPECK_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace odrips
@@ -42,6 +43,15 @@ class Speck128
 
     /** Encrypt one block. */
     Block128 encrypt(Block128 plaintext) const;
+
+    /**
+     * Encrypt @p count blocks in place. Equivalent to calling encrypt()
+     * per block, but the round loop is hoisted outside the block loop,
+     * so independent blocks pipeline through the ALU instead of
+     * serialising on each block's 32-round dependency chain. This is
+     * what makes multi-block CTR keystream batches pay off.
+     */
+    void encryptBatch(Block128 *blocks, std::size_t count) const;
 
     /** Decrypt one block. */
     Block128 decrypt(Block128 ciphertext) const;

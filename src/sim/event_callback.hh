@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small-buffer callback for simulation events.
+ *
+ * The event kernel fires tens of millions of callbacks per sweep, so
+ * the callback wrapper must never touch the heap. std::function's
+ * small-object buffer (16 B on libstdc++) is too small for the flow
+ * and workload lambdas, which capture half a dozen references; this
+ * wrapper gives them 64 bytes in place and rejects anything larger at
+ * compile time instead of silently allocating.
+ */
+
+#ifndef ODRIPS_SIM_EVENT_CALLBACK_HH
+#define ODRIPS_SIM_EVENT_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace odrips
+{
+
+/**
+ * A move-nothing, copy-nothing `void()` callable with inline storage.
+ * Constructed once from a lambda (or any callable) and invoked in
+ * place; the callable lives inside the owning Event for its whole
+ * lifetime, so no move or copy support is needed.
+ */
+class EventCallback
+{
+  public:
+    /** Inline storage size; fits the largest kernel/flow lambda. */
+    static constexpr std::size_t bufferBytes = 64;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT: implicit by design, mirrors
+                          // std::function at the Event interface
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= bufferBytes,
+                      "event callback capture exceeds the inline "
+                      "buffer; shrink the capture list or raise "
+                      "EventCallback::bufferBytes");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event callback");
+        ::new (static_cast<void *>(storage)) Fn(std::forward<F>(fn));
+        invokeFn = [](void *obj) { (*static_cast<Fn *>(obj))(); };
+        if constexpr (!std::is_trivially_destructible_v<Fn>) {
+            destroyFn = [](void *obj) { static_cast<Fn *>(obj)->~Fn(); };
+        }
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback()
+    {
+        if (destroyFn)
+            destroyFn(storage);
+    }
+
+    void operator()() { invokeFn(storage); }
+
+  private:
+    alignas(std::max_align_t) unsigned char storage[bufferBytes];
+    void (*invokeFn)(void *) = nullptr;
+    void (*destroyFn)(void *) = nullptr;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_SIM_EVENT_CALLBACK_HH

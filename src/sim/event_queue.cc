@@ -1,94 +1,150 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 namespace odrips
 {
 
 Event::~Event()
 {
-    if (_scheduled && queue)
+    if (scheduled())
         queue->deschedule(*this);
 }
 
 void
-EventQueue::schedule(Event &event, Tick when)
+EventQueue::siftUp(std::size_t index)
 {
-    if (event._scheduled)
-        panic("event '", event.name(), "' scheduled twice");
-    if (when < _now) {
-        panic("event '", event.name(), "' scheduled in the past (",
-              when, " < ", _now, ")");
+    Event *moving = heap[index];
+    while (index > 0) {
+        const std::size_t parent = (index - 1) / arity;
+        if (!before(moving, heap[parent]))
+            break;
+        heap[index] = heap[parent];
+        heap[index]->heapIndex = index;
+        index = parent;
     }
+    heap[index] = moving;
+    moving->heapIndex = index;
+}
 
-    event._scheduled = true;
-    event.cancelled = false;
-    event._when = when;
-    event.sequence = nextSequence++;
-    event.queue = this;
+void
+EventQueue::siftDown(std::size_t index)
+{
+    Event *moving = heap[index];
+    const std::size_t count = heap.size();
+    while (true) {
+        const std::size_t first_child = index * arity + 1;
+        if (first_child >= count)
+            break;
+        std::size_t best = first_child;
+        const std::size_t last_child =
+            std::min(first_child + arity, count);
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (before(heap[c], heap[best]))
+                best = c;
+        }
+        if (!before(heap[best], moving))
+            break;
+        heap[index] = heap[best];
+        heap[index]->heapIndex = index;
+        index = best;
+    }
+    heap[index] = moving;
+    moving->heapIndex = index;
+}
 
-    entries.push(QueueEntry{when, event._priority, event.sequence, &event});
-    ++liveCount;
+void
+EventQueue::removeAt(std::size_t index)
+{
+    Event *last = heap.back();
+    heap.pop_back();
+    if (index < heap.size()) {
+        heap[index] = last;
+        last->heapIndex = index;
+        siftDown(index);
+        siftUp(index);
+    }
+}
+
+Event &
+EventQueue::popHead()
+{
+    Event &event = *heap.front();
+    Event *last = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        heap[0] = last;
+        last->heapIndex = 0;
+        siftDown(0);
+    }
+    ODRIPS_ASSERT(event._when >= _now, "event queue went backwards");
+    _now = event._when;
+    event.queue = nullptr;
+    ++executed;
+    return event;
+}
+
+void
+EventQueue::overflowPanic(const Event &event, Tick delay) const
+{
+    panic("event '", event.name(), "' delay ", delay,
+          " overflows the tick counter (now ", _now, ")");
+}
+
+void
+EventQueue::schedulePanic(const Event &event, Tick when) const
+{
+    if (event.scheduled())
+        panic("event '", event.name(), "' scheduled twice");
+    panic("event '", event.name(), "' scheduled in the past (", when,
+          " < ", _now, ")");
 }
 
 void
 EventQueue::deschedule(Event &event)
 {
-    if (!event._scheduled)
+    if (!event.scheduled())
         panic("descheduling event '", event.name(), "' not scheduled");
-    // Lazy removal: mark cancelled, drop when popped.
-    event.cancelled = true;
-    event._scheduled = false;
-    --liveCount;
+    if (event.queue != this) {
+        panic("descheduling event '", event.name(),
+              "' from a foreign queue");
+    }
+    removeAt(event.heapIndex);
+    event.queue = nullptr;
 }
 
 void
 EventQueue::reschedule(Event &event, Tick when)
 {
-    if (event._scheduled)
-        deschedule(event);
-    schedule(event, when);
-}
-
-void
-EventQueue::skipCancelled()
-{
-    while (!entries.empty()) {
-        const QueueEntry &head = entries.top();
-        // A cancelled-then-rescheduled event has a new sequence number;
-        // drop stale entries whose sequence no longer matches.
-        if (head.event->cancelled || head.event->sequence != head.sequence ||
-            !head.event->_scheduled) {
-            entries.pop();
-        } else {
-            break;
-        }
+    if (!event.scheduled()) {
+        schedule(event, when);
+        return;
     }
-}
+    if (event.queue != this) {
+        panic("rescheduling event '", event.name(),
+              "' owned by a foreign queue");
+    }
+    if (when < _now) {
+        panic("event '", event.name(), "' rescheduled into the past (",
+              when, " < ", _now, ")");
+    }
 
-Tick
-EventQueue::nextEventTick() const
-{
-    auto *self = const_cast<EventQueue *>(this);
-    self->skipCancelled();
-    return entries.empty() ? maxTick : entries.top().when;
+    // In-place move: update the key and restore heap order from the
+    // event's own slot. A reschedule consumes a fresh sequence number,
+    // exactly as the historical deschedule-then-schedule pair did, so
+    // same-tick FIFO ordering is preserved bit-for-bit.
+    event._when = when;
+    event.sequence = nextSequence++;
+    siftDown(event.heapIndex);
+    siftUp(event.heapIndex);
 }
 
 bool
 EventQueue::step()
 {
-    skipCancelled();
-    if (entries.empty())
+    if (heap.empty())
         return false;
-
-    QueueEntry entry = entries.top();
-    entries.pop();
-
-    Event &event = *entry.event;
-    ODRIPS_ASSERT(entry.when >= _now, "event queue went backwards");
-    _now = entry.when;
-    event._scheduled = false;
-    --liveCount;
-    ++executed;
-    event.callback();
+    popHead().callback();
     return true;
 }
 
@@ -96,11 +152,14 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t count = 0;
-    while (true) {
-        Tick next = nextEventTick();
+    while (!heap.empty()) {
+        // An event parked at the maxTick sentinel never fires through
+        // run(), matching the historical "nextEventTick() == maxTick
+        // means idle" contract.
+        const Tick next = heap.front()->_when;
         if (next == maxTick || next > limit)
             break;
-        step();
+        popHead().callback();
         ++count;
     }
     if (limit != maxTick && limit > _now)
@@ -113,6 +172,9 @@ EventQueue::advanceTo(Tick when)
 {
     if (when < _now)
         panic("advanceTo(", when, ") before now (", _now, ")");
+    if (when == maxTick) {
+        panic("advanceTo(maxTick): target overflowed the tick counter");
+    }
     if (nextEventTick() < when)
         panic("advanceTo(", when, ") would skip a pending event");
     _now = when;

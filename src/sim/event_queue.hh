@@ -3,19 +3,29 @@
  * Discrete-event simulation kernel.
  *
  * The EventQueue holds events ordered by (when, priority, sequence) and
- * executes them in order, advancing the global simulated time. Events are
- * lightweight callbacks; SimObjects schedule member-function events.
+ * executes them in order, advancing the global simulated time. Events
+ * are lightweight callbacks; SimObjects schedule member-function
+ * events.
+ *
+ * The queue is an intrusive, indexed 4-ary min-heap: each scheduled
+ * Event carries its own heap slot, so deschedule and reschedule fix the
+ * heap in place instead of leaving cancelled tombstones behind (the
+ * historical lazy-cancel design grew without bound under periodic
+ * reschedule). No per-event allocation happens on the hot path — names
+ * are lazy `const char *` pointers for literals, callbacks live in a
+ * fixed inline buffer, and the heap array is reused across events. See
+ * DESIGN.md, "Kernel internals & performance".
  */
 
 #ifndef ODRIPS_SIM_EVENT_QUEUE_HH
 #define ODRIPS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/event_callback.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
 
@@ -25,8 +35,9 @@ namespace odrips
 class EventQueue;
 
 /**
- * A schedulable event. An Event object is owned by its creator and can be
- * (re)scheduled on an EventQueue; the queue holds non-owning references.
+ * A schedulable event. An Event object is owned by its creator and can
+ * be (re)scheduled on an EventQueue; the queue holds non-owning
+ * pointers.
  */
 class Event
 {
@@ -39,10 +50,20 @@ class Event
     /** Statistics / measurement events run after model events. */
     static constexpr Priority statsPriority = 100;
 
-    Event(std::string name, std::function<void()> cb,
-          Priority priority = defaultPriority)
-        : _name(std::move(name)), callback(std::move(cb)),
-          _priority(priority)
+    /**
+     * Construct from a string literal (or other static string): the
+     * pointer is kept as-is, no copy, no allocation.
+     */
+    template <typename F>
+    Event(const char *name, F &&cb, Priority priority = defaultPriority)
+        : callback(std::forward<F>(cb)), _name(name), _priority(priority)
+    {}
+
+    /** Construct from a dynamically built name (owned by the event). */
+    template <typename F>
+    Event(std::string name, F &&cb, Priority priority = defaultPriority)
+        : callback(std::forward<F>(cb)), _ownedName(std::move(name)),
+          _name(_ownedName.c_str()), _priority(priority)
     {}
 
     Event(const Event &) = delete;
@@ -50,11 +71,11 @@ class Event
 
     ~Event();
 
-    const std::string &name() const { return _name; }
+    const char *name() const { return _name; }
     Priority priority() const { return _priority; }
 
     /** True if the event is currently in a queue. */
-    bool scheduled() const { return _scheduled; }
+    bool scheduled() const { return queue != nullptr; }
 
     /** Tick at which the event will fire (valid only when scheduled). */
     Tick when() const { return _when; }
@@ -62,19 +83,22 @@ class Event
   private:
     friend class EventQueue;
 
-    std::string _name;
-    std::function<void()> callback;
+    EventCallback callback;
+    std::string _ownedName;
+    const char *_name;
     Priority _priority;
-    bool _scheduled = false;
-    bool cancelled = false;
     Tick _when = 0;
     std::uint64_t sequence = 0;
+    /** Owning queue while scheduled; nullptr otherwise. */
     EventQueue *queue = nullptr;
+    /** Slot in the owning queue's heap (valid while scheduled). */
+    std::size_t heapIndex = 0;
 };
 
 /**
- * The event queue: a priority queue of events plus the simulated-time
- * cursor. A single queue drives a whole platform simulation.
+ * The event queue: an indexed min-heap of events plus the
+ * simulated-time cursor. A single queue drives a whole platform
+ * simulation.
  */
 class EventQueue
 {
@@ -90,28 +114,57 @@ class EventQueue
      * Schedule @p event at absolute time @p when.
      * Scheduling in the past (or an already scheduled event) is a bug.
      */
-    void schedule(Event &event, Tick when);
-
-    /** Schedule @p event @p delay ticks from now. */
-    void scheduleAfter(Event &event, Tick delay)
+    void
+    schedule(Event &event, Tick when)
     {
+        if (event.scheduled() || when < _now) [[unlikely]]
+            schedulePanic(event, when);
+        event._when = when;
+        event.sequence = nextSequence++;
+        event.queue = this;
+        const std::size_t index = heap.size();
+        event.heapIndex = index;
+        heap.push_back(&event);
+        if (index > 0)
+            siftUp(index);
+    }
+
+    /** Schedule @p event @p delay ticks from now. A delay that would
+     * overflow the tick counter is a bug (panics). */
+    void
+    scheduleAfter(Event &event, Tick delay)
+    {
+        if (delay > maxTick - _now) [[unlikely]]
+            overflowPanic(event, delay);
         schedule(event, _now + delay);
     }
 
-    /** Remove a scheduled event from the queue. */
+    /** Remove a scheduled event from the queue (in place, O(log n)). */
     void deschedule(Event &event);
 
     /** Deschedule (if scheduled) and reschedule at @p when. */
     void reschedule(Event &event, Tick when);
 
     /** True if any event is pending. */
-    bool empty() const { return liveCount == 0; }
+    bool empty() const { return heap.empty(); }
 
-    /** Number of pending (non-cancelled) events. */
-    std::size_t size() const { return liveCount; }
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /**
+     * Internal entry count. Equal to size() by construction — the
+     * indexed heap removes cancelled entries eagerly, so rescheduling
+     * cannot accumulate tombstones. Kept distinct from size() so the
+     * regression suite can pin the no-accumulation property.
+     */
+    std::size_t internalEntries() const { return heap.size(); }
 
     /** Tick of the next pending event; maxTick if none. */
-    Tick nextEventTick() const;
+    Tick
+    nextEventTick() const
+    {
+        return heap.empty() ? maxTick : heap.front()->_when;
+    }
 
     /**
      * Run events until the queue is empty or the next event lies beyond
@@ -130,43 +183,44 @@ class EventQueue
 
     /**
      * Advance the time cursor without running events; used by drivers
-     * that integrate power over idle stretches. It is a bug to skip over
-     * a pending event.
+     * that integrate power over idle stretches. It is a bug to skip
+     * over a pending event or to advance to the maxTick sentinel (the
+     * usual symptom of an overflowed `now + delay`).
      */
     void advanceTo(Tick when);
 
   private:
-    struct QueueEntry
-    {
-        Tick when;
-        Event::Priority priority;
-        std::uint64_t sequence;
-        Event *event;
-    };
+    /** Heap arity: 4-ary heaps trade deeper compares for cache-dense
+     * sift-downs, a net win at simulator queue depths. */
+    static constexpr std::size_t arity = 4;
 
-    struct EntryCompare
+    /** Strict total order: (when, priority, sequence) ascending. */
+    static bool
+    before(const Event *a, const Event *b)
     {
-        bool
-        operator()(const QueueEntry &a, const QueueEntry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.sequence > b.sequence;
-        }
-    };
+        if (a->_when != b->_when)
+            return a->_when < b->_when;
+        if (a->_priority != b->_priority)
+            return a->_priority < b->_priority;
+        return a->sequence < b->sequence;
+    }
 
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryCompare>
-        entries;
+    void siftUp(std::size_t index);
+    void siftDown(std::size_t index);
+    /** Unlink the entry at @p index, keeping the heap valid. */
+    void removeAt(std::size_t index);
+    /** Pop the head entry (cheaper specialization of removeAt(0)). */
+    Event &popHead();
+    /** Out-of-line cold path of scheduleAfter's overflow guard. */
+    [[noreturn]] void overflowPanic(const Event &event, Tick delay) const;
+    /** Out-of-line cold path of schedule()'s precondition checks. */
+    [[noreturn]] void schedulePanic(const Event &event, Tick when) const;
+
+    std::vector<Event *> heap;
 
     Tick _now = 0;
     std::uint64_t nextSequence = 0;
     std::uint64_t executed = 0;
-    std::size_t liveCount = 0;
-
-    /** Pop cancelled entries off the head of the queue. */
-    void skipCancelled();
 };
 
 } // namespace odrips

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Randomized property test for the event kernel: a seeded op sequence
+ * of schedule / deschedule / reschedule / step drives the real
+ * EventQueue and a deliberately naive reference model side by side,
+ * asserting the identical firing order. This is the safety net for the
+ * intrusive indexed-heap rewrite — any divergence from the historical
+ * (when, priority, sequence) ordering contract shows up here before it
+ * can perturb a golden suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/**
+ * Naive reference queue: a flat list scanned in full for every pop.
+ * Mirrors the kernel's ordering contract — ascending (when, priority,
+ * sequence), where every schedule *and* reschedule consumes a fresh
+ * sequence number — with none of the heap machinery under test.
+ */
+class ReferenceQueue
+{
+  public:
+    explicit ReferenceQueue(std::size_t slots)
+        : when(slots), priority(slots), sequence(slots),
+          scheduled(slots, false)
+    {}
+
+    bool isScheduled(std::size_t id) const { return scheduled[id]; }
+    Tick now() const { return _now; }
+
+    void
+    setPriority(std::size_t id, Event::Priority prio)
+    {
+        priority[id] = prio;
+    }
+
+    void
+    schedule(std::size_t id, Tick at)
+    {
+        when[id] = at;
+        sequence[id] = nextSequence++;
+        scheduled[id] = true;
+    }
+
+    void deschedule(std::size_t id) { scheduled[id] = false; }
+
+    void
+    reschedule(std::size_t id, Tick at)
+    {
+        // Same contract as the kernel: an in-place move consumes a
+        // fresh sequence number, exactly like deschedule + schedule.
+        schedule(id, at);
+    }
+
+    /** Pop the least (when, priority, sequence) entry; -1 if empty. */
+    int
+    step()
+    {
+        int best = -1;
+        for (std::size_t id = 0; id < when.size(); ++id) {
+            if (!scheduled[id])
+                continue;
+            if (best < 0 || lessThan(id, static_cast<std::size_t>(best)))
+                best = static_cast<int>(id);
+        }
+        if (best >= 0) {
+            _now = when[static_cast<std::size_t>(best)];
+            scheduled[static_cast<std::size_t>(best)] = false;
+        }
+        return best;
+    }
+
+  private:
+    bool
+    lessThan(std::size_t a, std::size_t b) const
+    {
+        if (when[a] != when[b])
+            return when[a] < when[b];
+        if (priority[a] != priority[b])
+            return priority[a] < priority[b];
+        return sequence[a] < sequence[b];
+    }
+
+    std::vector<Tick> when;
+    std::vector<Event::Priority> priority;
+    std::vector<std::uint64_t> sequence;
+    std::vector<bool> scheduled;
+    std::uint64_t nextSequence = 0;
+    Tick _now = 0;
+};
+
+TEST(EventQueuePropertyTest, MatchesReferenceModelOverRandomOps)
+{
+    constexpr std::size_t slots = 32;
+    constexpr int operations = 1000;
+
+    EventQueue eq;
+    ReferenceQueue ref(slots);
+
+    std::vector<int> firedReal;
+    std::vector<int> firedRef;
+
+    // Build the event pool with a mix of priorities.
+    constexpr Event::Priority priorities[3] = {
+        Event::defaultPriority, 5, Event::statsPriority};
+    // deque: Event is neither copyable nor movable, and deque never
+    // relocates elements pushed at the back.
+    std::deque<Event> pool;
+    for (std::size_t id = 0; id < slots; ++id) {
+        const Event::Priority prio = priorities[id % 3];
+        ref.setPriority(id, prio);
+        pool.emplace_back(
+            "prop",
+            [&firedReal, id] { firedReal.push_back(static_cast<int>(id)); },
+            prio);
+    }
+
+    Rng rng(0xD215EEDULL);
+    for (int op = 0; op < operations; ++op) {
+        const std::size_t id = rng.uniformInt(slots);
+        const Tick at =
+            eq.now() + static_cast<Tick>(rng.uniformInt(10000));
+        switch (rng.uniformInt(4)) {
+          case 0:
+            if (!pool[id].scheduled()) {
+                eq.schedule(pool[id], at);
+                ref.schedule(id, at);
+            }
+            break;
+          case 1:
+            if (pool[id].scheduled()) {
+                eq.deschedule(pool[id]);
+                ref.deschedule(id);
+            }
+            break;
+          case 2:
+            eq.reschedule(pool[id], at);
+            ref.reschedule(id, at);
+            break;
+          default: {
+            const int expected = ref.step();
+            const bool stepped = eq.step();
+            ASSERT_EQ(stepped, expected >= 0) << "op " << op;
+            if (stepped) {
+                ASSERT_EQ(firedReal.back(), expected) << "op " << op;
+                ASSERT_EQ(eq.now(), ref.now()) << "op " << op;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(eq.size(), static_cast<std::size_t>([&] {
+                      std::size_t n = 0;
+                      for (std::size_t i = 0; i < slots; ++i)
+                          n += ref.isScheduled(i) ? 1u : 0u;
+                      return n;
+                  }()))
+            << "op " << op;
+    }
+
+    // Drain both queues and compare the complete firing order.
+    while (true) {
+        const int expected = ref.step();
+        const bool stepped = eq.step();
+        ASSERT_EQ(stepped, expected >= 0);
+        if (!stepped)
+            break;
+        firedRef.push_back(expected);
+        ASSERT_EQ(firedReal.back(), expected);
+        ASSERT_EQ(eq.now(), ref.now());
+    }
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace

@@ -250,6 +250,62 @@ TEST_F(EventQueueTest, CancelThenRescheduleUsesNewTime)
     EXPECT_EQ(eq.executedEvents(), 1u);
 }
 
+TEST_F(EventQueueTest, RepeatedRescheduleKeepsInternalSizeBounded)
+{
+    // Regression: the historical lazy-cancel priority queue left a
+    // tombstone behind for every reschedule, so a long-lived periodic
+    // event that was frequently rescheduled grew the queue without
+    // bound. The indexed heap moves the entry in place.
+    Event periodic("periodic", [] {});
+    Event bystander("bystander", [] {});
+    eq.schedule(periodic, 10);
+    eq.schedule(bystander, maxTick - 1);
+
+    for (Tick i = 0; i < 10000; ++i)
+        eq.reschedule(periodic, 10 + i);
+
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_EQ(eq.internalEntries(), 2u);
+
+    // The last reschedule wins and ordering is intact.
+    Tick fired_at = -1;
+    Event probe("probe", [&] { fired_at = eq.now(); });
+    eq.schedule(probe, 10 + 9999);
+    eq.step();
+    EXPECT_EQ(eq.now(), 10 + 9999);
+    eq.step();
+    EXPECT_EQ(fired_at, 10 + 9999); // FIFO: probe scheduled after
+    eq.deschedule(bystander);
+}
+
+TEST_F(EventQueueTest, ScheduleAfterOverflowPanics)
+{
+    Event a("a", [] {});
+    eq.advanceTo(100);
+    EXPECT_THROW(eq.scheduleAfter(a, maxTick - 50), SimError);
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST_F(EventQueueTest, ScheduleAfterMaxDelayAtTimeZeroParksAtSentinel)
+{
+    // delay == maxTick at now == 0 is representable: the event parks at
+    // the maxTick sentinel and run() never fires it.
+    bool fired = false;
+    Event a("a", [&] { fired = true; });
+    eq.scheduleAfter(a, maxTick);
+    EXPECT_EQ(a.when(), maxTick);
+    eq.run(1000000);
+    EXPECT_FALSE(fired);
+    eq.deschedule(a);
+}
+
+TEST_F(EventQueueTest, AdvanceToMaxTickPanics)
+{
+    // advanceTo(maxTick) is the usual symptom of an overflowed
+    // `now + delay` in a driver; it must be loud, not silent.
+    EXPECT_THROW(eq.advanceTo(maxTick), SimError);
+}
+
 TEST(TickConversions, RoundTripSecondsTicks)
 {
     EXPECT_EQ(secondsToTicks(1.0), oneSec);
