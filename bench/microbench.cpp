@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "arch/dispatch.hh"
 #include "core/odrips.hh"
 #include "core/profile_cache.hh"
 #include "security/ctr_mode.hh"
@@ -61,6 +62,68 @@ BM_SpeckEncrypt(benchmark::State &state)
     state.SetBytesProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_SpeckEncrypt);
+
+/** RAII pin of the crypto dispatch level for a benchmark run. */
+class ScopedDispatch
+{
+  public:
+    explicit ScopedDispatch(arch::DispatchLevel level)
+        : previous(arch::setDispatchLevel(level))
+    {
+    }
+    ~ScopedDispatch() { arch::setDispatchLevel(previous); }
+
+  private:
+    arch::DispatchLevel previous;
+};
+
+void
+BM_Sha256AtLevel(benchmark::State &state, arch::DispatchLevel level)
+{
+    ScopedDispatch pin(level);
+    std::vector<std::uint8_t> data(4096, 0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data.data(), data.size()));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(data.size()));
+}
+
+void
+BM_SpeckCtrAtLevel(benchmark::State &state, arch::DispatchLevel level)
+{
+    ScopedDispatch pin(level);
+    Speck128::Key key{};
+    key[0] = 7;
+    CtrCipher ctr(key);
+    std::vector<std::uint8_t> buf(4096, 0x3C);
+    for (auto _ : state) {
+        ctr.apply(0x1000, 42, buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(buf.size()));
+}
+
+/** One BM_Sha256 / BM_SpeckCtr variant per dispatch level this CPU can
+ * actually run, e.g. BM_Sha256/4096/avx2 — so the tracked trajectory
+ * shows the win of each kernel tier, not just the native best. */
+[[maybe_unused]] const int dispatchBenchRegistrar = [] {
+    for (const arch::DispatchLevel level :
+         {arch::DispatchLevel::Scalar, arch::DispatchLevel::Sse4,
+          arch::DispatchLevel::Avx2, arch::DispatchLevel::Native}) {
+        if (!arch::levelSupported(level))
+            continue;
+        const std::string name = arch::kernelsFor(level).levelName;
+        benchmark::RegisterBenchmark(
+            ("BM_Sha256/4096/" + name).c_str(), BM_Sha256AtLevel, level);
+        benchmark::RegisterBenchmark(
+            ("BM_SpeckCtr/4096/" + name).c_str(), BM_SpeckCtrAtLevel,
+            level);
+    }
+    return 0;
+}();
 
 void
 BM_MeeContextWrite(benchmark::State &state)

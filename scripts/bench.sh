@@ -27,13 +27,18 @@ generator=()
 echo "== bench.sh: Release build in $build_dir =="
 cmake -B "$build_dir" "${generator[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$jobs" \
-    --target microbench fig6a_techniques >/dev/null
+    --target microbench fig6a_techniques arch_info >/dev/null
 
 micro_json="$(mktemp)"
 trap 'rm -f "$micro_json"' EXIT
 
 echo "== bench.sh: microbench =="
 "$build_dir/bench/microbench" --benchmark_format=json > "$micro_json"
+
+# Environment stamp: which kernels produced these numbers, on what CPU,
+# at which commit. A perf delta without this block is unattributable.
+arch_json="$("$build_dir/bench/arch_info")"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo "== bench.sh: fig6a_techniques wall clock (best of 3) =="
 best_ns=""
@@ -47,11 +52,13 @@ for _ in 1 2 3; do
     fi
 done
 
-python3 - "$micro_json" "$best_ns" "$out" <<'PY'
+python3 - "$micro_json" "$best_ns" "$out" "$arch_json" "$git_sha" <<'PY'
 import json
 import sys
 
 micro_path, fig_ns, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+environment = json.loads(sys.argv[4])
+environment["git_sha"] = sys.argv[5]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -80,6 +87,7 @@ doc = {
             "scripts/check.sh bench warns when a fresh run regresses "
             ">25% vs these numbers.",
     "build_type": "Release",
+    "environment": environment,
     "benchmarks": benches,
 }
 if previous is not None:

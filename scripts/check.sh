@@ -18,9 +18,15 @@
 #              BENCH_kernel.json; warns when any tracked benchmark
 #              regresses >25%. Not part of `all` — timings need an
 #              otherwise idle machine.
-#  all         lint, then tsan, then asan (default).
+#  simd        the security/SIMD differential suites (`ctest -L
+#              odrips_simd`) twice: once with native dispatch (the
+#              best kernels the CPU supports) and once pinned to the
+#              portable reference with ODRIPS_DISPATCH=scalar — so a
+#              bug in either side of the scalar/SIMD equivalence
+#              cannot pass unnoticed.
+#  all         lint, then simd, then tsan, then asan (default).
 #
-# Usage: scripts/check.sh [lint|tsan|asan|bench]   (default: all)
+# Usage: scripts/check.sh [lint|simd|tsan|asan|bench]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +62,23 @@ run_lint() {
         echo "clang-tidy not found; skipping (install clang-tools to enable)"
     fi
     echo "lint gate passed"
+}
+
+run_simd() {
+    echo "== SIMD gate (ctest -L odrips_simd, native + scalar) =="
+    # Reuse an existing default tree as-is; the generator flag only
+    # applies on first configure (it cannot change retroactively).
+    local gen=()
+    [ -d build ] || gen=("${generator[@]}")
+    cmake -B build "${gen[@]}" >/dev/null
+    cmake --build build -j "$jobs" \
+        --target security_test simd_dispatch_test
+    echo "-- native dispatch --"
+    ctest --test-dir build -L odrips_simd --output-on-failure -j "$jobs"
+    echo "-- ODRIPS_DISPATCH=scalar --"
+    ODRIPS_DISPATCH=scalar \
+        ctest --test-dir build -L odrips_simd --output-on-failure \
+        -j "$jobs"
 }
 
 run_tsan() {
@@ -126,16 +149,18 @@ PY
 
 case "$mode" in
 lint) run_lint ;;
+simd) run_simd ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
 bench) run_bench ;;
 all)
     run_lint
+    run_simd
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [lint|tsan|asan|bench]" >&2
+    echo "usage: $0 [lint|simd|tsan|asan|bench]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,127 @@
+#include "arch/cpu_features.hh"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ODRIPS_ARCH_X86 1
+#include <cpuid.h>
+#elif defined(__aarch64__)
+#define ODRIPS_ARCH_AARCH64 1
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
+namespace odrips::arch
+{
+
+namespace
+{
+
+#if defined(ODRIPS_ARCH_X86)
+
+// XGETBV: the OS must have enabled YMM state saving (XCR0 bits 1|2)
+// before AVX2 instructions are safe to execute, independent of what
+// CPUID leaf 7 advertises.
+bool
+osSavesYmm()
+{
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return false;
+    const bool osxsave = (ecx >> 27) & 1u;
+    if (!osxsave)
+        return false;
+    std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+    __asm__("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+    (void)xcr0_hi;
+    return (xcr0_lo & 0x6u) == 0x6u; // SSE + YMM state
+}
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        f.sse41 = (ecx >> 19) & 1u;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        const bool ymm = osSavesYmm();
+        f.avx2 = ymm && ((ebx >> 5) & 1u);
+        // SHA-NI operates on XMM state only, but every SHA-capable
+        // part has SSE4.1; require it so the kernel's pshufb/blend
+        // companions are safe too.
+        f.shaNi = ((ebx >> 29) & 1u) && f.sse41;
+    }
+    return f;
+}
+
+#elif defined(ODRIPS_ARCH_AARCH64)
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+#if defined(__linux__)
+    // HWCAP_ASIMD = 1 << 1, HWCAP_SHA2 = 1 << 6 (asm/hwcap.h values;
+    // spelled out so the probe builds without kernel headers).
+    const unsigned long hwcap = getauxval(AT_HWCAP);
+    f.neon = (hwcap >> 1) & 1ul;
+    f.sha2 = (hwcap >> 6) & 1ul;
+#else
+    // No runtime probe available: trust the compile-time baseline.
+#if defined(__ARM_NEON)
+    f.neon = true;
+#endif
+#if defined(__ARM_FEATURE_SHA2)
+    f.sha2 = true;
+#endif
+#endif
+    return f;
+}
+
+#else
+
+CpuFeatures
+probe()
+{
+    return CpuFeatures{};
+}
+
+#endif
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures features = probe();
+    return features;
+}
+
+std::string
+cpuFeatureString()
+{
+    const CpuFeatures &f = cpuFeatures();
+    std::string out;
+    const auto append = [&out](const char *token) {
+        if (!out.empty())
+            out += '+';
+        out += token;
+    };
+    if (f.sse41)
+        append("sse4_1");
+    if (f.avx2)
+        append("avx2");
+    if (f.shaNi)
+        append("sha_ni");
+    if (f.neon)
+        append("neon");
+    if (f.sha2)
+        append("sha2");
+    if (out.empty())
+        out = "scalar-only";
+    return out;
+}
+
+} // namespace odrips::arch

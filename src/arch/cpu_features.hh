@@ -1,0 +1,45 @@
+/**
+ * @file
+ * One-time CPU feature probe.
+ *
+ * The SIMD crypto kernels under src/arch/ are compiled with per-file
+ * ISA flags and must only ever be *called* when the running CPU
+ * advertises the matching feature. This probe is the single source of
+ * truth: CPUID (with the XGETBV AVX state check) on x86-64, HWCAP on
+ * Linux/AArch64, and all-false everywhere else so the portable scalar
+ * kernels remain the unconditional fallback.
+ */
+
+#ifndef ODRIPS_ARCH_CPU_FEATURES_HH
+#define ODRIPS_ARCH_CPU_FEATURES_HH
+
+#include <string>
+
+namespace odrips::arch
+{
+
+/** Features relevant to the crypto kernel dispatch. */
+struct CpuFeatures
+{
+    // x86-64
+    bool sse41 = false;
+    bool avx2 = false;
+    bool shaNi = false;
+    // AArch64
+    bool neon = false;
+    bool sha2 = false;
+};
+
+/** Probe once (thread-safe) and return the cached result. */
+const CpuFeatures &cpuFeatures();
+
+/**
+ * Human/JSON-friendly summary of the probed features, e.g.
+ * "sse4_1+avx2+sha_ni", or "scalar-only" when nothing relevant is
+ * present. Stable token names: sse4_1, avx2, sha_ni, neon, sha2.
+ */
+std::string cpuFeatureString();
+
+} // namespace odrips::arch
+
+#endif // ODRIPS_ARCH_CPU_FEATURES_HH

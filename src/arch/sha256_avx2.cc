@@ -1,0 +1,238 @@
+/**
+ * @file
+ * AVX2 SHA-256 kernels.
+ *
+ * Two shapes of parallelism, both across *blocks* (the rounds of one
+ * block are a serial dependency chain; the message schedule and
+ * independent streams are not):
+ *
+ *  - sha256CompressAvx2: single stream, 8 consecutive blocks per
+ *    group. The 48 message-schedule steps run with one 32-bit lane per
+ *    block (the "8-lane multi-block message schedule"); the rounds
+ *    then run scalar per block off the precomputed schedule.
+ *
+ *  - sha256Compress8Avx2: eight independent streams, one stream per
+ *    lane, everything (schedule *and* rounds) vectorised. This is the
+ *    kernel behind mac64x8 and the MEE's batched line MACs.
+ *
+ * Compiled with -mavx2; only ever called after the CPUID probe
+ * confirms AVX2 (see arch/dispatch.cc).
+ */
+
+#include <immintrin.h>
+
+#include "arch/crypto_kernels.hh"
+#include "arch/sha256_common.hh"
+
+#if defined(ODRIPS_HAVE_AVX2_KERNELS)
+
+namespace odrips::arch
+{
+
+namespace
+{
+
+// Per-128-bit-lane byte shuffle that big-endian-swaps each 32-bit word.
+inline __m256i
+bswap32x8(__m256i v)
+{
+    const __m256i mask = _mm256_setr_epi8(
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    return _mm256_shuffle_epi8(v, mask);
+}
+
+inline __m256i
+rotr32x8(__m256i v, int n)
+{
+    return _mm256_or_si256(_mm256_srli_epi32(v, n),
+                           _mm256_slli_epi32(v, 32 - n));
+}
+
+// sigma0 / sigma1 of the message schedule, 8 lanes at once.
+inline __m256i
+schedS0(__m256i v)
+{
+    return _mm256_xor_si256(
+        _mm256_xor_si256(rotr32x8(v, 7), rotr32x8(v, 18)),
+        _mm256_srli_epi32(v, 3));
+}
+
+inline __m256i
+schedS1(__m256i v)
+{
+    return _mm256_xor_si256(
+        _mm256_xor_si256(rotr32x8(v, 17), rotr32x8(v, 19)),
+        _mm256_srli_epi32(v, 10));
+}
+
+/** Transpose 8 rows of 8 u32 (r[i] = row i) in place to columns. */
+inline void
+transpose8x8(__m256i r[8])
+{
+    const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+    const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+    const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+    const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+    const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+    const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+    const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+    const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+
+    const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+
+    r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+    r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+    r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+    r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+    r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+    r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+    r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+    r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+/**
+ * Load word-rows for 8 "lanes" and produce the transposed schedule
+ * vectors w[0..15], where w[t] lane i is big-endian word t of lane i's
+ * block. Lane i's block starts at @p base + i * @p laneStride.
+ */
+inline void
+loadMessageWords(const std::uint8_t *base, std::size_t laneStride,
+                 __m256i w[16])
+{
+    __m256i lo[8], hi[8];
+    for (int i = 0; i < 8; ++i) {
+        const std::uint8_t *block =
+            base + static_cast<std::size_t>(i) * laneStride;
+        lo[i] = bswap32x8(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(block)));
+        hi[i] = bswap32x8(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(block + 32)));
+    }
+    transpose8x8(lo);
+    transpose8x8(hi);
+    for (int t = 0; t < 8; ++t) {
+        w[t] = lo[t];
+        w[t + 8] = hi[t];
+    }
+}
+
+} // namespace
+
+void
+sha256CompressAvx2(std::uint32_t *state, const std::uint8_t *blocks,
+                   std::size_t count)
+{
+    alignas(32) std::uint32_t ws[64 * 8];
+
+    while (count >= 8) {
+        // Lanes are the 8 consecutive blocks of this group.
+        __m256i w[16];
+        loadMessageWords(blocks, 64, w);
+        for (int t = 0; t < 16; ++t)
+            _mm256_store_si256(reinterpret_cast<__m256i *>(ws + 8 * t),
+                               w[t]);
+        for (int t = 16; t < 64; ++t) {
+            const __m256i wt = _mm256_add_epi32(
+                _mm256_add_epi32(w[(t - 16) & 15], schedS0(w[(t - 15) & 15])),
+                _mm256_add_epi32(w[(t - 7) & 15], schedS1(w[(t - 2) & 15])));
+            w[t & 15] = wt;
+            _mm256_store_si256(reinterpret_cast<__m256i *>(ws + 8 * t), wt);
+        }
+        // Rounds stay serial across a single stream's blocks: each
+        // block reads its lane (stride 8) of the precomputed schedule.
+        for (std::size_t b = 0; b < 8; ++b)
+            sha256RoundsFromSchedule(state, ws + b, 8);
+        blocks += 8 * 64;
+        count -= 8;
+    }
+    if (count > 0)
+        sha256CompressScalar(state, blocks, count);
+}
+
+void
+sha256Compress8Avx2(std::uint32_t *states, const std::uint8_t *blocks,
+                    std::size_t stride, std::size_t count)
+{
+    // Load the 8 states and transpose so vector i holds word i of all
+    // streams (lane s = stream s).
+    __m256i s[8];
+    for (int i = 0; i < 8; ++i)
+        s[i] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(states + 8 * i));
+    transpose8x8(s);
+
+    for (std::size_t blk = 0; blk < count; ++blk) {
+        __m256i w[16];
+        loadMessageWords(blocks + 64 * blk, stride, w);
+
+        __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+        __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+        for (int t = 0; t < 64; ++t) {
+            __m256i wt;
+            if (t < 16) {
+                wt = w[t];
+            } else {
+                wt = _mm256_add_epi32(
+                    _mm256_add_epi32(w[(t - 16) & 15],
+                                     schedS0(w[(t - 15) & 15])),
+                    _mm256_add_epi32(w[(t - 7) & 15],
+                                     schedS1(w[(t - 2) & 15])));
+                w[t & 15] = wt;
+            }
+            const __m256i s1 = _mm256_xor_si256(
+                _mm256_xor_si256(rotr32x8(e, 6), rotr32x8(e, 11)),
+                rotr32x8(e, 25));
+            const __m256i ch = _mm256_xor_si256(
+                _mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+            const __m256i k = _mm256_set1_epi32(
+                static_cast<int>(sha256K[static_cast<std::size_t>(t)]));
+            const __m256i temp1 = _mm256_add_epi32(
+                _mm256_add_epi32(_mm256_add_epi32(h, s1),
+                                 _mm256_add_epi32(ch, k)),
+                wt);
+            const __m256i s0 = _mm256_xor_si256(
+                _mm256_xor_si256(rotr32x8(a, 2), rotr32x8(a, 13)),
+                rotr32x8(a, 22));
+            const __m256i maj = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_and_si256(a, b),
+                                 _mm256_and_si256(a, c)),
+                _mm256_and_si256(b, c));
+            const __m256i temp2 = _mm256_add_epi32(s0, maj);
+            h = g;
+            g = f;
+            f = e;
+            e = _mm256_add_epi32(d, temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = _mm256_add_epi32(temp1, temp2);
+        }
+
+        s[0] = _mm256_add_epi32(s[0], a);
+        s[1] = _mm256_add_epi32(s[1], b);
+        s[2] = _mm256_add_epi32(s[2], c);
+        s[3] = _mm256_add_epi32(s[3], d);
+        s[4] = _mm256_add_epi32(s[4], e);
+        s[5] = _mm256_add_epi32(s[5], f);
+        s[6] = _mm256_add_epi32(s[6], g);
+        s[7] = _mm256_add_epi32(s[7], h);
+    }
+
+    transpose8x8(s);
+    for (int i = 0; i < 8; ++i)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(states + 8 * i),
+                            s[i]);
+}
+
+} // namespace odrips::arch
+
+#endif // ODRIPS_HAVE_AVX2_KERNELS

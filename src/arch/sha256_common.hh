@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared pieces of the SHA-256 kernels: the FIPS 180-4 round constants
+ * and the scalar round/compress helpers. The SSE4.1 and AVX2 message-
+ * schedule kernels vectorise only the schedule and reuse the scalar
+ * rounds below, which keeps every variant trivially bit-identical in
+ * the rounds and concentrates the differential-test surface on the
+ * schedule math.
+ */
+
+#ifndef ODRIPS_ARCH_SHA256_COMMON_HH
+#define ODRIPS_ARCH_SHA256_COMMON_HH
+
+#include <array>
+#include <cstdint>
+
+namespace odrips::arch
+{
+
+inline constexpr std::array<std::uint32_t, 64> sha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline std::uint32_t
+sha256Rotr(std::uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+inline std::uint32_t
+sha256LoadBe32(const std::uint8_t *p)
+{
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+           (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+/**
+ * The 64 SHA-256 rounds over a fully expanded message schedule
+ * @p w (64 words), updating @p state in place. Shared by the scalar
+ * kernel and the SIMD schedule-precompute kernels; @p stride lets the
+ * SIMD kernels keep w in lane-major layout (w[t * stride]).
+ */
+inline void
+sha256RoundsFromSchedule(std::uint32_t *state, const std::uint32_t *w,
+                         std::size_t stride)
+{
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t s1 =
+            sha256Rotr(e, 6) ^ sha256Rotr(e, 11) ^ sha256Rotr(e, 25);
+        const std::uint32_t ch = (e & f) ^ (~e & g);
+        const std::uint32_t temp1 =
+            h + s1 + ch + sha256K[static_cast<std::size_t>(i)] +
+            w[static_cast<std::size_t>(i) * stride];
+        const std::uint32_t s0 =
+            sha256Rotr(a, 2) ^ sha256Rotr(a, 13) ^ sha256Rotr(a, 22);
+        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+} // namespace odrips::arch
+
+#endif // ODRIPS_ARCH_SHA256_COMMON_HH

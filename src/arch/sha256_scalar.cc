@@ -1,0 +1,37 @@
+#include "arch/crypto_kernels.hh"
+#include "arch/sha256_common.hh"
+
+namespace odrips::arch
+{
+
+void
+sha256CompressScalar(std::uint32_t *state, const std::uint8_t *blocks,
+                     std::size_t count)
+{
+    for (std::size_t blk = 0; blk < count; ++blk) {
+        const std::uint8_t *block = blocks + 64 * blk;
+        std::uint32_t w[64];
+        for (int i = 0; i < 16; ++i)
+            w[i] = sha256LoadBe32(block + 4 * i);
+        for (int i = 16; i < 64; ++i) {
+            const std::uint32_t s0 = sha256Rotr(w[i - 15], 7) ^
+                                     sha256Rotr(w[i - 15], 18) ^
+                                     (w[i - 15] >> 3);
+            const std::uint32_t s1 = sha256Rotr(w[i - 2], 17) ^
+                                     sha256Rotr(w[i - 2], 19) ^
+                                     (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        sha256RoundsFromSchedule(state, w, 1);
+    }
+}
+
+void
+sha256Compress8Scalar(std::uint32_t *states, const std::uint8_t *blocks,
+                      std::size_t stride, std::size_t count)
+{
+    for (std::size_t s = 0; s < 8; ++s)
+        sha256CompressScalar(states + 8 * s, blocks + s * stride, count);
+}
+
+} // namespace odrips::arch

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SHA-256 on the x86 SHA extensions (SHA-NI).
+ *
+ * The sha256rnds2 instruction retires two rounds per issue with the
+ * message schedule kept in XMM registers via sha256msg1/msg2, so a
+ * single stream compresses at several times the scalar rate. Written
+ * as a loop over the sixteen 4-round groups; slot indices follow the
+ * standard identities (the schedule for group g+1 needs raw words of
+ * groups g and g-1 plus the msg1-accumulated group g-3).
+ *
+ * Compiled with -msha -msse4.1; only called after the CPUID probe.
+ */
+
+#include <immintrin.h>
+
+#include "arch/crypto_kernels.hh"
+#include "arch/sha256_common.hh"
+
+#if defined(ODRIPS_HAVE_SHANI_KERNELS)
+
+namespace odrips::arch
+{
+
+void
+sha256CompressShaNi(std::uint32_t *state, const std::uint8_t *blocks,
+                    std::size_t count)
+{
+    const __m128i bswapMask =
+        _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+    // Repack the linear state into the ABEF/CDGH register layout the
+    // rnds2 instruction expects.
+    __m128i tmp =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(state));
+    __m128i state1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(state + 4));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);
+    state1 = _mm_shuffle_epi32(state1, 0x1B);
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+    while (count > 0) {
+        const __m128i save0 = state0;
+        const __m128i save1 = state1;
+
+        __m128i msg[4];
+        for (int j = 0; j < 4; ++j)
+            msg[j] = _mm_shuffle_epi8(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(blocks + 16 * j)),
+                bswapMask);
+
+        for (int g = 0; g < 16; ++g) {
+            __m128i m = _mm_add_epi32(
+                msg[g & 3],
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    sha256K.data() + 4 * g)));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+            if (g >= 3 && g <= 14) {
+                const __m128i shifted =
+                    _mm_alignr_epi8(msg[g & 3], msg[(g + 3) & 3], 4);
+                msg[(g + 1) & 3] = _mm_sha256msg2_epu32(
+                    _mm_add_epi32(msg[(g + 1) & 3], shifted), msg[g & 3]);
+            }
+            m = _mm_shuffle_epi32(m, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+            if (g >= 1 && g <= 12)
+                msg[(g + 3) & 3] =
+                    _mm_sha256msg1_epu32(msg[(g + 3) & 3], msg[g & 3]);
+        }
+
+        state0 = _mm_add_epi32(state0, save0);
+        state1 = _mm_add_epi32(state1, save1);
+        blocks += 64;
+        --count;
+    }
+
+    // Unpack ABEF/CDGH back to the linear layout.
+    tmp = _mm_shuffle_epi32(state0, 0x1B);
+    state1 = _mm_shuffle_epi32(state1, 0xB1);
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+    state1 = _mm_alignr_epi8(state1, tmp, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state + 4), state1);
+}
+
+} // namespace odrips::arch
+
+#endif // ODRIPS_HAVE_SHANI_KERNELS

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SSE4.1 SHA-256 kernel: single stream, 4 consecutive blocks per
+ * group, 4-lane message schedule + scalar rounds. Structure mirrors
+ * the AVX2 kernel at half the width (see sha256_avx2.cc).
+ *
+ * Compiled with -msse4.1; only called after the CPUID probe.
+ */
+
+#include <smmintrin.h>
+#include <tmmintrin.h>
+
+#include "arch/crypto_kernels.hh"
+#include "arch/sha256_common.hh"
+
+#if defined(ODRIPS_HAVE_SSE4_KERNELS)
+
+namespace odrips::arch
+{
+
+namespace
+{
+
+inline __m128i
+bswap32x4(__m128i v)
+{
+    const __m128i mask =
+        _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    return _mm_shuffle_epi8(v, mask);
+}
+
+inline __m128i
+rotr32x4(__m128i v, int n)
+{
+    return _mm_or_si128(_mm_srli_epi32(v, n), _mm_slli_epi32(v, 32 - n));
+}
+
+inline __m128i
+schedS0(__m128i v)
+{
+    return _mm_xor_si128(_mm_xor_si128(rotr32x4(v, 7), rotr32x4(v, 18)),
+                         _mm_srli_epi32(v, 3));
+}
+
+inline __m128i
+schedS1(__m128i v)
+{
+    return _mm_xor_si128(_mm_xor_si128(rotr32x4(v, 17), rotr32x4(v, 19)),
+                         _mm_srli_epi32(v, 10));
+}
+
+/** Transpose 4 rows of 4 u32 in place. */
+inline void
+transpose4x4(__m128i r[4])
+{
+    const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+    const __m128i t1 = _mm_unpackhi_epi32(r[0], r[1]);
+    const __m128i t2 = _mm_unpacklo_epi32(r[2], r[3]);
+    const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+    r[0] = _mm_unpacklo_epi64(t0, t2);
+    r[1] = _mm_unpackhi_epi64(t0, t2);
+    r[2] = _mm_unpacklo_epi64(t1, t3);
+    r[3] = _mm_unpackhi_epi64(t1, t3);
+}
+
+} // namespace
+
+void
+sha256CompressSse4(std::uint32_t *state, const std::uint8_t *blocks,
+                   std::size_t count)
+{
+    alignas(16) std::uint32_t ws[64 * 4];
+
+    while (count >= 4) {
+        // w[t] lane b = big-endian word t of block b. Each quarter of
+        // the 16 message words is a 4x4 transpose across the blocks.
+        __m128i w[16];
+        for (int q = 0; q < 4; ++q) {
+            __m128i rows[4];
+            for (int b = 0; b < 4; ++b)
+                rows[b] = bswap32x4(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(blocks + 64 * b +
+                                                      16 * q)));
+            transpose4x4(rows);
+            for (int t = 0; t < 4; ++t)
+                w[4 * q + t] = rows[t];
+        }
+        for (int t = 0; t < 16; ++t)
+            _mm_store_si128(reinterpret_cast<__m128i *>(ws + 4 * t), w[t]);
+        for (int t = 16; t < 64; ++t) {
+            const __m128i wt = _mm_add_epi32(
+                _mm_add_epi32(w[(t - 16) & 15], schedS0(w[(t - 15) & 15])),
+                _mm_add_epi32(w[(t - 7) & 15], schedS1(w[(t - 2) & 15])));
+            w[t & 15] = wt;
+            _mm_store_si128(reinterpret_cast<__m128i *>(ws + 4 * t), wt);
+        }
+        for (std::size_t b = 0; b < 4; ++b)
+            sha256RoundsFromSchedule(state, ws + b, 4);
+        blocks += 4 * 64;
+        count -= 4;
+    }
+    if (count > 0)
+        sha256CompressScalar(state, blocks, count);
+}
+
+} // namespace odrips::arch
+
+#endif // ODRIPS_HAVE_SSE4_KERNELS

@@ -1,0 +1,44 @@
+#include "arch/crypto_kernels.hh"
+
+namespace odrips::arch
+{
+
+namespace
+{
+
+std::uint64_t
+ror64(std::uint64_t x, unsigned r)
+{
+    return (x >> r) | (x << (64 - r));
+}
+
+std::uint64_t
+rol64(std::uint64_t x, unsigned r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+} // namespace
+
+void
+speckEncryptBatchScalar(const std::uint64_t *roundKeys, std::uint64_t *xy,
+                        std::size_t count)
+{
+    // Round loop outside the block loop: independent blocks pipeline
+    // through the ALU instead of serialising on one block's 32-round
+    // dependency chain (same structure the SIMD kernels vectorise).
+    for (unsigned i = 0; i < 32; ++i) {
+        const std::uint64_t k = roundKeys[i];
+        for (std::size_t b = 0; b < count; ++b) {
+            std::uint64_t &x = xy[2 * b];
+            std::uint64_t &y = xy[2 * b + 1];
+            x = ror64(x, 8);
+            x += y;
+            x ^= k;
+            y = rol64(y, 3);
+            y ^= x;
+        }
+    }
+}
+
+} // namespace odrips::arch

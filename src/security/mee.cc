@@ -6,6 +6,14 @@
 namespace odrips
 {
 
+namespace
+{
+
+/** Domain separator of the per-line MACs ("LINE"). */
+constexpr std::uint64_t lineMacDomain = 0x4c494e45ULL;
+
+} // namespace
+
 void
 MeeRootState::serialize(std::uint8_t *out) const
 {
@@ -122,10 +130,33 @@ std::uint64_t
 Mee::lineMac(std::uint64_t addr, std::uint64_t version,
              const std::uint8_t *ciphertext) const
 {
-    return mac64(cfg.key, 0x4c494e45ULL,
+    return mac64(cfg.key, lineMacDomain,
                  {{ciphertext, TreeLayout::lineBytes},
                   {&addr, 8},
                   {&version, 8}});
+}
+
+void
+Mee::batchLineMacs(const std::uint8_t *linesData, std::uint64_t count,
+                   const std::uint64_t *addrs,
+                   const std::uint64_t *versions, std::uint64_t *out) const
+{
+    if (count == macBatchLines) {
+        std::uint64_t domains[macBatchLines];
+        MacSegment segments[macBatchLines * 3];
+        for (std::uint64_t b = 0; b < macBatchLines; ++b) {
+            domains[b] = lineMacDomain;
+            segments[3 * b] = {linesData + b * TreeLayout::lineBytes,
+                               TreeLayout::lineBytes};
+            segments[3 * b + 1] = {&addrs[b], 8};
+            segments[3 * b + 2] = {&versions[b], 8};
+        }
+        mac64x8(cfg.key, domains, segments, 3, out);
+        return;
+    }
+    for (std::uint64_t b = 0; b < count; ++b)
+        out[b] = lineMac(addrs[b], versions[b],
+                         linesData + b * TreeLayout::lineBytes);
 }
 
 std::uint64_t
@@ -167,47 +198,70 @@ Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
     // an allocation on every one of them.
     writeScratch.assign(data, data + len);
 
+    // Lines are processed in batches of up to 8 so the independent
+    // line MACs can run through the 8-way SIMD compression kernel
+    // (mac64x8). The per-line metadata accesses keep their relative
+    // order inside each phase, and a batch of consecutive lines shares
+    // its counter/MAC groups (arity 8), so the cache hit/miss pattern
+    // and final LRU order match the historical line-at-a-time loop.
     const std::uint64_t lines = len / TreeLayout::lineBytes;
-    for (std::uint64_t k = 0; k < lines; ++k) {
-        const std::uint64_t line_addr = addr + k * TreeLayout::lineBytes;
-        const std::uint64_t index =
-            (line_addr - cfg.dataBase) / TreeLayout::lineBytes;
-        std::uint8_t *line = writeScratch.data() + k * TreeLayout::lineBytes;
+    std::uint64_t done = 0;
+    while (done < lines) {
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(macBatchLines, lines - done);
+        std::uint64_t lineAddr[macBatchLines];
+        std::uint64_t lineIndex[macBatchLines];
+        std::uint64_t version[macBatchLines];
+        std::uint64_t macs[macBatchLines];
 
-        // Bump the version counter and encrypt under the new version.
-        std::uint64_t version;
-        {
+        // Bump each line's version counter and encrypt under it.
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            const std::uint64_t k = done + b;
+            lineAddr[b] = addr + k * TreeLayout::lineBytes;
+            lineIndex[b] =
+                (lineAddr[b] - cfg.dataBase) / TreeLayout::lineBytes;
+            std::uint8_t *line =
+                writeScratch.data() + k * TreeLayout::lineBytes;
             MetadataNode &l0 =
                 fetchNode(NodeKind::CounterGroup, 0,
-                          index / TreeLayout::arity, true, now, latency,
-                          false);
-            version = ++l0.counters[index % TreeLayout::arity];
+                          lineIndex[b] / TreeLayout::arity, true, now,
+                          latency, false);
+            version[b] = ++l0.counters[lineIndex[b] % TreeLayout::arity];
+            ctr.apply(lineAddr[b], version[b], line,
+                      TreeLayout::lineBytes);
         }
-        ctr.apply(line_addr, version, line, TreeLayout::lineBytes);
 
-        // Record the line MAC.
-        {
-            MetadataNode &macs =
+        // MAC the batch (pure compute, no metadata traffic).
+        batchLineMacs(writeScratch.data() + done * TreeLayout::lineBytes,
+                      batch, lineAddr, version, macs);
+
+        // Record the line MACs.
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            MetadataNode &macNode =
                 fetchNode(NodeKind::DataMacGroup, 0,
-                          index / TreeLayout::arity, true, now, latency,
-                          false);
-            macs.counters[index % TreeLayout::arity] =
-                lineMac(line_addr, version, line);
+                          lineIndex[b] / TreeLayout::arity, true, now,
+                          latency, false);
+            macNode.counters[lineIndex[b] % TreeLayout::arity] = macs[b];
         }
 
         // Propagate: bump parents and re-MAC every node on the path.
-        std::uint64_t idx = index;
-        for (unsigned level = 0; level < tree.counterLevels(); ++level) {
-            const std::uint64_t group = idx / TreeLayout::arity;
-            const std::uint64_t parent =
-                parentCounter(level, group, true, now, latency, false);
-            MetadataNode &node =
-                fetchNode(NodeKind::CounterGroup, level, group, true, now,
-                          latency, false);
-            node.mac = nodeMac(level, group, node, parent);
-            idx = group;
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            std::uint64_t idx = lineIndex[b];
+            for (unsigned level = 0; level < tree.counterLevels();
+                 ++level) {
+                const std::uint64_t group = idx / TreeLayout::arity;
+                const std::uint64_t parent =
+                    parentCounter(level, group, true, now, latency,
+                                  false);
+                MetadataNode &node =
+                    fetchNode(NodeKind::CounterGroup, level, group, true,
+                              now, latency, false);
+                node.mac = nodeMac(level, group, node, parent);
+                idx = group;
+            }
         }
-        ++stats.linesWritten;
+        stats.linesWritten += batch;
+        done += batch;
     }
 
     // Stream the ciphertext to memory in one burst.
@@ -244,51 +298,73 @@ Mee::secureRead(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
     // Fetch the ciphertext in one burst.
     MemAccessResult mem_result = mem.read(addr, data, len, now);
 
+    // Batched like secureWrite: the expected line MACs of up to 8
+    // lines are independent computations over the still-encrypted
+    // data, so they run through the 8-way SIMD kernel before the
+    // per-line verify/decrypt phases.
     const std::uint64_t lines = len / TreeLayout::lineBytes;
-    for (std::uint64_t k = 0; k < lines; ++k) {
-        const std::uint64_t line_addr = addr + k * TreeLayout::lineBytes;
-        const std::uint64_t index =
-            (line_addr - cfg.dataBase) / TreeLayout::lineBytes;
-        std::uint8_t *line = data + k * TreeLayout::lineBytes;
+    std::uint64_t done = 0;
+    while (done < lines) {
+        const std::uint64_t batch =
+            std::min<std::uint64_t>(macBatchLines, lines - done);
+        std::uint64_t lineAddr[macBatchLines];
+        std::uint64_t lineIndex[macBatchLines];
+        std::uint64_t version[macBatchLines];
+        std::uint64_t expected[macBatchLines];
 
-        std::uint64_t version;
-        {
+        // Look up each line's version counter.
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            const std::uint64_t k = done + b;
+            lineAddr[b] = addr + k * TreeLayout::lineBytes;
+            lineIndex[b] =
+                (lineAddr[b] - cfg.dataBase) / TreeLayout::lineBytes;
             MetadataNode &l0 =
                 fetchNode(NodeKind::CounterGroup, 0,
-                          index / TreeLayout::arity, false, now, latency,
-                          true);
-            version = l0.counters[index % TreeLayout::arity];
+                          lineIndex[b] / TreeLayout::arity, false, now,
+                          latency, true);
+            version[b] = l0.counters[lineIndex[b] % TreeLayout::arity];
         }
 
-        // Verify the line MAC against the stored one.
-        {
-            const std::uint64_t expected =
-                lineMac(line_addr, version, line);
-            MetadataNode &macs =
+        // Expected MACs over the ciphertext (pure compute).
+        batchLineMacs(data + done * TreeLayout::lineBytes, batch,
+                      lineAddr, version, expected);
+
+        // Verify the line MACs against the stored ones.
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            MetadataNode &macNode =
                 fetchNode(NodeKind::DataMacGroup, 0,
-                          index / TreeLayout::arity, false, now, latency,
-                          true);
-            if (macs.counters[index % TreeLayout::arity] != expected)
+                          lineIndex[b] / TreeLayout::arity, false, now,
+                          latency, true);
+            if (macNode.counters[lineIndex[b] % TreeLayout::arity] !=
+                expected[b])
                 authentic = false;
         }
 
         // Verify the counter chain up to the on-chip root.
-        std::uint64_t idx = index;
-        for (unsigned level = 0; level < tree.counterLevels(); ++level) {
-            const std::uint64_t group = idx / TreeLayout::arity;
-            const std::uint64_t parent =
-                parentCounter(level, group, false, now, latency, true);
-            MetadataNode &node =
-                fetchNode(NodeKind::CounterGroup, level, group, false,
-                          now, latency, true);
-            if (node.mac != nodeMac(level, group, node, parent))
-                authentic = false;
-            idx = group;
+        for (std::uint64_t b = 0; b < batch; ++b) {
+            std::uint64_t idx = lineIndex[b];
+            for (unsigned level = 0; level < tree.counterLevels();
+                 ++level) {
+                const std::uint64_t group = idx / TreeLayout::arity;
+                const std::uint64_t parent =
+                    parentCounter(level, group, false, now, latency,
+                                  true);
+                MetadataNode &node =
+                    fetchNode(NodeKind::CounterGroup, level, group, false,
+                              now, latency, true);
+                if (node.mac != nodeMac(level, group, node, parent))
+                    authentic = false;
+                idx = group;
+            }
         }
 
         // Decrypt in place.
-        ctr.apply(line_addr, version, line, TreeLayout::lineBytes);
-        ++stats.linesRead;
+        for (std::uint64_t b = 0; b < batch; ++b)
+            ctr.apply(lineAddr[b], version[b],
+                      data + (done + b) * TreeLayout::lineBytes,
+                      TreeLayout::lineBytes);
+        stats.linesRead += batch;
+        done += batch;
     }
 
     if (!authentic)

@@ -155,6 +155,20 @@ class Mee : public SecureMemoryPath, public Named
     std::uint64_t lineMac(std::uint64_t addr, std::uint64_t version,
                           const std::uint8_t *ciphertext) const;
 
+    /** Lines per MAC batch (matches the 8-way SIMD SHA-256 kernel). */
+    static constexpr std::uint64_t macBatchLines = 8;
+
+    /**
+     * Line MACs for @p count consecutive lines of ciphertext at
+     * @p linesData. A full batch runs through mac64x8 (one SHA-256
+     * stream per SIMD lane); partial batches fall back to per-line
+     * lineMac(). Bit-identical either way.
+     */
+    void batchLineMacs(const std::uint8_t *linesData, std::uint64_t count,
+                       const std::uint64_t *addrs,
+                       const std::uint64_t *versions,
+                       std::uint64_t *out) const;
+
     /** Parent counter of level-@p level group @p group; walks to the
      * root. @p bump increments it (write path). */
     std::uint64_t parentCounter(unsigned level, std::uint64_t group,

@@ -1,112 +1,69 @@
 #include "security/sha256.hh"
 
+#include <vector>
+
+#include "arch/dispatch.hh"
+#include "sim/logging.hh"
+
 namespace odrips
 {
 
 namespace
 {
 
-constexpr std::array<std::uint32_t, 64> roundConstants = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
-    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
-    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
-    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
-    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
-    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
-    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
-    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
-    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
-    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
-};
-
-std::uint32_t
-rotr(std::uint32_t x, unsigned n)
-{
-    return (x >> n) | (x << (32 - n));
-}
+constexpr std::array<std::uint32_t, 8> initialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+    0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
 } // namespace
 
 void
 Sha256::reset()
 {
-    state = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
-             0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    state = initialState;
     bufferLen = 0;
     totalBytes = 0;
 }
 
 void
-Sha256::processBlock(const std::uint8_t *block)
-{
-    std::uint32_t w[64];
-    for (int i = 0; i < 16; ++i) {
-        w[i] = (std::uint32_t{block[4 * i]} << 24) |
-               (std::uint32_t{block[4 * i + 1]} << 16) |
-               (std::uint32_t{block[4 * i + 2]} << 8) |
-               std::uint32_t{block[4 * i + 3]};
-    }
-    for (int i = 16; i < 64; ++i) {
-        const std::uint32_t s0 =
-            rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-        const std::uint32_t s1 =
-            rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-    }
-
-    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
-    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
-
-    for (int i = 0; i < 64; ++i) {
-        const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-        const std::uint32_t ch = (e & f) ^ (~e & g);
-        const std::uint32_t temp1 = h + s1 + ch + roundConstants[i] + w[i];
-        const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        const std::uint32_t temp2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + temp1;
-        d = c;
-        c = b;
-        b = a;
-        a = temp1 + temp2;
-    }
-
-    state[0] += a;
-    state[1] += b;
-    state[2] += c;
-    state[3] += d;
-    state[4] += e;
-    state[5] += f;
-    state[6] += g;
-    state[7] += h;
-}
-
-void
 Sha256::update(const std::uint8_t *data, std::size_t len)
 {
+    const arch::CryptoKernels &kernels = arch::activeKernels();
     totalBytes += len;
-    while (len > 0) {
+
+    // Drain a partially filled buffer first.
+    if (bufferLen > 0) {
         const std::size_t take = std::min(len, buffer.size() - bufferLen);
         std::memcpy(buffer.data() + bufferLen, data, take);
         bufferLen += take;
         data += take;
         len -= take;
         if (bufferLen == buffer.size()) {
-            processBlock(buffer.data());
+            kernels.sha256Compress(state.data(), buffer.data(), 1);
             bufferLen = 0;
         }
+    }
+
+    // Whole blocks compress straight from the caller's memory — no
+    // staging copy, and the kernel sees the full run of blocks (which
+    // is what the multi-block SIMD schedule paths batch over).
+    const std::size_t blocks = len / buffer.size();
+    if (blocks > 0) {
+        kernels.sha256Compress(state.data(), data, blocks);
+        data += blocks * buffer.size();
+        len -= blocks * buffer.size();
+    }
+
+    if (len > 0) {
+        std::memcpy(buffer.data(), data, len);
+        bufferLen = len;
     }
 }
 
 Sha256::Digest
 Sha256::finish()
 {
+    const arch::CryptoKernels &kernels = arch::activeKernels();
     const std::uint64_t bit_len = totalBytes * 8;
 
     // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit
@@ -116,7 +73,7 @@ Sha256::finish()
     if (bufferLen > 56) {
         std::memset(buffer.data() + bufferLen, 0,
                     buffer.size() - bufferLen);
-        processBlock(buffer.data());
+        kernels.sha256Compress(state.data(), buffer.data(), 1);
         bufferLen = 0;
     }
     std::memset(buffer.data() + bufferLen, 0, 56 - bufferLen);
@@ -124,7 +81,7 @@ Sha256::finish()
         buffer[static_cast<std::size_t>(56 + i)] =
             static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
     }
-    processBlock(buffer.data());
+    kernels.sha256Compress(state.data(), buffer.data(), 1);
 
     Digest digest;
     for (int i = 0; i < 8; ++i) {
@@ -164,6 +121,78 @@ mac64(const std::array<std::uint8_t, 16> &key, std::uint64_t domain,
     std::uint64_t mac;
     std::memcpy(&mac, d.data(), sizeof(mac));
     return mac;
+}
+
+void
+mac64x8(const std::array<std::uint8_t, 16> &key,
+        const std::uint64_t *domains, const MacSegment *segments,
+        std::size_t segmentsPerLane, std::uint64_t *out)
+{
+    constexpr std::size_t lanes = 8;
+
+    // Message length (key || domain || segments) — identical across
+    // lanes by contract, which keeps every lane on the same block
+    // count for the 8-way kernel.
+    std::size_t msgLen = key.size() + sizeof(std::uint64_t);
+    for (std::size_t j = 0; j < segmentsPerLane; ++j)
+        msgLen += segments[j].len;
+    const std::size_t blocks = (msgLen + 9 + 63) / 64;
+    const std::size_t stride = blocks * 64;
+
+    // The MEE's MAC shapes fit two blocks; keep a heap path for
+    // anything larger so the contract stays general.
+    std::uint8_t stackScratch[lanes * 4 * 64];
+    std::vector<std::uint8_t> heapScratch;
+    std::uint8_t *scratch = stackScratch;
+    if (lanes * stride > sizeof(stackScratch)) {
+        heapScratch.resize(lanes * stride);
+        scratch = heapScratch.data();
+    }
+
+    // Lay out each lane's padded message exactly as the streaming
+    // update()/finish() pair would feed it to the compressor.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        std::uint8_t *p = scratch + lane * stride;
+        std::size_t off = 0;
+        std::memcpy(p + off, key.data(), key.size());
+        off += key.size();
+        std::memcpy(p + off, &domains[lane], sizeof(std::uint64_t));
+        off += sizeof(std::uint64_t);
+        for (std::size_t j = 0; j < segmentsPerLane; ++j) {
+            const MacSegment &seg = segments[lane * segmentsPerLane + j];
+            std::memcpy(p + off, seg.data, seg.len);
+            off += seg.len;
+        }
+        ODRIPS_ASSERT(off == msgLen,
+                      "mac64x8: lanes must have equal message lengths");
+        p[off++] = std::uint8_t{0x80};
+        std::memset(p + off, 0, stride - 8 - off);
+        const std::uint64_t bit_len = msgLen * 8;
+        for (int i = 0; i < 8; ++i)
+            p[stride - 8 + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+
+    alignas(32) std::uint32_t states[lanes * 8];
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+        for (std::size_t i = 0; i < 8; ++i)
+            states[8 * lane + i] = initialState[i];
+
+    arch::activeKernels().sha256Compress8(states, scratch, stride, blocks);
+
+    // mac64 truncation: the first 8 digest bytes, i.e. the first two
+    // state words in big-endian byte order.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        std::uint8_t d[8];
+        for (int i = 0; i < 2; ++i) {
+            const std::uint32_t w = states[8 * lane + static_cast<std::size_t>(i)];
+            d[4 * i] = static_cast<std::uint8_t>(w >> 24);
+            d[4 * i + 1] = static_cast<std::uint8_t>(w >> 16);
+            d[4 * i + 2] = static_cast<std::uint8_t>(w >> 8);
+            d[4 * i + 3] = static_cast<std::uint8_t>(w);
+        }
+        std::memcpy(&out[lane], d, sizeof(d));
+    }
 }
 
 } // namespace odrips

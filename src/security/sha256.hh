@@ -4,7 +4,14 @@
  *
  * Used by the memory encryption engine to derive MACs for the integrity
  * tree. Only the primitives needed by the MEE are provided: one-shot
- * hashing, streaming hashing, and a keyed truncated MAC.
+ * hashing, streaming hashing, a keyed truncated MAC, and an 8-wide
+ * batched MAC for independent same-shape messages.
+ *
+ * The block compression runs through the runtime-dispatched kernels in
+ * src/arch/ (SHA-NI / AVX2 / SSE4.1 when the CPU has them, portable
+ * scalar otherwise); every kernel is bit-identical to the scalar
+ * reference, so digests never depend on the machine or on
+ * ODRIPS_DISPATCH.
  */
 
 #ifndef ODRIPS_SECURITY_SHA256_HH
@@ -45,8 +52,6 @@ class Sha256
     static Digest hash(const std::uint8_t *data, std::size_t len);
 
   private:
-    void processBlock(const std::uint8_t *block);
-
     std::array<std::uint32_t, 8> state;
     std::array<std::uint8_t, 64> buffer;
     std::size_t bufferLen = 0;
@@ -80,6 +85,21 @@ struct MacSegment
 std::uint64_t mac64(const std::array<std::uint8_t, 16> &key,
                     std::uint64_t domain,
                     std::initializer_list<MacSegment> segments);
+
+/**
+ * Eight independent mac64 computations at once.
+ *
+ * Lane i MACs the concatenation of @p segmentsPerLane segments at
+ * @p segments[i * segmentsPerLane ...] under domain @p domains[i] and
+ * the shared @p key. All lanes must have the same total message length
+ * (the MEE's line MACs do: same segment shape for every line), which
+ * lets the whole batch run through the 8-way SIMD compression kernel.
+ * Results are written to @p out[0..7] and are bit-identical to eight
+ * mac64() calls.
+ */
+void mac64x8(const std::array<std::uint8_t, 16> &key,
+             const std::uint64_t *domains, const MacSegment *segments,
+             std::size_t segmentsPerLane, std::uint64_t *out);
 
 } // namespace odrips
 

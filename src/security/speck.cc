@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "arch/dispatch.hh"
+
 namespace odrips
 {
 
@@ -66,11 +68,14 @@ Speck128::encrypt(Block128 block) const
 void
 Speck128::encryptBatch(Block128 *blocks, std::size_t count) const
 {
-    for (unsigned i = 0; i < rounds; ++i) {
-        const std::uint64_t k = roundKeys[i];
-        for (std::size_t b = 0; b < count; ++b)
-            speckRound(blocks[b].x, blocks[b].y, k);
-    }
+    // Block128 is two contiguous uint64_t words, so the batch is the
+    // interleaved (x, y) layout the dispatched kernels consume. The
+    // SIMD variants spread the independent blocks across vector lanes;
+    // the scalar reference pipelines them through the ALU. Identical
+    // ciphertext either way (exact 64-bit integer math).
+    arch::activeKernels().speckEncryptBatch(
+        roundKeys.data(), reinterpret_cast<std::uint64_t *>(blocks),
+        count);
 }
 
 Block128

@@ -1,0 +1,11 @@
+// Raw intrinsics are sanctioned here: src/arch/ implements the kernels
+// that the dispatch registry hands out to the rest of the tree.
+#include <immintrin.h>
+
+int
+sum4(const int *v)
+{
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i *>(v));
+    const __m128i b = _mm_hadd_epi32(a, a);
+    return _mm_cvtsi128_si32(_mm_hadd_epi32(b, b));
+}

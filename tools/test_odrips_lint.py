@@ -68,6 +68,10 @@ class BadTree(unittest.TestCase):
     def test_cmake_target_rule(self):
         self.assertIn(("src/core/orphan.cc", "cmake-target"), self.found)
 
+    def test_simd_intrinsic_rule(self):
+        self.assertIn(("src/sim/simd_user.cc", "simd-intrinsic"),
+                      self.found)
+
     def test_registered_files_not_flagged(self):
         self.assertNotIn(("src/sim/clock_user.cc", "cmake-target"),
                          self.found)
@@ -85,6 +89,22 @@ class GoodTree(unittest.TestCase):
 
     def test_no_output_when_clean(self):
         self.assertEqual(self.proc.stdout, "")
+
+
+class SimdIntrinsicScope(unittest.TestCase):
+    """src/arch/ is the sanctioned home for intrinsics."""
+
+    def test_arch_directory_is_exempt(self):
+        proc = run_lint(os.path.join(FIXTURES, "good"),
+                        "--rules", "simd-intrinsic")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_same_code_outside_arch_is_flagged(self):
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "simd-intrinsic")
+        found = findings(proc)
+        self.assertEqual(found,
+                         {("src/sim/simd_user.cc", "simd-intrinsic")})
 
 
 class RuleSelection(unittest.TestCase):
