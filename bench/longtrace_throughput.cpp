@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LONGTRACE — end-to-end simulator throughput over a long standby
+ * trace (default 1000 cycles, ~8 hours of simulated time) under the
+ * CsrSubset context-mutation model, so the steady-state context saves
+ * run the incremental dirty-line path.
+ *
+ * Prints the simulated cycle count and summary figures. The host wall
+ * clock is deliberately NOT read here (simulator sources must not
+ * depend on host time — the wall-clock lint rule): scripts/bench.sh
+ * times this binary from the shell and derives the cycles/second
+ * throughput entry of BENCH_kernel.json.
+ *
+ * Usage: longtrace_throughput [cycles]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main(int argc, char **argv)
+{
+    Logger::quiet(true);
+
+    std::size_t count = 1000;
+    if (argc > 1) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(argv[1], &end, 10);
+        if (end == argv[1] || *end != '\0' || v == 0) {
+            std::cerr << "longtrace_throughput: bad cycle count '"
+                      << argv[1] << "'\n";
+            return 1;
+        }
+        count = static_cast<std::size_t>(v);
+    }
+
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+
+    Platform platform(cfg);
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+
+    StandbyWorkloadGenerator gen(cfg.workload);
+    const StandbyTrace trace = gen.generate(count);
+    const StandbyResult result = sim.run(trace);
+
+    if (!result.contextIntact) {
+        std::cerr << "longtrace_throughput: context integrity FAILED\n";
+        return 1;
+    }
+
+    std::cout << "longtrace: " << result.cycles << " cycles, "
+              << stats::fmt(ticksToSeconds(result.simulatedTime), 1)
+              << " s simulated, avg battery power "
+              << stats::fmt(result.averageBatteryPower * 1e3, 3)
+              << " mW\n";
+    return 0;
+}

@@ -11,6 +11,7 @@
 #include "arch/dispatch.hh"
 #include "core/odrips.hh"
 #include "core/profile_cache.hh"
+#include "flows/context_fsm.hh"
 #include "security/ctr_mode.hh"
 
 using namespace odrips;
@@ -191,6 +192,64 @@ BM_MeeContextTransfer(benchmark::State &state)
 }
 BENCHMARK(BM_MeeContextTransfer);
 
+/**
+ * Context-save cost through the real FSM datapath (SRAM -> MEE ->
+ * DRAM), with the given mutation model driving the dirty maps.
+ * BM_MeeContextSaveFull regenerates the whole context every cycle
+ * (every save is a full save — the historical behaviour);
+ * BM_MeeContextSaveIncremental dirties <= 10 % of the lines per cycle,
+ * so steady-state saves stream only the dirty runs.
+ */
+void
+contextSaveBench(benchmark::State &state, ContextMutationKind kind)
+{
+    Logger::quiet(true);
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = kind;
+    cfg.contextMutation.dirtyFraction = 0.10;
+    Platform p(cfg);
+    ContextRegion &sa = p.processor.context.sa();
+    ContextRegion &cores = p.processor.context.cores();
+    ContextTransferFsm saFsm("sa_fsm", p.processor.saSram,
+                             *p.memoryController, 0);
+    ContextTransferFsm llcFsm("llc_fsm", p.processor.coresSram,
+                              *p.memoryController, cfg.saContextBytes);
+    saFsm.setIncremental(true);
+    llcFsm.setIncremental(true);
+
+    // Prime the DRAM copies: the first save is always a full one.
+    saFsm.saveToSram(sa, 0);
+    saFsm.save(sa, 0);
+    llcFsm.saveToSram(cores, 0);
+    llcFsm.save(cores, 0);
+
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        p.processor.context.touch();
+        saFsm.saveToSram(sa, 0);
+        const TransferResult r_sa = saFsm.save(sa, 0);
+        llcFsm.saveToSram(cores, 0);
+        const TransferResult r_cores = llcFsm.save(cores, 0);
+        bytes += r_sa.bytes + r_cores.bytes;
+        benchmark::DoNotOptimize(r_sa.latency + r_cores.latency);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+void
+BM_MeeContextSaveFull(benchmark::State &state)
+{
+    contextSaveBench(state, ContextMutationKind::FullRegenerate);
+}
+BENCHMARK(BM_MeeContextSaveFull);
+
+void
+BM_MeeContextSaveIncremental(benchmark::State &state)
+{
+    contextSaveBench(state, ContextMutationKind::CsrSubset);
+}
+BENCHMARK(BM_MeeContextSaveIncremental);
+
 void
 BM_CycleProfileCold(benchmark::State &state)
 {
@@ -227,6 +286,10 @@ BM_FullStandbyCycle(benchmark::State &state)
     Platform platform(skylakeConfig());
     StandbyFlows flows(platform, TechniqueSet::odrips());
     for (auto _ : state) {
+        // The simulator touches the context after every active window;
+        // with the default FullRegenerate model every save stays a
+        // full save, as before incremental saves existed.
+        platform.processor.context.touch();
         flows.enterIdle();
         platform.eq.run(platform.now() + oneMs);
         flows.exitIdle();
@@ -235,6 +298,27 @@ BM_FullStandbyCycle(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullStandbyCycle);
+
+void
+BM_FullStandbyCycleIncremental(benchmark::State &state)
+{
+    // Same cycle, but under the CsrSubset mutation model: steady-state
+    // entries save only the dirtied context lines.
+    Logger::quiet(true);
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+    Platform platform(cfg);
+    StandbyFlows flows(platform, TechniqueSet::odrips());
+    for (auto _ : state) {
+        platform.processor.context.touch();
+        flows.enterIdle();
+        platform.eq.run(platform.now() + oneMs);
+        flows.exitIdle();
+        platform.eq.run(platform.now() + oneMs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullStandbyCycleIncremental);
 
 void
 BM_StepCalibration(benchmark::State &state)

@@ -127,9 +127,12 @@ for name, entry in base.items():
         print(f"bench: {name}: MISSING from fresh run")
         warned = True
         continue
-    for key in ("ns_per_op", "wall_clock_s"):
-        if key in entry and key in cur and entry[key] > 0:
-            ratio = cur[key] / entry[key]
+    # lower-is-better keys, then higher-is-better ones (throughput).
+    for key in ("ns_per_op", "wall_clock_s", "cycles_per_second"):
+        if key in entry and key in cur and entry[key] > 0 and cur[key] > 0:
+            higher_better = key == "cycles_per_second"
+            ratio = (entry[key] / cur[key] if higher_better
+                     else cur[key] / entry[key])
             marker = ""
             if ratio > 1.25:
                 marker = "  <-- WARNING: regressed >25%"

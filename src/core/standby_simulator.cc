@@ -65,14 +65,23 @@ StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
 
     const double core_hz = p.processor.coreFrequencyHz;
 
+    // The reported idle/active battery powers are first-cycle
+    // snapshots. Explicit flags, not a 0.0 sentinel: a configuration
+    // whose genuine first-cycle power is zero must not be resampled on
+    // a later (warmer, different) cycle.
+    bool idle_power_captured = false;
+    bool active_power_captured = false;
+
     for (const StandbyCycle &cycle : trace.cycles) {
         const FlowResult entry = flows_.enterIdle();
         entry_total += entry.latency();
         transition_time += entry.latency();
         entryLatency.sample(ticksToSeconds(entry.latency()));
 
-        if (result.idleBatteryPower == 0.0)
+        if (!idle_power_captured) {
             result.idleBatteryPower = flows_.idleBatteryPower().watts();
+            idle_power_captured = true;
+        }
 
         // Dwell in the idle state until the wake event fires.
         p.eq.run(p.now() + cycle.idleDwell);
@@ -87,8 +96,10 @@ StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
         idleDwell.sample(ticksToSeconds(cycle.idleDwell));
         ++cycleCount;
 
-        if (result.activeBatteryPower == 0.0)
+        if (!active_power_captured) {
             result.activeBatteryPower = p.batteryPower().watts();
+            active_power_captured = true;
+        }
 
         runActiveWindow(cycle);
         active_time += cycle.activeDuration(core_hz);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "platform/config.hh"
 #include "sim/logging.hh"
 
 namespace odrips
@@ -24,7 +25,8 @@ ContextTransferFsm::ContextTransferFsm(std::string name, Sram &ctx_sram,
                                        std::uint64_t dram_offset,
                                        Tick fsm_overhead)
     : Named(std::move(name)), sram(ctx_sram), controller(mem_controller),
-      dramOffset(dram_offset), fsmOverhead(fsm_overhead)
+      dramOffset(dram_offset), fsmOverhead(fsm_overhead),
+      incremental(incrementalContextEnabled())
 {
 }
 
@@ -50,27 +52,65 @@ ContextTransferFsm::restoreFromSram(ContextRegion &region, Tick now)
 }
 
 TransferResult
-ContextTransferFsm::save(const ContextRegion &region, Tick now)
+ContextTransferFsm::save(ContextRegion &region, Tick now)
 {
     TransferResult r;
     const std::uint64_t len = region.bytes.size();
-    r.bytes = len;
-
-    // Stream out of the SRAM...
-    std::vector<std::uint8_t> buffer(padTo64(len), 0);
-    const Tick sram_latency = sram.read(0, buffer.data(), len);
-
-    // ... and through the memory controller into the protected range.
     const RangeRegister &range = controller.protectedRange();
-    const std::uint64_t addr = range.base + dramOffset;
-    const RoutedAccess routed =
-        controller.write(addr, buffer.data(), buffer.size(), now);
-    ODRIPS_ASSERT(routed.secure,
-                  name(), ": context save bypassed the MEE");
+    const std::uint64_t base = range.base + dramOffset;
 
-    // The FSM pipelines SRAM reads with DRAM writes; the slower side
-    // dominates, plus a fixed sequencing overhead.
-    r.latency = std::max(sram_latency, routed.result.latency) + fsmOverhead;
+    // Delta saves need a valid DRAM copy under the clean lines; an
+    // all-dirty map would coalesce to one full-region run anyway, so
+    // take the (identical) historical path explicitly.
+    const bool delta =
+        incremental && dramValid && !region.dirty.allDirty();
+
+    if (!delta) {
+        r.bytes = len;
+
+        // Stream out of the SRAM...
+        std::vector<std::uint8_t> buffer(padTo64(len), 0);
+        const Tick sram_latency = sram.read(0, buffer.data(), len);
+
+        // ... and through the memory controller into the protected
+        // range.
+        const RoutedAccess routed =
+            controller.write(base, buffer.data(), buffer.size(), now);
+        ODRIPS_ASSERT(routed.secure,
+                      name(), ": context save bypassed the MEE");
+
+        // The FSM pipelines SRAM reads with DRAM writes; the slower
+        // side dominates, plus a fixed sequencing overhead.
+        r.latency =
+            std::max(sram_latency, routed.result.latency) + fsmOverhead;
+    } else {
+        // Stream only the dirty runs. Each run pipelines like the full
+        // path (slower of SRAM read and MEE/DRAM write); runs are
+        // sequenced back to back under one FSM overhead.
+        Tick sram_total = 0;
+        Tick dram_total = 0;
+        std::uint64_t moved = 0;
+        std::vector<std::uint8_t> buffer;
+        for (const DirtyLineMap::Run &run : region.dirty.runs()) {
+            const std::uint64_t off =
+                run.firstLine * DirtyLineMap::lineBytes;
+            const std::uint64_t run_len = std::min<std::uint64_t>(
+                run.lineCount * DirtyLineMap::lineBytes, len - off);
+            buffer.assign(padTo64(run_len), 0);
+            sram_total += sram.read(off, buffer.data(), run_len);
+            const RoutedAccess routed = controller.write(
+                base + off, buffer.data(), buffer.size(), now);
+            ODRIPS_ASSERT(routed.secure,
+                          name(), ": context save bypassed the MEE");
+            dram_total += routed.result.latency;
+            moved += run_len;
+        }
+        r.bytes = moved;
+        r.latency = std::max(sram_total, dram_total) + fsmOverhead;
+    }
+
+    region.dirty.clear();
+    dramValid = true;
     return r;
 }
 
@@ -98,6 +138,14 @@ ContextTransferFsm::restore(ContextRegion &region, Tick now)
 
     r.intact = r.authentic && region.checksum() == expected;
     r.latency = std::max(routed.result.latency, sram_latency) + fsmOverhead;
+
+    // A verified restore leaves the region equal to its DRAM copy, so
+    // the next save can be a pure delta. A failed one proves nothing —
+    // force the next save back to a full one.
+    if (r.intact)
+        region.dirty.clear();
+    else
+        region.dirty.markAll();
     return r;
 }
 
@@ -145,7 +193,9 @@ BootFsm::restore(const ContextRegion &boot_region, Tick now, bool &intact)
     mee.importRoot(MeeRootState::deserialize(root));
     controller.setPowered(true);
 
-    intact = ContextRegion{state}.checksum() == expected;
+    ContextRegion scratch;
+    scratch.bytes = std::move(state);
+    intact = scratch.checksum() == expected;
     return latency + restoreLatency;
 }
 

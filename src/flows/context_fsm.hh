@@ -64,8 +64,16 @@ class ContextTransferFsm : public Named
     /**
      * Save @p region: SRAM -> MEE -> DRAM. The region bytes must
      * already sit in the SRAM (saveToSram puts them there).
+     *
+     * When incremental saves are enabled and the protected DRAM copy
+     * is valid (a previous save completed), only the region's dirty
+     * runs are streamed — steady-state cycles cost O(dirty lines) of
+     * MEE crypto instead of the full region. The first save, and any
+     * save with every line dirty (the default FullRegenerate mutation
+     * model), takes the historical full path bit-identically. Clears
+     * the region's dirty map on completion.
      */
-    TransferResult save(const ContextRegion &region, Tick now);
+    TransferResult save(ContextRegion &region, Tick now);
 
     /**
      * Restore @p region: DRAM -> MEE -> SRAM, verifying both the MEE
@@ -79,11 +87,22 @@ class ContextTransferFsm : public Named
     /** Read the region back out of the SRAM (baseline restore path). */
     TransferResult restoreFromSram(ContextRegion &region, Tick now);
 
+    /** Enable/disable delta saves (default: ODRIPS_INCREMENTAL env,
+     * see incrementalContextEnabled()). */
+    void setIncremental(bool on) { incremental = on; }
+    bool incrementalEnabled() const { return incremental; }
+
+    /** True once a save completed, i.e. the protected DRAM copy backs
+     * the region's clean lines. */
+    bool dramCopyValid() const { return dramValid; }
+
   private:
     Sram &sram;
     MemoryController &controller;
     std::uint64_t dramOffset;
     Tick fsmOverhead;
+    bool incremental;
+    bool dramValid = false;
 };
 
 /** Boot FSM: persists the boot-critical state in the Boot SRAM. */

@@ -114,4 +114,14 @@ resolveJobs(int argc, char **argv)
     return 0; // let the runner pick (hardware concurrency)
 }
 
+bool
+incrementalContextEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("ODRIPS_INCREMENTAL");
+        return env == nullptr || std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+}
+
 } // namespace odrips

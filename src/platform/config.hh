@@ -20,6 +20,7 @@
 
 #include "mem/dram.hh"
 #include "mem/nvm.hh"
+#include "platform/context.hh"
 #include "power/process_scaling.hh"
 #include "sim/ticks.hh"
 #include "sim/units.hh"
@@ -211,6 +212,15 @@ struct PlatformConfig
     std::uint64_t coresContextBytes = 136ULL << 10;
     std::uint64_t bootContextBytes = 1ULL << 10;
 
+    /**
+     * How the active window mutates the context (see context.hh). The
+     * FullRegenerate default dirties everything, so every save is a
+     * full save — the calibration the golden figures pin. CsrSubset
+     * dirties a realistic CSR-sized slice and enables O(dirty-lines)
+     * incremental saves on the CTX-SGX-DRAM path.
+     */
+    ContextMutationConfig contextMutation;
+
     /** Crystals: nominal Hz and manufacturing deviation (ppm). */
     double xtal24Ppm = 18.0;
     double xtal32Ppm = -35.0;
@@ -297,6 +307,15 @@ PlatformConfig haswellUltConfig();
  * exec::setDefaultJobs(). A malformed value is a fatal() config error.
  */
 unsigned resolveJobs(int argc = 0, char **argv = nullptr);
+
+/**
+ * Whether the context FSMs may take the incremental (dirty-line) save
+ * path. Defaults to enabled; `ODRIPS_INCREMENTAL=0` in the environment
+ * is the opt-out (the delta machinery then always streams the full
+ * region, byte-identical to the historical path). Read once per
+ * process.
+ */
+bool incrementalContextEnabled();
 
 } // namespace odrips
 

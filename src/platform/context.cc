@@ -1,5 +1,7 @@
 #include "platform/context.hh"
 
+#include <algorithm>
+
 namespace odrips
 {
 
@@ -26,26 +28,85 @@ ContextRegion::regenerate(Rng &rng)
          ++i) {
         bytes[i] = static_cast<std::uint8_t>(rng.next64());
     }
+    if (dirty.lines() * DirtyLineMap::lineBytes < bytes.size())
+        dirty.resize(bytes.size());
+    dirty.markAll();
+}
+
+void
+ContextRegion::mutateLines(Rng &rng, std::uint64_t line_count)
+{
+    if (bytes.empty())
+        return;
+    if (dirty.lines() * DirtyLineMap::lineBytes < bytes.size())
+        dirty.resize(bytes.size());
+    const std::uint64_t region_lines = dirty.lines();
+    line_count = std::min(line_count, region_lines);
+    for (std::uint64_t n = 0; n < line_count; ++n) {
+        // Independent draws: duplicates model a hot CSR rewritten more
+        // than once within the window, so the dirtied set is *at most*
+        // line_count lines.
+        const std::uint64_t line = rng.next64() % region_lines;
+        const std::size_t off =
+            static_cast<std::size_t>(line * DirtyLineMap::lineBytes);
+        const std::size_t end =
+            std::min(off + static_cast<std::size_t>(DirtyLineMap::lineBytes),
+                     bytes.size());
+        for (std::size_t i = off; i + 8 <= end; i += 8) {
+            const std::uint64_t v = rng.next64();
+            for (int k = 0; k < 8; ++k)
+                bytes[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+        }
+        for (std::size_t i = off + ((end - off) & ~std::size_t{7});
+             i < end; ++i) {
+            bytes[i] = static_cast<std::uint8_t>(rng.next64());
+        }
+        dirty.markLine(line);
+    }
 }
 
 ProcessorContext::ProcessorContext(std::uint64_t sa_bytes,
                                    std::uint64_t cores_bytes,
                                    std::uint64_t boot_bytes,
-                                   std::uint64_t seed)
-    : rng(seed)
+                                   std::uint64_t seed,
+                                   const ContextMutationConfig &mutation)
+    : rng(seed), model(mutation)
 {
     sa_.bytes.resize(sa_bytes);
     cores_.bytes.resize(cores_bytes);
     boot_.bytes.resize(boot_bytes);
-    touch();
+    // The first fill is always a full regenerate: there is no previous
+    // save the CsrSubset model could be incremental against.
+    sa_.regenerate(rng);
+    cores_.regenerate(rng);
+    boot_.regenerate(rng);
+}
+
+std::uint64_t
+ProcessorContext::subsetLines(const ContextRegion &region) const
+{
+    const std::uint64_t region_lines = region.dirty.lines();
+    const auto target = static_cast<std::uint64_t>(
+        model.dirtyFraction * static_cast<double>(region_lines));
+    return std::min(region_lines,
+                    std::max(target, model.minDirtyLines));
 }
 
 void
 ProcessorContext::touch()
 {
-    sa_.regenerate(rng);
-    cores_.regenerate(rng);
-    boot_.regenerate(rng);
+    switch (model.kind) {
+      case ContextMutationKind::FullRegenerate:
+        sa_.regenerate(rng);
+        cores_.regenerate(rng);
+        boot_.regenerate(rng);
+        return;
+      case ContextMutationKind::CsrSubset:
+        sa_.mutateLines(rng, subsetLines(sa_));
+        cores_.mutateLines(rng, subsetLines(cores_));
+        boot_.mutateLines(rng, subsetLines(boot_));
+        return;
+    }
 }
 
 std::uint64_t

@@ -8,6 +8,14 @@
  * The blobs hold real pseudo-random bytes so the save/restore paths
  * (SRAM, MEE-protected DRAM, eMRAM) can be verified end-to-end with
  * checksums.
+ *
+ * Each region carries an MEE-line-granular dirty bitmap. The default
+ * mutation model regenerates every byte on touch() (all lines dirty —
+ * the historical behaviour, and what the golden figures are calibrated
+ * against). The CsrSubset model instead rewrites only a realistic
+ * CSR-sized subset of lines per active window, which lets the context
+ * FSMs save steady-state cycles incrementally (O(dirty lines) crypto
+ * instead of O(200 KB)).
  */
 
 #ifndef ODRIPS_PLATFORM_CONTEXT_HH
@@ -16,22 +24,52 @@
 #include <cstdint>
 #include <vector>
 
+#include "platform/dirty_lines.hh"
 #include "sim/random.hh"
 
 namespace odrips
 {
 
+/** How touch() mutates the context after an active window. */
+enum class ContextMutationKind
+{
+    /** Regenerate every byte (all lines dirty). The historical model;
+     * keeps every save a full save. */
+    FullRegenerate,
+    /** Rewrite a CSR-sized subset of lines; the rest (firmware
+     * patches, fuses) stays clean across cycles, as on real silicon. */
+    CsrSubset,
+};
+
+/** Mutation-model parameters (part of PlatformConfig). */
+struct ContextMutationConfig
+{
+    ContextMutationKind kind = ContextMutationKind::FullRegenerate;
+    /** CsrSubset: fraction of each region's lines dirtied per touch().
+     * The default ~6% models the mutable CSR share of the context. */
+    double dirtyFraction = 0.06;
+    /** CsrSubset: lower bound on dirtied lines per region (a wake
+     * always updates at least a few CSRs). */
+    std::uint64_t minDirtyLines = 4;
+};
+
 /** One region of processor context. */
 struct ContextRegion
 {
     std::vector<std::uint8_t> bytes;
+    /** Lines mutated since the last successful off-chip save. */
+    DirtyLineMap dirty;
 
     /** FNV-1a checksum for end-to-end verification. */
     std::uint64_t checksum() const;
 
     /** Fill with fresh deterministic content (as if the processor ran
-     * and mutated its CSRs). */
+     * and mutated its CSRs). Marks every line dirty. */
     void regenerate(Rng &rng);
+
+    /** Rewrite ~@p line_count randomly chosen lines (CSR updates),
+     * marking only those lines dirty. */
+    void mutateLines(Rng &rng, std::uint64_t line_count);
 };
 
 /** The full processor context. */
@@ -39,7 +77,8 @@ class ProcessorContext
 {
   public:
     ProcessorContext(std::uint64_t sa_bytes, std::uint64_t cores_bytes,
-                     std::uint64_t boot_bytes, std::uint64_t seed = 7);
+                     std::uint64_t boot_bytes, std::uint64_t seed = 7,
+                     const ContextMutationConfig &mutation = {});
 
     /** System-agent context (saved by the SA FSM). */
     ContextRegion &sa() { return sa_; }
@@ -60,14 +99,23 @@ class ProcessorContext
         return sa_.bytes.size() + cores_.bytes.size();
     }
 
-    /** Mutate all regions (a new active period ran). */
+    /** Mutate the regions (a new active period ran) according to the
+     * configured mutation model. */
     void touch();
+
+    /** The configured mutation model. */
+    const ContextMutationConfig &mutationModel() const { return model; }
+    void setMutationModel(const ContextMutationConfig &m) { model = m; }
 
     /** Combined checksum over all regions. */
     std::uint64_t checksum() const;
 
   private:
+    /** Lines to dirty for @p region under the CsrSubset model. */
+    std::uint64_t subsetLines(const ContextRegion &region) const;
+
     Rng rng;
+    ContextMutationConfig model;
     ContextRegion sa_;
     ContextRegion cores_;
     ContextRegion boot_;

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * MEE-line-granular dirty tracking for context regions.
+ *
+ * On real silicon most of the ~200 KB processor context (firmware
+ * patches, fuse values) is static across standby cycles; only a small
+ * CSR subset changes during each active window. A DirtyLineMap records
+ * which 64 B lines of a region were mutated since the last successful
+ * off-chip save, so the context FSMs can stream only the dirty lines
+ * through the MEE (incremental save) instead of re-encrypting and
+ * re-MACing the whole region.
+ *
+ * The map is pure bookkeeping: it never touches modeled state, and a
+ * fully-dirty map coalesces into one run covering the whole region, so
+ * the delta save path degenerates bit-exactly to the historical full
+ * save (the default full-regenerate mutation model keeps every golden
+ * number unchanged).
+ */
+
+#ifndef ODRIPS_PLATFORM_DIRTY_LINES_HH
+#define ODRIPS_PLATFORM_DIRTY_LINES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace odrips
+{
+
+/** Per-line dirty bitmap over a context region. */
+class DirtyLineMap
+{
+  public:
+    /** Granularity: one MEE line (64 B). */
+    static constexpr std::uint64_t lineBytes = 64;
+
+    /** A maximal run of consecutive dirty lines. */
+    struct Run
+    {
+        std::uint64_t firstLine = 0;
+        std::uint64_t lineCount = 0;
+    };
+
+    DirtyLineMap() = default;
+
+    /** Size the map to cover @p region_bytes (rounded up to lines);
+     * newly covered lines start dirty (nothing saved yet). */
+    void
+    resize(std::uint64_t region_bytes)
+    {
+        nLines = (region_bytes + lineBytes - 1) / lineBytes;
+        words.assign((nLines + 63) / 64, 0);
+        markAll();
+    }
+
+    /** Number of lines covered. */
+    std::uint64_t lines() const { return nLines; }
+
+    bool
+    test(std::uint64_t line) const
+    {
+        ODRIPS_ASSERT(line < nLines, "dirty-line index out of range");
+        return (words[line >> 6] >> (line & 63)) & 1;
+    }
+
+    void
+    markLine(std::uint64_t line)
+    {
+        ODRIPS_ASSERT(line < nLines, "dirty-line index out of range");
+        words[line >> 6] |= std::uint64_t{1} << (line & 63);
+    }
+
+    /** Mark every line overlapping [byte_offset, byte_offset + len). */
+    void
+    markBytes(std::uint64_t byte_offset, std::uint64_t len)
+    {
+        if (len == 0)
+            return;
+        const std::uint64_t first = byte_offset / lineBytes;
+        const std::uint64_t last = (byte_offset + len - 1) / lineBytes;
+        for (std::uint64_t l = first; l <= last; ++l)
+            markLine(l);
+    }
+
+    void
+    markAll()
+    {
+        for (std::uint64_t &w : words)
+            w = ~std::uint64_t{0};
+        trimTail();
+    }
+
+    /** Clear every mark (region saved; DRAM copy now authoritative). */
+    void
+    clear()
+    {
+        for (std::uint64_t &w : words)
+            w = 0;
+    }
+
+    std::uint64_t
+    dirtyLines() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t w : words)
+            n += static_cast<std::uint64_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    bool allDirty() const { return dirtyLines() == nLines; }
+    bool anyDirty() const { return dirtyLines() != 0; }
+
+    /** Maximal runs of consecutive dirty lines, in ascending order. */
+    std::vector<Run>
+    runs() const
+    {
+        std::vector<Run> out;
+        std::uint64_t line = 0;
+        while (line < nLines) {
+            if (!test(line)) {
+                ++line;
+                continue;
+            }
+            Run r;
+            r.firstLine = line;
+            while (line < nLines && test(line))
+                ++line;
+            r.lineCount = line - r.firstLine;
+            out.push_back(r);
+        }
+        return out;
+    }
+
+  private:
+    /** Zero the padding bits past nLines in the last word. */
+    void
+    trimTail()
+    {
+        const std::uint64_t tail = nLines & 63;
+        if (tail != 0 && !words.empty())
+            words.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+
+    std::uint64_t nLines = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_PLATFORM_DIRTY_LINES_HH

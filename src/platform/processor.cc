@@ -50,7 +50,7 @@ Processor::Processor(std::string name, PowerModel &pm,
       aonIos(name + ".aon_ios", &aonIoComp, config.dripsPower.procAonIo),
       tsc(clock),
       context(config.saContextBytes, config.coresContextBytes,
-              config.bootContextBytes),
+              config.bootContextBytes, 7, config.contextMutation),
       cstates(CStateTable::skylake()),
       coreFrequencyHz(config.coreFrequencyHz),
       cfg(config)

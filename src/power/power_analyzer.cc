@@ -43,6 +43,28 @@ PowerAnalyzer::disarm()
 }
 
 void
+PowerAnalyzer::enableTrace(bool enable)
+{
+    tracing = enable;
+    if (!enable)
+        return;
+    // Reserve up front: a multi-second run at the 50 us interval takes
+    // tens of thousands of samples per channel, and growing the traces
+    // sample by sample reallocates inside the event loop.
+    constexpr std::size_t reserveHint = 4096;
+    for (auto &ch : channels)
+        ch.trace.reserve(std::min(traceCap, reserveHint));
+}
+
+void
+PowerAnalyzer::setTraceLimit(std::size_t max_samples)
+{
+    ODRIPS_ASSERT(max_samples >= 2,
+                  name(), ": trace limit must be at least 2");
+    traceCap = max_samples;
+}
+
+void
 PowerAnalyzer::clear()
 {
     for (auto &ch : channels) {
@@ -52,6 +74,8 @@ PowerAnalyzer::clear()
         ch.maxSample = Milliwatts::zero();
         ch.trace.clear();
     }
+    traceStride = 1;
+    traceSkip = 0;
 }
 
 const AnalyzerChannel &
@@ -62,8 +86,38 @@ PowerAnalyzer::channel(std::size_t index) const
 }
 
 void
+PowerAnalyzer::decimateTraces()
+{
+    for (auto &ch : channels) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < ch.trace.size(); i += 2)
+            ch.trace[keep++] = ch.trace[i];
+        ch.trace.resize(keep);
+    }
+    traceStride *= 2;
+    // The last retained sample sat on an even index; the next one
+    // belongs a full (doubled) stride after it.
+    traceSkip = traceStride - 1;
+    warn(name(), ": power trace reached ", traceCap,
+         " samples per channel; decimating 2x (one trace entry every ",
+         traceStride, " samples from here)");
+}
+
+void
 PowerAnalyzer::takeSample()
 {
+    // Channels sample in lockstep, so one stride decision covers all
+    // of them. Statistics below are unaffected by trace decimation.
+    bool record = false;
+    if (tracing) {
+        if (traceSkip == 0) {
+            record = true;
+            traceSkip = traceStride - 1;
+        } else {
+            --traceSkip;
+        }
+    }
+
     for (auto &ch : channels) {
         const Milliwatts value = ch.probe();
         if (ch.samples == 0) {
@@ -75,9 +129,14 @@ PowerAnalyzer::takeSample()
         }
         ch.sum += value;
         ++ch.samples;
-        if (tracing)
+        if (record)
             ch.trace.emplace_back(now(), value);
     }
+
+    if (record && !channels.empty() &&
+        channels.front().trace.size() >= traceCap)
+        decimateTraces();
+
     eq.scheduleAfter(sampling, interval);
 }
 

@@ -71,8 +71,24 @@ class PowerAnalyzer : public SimObject
 
     bool armed() const { return sampling.scheduled(); }
 
-    /** Keep the full per-sample trace for each channel. */
-    void enableTrace(bool enable) { tracing = enable; }
+    /** Keep the per-sample trace for each channel (bounded by the
+     * trace limit; see setTraceLimit()). */
+    void enableTrace(bool enable);
+
+    /**
+     * Bound each channel's trace to @p max_samples entries. When a
+     * trace fills up, every other retained sample is dropped and the
+     * effective trace interval doubles (with a warning) — memory stays
+     * bounded on arbitrarily long runs while the trace keeps covering
+     * the whole run. Statistics (min/max/average) always see every
+     * sample. Must be at least 2.
+     */
+    void setTraceLimit(std::size_t max_samples);
+    std::size_t traceLimit() const { return traceCap; }
+
+    /** Current trace decimation stride: a sample lands in the trace
+     * every stride * sampleInterval(). 1 until the first decimation. */
+    std::uint64_t traceDecimationStride() const { return traceStride; }
 
     /** Clear all channel statistics and traces. */
     void clear();
@@ -85,9 +101,18 @@ class PowerAnalyzer : public SimObject
   private:
     void takeSample();
 
+    /** Halve every trace and double the stride (trace full). */
+    void decimateTraces();
+
     Tick interval;
     std::vector<AnalyzerChannel> channels;
     bool tracing = false;
+    /** Per-channel trace entry cap (default 1 Mi samples ~ 16 MiB). */
+    std::size_t traceCap = std::size_t{1} << 20;
+    /** Record every traceStride-th sample; grows by decimation. */
+    std::uint64_t traceStride = 1;
+    /** Samples left to skip before the next recorded one. */
+    std::uint64_t traceSkip = 0;
     Event sampling;
 };
 

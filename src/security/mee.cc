@@ -1,7 +1,10 @@
 #include "security/mee.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
+
+#include "exec/thread_pool.hh"
 
 namespace odrips
 {
@@ -159,6 +162,121 @@ Mee::batchLineMacs(const std::uint8_t *linesData, std::uint64_t count,
                          linesData + b * TreeLayout::lineBytes);
 }
 
+void
+Mee::setTransferPool(exec::ThreadPool *pool)
+{
+    transferPoolOverride = pool;
+    transferPoolSet = true;
+}
+
+exec::ThreadPool *
+Mee::cryptoPool(std::uint64_t lines) const
+{
+    if (lines < parallelMinLines)
+        return nullptr;
+    // Nested inside a pool worker (e.g. a parallel sweep): run inline
+    // rather than wait on another pool from a worker thread.
+    if (exec::ThreadPool::current() != nullptr)
+        return nullptr;
+    return transferPoolSet ? transferPoolOverride : exec::defaultPool();
+}
+
+void
+Mee::peekCounterGroup(std::uint64_t group,
+                      std::uint64_t out[TreeLayout::arity]) const
+{
+    const std::uint64_t key =
+        TreeLayout::nodeKey(NodeKind::CounterGroup, 0, group);
+    if (const MetadataNode *node = cache.peek(key)) {
+        std::copy(node->counters.begin(), node->counters.end(), out);
+        return;
+    }
+    // Not resident: the fetch the modeled walk will do reads exactly
+    // these backing-store bytes (the cache is write-back, so DRAM is
+    // up to date for any non-resident node).
+    std::uint8_t buf[MetadataNode::storageBytes];
+    mem.store().read(nodeAddress(NodeKind::CounterGroup, 0, group), buf,
+                     sizeof(buf));
+    const MetadataNode node = MetadataNode::deserialize(buf);
+    std::copy(node.counters.begin(), node.counters.end(), out);
+}
+
+void
+Mee::predictVersions(std::uint64_t first_line, std::uint64_t count,
+                     bool bump, std::uint64_t *out) const
+{
+    std::uint64_t counters[TreeLayout::arity];
+    std::uint64_t group = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t line = first_line + i;
+        const std::uint64_t g = line / TreeLayout::arity;
+        if (i == 0 || g != group) {
+            group = g;
+            peekCounterGroup(g, counters);
+        }
+        out[i] = counters[line % TreeLayout::arity] + (bump ? 1 : 0);
+    }
+}
+
+void
+Mee::transferCrypto(std::uint64_t addr, std::uint8_t *data,
+                    std::uint64_t lines, const std::uint64_t *versions,
+                    bool mac_first, std::uint64_t *macs) const
+{
+    const std::uint64_t chunks =
+        (lines + macBatchLines - 1) / macBatchLines;
+
+    // The chunking reproduces the historical serial batching exactly:
+    // chunk c covers lines [8c, 8c + 8), with the same full-batch
+    // mac64x8 / partial-batch fallback split, so the MAC values are
+    // bit-identical to the line-at-a-time loop.
+    auto runChunks = [&](std::uint64_t begin, std::uint64_t end) {
+        std::uint64_t lineAddr[macBatchLines];
+        for (std::uint64_t c = begin; c < end; ++c) {
+            const std::uint64_t first = c * macBatchLines;
+            const std::uint64_t batch =
+                std::min<std::uint64_t>(macBatchLines, lines - first);
+            std::uint8_t *chunkData =
+                data + first * TreeLayout::lineBytes;
+            for (std::uint64_t b = 0; b < batch; ++b)
+                lineAddr[b] = addr + (first + b) * TreeLayout::lineBytes;
+            if (mac_first)
+                batchLineMacs(chunkData, batch, lineAddr,
+                              versions + first, macs + first);
+            for (std::uint64_t b = 0; b < batch; ++b)
+                ctr.apply(lineAddr[b], versions[first + b],
+                          chunkData + b * TreeLayout::lineBytes,
+                          TreeLayout::lineBytes);
+            if (!mac_first)
+                batchLineMacs(chunkData, batch, lineAddr,
+                              versions + first, macs + first);
+        }
+    };
+
+    exec::ThreadPool *pool = cryptoPool(lines);
+    if (pool == nullptr) {
+        runChunks(0, chunks);
+        return;
+    }
+
+    // Static sharding: one contiguous chunk span per worker, results
+    // into disjoint slots of @p data / @p macs. No scheduling decision
+    // affects any output value, so the merge is deterministic for any
+    // worker count.
+    const std::uint64_t spans =
+        std::min<std::uint64_t>(pool->size(), chunks);
+    const std::uint64_t per = (chunks + spans - 1) / spans;
+    exec::TaskGroup group(*pool);
+    for (std::uint64_t s = 0; s < spans; ++s) {
+        const std::uint64_t begin = s * per;
+        const std::uint64_t end = std::min(chunks, begin + per);
+        if (begin >= end)
+            break;
+        group.run([&runChunks, begin, end] { runChunks(begin, end); });
+    }
+    group.wait();
+}
+
 std::uint64_t
 Mee::parentCounter(unsigned level, std::uint64_t group, bool bump,
                    Tick now, Tick &latency, bool for_read_path)
@@ -198,42 +316,45 @@ Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
     // an allocation on every one of them.
     writeScratch.assign(data, data + len);
 
-    // Lines are processed in batches of up to 8 so the independent
-    // line MACs can run through the 8-way SIMD compression kernel
-    // (mac64x8). The per-line metadata accesses keep their relative
-    // order inside each phase, and a batch of consecutive lines shares
-    // its counter/MAC groups (arity 8), so the cache hit/miss pattern
-    // and final LRU order match the historical line-at-a-time loop.
     const std::uint64_t lines = len / TreeLayout::lineBytes;
+    const std::uint64_t firstLine =
+        (addr - cfg.dataBase) / TreeLayout::lineBytes;
+
+    // Host-side crypto phase: predict every line's post-bump version
+    // from the current counters (stats-neutral peek), then encrypt and
+    // MAC the whole transfer — sharded across the transfer pool for
+    // large bursts. The modeled walk below consumes these values and
+    // asserts the predictions.
+    versionScratch.resize(lines);
+    macScratch.resize(lines);
+    predictVersions(firstLine, lines, true, versionScratch.data());
+    transferCrypto(addr, writeScratch.data(), lines,
+                   versionScratch.data(), false, macScratch.data());
+
+    // Modeled metadata walk, in batches of up to 8 lines. The per-line
+    // metadata accesses keep their relative order inside each phase,
+    // and a batch of consecutive lines shares its counter/MAC groups
+    // (arity 8), so the cache hit/miss pattern and final LRU order
+    // match the historical line-at-a-time loop.
     std::uint64_t done = 0;
     while (done < lines) {
         const std::uint64_t batch =
             std::min<std::uint64_t>(macBatchLines, lines - done);
-        std::uint64_t lineAddr[macBatchLines];
         std::uint64_t lineIndex[macBatchLines];
-        std::uint64_t version[macBatchLines];
-        std::uint64_t macs[macBatchLines];
 
-        // Bump each line's version counter and encrypt under it.
+        // Bump each line's version counter.
         for (std::uint64_t b = 0; b < batch; ++b) {
             const std::uint64_t k = done + b;
-            lineAddr[b] = addr + k * TreeLayout::lineBytes;
-            lineIndex[b] =
-                (lineAddr[b] - cfg.dataBase) / TreeLayout::lineBytes;
-            std::uint8_t *line =
-                writeScratch.data() + k * TreeLayout::lineBytes;
+            lineIndex[b] = firstLine + k;
             MetadataNode &l0 =
                 fetchNode(NodeKind::CounterGroup, 0,
                           lineIndex[b] / TreeLayout::arity, true, now,
                           latency, false);
-            version[b] = ++l0.counters[lineIndex[b] % TreeLayout::arity];
-            ctr.apply(lineAddr[b], version[b], line,
-                      TreeLayout::lineBytes);
+            const std::uint64_t version =
+                ++l0.counters[lineIndex[b] % TreeLayout::arity];
+            ODRIPS_ASSERT(version == versionScratch[k], name(),
+                          ": predicted version diverged from the walk");
         }
-
-        // MAC the batch (pure compute, no metadata traffic).
-        batchLineMacs(writeScratch.data() + done * TreeLayout::lineBytes,
-                      batch, lineAddr, version, macs);
 
         // Record the line MACs.
         for (std::uint64_t b = 0; b < batch; ++b) {
@@ -241,7 +362,8 @@ Mee::secureWrite(std::uint64_t addr, const std::uint8_t *data,
                 fetchNode(NodeKind::DataMacGroup, 0,
                           lineIndex[b] / TreeLayout::arity, true, now,
                           latency, false);
-            macNode.counters[lineIndex[b] % TreeLayout::arity] = macs[b];
+            macNode.counters[lineIndex[b] % TreeLayout::arity] =
+                macScratch[done + b];
         }
 
         // Propagate: bump parents and re-MAC every node on the path.
@@ -298,36 +420,42 @@ Mee::secureRead(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
     // Fetch the ciphertext in one burst.
     MemAccessResult mem_result = mem.read(addr, data, len, now);
 
-    // Batched like secureWrite: the expected line MACs of up to 8
-    // lines are independent computations over the still-encrypted
-    // data, so they run through the 8-way SIMD kernel before the
-    // per-line verify/decrypt phases.
     const std::uint64_t lines = len / TreeLayout::lineBytes;
+    const std::uint64_t firstLine =
+        (addr - cfg.dataBase) / TreeLayout::lineBytes;
+
+    // Host-side crypto phase: the expected line MACs over the
+    // ciphertext and the in-place decryption, per 8-line chunk,
+    // sharded across the transfer pool for large bursts. Versions come
+    // from a stats-neutral peek of the counters; a tampered counter is
+    // peeked and fetched identically, so verification below fails
+    // exactly as in the historical in-walk compute.
+    versionScratch.resize(lines);
+    macScratch.resize(lines);
+    predictVersions(firstLine, lines, false, versionScratch.data());
+    transferCrypto(addr, data, lines, versionScratch.data(), true,
+                   macScratch.data());
+
+    // Modeled metadata walk, batched like secureWrite.
     std::uint64_t done = 0;
     while (done < lines) {
         const std::uint64_t batch =
             std::min<std::uint64_t>(macBatchLines, lines - done);
-        std::uint64_t lineAddr[macBatchLines];
         std::uint64_t lineIndex[macBatchLines];
-        std::uint64_t version[macBatchLines];
-        std::uint64_t expected[macBatchLines];
 
         // Look up each line's version counter.
         for (std::uint64_t b = 0; b < batch; ++b) {
             const std::uint64_t k = done + b;
-            lineAddr[b] = addr + k * TreeLayout::lineBytes;
-            lineIndex[b] =
-                (lineAddr[b] - cfg.dataBase) / TreeLayout::lineBytes;
+            lineIndex[b] = firstLine + k;
             MetadataNode &l0 =
                 fetchNode(NodeKind::CounterGroup, 0,
                           lineIndex[b] / TreeLayout::arity, false, now,
                           latency, true);
-            version[b] = l0.counters[lineIndex[b] % TreeLayout::arity];
+            const std::uint64_t version =
+                l0.counters[lineIndex[b] % TreeLayout::arity];
+            ODRIPS_ASSERT(version == versionScratch[k], name(),
+                          ": peeked version diverged from the walk");
         }
-
-        // Expected MACs over the ciphertext (pure compute).
-        batchLineMacs(data + done * TreeLayout::lineBytes, batch,
-                      lineAddr, version, expected);
 
         // Verify the line MACs against the stored ones.
         for (std::uint64_t b = 0; b < batch; ++b) {
@@ -336,7 +464,7 @@ Mee::secureRead(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
                           lineIndex[b] / TreeLayout::arity, false, now,
                           latency, true);
             if (macNode.counters[lineIndex[b] % TreeLayout::arity] !=
-                expected[b])
+                macScratch[done + b])
                 authentic = false;
         }
 
@@ -352,17 +480,21 @@ Mee::secureRead(std::uint64_t addr, std::uint8_t *data, std::uint64_t len,
                 MetadataNode &node =
                     fetchNode(NodeKind::CounterGroup, level, group, false,
                               now, latency, true);
-                if (node.mac != nodeMac(level, group, node, parent))
+                // Nothing mutates tree nodes on the read path, so when
+                // the previous line of this batch just verified the
+                // same group the recompute would be bit-identical;
+                // skip the redundant MAC (the fetches above still run,
+                // keeping traffic, stats and LRU state unchanged).
+                const unsigned shift = 3 * (level + 1);
+                const bool verified_by_prev =
+                    b > 0 &&
+                    (lineIndex[b - 1] >> shift) == (lineIndex[b] >> shift);
+                if (!verified_by_prev &&
+                    node.mac != nodeMac(level, group, node, parent))
                     authentic = false;
                 idx = group;
             }
         }
-
-        // Decrypt in place.
-        for (std::uint64_t b = 0; b < batch; ++b)
-            ctr.apply(lineAddr[b], version[b],
-                      data + (done + b) * TreeLayout::lineBytes,
-                      TreeLayout::lineBytes);
         stats.linesRead += batch;
         done += batch;
     }

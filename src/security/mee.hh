@@ -34,6 +34,11 @@
 namespace odrips
 {
 
+namespace exec
+{
+class ThreadPool;
+} // namespace exec
+
 /** MEE configuration. */
 struct MeeConfig
 {
@@ -129,6 +134,16 @@ class Mee : public SecureMemoryPath, public Named
     /** Metadata region footprint in bytes. */
     std::uint64_t metadataBytes() const { return tree.metadataBytes(); }
 
+    /**
+     * Shard the host-side transfer crypto (encrypt + line MACs) of
+     * large transfers across @p pool instead of exec::defaultPool();
+     * nullptr forces the serial path. The sharding is static over
+     * fixed 8-line chunks with an ordered merge, so the modeled
+     * behaviour — memory contents, stats, latencies — is bit-identical
+     * for every pool size, including serial.
+     */
+    void setTransferPool(exec::ThreadPool *pool);
+
   private:
     /** Cached fetch of a metadata node; accounts traffic and latency. */
     MetadataNode &fetchNode(NodeKind kind, unsigned level,
@@ -175,6 +190,38 @@ class Mee : public SecureMemoryPath, public Named
                                 bool bump, Tick now, Tick &latency,
                                 bool for_read_path);
 
+    /** Current counters of level-0 counter group @p group with no
+     * modeled side effects: the resident cached copy when there is
+     * one, else the backing-store bytes (what a fetch would load). */
+    void peekCounterGroup(std::uint64_t group,
+                          std::uint64_t out[TreeLayout::arity]) const;
+
+    /**
+     * Predicted version of each line in [@p first_line, @p first_line
+     * + @p count): the current counter value, plus one on the write
+     * path (@p bump). Pure host compute; the modeled metadata walk
+     * asserts it produced exactly these values.
+     */
+    void predictVersions(std::uint64_t first_line, std::uint64_t count,
+                         bool bump, std::uint64_t *out) const;
+
+    /**
+     * Host-side crypto phase of a transfer: per 8-line chunk, CTR
+     * en/decryption of @p data in place plus the 64-bit line MACs into
+     * @p macs. @p mac_first MACs the chunk before applying the
+     * keystream (read path: MACs cover ciphertext). Chunks are
+     * data-independent, so the phase runs serially or statically
+     * sharded across cryptoPool() with bit-identical results.
+     */
+    void transferCrypto(std::uint64_t addr, std::uint8_t *data,
+                        std::uint64_t lines,
+                        const std::uint64_t *versions, bool mac_first,
+                        std::uint64_t *macs) const;
+
+    /** Pool for transferCrypto(), or nullptr for the serial path
+     * (small transfers, nested inside a sweep worker, --jobs=1). */
+    exec::ThreadPool *cryptoPool(std::uint64_t lines) const;
+
     MainMemory &mem;
     MeeConfig cfg;
     TreeLayout tree;
@@ -185,6 +232,14 @@ class Mee : public SecureMemoryPath, public Named
     bool poweredOn = true;
     /** Ciphertext staging buffer reused across secureWrite calls. */
     std::vector<std::uint8_t> writeScratch;
+    /** Per-line predicted versions / MACs, reused across transfers. */
+    std::vector<std::uint64_t> versionScratch;
+    std::vector<std::uint64_t> macScratch;
+    /** Transfer-crypto pool override (setTransferPool). */
+    exec::ThreadPool *transferPoolOverride = nullptr;
+    bool transferPoolSet = false;
+    /** Below this size the sharding overhead outweighs the win. */
+    static constexpr std::uint64_t parallelMinLines = 256;
 };
 
 } // namespace odrips

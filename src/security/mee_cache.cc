@@ -117,6 +117,18 @@ MeeCache::contains(std::uint64_t key) const
     return false;
 }
 
+const MetadataNode *
+MeeCache::peek(std::uint64_t key) const
+{
+    const std::size_t base = setIndex(key) * ways;
+    for (std::size_t w = 0; w < ways; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.key == key)
+            return &line.node;
+    }
+    return nullptr;
+}
+
 MetadataNode &
 MeeCache::nodeFor(std::uint64_t key)
 {

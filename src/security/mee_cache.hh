@@ -94,6 +94,14 @@ class MeeCache
     /** True if @p key is resident (no state change). */
     bool contains(std::uint64_t key) const;
 
+    /**
+     * Resident node for @p key with NO side effects at all: no LRU
+     * update, no dirty bit, no hit/miss accounting. Lets callers
+     * precompute crypto from current counter values without perturbing
+     * the modeled cache state; returns nullptr when not resident.
+     */
+    const MetadataNode *peek(std::uint64_t key) const;
+
     /** Current node value for a resident key (must be resident). */
     MetadataNode &nodeFor(std::uint64_t key);
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the MEE-line-granular dirty tracking (DirtyLineMap) and the
+ * context mutation models that feed it. The delta save path in the
+ * context FSMs relies on exactly the invariants pinned here: fresh maps
+ * start fully dirty, runs coalesce, an all-dirty map is one full-region
+ * run, and the CsrSubset model leaves clean lines byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/context.hh"
+#include "platform/dirty_lines.hh"
+#include "sim/random.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+TEST(DirtyLineMapTest, ResizeStartsFullyDirty)
+{
+    DirtyLineMap map;
+    map.resize(10 * DirtyLineMap::lineBytes + 1); // partial last line
+    EXPECT_EQ(map.lines(), 11u);
+    EXPECT_TRUE(map.allDirty());
+    EXPECT_EQ(map.dirtyLines(), 11u);
+}
+
+TEST(DirtyLineMapTest, ClearAndMarkLine)
+{
+    DirtyLineMap map;
+    map.resize(8 * DirtyLineMap::lineBytes);
+    map.clear();
+    EXPECT_FALSE(map.anyDirty());
+    map.markLine(3);
+    EXPECT_TRUE(map.test(3));
+    EXPECT_FALSE(map.test(2));
+    EXPECT_EQ(map.dirtyLines(), 1u);
+}
+
+TEST(DirtyLineMapTest, MarkBytesCoversOverlappingLines)
+{
+    DirtyLineMap map;
+    map.resize(8 * DirtyLineMap::lineBytes);
+    map.clear();
+    // [100, 200) straddles lines 1..3.
+    map.markBytes(100, 100);
+    EXPECT_FALSE(map.test(0));
+    EXPECT_TRUE(map.test(1));
+    EXPECT_TRUE(map.test(2));
+    EXPECT_TRUE(map.test(3));
+    EXPECT_FALSE(map.test(4));
+    map.markBytes(0, 0); // empty range marks nothing
+    EXPECT_FALSE(map.test(0));
+}
+
+TEST(DirtyLineMapTest, RunsCoalesceConsecutiveLines)
+{
+    DirtyLineMap map;
+    map.resize(16 * DirtyLineMap::lineBytes);
+    map.clear();
+    for (std::uint64_t line : {1u, 2u, 3u, 7u, 12u, 13u})
+        map.markLine(line);
+
+    const std::vector<DirtyLineMap::Run> runs = map.runs();
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].firstLine, 1u);
+    EXPECT_EQ(runs[0].lineCount, 3u);
+    EXPECT_EQ(runs[1].firstLine, 7u);
+    EXPECT_EQ(runs[1].lineCount, 1u);
+    EXPECT_EQ(runs[2].firstLine, 12u);
+    EXPECT_EQ(runs[2].lineCount, 2u);
+}
+
+TEST(DirtyLineMapTest, AllDirtyIsOneFullRegionRun)
+{
+    // The delta save path degenerates to the full path through this:
+    // a fully dirty map must coalesce into exactly one region-wide run.
+    DirtyLineMap map;
+    map.resize(100 * DirtyLineMap::lineBytes);
+    const std::vector<DirtyLineMap::Run> runs = map.runs();
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].firstLine, 0u);
+    EXPECT_EQ(runs[0].lineCount, 100u);
+}
+
+TEST(DirtyLineMapTest, TailPaddingBitsNeverCount)
+{
+    // 65 lines leaves 63 padding bits in the second word; markAll must
+    // not set them or dirtyLines()/allDirty() would lie.
+    DirtyLineMap map;
+    map.resize(65 * DirtyLineMap::lineBytes);
+    EXPECT_EQ(map.dirtyLines(), 65u);
+    EXPECT_TRUE(map.allDirty());
+}
+
+TEST(ContextMutationTest, FullRegenerateDirtiesEverything)
+{
+    ProcessorContext ctx(4 << 10, 8 << 10, 512, /*seed=*/3);
+    ctx.sa().dirty.clear();
+    ctx.cores().dirty.clear();
+    ctx.touch(); // default model: FullRegenerate
+    EXPECT_TRUE(ctx.sa().dirty.allDirty());
+    EXPECT_TRUE(ctx.cores().dirty.allDirty());
+}
+
+TEST(ContextMutationTest, CsrSubsetDirtiesBoundedSubset)
+{
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    mut.dirtyFraction = 0.06;
+    ProcessorContext ctx(64 << 10, 136 << 10, 1 << 10, /*seed=*/3, mut);
+    ctx.sa().dirty.clear();
+    ctx.cores().dirty.clear();
+    ctx.touch();
+
+    // Duplicates are allowed, so the dirtied set is at most the
+    // requested subset — and far from the whole region.
+    const std::uint64_t sa_lines = ctx.sa().dirty.lines();
+    const auto bound = static_cast<std::uint64_t>(
+        mut.dirtyFraction * static_cast<double>(sa_lines));
+    EXPECT_GE(ctx.sa().dirty.dirtyLines(), 1u);
+    EXPECT_LE(ctx.sa().dirty.dirtyLines(), bound);
+    EXPECT_FALSE(ctx.sa().dirty.allDirty());
+    EXPECT_FALSE(ctx.cores().dirty.allDirty());
+}
+
+TEST(ContextMutationTest, CsrSubsetLeavesCleanLinesByteIdentical)
+{
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    ProcessorContext ctx(16 << 10, 16 << 10, 512, /*seed=*/9, mut);
+    ctx.sa().dirty.clear();
+    const std::vector<std::uint8_t> before = ctx.sa().bytes;
+    ctx.touch();
+
+    const DirtyLineMap &dirty = ctx.sa().dirty;
+    for (std::uint64_t line = 0; line < dirty.lines(); ++line) {
+        if (dirty.test(line))
+            continue;
+        const std::size_t off =
+            static_cast<std::size_t>(line * DirtyLineMap::lineBytes);
+        for (std::size_t i = off; i < off + DirtyLineMap::lineBytes; ++i)
+            ASSERT_EQ(ctx.sa().bytes[i], before[i])
+                << "clean line " << line << " changed at byte " << i;
+    }
+    EXPECT_NE(ctx.sa().bytes, before); // but something did change
+}
+
+TEST(ContextMutationTest, MinDirtyLinesFloorApplies)
+{
+    // Even a zero dirty fraction dirties at least minDirtyLines draws:
+    // every wake updates a handful of CSRs.
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    mut.dirtyFraction = 0.0;
+    mut.minDirtyLines = 4;
+    ProcessorContext ctx(32 << 10, 32 << 10, 512, /*seed=*/5, mut);
+    ctx.sa().dirty.clear();
+    ctx.touch();
+    EXPECT_GE(ctx.sa().dirty.dirtyLines(), 1u);
+    EXPECT_LE(ctx.sa().dirty.dirtyLines(), 4u);
+}
+
+TEST(ContextMutationTest, SameSeedMutatesIdentically)
+{
+    // The incremental-vs-full differential tests depend on two contexts
+    // with the same seed staying byte-identical through touch().
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    ProcessorContext a(16 << 10, 16 << 10, 512, /*seed=*/7, mut);
+    ProcessorContext b(16 << 10, 16 << 10, 512, /*seed=*/7, mut);
+    for (int i = 0; i < 5; ++i) {
+        a.touch();
+        b.touch();
+        ASSERT_EQ(a.checksum(), b.checksum());
+    }
+}
+
+} // namespace

@@ -209,6 +209,47 @@ TEST(PowerAnalyzerTest, TraceCapturesTimestampedSamples)
     EXPECT_EQ(trace.back().first, oneMs);
 }
 
+TEST(PowerAnalyzerTest, TraceStaysBoundedByDecimation)
+{
+    // Long captures must not grow the trace without bound: at the
+    // sample cap the analyzer halves the stored trace and doubles its
+    // recording stride, keeping a uniform subsample of the signal.
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq, 100 * oneUs);
+    analyzer.addChannel("ch", [] { return 0.5_W; });
+    analyzer.enableTrace(true);
+    analyzer.setTraceLimit(8);
+    analyzer.arm();
+    eq.run(40 * 100 * oneUs); // 40 samples against a cap of 8
+
+    const auto &trace = analyzer.channel(0).trace;
+    EXPECT_LE(trace.size(), 8u);
+    EXPECT_GE(trace.size(), 4u);
+    EXPECT_GT(analyzer.traceDecimationStride(), 1u);
+    // The subsample keeps the first sample and stays monotonic.
+    EXPECT_EQ(trace.front().first, 100 * oneUs);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LT(trace[i - 1].first, trace[i].first);
+    // Statistics are unaffected: every sample still counts.
+    EXPECT_EQ(analyzer.channel(0).samples, 40u);
+}
+
+TEST(PowerAnalyzerTest, ClearResetsDecimationState)
+{
+    EventQueue eq;
+    PowerAnalyzer analyzer("pa", eq, 100 * oneUs);
+    analyzer.addChannel("ch", [] { return 0.5_W; });
+    analyzer.enableTrace(true);
+    analyzer.setTraceLimit(4);
+    analyzer.arm();
+    eq.run(20 * 100 * oneUs);
+    ASSERT_GT(analyzer.traceDecimationStride(), 1u);
+    analyzer.disarm();
+    analyzer.clear();
+    EXPECT_EQ(analyzer.traceDecimationStride(), 1u);
+    EXPECT_TRUE(analyzer.channel(0).trace.empty());
+}
+
 TEST(PowerAnalyzerTest, ClearResetsStatistics)
 {
     EventQueue eq;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Differential tests for the incremental (dirty-line delta) context
+ * save path against the historical full save.
+ *
+ *  - Under the default FullRegenerate mutation model every line is
+ *    dirty, so an incremental FSM must behave *bit-identically* to a
+ *    full-save FSM: same bytes moved, same latencies, same MEE traffic,
+ *    same tree root. This is what keeps the golden figures valid.
+ *  - Under the CsrSubset model the delta path moves only the dirty
+ *    runs; the restored context must still be authentic and
+ *    byte-identical to what the full-save engine reproduces, across
+ *    randomized seeds.
+ *
+ * The suite carries the odrips_simd label, so scripts/check.sh runs it
+ * both with native SIMD dispatch and pinned to ODRIPS_DISPATCH=scalar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flows/context_fsm.hh"
+#include "platform/platform.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/** One platform + context + FSM pair driven in lockstep with another. */
+class Rig
+{
+  public:
+    Rig(bool incremental, const ContextMutationConfig &mutation,
+        std::uint64_t seed)
+        : platform(skylakeConfig()),
+          ctx(platform.cfg.saContextBytes, platform.cfg.coresContextBytes,
+              platform.cfg.bootContextBytes, seed, mutation),
+          saFsm("sa_fsm", platform.processor.saSram,
+                *platform.memoryController, 0),
+          llcFsm("llc_fsm", platform.processor.coresSram,
+                 *platform.memoryController, platform.cfg.saContextBytes)
+    {
+        saFsm.setIncremental(incremental);
+        llcFsm.setIncremental(incremental);
+    }
+
+    TransferResult
+    saveSa(Tick now)
+    {
+        saFsm.saveToSram(ctx.sa(), now);
+        return saFsm.save(ctx.sa(), now);
+    }
+
+    TransferResult
+    saveCores(Tick now)
+    {
+        llcFsm.saveToSram(ctx.cores(), now);
+        return llcFsm.save(ctx.cores(), now);
+    }
+
+    TransferResult restoreSa(Tick now) { return saFsm.restore(ctx.sa(), now); }
+    TransferResult
+    restoreCores(Tick now)
+    {
+        return llcFsm.restore(ctx.cores(), now);
+    }
+
+    Platform platform;
+    ProcessorContext ctx;
+    ContextTransferFsm saFsm;
+    ContextTransferFsm llcFsm;
+};
+
+TEST(IncrementalContextTest, FullRegenerateModelIsBitIdentical)
+{
+    // All lines dirty every cycle: the delta path must degenerate to
+    // the exact historical full save, cycle after cycle.
+    ContextMutationConfig mut; // default FullRegenerate
+    Rig inc(/*incremental=*/true, mut, /*seed=*/7);
+    Rig full(/*incremental=*/false, mut, /*seed=*/7);
+
+    Tick now = 0;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        inc.ctx.touch();
+        full.ctx.touch();
+        ASSERT_EQ(inc.ctx.checksum(), full.ctx.checksum());
+
+        const TransferResult a = inc.saveSa(now);
+        const TransferResult b = full.saveSa(now);
+        EXPECT_EQ(a.bytes, b.bytes);
+        EXPECT_EQ(a.latency, b.latency);
+
+        const TransferResult c = inc.saveCores(now);
+        const TransferResult d = full.saveCores(now);
+        EXPECT_EQ(c.bytes, d.bytes);
+        EXPECT_EQ(c.latency, d.latency);
+        now += oneMs;
+    }
+
+    // Identical modeled behaviour all the way down: MEE line counts,
+    // metadata traffic, cache behaviour, energy, and the tree root.
+    const MeeStats &sa = inc.platform.mee->statistics();
+    const MeeStats &sb = full.platform.mee->statistics();
+    EXPECT_EQ(sa.linesWritten, sb.linesWritten);
+    EXPECT_EQ(sa.linesRead, sb.linesRead);
+    EXPECT_EQ(sa.metadataBytesRead, sb.metadataBytesRead);
+    EXPECT_EQ(sa.metadataBytesWritten, sb.metadataBytesWritten);
+    EXPECT_EQ(sa.cacheHits, sb.cacheHits);
+    EXPECT_EQ(sa.cacheMisses, sb.cacheMisses);
+    EXPECT_EQ(sa.authFailures, 0u);
+    EXPECT_EQ(sa.cryptoEnergy, sb.cryptoEnergy);
+    EXPECT_EQ(inc.platform.mee->exportRoot().rootCounter,
+              full.platform.mee->exportRoot().rootCounter);
+}
+
+TEST(IncrementalContextTest, CsrSubsetDeltaSaveRestoresIdenticalContext)
+{
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    mut.dirtyFraction = 0.06;
+
+    for (const std::uint64_t seed : {1ULL, 11ULL, 42ULL}) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        Rig inc(/*incremental=*/true, mut, seed);
+        Rig full(/*incremental=*/false, mut, seed);
+
+        Tick now = 0;
+        for (int cycle = 0; cycle < 5; ++cycle) {
+            SCOPED_TRACE(testing::Message() << "cycle=" << cycle);
+            inc.ctx.touch();
+            full.ctx.touch();
+            // Same seed, same mutation draws: lockstep contexts.
+            ASSERT_EQ(inc.ctx.checksum(), full.ctx.checksum());
+            const std::uint64_t expect_sa = inc.ctx.sa().checksum();
+            const std::uint64_t expect_cores = inc.ctx.cores().checksum();
+
+            const TransferResult isa = inc.saveSa(now);
+            const TransferResult fsa = full.saveSa(now);
+            const TransferResult icores = inc.saveCores(now);
+            const TransferResult fcores = full.saveCores(now);
+            if (cycle == 0) {
+                // No DRAM copy yet: the first save is always full.
+                EXPECT_EQ(isa.bytes, fsa.bytes);
+                EXPECT_EQ(isa.latency, fsa.latency);
+            } else {
+                // Steady state: the delta moves only ~6% of the region
+                // and finishes strictly faster.
+                EXPECT_LT(isa.bytes, fsa.bytes / 4);
+                EXPECT_LT(isa.latency, fsa.latency);
+                EXPECT_LT(icores.bytes, fcores.bytes / 4);
+                EXPECT_LT(icores.latency, fcores.latency);
+            }
+
+            // A restore must reproduce the exact saved context from
+            // the partially rewritten protected region, and the MEE
+            // must vouch for every line of it.
+            const TransferResult ra = inc.restoreSa(now);
+            const TransferResult rb = inc.restoreCores(now);
+            ASSERT_TRUE(ra.authentic);
+            ASSERT_TRUE(ra.intact);
+            ASSERT_TRUE(rb.authentic);
+            ASSERT_TRUE(rb.intact);
+            EXPECT_EQ(inc.ctx.sa().checksum(), expect_sa);
+            EXPECT_EQ(inc.ctx.cores().checksum(), expect_cores);
+
+            const TransferResult rc = full.restoreSa(now);
+            const TransferResult rd = full.restoreCores(now);
+            ASSERT_TRUE(rc.intact);
+            ASSERT_TRUE(rd.intact);
+            EXPECT_EQ(inc.ctx.checksum(), full.ctx.checksum());
+            now += oneMs;
+        }
+
+        // The whole point: the incremental engine pushed far fewer
+        // lines through the crypto pipeline.
+        EXPECT_LT(inc.platform.mee->statistics().linesWritten,
+                  full.platform.mee->statistics().linesWritten / 4);
+        EXPECT_EQ(inc.platform.mee->statistics().authFailures, 0u);
+    }
+}
+
+TEST(IncrementalContextTest, FailedRestoreForcesNextSaveFull)
+{
+    ContextMutationConfig mut;
+    mut.kind = ContextMutationKind::CsrSubset;
+    Rig inc(/*incremental=*/true, mut, /*seed=*/3);
+
+    Tick now = 0;
+    inc.ctx.touch();
+    inc.saveSa(now);
+
+    // Corrupt the protected region behind the MEE's back: the restore
+    // must flag it and re-arm a full save (the DRAM copy under the
+    // clean lines can no longer be trusted as a delta base).
+    const std::uint64_t base =
+        inc.platform.memoryController->protectedRange().base;
+    inc.platform.memory->store().flipBit(base + 100, 3);
+
+    const TransferResult r = inc.restoreSa(now);
+    EXPECT_FALSE(r.authentic);
+    EXPECT_FALSE(r.intact);
+    EXPECT_TRUE(inc.ctx.sa().dirty.allDirty());
+
+    // The forced full save then re-establishes a good DRAM copy.
+    const TransferResult again = inc.saveSa(now + oneMs);
+    EXPECT_EQ(again.bytes, inc.ctx.sa().bytes.size());
+    const TransferResult ok = inc.restoreSa(now + 2 * oneMs);
+    EXPECT_TRUE(ok.authentic);
+    EXPECT_TRUE(ok.intact);
+}
+
+} // namespace

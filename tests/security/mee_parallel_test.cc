@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Determinism of the thread-parallel MEE transfer crypto: a full
+ * connected-standby simulation must produce bit-identical results for
+ * every worker count — serial, --jobs 1, 2, and 8 — because the
+ * transfer sharding is static over fixed 8-line chunks with an ordered
+ * merge. The suite carries the odrips_tsan label so scripts/check.sh
+ * also runs it under -fsanitize=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/standby_simulator.hh"
+#include "exec/thread_pool.hh"
+#include "platform/platform.hh"
+#include "platform/techniques.hh"
+#include "workload/standby_workload.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/** Everything a standby run can observably produce. */
+struct RunSnapshot
+{
+    StandbyResult result;
+    MeeStats mee;
+    std::uint64_t rootCounter = 0;
+    std::uint64_t contextChecksum = 0;
+};
+
+RunSnapshot
+runStandby(exec::ThreadPool *pool, ContextMutationKind kind)
+{
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = kind;
+    Platform platform(cfg);
+    // nullptr pins the serial reference path; a pool shards the
+    // transfer crypto across its workers.
+    platform.mee->setTransferPool(pool);
+
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    StandbyWorkloadGenerator gen(cfg.workload);
+    RunSnapshot snap;
+    snap.result = sim.run(gen.generate(3));
+    snap.mee = platform.mee->statistics();
+    snap.rootCounter = platform.mee->exportRoot().rootCounter;
+    snap.contextChecksum = platform.processor.context.checksum();
+    return snap;
+}
+
+/** Bit-exact equality, doubles included: determinism, not tolerance. */
+void
+expectIdentical(const RunSnapshot &a, const RunSnapshot &b)
+{
+    EXPECT_EQ(a.result.averageBatteryPower, b.result.averageBatteryPower);
+    EXPECT_EQ(a.result.idleBatteryPower, b.result.idleBatteryPower);
+    EXPECT_EQ(a.result.activeBatteryPower, b.result.activeBatteryPower);
+    EXPECT_EQ(a.result.idleResidency, b.result.idleResidency);
+    EXPECT_EQ(a.result.activeResidency, b.result.activeResidency);
+    EXPECT_EQ(a.result.transitionResidency,
+              b.result.transitionResidency);
+    EXPECT_EQ(a.result.meanEntryLatency, b.result.meanEntryLatency);
+    EXPECT_EQ(a.result.meanExitLatency, b.result.meanExitLatency);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.simulatedTime, b.result.simulatedTime);
+    EXPECT_EQ(a.result.contextIntact, b.result.contextIntact);
+
+    EXPECT_EQ(a.mee.linesWritten, b.mee.linesWritten);
+    EXPECT_EQ(a.mee.linesRead, b.mee.linesRead);
+    EXPECT_EQ(a.mee.metadataBytesRead, b.mee.metadataBytesRead);
+    EXPECT_EQ(a.mee.metadataBytesWritten, b.mee.metadataBytesWritten);
+    EXPECT_EQ(a.mee.cacheHits, b.mee.cacheHits);
+    EXPECT_EQ(a.mee.cacheMisses, b.mee.cacheMisses);
+    EXPECT_EQ(a.mee.authFailures, b.mee.authFailures);
+    EXPECT_EQ(a.mee.cryptoEnergy, b.mee.cryptoEnergy);
+
+    EXPECT_EQ(a.rootCounter, b.rootCounter);
+    EXPECT_EQ(a.contextChecksum, b.contextChecksum);
+}
+
+TEST(MeeParallelTest, FullSaveJobsSweepIsBitIdentical)
+{
+    // FullRegenerate keeps every save a full 200 KB transfer (3200
+    // lines), well above the parallel threshold.
+    const RunSnapshot serial =
+        runStandby(nullptr, ContextMutationKind::FullRegenerate);
+    ASSERT_TRUE(serial.result.contextIntact);
+    EXPECT_EQ(serial.mee.authFailures, 0u);
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "jobs=" << jobs);
+        exec::ThreadPool pool(jobs);
+        const RunSnapshot sharded =
+            runStandby(&pool, ContextMutationKind::FullRegenerate);
+        expectIdentical(serial, sharded);
+    }
+}
+
+TEST(MeeParallelTest, IncrementalSaveJobsSweepIsBitIdentical)
+{
+    // CsrSubset makes the steady-state saves small deltas (below the
+    // parallel threshold) while restores stay full-size and parallel:
+    // the mixed regime must be just as deterministic.
+    const RunSnapshot serial =
+        runStandby(nullptr, ContextMutationKind::CsrSubset);
+    ASSERT_TRUE(serial.result.contextIntact);
+
+    for (const unsigned jobs : {2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "jobs=" << jobs);
+        exec::ThreadPool pool(jobs);
+        const RunSnapshot sharded =
+            runStandby(&pool, ContextMutationKind::CsrSubset);
+        expectIdentical(serial, sharded);
+    }
+}
+
+} // namespace

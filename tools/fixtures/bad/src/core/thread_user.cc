@@ -1,0 +1,10 @@
+// Raw thread outside src/exec/: parallelism that bypasses the pool is
+// invisible to the TSan gate and free to break determinism.
+#include <thread>
+
+void
+spawnWorker()
+{
+    std::thread worker([] {});
+    worker.join();
+}

@@ -1,0 +1,9 @@
+// std::thread::id is a plain value type; naming it spawns nothing and
+// stays allowed outside src/exec/.
+#include <thread>
+
+std::thread::id
+currentThread()
+{
+    return std::this_thread::get_id();
+}

@@ -1,0 +1,11 @@
+// Raw threads are sanctioned here: src/exec/ implements the pool that
+// the rest of the tree parallelises through.
+#include <thread>
+#include <vector>
+
+void
+startWorkers(std::vector<std::thread> &workers, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        workers.emplace_back([] {});
+}

@@ -72,6 +72,10 @@ class BadTree(unittest.TestCase):
         self.assertIn(("src/sim/simd_user.cc", "simd-intrinsic"),
                       self.found)
 
+    def test_raw_thread_rule(self):
+        self.assertIn(("src/core/thread_user.cc", "raw-thread"),
+                      self.found)
+
     def test_registered_files_not_flagged(self):
         self.assertNotIn(("src/sim/clock_user.cc", "cmake-target"),
                          self.found)
@@ -105,6 +109,23 @@ class SimdIntrinsicScope(unittest.TestCase):
         found = findings(proc)
         self.assertEqual(found,
                          {("src/sim/simd_user.cc", "simd-intrinsic")})
+
+
+class RawThreadScope(unittest.TestCase):
+    """src/exec/ is the sanctioned home for raw threads; nested member
+    types like std::thread::id stay allowed everywhere."""
+
+    def test_exec_directory_and_thread_id_are_exempt(self):
+        proc = run_lint(os.path.join(FIXTURES, "good"),
+                        "--rules", "raw-thread")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_spawn_outside_exec_is_flagged(self):
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "raw-thread")
+        found = findings(proc)
+        self.assertEqual(found,
+                         {("src/core/thread_user.cc", "raw-thread")})
 
 
 class RuleSelection(unittest.TestCase):
