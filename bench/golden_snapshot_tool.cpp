@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates the checked-in golden snapshot fixture
+ * (tests/data/golden_v1.ckpt): the schema-v1 compatibility pin used by
+ * tests/core/checkpoint_corruption_test.cc.
+ *
+ * The fixture is the default skylake configuration with the full
+ * ODRIPS technique set, settled for 10 us of simulated time and
+ * captured without run progress — a deterministic function of the
+ * simulator sources, so regeneration is only ever needed after an
+ * intentional snapshot-format change (which also bumps
+ * SnapshotImage::schemaVersion).
+ *
+ * Usage: golden_snapshot_tool <output-path>
+ */
+
+#include <iostream>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: golden_snapshot_tool <output-path>\n";
+        return 1;
+    }
+
+    Logger::quiet(true);
+    const PlatformConfig cfg = skylakeConfig();
+    Platform platform(cfg);
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    platform.eq.run(platform.eq.now() + 10 * oneUs);
+
+    Snapshot::capture(sim).writeFile(argv[1]);
+    std::cout << "wrote schema-v" << ckpt::SnapshotImage::schemaVersion
+              << " snapshot to " << argv[1] << "\n";
+    return 0;
+}

@@ -11,15 +11,75 @@
  * times this binary from the shell and derives the cycles/second
  * throughput entry of BENCH_kernel.json.
  *
- * Usage: longtrace_throughput [cycles]
+ * With a non-zero checkpoint interval the run exercises periodic
+ * checkpoint/resume: every N cycles the full simulator state plus run
+ * progress is written to disk, read back, and restored into a freshly
+ * constructed simulator that continues the run. The summary figures
+ * are bit-identical to an uninterrupted run (the checkpoint gate in
+ * scripts/check.sh pins this).
+ *
+ * Usage: longtrace_throughput [cycles] [checkpoint-every]
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/odrips.hh"
 
 using namespace odrips;
+
+namespace
+{
+
+std::size_t
+parseCount(const char *arg, const char *what, bool allow_zero)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0' || (v == 0 && !allow_zero)) {
+        std::cerr << "longtrace_throughput: bad " << what << " '" << arg
+                  << "'\n";
+        std::exit(1);
+    }
+    return static_cast<std::size_t>(v);
+}
+
+/** Run the trace, checkpointing to disk and resuming on a fresh
+ * simulator every @p every cycles. */
+StandbyResult
+runWithCheckpoints(const PlatformConfig &cfg, const TechniqueSet &tech,
+                   const StandbyTrace &trace, std::size_t every)
+{
+    const std::string path = "odrips_longtrace.ckpt";
+
+    auto platform = std::make_unique<Platform>(cfg);
+    auto sim = std::make_unique<StandbySimulator>(*platform, tech);
+    RunProgress progress = sim->beginRun();
+
+    std::size_t done = 0;
+    for (const StandbyCycle &cycle : trace.cycles) {
+        sim->stepCycle(progress, cycle);
+        ++done;
+        if (done % every != 0 || done == trace.cycles.size())
+            continue;
+
+        // Full round trip: state -> disk -> fresh simulator.
+        Snapshot::capture(*sim, progress).writeFile(path);
+        const Snapshot loaded = Snapshot::readFile(path, cfg, tech);
+        auto next_platform = std::make_unique<Platform>(cfg);
+        auto next_sim =
+            std::make_unique<StandbySimulator>(*next_platform, tech);
+        loaded.restoreInto(*next_sim, progress);
+        sim = std::move(next_sim);
+        platform = std::move(next_platform);
+    }
+    std::remove(path.c_str());
+    return sim->finishRun(progress);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,26 +87,28 @@ main(int argc, char **argv)
     Logger::quiet(true);
 
     std::size_t count = 1000;
-    if (argc > 1) {
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(argv[1], &end, 10);
-        if (end == argv[1] || *end != '\0' || v == 0) {
-            std::cerr << "longtrace_throughput: bad cycle count '"
-                      << argv[1] << "'\n";
-            return 1;
-        }
-        count = static_cast<std::size_t>(v);
-    }
+    std::size_t checkpoint_every = 0;
+    if (argc > 1)
+        count = parseCount(argv[1], "cycle count", false);
+    if (argc > 2)
+        checkpoint_every =
+            parseCount(argv[2], "checkpoint interval", true);
 
     PlatformConfig cfg = skylakeConfig();
     cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
-
-    Platform platform(cfg);
-    StandbySimulator sim(platform, TechniqueSet::odrips());
+    const TechniqueSet tech = TechniqueSet::odrips();
 
     StandbyWorkloadGenerator gen(cfg.workload);
     const StandbyTrace trace = gen.generate(count);
-    const StandbyResult result = sim.run(trace);
+
+    StandbyResult result;
+    if (checkpoint_every == 0) {
+        Platform platform(cfg);
+        StandbySimulator sim(platform, tech);
+        result = sim.run(trace);
+    } else {
+        result = runWithCheckpoints(cfg, tech, trace, checkpoint_every);
+    }
 
     if (!result.contextIntact) {
         std::cerr << "longtrace_throughput: context integrity FAILED\n";

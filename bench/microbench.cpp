@@ -264,6 +264,85 @@ BM_CycleProfileCold(benchmark::State &state)
 }
 BENCHMARK(BM_CycleProfileCold);
 
+/**
+ * Per-point cost of a sweep whose points share a warmed simulator
+ * (8 standby cycles of warm-up, then a one-cycle probe).
+ * BM_SweepPointCold builds and warms privately per point — the
+ * historical sweep shape; BM_SweepPointWarmFork warms once outside the
+ * timed region and forks a checkpoint per point, so each point pays
+ * O(state copy) instead of O(warm-up). The tracked ratio between the
+ * two is the step function the checkpoint subsystem buys.
+ */
+void
+sweepPointBench(benchmark::State &state, bool warm_forked)
+{
+    Logger::quiet(true);
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+    const TechniqueSet techniques = TechniqueSet::odrips();
+    const StandbyTrace warm_trace = StandbyWorkloadGenerator::fixed(
+        8, 20 * oneMs, 150 * oneMs, 0.7, 0.8e9);
+    const StandbyTrace probe = StandbyWorkloadGenerator::fixed(
+        1, 20 * oneMs, 150 * oneMs, 0.7, 0.8e9);
+
+    if (warm_forked) {
+        Platform platform(cfg);
+        StandbySimulator sim(platform, techniques);
+        sim.run(warm_trace);
+        const Snapshot snapshot = Snapshot::capture(sim);
+        for (auto _ : state) {
+            ForkedSimulator child = snapshot.fork();
+            benchmark::DoNotOptimize(child.simulator->run(probe));
+        }
+    } else {
+        for (auto _ : state) {
+            Platform platform(cfg);
+            StandbySimulator sim(platform, techniques);
+            sim.run(warm_trace);
+            benchmark::DoNotOptimize(sim.run(probe));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_SweepPointCold(benchmark::State &state)
+{
+    sweepPointBench(state, false);
+}
+BENCHMARK(BM_SweepPointCold);
+
+void
+BM_SweepPointWarmFork(benchmark::State &state)
+{
+    sweepPointBench(state, true);
+}
+BENCHMARK(BM_SweepPointWarmFork);
+
+void
+BM_SnapshotCaptureRestore(benchmark::State &state)
+{
+    // The raw checkpoint primitives: capture the full simulator state
+    // and restore it into a second, live simulator.
+    Logger::quiet(true);
+    PlatformConfig cfg = skylakeConfig();
+    cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+    Platform platform(cfg);
+    StandbySimulator sim(platform, TechniqueSet::odrips());
+    sim.run(StandbyWorkloadGenerator::fixed(2, 20 * oneMs, 150 * oneMs,
+                                            0.7, 0.8e9));
+    Platform target_platform(cfg);
+    StandbySimulator target(target_platform, TechniqueSet::odrips());
+
+    for (auto _ : state) {
+        const Snapshot snapshot = Snapshot::capture(sim);
+        snapshot.restoreInto(target);
+        benchmark::DoNotOptimize(snapshot.image().sections().size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotCaptureRestore);
+
 void
 BM_CycleProfileCached(benchmark::State &state)
 {

@@ -24,9 +24,16 @@
 #              portable reference with ODRIPS_DISPATCH=scalar — so a
 #              bug in either side of the scalar/SIMD equivalence
 #              cannot pass unnoticed.
-#  all         lint, then simd, then tsan, then asan (default).
+#  ckpt        the checkpoint/fork differential suites (`ctest -L
+#              odrips_ckpt`) three ways — native, ODRIPS_DISPATCH=scalar
+#              and ODRIPS_CHECKPOINT=0 (the cold sweep path) — plus two
+#              end-to-end bit-equality cross-checks: fig6a stdout with
+#              checkpointing on/off for jobs {1,2,8}, and the longtrace
+#              summary with and without periodic checkpoint/resume.
+#  all         lint, then simd, then ckpt, then tsan, then asan
+#              (default).
 #
-# Usage: scripts/check.sh [lint|simd|tsan|asan|bench]   (default: all)
+# Usage: scripts/check.sh [lint|simd|ckpt|tsan|asan|bench]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +86,63 @@ run_simd() {
     ODRIPS_DISPATCH=scalar \
         ctest --test-dir build -L odrips_simd --output-on-failure \
         -j "$jobs"
+}
+
+run_ckpt() {
+    echo "== Checkpoint gate (ctest -L odrips_ckpt + bit-equality cross-checks) =="
+    local gen=()
+    [ -d build ] || gen=("${generator[@]}")
+    cmake -B build "${gen[@]}" >/dev/null
+    cmake --build build -j "$jobs" \
+        --target checkpoint_test checkpoint_parallel_test \
+        fig6a_techniques longtrace_throughput
+
+    echo "-- native --"
+    ctest --test-dir build -L odrips_ckpt --output-on-failure -j "$jobs"
+    echo "-- ODRIPS_DISPATCH=scalar --"
+    ODRIPS_DISPATCH=scalar \
+        ctest --test-dir build -L odrips_ckpt --output-on-failure \
+        -j "$jobs"
+    echo "-- ODRIPS_CHECKPOINT=0 (cold sweep path) --"
+    ODRIPS_CHECKPOINT=0 \
+        ctest --test-dir build -L odrips_ckpt --output-on-failure \
+        -j "$jobs"
+
+    # Warm-forked sweeps must not change a single figure: fig6a stdout
+    # (the host-timed telemetry table goes to stderr) is bit-identical
+    # with checkpointing on and off, for every worker count.
+    echo "-- fig6a bit-equality: ODRIPS_CHECKPOINT {1,0} x jobs {1,2,8} --"
+    local ref scratch
+    ref="$(mktemp)"
+    scratch="$(mktemp)"
+    ./build/bench/fig6a_techniques 2>/dev/null >"$ref"
+    local j c
+    for j in 1 2 8; do
+        for c in 1 0; do
+            ODRIPS_JOBS=$j ODRIPS_CHECKPOINT=$c \
+                ./build/bench/fig6a_techniques 2>/dev/null >"$scratch"
+            if ! cmp -s "$ref" "$scratch"; then
+                echo "ckpt: fig6a output diverged (jobs=$j," \
+                     "checkpoint=$c)" >&2
+                rm -f "$ref" "$scratch"
+                exit 1
+            fi
+        done
+    done
+
+    # Periodic checkpoint/resume (full state -> disk -> fresh
+    # simulator) must leave the longtrace summary bit-identical to an
+    # uninterrupted run.
+    echo "-- longtrace checkpoint/resume bit-equality --"
+    ./build/bench/longtrace_throughput 60 2>/dev/null >"$ref"
+    ./build/bench/longtrace_throughput 60 7 2>/dev/null >"$scratch"
+    if ! cmp -s "$ref" "$scratch"; then
+        echo "ckpt: longtrace checkpoint/resume diverged" >&2
+        rm -f "$ref" "$scratch"
+        exit 1
+    fi
+    rm -f "$ref" "$scratch"
+    echo "checkpoint gate passed"
 }
 
 run_tsan() {
@@ -153,17 +217,19 @@ PY
 case "$mode" in
 lint) run_lint ;;
 simd) run_simd ;;
+ckpt) run_ckpt ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
 bench) run_bench ;;
 all)
     run_lint
     run_simd
+    run_ckpt
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [lint|simd|tsan|asan|bench]" >&2
+    echo "usage: $0 [lint|simd|ckpt|tsan|asan|bench]" >&2
     exit 2
     ;;
 esac

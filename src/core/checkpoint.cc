@@ -1,0 +1,493 @@
+#include "core/checkpoint.hh"
+
+#include <array>
+#include <utility>
+
+#include "core/profile_cache.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- clock
+
+void
+saveClock(ckpt::Writer &w, Platform &p)
+{
+    w.i64(p.eq.now());
+    w.u64(p.eq.sequenceCounter());
+    w.u64(p.eq.executedEvents());
+    w.b(p.board.xtal24.enabled());
+    w.b(p.board.xtal32.enabled());
+    w.b(p.chipset.fastClock.gated());
+    w.b(p.chipset.slowClock.gated());
+    w.b(p.processor.clock.gated());
+}
+
+void
+loadClock(ckpt::Reader &r, Platform &p)
+{
+    const Tick now = r.i64();
+    const std::uint64_t sequence = r.u64();
+    const std::uint64_t executed = r.u64();
+    p.eq.restoreClock(now, sequence, executed);
+
+    r.b() ? p.board.xtal24.enable() : p.board.xtal24.disable();
+    r.b() ? p.board.xtal32.enable() : p.board.xtal32.disable();
+    r.b() ? p.chipset.fastClock.gate() : p.chipset.fastClock.ungate();
+    r.b() ? p.chipset.slowClock.gate() : p.chipset.slowClock.ungate();
+    r.b() ? p.processor.clock.gate() : p.processor.clock.ungate();
+}
+
+// ---------------------------------------------------------------- power
+
+void
+savePower(ckpt::Writer &w, Platform &p)
+{
+    const auto &comps = p.pm.components();
+    w.u32(static_cast<std::uint32_t>(comps.size()));
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        Milliwatts level;
+        Millijoules consumed;
+        Tick last = 0;
+        p.pm.componentState(i, level, consumed, last);
+        w.f64(level.watts());
+        w.f64(consumed.joules());
+        w.i64(last);
+    }
+    // The running total, not a recomputed sum: it accumulates
+    // incrementally and its rounding drift is part of the state.
+    w.f64(p.pm.totalPower().watts());
+
+    w.f64(p.accountant.lastLoadLevel().watts());
+    w.f64(p.accountant.batteryEnergy().joules());
+    w.f64(p.accountant.loadEnergy().joules());
+    w.i64(p.accountant.windowEnd());
+    w.i64(p.accountant.windowStart());
+
+    p.analyzer.saveState(w);
+}
+
+void
+loadPower(ckpt::Reader &r, Platform &p)
+{
+    const std::uint32_t count = r.u32();
+    if (count != p.pm.components().size())
+        throw ckpt::SnapshotError("power component count mismatch");
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Milliwatts level = Milliwatts::fromWatts(r.f64());
+        const Millijoules consumed = Millijoules::fromJoules(r.f64());
+        const Tick last = r.i64();
+        p.pm.restoreComponentState(i, level, consumed, last);
+    }
+    p.pm.restoreTotal(Milliwatts::fromWatts(r.f64()));
+
+    const Milliwatts lastLoad = Milliwatts::fromWatts(r.f64());
+    const Millijoules battery = Millijoules::fromJoules(r.f64());
+    const Millijoules load = Millijoules::fromJoules(r.f64());
+    const Tick lastTick = r.i64();
+    const Tick startTick = r.i64();
+    p.accountant.restoreState(lastLoad, battery, load, lastTick,
+                              startTick);
+
+    p.analyzer.loadState(r);
+}
+
+// --------------------------------------------------------------- timing
+
+void
+saveTiming(ckpt::Writer &w, Platform &p)
+{
+    w.u64(p.processor.tsc.baseValueState());
+    w.i64(p.processor.tsc.baseTickState());
+    w.b(p.processor.tsc.running());
+    p.chipset.wakeTimer.saveState(w);
+}
+
+void
+loadTiming(ckpt::Reader &r, Platform &p)
+{
+    const std::uint64_t base = r.u64();
+    const Tick tick = r.i64();
+    const bool running = r.b();
+    p.processor.tsc.restoreState(base, tick, running);
+    p.chipset.wakeTimer.loadState(r);
+}
+
+// ------------------------------------------------------------------- io
+
+void
+saveIo(ckpt::Writer &w, Platform &p)
+{
+    w.b(p.pml.linkRaised());
+    w.u64(p.pml.messagesSent());
+
+    w.u32(p.chipset.gpios.pinCount());
+    for (unsigned pin = 0; pin < p.chipset.gpios.pinCount(); ++pin)
+        w.b(p.chipset.gpios.rawLevel(pin));
+
+    w.b(p.processor.aonIos.powered());
+}
+
+void
+loadIo(ckpt::Reader &r, Platform &p)
+{
+    const bool linkUp = r.b();
+    const std::uint64_t messages = r.u64();
+    p.pml.restoreState(linkUp, messages);
+
+    if (r.u32() != p.chipset.gpios.pinCount())
+        throw ckpt::SnapshotError("GPIO pin count mismatch");
+    for (unsigned pin = 0; pin < p.chipset.gpios.pinCount(); ++pin)
+        p.chipset.gpios.restoreLevel(pin, r.b());
+
+    p.processor.aonIos.restorePoweredFlag(r.b());
+}
+
+// --------------------------------------------------------------- memory
+
+void
+saveMemory(ckpt::Writer &w, Platform &p)
+{
+    w.u8(static_cast<std::uint8_t>(p.cfg.memoryKind));
+    if (p.cfg.memoryKind == MainMemoryKind::Ddr3l)
+        static_cast<const Dram &>(*p.memory).saveState(w);
+    else
+        static_cast<const Pcm &>(*p.memory).saveState(w);
+
+    p.emram->saveState(w);
+    p.memoryController->saveState(w);
+    p.processor.saSram.saveState(w);
+    p.processor.coresSram.saveState(w);
+    p.processor.bootSram.saveState(w);
+}
+
+void
+loadMemory(ckpt::Reader &r, Platform &p)
+{
+    if (r.u8() != static_cast<std::uint8_t>(p.cfg.memoryKind))
+        throw ckpt::SnapshotError("main-memory kind mismatch");
+    if (p.cfg.memoryKind == MainMemoryKind::Ddr3l)
+        static_cast<Dram &>(*p.memory).loadState(r);
+    else
+        static_cast<Pcm &>(*p.memory).loadState(r);
+
+    p.emram->loadState(r);
+    p.memoryController->loadState(r);
+    p.processor.saSram.loadState(r);
+    p.processor.coresSram.loadState(r);
+    p.processor.bootSram.loadState(r);
+}
+
+// -------------------------------------------------------------- context
+
+void
+saveRegion(ckpt::Writer &w, const ContextRegion &region)
+{
+    w.u64(region.bytes.size());
+    w.bytes(region.bytes.data(), region.bytes.size());
+
+    const auto runs = region.dirty.runs();
+    w.u32(static_cast<std::uint32_t>(runs.size()));
+    for (const DirtyLineMap::Run &run : runs) {
+        w.u64(run.firstLine);
+        w.u64(run.lineCount);
+    }
+}
+
+void
+loadRegion(ckpt::Reader &r, ContextRegion &region)
+{
+    if (r.u64() != region.bytes.size())
+        throw ckpt::SnapshotError("context region size mismatch");
+    r.bytes(region.bytes.data(), region.bytes.size());
+
+    region.dirty.clear();
+    const std::uint32_t runCount = r.u32();
+    for (std::uint32_t i = 0; i < runCount; ++i) {
+        const std::uint64_t first = r.u64();
+        const std::uint64_t count = r.u64();
+        if (count == 0 || first + count > region.dirty.lines())
+            throw ckpt::SnapshotError("dirty run out of range");
+        for (std::uint64_t line = first; line < first + count; ++line)
+            region.dirty.markLine(line);
+    }
+}
+
+void
+saveContext(ckpt::Writer &w, Platform &p)
+{
+    const auto words = p.processor.context.mutationRng().stateWords();
+    for (std::uint64_t word : words)
+        w.u64(word);
+    saveRegion(w, p.processor.context.sa());
+    saveRegion(w, p.processor.context.cores());
+    saveRegion(w, p.processor.context.boot());
+}
+
+void
+loadContext(ckpt::Reader &r, Platform &p)
+{
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t &word : words)
+        word = r.u64();
+    p.processor.context.mutationRng().setStateWords(words);
+    loadRegion(r, p.processor.context.sa());
+    loadRegion(r, p.processor.context.cores());
+    loadRegion(r, p.processor.context.boot());
+}
+
+// ---------------------------------------------------------------- stats
+
+void
+saveStatGroup(ckpt::Writer &w, const stats::StatGroup &group)
+{
+    w.u32(static_cast<std::uint32_t>(group.statistics().size()));
+    for (const stats::Stat *stat : group.statistics()) {
+        const auto words = stat->packState();
+        w.u32(static_cast<std::uint32_t>(words.size()));
+        for (std::uint64_t word : words)
+            w.u64(word);
+    }
+    w.u32(static_cast<std::uint32_t>(group.children().size()));
+    for (const stats::StatGroup *child : group.children())
+        saveStatGroup(w, *child);
+}
+
+void
+loadStatGroup(ckpt::Reader &r, const stats::StatGroup &group)
+{
+    if (r.u32() != group.statistics().size())
+        throw ckpt::SnapshotError("statistics count mismatch");
+    for (stats::Stat *stat : group.statistics()) {
+        const std::uint32_t count = r.u32();
+        std::vector<std::uint64_t> words(count);
+        for (std::uint64_t &word : words)
+            word = r.u64();
+        if (!stat->unpackState(words)) {
+            throw ckpt::SnapshotError("statistic '" + stat->name() +
+                                      "' rejected snapshot state");
+        }
+    }
+    if (r.u32() != group.children().size())
+        throw ckpt::SnapshotError("statistics group count mismatch");
+    for (const stats::StatGroup *child : group.children())
+        loadStatGroup(r, *child);
+}
+
+// ------------------------------------------------------------------ run
+
+void
+saveRun(ckpt::Writer &w, const RunProgress &progress)
+{
+    const StandbyResult &res = progress.result;
+    w.f64(res.averageBatteryPower);
+    w.f64(res.analyzerAverage);
+    w.f64(res.idleBatteryPower);
+    w.f64(res.activeBatteryPower);
+    w.f64(res.idleResidency);
+    w.f64(res.activeResidency);
+    w.f64(res.transitionResidency);
+    w.i64(res.meanEntryLatency);
+    w.i64(res.meanExitLatency);
+    w.u64(res.cycles);
+    w.i64(res.simulatedTime);
+    w.b(res.contextIntact);
+
+    w.i64(progress.start);
+    w.i64(progress.idleTime);
+    w.i64(progress.activeTime);
+    w.i64(progress.transitionTime);
+    w.i64(progress.entryTotal);
+    w.i64(progress.exitTotal);
+    w.u64(progress.cyclesDone);
+    w.b(progress.armAnalyzer);
+    w.b(progress.idlePowerCaptured);
+    w.b(progress.activePowerCaptured);
+}
+
+RunProgress
+loadRun(ckpt::Reader &r)
+{
+    RunProgress progress;
+    StandbyResult &res = progress.result;
+    res.averageBatteryPower = r.f64();
+    res.analyzerAverage = r.f64();
+    res.idleBatteryPower = r.f64();
+    res.activeBatteryPower = r.f64();
+    res.idleResidency = r.f64();
+    res.activeResidency = r.f64();
+    res.transitionResidency = r.f64();
+    res.meanEntryLatency = r.i64();
+    res.meanExitLatency = r.i64();
+    res.cycles = r.u64();
+    res.simulatedTime = r.i64();
+    res.contextIntact = r.b();
+
+    progress.start = r.i64();
+    progress.idleTime = r.i64();
+    progress.activeTime = r.i64();
+    progress.transitionTime = r.i64();
+    progress.entryTotal = r.i64();
+    progress.exitTotal = r.i64();
+    progress.cyclesDone = r.u64();
+    progress.armAnalyzer = r.b();
+    progress.idlePowerCaptured = r.b();
+    progress.activePowerCaptured = r.b();
+    return progress;
+}
+
+constexpr const char *runSection = "run";
+
+ckpt::SnapshotImage
+captureImage(StandbySimulator &sim, const RunProgress *progress)
+{
+    Platform &p = sim.platform();
+
+    ckpt::SnapshotImage image;
+    const ProfileKey key = profileKey(p.cfg, sim.flows().techniques());
+    image.setConfigTag({key.lo, key.hi});
+
+    const auto section = [&image](const char *name, auto &&fill) {
+        ckpt::Writer w;
+        fill(w);
+        image.addSection(name, w.take());
+    };
+
+    section("clock", [&](ckpt::Writer &w) { saveClock(w, p); });
+    section("power", [&](ckpt::Writer &w) { savePower(w, p); });
+    section("timing", [&](ckpt::Writer &w) { saveTiming(w, p); });
+    section("io", [&](ckpt::Writer &w) { saveIo(w, p); });
+    section("memory", [&](ckpt::Writer &w) { saveMemory(w, p); });
+    section("mee", [&](ckpt::Writer &w) { p.mee->saveState(w); });
+    section("context", [&](ckpt::Writer &w) { saveContext(w, p); });
+    section("flows",
+            [&](ckpt::Writer &w) { sim.flows().saveState(w); });
+    section("stats", [&](ckpt::Writer &w) {
+        saveStatGroup(w, sim.statistics());
+    });
+    if (progress != nullptr) {
+        section(runSection,
+                [&](ckpt::Writer &w) { saveRun(w, *progress); });
+    }
+    return image;
+}
+
+/** Run one section's loader over its payload, demanding exact length. */
+template <typename Load>
+void
+loadSection(const ckpt::SnapshotImage &image, const char *name,
+            Load &&load)
+{
+    const std::vector<std::uint8_t> &payload = image.section(name);
+    ckpt::Reader r(payload.data(), payload.size());
+    load(r);
+    r.expectEnd(name);
+}
+
+} // namespace
+
+Snapshot
+Snapshot::capture(StandbySimulator &sim)
+{
+    return Snapshot(captureImage(sim, nullptr), sim.platform().cfg,
+                    sim.flows().techniques());
+}
+
+Snapshot
+Snapshot::capture(StandbySimulator &sim, const RunProgress &progress)
+{
+    return Snapshot(captureImage(sim, &progress), sim.platform().cfg,
+                    sim.flows().techniques());
+}
+
+void
+Snapshot::restoreInto(StandbySimulator &sim) const
+{
+    Platform &p = sim.platform();
+
+    const ProfileKey key = profileKey(p.cfg, sim.flows().techniques());
+    const ckpt::SnapshotImage::ConfigTag expected{key.lo, key.hi};
+    if (!(img.configTag() == expected))
+        throw ckpt::SnapshotError(
+            "snapshot was captured for a different configuration");
+
+    // Empty the event heap first: the clock restore requires it, and
+    // the analyzer's sampling event (the only persistent event) is
+    // re-established by the power section at its captured slot.
+    p.analyzer.disarm();
+
+    loadSection(img, "clock", [&](ckpt::Reader &r) { loadClock(r, p); });
+    loadSection(img, "power", [&](ckpt::Reader &r) { loadPower(r, p); });
+    loadSection(img, "timing",
+                [&](ckpt::Reader &r) { loadTiming(r, p); });
+    loadSection(img, "io", [&](ckpt::Reader &r) { loadIo(r, p); });
+    loadSection(img, "memory",
+                [&](ckpt::Reader &r) { loadMemory(r, p); });
+    loadSection(img, "mee",
+                [&](ckpt::Reader &r) { p.mee->loadState(r); });
+    loadSection(img, "context",
+                [&](ckpt::Reader &r) { loadContext(r, p); });
+    loadSection(img, "flows",
+                [&](ckpt::Reader &r) { sim.flows().loadState(r); });
+    loadSection(img, "stats", [&](ckpt::Reader &r) {
+        loadStatGroup(r, sim.statistics());
+    });
+}
+
+void
+Snapshot::restoreInto(StandbySimulator &sim, RunProgress &progress) const
+{
+    if (!hasRunProgress())
+        throw ckpt::SnapshotError("snapshot has no run-progress section");
+    restoreInto(sim);
+    loadSection(img, runSection,
+                [&](ckpt::Reader &r) { progress = loadRun(r); });
+}
+
+bool
+Snapshot::hasRunProgress() const
+{
+    return img.hasSection(runSection);
+}
+
+ForkedSimulator
+Snapshot::fork() const
+{
+    ForkedSimulator child;
+    child.platform = std::make_unique<Platform>(cfg);
+    child.simulator =
+        std::make_unique<StandbySimulator>(*child.platform, tech);
+    restoreInto(*child.simulator);
+    return child;
+}
+
+void
+Snapshot::writeFile(const std::string &path) const
+{
+    img.writeFile(path);
+}
+
+Snapshot
+Snapshot::fromImage(ckpt::SnapshotImage image, const PlatformConfig &cfg,
+                    const TechniqueSet &techniques)
+{
+    const ProfileKey key = profileKey(cfg, techniques);
+    const ckpt::SnapshotImage::ConfigTag expected{key.lo, key.hi};
+    if (!(image.configTag() == expected))
+        throw ckpt::SnapshotError(
+            "snapshot was captured for a different configuration");
+    return Snapshot(std::move(image), cfg, techniques);
+}
+
+Snapshot
+Snapshot::readFile(const std::string &path, const PlatformConfig &cfg,
+                   const TechniqueSet &techniques)
+{
+    return fromImage(ckpt::SnapshotImage::readFile(path), cfg,
+                     techniques);
+}
+
+} // namespace odrips

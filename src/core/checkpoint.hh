@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Full-simulator checkpoint/fork.
+ *
+ * A Snapshot captures every piece of mutable simulation state of a
+ * (Platform, StandbyFlows/StandbySimulator) pair — event-queue clock
+ * and pending events, RNG streams, power/energy/analyzer state, timer
+ * values, IO levels, memory and SRAM contents, MEE key/counter/cache
+ * state, context bytes with their dirty-line maps, flow records, and
+ * statistics counters — into a sectioned, CRC-protected image (see
+ * sim/checkpoint/snapshot_image.hh).
+ *
+ * Three uses:
+ *  - restoreInto(): rewind a live simulator to the captured state;
+ *  - fork(): build an independent simulator (own Platform) continuing
+ *    from the captured state — O(state) instead of O(warmup), which is
+ *    what makes warm-forked sweeps cheap;
+ *  - writeFile()/readFile(): persist across processes (longtrace
+ *    periodic checkpointing); the image embeds the ProfileKey content
+ *    hash of (config, techniques) and readFile refuses a mismatch.
+ *
+ * Determinism contract: Platform construction is a pure function of
+ * PlatformConfig, so a fork (fresh construction + restore) and the
+ * original simulator produce bit-identical event sequences, RNG draws
+ * and statistics from the capture point on. The differential test
+ * suite (tests/core/checkpoint_equivalence_test.cc) pins this.
+ */
+
+#ifndef ODRIPS_CORE_CHECKPOINT_HH
+#define ODRIPS_CORE_CHECKPOINT_HH
+
+#include <memory>
+#include <string>
+
+#include "core/standby_simulator.hh"
+#include "sim/checkpoint/snapshot_image.hh"
+
+namespace odrips
+{
+
+/** A forked, independent simulator (owns its platform). */
+struct ForkedSimulator
+{
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<StandbySimulator> simulator;
+};
+
+/** A captured simulator state (see file comment). */
+class Snapshot
+{
+  public:
+    /**
+     * Capture the full state of @p sim. The simulator must be quiescent
+     * between event-loop runs (flows execute synchronously, so any
+     * point between StandbySimulator cycles qualifies); the only
+     * pending event may be the power analyzer's sampling event, which
+     * is serialized with it. Capture does not perturb the simulator.
+     */
+    static Snapshot capture(StandbySimulator &sim);
+
+    /** Capture mid-run: additionally records @p progress so the run
+     * can resume with stepCycle()/finishRun() after a restore. */
+    static Snapshot capture(StandbySimulator &sim,
+                            const RunProgress &progress);
+
+    /**
+     * Restore this snapshot into @p sim, which must have been built
+     * from the same configuration and technique set (same platform
+     * topology; violations surface as ckpt::SnapshotError). The
+     * simulator may be ahead of or behind the captured tick.
+     */
+    void restoreInto(StandbySimulator &sim) const;
+
+    /** Restore including the in-flight run progress; throws
+     * ckpt::SnapshotError when the snapshot has no run section. */
+    void restoreInto(StandbySimulator &sim, RunProgress &progress) const;
+
+    /** True when this snapshot carries RunProgress. */
+    bool hasRunProgress() const;
+
+    /**
+     * Construct a fresh platform + simulator from the captured
+     * configuration and restore this snapshot into it. Children are
+     * fully independent of the parent and of each other.
+     */
+    ForkedSimulator fork() const;
+
+    const PlatformConfig &config() const { return cfg; }
+    const TechniqueSet &techniques() const { return tech; }
+
+    /** Serialized image (schema v1, per-section CRC). */
+    const ckpt::SnapshotImage &image() const { return img; }
+
+    /** Persist to @p path. */
+    void writeFile(const std::string &path) const;
+
+    /**
+     * Load a snapshot written by writeFile(). @p cfg and @p techniques
+     * must hash to the embedded config tag (the snapshot stores state,
+     * not configuration); throws ckpt::SnapshotError on any mismatch
+     * or corruption.
+     */
+    static Snapshot readFile(const std::string &path,
+                             const PlatformConfig &cfg,
+                             const TechniqueSet &techniques);
+
+    /** Rebuild a snapshot from a serialized image (tag-checked). */
+    static Snapshot fromImage(ckpt::SnapshotImage image,
+                              const PlatformConfig &cfg,
+                              const TechniqueSet &techniques);
+
+  private:
+    Snapshot(ckpt::SnapshotImage image, const PlatformConfig &config,
+             const TechniqueSet &techniques)
+        : cfg(config), tech(techniques), img(std::move(image))
+    {
+    }
+
+    PlatformConfig cfg;
+    TechniqueSet tech;
+    ckpt::SnapshotImage img;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_CHECKPOINT_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Warm-forked parallel sweeps.
+ *
+ * Sweep points that share a (PlatformConfig, TechniqueSet) pair used to
+ * pay full platform construction plus warm-up per point. With the
+ * checkpoint subsystem the warm-up runs ONCE: a single simulator is
+ * built and warmed, captured into a Snapshot, and every sweep point
+ * evaluates on an independent fork of that snapshot — O(state copy)
+ * instead of O(warm-up) per point.
+ *
+ * Determinism contract: fork equivalence (the checkpoint differential
+ * suite) guarantees each fork behaves bit-identically to the warmed
+ * original, so the result vector is bit-identical to the unforked path
+ * for any worker count. `ODRIPS_CHECKPOINT=0` opts out: every point
+ * then builds and warms privately (the historical path).
+ */
+
+#ifndef ODRIPS_CORE_CHECKPOINT_SWEEP_HH
+#define ODRIPS_CORE_CHECKPOINT_SWEEP_HH
+
+#include <string>
+
+#include "core/checkpoint.hh"
+#include "exec/parallel_sweep.hh"
+
+namespace odrips
+{
+
+/**
+ * Run @p n sweep points, each on a simulator warmed by @p warm —
+ * warmed once and forked per point when checkpointing is enabled,
+ * warmed per point otherwise.
+ *
+ * @p warm is invoked as warm(StandbySimulator &) and must leave the
+ * simulator quiescent (see Snapshot::capture). @p eval is invoked as
+ * eval(StandbySimulator &, const exec::SweepPoint &) and its return
+ * type must satisfy the exec::parallelSweep requirements.
+ */
+template <typename Warm, typename Eval>
+auto
+warmForkSweep(const std::string &name, const PlatformConfig &cfg,
+              const TechniqueSet &techniques, std::size_t n, Warm &&warm,
+              Eval &&eval, const exec::ExecPolicy &policy = {})
+    -> std::vector<std::invoke_result_t<Eval &, StandbySimulator &,
+                                        const exec::SweepPoint &>>
+{
+    if (!checkpointSweepsEnabled()) {
+        return exec::parallelSweep(
+            name, n,
+            [&](const exec::SweepPoint &point) {
+                Platform platform(cfg);
+                StandbySimulator sim(platform, techniques);
+                warm(sim);
+                return eval(sim, point);
+            },
+            policy);
+    }
+
+    Platform platform(cfg);
+    StandbySimulator sim(platform, techniques);
+    warm(sim);
+    const Snapshot snapshot = Snapshot::capture(sim);
+
+    return exec::parallelSweep(
+        name, n,
+        [&](const exec::SweepPoint &point) {
+            ForkedSimulator child = snapshot.fork();
+            return eval(*child.simulator, point);
+        },
+        policy);
+}
+
+} // namespace odrips
+
+#endif // ODRIPS_CORE_CHECKPOINT_SWEEP_HH

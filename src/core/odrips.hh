@@ -21,6 +21,8 @@
 #define ODRIPS_CORE_ODRIPS_HH
 
 #include "core/breakeven.hh"
+#include "core/checkpoint.hh"
+#include "core/checkpoint_sweep.hh"
 #include "core/experiment.hh"
 #include "core/governor.hh"
 #include "core/memory_dvfs.hh"

@@ -1,5 +1,6 @@
 #include "core/profile.hh"
 
+#include "core/checkpoint.hh"
 #include "core/profile_cache.hh"
 #include "core/standby_simulator.hh"
 #include "platform/platform.hh"
@@ -16,19 +17,17 @@ measureCycleProfile(const PlatformConfig &cfg,
     return CycleProfileCache::global().getOrMeasure(cfg, techniques);
 }
 
-CyclePowerProfile
-measureCycleProfileUncached(const PlatformConfig &cfg,
-                            const TechniqueSet &techniques)
+namespace
 {
-    Platform platform(cfg);
-    StandbyFlows flows(platform, techniques);
+
+/** Measure one entry/exit cycle on an already-settled platform. */
+CyclePowerProfile
+measureSettledCycle(Platform &platform, StandbyFlows &flows)
+{
     EventQueue &eq = platform.eq;
     EnergyAccountant &acc = platform.accountant;
 
     CyclePowerProfile profile;
-
-    // Settle at C0 for a moment.
-    eq.run(eq.now() + 10 * oneUs);
 
     // --- entry ---
     acc.reset(eq.now());
@@ -63,6 +62,32 @@ measureCycleProfileUncached(const PlatformConfig &cfg,
     profile.contextIntact = rec.contextIntact;
 
     return profile;
+}
+
+} // namespace
+
+CyclePowerProfile
+measureCycleProfileUncached(const PlatformConfig &cfg,
+                            const TechniqueSet &techniques)
+{
+    Platform platform(cfg);
+    StandbySimulator sim(platform, techniques);
+
+    // Settle at C0 for a moment.
+    platform.eq.run(platform.eq.now() + 10 * oneUs);
+
+    if (checkpointSweepsEnabled()) {
+        // Measure on a fork of the settled simulator. Fork equivalence
+        // (pinned by the checkpoint differential suite) makes this
+        // bit-identical to measuring in place, and it keeps the
+        // capture/fork machinery exercised on every profile point of
+        // every sweep. ODRIPS_CHECKPOINT=0 opts out.
+        const Snapshot snapshot = Snapshot::capture(sim);
+        ForkedSimulator child = snapshot.fork();
+        return measureSettledCycle(*child.platform,
+                                   child.simulator->flows());
+    }
+    return measureSettledCycle(platform, sim.flows());
 }
 
 double

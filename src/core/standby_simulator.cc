@@ -44,97 +44,107 @@ StandbySimulator::runActiveWindow(const StandbyCycle &cycle)
     p.processor.context.touch();
 }
 
-StandbyResult
-StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
+RunProgress
+StandbySimulator::beginRun(bool arm_analyzer)
 {
-    ODRIPS_ASSERT(!trace.cycles.empty(), "empty standby trace");
-
-    StandbyResult result;
-    const Tick start = p.now();
-    p.accountant.reset(start);
+    RunProgress progress;
+    progress.start = p.now();
+    progress.armAnalyzer = arm_analyzer;
+    p.accountant.reset(progress.start);
     if (arm_analyzer) {
         p.analyzer.clear();
         p.analyzer.arm();
     }
+    return progress;
+}
 
-    Tick idle_time = 0;
-    Tick active_time = 0;
-    Tick transition_time = 0;
-    Tick entry_total = 0;
-    Tick exit_total = 0;
+void
+StandbySimulator::stepCycle(RunProgress &progress, const StandbyCycle &cycle)
+{
+    const FlowResult entry = flows_.enterIdle();
+    progress.entryTotal += entry.latency();
+    progress.transitionTime += entry.latency();
+    entryLatency.sample(ticksToSeconds(entry.latency()));
 
-    const double core_hz = p.processor.coreFrequencyHz;
-
-    // The reported idle/active battery powers are first-cycle
-    // snapshots. Explicit flags, not a 0.0 sentinel: a configuration
-    // whose genuine first-cycle power is zero must not be resampled on
-    // a later (warmer, different) cycle.
-    bool idle_power_captured = false;
-    bool active_power_captured = false;
-
-    for (const StandbyCycle &cycle : trace.cycles) {
-        const FlowResult entry = flows_.enterIdle();
-        entry_total += entry.latency();
-        transition_time += entry.latency();
-        entryLatency.sample(ticksToSeconds(entry.latency()));
-
-        if (!idle_power_captured) {
-            result.idleBatteryPower = flows_.idleBatteryPower().watts();
-            idle_power_captured = true;
-        }
-
-        // Dwell in the idle state until the wake event fires.
-        p.eq.run(p.now() + cycle.idleDwell);
-        idle_time += cycle.idleDwell;
-
-        const FlowResult exit = flows_.exitIdle(cycle.reason);
-        exit_total += exit.latency();
-        transition_time += exit.latency();
-        exitLatency.sample(ticksToSeconds(exit.latency()));
-        wakeDetect.sample(
-            ticksToSeconds(flows_.lastCycle().wakeDetectLatency));
-        idleDwell.sample(ticksToSeconds(cycle.idleDwell));
-        ++cycleCount;
-
-        if (!active_power_captured) {
-            result.activeBatteryPower = p.batteryPower().watts();
-            active_power_captured = true;
-        }
-
-        runActiveWindow(cycle);
-        active_time += cycle.activeDuration(core_hz);
-
-        result.contextIntact =
-            result.contextIntact && flows_.lastCycle().contextIntact;
+    if (!progress.idlePowerCaptured) {
+        progress.result.idleBatteryPower =
+            flows_.idleBatteryPower().watts();
+        progress.idlePowerCaptured = true;
     }
 
+    // Dwell in the idle state until the wake event fires.
+    p.eq.run(p.now() + cycle.idleDwell);
+    progress.idleTime += cycle.idleDwell;
+
+    const FlowResult exit = flows_.exitIdle(cycle.reason);
+    progress.exitTotal += exit.latency();
+    progress.transitionTime += exit.latency();
+    exitLatency.sample(ticksToSeconds(exit.latency()));
+    wakeDetect.sample(
+        ticksToSeconds(flows_.lastCycle().wakeDetectLatency));
+    idleDwell.sample(ticksToSeconds(cycle.idleDwell));
+    ++cycleCount;
+
+    if (!progress.activePowerCaptured) {
+        progress.result.activeBatteryPower = p.batteryPower().watts();
+        progress.activePowerCaptured = true;
+    }
+
+    runActiveWindow(cycle);
+    progress.activeTime +=
+        cycle.activeDuration(p.processor.coreFrequencyHz);
+
+    progress.result.contextIntact =
+        progress.result.contextIntact && flows_.lastCycle().contextIntact;
+    ++progress.cyclesDone;
+}
+
+StandbyResult
+StandbySimulator::finishRun(RunProgress &progress)
+{
+    ODRIPS_ASSERT(progress.cyclesDone > 0, "finishRun without cycles");
+
+    StandbyResult result = progress.result;
     const Tick end = p.now();
     p.accountant.integrateTo(end);
-    if (arm_analyzer) {
+    if (progress.armAnalyzer) {
         p.analyzer.disarm();
         result.analyzerAverage = p.analyzer.channel(0).average().watts();
     }
 
     batteryEnergy += p.accountant.batteryEnergy().joules();
 
+    const Tick start = progress.start;
     result.simulatedTime = end - start;
-    result.cycles = trace.cycles.size();
+    result.cycles = progress.cyclesDone;
     result.averageBatteryPower =
         p.accountant.batteryEnergy().joules() / ticksToSeconds(end - start);
 
     const double total = static_cast<double>(end - start);
-    result.idleResidency = static_cast<double>(idle_time) / total;
-    result.activeResidency = static_cast<double>(active_time) / total;
+    result.idleResidency = static_cast<double>(progress.idleTime) / total;
+    result.activeResidency =
+        static_cast<double>(progress.activeTime) / total;
     result.transitionResidency =
-        static_cast<double>(transition_time) / total;
+        static_cast<double>(progress.transitionTime) / total;
 
     result.meanEntryLatency =
-        entry_total / static_cast<Tick>(trace.cycles.size());
+        progress.entryTotal / static_cast<Tick>(progress.cyclesDone);
     result.meanExitLatency =
-        exit_total / static_cast<Tick>(trace.cycles.size());
+        progress.exitTotal / static_cast<Tick>(progress.cyclesDone);
 
     result.lastCycle = flows_.lastCycle();
     return result;
+}
+
+StandbyResult
+StandbySimulator::run(const StandbyTrace &trace, bool arm_analyzer)
+{
+    ODRIPS_ASSERT(!trace.cycles.empty(), "empty standby trace");
+
+    RunProgress progress = beginRun(arm_analyzer);
+    for (const StandbyCycle &cycle : trace.cycles)
+        stepCycle(progress, cycle);
+    return finishRun(progress);
 }
 
 } // namespace odrips

@@ -51,6 +51,31 @@ struct StandbyResult
     CycleRecord lastCycle;
 };
 
+/**
+ * Accumulated progress of an in-flight run. run() is beginRun(), one
+ * stepCycle() per trace cycle, then finishRun(); keeping the
+ * accumulators in this struct (instead of locals of run()) lets a
+ * checkpoint capture and resume a run between cycles (longtrace
+ * periodic checkpointing, see core/checkpoint.hh).
+ */
+struct RunProgress
+{
+    StandbyResult result;
+    Tick start = 0;
+    Tick idleTime = 0;
+    Tick activeTime = 0;
+    Tick transitionTime = 0;
+    Tick entryTotal = 0;
+    Tick exitTotal = 0;
+    std::uint64_t cyclesDone = 0;
+    bool armAnalyzer = false;
+    /** First-cycle power snapshots taken (explicit flags, not a 0.0
+     * sentinel: a genuine zero first-cycle power must not be resampled
+     * on a later, warmer cycle). */
+    bool idlePowerCaptured = false;
+    bool activePowerCaptured = false;
+};
+
 /** Drives a platform through standby cycles. */
 class StandbySimulator
 {
@@ -65,12 +90,28 @@ class StandbySimulator
     StandbyResult run(const StandbyTrace &trace,
                       bool arm_analyzer = false);
 
+    /**
+     * @name Stepwise running
+     * run() decomposed so a driver can checkpoint between cycles:
+     * beginRun() resets the accounting, each stepCycle() simulates one
+     * standby cycle, finishRun() integrates and summarizes. The
+     * sequence is bit-identical to run().
+     * @{
+     */
+    RunProgress beginRun(bool arm_analyzer = false);
+    void stepCycle(RunProgress &progress, const StandbyCycle &cycle);
+    StandbyResult finishRun(RunProgress &progress);
+    /** @} */
+
     StandbyFlows &flows() { return flows_; }
     Platform &platform() { return p; }
 
     /** Simulation statistics (cycle counts, latency distributions,
      * wake-detect histogram, energy). */
     const stats::StatGroup &statistics() const { return statGroup; }
+
+    /** Mutable statistics access (checkpoint restore). */
+    stats::StatGroup &statistics() { return statGroup; }
 
     /** Reset all statistics. */
     void resetStatistics() { statGroup.resetAll(); }

@@ -96,6 +96,10 @@ class ContextTransferFsm : public Named
      * the region's clean lines. */
     bool dramCopyValid() const { return dramValid; }
 
+    /** Restore the DRAM-copy-valid flag (checkpoint support; the DRAM
+     * contents themselves restore through the memory section). */
+    void restoreDramCopyValid(bool valid) { dramValid = valid; }
+
   private:
     Sram &sram;
     MemoryController &controller;

@@ -456,4 +456,138 @@ StandbyFlows::exitIdle(WakeReason reason)
     return record.exit;
 }
 
+namespace
+{
+
+void
+saveFlowResult(ckpt::Writer &w, const FlowResult &f)
+{
+    w.i64(f.started);
+    w.i64(f.completed);
+    w.u32(static_cast<std::uint32_t>(f.steps.size()));
+    for (const StepRecord &s : f.steps) {
+        w.str(s.name);
+        w.i64(s.start);
+        w.i64(s.duration);
+    }
+}
+
+FlowResult
+loadFlowResult(ckpt::Reader &r)
+{
+    FlowResult f;
+    f.started = r.i64();
+    f.completed = r.i64();
+    const std::uint32_t count = r.u32();
+    f.steps.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        StepRecord s;
+        s.name = r.str();
+        s.start = r.i64();
+        s.duration = r.i64();
+        f.steps.push_back(std::move(s));
+    }
+    return f;
+}
+
+void
+saveTransfer(ckpt::Writer &w, const std::optional<TransferResult> &t)
+{
+    w.b(t.has_value());
+    if (!t)
+        return;
+    w.i64(t->latency);
+    w.u64(t->bytes);
+    w.b(t->authentic);
+    w.b(t->intact);
+}
+
+std::optional<TransferResult>
+loadTransfer(ckpt::Reader &r)
+{
+    if (!r.b())
+        return std::nullopt;
+    TransferResult t;
+    t.latency = r.i64();
+    t.bytes = r.u64();
+    t.authentic = r.b();
+    t.intact = r.b();
+    return t;
+}
+
+void
+saveHandover(ckpt::Writer &w, const std::optional<HandoverRecord> &h)
+{
+    w.b(h.has_value());
+    if (!h)
+        return;
+    w.i64(h->requested);
+    w.i64(h->edge);
+    w.i64(h->completed);
+    w.u64(h->value);
+}
+
+std::optional<HandoverRecord>
+loadHandover(ckpt::Reader &r)
+{
+    if (!r.b())
+        return std::nullopt;
+    HandoverRecord h;
+    h.requested = r.i64();
+    h.edge = r.i64();
+    h.completed = r.i64();
+    h.value = r.u64();
+    return h;
+}
+
+} // namespace
+
+void
+StandbyFlows::saveState(ckpt::Writer &w) const
+{
+    saveFlowResult(w, record.entry);
+    saveFlowResult(w, record.exit);
+    saveTransfer(w, record.contextSave);
+    saveTransfer(w, record.contextRestore);
+    saveHandover(w, record.toSlow);
+    saveHandover(w, record.toFast);
+    w.u8(static_cast<std::uint8_t>(record.wakeReason));
+    w.i64(record.wakeDetectLatency);
+    w.b(record.contextIntact);
+
+    w.b(idle);
+    w.b(saFsm.dramCopyValid());
+    w.b(llcFsm.dramCopyValid());
+
+    w.b(thermal != nullptr);
+    if (thermal)
+        w.i64(thermal->assertionTick());
+}
+
+void
+StandbyFlows::loadState(ckpt::Reader &r)
+{
+    record.entry = loadFlowResult(r);
+    record.exit = loadFlowResult(r);
+    record.contextSave = loadTransfer(r);
+    record.contextRestore = loadTransfer(r);
+    record.toSlow = loadHandover(r);
+    record.toFast = loadHandover(r);
+    const std::uint8_t reason = r.u8();
+    if (reason > static_cast<std::uint8_t>(WakeReason::User))
+        throw ckpt::SnapshotError("wake reason out of range");
+    record.wakeReason = static_cast<WakeReason>(reason);
+    record.wakeDetectLatency = r.i64();
+    record.contextIntact = r.b();
+
+    idle = r.b();
+    saFsm.restoreDramCopyValid(r.b());
+    llcFsm.restoreDramCopyValid(r.b());
+
+    if (r.b() != (thermal != nullptr))
+        throw ckpt::SnapshotError("thermal-monitor presence mismatch");
+    if (thermal)
+        thermal->restoreAssertionTick(r.i64());
+}
+
 } // namespace odrips

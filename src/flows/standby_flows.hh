@@ -30,6 +30,7 @@
 #include "flows/flow_sequence.hh"
 #include "io/fet_gate.hh"
 #include "platform/platform.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "io/thermal_monitor.hh"
 #include "platform/techniques.hh"
 #include "timing/step_calibrator.hh"
@@ -105,6 +106,19 @@ class StandbyFlows : public Named
      * state (call between enterIdle and exitIdle).
      */
     Milliwatts idleBatteryPower() const;
+
+    /**
+     * @name Checkpoint support
+     * Serializes the last cycle record, the idle flag, the transfer
+     * FSMs' DRAM-copy-valid flags, and the thermal monitor's pending
+     * assertion tick. The calibration, FET gate, and thermal monitor
+     * objects themselves are pure functions of the configuration and
+     * re-created by construction.
+     * @{
+     */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    /** @} */
 
   private:
     FlowSequence buildEntryFlow();

@@ -69,6 +69,10 @@ class AonIoBank : public Named
                       "' used while power-gated");
     }
 
+    /** Restore the powered flag without touching the power component
+     * (checkpoint support: component levels restore via PowerModel). */
+    void restorePoweredFlag(bool powered) { on = powered; }
+
   private:
     PowerComponent *comp;
     Milliwatts totalPower;

@@ -63,6 +63,33 @@ class GpioBank : public Named
     const std::string &function(unsigned pin) const;
     GpioDirection direction(unsigned pin) const;
 
+    /**
+     * @name Checkpoint support
+     * Pin claims (direction + function) are re-established by platform
+     * construction, which is a pure function of the configuration; a
+     * restore only re-applies the sampled levels after verifying the
+     * claim layout matches.
+     * @{
+     */
+
+    /** Read a pin's level directly (bypasses direction checks, so
+     * unclaimed pins can be captured too). */
+    bool
+    rawLevel(unsigned pin) const
+    {
+        checkPin(pin);
+        return pins[pin].level;
+    }
+
+    /** Restore a pin's level directly (bypasses direction checks). */
+    void
+    restoreLevel(unsigned pin, bool level)
+    {
+        checkPin(pin);
+        pins[pin].level = level;
+    }
+    /** @} */
+
   private:
     struct Pin
     {

@@ -92,6 +92,17 @@ class Pml : public Named
 
     std::uint64_t messagesSent() const { return messageCount; }
 
+    /** @name Checkpoint support @{ */
+    void
+    restoreState(bool link_up, std::uint64_t messages_sent)
+    {
+        linkUp = link_up;
+        messageCount = messages_sent;
+    }
+
+    bool linkRaised() const { return linkUp; }
+    /** @} */
+
   private:
     const ClockDomain &clock;
     std::uint64_t cyclesPerWord;

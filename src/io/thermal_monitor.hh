@@ -73,6 +73,11 @@ class ThermalMonitor : public Named
         return assertedAt == maxTick ? maxTick : detectionTick(assertedAt);
     }
 
+    /** @name Checkpoint support @{ */
+    Tick assertionTick() const { return assertedAt; }
+    void restoreAssertionTick(Tick t) { assertedAt = t; }
+    /** @} */
+
   private:
     GpioBank &gpios;
     unsigned pin;

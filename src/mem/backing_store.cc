@@ -1,5 +1,7 @@
 #include "mem/backing_store.hh"
 
+#include <algorithm>
+
 namespace odrips
 {
 
@@ -64,6 +66,40 @@ BackingStore::flipBit(std::uint64_t addr, unsigned bit)
     ODRIPS_ASSERT(bit < 8, "bit index out of range");
     Page &page = pageFor(addr);
     page[addr % pageBytes] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+void
+BackingStore::saveState(ckpt::Writer &w) const
+{
+    w.u64(capacity);
+    std::vector<std::uint64_t> pageNumbers;
+    pageNumbers.reserve(pages.size());
+    // odrips-lint: allow(unordered-iter) — keys are sorted below.
+    for (const auto &entry : pages)
+        pageNumbers.push_back(entry.first);
+    std::sort(pageNumbers.begin(), pageNumbers.end());
+    w.u64(pageNumbers.size());
+    for (const std::uint64_t pn : pageNumbers) {
+        w.u64(pn);
+        w.bytes(pages.at(pn)->data(), pageBytes);
+    }
+}
+
+void
+BackingStore::loadState(ckpt::Reader &r)
+{
+    if (r.u64() != capacity)
+        throw ckpt::SnapshotError("backing-store capacity mismatch");
+    pages.clear();
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t pn = r.u64();
+        if (pn > (capacity - 1) / pageBytes)
+            throw ckpt::SnapshotError("backing-store page out of range");
+        auto page = std::make_unique<Page>();
+        r.bytes(page->data(), pageBytes);
+        pages[pn] = std::move(page);
+    }
 }
 
 } // namespace odrips

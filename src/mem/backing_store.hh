@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/checkpoint/serializer.hh"
 #include "sim/logging.hh"
 
 namespace odrips
@@ -66,6 +67,16 @@ class BackingStore
 
     /** Flip a single bit — fault injection for security tests. */
     void flipBit(std::uint64_t addr, unsigned bit);
+
+    /**
+     * @name Checkpoint support
+     * Pages are written in ascending page order so the image is
+     * deterministic regardless of hash-map iteration order.
+     * @{
+     */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    /** @} */
 
   private:
     using Page = std::array<std::uint8_t, pageBytes>;

@@ -17,6 +17,7 @@
 
 #include "mem/main_memory.hh"
 #include "power/component.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "sim/logging.hh"
 
 namespace odrips
@@ -114,6 +115,33 @@ class Dram : public MainMemory
 
     /** Accumulated access energy. */
     Millijoules accessEnergy() const { return accessTotal; }
+
+    /**
+     * @name Checkpoint support
+     * Device state plus backing-store contents; the power components'
+     * levels are restored separately through the PowerModel.
+     * @{
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.b(selfRefreshing);
+        w.f64(trafficPower.watts());
+        w.u64(transferred);
+        w.f64(accessTotal.joules());
+        bytes.saveState(w);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        selfRefreshing = r.b();
+        trafficPower = Milliwatts::fromWatts(r.f64());
+        transferred = r.u64();
+        accessTotal = Millijoules::fromJoules(r.f64());
+        bytes.loadState(r);
+    }
+    /** @} */
 
   private:
     MemAccessResult access(std::uint64_t addr, std::uint64_t len,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/main_memory.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "sim/named.hh"
 
 namespace odrips
@@ -105,6 +106,28 @@ class MemoryController : public Named
 
     std::uint64_t secureAccesses() const { return secureCount; }
     std::uint64_t directAccesses() const { return directCount; }
+
+    /** @name Checkpoint support @{ */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(rangeReg.base);
+        w.u64(rangeReg.size);
+        w.b(on);
+        w.u64(secureCount);
+        w.u64(directCount);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        rangeReg.base = r.u64();
+        rangeReg.size = r.u64();
+        on = r.b();
+        secureCount = r.u64();
+        directCount = r.u64();
+    }
+    /** @} */
 
   private:
     void checkAccess(std::uint64_t addr, std::uint64_t len) const;

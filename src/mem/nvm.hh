@@ -15,11 +15,13 @@
 #ifndef ODRIPS_MEM_NVM_HH
 #define ODRIPS_MEM_NVM_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "mem/main_memory.hh"
 #include "mem/sram.hh"
 #include "power/component.hh"
+#include "sim/checkpoint/serializer.hh"
 
 namespace odrips
 {
@@ -106,6 +108,50 @@ class Pcm : public MainMemory
     /** Accumulated access energy. */
     Millijoules accessEnergy() const { return accessTotal; }
 
+    /**
+     * @name Checkpoint support
+     * Per-line write counts serialize in ascending line order so the
+     * image is independent of hash-map iteration order.
+     * @{
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.b(standby);
+        w.f64(trafficPower.watts());
+        w.f64(accessTotal.joules());
+        w.u64(maxWrites);
+        std::vector<std::uint64_t> lineIds;
+        lineIds.reserve(lineWrites.size());
+        // odrips-lint: allow(unordered-iter) — keys are sorted below.
+        for (const auto &entry : lineWrites)
+            lineIds.push_back(entry.first);
+        std::sort(lineIds.begin(), lineIds.end());
+        w.u64(lineIds.size());
+        for (const std::uint64_t line : lineIds) {
+            w.u64(line);
+            w.u64(lineWrites.at(line));
+        }
+        bytes.saveState(w);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        standby = r.b();
+        trafficPower = Milliwatts::fromWatts(r.f64());
+        accessTotal = Millijoules::fromJoules(r.f64());
+        maxWrites = r.u64();
+        lineWrites.clear();
+        const std::uint64_t count = r.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t line = r.u64();
+            lineWrites[line] = r.u64();
+        }
+        bytes.loadState(r);
+    }
+    /** @} */
+
   private:
     static constexpr std::uint64_t lineBytes = 64;
 
@@ -169,6 +215,29 @@ class Emram : public Named
 
     std::uint64_t totalWrites() const { return writes; }
     Millijoules accessEnergy() const { return accessTotal; }
+
+    /** @name Checkpoint support @{ */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.b(on);
+        w.u64(writes);
+        w.f64(accessTotal.joules());
+        w.u64(data_.size());
+        w.bytes(data_.data(), data_.size());
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        on = r.b();
+        writes = r.u64();
+        accessTotal = Millijoules::fromJoules(r.f64());
+        if (r.u64() != data_.size())
+            throw ckpt::SnapshotError("eMRAM size mismatch");
+        r.bytes(data_.data(), data_.size());
+    }
+    /** @} */
 
   private:
     Tick accessLatency(std::uint64_t len, bool is_write) const;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "power/component.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "sim/logging.hh"
 #include "sim/named.hh"
 #include "sim/ticks.hh"
@@ -98,6 +99,36 @@ class Sram : public Named
 
     /** Accumulated access energy. */
     Millijoules accessEnergy() const { return accessTotal; }
+
+    /**
+     * @name Checkpoint support
+     * Restores the raw fields directly (no setState(): the component
+     * power level is restored through the PowerModel, and Off-state
+     * content clearing already happened before the snapshot was taken).
+     * @{
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u8(static_cast<std::uint8_t>(state_));
+        w.f64(accessTotal.joules());
+        w.u64(data_.size());
+        w.bytes(data_.data(), data_.size());
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint8_t s = r.u8();
+        if (s > static_cast<std::uint8_t>(SramState::Active))
+            throw ckpt::SnapshotError("SRAM state out of range");
+        state_ = static_cast<SramState>(s);
+        accessTotal = Millijoules::fromJoules(r.f64());
+        if (r.u64() != data_.size())
+            throw ckpt::SnapshotError("SRAM size mismatch");
+        r.bytes(data_.data(), data_.size());
+    }
+    /** @} */
 
   private:
     Tick accessLatency(std::uint64_t len) const;

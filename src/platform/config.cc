@@ -124,4 +124,14 @@ incrementalContextEnabled()
     return enabled;
 }
 
+bool
+checkpointSweepsEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("ODRIPS_CHECKPOINT");
+        return env == nullptr || std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+}
+
 } // namespace odrips

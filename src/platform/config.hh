@@ -317,6 +317,15 @@ unsigned resolveJobs(int argc = 0, char **argv = nullptr);
  */
 bool incrementalContextEnabled();
 
+/**
+ * Whether sweep engines may warm a simulator checkpoint once and fork
+ * it per point (see core/checkpoint.hh). Defaults to enabled;
+ * `ODRIPS_CHECKPOINT=0` in the environment is the opt-out (sweeps then
+ * construct every platform from scratch, the historical path — results
+ * are bit-identical either way). Read once per process.
+ */
+bool checkpointSweepsEnabled();
+
 } // namespace odrips
 
 #endif // ODRIPS_PLATFORM_CONFIG_HH

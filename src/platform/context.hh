@@ -107,6 +107,10 @@ class ProcessorContext
     const ContextMutationConfig &mutationModel() const { return model; }
     void setMutationModel(const ContextMutationConfig &m) { model = m; }
 
+    /** Mutation RNG stream, for snapshot/restore (sim/checkpoint). */
+    Rng &mutationRng() { return rng; }
+    const Rng &mutationRng() const { return rng; }
+
     /** Combined checksum over all regions. */
     std::uint64_t checksum() const;
 

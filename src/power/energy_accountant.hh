@@ -82,6 +82,31 @@ class EnergyAccountant
     Tick windowStart() const { return startTick; }
     Tick windowEnd() const { return lastTick; }
 
+    /**
+     * @name Checkpoint support
+     * The listener registered at construction stays in place across a
+     * restore (it captures `this`, and the accountant outlives every
+     * snapshot operation); only the integration state is replaced.
+     * @{
+     */
+
+    /** Load level the next integration interval will use. */
+    Milliwatts lastLoadLevel() const { return lastLoad; }
+
+    /** Restore the exact integration state captured by a snapshot. */
+    void
+    restoreState(Milliwatts last_load, Millijoules battery_total,
+                 Millijoules load_total, Tick last_tick, Tick start_tick)
+    {
+        lastLoad = last_load;
+        batteryTotal = battery_total;
+        loadTotal = load_total;
+        lastTick = last_tick;
+        startTick = start_tick;
+    }
+
+    /** @} */
+
   private:
     PowerModel &model;
     const PowerDelivery &pd;

@@ -86,6 +86,64 @@ PowerAnalyzer::channel(std::size_t index) const
 }
 
 void
+PowerAnalyzer::saveState(ckpt::Writer &w) const
+{
+    w.u64(channels.size());
+    for (const auto &ch : channels) {
+        w.u64(ch.samples);
+        w.f64(ch.sum.watts());
+        w.f64(ch.minSample.watts());
+        w.f64(ch.maxSample.watts());
+        w.u64(ch.trace.size());
+        for (const auto &[tick, value] : ch.trace) {
+            w.i64(tick);
+            w.f64(value.watts());
+        }
+    }
+    w.b(tracing);
+    w.u64(traceCap);
+    w.u64(traceStride);
+    w.u64(traceSkip);
+    w.b(sampling.scheduled());
+    if (sampling.scheduled()) {
+        w.i64(sampling.when());
+        w.u64(EventQueue::sequenceOf(sampling));
+    }
+}
+
+void
+PowerAnalyzer::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t count = r.u64();
+    if (count != channels.size())
+        throw ckpt::SnapshotError("analyzer channel count mismatch");
+    for (auto &ch : channels) {
+        ch.samples = r.u64();
+        ch.sum = Milliwatts::fromWatts(r.f64());
+        ch.minSample = Milliwatts::fromWatts(r.f64());
+        ch.maxSample = Milliwatts::fromWatts(r.f64());
+        const std::uint64_t entries = r.u64();
+        ch.trace.clear();
+        ch.trace.reserve(entries);
+        for (std::uint64_t i = 0; i < entries; ++i) {
+            const Tick tick = r.i64();
+            ch.trace.emplace_back(tick, Milliwatts::fromWatts(r.f64()));
+        }
+    }
+    tracing = r.b();
+    traceCap = r.u64();
+    traceStride = r.u64();
+    traceSkip = r.u64();
+    if (sampling.scheduled())
+        eq.deschedule(sampling);
+    if (r.b()) {
+        const Tick when = r.i64();
+        const std::uint64_t sequence = r.u64();
+        eq.restoreSchedule(sampling, when, sequence);
+    }
+}
+
+void
 PowerAnalyzer::decimateTraces()
 {
     for (auto &ch : channels) {

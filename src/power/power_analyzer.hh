@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint/serializer.hh"
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
 #include "sim/units.hh"
@@ -97,6 +98,20 @@ class PowerAnalyzer : public SimObject
     std::size_t channelCount() const { return channels.size(); }
 
     Tick sampleInterval() const { return interval; }
+
+    /**
+     * @name Checkpoint support
+     * Serializes channel statistics/traces and the sampling-event
+     * timing (when, sequence); channel probes are reconstructed by the
+     * platform constructor, so only their count is verified. loadState
+     * must run after the event-queue clock has been restored (the
+     * original sequence number is re-applied to keep same-tick event
+     * ordering).
+     * @{
+     */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    /** @} */
 
   private:
     void takeSample();

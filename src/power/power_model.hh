@@ -61,6 +61,49 @@ class PowerModel
         listeners.push_back(std::move(listener));
     }
 
+    /**
+     * @name Checkpoint support
+     * Component state is restored by registration index on a freshly
+     * constructed platform (component identity and order are a pure
+     * function of the configuration). Restore writes the raw fields
+     * without firing listeners: the accountant's own state is restored
+     * separately, so replaying notifications would double-count.
+     * @{
+     */
+
+    /** Raw integration state of component @p index (for snapshot). */
+    void
+    componentState(std::size_t index, Milliwatts &level,
+                   Millijoules &consumed, Tick &last_update) const
+    {
+        const PowerComponent &c = *comps.at(index);
+        level = c.level;
+        consumed = c.consumed;
+        last_update = c.lastUpdate;
+    }
+
+    /** Restore the state captured by componentState(). */
+    void
+    restoreComponentState(std::size_t index, Milliwatts level,
+                          Millijoules consumed, Tick last_update)
+    {
+        PowerComponent &c = *comps.at(index);
+        c.level = level;
+        c.consumed = consumed;
+        c.lastUpdate = last_update;
+    }
+
+    /**
+     * Restore the cached running total verbatim. The total is
+     * maintained incrementally (+= delta per setPower), so it carries
+     * rounding drift relative to a fresh sum of the levels; a restore
+     * must reproduce the drifted value bit-exactly or the next
+     * accountant update diverges from the captured simulator.
+     */
+    void restoreTotal(Milliwatts t) { total = t; }
+
+    /** @} */
+
   private:
     friend class PowerComponent;
 

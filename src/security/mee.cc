@@ -559,4 +559,46 @@ Mee::resetStatistics()
     cache.resetStats();
 }
 
+void
+Mee::saveState(ckpt::Writer &w) const
+{
+    // The key can diverge from the configured one at runtime
+    // (importRoot() installs the Boot-SRAM copy), so it is state.
+    MeeRootState root = exportRoot();
+    std::uint8_t rootBytes[MeeRootState::storageBytes] = {};
+    root.serialize(rootBytes);
+    w.bytes(rootBytes, sizeof(rootBytes));
+    w.b(poweredOn);
+    w.u64(stats.linesWritten);
+    w.u64(stats.linesRead);
+    w.u64(stats.metadataBytesRead);
+    w.u64(stats.metadataBytesWritten);
+    w.u64(stats.cacheHits);
+    w.u64(stats.cacheMisses);
+    w.u64(stats.authFailures);
+    w.f64(stats.cryptoEnergy);
+    cache.saveState(w);
+}
+
+void
+Mee::loadState(ckpt::Reader &r)
+{
+    std::uint8_t rootBytes[MeeRootState::storageBytes] = {};
+    r.bytes(rootBytes, sizeof(rootBytes));
+    const MeeRootState root = MeeRootState::deserialize(rootBytes);
+    rootCounter = root.rootCounter;
+    cfg.key = root.key;
+    ctr = CtrCipher(root.key);
+    poweredOn = r.b();
+    stats.linesWritten = r.u64();
+    stats.linesRead = r.u64();
+    stats.metadataBytesRead = r.u64();
+    stats.metadataBytesWritten = r.u64();
+    stats.cacheHits = r.u64();
+    stats.cacheMisses = r.u64();
+    stats.authFailures = r.u64();
+    stats.cryptoEnergy = r.f64();
+    cache.loadState(r);
+}
+
 } // namespace odrips

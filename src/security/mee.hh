@@ -29,6 +29,7 @@
 #include "security/mee_cache.hh"
 #include "security/sha256.hh"
 #include "security/speck.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "sim/named.hh"
 
 namespace odrips
@@ -143,6 +144,55 @@ class Mee : public SecureMemoryPath, public Named
      * for every pool size, including serial.
      */
     void setTransferPool(exec::ThreadPool *pool);
+
+    /**
+     * @name Checkpoint support
+     * Serializes the root counter, statistics, power flag, and the full
+     * metadata cache; the key and geometry come from the configuration
+     * of the platform being restored into. Scratch buffers and the pool
+     * override are transient and excluded.
+     * @{
+     */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    /** @} */
+
+    /**
+     * @name Version-prediction test hooks
+     * Read-only windows onto the private predictVersions() /
+     * peekCounterGroup() pair so the unit suite can pin the
+     * no-side-effect invariant and cross-check predictions against a
+     * serial walk of the metadata bytes in memory.
+     * @{
+     */
+
+    /** Public face of predictVersions() (identical semantics). */
+    void
+    predictVersionsProbe(std::uint64_t first_line, std::uint64_t count,
+                         bool bump, std::uint64_t *out) const
+    {
+        predictVersions(first_line, count, bump, out);
+    }
+
+    /** Public face of peekCounterGroup() (identical semantics). */
+    void
+    peekCounterGroupProbe(std::uint64_t group,
+                          std::uint64_t out[TreeLayout::arity]) const
+    {
+        peekCounterGroup(group, out);
+    }
+
+    /** DRAM address of level-0 counter group @p group. */
+    std::uint64_t
+    counterGroupAddress(std::uint64_t group) const
+    {
+        return nodeAddress(NodeKind::CounterGroup, 0, group);
+    }
+
+    /** The metadata cache (read-only; peek() et al. are const). */
+    const MeeCache &metadataCache() const { return cache; }
+
+    /** @} */
 
   private:
     /** Cached fetch of a metadata node; accounts traffic and latency. */

@@ -165,4 +165,44 @@ MeeCache::invalidate()
     }
 }
 
+void
+MeeCache::saveState(ckpt::Writer &w) const
+{
+    w.u64(ways);
+    w.u64(sets);
+    w.u64(useClock);
+    w.u64(hitCount);
+    w.u64(missCount);
+    w.u64(writebackCount);
+    for (const Line &line : lines) {
+        w.b(line.valid);
+        w.b(line.dirty);
+        w.u64(line.key);
+        w.u64(line.lastUse);
+        for (std::uint64_t c : line.node.counters)
+            w.u64(c);
+        w.u64(line.node.mac);
+    }
+}
+
+void
+MeeCache::loadState(ckpt::Reader &r)
+{
+    if (r.u64() != ways || r.u64() != sets)
+        throw ckpt::SnapshotError("MEE cache geometry mismatch");
+    useClock = r.u64();
+    hitCount = r.u64();
+    missCount = r.u64();
+    writebackCount = r.u64();
+    for (Line &line : lines) {
+        line.valid = r.b();
+        line.dirty = r.b();
+        line.key = r.u64();
+        line.lastUse = r.u64();
+        for (std::uint64_t &c : line.node.counters)
+            c = r.u64();
+        line.node.mac = r.u64();
+    }
+}
+
 } // namespace odrips

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/checkpoint/serializer.hh"
 #include "sim/logging.hh"
 
 namespace odrips
@@ -123,6 +124,17 @@ class MeeCache
         missCount = 0;
         writebackCount = 0;
     }
+
+    /**
+     * @name Checkpoint support
+     * Serializes every line (valid/dirty/key/LRU stamp/node) plus the
+     * use clock and hit/miss/writeback counters; restore requires the
+     * same geometry (ways and sets are config-derived).
+     * @{
+     */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+    /** @} */
 
   private:
     struct Line

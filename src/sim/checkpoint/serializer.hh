@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Bounds-checked byte-stream serializer for simulator snapshots.
+ *
+ * The checkpoint subsystem (ROADMAP item 4) serializes the full simulator
+ * state into named sections; this header provides the primitive encoding
+ * layer. All multi-byte values are little-endian and fixed-width so the
+ * on-disk format is stable across hosts; doubles round-trip exactly via
+ * their IEEE-754 bit pattern.
+ *
+ * Reader never reads past the end of its buffer: every accessor throws
+ * SnapshotError on underflow, so a truncated or corrupted snapshot can
+ * never turn into undefined behaviour.
+ */
+
+#ifndef ODRIPS_SIM_CHECKPOINT_SERIALIZER_HH
+#define ODRIPS_SIM_CHECKPOINT_SERIALIZER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace odrips
+{
+namespace ckpt
+{
+
+/** Raised on any malformed, truncated, or corrupted snapshot input. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/** Append-only little-endian encoder. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double");
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    /** Raw bytes with no length prefix (caller knows the size). */
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf.insert(buf.end(), p, p + size);
+    }
+
+    /** Length-prefixed byte vector. */
+    void
+    blob(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        bytes(v.data(), v.size());
+    }
+
+    /** Length-prefixed UTF-8 string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** Bounds-checked little-endian decoder over a borrowed buffer. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : base(data), end(data + size), cur(data)
+    {}
+
+    explicit Reader(const std::vector<std::uint8_t> &v)
+        : Reader(v.data(), v.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1, "u8");
+        return *cur++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*cur++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*cur++) << (8 * i);
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw SnapshotError("snapshot bool out of range");
+        return v != 0;
+    }
+
+    void
+    bytes(void *out, std::size_t size)
+    {
+        need(size, "bytes");
+        std::memcpy(out, cur, size);
+        cur += size;
+    }
+
+    std::vector<std::uint8_t>
+    blob()
+    {
+        const std::uint64_t n = u64();
+        need(n, "blob");
+        std::vector<std::uint8_t> v(cur, cur + n);
+        cur += n;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n, "str");
+        std::string s(reinterpret_cast<const char *>(cur), n);
+        cur += n;
+        return s;
+    }
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - cur);
+    }
+
+    std::size_t consumed() const
+    {
+        return static_cast<std::size_t>(cur - base);
+    }
+
+    /** Assert the section was consumed exactly (catches schema drift). */
+    void
+    expectEnd(const char *what) const
+    {
+        if (cur != end)
+            throw SnapshotError(std::string("trailing bytes in snapshot "
+                                            "section ") + what);
+    }
+
+  private:
+    void
+    need(std::uint64_t n, const char *what) const
+    {
+        if (n > remaining())
+            throw SnapshotError(std::string("snapshot truncated reading ")
+                                + what);
+    }
+
+    const std::uint8_t *base;
+    const std::uint8_t *end;
+    const std::uint8_t *cur;
+};
+
+} // namespace ckpt
+} // namespace odrips
+
+#endif // ODRIPS_SIM_CHECKPOINT_SERIALIZER_HH

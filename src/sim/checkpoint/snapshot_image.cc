@@ -1,0 +1,153 @@
+#include "sim/checkpoint/snapshot_image.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace odrips
+{
+namespace ckpt
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+SnapshotImage::addSection(std::string name,
+                          std::vector<std::uint8_t> payload)
+{
+    if (hasSection(name))
+        throw SnapshotError("duplicate snapshot section " + name);
+    sections_.push_back({std::move(name), std::move(payload)});
+}
+
+const std::vector<std::uint8_t> &
+SnapshotImage::section(const std::string &name) const
+{
+    for (const auto &s : sections_) {
+        if (s.name == name)
+            return s.payload;
+    }
+    throw SnapshotError("missing snapshot section " + name);
+}
+
+bool
+SnapshotImage::hasSection(const std::string &name) const
+{
+    for (const auto &s : sections_) {
+        if (s.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint8_t>
+SnapshotImage::serialize() const
+{
+    Writer w;
+    w.u32(magic);
+    w.u32(schemaVersion);
+    w.u64(tag_.lo);
+    w.u64(tag_.hi);
+    w.u32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto &s : sections_) {
+        w.str(s.name);
+        w.u32(crc32(s.payload.data(), s.payload.size()));
+        w.blob(s.payload);
+    }
+    return w.take();
+}
+
+SnapshotImage
+SnapshotImage::deserialize(const std::uint8_t *data, std::size_t size)
+{
+    Reader r(data, size);
+    if (r.u32() != magic)
+        throw SnapshotError("bad snapshot magic");
+    const std::uint32_t schema = r.u32();
+    if (schema != schemaVersion)
+        throw SnapshotError("unsupported snapshot schema version "
+                            + std::to_string(schema));
+    SnapshotImage image;
+    image.tag_.lo = r.u64();
+    image.tag_.hi = r.u64();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SnapshotSection s;
+        s.name = r.str();
+        if (s.name.empty())
+            throw SnapshotError("empty snapshot section name");
+        const std::uint32_t storedCrc = r.u32();
+        s.payload = r.blob();
+        const std::uint32_t actual =
+            crc32(s.payload.data(), s.payload.size());
+        if (actual != storedCrc)
+            throw SnapshotError("snapshot section " + s.name
+                                + " failed CRC check");
+        if (image.hasSection(s.name))
+            throw SnapshotError("duplicate snapshot section " + s.name);
+        image.sections_.push_back(std::move(s));
+    }
+    r.expectEnd("image");
+    return image;
+}
+
+void
+SnapshotImage::writeFile(const std::string &path) const
+{
+    const std::vector<std::uint8_t> buf = serialize();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("cannot open snapshot file for writing: "
+                            + path);
+    const std::size_t written =
+        buf.empty() ? 0 : std::fwrite(buf.data(), 1, buf.size(), f);
+    const bool ok = (written == buf.size()) && std::fclose(f) == 0;
+    if (!ok)
+        throw SnapshotError("short write to snapshot file: " + path);
+}
+
+SnapshotImage
+SnapshotImage::readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("cannot open snapshot file: " + path);
+    std::vector<std::uint8_t> buf;
+    std::array<std::uint8_t, 65536> chunk;
+    std::size_t n = 0;
+    while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0)
+        buf.insert(buf.end(), chunk.begin(), chunk.begin() + n);
+    const bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw SnapshotError("I/O error reading snapshot file: " + path);
+    return deserialize(buf);
+}
+
+} // namespace ckpt
+} // namespace odrips

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Versioned container for serialized simulator state.
+ *
+ * A SnapshotImage is an ordered list of named byte sections with a
+ * fixed header:
+ *
+ *     u32 magic   'ODRP' (0x5052444f little-endian on disk)
+ *     u32 schema  format version (currently 1)
+ *     u64 config  low half of the ProfileKey content hash
+ *     u64 config  high half of the ProfileKey content hash
+ *     u32 count   number of sections
+ *     then per section:
+ *         str  name
+ *         u32  crc32 of the payload
+ *         blob payload
+ *
+ * Each section carries its own CRC so corruption is pinned to a section
+ * and detected before any state is applied. Deserialization validates
+ * magic, schema, every CRC, and exact length; any failure throws
+ * ckpt::SnapshotError and leaves no partially-restored state behind
+ * (restore only begins after the whole image validates).
+ */
+
+#ifndef ODRIPS_SIM_CHECKPOINT_SNAPSHOT_IMAGE_HH
+#define ODRIPS_SIM_CHECKPOINT_SNAPSHOT_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint/serializer.hh"
+
+namespace odrips
+{
+namespace ckpt
+{
+
+/** One named, CRC-protected state section. */
+struct SnapshotSection
+{
+    std::string name;
+    std::vector<std::uint8_t> payload;
+};
+
+class SnapshotImage
+{
+  public:
+    static constexpr std::uint32_t magic = 0x5052444fu; // "ODRP"
+    static constexpr std::uint32_t schemaVersion = 1;
+
+    /** 128-bit configuration hash stamped into the header. */
+    struct ConfigTag
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+
+        bool
+        operator==(const ConfigTag &o) const
+        {
+            return lo == o.lo && hi == o.hi;
+        }
+    };
+
+    void setConfigTag(ConfigTag tag) { tag_ = tag; }
+    ConfigTag configTag() const { return tag_; }
+
+    /** Append a section; names must be unique within an image. */
+    void addSection(std::string name, std::vector<std::uint8_t> payload);
+
+    /** Look up a section payload; throws SnapshotError if missing. */
+    const std::vector<std::uint8_t> &section(const std::string &name) const;
+
+    bool hasSection(const std::string &name) const;
+
+    const std::vector<SnapshotSection> &sections() const
+    {
+        return sections_;
+    }
+
+    /** Encode the full image, including header and per-section CRCs. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Decode and fully validate an image; throws SnapshotError. */
+    static SnapshotImage deserialize(const std::uint8_t *data,
+                                     std::size_t size);
+
+    static SnapshotImage
+    deserialize(const std::vector<std::uint8_t> &buf)
+    {
+        return deserialize(buf.data(), buf.size());
+    }
+
+    /** Write the serialized image to @p path (throws SnapshotError). */
+    void writeFile(const std::string &path) const;
+
+    /** Read and validate an image from @p path (throws SnapshotError). */
+    static SnapshotImage readFile(const std::string &path);
+
+  private:
+    ConfigTag tag_;
+    std::vector<SnapshotSection> sections_;
+};
+
+} // namespace ckpt
+} // namespace odrips
+
+#endif // ODRIPS_SIM_CHECKPOINT_SNAPSHOT_IMAGE_HH

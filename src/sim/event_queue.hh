@@ -189,6 +189,68 @@ class EventQueue
      */
     void advanceTo(Tick when);
 
+    /**
+     * @name Checkpoint support
+     * Snapshot/restore of the clock state (sim/checkpoint). The heap
+     * itself is not serialized wholesale: event objects are owned by
+     * model components, so each owner re-schedules its own events via
+     * restoreSchedule() with the original (when, sequence) pair, which
+     * reproduces the exact (when, priority, sequence) execution order.
+     * @{
+     */
+
+    /** Sequence counter that the next schedule() call would consume. */
+    std::uint64_t sequenceCounter() const { return nextSequence; }
+
+    /** Original sequence number of a scheduled event (for snapshot). */
+    static std::uint64_t
+    sequenceOf(const Event &event)
+    {
+        ODRIPS_ASSERT(event.scheduled(),
+                      "sequenceOf on unscheduled event");
+        return event.sequence;
+    }
+
+    /**
+     * Restore the clock state captured by a snapshot. The queue must be
+     * empty: restore happens on a freshly constructed platform after
+     * all standing events have been descheduled.
+     */
+    void
+    restoreClock(Tick now, std::uint64_t next_sequence,
+                 std::uint64_t executed_events)
+    {
+        ODRIPS_ASSERT(heap.empty(),
+                      "restoreClock with pending events");
+        _now = now;
+        nextSequence = next_sequence;
+        executed = executed_events;
+    }
+
+    /**
+     * Re-schedule @p event with the exact (when, sequence) pair it held
+     * when the snapshot was taken, preserving same-tick ordering
+     * against other restored events.
+     */
+    void
+    restoreSchedule(Event &event, Tick when, std::uint64_t sequence)
+    {
+        ODRIPS_ASSERT(!event.scheduled() && when >= _now,
+                      "restoreSchedule precondition");
+        ODRIPS_ASSERT(sequence < nextSequence,
+                      "restored sequence from the future");
+        event._when = when;
+        event.sequence = sequence;
+        event.queue = this;
+        const std::size_t index = heap.size();
+        event.heapIndex = index;
+        heap.push_back(&event);
+        if (index > 0)
+            siftUp(index);
+    }
+
+    /** @} */
+
   private:
     /** Heap arity: 4-ary heaps trade deeper compares for cache-dense
      * sift-downs, a net win at simulator queue depths. */

@@ -11,6 +11,7 @@
 #ifndef ODRIPS_SIM_RANDOM_HH
 #define ODRIPS_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace odrips
@@ -65,6 +66,23 @@ class Rng
 
     /** Bernoulli trial with probability @p p of true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Raw generator state, for snapshot/restore (sim/checkpoint). */
+    std::array<std::uint64_t, 4>
+    stateWords() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    /** Restore the exact generator state captured by stateWords(). */
+    void
+    setStateWords(const std::array<std::uint64_t, 4> &words)
+    {
+        s[0] = words[0];
+        s[1] = words[1];
+        s[2] = words[2];
+        s[3] = words[3];
+    }
 
   private:
     std::uint64_t s[4];

@@ -67,6 +67,28 @@ class Histogram : public Stat
     double value() const override { return mean(); }
     void reset() override;
 
+    std::vector<std::uint64_t>
+    packState() const override
+    {
+        std::vector<std::uint64_t> w{under, over, count, packDouble(sum)};
+        w.insert(w.end(), bins.begin(), bins.end());
+        return w;
+    }
+
+    bool
+    unpackState(const std::vector<std::uint64_t> &w) override
+    {
+        if (w.size() != 4 + bins.size())
+            return false;
+        under = w[0];
+        over = w[1];
+        count = w[2];
+        sum = unpackDouble(w[3]);
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            bins[i] = w[4 + i];
+        return true;
+    }
+
   private:
     double lo;
     double hi;

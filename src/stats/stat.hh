@@ -11,6 +11,7 @@
 #define ODRIPS_STATS_STAT_HH
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,23 @@ namespace odrips::stats
 {
 
 class StatGroup;
+
+/** Exact double <-> u64 bit-pattern round-trip for packed stat state. */
+inline std::uint64_t
+packDouble(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+inline double
+unpackDouble(std::uint64_t bits)
+{
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
 
 /** Base class of all statistics. */
 class Stat
@@ -40,6 +58,15 @@ class Stat
     /** Reset to the initial state. */
     virtual void reset() = 0;
 
+    /**
+     * Raw internal state as 64-bit words (doubles as bit patterns), for
+     * snapshot/restore (sim/checkpoint). unpackState() must be fed the
+     * exact word sequence packState() produced; the caller (the
+     * checkpoint layer) validates lengths before applying.
+     */
+    virtual std::vector<std::uint64_t> packState() const = 0;
+    virtual bool unpackState(const std::vector<std::uint64_t> &w) = 0;
+
   private:
     std::string _name;
     std::string _description;
@@ -59,6 +86,21 @@ class Scalar : public Stat
 
     double value() const override { return val; }
     void reset() override { val = 0; }
+
+    std::vector<std::uint64_t>
+    packState() const override
+    {
+        return {packDouble(val)};
+    }
+
+    bool
+    unpackState(const std::vector<std::uint64_t> &w) override
+    {
+        if (w.size() != 1)
+            return false;
+        val = unpackDouble(w[0]);
+        return true;
+    }
 
   private:
     double val = 0;
@@ -90,6 +132,22 @@ class Average : public Stat
         count = 0;
     }
 
+    std::vector<std::uint64_t>
+    packState() const override
+    {
+        return {packDouble(sum), count};
+    }
+
+    bool
+    unpackState(const std::vector<std::uint64_t> &w) override
+    {
+        if (w.size() != 2)
+            return false;
+        sum = unpackDouble(w[0]);
+        count = w[1];
+        return true;
+    }
+
   private:
     double sum = 0;
     std::uint64_t count = 0;
@@ -117,6 +175,26 @@ class Distribution : public Stat
 
     double value() const override { return mean(); }
     void reset() override;
+
+    std::vector<std::uint64_t>
+    packState() const override
+    {
+        return {count, packDouble(total), packDouble(totalSq),
+                packDouble(minVal), packDouble(maxVal)};
+    }
+
+    bool
+    unpackState(const std::vector<std::uint64_t> &w) override
+    {
+        if (w.size() != 5)
+            return false;
+        count = w[0];
+        total = unpackDouble(w[1]);
+        totalSq = unpackDouble(w[2]);
+        minVal = unpackDouble(w[3]);
+        maxVal = unpackDouble(w[4]);
+        return true;
+    }
 
   private:
     std::uint64_t count = 0;

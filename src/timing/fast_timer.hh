@@ -71,6 +71,19 @@ class FastTimer
 
     const ClockDomain &clockDomain() const { return clock; }
 
+    /** @name Checkpoint support @{ */
+    std::uint64_t baseValueState() const { return baseValue; }
+    Tick baseTickState() const { return baseTick; }
+
+    void
+    restoreState(std::uint64_t base_value, Tick base_tick, bool running)
+    {
+        baseValue = base_value;
+        baseTick = base_tick;
+        running_ = running;
+    }
+    /** @} */
+
   private:
     const ClockDomain &clock;
     std::uint64_t baseValue = 0;

@@ -102,6 +102,21 @@ class SlowTimer
 
     const ClockDomain &clockDomain() const { return clock; }
 
+    /** @name Checkpoint support @{ */
+    const FixedUint &baseValueState() const { return base; }
+    Tick baseTickState() const { return baseTick; }
+
+    void
+    restoreState(const FixedUint &base_value, const FixedUint &step_value,
+                 Tick base_tick, bool running)
+    {
+        base = base_value;
+        step = step_value;
+        baseTick = base_tick;
+        running_ = running;
+    }
+    /** @} */
+
   private:
     const ClockDomain &clock;
     FixedUint base;

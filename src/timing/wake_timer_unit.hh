@@ -21,6 +21,7 @@
 
 #include "clock/clock_domain.hh"
 #include "clock/crystal.hh"
+#include "sim/checkpoint/serializer.hh"
 #include "sim/named.hh"
 #include "timing/fast_timer.hh"
 #include "timing/slow_timer.hh"
@@ -126,6 +127,65 @@ class WakeTimerUnit : public Named
     const SlowTimer &slowTimer() const { return slow; }
     std::uint64_t pmlCompensationCycles() const { return pmlCycles; }
     Tick xtalRestartLatency() const { return xtalRestart; }
+
+    /**
+     * @name Checkpoint support
+     * Serializes both timers (fixed-point values as raw 128-bit halves
+     * plus fraction width), the mode, and the calibration flag; the
+     * crystal on/off state is restored by the clock section.
+     * @{
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(fast.baseValueState());
+        w.i64(fast.baseTickState());
+        w.b(fast.running());
+
+        const FixedUint &base = slow.baseValueState();
+        const FixedUint &step = slow.stepValue();
+        w.u32(base.fractionBits());
+        w.u64(static_cast<std::uint64_t>(base.raw()));
+        w.u64(static_cast<std::uint64_t>(base.raw() >> 64));
+        w.u32(step.fractionBits());
+        w.u64(static_cast<std::uint64_t>(step.raw()));
+        w.u64(static_cast<std::uint64_t>(step.raw() >> 64));
+        w.i64(slow.baseTickState());
+        w.b(slow.running());
+
+        w.u8(static_cast<std::uint8_t>(mode_));
+        w.b(isCalibrated);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint64_t fastBase = r.u64();
+        const Tick fastTick = r.i64();
+        const bool fastRunning = r.b();
+        fast.restoreState(fastBase, fastTick, fastRunning);
+
+        const std::uint32_t baseFrac = r.u32();
+        uint128 baseRaw = r.u64();
+        baseRaw |= static_cast<uint128>(r.u64()) << 64;
+        const std::uint32_t stepFrac = r.u32();
+        uint128 stepRaw = r.u64();
+        stepRaw |= static_cast<uint128>(r.u64()) << 64;
+        if (baseFrac > 64 || stepFrac > 64)
+            throw ckpt::SnapshotError("fixed-point fraction too wide");
+        const Tick slowTick = r.i64();
+        const bool slowRunning = r.b();
+        slow.restoreState(FixedUint::fromRaw(baseRaw, baseFrac),
+                          FixedUint::fromRaw(stepRaw, stepFrac),
+                          slowTick, slowRunning);
+
+        const std::uint8_t m = r.u8();
+        if (m > static_cast<std::uint8_t>(Mode::Slow))
+            throw ckpt::SnapshotError("wake-timer mode out of range");
+        mode_ = static_cast<Mode>(m);
+        isCalibrated = r.b();
+    }
+    /** @} */
 
   private:
     ClockDomain &fastClock;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Differential checkpoint-equivalence suite.
+ *
+ * The checkpoint subsystem's whole value rests on one claim: a
+ * restored (or forked) simulator is indistinguishable from the
+ * original, bit for bit. This suite pins that claim differentially:
+ *
+ *  - snapshot -> continue vs restore-into-fresh -> continue produce
+ *    bit-identical final state images and run results;
+ *  - N forked children match N independently built-and-warmed fresh
+ *    simulators;
+ *  - RNG streams continue exactly across a fork;
+ *
+ * randomized over trace seeds, split points, both context-mutation
+ * models, and with the sampling power analyzer armed and disarmed.
+ *
+ * "Bit-identical state" is checked by serializing both simulators'
+ * snapshots and comparing the byte vectors: the image covers the event
+ * queue clock/sequence numbers, every power/energy accumulator, timer,
+ * IO level, memory and SRAM contents, MEE counters and cache, context
+ * bytes with dirty maps, RNG state words, and every statistic — so a
+ * single differing bit anywhere fails the comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/odrips.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/** Full serialized state of a quiescent simulator. */
+std::vector<std::uint8_t>
+stateBytes(StandbySimulator &sim)
+{
+    return Snapshot::capture(sim).image().serialize();
+}
+
+/** Mid-run state including the run accumulators. */
+std::vector<std::uint8_t>
+stateBytes(StandbySimulator &sim, const RunProgress &progress)
+{
+    return Snapshot::capture(sim, progress).image().serialize();
+}
+
+/** Raw bit pattern of a double (EXPECT_EQ on doubles would accept
+ * -0.0 == 0.0; bit equality is the contract here). */
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+void
+expectResultsBitIdentical(const StandbyResult &a, const StandbyResult &b)
+{
+    EXPECT_EQ(bitsOf(a.averageBatteryPower), bitsOf(b.averageBatteryPower));
+    EXPECT_EQ(bitsOf(a.analyzerAverage), bitsOf(b.analyzerAverage));
+    EXPECT_EQ(bitsOf(a.idleBatteryPower), bitsOf(b.idleBatteryPower));
+    EXPECT_EQ(bitsOf(a.activeBatteryPower), bitsOf(b.activeBatteryPower));
+    EXPECT_EQ(bitsOf(a.idleResidency), bitsOf(b.idleResidency));
+    EXPECT_EQ(bitsOf(a.activeResidency), bitsOf(b.activeResidency));
+    EXPECT_EQ(bitsOf(a.transitionResidency),
+              bitsOf(b.transitionResidency));
+    EXPECT_EQ(a.meanEntryLatency, b.meanEntryLatency);
+    EXPECT_EQ(a.meanExitLatency, b.meanExitLatency);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.simulatedTime, b.simulatedTime);
+    EXPECT_EQ(a.contextIntact, b.contextIntact);
+}
+
+struct CkptCase
+{
+    std::uint64_t seed;
+    ContextMutationKind kind;
+    bool armAnalyzer;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<CkptCase> &info)
+{
+    const CkptCase &c = info.param;
+    std::string name = "seed" + std::to_string(c.seed);
+    name += c.kind == ContextMutationKind::FullRegenerate ? "_full"
+                                                          : "_csr";
+    if (c.armAnalyzer)
+        name += "_armed";
+    return name;
+}
+
+class CheckpointEquivalence : public ::testing::TestWithParam<CkptCase>
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+
+    static PlatformConfig
+    makeConfig(const CkptCase &c)
+    {
+        PlatformConfig cfg = skylakeConfig();
+        cfg.contextMutation.kind = c.kind;
+        cfg.workload.seed = 90 + c.seed;
+        return cfg;
+    }
+};
+
+TEST_P(CheckpointEquivalence, SnapshotContinueEqualsRestoreContinue)
+{
+    const CkptCase c = GetParam();
+    const PlatformConfig cfg = makeConfig(c);
+    const TechniqueSet tech = TechniqueSet::odrips();
+
+    StandbyWorkloadGenerator gen(cfg.workload);
+    const StandbyTrace trace = gen.generate(6);
+    const std::size_t split = 2 + c.seed % 3;
+
+    // Path A: run straight through, snapshotting at the split point.
+    Platform platform_a(cfg);
+    StandbySimulator sim_a(platform_a, tech);
+    RunProgress prog_a = sim_a.beginRun(c.armAnalyzer);
+    for (std::size_t i = 0; i < split; ++i)
+        sim_a.stepCycle(prog_a, trace.cycles[i]);
+    const Snapshot snap = Snapshot::capture(sim_a, prog_a);
+    for (std::size_t i = split; i < trace.cycles.size(); ++i)
+        sim_a.stepCycle(prog_a, trace.cycles[i]);
+    const auto final_a = stateBytes(sim_a, prog_a);
+    const StandbyResult res_a = sim_a.finishRun(prog_a);
+
+    // Path B: round-trip the snapshot through its serialized form,
+    // restore into a freshly built simulator, continue identically.
+    const Snapshot loaded = Snapshot::fromImage(
+        ckpt::SnapshotImage::deserialize(snap.image().serialize()), cfg,
+        tech);
+    ASSERT_TRUE(loaded.hasRunProgress());
+    Platform platform_b(cfg);
+    StandbySimulator sim_b(platform_b, tech);
+    RunProgress prog_b;
+    loaded.restoreInto(sim_b, prog_b);
+    for (std::size_t i = split; i < trace.cycles.size(); ++i)
+        sim_b.stepCycle(prog_b, trace.cycles[i]);
+    const auto final_b = stateBytes(sim_b, prog_b);
+    const StandbyResult res_b = sim_b.finishRun(prog_b);
+
+    EXPECT_EQ(final_a, final_b);
+    expectResultsBitIdentical(res_a, res_b);
+}
+
+TEST_P(CheckpointEquivalence, ForkedChildrenMatchFreshRuns)
+{
+    const CkptCase c = GetParam();
+    if (c.armAnalyzer) // fork() restores between runs; analyzer is off
+        GTEST_SKIP();
+    const PlatformConfig cfg = makeConfig(c);
+    const TechniqueSet tech = TechniqueSet::odrips();
+
+    StandbyWorkloadGenerator warm_gen(cfg.workload);
+    const StandbyTrace warm_trace = warm_gen.generate(3);
+    const StandbyTrace probe = StandbyWorkloadGenerator::fixed(
+        2, 15 * oneMs + static_cast<Tick>(c.seed) * oneMs, 120 * oneMs,
+        0.7, 0.8e9);
+
+    // Parent: build, warm, capture once.
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, tech);
+    parent.run(warm_trace);
+    const Snapshot snap = Snapshot::capture(parent);
+
+    // Reference: a fresh simulator that is built and warmed privately.
+    Platform fresh_platform(cfg);
+    StandbySimulator fresh(fresh_platform, tech);
+    fresh.run(warm_trace);
+    const StandbyResult want = fresh.run(probe);
+    const auto want_state = stateBytes(fresh);
+
+    // N forks, each continuing with the same probe trace.
+    constexpr int forks = 3;
+    for (int i = 0; i < forks; ++i) {
+        ForkedSimulator child = snap.fork();
+        const StandbyResult got = child.simulator->run(probe);
+        expectResultsBitIdentical(want, got);
+        EXPECT_EQ(want_state, stateBytes(*child.simulator))
+            << "fork " << i;
+    }
+
+    // The parent is unperturbed by capture and forking: it continues
+    // bit-identically to the fresh reference too.
+    expectResultsBitIdentical(want, parent.run(probe));
+    EXPECT_EQ(want_state, stateBytes(parent));
+}
+
+TEST_P(CheckpointEquivalence, RngStreamContinuesExactlyAcrossFork)
+{
+    const CkptCase c = GetParam();
+    const PlatformConfig cfg = makeConfig(c);
+    const TechniqueSet tech = TechniqueSet::odrips();
+
+    StandbyWorkloadGenerator gen(cfg.workload);
+    const StandbyTrace trace = gen.generate(2);
+
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, tech);
+    parent.run(trace);
+
+    const Snapshot snap = Snapshot::capture(parent);
+    ForkedSimulator child = snap.fork();
+    EXPECT_EQ(parent_platform.processor.context.mutationRng().stateWords(),
+              child.platform->processor.context.mutationRng().stateWords());
+
+    // One more identical cycle draws from both streams; they must
+    // stay in lockstep (fork continues the stream, not a reseed).
+    const StandbyTrace extra =
+        StandbyWorkloadGenerator::fixed(1, 20 * oneMs, 120 * oneMs, 0.7,
+                                        0.8e9);
+    parent.run(extra);
+    child.simulator->run(extra);
+    EXPECT_EQ(parent_platform.processor.context.mutationRng().stateWords(),
+              child.platform->processor.context.mutationRng().stateWords());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CheckpointEquivalence,
+    ::testing::Values(
+        CkptCase{1, ContextMutationKind::FullRegenerate, false},
+        CkptCase{2, ContextMutationKind::FullRegenerate, true},
+        CkptCase{3, ContextMutationKind::CsrSubset, false},
+        CkptCase{4, ContextMutationKind::CsrSubset, true},
+        CkptCase{5, ContextMutationKind::CsrSubset, false}),
+    caseName);
+
+} // namespace

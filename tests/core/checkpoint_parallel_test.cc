@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Jobs-sweep determinism of warm-forked sweeps.
+ *
+ * warmForkSweep() promises a result vector that is bit-identical for
+ * any worker count and to the cold (build-and-warm-per-point) path.
+ * This suite runs the same sweep with explicit 1-, 2- and 8-worker
+ * pools and against a hand-rolled cold loop, comparing the doubles by
+ * bit pattern.
+ *
+ * Separate test target: it drives real thread pools, so it carries the
+ * odrips_tsan label (scripts/check.sh runs `-L odrips_tsan` under
+ * -fsanitize=thread and excludes the label from the ASan pass).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/odrips.hh"
+#include "exec/thread_pool.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+class CheckpointParallel : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+};
+
+/** Warm with a short trace, then measure a dwell derived from the
+ * sweep point index. Ignores point.rng so the cold reference below
+ * can replay the exact same evaluation. */
+struct SweepUnderTest
+{
+    PlatformConfig cfg;
+    TechniqueSet tech = TechniqueSet::odrips();
+    std::size_t points = 8;
+
+    SweepUnderTest()
+    {
+        cfg = skylakeConfig();
+        cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+    }
+
+    static StandbyTrace
+    warmTrace()
+    {
+        return StandbyWorkloadGenerator::fixed(2, 20 * oneMs,
+                                               120 * oneMs, 0.7, 0.8e9);
+    }
+
+    static StandbyTrace
+    probeTrace(std::size_t index)
+    {
+        return StandbyWorkloadGenerator::fixed(
+            1, 10 * oneMs + static_cast<Tick>(index) * 5 * oneMs,
+            120 * oneMs, 0.7, 0.8e9);
+    }
+
+    static void
+    warm(StandbySimulator &sim)
+    {
+        sim.run(warmTrace());
+    }
+
+    static double
+    eval(StandbySimulator &sim, const exec::SweepPoint &point)
+    {
+        return sim.run(probeTrace(point.index)).averageBatteryPower;
+    }
+
+    std::vector<double>
+    runWithJobs(unsigned jobs)
+    {
+        exec::ThreadPool pool(jobs);
+        exec::ExecPolicy policy;
+        policy.pool = &pool;
+        return warmForkSweep("ckpt_jobs_test", cfg, tech, points, warm,
+                             eval, policy);
+    }
+
+    /** The cold path, written out longhand: build + warm per point. */
+    std::vector<double>
+    runCold()
+    {
+        std::vector<double> out;
+        for (std::size_t i = 0; i < points; ++i) {
+            Platform platform(cfg);
+            StandbySimulator sim(platform, tech);
+            warm(sim);
+            out.push_back(sim.run(probeTrace(i)).averageBatteryPower);
+        }
+        return out;
+    }
+};
+
+TEST_F(CheckpointParallel, ResultVectorBitIdenticalAcrossJobCounts)
+{
+    SweepUnderTest sweep;
+    const std::vector<double> serial = sweep.runWithJobs(1);
+    ASSERT_EQ(serial.size(), sweep.points);
+
+    for (unsigned jobs : {2u, 8u}) {
+        const std::vector<double> parallel = sweep.runWithJobs(jobs);
+        ASSERT_EQ(parallel.size(), serial.size()) << jobs << " jobs";
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(bitsOf(serial[i]), bitsOf(parallel[i]))
+                << jobs << " jobs, point " << i;
+        }
+    }
+}
+
+TEST_F(CheckpointParallel, WarmForkedSweepMatchesColdPath)
+{
+    SweepUnderTest sweep;
+    const std::vector<double> cold = sweep.runCold();
+    const std::vector<double> forked = sweep.runWithJobs(2);
+    ASSERT_EQ(cold.size(), forked.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+        EXPECT_EQ(bitsOf(cold[i]), bitsOf(forked[i])) << "point " << i;
+}
+
+} // namespace

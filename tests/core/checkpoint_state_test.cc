@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Post-restore invariants of individual subsystems.
+ *
+ * The differential suite (checkpoint_equivalence_test.cc) pins whole
+ * simulators bit-for-bit; these tests zoom into the two subsystems
+ * whose restored state is easiest to get subtly wrong:
+ *
+ *  - MEE version metadata: predictVersionsProbe() must agree with a
+ *    serial walk of the counter groups (cache hits and DRAM-resident
+ *    nodes alike) after a restore, without perturbing any state;
+ *  - DirtyLineMap: dirty runs survive a restore exactly, and
+ *    re-coalesce identically when the same mutations are applied to
+ *    the original and the restored copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/odrips.hh"
+#include "security/mee.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+class CheckpointState : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { Logger::quiet(true); }
+
+    static PlatformConfig
+    makeConfig()
+    {
+        PlatformConfig cfg = skylakeConfig();
+        cfg.contextMutation.kind = ContextMutationKind::CsrSubset;
+        return cfg;
+    }
+
+    static StandbyTrace
+    trace(std::size_t cycles)
+    {
+        return StandbyWorkloadGenerator::fixed(cycles, 20 * oneMs,
+                                               120 * oneMs, 0.7, 0.8e9);
+    }
+};
+
+TEST_F(CheckpointState, MeePredictionsMatchSerialWalkAfterRestore)
+{
+    const PlatformConfig cfg = makeConfig();
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, TechniqueSet::odrips());
+    parent.run(trace(3)); // populate counters and the metadata cache
+
+    const Snapshot snap = Snapshot::capture(parent);
+    ForkedSimulator child = snap.fork();
+    const Mee &parent_mee = *parent_platform.mee;
+    const Mee &child_mee = *child.platform->mee;
+
+    constexpr std::uint64_t arity = TreeLayout::arity;
+    constexpr std::uint64_t groups = 6;
+
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        std::uint64_t want[arity];
+        std::uint64_t got[arity];
+        parent_mee.peekCounterGroupProbe(g, want);
+        child_mee.peekCounterGroupProbe(g, got);
+        for (std::uint64_t i = 0; i < arity; ++i)
+            EXPECT_EQ(want[i], got[i]) << "group " << g << " slot " << i;
+    }
+
+    // Batched prediction == serial walk of the counter groups, on the
+    // restored copy, for both the read (bump=false) and write
+    // (bump=true) flavours.
+    std::vector<std::uint64_t> predicted(groups * arity);
+    child_mee.predictVersionsProbe(0, predicted.size(), false,
+                                   predicted.data());
+    for (std::uint64_t line = 0; line < predicted.size(); ++line) {
+        std::uint64_t counters[arity];
+        child_mee.peekCounterGroupProbe(line / arity, counters);
+        EXPECT_EQ(predicted[line], counters[line % arity])
+            << "line " << line;
+    }
+
+    std::vector<std::uint64_t> bumped(groups * arity);
+    child_mee.predictVersionsProbe(0, bumped.size(), true,
+                                   bumped.data());
+    for (std::uint64_t line = 0; line < bumped.size(); ++line)
+        EXPECT_EQ(bumped[line], predicted[line] + 1) << "line " << line;
+
+    // The probes are pure reads: the child still matches the parent's
+    // full state image after all of the probing above.
+    EXPECT_EQ(Snapshot::capture(parent).image().serialize(),
+              Snapshot::capture(*child.simulator).image().serialize());
+}
+
+TEST_F(CheckpointState, MeeCachedNodesSurviveRestore)
+{
+    const PlatformConfig cfg = makeConfig();
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, TechniqueSet::odrips());
+    parent.run(trace(2));
+
+    ForkedSimulator child = Snapshot::capture(parent).fork();
+    const Mee &parent_mee = *parent_platform.mee;
+    const Mee &child_mee = *child.platform->mee;
+
+    // Residency and contents of level-0 counter groups agree between
+    // the metadata caches (peek() does not touch LRU state).
+    for (std::uint64_t g = 0; g < 16; ++g) {
+        const std::uint64_t key =
+            TreeLayout::nodeKey(NodeKind::CounterGroup, 0, g);
+        const MetadataNode *want = parent_mee.metadataCache().peek(key);
+        const MetadataNode *got = child_mee.metadataCache().peek(key);
+        ASSERT_EQ(want == nullptr, got == nullptr) << "group " << g;
+        if (want == nullptr)
+            continue;
+        EXPECT_EQ(want->counters, got->counters) << "group " << g;
+        EXPECT_EQ(want->mac, got->mac) << "group " << g;
+    }
+}
+
+/** Flattened copy of a region's dirty runs for comparison. */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+runsOf(const ContextRegion &region)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const DirtyLineMap::Run &r : region.dirty.runs())
+        out.emplace_back(r.firstLine, r.lineCount);
+    return out;
+}
+
+TEST_F(CheckpointState, DirtyRunsSurviveRestoreExactly)
+{
+    const PlatformConfig cfg = makeConfig();
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, TechniqueSet::odrips());
+    parent.run(trace(2));
+
+    ForkedSimulator child = Snapshot::capture(parent).fork();
+    ProcessorContext &pc = parent_platform.processor.context;
+    ProcessorContext &cc = child.platform->processor.context;
+
+    EXPECT_EQ(runsOf(pc.sa()), runsOf(cc.sa()));
+    EXPECT_EQ(runsOf(pc.cores()), runsOf(cc.cores()));
+    EXPECT_EQ(runsOf(pc.boot()), runsOf(cc.boot()));
+
+    // The CsrSubset model leaves a sparse map behind: the restore
+    // must reproduce the runs, not just the per-line bits.
+    EXPECT_FALSE(runsOf(pc.sa()).empty());
+}
+
+TEST_F(CheckpointState, DirtyRunsRecoalesceIdenticallyAfterRestore)
+{
+    const PlatformConfig cfg = makeConfig();
+    Platform parent_platform(cfg);
+    StandbySimulator parent(parent_platform, TechniqueSet::odrips());
+    parent.run(trace(2));
+
+    ForkedSimulator child = Snapshot::capture(parent).fork();
+
+    // Apply the same mutations to both copies. The mutation RNG was
+    // part of the snapshot, so the CsrSubset model dirties the same
+    // lines and the run-length coalescing must land in the same runs.
+    for (int round = 0; round < 3; ++round) {
+        parent.run(trace(1));
+        child.simulator->run(trace(1));
+
+        ProcessorContext &pc = parent_platform.processor.context;
+        ProcessorContext &cc = child.platform->processor.context;
+        EXPECT_EQ(runsOf(pc.sa()), runsOf(cc.sa())) << "round " << round;
+        EXPECT_EQ(runsOf(pc.cores()), runsOf(cc.cores()))
+            << "round " << round;
+        EXPECT_EQ(runsOf(pc.boot()), runsOf(cc.boot()))
+            << "round " << round;
+    }
+}
+
+} // namespace

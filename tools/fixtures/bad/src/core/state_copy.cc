@@ -1,0 +1,21 @@
+// Byte-copying a simulator state object slices its owned heap state.
+#include <cstring>
+
+namespace odrips
+{
+struct Platform;
+struct EventQueue;
+
+void
+clonePlatform(Platform *dst, const Platform *src)
+{
+    std::memcpy(dst, src, sizeof(Platform));
+}
+
+void
+cloneQueue(EventQueue *dst, const EventQueue *src)
+{
+    memmove(dst, src,
+            sizeof(odrips::EventQueue));
+}
+} // namespace odrips

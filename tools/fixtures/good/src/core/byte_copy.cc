@@ -1,0 +1,25 @@
+// Plain byte-buffer memcpys stay allowed everywhere: the state-memcpy
+// rule keys on sizeof() of a named simulator state type, not on memcpy
+// itself. The tagged copy shows the escape hatch.
+#include <cstdint>
+#include <cstring>
+
+namespace odrips
+{
+struct DirtyLineMap;
+
+double
+rebits(std::uint64_t word)
+{
+    double d;
+    std::memcpy(&d, &word, sizeof(double));
+    return d;
+}
+
+void
+copyRuns(DirtyLineMap *dst, const DirtyLineMap *src)
+{
+    // odrips-lint: allow(state-memcpy)
+    std::memcpy(dst, src, sizeof(DirtyLineMap));
+}
+} // namespace odrips

@@ -1,0 +1,14 @@
+// The checkpoint serializers are the sanctioned home for byte-wise
+// state copies; the exemption mirrors src/arch/ for intrinsics.
+#include <cstring>
+
+namespace odrips
+{
+struct SnapshotImage;
+
+void
+cloneImage(SnapshotImage *dst, const SnapshotImage *src)
+{
+    std::memcpy(dst, src, sizeof(SnapshotImage));
+}
+} // namespace odrips

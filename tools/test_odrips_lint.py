@@ -76,6 +76,10 @@ class BadTree(unittest.TestCase):
         self.assertIn(("src/core/thread_user.cc", "raw-thread"),
                       self.found)
 
+    def test_state_memcpy_rule(self):
+        self.assertIn(("src/core/state_copy.cc", "state-memcpy"),
+                      self.found)
+
     def test_registered_files_not_flagged(self):
         self.assertNotIn(("src/sim/clock_user.cc", "cmake-target"),
                          self.found)
@@ -126,6 +130,32 @@ class RawThreadScope(unittest.TestCase):
         found = findings(proc)
         self.assertEqual(found,
                          {("src/core/thread_user.cc", "raw-thread")})
+
+
+class StateMemcpyScope(unittest.TestCase):
+    """src/sim/checkpoint/ is the sanctioned home for byte-wise state
+    copies; byte-buffer memcpys (sizeof(double), ...) and allow-tagged
+    copies stay permitted everywhere."""
+
+    def test_checkpoint_directory_and_byte_buffers_are_exempt(self):
+        proc = run_lint(os.path.join(FIXTURES, "good"),
+                        "--rules", "state-memcpy")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_state_copy_outside_checkpoint_is_flagged(self):
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "state-memcpy")
+        found = findings(proc)
+        self.assertEqual(found,
+                         {("src/core/state_copy.cc", "state-memcpy")})
+
+    def test_split_call_is_still_caught(self):
+        # state_copy.cc seeds one single-line and one two-line call;
+        # both must be reported (distinct line numbers).
+        proc = run_lint(os.path.join(FIXTURES, "bad"),
+                        "--rules", "state-memcpy")
+        lines = [l for l in proc.stdout.splitlines() if ": [" in l]
+        self.assertEqual(len(lines), 2, proc.stdout)
 
 
 class RuleSelection(unittest.TestCase):
