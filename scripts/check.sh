@@ -2,11 +2,16 @@
 # CI gate: static analysis + sanitizers.
 #
 # Modes:
-#  lint        tools/odrips-lint (simulator invariants), the linter's
-#              fixture self-test, scripts/format.sh --check, and
-#              clang-tidy over compile_commands.json when a clang-tidy
-#              binary is installed. No compiler needed for the first
-#              three, so this is the cheapest gate.
+#  lint        tools/odrips-lint (per-line invariants plus the indexed
+#              semantic passes: ckpt-coverage, layering, cross-file
+#              unordered-iter, stale-allow), the linter's fixture
+#              self-test, scripts/format.sh --check, and clang-tidy
+#              over compile_commands.json when a clang-tidy binary is
+#              installed. Writes build/lint-report.json
+#              (machine-readable findings); on failure also prints the
+#              findings scoped to files changed vs git HEAD. No
+#              compiler needed for the first three, so this is the
+#              cheapest gate.
 #  tsan        build-tsan: -fsanitize=thread on the exec/concurrency
 #              suites (`ctest -L odrips_tsan`) — catches data races in
 #              the thread pool and parallel sweep runner. TSan and ASan
@@ -45,7 +50,18 @@ command -v ninja >/dev/null 2>&1 && generator=(-G Ninja)
 
 run_lint() {
     echo "== Lint gate (odrips-lint + format + clang-tidy) =="
-    python3 tools/odrips-lint --root .
+    # Human output gates the run; a JSON artifact of the same findings
+    # lands next to the build trees for diffable CI logs. A second,
+    # advisory pass scoped to files changed vs HEAD localizes blame
+    # when the full run fails.
+    mkdir -p build
+    if ! python3 tools/odrips-lint --root . --format json \
+            > build/lint-report.json; then
+        python3 tools/odrips-lint --root . || true
+        echo "full report: build/lint-report.json; changed files only:"
+        python3 tools/odrips-lint --root . --changed-only || true
+        return 1
+    fi
     python3 tools/test_odrips_lint.py
     scripts/format.sh --check
 

@@ -84,7 +84,7 @@ class ClockDomain : public Named
 
   private:
     const Crystal &source_;
-    double ratio_;
+    double ratio_; // ckpt: derived
     bool gated_ = false;
 };
 

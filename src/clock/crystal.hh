@@ -81,9 +81,9 @@ class Crystal : public Named
     Milliwatts ratedPower() const { return ratedPower_; }
 
   private:
-    double nominalHz_;
-    double ppmError_;
-    Milliwatts ratedPower_;
+    double nominalHz_; // ckpt: derived
+    double ppmError_; // ckpt: derived
+    Milliwatts ratedPower_; // ckpt: derived
     bool on = true;
 };
 

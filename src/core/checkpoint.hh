@@ -42,7 +42,7 @@ namespace odrips
 struct ForkedSimulator
 {
     std::unique_ptr<Platform> platform;
-    std::unique_ptr<StandbySimulator> simulator;
+    std::unique_ptr<StandbySimulator> simulator; // ckpt: skip(fork product; state is the restored platform)
 };
 
 /** A captured simulator state (see file comment). */

@@ -48,7 +48,7 @@ struct StandbyResult
     bool contextIntact = true;
 
     /** Records of the final cycle (context latencies, handovers). */
-    CycleRecord lastCycle;
+    CycleRecord lastCycle; // ckpt: skip(per-run result, rebuilt by finishRun)
 };
 
 /**
@@ -124,12 +124,12 @@ class StandbySimulator
     StandbyFlows flows_;
 
     stats::StatGroup statGroup;
-    stats::Scalar cycleCount;
-    stats::Scalar batteryEnergy;
-    stats::Distribution entryLatency;
-    stats::Distribution exitLatency;
+    stats::Scalar cycleCount; // ckpt: via(StatGroup)
+    stats::Scalar batteryEnergy; // ckpt: via(StatGroup)
+    stats::Distribution entryLatency; // ckpt: via(StatGroup)
+    stats::Distribution exitLatency; // ckpt: via(StatGroup)
     stats::Histogram wakeDetect;
-    stats::Distribution idleDwell;
+    stats::Distribution idleDwell; // ckpt: via(StatGroup)
 };
 
 } // namespace odrips

@@ -103,9 +103,9 @@ class ContextTransferFsm : public Named
   private:
     Sram &sram;
     MemoryController &controller;
-    std::uint64_t dramOffset;
-    Tick fsmOverhead;
-    bool incremental;
+    std::uint64_t dramOffset; // ckpt: derived
+    Tick fsmOverhead; // ckpt: derived
+    bool incremental; // ckpt: derived
     bool dramValid = false;
 };
 
@@ -134,7 +134,7 @@ class BootFsm : public Named
     Sram &bootSram;
     Mee &mee;
     MemoryController &controller;
-    Tick restoreLatency;
+    Tick restoreLatency; // ckpt: derived
 };
 
 /** Direct save/restore into an eMRAM macro (ODRIPS-MRAM). */

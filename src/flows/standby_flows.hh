@@ -131,11 +131,11 @@ class StandbyFlows : public Named
 
     ContextTransferFsm saFsm;
     ContextTransferFsm llcFsm;
-    BootFsm bootFsm;
-    EmramContextPath emramPath;
-    std::unique_ptr<FetGate> fet;
+    BootFsm bootFsm; // ckpt: skip(config + refs only; no tick state)
+    EmramContextPath emramPath; // ckpt: skip(config + refs only; no tick state)
+    std::unique_ptr<FetGate> fet; // ckpt: via(gpio pin level + PowerModel)
     std::unique_ptr<ThermalMonitor> thermal;
-    std::optional<CalibrationResult> calib;
+    std::optional<CalibrationResult> calib; // ckpt: via(timing section)
 
     CycleRecord record;
     bool idle = false;

@@ -74,8 +74,8 @@ class AonIoBank : public Named
     void restorePoweredFlag(bool powered) { on = powered; }
 
   private:
-    PowerComponent *comp;
-    Milliwatts totalPower;
+    PowerComponent *comp; // ckpt: via(PowerModel)
+    Milliwatts totalPower; // ckpt: derived
     bool on = true;
 };
 

@@ -83,9 +83,9 @@ class FetGate : public Named
     AonIoBank &load;
     GpioBank &gpio;
     unsigned pin;
-    PowerComponent *leakComp;
-    double leakFraction;
-    Tick switchLatency_;
+    PowerComponent *leakComp; // ckpt: via(PowerModel)
+    double leakFraction; // ckpt: derived
+    Tick switchLatency_; // ckpt: derived
 };
 
 } // namespace odrips

@@ -93,9 +93,9 @@ class GpioBank : public Named
   private:
     struct Pin
     {
-        GpioDirection dir = GpioDirection::Unassigned;
+        GpioDirection dir = GpioDirection::Unassigned; // ckpt: derived
         bool level = false;
-        std::string function;
+        std::string function; // ckpt: derived
     };
 
     void checkPin(unsigned pin) const;

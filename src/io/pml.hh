@@ -105,8 +105,8 @@ class Pml : public Named
 
   private:
     const ClockDomain &clock;
-    std::uint64_t cyclesPerWord;
-    std::uint64_t protocolCycles;
+    std::uint64_t cyclesPerWord; // ckpt: derived
+    std::uint64_t protocolCycles; // ckpt: derived
     bool linkUp = true;
     std::uint64_t messageCount = 0;
 };

@@ -150,8 +150,8 @@ class Dram : public MainMemory
 
     DramConfig cfg;
     BackingStore bytes;
-    PowerComponent *arrayComp;
-    PowerComponent *ckeComp;
+    PowerComponent *arrayComp; // ckpt: via(PowerModel)
+    PowerComponent *ckeComp; // ckpt: via(PowerModel)
     bool selfRefreshing = false;
     Milliwatts trafficPower;
     std::uint64_t transferred = 0;

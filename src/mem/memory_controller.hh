@@ -133,7 +133,7 @@ class MemoryController : public Named
     void checkAccess(std::uint64_t addr, std::uint64_t len) const;
 
     MainMemory &mem;
-    SecureMemoryPath *securePath;
+    SecureMemoryPath *securePath; // ckpt: skip(wiring pointer, rebound at construction)
     RangeRegister rangeReg;
     bool on = true;
     std::uint64_t secureCount = 0;

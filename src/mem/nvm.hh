@@ -159,7 +159,7 @@ class Pcm : public MainMemory
 
     PcmConfig cfg;
     BackingStore bytes;
-    PowerComponent *comp;
+    PowerComponent *comp; // ckpt: via(PowerModel)
     bool standby = false;
     Milliwatts trafficPower;
     Millijoules accessTotal;
@@ -168,7 +168,7 @@ class Pcm : public MainMemory
 };
 
 /** Optimism setting for the eMRAM model. */
-struct EmramConfig
+struct EmramConfig // ckpt: derived
 {
     std::uint64_t capacityBytes = 0;
 
@@ -244,7 +244,7 @@ class Emram : public Named
 
     EmramConfig cfg;
     std::vector<std::uint8_t> data_;
-    PowerComponent *comp;
+    PowerComponent *comp; // ckpt: via(PowerModel)
     bool on = false;
     std::uint64_t writes = 0;
     Millijoules accessTotal;

@@ -41,7 +41,7 @@ enum class SramState
 };
 
 /** SRAM electrical parameters. */
-struct SramConfig
+struct SramConfig // ckpt: derived
 {
     std::uint64_t capacityBytes = 0;
     SramProcess process = SramProcess::HighPerformance;
@@ -135,7 +135,7 @@ class Sram : public Named
 
     SramConfig cfg;
     std::vector<std::uint8_t> data_;
-    PowerComponent *comp;
+    PowerComponent *comp; // ckpt: via(PowerModel)
     SramState state_ = SramState::Active;
     Millijoules accessTotal;
 };

@@ -24,11 +24,11 @@ class Board : public Named
     Crystal xtal24;
     Crystal xtal32;
 
-    PowerComponent xtal24Comp;
-    PowerComponent xtal32Comp;
-    PowerComponent otherComp;     ///< EC, sensors, misc rails
-    PowerComponent activeExtra;   ///< extra board power while C0
-    PowerComponent fetLeakage;    ///< FET off-state leakage
+    PowerComponent xtal24Comp; // ckpt: via(PowerModel)
+    PowerComponent xtal32Comp; // ckpt: via(PowerModel)
+    PowerComponent otherComp;     ///< EC, sensors, misc rails // ckpt: via(PowerModel)
+    PowerComponent activeExtra;   ///< extra board power while C0 // ckpt: via(PowerModel)
+    PowerComponent fetLeakage;    ///< FET off-state leakage // ckpt: via(PowerModel)
 
     /**
      * Re-sync the crystal power components with the crystals' enable

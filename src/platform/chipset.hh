@@ -32,11 +32,11 @@ class Chipset : public Named
     ClockDomain slowClock;
 
     // --- power components ---
-    PowerComponent aonDomain;   ///< always-on domain (wake hub)
-    PowerComponent fastClockTree; ///< 24 MHz distribution (off in slow
+    PowerComponent aonDomain;   ///< always-on domain (wake hub) // ckpt: via(PowerModel)
+    PowerComponent fastClockTree; ///< 24 MHz distribution (off in slow // ckpt: via(PowerModel)
                                   ///  mode)
-    PowerComponent activeExtra; ///< additional power while platform C0
-    PowerComponent timers;      ///< the new fast/slow timer pair
+    PowerComponent activeExtra; ///< additional power while platform C0 // ckpt: via(PowerModel)
+    PowerComponent timers;      ///< the new fast/slow timer pair // ckpt: via(PowerModel)
                                 ///  (paper: < 0.001% of chipset power)
 
     /** The new wake-timer unit (fast + slow timers + Step). */
@@ -46,9 +46,9 @@ class Chipset : public Named
     GpioBank gpios;
 
     /** Pin indices claimed for ODRIPS (set by claimOdripsPins). */
-    unsigned thermalPin = 0;
-    unsigned fetControlPin = 0;
-    bool odripsPinsClaimed = false;
+    unsigned thermalPin = 0; // ckpt: derived
+    unsigned fetControlPin = 0; // ckpt: derived
+    bool odripsPinsClaimed = false; // ckpt: derived
 
     /** Claim the thermal-monitor input and FET-control output. */
     void claimOdripsPins();

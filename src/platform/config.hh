@@ -219,7 +219,7 @@ struct PlatformConfig
      * dirties a realistic CSR-sized slice and enables O(dirty-lines)
      * incremental saves on the CTX-SGX-DRAM path.
      */
-    ContextMutationConfig contextMutation;
+    ContextMutationConfig contextMutation; // ckpt: derived
 
     /** Crystals: nominal Hz and manufacturing deviation (ppm). */
     double xtal24Ppm = 18.0;

@@ -42,7 +42,7 @@ enum class ContextMutationKind
 };
 
 /** Mutation-model parameters (part of PlatformConfig). */
-struct ContextMutationConfig
+struct ContextMutationConfig // ckpt: derived
 {
     ContextMutationKind kind = ContextMutationKind::FullRegenerate;
     /** CsrSubset: fraction of each region's lines dirtied per touch().
@@ -119,7 +119,7 @@ class ProcessorContext
     std::uint64_t subsetLines(const ContextRegion &region) const;
 
     Rng rng;
-    ContextMutationConfig model;
+    ContextMutationConfig model; // ckpt: derived
     ContextRegion sa_;
     ContextRegion cores_;
     ContextRegion boot_;

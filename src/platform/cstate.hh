@@ -22,7 +22,7 @@ namespace odrips
 {
 
 /** One idle power state. */
-struct CState
+struct CState // ckpt: derived
 {
     std::string name;
     /** Numeric depth (0 = active). */

@@ -38,8 +38,8 @@ class DirtyLineMap
     /** A maximal run of consecutive dirty lines. */
     struct Run
     {
-        std::uint64_t firstLine = 0;
-        std::uint64_t lineCount = 0;
+        std::uint64_t firstLine = 0; // ckpt: via(markLine replay on load)
+        std::uint64_t lineCount = 0; // ckpt: via(markLine replay on load)
     };
 
     DirtyLineMap() = default;

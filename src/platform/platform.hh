@@ -41,18 +41,18 @@ class Platform : public Named
 
     EventQueue eq;
     PowerModel pm;
-    PowerDelivery pd;
+    PowerDelivery pd; // ckpt: derived
 
     Board board;
     Chipset chipset;
     Processor processor;
 
     /** Main memory array power (self-refresh vs idle). */
-    PowerComponent memoryComp;
+    PowerComponent memoryComp; // ckpt: via(PowerModel)
     /** Processor-side CKE drive power. */
-    PowerComponent ckeComp;
+    PowerComponent ckeComp; // ckpt: via(PowerModel)
     /** eMRAM macro power (ODRIPS-MRAM only). */
-    PowerComponent emramComp;
+    PowerComponent emramComp; // ckpt: via(PowerModel)
 
     /** DDR3L or PCM, per cfg.memoryKind. */
     std::unique_ptr<MainMemory> memory;
@@ -68,7 +68,7 @@ class Platform : public Named
 
     /** Voltage rails (the AON supply of Fig. 1(a) plus the switchable
      * compute/SA/memory rails). */
-    RailSet rails;
+    RailSet rails; // ckpt: skip(static view over power components)
 
     /** Exact battery-energy integration. */
     EnergyAccountant accountant;
@@ -97,8 +97,8 @@ class Platform : public Named
     Dram &dram();
 
   private:
-    std::uint64_t ctxBase = 0;
-    std::uint64_t ctxSize = 0;
+    std::uint64_t ctxBase = 0; // ckpt: derived
+    std::uint64_t ctxSize = 0; // ckpt: derived
 };
 
 } // namespace odrips

@@ -31,17 +31,17 @@ class Processor : public Named
     ClockDomain clock;
 
     // --- power components (nominal watts; flows drive them) ---
-    PowerComponent coresGfx;    ///< cores + graphics compute power
+    PowerComponent coresGfx;    ///< cores + graphics compute power // ckpt: via(PowerModel)
     PowerComponent systemAgent; ///< SA (memory/IO controllers)
     PowerComponent llc;         ///< last-level cache
-    PowerComponent pmuActive;   ///< PMU logic while awake
+    PowerComponent pmuActive;   ///< PMU logic while awake // ckpt: via(PowerModel)
     PowerComponent wakeTimer;   ///< PMU wake monitoring + timer toggle
-    PowerComponent srResidual;  ///< S/R SRAM residual with CTX offload
-    PowerComponent transition;  ///< fabric power during entry/exit flows
-    PowerComponent aonIoComp;   ///< backing component for aonIos
-    PowerComponent saSramComp;
-    PowerComponent coresSramComp;
-    PowerComponent bootSramComp;
+    PowerComponent srResidual;  ///< S/R SRAM residual with CTX offload // ckpt: via(PowerModel)
+    PowerComponent transition;  ///< fabric power during entry/exit flows // ckpt: via(PowerModel)
+    PowerComponent aonIoComp;   ///< backing component for aonIos // ckpt: via(PowerModel)
+    PowerComponent saSramComp; // ckpt: via(PowerModel)
+    PowerComponent coresSramComp; // ckpt: via(PowerModel)
+    PowerComponent bootSramComp; // ckpt: via(PowerModel)
 
     // --- state-holding blocks ---
     Sram saSram;       ///< SA save/restore SRAM
@@ -50,7 +50,7 @@ class Processor : public Named
     AonIoBank aonIos;  ///< the gateable AON IO bank
     FastTimer tsc;     ///< main wake timer (time-stamp counter proxy)
     ProcessorContext context;
-    CStateTable cstates;
+    CStateTable cstates; // ckpt: derived
 
     /** Core frequency currently programmed for C0. */
     double coreFrequencyHz;

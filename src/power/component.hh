@@ -54,7 +54,7 @@ class PowerComponent : public Named
     friend class PowerModel;
 
     PowerModel &owner;
-    std::string _group;
+    std::string _group; // ckpt: skip(registration metadata, fixed at construction)
     Milliwatts level;
     Millijoules consumed;
     Tick lastUpdate = 0;

@@ -26,7 +26,7 @@ namespace odrips
 /** One analyzer channel: a probe plus its sample statistics. */
 struct AnalyzerChannel
 {
-    std::string label;
+    std::string label; // ckpt: skip(channel identity, fixed at registration)
     std::function<Milliwatts()> probe;
     std::uint64_t samples = 0;
     Milliwatts sum;
@@ -119,7 +119,7 @@ class PowerAnalyzer : public SimObject
     /** Halve every trace and double the stride (trace full). */
     void decimateTraces();
 
-    Tick interval;
+    Tick interval; // ckpt: derived
     std::vector<AnalyzerChannel> channels;
     bool tracing = false;
     /** Per-channel trace entry cap (default 1 Mi samples ~ 16 MiB). */

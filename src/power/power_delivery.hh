@@ -20,7 +20,7 @@ namespace odrips
 {
 
 /** Battery-side power as a function of nominal load power. */
-class PowerDelivery
+class PowerDelivery // ckpt: derived
 {
   public:
     /** Create a model with a fixed efficiency (paper's view). */

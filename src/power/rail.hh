@@ -61,7 +61,7 @@ class Rail : public Named
     std::size_t componentCount() const { return components.size(); }
 
   private:
-    double volts_;
+    double volts_; // ckpt: derived
     std::vector<const PowerComponent *> components;
 };
 
@@ -123,8 +123,8 @@ class RailSet
     }
 
   private:
-    std::vector<std::unique_ptr<Rail>> rails;
-    std::vector<const PowerComponent *> attached;
+    std::vector<std::unique_ptr<Rail>> rails; // ckpt: skip(component wiring, rebuilt at construction)
+    std::vector<const PowerComponent *> attached; // ckpt: skip(component wiring, rebuilt at construction)
 };
 
 } // namespace odrips

@@ -83,16 +83,16 @@ class Event
   private:
     friend class EventQueue;
 
-    EventCallback callback;
-    std::string _ownedName;
+    EventCallback callback; // ckpt: skip(owners re-schedule their events on restore)
+    std::string _ownedName; // ckpt: skip(owners re-schedule their events on restore)
     const char *_name;
-    Priority _priority;
+    Priority _priority; // ckpt: skip(owners re-schedule their events on restore)
     Tick _when = 0;
     std::uint64_t sequence = 0;
     /** Owning queue while scheduled; nullptr otherwise. */
     EventQueue *queue = nullptr;
     /** Slot in the owning queue's heap (valid while scheduled). */
-    std::size_t heapIndex = 0;
+    std::size_t heapIndex = 0; // ckpt: skip(heap bookkeeping, rebuilt on insert)
 };
 
 /**

@@ -43,7 +43,7 @@ class StatGroup
 
   private:
     std::string _name;
-    StatGroup *parent;
+    StatGroup *parent; // ckpt: skip(tree wiring, rebuilt at registration)
     std::vector<Stat *> stats;
     std::vector<StatGroup *> kids;
 };

@@ -69,8 +69,8 @@ class Stat
 
   private:
     std::string _name;
-    std::string _description;
-    std::string _unit;
+    std::string _description; // ckpt: derived
+    std::string _unit; // ckpt: derived
 };
 
 /** A simple additive counter / gauge. */

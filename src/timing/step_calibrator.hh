@@ -35,13 +35,13 @@ struct CalibrationResult
     /** The calibrated fixed-point Step (fast cycles per slow cycle). */
     FixedUint step{0};
     /** Integer bits m of the Step representation. */
-    unsigned integerBits = 0;
+    unsigned integerBits = 0; // ckpt: derived
     /** Fraction bits f of the Step representation. */
     unsigned fractionBits = 0;
     /** Number of slow cycles observed (N_slow = 2^f). */
-    std::uint64_t slowCycles = 0;
+    std::uint64_t slowCycles = 0; // ckpt: derived
     /** Number of fast cycles counted within the window (N_fast). */
-    std::uint64_t fastCycles = 0;
+    std::uint64_t fastCycles = 0; // ckpt: skip(calibration telemetry; step drives the timer)
     /** Wall-clock duration of the calibration window. */
     Seconds duration{};
 };

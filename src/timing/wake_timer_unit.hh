@@ -193,7 +193,7 @@ class WakeTimerUnit : public Named
     Crystal &fastXtal;
     FastTimer fast;
     SlowTimer slow;
-    std::uint64_t pmlCycles;
+    std::uint64_t pmlCycles; // ckpt: derived
     Tick xtalRestart;
     Mode mode_ = Mode::Off;
     bool isCalibrated = false;

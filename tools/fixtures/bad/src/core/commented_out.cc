@@ -1,0 +1,12 @@
+// This source is named only inside a `#` comment in CMakeLists.txt,
+// which must NOT count as registration once comments are stripped.
+namespace fx
+{
+
+int
+orphanValue()
+{
+    return 4;
+}
+
+} // namespace fx

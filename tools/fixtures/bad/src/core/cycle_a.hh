@@ -1,0 +1,10 @@
+// Half of a file-level include cycle (same tier, same directory).
+#include "core/cycle_b.hh"
+
+namespace fx
+{
+struct CycleA
+{
+    int a = 0;
+};
+} // namespace fx

@@ -1,0 +1,10 @@
+// Other half of the file-level include cycle.
+#include "core/cycle_a.hh"
+
+namespace fx
+{
+struct CycleB
+{
+    int b = 0;
+};
+} // namespace fx

@@ -1,0 +1,14 @@
+// Unordered member declared in a header: the per-file unordered-iter
+// rule cannot see it from registry_user.cc; the cross-file half can.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx
+{
+
+struct Registry
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> table;
+};
+
+} // namespace fx

@@ -1,0 +1,17 @@
+// Iterates Registry::table, declared in registry.hh: order-unstable,
+// and invisible to a per-file scan of this translation unit.
+#include "core/registry.hh"
+
+namespace fx
+{
+
+std::uint64_t
+sumTable(const Registry &reg)
+{
+    std::uint64_t sum = 0;
+    for (const auto &kv : reg.table)
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace fx

@@ -1,4 +1,5 @@
 #include <chrono>
+#include <ctime>
 
 double
 elapsedSeconds()
@@ -7,4 +8,34 @@ elapsedSeconds()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+long
+fileStamp()
+{
+    // C++20 clocks still read host state.
+    const auto t = std::chrono::file_clock::now();
+    return t.time_since_epoch().count();
+}
+
+long
+utcStamp()
+{
+    return std::chrono::utc_clock::now().time_since_epoch().count();
+}
+
+int
+localHour()
+{
+    std::time_t now = std::time(nullptr);
+    const std::tm *lt = std::localtime(&now);
+    return lt ? lt->tm_hour : 0;
+}
+
+int
+utcHour()
+{
+    std::time_t now = std::time(nullptr);
+    const std::tm *gt = std::gmtime(&now);
+    return gt ? gt->tm_hour : 0;
 }

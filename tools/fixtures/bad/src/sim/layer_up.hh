@@ -1,0 +1,13 @@
+// src/sim/ (tier 1) must not reach up into src/core/ (tier 5).
+#include "core/registry.hh"
+
+namespace fx
+{
+
+inline std::uint64_t
+registrySize(const Registry &reg)
+{
+    return reg.table.size();
+}
+
+} // namespace fx

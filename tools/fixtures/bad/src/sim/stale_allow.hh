@@ -1,0 +1,17 @@
+// Suppressions that suppress nothing are themselves findings.
+namespace fx
+{
+
+inline unsigned long
+stepCount()
+{
+    return 7; // odrips-lint: allow(wall-clock)
+}
+
+inline unsigned long
+stepBase()
+{
+    return 3; // odrips-lint: allow(not-a-rule)
+}
+
+} // namespace fx

@@ -1,0 +1,25 @@
+// Checkpoint-covered state with seeded coverage gaps:
+//   Meter::total is written by the capture side (through readTotal())
+//   but never restored; Meter::phase is on neither side; Meter::sub
+//   pulls SubBlock into the covered set, whose depth is uncovered too.
+#include <cstdint>
+
+namespace fx
+{
+
+struct SubBlock
+{
+    unsigned depth = 0;
+};
+
+struct Meter
+{
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+    int phase = 0;
+    SubBlock sub;
+
+    std::uint64_t readTotal() const { return total; }
+};
+
+} // namespace fx

@@ -1,0 +1,13 @@
+// Histogram is in STATE_COPY_TYPES, so it is audited even though
+// checkpoint.cc never names it.
+#include <cstdint>
+
+namespace fx
+{
+
+struct Histogram
+{
+    std::uint64_t bins = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,21 @@
+// Fixture snapshot path with both sides complete.
+#include "core/state.hh"
+
+namespace fx
+{
+
+void
+saveState(Writer &w, Meter &m)
+{
+    w.u64(m.count);
+    w.u64(m.readTotal());
+}
+
+void
+loadState(Reader &r, Meter &m)
+{
+    m.count = r.u64();
+    m.total = r.u64();
+}
+
+} // namespace fx

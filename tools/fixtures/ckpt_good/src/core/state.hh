@@ -1,0 +1,25 @@
+// Same shapes as the ckpt_bad tree, now fully covered: total restores,
+// phase and sub carry annotations (the via() tag also stops the
+// member-type closure from pulling SubBlock in), cachedMean is derived.
+#include <cstdint>
+
+namespace fx
+{
+
+struct SubBlock
+{
+    unsigned depth = 0;
+};
+
+struct Meter
+{
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;
+    int phase = 0; // ckpt: skip(transient scan cursor)
+    SubBlock sub;  // ckpt: via(core section)
+    std::uint64_t cachedMean = 0; // ckpt: derived
+
+    std::uint64_t readTotal() const { return total; }
+};
+
+} // namespace fx

@@ -1,0 +1,12 @@
+// A class-head tag exempts the whole type from the coverage audit.
+#include <cstdint>
+
+namespace fx
+{
+
+struct Histogram // ckpt: derived
+{
+    std::uint64_t bins = 0;
+};
+
+} // namespace fx

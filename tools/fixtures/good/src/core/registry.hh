@@ -1,0 +1,13 @@
+// Unordered storage is fine; only *iterating* it is order-unstable.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fx
+{
+
+struct Registry
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> table;
+};
+
+} // namespace fx

@@ -1,0 +1,26 @@
+// The sanctioned pattern: extract keys, sort them, iterate the sorted
+// vector. Lookups into the unordered member stay order-independent.
+#include "core/registry.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace fx
+{
+
+std::uint64_t
+sumTable(const Registry &reg)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(reg.table.size());
+    for (std::uint64_t k = 0; k < 64; ++k)
+        if (reg.table.count(k))
+            keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t sum = 0;
+    for (const auto k : keys)
+        sum += reg.table.at(k);
+    return sum;
+}
+
+} // namespace fx

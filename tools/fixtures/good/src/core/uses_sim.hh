@@ -1,0 +1,14 @@
+// src/core/ (tier 5) may include src/sim/ (tier 1): downward is the
+// sanctioned direction of the layer DAG.
+#include "sim/timebase.hh"
+
+namespace fx
+{
+
+inline double
+coreSeconds(Tick t)
+{
+    return tickSeconds(t, 24.0e6);
+}
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// Simulated time base: everything derives from ticks, never the host.
+#include <cstdint>
+
+namespace fx
+{
+
+using Tick = std::uint64_t;
+
+inline double
+tickSeconds(Tick t, double hz)
+{
+    return static_cast<double>(t) / hz;
+}
+
+// Near-miss identifiers: runtime(0) and localtime_cache() must not
+// trip the wall-clock rule, which keys on the real host-time readers.
+inline Tick
+runtime(Tick t)
+{
+    return t;
+}
+
+inline Tick
+localtime_cache(Tick t)
+{
+    return t;
+}
+
+} // namespace fx

@@ -1,0 +1,14 @@
+"""odrips-lint v2: indexed static analysis for the ODRIPS simulator.
+
+Package layout:
+  source.py    comment/string stripping + tokenizer
+  cxxindex.py  whole-repo model: classes/members, includes, functions
+  rules.py     v1 per-line token rules and build-integration rules
+  passes.py    semantic passes: ckpt-coverage, layering, cross-file
+               unordered-iter, stale-allow
+  cli.py       driver, allow-tag bookkeeping, human/JSON output
+
+The executable entry point stays at tools/odrips-lint.
+"""
+
+__version__ = "2.0"

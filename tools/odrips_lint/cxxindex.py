@@ -1,0 +1,611 @@
+"""Whole-repo C++ index for odrips-lint's semantic passes.
+
+A deliberately small model, extracted with a brace-tracking token
+walker (no libclang):
+
+  * per file: raw lines, blanked code lines, comment text per line,
+    `#include "..."` edges, and the full token stream;
+  * per class/struct definition: qualified name, file/line, and every
+    data member (name, declared type text, line, `// ckpt:` tags,
+    ref/const/static/function-type flags);
+  * per function definition (free, out-of-line method, or inline
+    method): unqualified name, qualified name, the set of identifier
+    tokens in its body, and the subset that appear in call position.
+
+The model is an over-approximation in the places a linter can afford
+to be (identifier matching instead of name lookup, all overloads of a
+name treated alike) and exact where it must be (line numbers, member
+lists, include edges).
+"""
+
+import os
+import re
+
+from odrips_lint.source import split_code_and_comments, tokenize
+
+__all__ = ["Index", "FileInfo", "ClassInfo", "Member", "FuncDef",
+           "CKPT_TAG_RE", "parse_ckpt_tags"]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Annotation grammar for intentionally-unserialized state members:
+#   // ckpt: skip(<reason>)   not serialized on purpose; say why
+#   // ckpt: derived          recomputed from other state on restore
+#   // ckpt: via(<carrier>)   serialized indirectly through <carrier>
+# A tag on the member's declaration line (or the line above) applies to
+# that member; on a class head it applies to the whole type.
+CKPT_TAG_RE = re.compile(
+    r"ckpt:\s*(skip|via)\(([^)]*)\)|ckpt:\s*(derived)\b")
+
+_ACCESS_SPECIFIERS = {"public", "private", "protected"}
+
+_DECL_SKIP_STARTERS = {
+    "using", "typedef", "friend", "static_assert", "template",
+}
+
+_TYPE_KEYWORD_NOISE = {
+    "const", "constexpr", "constinit", "mutable", "static", "inline",
+    "volatile", "typename", "struct", "class", "enum", "unsigned",
+    "signed", "long", "short", "explicit", "virtual",
+}
+
+_FUNCTION_TYPE_RE = re.compile(r"\bstd\s*::\s*function\b|\bfunction\s*<")
+
+
+def parse_ckpt_tags(comment_text):
+    """Extract ckpt annotations from one line's comment text.
+
+    Returns a list of (kind, argument) pairs, e.g. [("skip", "reason")]
+    — plus ("invalid", raw) entries for comments that say ``ckpt:`` but
+    do not match the grammar, so typos fail loudly instead of silently
+    not suppressing.
+    """
+    tags = []
+    if "ckpt:" not in comment_text:
+        return tags
+    matched_spans = []
+    for m in CKPT_TAG_RE.finditer(comment_text):
+        matched_spans.append(m.span())
+        if m.group(3):
+            tags.append(("derived", ""))
+        else:
+            tags.append((m.group(1), m.group(2).strip()))
+    # Any "ckpt:" occurrence not covered by a valid tag is a typo
+    # (e.g. "ckpt: skipped" or "ckpt: skip" without parentheses) —
+    # unless it is ordinary prose like "ckpt::Writer" (scope operator).
+    for m in re.finditer(r"ckpt:(?!:)", comment_text):
+        if not any(s <= m.start() < e for s, e in matched_spans):
+            tail = comment_text[m.start():m.start() + 40].strip()
+            tags.append(("invalid", tail))
+    return tags
+
+
+class Member:
+    __slots__ = ("name", "type_text", "line", "tags", "is_reference",
+                 "is_const", "is_static", "is_function_type")
+
+    def __init__(self, name, type_text, line):
+        self.name = name
+        self.type_text = type_text
+        self.line = line  # 0-based
+        self.tags = []
+        self.is_reference = False
+        self.is_const = False
+        self.is_static = False
+        self.is_function_type = False
+
+    def exempt_kind(self):
+        """Why this member needs no serialization, or None."""
+        for kind, _ in self.tags:
+            if kind in ("skip", "derived", "via"):
+                return kind
+        if self.is_reference:
+            return "reference"
+        if self.is_static:
+            return "static"
+        if self.is_const:
+            return "const"
+        if self.is_function_type:
+            return "callable"
+        return None
+
+
+class ClassInfo:
+    __slots__ = ("name", "qual_name", "file", "line", "members", "tags")
+
+    def __init__(self, name, qual_name, file, line):
+        self.name = name
+        self.qual_name = qual_name
+        self.file = file
+        self.line = line  # 0-based
+        self.members = []
+        self.tags = []
+
+
+class FuncDef:
+    __slots__ = ("name", "qual_name", "file", "line", "idents", "calls")
+
+    def __init__(self, name, qual_name, file, line, idents, calls):
+        self.name = name
+        self.qual_name = qual_name
+        self.file = file
+        self.line = line  # 0-based
+        self.idents = idents  # set of identifier tokens in the body
+        self.calls = calls    # subset in call position
+
+
+class FileInfo:
+    __slots__ = ("rel", "raw", "code", "comments", "tokens", "includes")
+
+    def __init__(self, rel, raw, code, comments, tokens, includes):
+        self.rel = rel
+        self.raw = raw
+        self.code = code
+        self.comments = comments
+        self.tokens = tokens
+        self.includes = includes  # [(0-based line, include path)]
+
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+
+
+def _is_ident(text):
+    return bool(_IDENT_START.match(text)) and text.isidentifier()
+
+
+class _Parser:
+    """Token-stream walker extracting classes, members and functions."""
+
+    def __init__(self, rel, tokens, comments, index):
+        self.rel = rel
+        self.toks = tokens
+        self.comments = comments
+        self.index = index
+        self.i = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, k=0):
+        j = self.i + k
+        return self.toks[j].text if j < len(self.toks) else None
+
+    def _collect_body(self):
+        """The opening ``{`` was just consumed; collect to its match.
+
+        Returns the spanned tokens (exclusive of the outer braces) and
+        leaves self.i just past the closing ``}``. Bails gracefully at
+        EOF on unbalanced input.
+        """
+        depth = 1
+        spanned = []
+        while self.i < len(self.toks):
+            t = self.toks[self.i].text
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                depth -= 1
+                if depth == 0:
+                    self.i += 1
+                    return spanned
+            spanned.append(self.toks[self.i])
+            self.i += 1
+        return spanned
+
+    def _skip_template_args(self):
+        """self.i at ``<``: skip balanced angle brackets (best effort)."""
+        depth = 0
+        while self.i < len(self.toks):
+            t = self.toks[self.i].text
+            if t == "<" or t == "<<":
+                depth += 2 if t == "<<" else 1
+            elif t == ">" or t == ">>":
+                depth -= 2 if t == ">>" else 1
+                if depth <= 0:
+                    self.i += 1
+                    return
+            elif t in (";", "{"):
+                return  # not template args after all
+            self.i += 1
+
+    # -- statement scanning ----------------------------------------------
+
+    def _scan_statement(self):
+        """Collect tokens until ``;`` or ``{`` at top level.
+
+        Tracks () and [] nesting, and <> nesting heuristically (a ``<``
+        opens template args only when preceded by an identifier, ``>``
+        or ``::``). ``operator`` is followed by raw operator symbols
+        which are skipped verbatim so ``operator<`` cannot derail the
+        angle tracking. Returns (tokens, terminator) where terminator
+        is ";", "{", or None at EOF.
+        """
+        out = []
+        paren = 0
+        angle = 0
+        prev = None
+        while self.i < len(self.toks):
+            tok = self.toks[self.i]
+            t = tok.text
+            if t == "operator":
+                out.append(tok)
+                self.i += 1
+                while (self.i < len(self.toks)
+                       and not _is_ident(self._peek())
+                       and self._peek() not in ("(", ";")):
+                    out.append(self.toks[self.i])
+                    self.i += 1
+                prev = "operator"
+                continue
+            if paren == 0 and angle == 0 and t in (";", "{"):
+                self.i += 1
+                return out, t
+            if t in ("(", "["):
+                paren += 1
+            elif t in (")", "]"):
+                paren -= 1
+            elif t == "<" and paren >= 0 and prev is not None and (
+                    _is_ident(prev) or prev in (">", "::")):
+                angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == ">>" and angle > 0:
+                angle -= 2
+                if angle < 0:
+                    angle = 0
+            out.append(tok)
+            prev = t
+            self.i += 1
+        return out, None
+
+    # -- declarations ----------------------------------------------------
+
+    @staticmethod
+    def _top_level_paren_index(stmt):
+        """Index of the first ``(`` outside template args, or -1."""
+        angle = 0
+        prev = None
+        for k, tok in enumerate(stmt):
+            t = tok.text
+            if t == "<" and prev is not None and (
+                    _is_ident(prev) or prev in (">", "::")):
+                angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == ">>" and angle > 0:
+                angle = max(0, angle - 2)
+            elif t == "(" and angle == 0:
+                return k
+            prev = t
+        return -1
+
+    @staticmethod
+    def _function_name_before(stmt, paren_idx):
+        """Qualified name ending just before stmt[paren_idx], or None."""
+        k = paren_idx - 1
+        parts = []
+        if k >= 0 and not _is_ident(stmt[k].text):
+            # operator() / operator< etc: back up over the symbols to
+            # the ``operator`` keyword.
+            j = k
+            while j >= 0 and stmt[j].text != "operator":
+                if _is_ident(stmt[j].text) or stmt[j].text in (";", ")"):
+                    return None
+                j -= 1
+            if j >= 0:
+                return "operator", stmt[j].line
+            return None
+        while k >= 0 and _is_ident(stmt[k].text):
+            parts.append(stmt[k].text)
+            if k - 1 >= 0 and stmt[k - 1].text == "::":
+                k -= 2
+                # skip template args in qualifiers: A<T>::f — rare, and
+                # the walker already folded <...> into the statement.
+                continue
+            break
+        if not parts:
+            return None
+        parts.reverse()
+        return "::".join(parts), stmt[paren_idx - 1].line
+
+    def _record_function(self, stmt, paren_idx, class_stack):
+        """The function's opening ``{`` was just consumed by the
+        statement scanner; stmt holds everything before it."""
+        named = self._function_name_before(stmt, paren_idx)
+        body = self._collect_body()
+        if named is None:
+            return
+        name, line = named
+        base = name.split("::")[-1]
+        if class_stack and "::" not in name:
+            qual = "::".join(c.name for c in class_stack) + "::" + name
+        else:
+            qual = name
+        idents = set()
+        calls = set()
+        # Include the ctor-initializer tokens (between ')' and '{'),
+        # which reference members, by scanning the statement tail too.
+        for tok in list(stmt) + body:
+            if _is_ident(tok.text):
+                idents.add(tok.text)
+                if tok.is_call:
+                    calls.add(tok.text)
+        self.index.functions.setdefault(base, []).append(
+            FuncDef(base, qual, self.rel, line, idents, calls))
+
+    def _member_from_statement(self, stmt, cls):
+        """Classify a ';'-terminated class-body statement."""
+        if not stmt:
+            return
+        head = stmt[0].text
+        if head in _DECL_SKIP_STARTERS or head == "enum":
+            return
+        texts = [t.text for t in stmt]
+        if "operator" in texts:
+            return
+        paren_idx = self._top_level_paren_index(stmt)
+        if paren_idx >= 0:
+            return  # method declaration (or ctor) — not a data member
+        # Strip default-member-initializer: cut at top-level '='.
+        angle = 0
+        prev = None
+        cut = len(stmt)
+        for k, tok in enumerate(stmt):
+            t = tok.text
+            if t == "<" and prev is not None and (
+                    _is_ident(prev) or prev in (">", "::")):
+                angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == ">>" and angle > 0:
+                angle = max(0, angle - 2)
+            elif t == "=" and angle == 0:
+                cut = k
+                break
+            prev = t
+        decl = stmt[:cut]
+        # Drop trailing array extents and bitfield widths.
+        while decl and decl[-1].text == "]":
+            depth = 0
+            for k in range(len(decl) - 1, -1, -1):
+                if decl[k].text == "]":
+                    depth += 1
+                elif decl[k].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        decl = decl[:k]
+                        break
+            else:
+                break
+        if len(decl) >= 2 and decl[-2].text == ":":
+            decl = decl[:-2]  # bitfield
+        if not decl:
+            return
+        name_tok = None
+        for tok in reversed(decl):
+            if _is_ident(tok.text):
+                name_tok = tok
+                break
+        if name_tok is None or name_tok is decl[0]:
+            return  # no separate type — not a data member
+        if name_tok.text in _TYPE_KEYWORD_NOISE:
+            return
+        type_text = " ".join(t.text for t in decl
+                             if t is not name_tok)
+        member = Member(name_tok.text, type_text, name_tok.line)
+        angle = 0
+        prev = None
+        for tok in decl:
+            t = tok.text
+            if t == "<" and prev is not None and (
+                    _is_ident(prev) or prev in (">", "::")):
+                angle += 1
+            elif t == ">" and angle > 0:
+                angle -= 1
+            elif t == ">>" and angle > 0:
+                angle = max(0, angle - 2)
+            elif angle == 0:
+                if t == "&":
+                    member.is_reference = True
+                elif t == "const":
+                    member.is_const = True
+                elif t in ("static", "constexpr"):
+                    member.is_static = True
+            prev = t
+        if _FUNCTION_TYPE_RE.search(type_text):
+            member.is_function_type = True
+        first_line = stmt[0].line
+        for probe in range(max(0, first_line - 1), name_tok.line + 1):
+            member.tags.extend(parse_ckpt_tags(self.comments[probe]))
+        cls.members.append(member)
+
+    # -- class bodies ----------------------------------------------------
+
+    def _parse_class_body(self, cls, class_stack, ns):
+        """self.i is just past the class's opening '{'."""
+        while self.i < len(self.toks):
+            t = self._peek()
+            if t == "}":
+                self.i += 1
+                if self._peek() == ";":
+                    self.i += 1
+                return
+            if t in _ACCESS_SPECIFIERS and self._peek(1) == ":":
+                self.i += 2
+                continue
+            if t in ("class", "struct") and self._looks_like_class_def():
+                self._parse_class(class_stack + [cls], ns)
+                continue
+            if t == "enum":
+                self._skip_enum()
+                continue
+            if t == "template":
+                self.i += 1
+                if self._peek() == "<":
+                    self._skip_template_args()
+                continue
+            stmt, term = self._scan_statement()
+            if term == "{":
+                paren_idx = self._top_level_paren_index(stmt)
+                if paren_idx >= 0:
+                    self._record_function(stmt, paren_idx,
+                                          class_stack + [cls])
+                else:
+                    # Brace initializer (``Milliwatts sum{};``): fold
+                    # the braces in and keep scanning to the ';'.
+                    self._collect_body()
+                    tail, term2 = self._scan_statement()
+                    if term2 == ";":
+                        self._member_from_statement(stmt + tail, cls)
+            elif term == ";":
+                self._member_from_statement(stmt, cls)
+            else:
+                return  # EOF
+
+    def _skip_enum(self):
+        """self.i at ``enum``: skip the whole definition."""
+        while self.i < len(self.toks):
+            t = self._peek()
+            if t == "{":
+                self.i += 1
+                self._collect_body()
+                if self._peek() == ";":
+                    self.i += 1
+                return
+            if t == ";":
+                self.i += 1
+                return
+            self.i += 1
+
+    def _looks_like_class_def(self):
+        """At ``class``/``struct``: definition (not fwd decl/elaborated)?"""
+        j = self.i + 1
+        # skip attributes / macro-ish tokens until the name
+        while j < len(self.toks) and not _is_ident(self.toks[j].text):
+            if self.toks[j].text in (";", "{", "}"):
+                return False
+            j += 1
+        j += 1  # past the name
+        depth = 0
+        while j < len(self.toks):
+            t = self.toks[j].text
+            if depth == 0 and t == "{":
+                return True
+            if depth == 0 and t in (";", ")", ","):
+                return False
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth = max(0, depth - 1)
+            elif t == ">>":
+                depth = max(0, depth - 2)
+            j += 1
+        return False
+
+    def _parse_class(self, class_stack, ns):
+        """self.i at ``class``/``struct`` known to start a definition."""
+        self.i += 1
+        while self.i < len(self.toks) and not _is_ident(self._peek()):
+            self.i += 1
+        name = self._peek()
+        head_line = self.toks[self.i].line
+        self.i += 1
+        # skip "final" and the base clause up to '{'
+        while self.i < len(self.toks) and self._peek() != "{":
+            if self._peek() == "<":
+                self._skip_template_args()
+                continue
+            self.i += 1
+        if self.i >= len(self.toks):
+            return
+        self.i += 1  # past '{'
+        qual_parts = [c.name for c in class_stack] + [name]
+        qual = "::".join(qual_parts)
+        cls = ClassInfo(name, qual, self.rel, head_line)
+        for probe in (head_line - 1, head_line):
+            if 0 <= probe < len(self.comments):
+                cls.tags.extend(parse_ckpt_tags(self.comments[probe]))
+        self.index.classes.setdefault(name, []).append(cls)
+        self._parse_class_body(cls, class_stack, ns)
+
+    # -- top level -------------------------------------------------------
+
+    def parse(self):
+        while self.i < len(self.toks):
+            t = self._peek()
+            if t == "namespace":
+                self.i += 1
+                while self.i < len(self.toks) and self._peek() not in (
+                        "{", ";", "="):
+                    self.i += 1
+                if self._peek() == "{":
+                    self.i += 1  # descend into the namespace
+                elif self._peek() is not None:
+                    self.i += 1  # alias / ; — skip
+                continue
+            if t in ("class", "struct") and self._looks_like_class_def():
+                self._parse_class([], None)
+                continue
+            if t == "enum":
+                self._skip_enum()
+                continue
+            if t == "template":
+                self.i += 1
+                if self._peek() == "<":
+                    self._skip_template_args()
+                continue
+            if t == "}":
+                self.i += 1  # namespace close
+                continue
+            stmt, term = self._scan_statement()
+            if term == "{":
+                paren_idx = self._top_level_paren_index(stmt)
+                has_eq = any(tok.text == "=" for tok in stmt)
+                if paren_idx >= 0 and not has_eq:
+                    self._record_function(stmt, paren_idx, [])
+                else:
+                    self._collect_body()
+                    # variable with brace init: run on to the ';'
+                    self._scan_statement()
+            elif term is None:
+                return
+
+
+class Index:
+    """Parsed model of a file set (see module docstring)."""
+
+    def __init__(self, root):
+        self.root = root
+        self.files = {}       # rel -> FileInfo
+        self.classes = {}     # unqualified name -> [ClassInfo]
+        self.functions = {}   # unqualified name -> [FuncDef]
+
+    def add_file(self, rel):
+        if rel in self.files:
+            return self.files[rel]
+        path = os.path.join(self.root, rel)
+        try:
+            with open(path, "r", encoding="utf-8",
+                      errors="replace") as f:
+                raw = f.read().splitlines()
+        except OSError:
+            return None
+        code, comments = split_code_and_comments(raw)
+        includes = []
+        for lineno, line in enumerate(raw):
+            m = INCLUDE_RE.match(line)
+            if m:
+                includes.append((lineno, m.group(1)))
+        tokens = tokenize(code)
+        info = FileInfo(rel, raw, code, comments, tokens, includes)
+        self.files[rel] = info
+        _Parser(rel, tokens, comments, self).parse()
+        return info
+
+    # -- queries ---------------------------------------------------------
+
+    def class_defs(self, name):
+        """All definitions of unqualified class name ``name``."""
+        return self.classes.get(name, [])
+
+    def function_bodies(self, name):
+        return self.functions.get(name, [])

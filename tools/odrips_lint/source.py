@@ -1,0 +1,143 @@
+"""Comment/string stripping and tokenization for the odrips-lint indexer.
+
+The indexer never sees a compiler front end: it works on a per-line
+"code view" of each translation unit (comments and string/char literals
+blanked, line count preserved so findings map back to real lines) plus a
+parallel "comment view" that keeps the comment text — annotations such
+as `// ckpt: skip(...)` and `// odrips-lint: allow(...)` live in
+comments, so both views are needed.
+"""
+
+import re
+
+__all__ = [
+    "split_code_and_comments",
+    "strip_comments_and_strings",
+    "tokenize",
+    "Token",
+]
+
+
+def split_code_and_comments(lines):
+    """Return (code_lines, comment_lines) for C++ source ``lines``.
+
+    ``code_lines[i]`` is line ``i`` with comments and string/char
+    literals blanked (strings collapse to an empty literal ``""`` so
+    token shapes survive); ``comment_lines[i]`` is the concatenated
+    comment text found on line ``i`` ("" when none). Both lists keep
+    the input line count, so indexes are 0-based line numbers.
+
+    Raw strings are treated as plain strings; the repo does not use
+    multi-line raw literals.
+    """
+    code = []
+    comments = []
+    in_block = False
+    for line in lines:
+        buf = []
+        cbuf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    cbuf.append(line[i:])
+                    i = n
+                else:
+                    cbuf.append(line[i:end])
+                    in_block = False
+                    i = end + 2
+                continue
+            c = line[i]
+            two = line[i:i + 2]
+            if two == "//":
+                cbuf.append(line[i + 2:])
+                break
+            if two == "/*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                buf.append(quote + quote)
+                continue
+            buf.append(c)
+            i += 1
+        code.append("".join(buf))
+        comments.append(" ".join(p for p in cbuf if p.strip()))
+    return code, comments
+
+
+def strip_comments_and_strings(lines):
+    """Back-compat helper: just the code view (see split_code_and_comments)."""
+    return split_code_and_comments(lines)[0]
+
+
+# Multi-character operators first so the alternation is longest-match.
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"
+    r"|\d[\w.+-]*"  # numbers incl. 1e-3, 0x1f (good enough for indexing)
+    r"|::|->\*?|\+\+|--|<<=?|>>=?|<=|>=|==|!=|&&|\|\||\.\.\."
+    r"|[-+*/%^&|~!<>=?.,;:(){}\[\]#\\]"
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+
+class Token:
+    """One lexical token: text, 0-based line, and call-position flag."""
+
+    __slots__ = ("text", "line", "is_call")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+        self.is_call = False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.text!r}, line={self.line})"
+
+
+_KEYWORDS_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof",
+    "alignof", "alignas", "decltype", "static_assert", "throw", "new",
+    "delete", "assert", "defined",
+}
+
+
+def tokenize(code_lines):
+    """Tokenize blanked code lines into a flat Token list.
+
+    Preprocessor lines (and their backslash continuations) are skipped
+    entirely — the indexer records `#include` edges from the raw lines
+    instead, and macro bodies would only confuse the brace tracker.
+
+    An identifier immediately followed by ``(`` is marked as being in
+    call position (used by the ckpt-coverage closure); control-flow
+    keywords are excluded.
+    """
+    toks = []
+    in_continuation = False
+    for lineno, line in enumerate(code_lines):
+        stripped = line.lstrip()
+        if in_continuation or stripped.startswith("#"):
+            in_continuation = line.rstrip().endswith("\\")
+            continue
+        for m in _TOKEN_RE.finditer(line):
+            toks.append(Token(m.group(0), lineno))
+    for i, tok in enumerate(toks):
+        if (i + 1 < len(toks) and toks[i + 1].text == "("
+                and _IDENT_RE.match(tok.text)
+                and tok.text not in _KEYWORDS_NOT_CALLS):
+            tok.is_call = True
+    return toks
