@@ -15,6 +15,7 @@
 #include "core/governor.hh"
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -23,6 +24,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     const PlatformConfig cfg = skylakeConfig();
     const CyclePowerProfile drips =
@@ -105,6 +110,6 @@ main(int argc, char **argv)
                  "break-even; at the 30 s\nconnected-standby dwell all "
                  "policies converge on DRIPS — which is why the\npaper "
                  "can optimize DRIPS itself.\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
 #include "sim/random.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -20,6 +21,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     std::cout << "ABLATION: MEE metadata cache size vs context transfer\n\n";
 
@@ -129,6 +134,6 @@ main(int argc, char **argv)
     std::cout << "\nShape: random accesses need capacity — the hit rate "
                  "climbs until all 858\nmetadata nodes fit, which is "
                  "the regime the real MEE cache is built for.\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -19,6 +20,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     std::cout << "ABLATION: light-load delivery efficiency vs ODRIPS "
                  "savings\n\n";
@@ -59,6 +64,6 @@ main(int argc, char **argv)
     std::cout << "\nShape: at the paper's 74% the battery saves "
                  "1/0.74 = 1.35 W per watt of\neliminated load; worse "
                  "regulators amplify every technique's value.\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -20,6 +21,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     Crystal fast("f", 24.0e6, 18.0, Milliwatts::zero());
     Crystal slow("s", 32768.0, -35.0, Milliwatts::zero());
@@ -59,6 +64,6 @@ main(int argc, char **argv)
               << " (paper: 21). Each extra bit halves the residual "
                  "quantization\nbut doubles the one-time calibration "
                  "window.\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -23,6 +24,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     std::cout << "ABLATION: interrupt-coalescing window vs average "
                  "power\n(kernel wake ~30 s, network pushes ~15 s, "
@@ -91,6 +96,6 @@ main(int argc, char **argv)
                  "window of notification latency — the buffering\n"
                  "trade-off that lets DRIPS afford millisecond-scale "
                  "exit latencies (Sec. 3).\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

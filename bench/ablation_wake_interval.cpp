@@ -11,6 +11,7 @@
 
 #include "core/odrips.hh"
 #include "exec/parallel_sweep.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -19,6 +20,10 @@ main(int argc, char **argv)
 {
     Logger::quiet(true);
     exec::setDefaultJobs(resolveJobs(argc, argv));
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     const PlatformConfig cfg = skylakeConfig();
     const CyclePowerProfile base =
@@ -62,6 +67,6 @@ main(int argc, char **argv)
               << stats::fmtPercent(1.0 -
                                    odrips.idlePower / base.idlePower)
               << " of DRIPS power.\n";
-    stats::printSweepReport(std::cerr);
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

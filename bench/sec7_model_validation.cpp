@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/odrips.hh"
+#include "store/profile_store.hh"
 
 using namespace odrips;
 
@@ -23,6 +24,10 @@ int
 main()
 {
     Logger::quiet(true);
+    // ODRIPS_STORE=dir attaches the persistent result store behind
+    // the profile cache; the backend reports into the stderr
+    // telemetry, so result tables stay byte-identical either way.
+    const auto attached_store = store::attachGlobalStoreFromEnv();
 
     std::cout << "SEC 7: power-model validation — analytic Eq. 1 vs "
                  "event-driven simulation\n\n";
@@ -75,5 +80,8 @@ main()
               << stats::fmtPercent(worst)
               << "  (paper reports ~95% for its power model vs "
                  "post-silicon)\n";
+    // Cache/store/sweep counters go to stderr so the tables above
+    // stay byte-identical for any --jobs value or attached store.
+    stats::printRunTelemetry(std::cerr);
     return 0;
 }

@@ -12,6 +12,12 @@
 # must not read host time (the wall-clock lint rule), so end-to-end
 # wall clock is the harness's job.
 #
+# Every benchmark binary is run fail-loud: a non-zero exit aborts the
+# harness with the binary's name instead of silently writing a JSON
+# file with missing or stale numbers. The output file is written
+# atomically (tmp + rename) so an aborted run never leaves a truncated
+# trajectory behind.
+#
 # Usage: scripts/bench.sh [output.json]      (default: BENCH_kernel.json)
 #        ODRIPS_BENCH_BUILD=dir overrides the Release build tree.
 set -euo pipefail
@@ -21,20 +27,34 @@ out="${1:-BENCH_kernel.json}"
 jobs=$(nproc 2>/dev/null || echo 2)
 build_dir="${ODRIPS_BENCH_BUILD:-build-bench}"
 
+fail() {
+    echo "bench.sh: FAIL: $*" >&2
+    exit 1
+}
+
 generator=()
 [ -d "$build_dir" ] || { command -v ninja >/dev/null 2>&1 && generator=(-G Ninja); }
 
 echo "== bench.sh: Release build in $build_dir =="
-cmake -B "$build_dir" "${generator[@]}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" -j "$jobs" \
-    --target microbench fig6a_techniques longtrace_throughput arch_info \
-    >/dev/null
-
+build_log="$(mktemp)"
 micro_json="$(mktemp)"
-trap 'rm -f "$micro_json"' EXIT
+query_dir=""
+trap 'rm -f "$build_log" "$micro_json"; [ -n "$query_dir" ] && rm -rf "$query_dir"' EXIT
+
+# Ninja reports compile errors on stdout, so a bare >/dev/null would
+# swallow them; keep the build log and replay its tail on failure.
+cmake -B "$build_dir" "${generator[@]}" -DCMAKE_BUILD_TYPE=Release \
+    > "$build_log" 2>&1 \
+    || { tail -40 "$build_log" >&2; fail "cmake configure failed"; }
+cmake --build "$build_dir" -j "$jobs" \
+    --target microbench fig6a_techniques longtrace_throughput \
+    query_engine arch_info \
+    > "$build_log" 2>&1 \
+    || { tail -40 "$build_log" >&2; fail "Release build failed"; }
 
 echo "== bench.sh: microbench =="
-"$build_dir/bench/microbench" --benchmark_format=json > "$micro_json"
+"$build_dir/bench/microbench" --benchmark_format=json > "$micro_json" \
+    || fail "microbench exited non-zero"
 
 # Environment stamp: which kernels produced these numbers, on what CPU,
 # at which commit. A perf delta without this block is unattributable.
@@ -45,7 +65,8 @@ echo "== bench.sh: fig6a_techniques wall clock (best of 3) =="
 best_ns=""
 for _ in 1 2 3; do
     t0=$(date +%s%N)
-    "$build_dir/bench/fig6a_techniques" --jobs=1 >/dev/null 2>&1
+    "$build_dir/bench/fig6a_techniques" --jobs=1 >/dev/null 2>&1 \
+        || fail "fig6a_techniques exited non-zero"
     t1=$(date +%s%N)
     dt=$((t1 - t0))
     if [ -z "$best_ns" ] || [ "$dt" -lt "$best_ns" ]; then
@@ -58,7 +79,8 @@ echo "== bench.sh: longtrace_throughput wall clock ($long_cycles cycles, best of
 long_best_ns=""
 for _ in 1 2 3; do
     t0=$(date +%s%N)
-    "$build_dir/bench/longtrace_throughput" "$long_cycles" >/dev/null
+    "$build_dir/bench/longtrace_throughput" "$long_cycles" >/dev/null \
+        || fail "longtrace_throughput exited non-zero"
     t1=$(date +%s%N)
     dt=$((t1 - t0))
     if [ -z "$long_best_ns" ] || [ "$dt" -lt "$long_best_ns" ]; then
@@ -66,15 +88,44 @@ for _ in 1 2 3; do
     fi
 done
 
+# Batched what-if queries against a persistent result store: the same
+# 1000-query batch (90% repeat keys) simulated cold into a fresh store,
+# then re-answered hot from it. Both phases report their own timings on
+# stderr (query-engine-telemetry); the two stdouts must be
+# bit-identical or the store is serving wrong answers.
+query_batch=1000
+echo "== bench.sh: query_engine $query_batch-query batch (cold, then hot) =="
+query_dir="$(mktemp -d)"
+"$build_dir/bench/query_engine" --gen="$query_batch" --gen-repeat=0.9 \
+    --emit-queries > "$query_dir/batch.jsonl" \
+    || fail "query_engine --emit-queries exited non-zero"
+"$build_dir/bench/query_engine" --store="$query_dir/store" \
+    --jobs="$jobs" < "$query_dir/batch.jsonl" \
+    > "$query_dir/cold.jsonl" 2> "$query_dir/cold.err" \
+    || fail "query_engine cold batch exited non-zero"
+"$build_dir/bench/query_engine" --store="$query_dir/store" \
+    --jobs="$jobs" < "$query_dir/batch.jsonl" \
+    > "$query_dir/hot.jsonl" 2> "$query_dir/hot.err" \
+    || fail "query_engine hot batch exited non-zero"
+cmp -s "$query_dir/cold.jsonl" "$query_dir/hot.jsonl" \
+    || fail "query_engine cold/hot stdout diverged"
+cold_telemetry="$(grep -o 'query-engine-telemetry: .*' "$query_dir/cold.err" | tail -1 | cut -d' ' -f2-)"
+hot_telemetry="$(grep -o 'query-engine-telemetry: .*' "$query_dir/hot.err" | tail -1 | cut -d' ' -f2-)"
+[ -n "$cold_telemetry" ] && [ -n "$hot_telemetry" ] \
+    || fail "query_engine emitted no telemetry line"
+
 python3 - "$micro_json" "$best_ns" "$out" "$arch_json" "$git_sha" \
-    "$long_best_ns" "$long_cycles" <<'PY'
+    "$long_best_ns" "$long_cycles" "$cold_telemetry" "$hot_telemetry" \
+    <<'PY'
 import json
+import os
 import sys
 
 micro_path, fig_ns, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 environment = json.loads(sys.argv[4])
 environment["git_sha"] = sys.argv[5]
 long_ns, long_cycles = int(sys.argv[6]), int(sys.argv[7])
+cold_tel, hot_tel = json.loads(sys.argv[8]), json.loads(sys.argv[9])
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -93,6 +144,22 @@ benches["fig6a_techniques"] = {"wall_clock_s": round(fig_ns / 1e9, 3)}
 benches["longtrace_throughput"] = {
     "wall_clock_s": round(long_ns / 1e9, 3),
     "cycles_per_second": round(long_cycles / (long_ns / 1e9), 1),
+}
+# Batched what-if queries: cold fills a fresh store, hot re-answers the
+# identical batch from it. The store's served fraction on the hot pass
+# goes into the environment block (it attributes the hot number).
+benches["query_engine_batch_cold"] = {
+    "wall_clock_s": round(cold_tel["total_s"], 4),
+}
+benches["query_engine_batch_hot"] = {
+    "wall_clock_s": round(hot_tel["total_s"], 4),
+}
+environment["store_hit_rate"] = round(hot_tel["store_hit_rate"], 4)
+environment["store_batch"] = {
+    "queries": cold_tel["batch"],
+    "unique_keys": cold_tel["unique_keys"],
+    "cold_sim_s": round(cold_tel["cold_sim_s"], 4),
+    "hot_serve_s": round(hot_tel["hot_serve_s"], 6),
 }
 
 # Preserve any history block the committed trajectory carries.
@@ -115,8 +182,12 @@ doc = {
 if previous is not None:
     doc["previous"] = previous
 
-with open(out_path, "w") as f:
+# Atomic write: a crash mid-dump must not leave a truncated trajectory
+# where the committed baseline used to be.
+tmp_path = out_path + ".tmp"
+with open(tmp_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
+os.replace(tmp_path, out_path)
 print(f"bench.sh: wrote {out_path}")
 PY

@@ -35,10 +35,18 @@
 #              end-to-end bit-equality cross-checks: fig6a stdout with
 #              checkpointing on/off for jobs {1,2,8}, and the longtrace
 #              summary with and without periodic checkpoint/resume.
-#  all         lint, then simd, then ckpt, then tsan, then asan
-#              (default).
+#  store       the persistent result-store suites (`ctest -L
+#              odrips_store`: schema round-trips, torture negatives,
+#              multi-process locking) plus two end-to-end checks on a
+#              generated 1000-query batch: query_engine stdout is
+#              bit-identical whether answers are simulated cold or
+#              served from the store, across ODRIPS_PROFILE_CACHE
+#              {1,0} x jobs {1,8}; and the engine-reported hot serve
+#              time beats the cold simulate time by >=100x.
+#  all         lint, then simd, then ckpt, then store, then tsan,
+#              then asan (default).
 #
-# Usage: scripts/check.sh [lint|simd|ckpt|tsan|asan|bench]   (default: all)
+# Usage: scripts/check.sh [lint|simd|ckpt|store|tsan|asan|bench]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -161,6 +169,81 @@ run_ckpt() {
     echo "checkpoint gate passed"
 }
 
+run_store() {
+    echo "== Store gate (ctest -L odrips_store + cold/hot bit-equality) =="
+    local gen=()
+    [ -d build ] || gen=("${generator[@]}")
+    cmake -B build "${gen[@]}" >/dev/null
+    cmake --build build -j "$jobs" \
+        --target store_test store_parallel_test query_engine
+
+    echo "-- ctest -L odrips_store --"
+    ctest --test-dir build -L odrips_store --output-on-failure -j "$jobs"
+
+    # A what-if batch must produce bit-identical stdout whether the
+    # answers are simulated cold or served from the store, with the
+    # in-memory memo on or off, at any worker count. The reference is
+    # the cold pass that fills the store; every later pass serves hot.
+    echo "-- query_engine bit-equality: cold vs hot x ODRIPS_PROFILE_CACHE {1,0} x jobs {1,8} --"
+    local dir
+    dir="$(mktemp -d)"
+    ./build/bench/query_engine --gen=1000 --gen-repeat=0.9 \
+        --emit-queries > "$dir/batch.jsonl"
+    ./build/bench/query_engine --store="$dir/store" --jobs=8 \
+        < "$dir/batch.jsonl" > "$dir/ref.jsonl" 2> "$dir/cold.err"
+    local j c
+    for c in 1 0; do
+        for j in 1 8; do
+            ODRIPS_PROFILE_CACHE=$c \
+                ./build/bench/query_engine --store="$dir/store" \
+                --jobs="$j" < "$dir/batch.jsonl" \
+                > "$dir/scratch.jsonl" 2> "$dir/hot.err"
+            if ! cmp -s "$dir/ref.jsonl" "$dir/scratch.jsonl"; then
+                echo "store: query_engine output diverged" \
+                     "(cache=$c, jobs=$j)" >&2
+                rm -rf "$dir"
+                exit 1
+            fi
+        done
+    done
+
+    # The memoized store must be worth keeping: the engine's own
+    # telemetry says how long the batch's unique keys took to simulate
+    # cold and how long the full batch took to serve hot.
+    echo "-- store speedup: hot serve vs cold simulate (>=100x) --"
+    if ! python3 - "$dir/cold.err" "$dir/hot.err" <<'PY'
+import json
+import sys
+
+def telemetry(path):
+    tail = None
+    with open(path) as f:
+        for line in f:
+            if line.startswith("query-engine-telemetry: "):
+                tail = line.split(": ", 1)[1]
+    if tail is None:
+        sys.exit(f"store: no query-engine-telemetry line in {path}")
+    return json.loads(tail)
+
+cold = telemetry(sys.argv[1])
+hot = telemetry(sys.argv[2])
+cold_s, hot_s = cold["cold_sim_s"], hot["hot_serve_s"]
+speedup = cold_s / hot_s if hot_s > 0 else float("inf")
+print(f"store: cold simulate {cold_s:.4f}s for "
+      f"{cold['cold_keys']} keys, hot serve {hot_s * 1e6:.1f}us for "
+      f"{hot['batch']} queries ({speedup:.0f}x)")
+if speedup < 100:
+    sys.exit("store: hot path is <100x faster than cold; the store "
+             "is not earning its keep")
+PY
+    then
+        rm -rf "$dir"
+        exit 1
+    fi
+    rm -rf "$dir"
+    echo "store gate passed"
+}
+
 run_tsan() {
     echo "== TSan build (ctest -L odrips_tsan) =="
     cmake -B build-tsan "${generator[@]}" \
@@ -234,6 +317,7 @@ case "$mode" in
 lint) run_lint ;;
 simd) run_simd ;;
 ckpt) run_ckpt ;;
+store) run_store ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
 bench) run_bench ;;
@@ -241,11 +325,12 @@ all)
     run_lint
     run_simd
     run_ckpt
+    run_store
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [lint|simd|ckpt|tsan|asan|bench]" >&2
+    echo "usage: $0 [lint|simd|ckpt|store|tsan|asan|bench]" >&2
     exit 2
     ;;
 esac

@@ -19,6 +19,14 @@ registry()
     return records;
 }
 
+std::mutex sectionMutex;
+std::vector<std::function<void(std::ostream &)>> &
+sections()
+{
+    static std::vector<std::function<void(std::ostream &)>> list;
+    return list;
+}
+
 } // namespace
 
 SweepMeter::SweepMeter(std::string meter_name, std::size_t point_count,
@@ -89,6 +97,26 @@ printSweepReport(std::ostream &os)
     table.print(os);
     os << "total: " << total_points << " points in "
        << fmtTime(total_seconds) << " of sweep wall-clock\n";
+}
+
+void
+addReportSection(std::function<void(std::ostream &)> section)
+{
+    std::lock_guard<std::mutex> lock(sectionMutex);
+    sections().push_back(std::move(section));
+}
+
+void
+printRunTelemetry(std::ostream &os)
+{
+    printSweepReport(os);
+    std::vector<std::function<void(std::ostream &)>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(sectionMutex);
+        snapshot = sections();
+    }
+    for (const auto &section : snapshot)
+        section(os);
 }
 
 } // namespace odrips::stats

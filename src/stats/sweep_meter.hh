@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -76,6 +77,24 @@ void clearSweepRecords();
  * time, points/sec. Prints nothing when no sweep was recorded.
  */
 void printSweepReport(std::ostream &os);
+
+/**
+ * Register an extra telemetry section to be appended whenever
+ * printRunTelemetry() runs. Higher layers (e.g. the profile-cache in
+ * core) hook their counters in here, so the stats layer never has to
+ * know about them. Sections print in registration order and must be
+ * safe to invoke multiple times. Registration is process-wide and
+ * permanent (sections are expected to live for the process, like the
+ * global caches they report on).
+ */
+void addReportSection(std::function<void(std::ostream &)> section);
+
+/**
+ * The standard end-of-run telemetry epilogue every bench prints to
+ * stderr: the sweep-throughput report plus every registered section
+ * (profile-cache counters, persistent-store counters, ...).
+ */
+void printRunTelemetry(std::ostream &os);
 
 } // namespace odrips::stats
 

@@ -1,0 +1,356 @@
+#include "store/json_mini.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace odrips::store
+{
+
+double
+JsonValue::asNumber(const std::string &what) const
+{
+    if (kind != Kind::Number)
+        throw JsonError(what + ": expected a number");
+    return number;
+}
+
+bool
+JsonValue::asBool(const std::string &what) const
+{
+    if (kind != Kind::Bool)
+        throw JsonError(what + ": expected a boolean");
+    return boolean;
+}
+
+const std::string &
+JsonValue::asString(const std::string &what) const
+{
+    if (kind != Kind::String)
+        throw JsonError(what + ": expected a string");
+    return string;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            throw JsonError("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            throw JsonError("unexpected end of JSON input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw JsonError(std::string("expected '") + c + "' in JSON");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return objectValue();
+        case '[':
+            return arrayValue();
+        case '"':
+            return stringValue();
+        case 't':
+        case 'f':
+            return boolValue();
+        case 'n':
+            literal("null");
+            return JsonValue{};
+        default:
+            return numberValue();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (s.compare(pos, len, word) != 0)
+            throw JsonError(std::string("malformed JSON literal, "
+                                        "expected ") + word);
+        pos += len;
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (s[pos] == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                std::strchr("+-.eE", s[pos]) != nullptr))
+            ++pos;
+        if (pos == start)
+            throw JsonError("malformed JSON number");
+        const std::string token = s.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            throw JsonError("malformed JSON number: " + token);
+        JsonValue out;
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return out;
+    }
+
+    JsonValue
+    stringValue()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos >= s.size())
+                throw JsonError("unterminated JSON string");
+            const char c = s[pos++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    throw JsonError("unterminated JSON escape");
+                const char e = s[pos++];
+                switch (e) {
+                case '"': v.string += '"'; break;
+                case '\\': v.string += '\\'; break;
+                case '/': v.string += '/'; break;
+                case 'b': v.string += '\b'; break;
+                case 'f': v.string += '\f'; break;
+                case 'n': v.string += '\n'; break;
+                case 'r': v.string += '\r'; break;
+                case 't': v.string += '\t'; break;
+                case 'u': {
+                    // Basic-multilingual-plane escapes only; enough
+                    // for the ASCII identifiers queries actually use.
+                    if (pos + 4 > s.size())
+                        throw JsonError("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            throw JsonError("bad \\u escape digit");
+                    }
+                    // UTF-8 encode.
+                    if (code < 0x80) {
+                        v.string += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        v.string +=
+                            static_cast<char>(0xc0 | (code >> 6));
+                        v.string +=
+                            static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        v.string +=
+                            static_cast<char>(0xe0 | (code >> 12));
+                        v.string += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f));
+                        v.string +=
+                            static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                }
+                default:
+                    throw JsonError("unknown JSON escape");
+                }
+            } else {
+                v.string += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (consume(']'))
+            return v;
+        while (true) {
+            v.array.push_back(value());
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (consume('}'))
+            return v;
+        while (true) {
+            const JsonValue key = stringValue();
+            expect(':');
+            if (v.object.count(key.string) != 0)
+                throw JsonError("duplicate JSON object key: " +
+                                key.string);
+            v.keys.push_back(key.string);
+            v.object.emplace(key.string, value());
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonObjectWriter::fieldRaw(const std::string &key, const std::string &raw)
+{
+    if (!first)
+        out += ',';
+    first = false;
+    out += jsonQuote(key);
+    out += ':';
+    out += raw;
+}
+
+void
+JsonObjectWriter::field(const std::string &key, const std::string &value)
+{
+    fieldRaw(key, jsonQuote(value));
+}
+
+void
+JsonObjectWriter::field(const std::string &key, double value)
+{
+    fieldRaw(key, jsonNumber(value));
+}
+
+void
+JsonObjectWriter::field(const std::string &key, bool value)
+{
+    fieldRaw(key, value ? "true" : "false");
+}
+
+void
+JsonObjectWriter::field(const std::string &key, std::uint64_t value)
+{
+    fieldRaw(key, std::to_string(value));
+}
+
+std::string
+JsonObjectWriter::done()
+{
+    out += '}';
+    return out;
+}
+
+} // namespace odrips::store

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal JSON support for the batched query front end.
+ *
+ * The query engine speaks JSON lines: one flat object per query in,
+ * one flat object per result out. This header provides exactly that
+ * much JSON — parse one value (objects, arrays, strings, numbers,
+ * bools, null; nested values allowed) and emit objects with
+ * deterministic, bit-exact number formatting — with no dependency the
+ * container doesn't already have.
+ *
+ * Number emission uses %.17g: 17 significant digits round-trip every
+ * IEEE-754 double exactly, which is what lets the check.sh store gate
+ * demand byte-identical stdout between served-from-store and
+ * freshly-simulated batches.
+ */
+
+#ifndef ODRIPS_STORE_JSON_MINI_HH
+#define ODRIPS_STORE_JSON_MINI_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace odrips::store
+{
+
+/** Raised on malformed JSON input. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Ordered key list (keys) + map for lookup, so iteration order is
+     * the input order and duplicate keys are an error. */
+    std::vector<std::string> keys;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member or nullptr. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+
+    double asNumber(const std::string &what) const;
+    bool asBool(const std::string &what) const;
+    const std::string &asString(const std::string &what) const;
+};
+
+/** Parse exactly one JSON value from @p text (trailing junk throws). */
+JsonValue parseJson(const std::string &text);
+
+/** Escape and quote @p s as a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/** Format @p v with round-trip-exact precision ("%.17g"). */
+std::string jsonNumber(double v);
+
+/**
+ * Incremental writer for one flat JSON object, preserving field order:
+ *     JsonObjectWriter w;
+ *     w.field("id", "q1"); w.field("avg_power_w", 0.061);
+ *     line = w.done();
+ */
+class JsonObjectWriter
+{
+  public:
+    void field(const std::string &key, const std::string &value);
+    void fieldRaw(const std::string &key, const std::string &raw);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, bool value);
+    void field(const std::string &key, std::uint64_t value);
+
+    /** Close the object and return it. */
+    std::string done();
+
+  private:
+    std::string out = "{";
+    bool first = true;
+};
+
+} // namespace odrips::store
+
+#endif // ODRIPS_STORE_JSON_MINI_HH

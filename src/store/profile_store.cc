@@ -1,0 +1,86 @@
+#include "store/profile_store.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "stats/report.hh"
+
+namespace odrips::store
+{
+
+bool
+StoreProfileBackend::fetch(const ProfileKey &key, CyclePowerProfile &out)
+{
+    const std::optional<StoredResult> hit = store_.lookup(key);
+    if (!hit)
+        return false;
+    out = hit->profile;
+    return true;
+}
+
+void
+StoreProfileBackend::persist(const ProfileKey &key,
+                             const PlatformConfig &cfg,
+                             const TechniqueSet &techniques,
+                             const CyclePowerProfile &profile)
+{
+    (void)techniques;
+    store_.insert(key, makeStoredResult(profile, cfg));
+}
+
+void
+StoreProfileBackend::reportTo(std::ostream &os)
+{
+    const StoreCounters c = store_.counters();
+    os << "result store (" << store_.directory() << "): " << c.hits
+       << " hits / " << c.lookups << " lookups ("
+       << stats::fmtPercent(c.hitRate()) << "), " << c.inserts
+       << " inserts, " << store_.segmentCount() << " segments, "
+       << store_.entryCount() << " entries";
+    if (!store_.writable())
+        os << " [read-only]";
+    os << '\n';
+    const std::uint64_t damaged = c.segmentsBad +
+                                  c.segmentsStalePhysics +
+                                  c.entriesCorrupt + c.entriesTorn +
+                                  c.decodeFailures;
+    if (damaged != 0) {
+        os << "result store damage: " << c.segmentsBad
+           << " bad segments, " << c.segmentsStalePhysics
+           << " stale-physics segments, " << c.entriesCorrupt
+           << " corrupt entries, " << c.entriesTorn
+           << " torn entries, " << c.decodeFailures
+           << " decode failures (all recomputed)\n";
+    }
+}
+
+AttachedStore::AttachedStore(const std::string &dir,
+                             ResultStore::Mode mode)
+    : store_(dir, mode), backend_(store_)
+{
+    CycleProfileCache::global().setBackend(&backend_);
+}
+
+AttachedStore::~AttachedStore()
+{
+    CycleProfileCache::global().setBackend(nullptr);
+}
+
+std::unique_ptr<AttachedStore>
+attachGlobalStoreFromEnv()
+{
+    const char *dir = std::getenv("ODRIPS_STORE");
+    if (dir == nullptr || dir[0] == '\0')
+        return nullptr;
+    try {
+        return std::make_unique<AttachedStore>(
+            dir, ResultStore::Mode::ReadWrite);
+    } catch (const std::exception &e) {
+        warn("ignoring ODRIPS_STORE=", dir, ": ", e.what());
+        return nullptr;
+    }
+}
+
+} // namespace odrips::store

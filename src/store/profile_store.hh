@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bridge from the core profile-cache seam to the persistent store.
+ *
+ * core::CycleProfileCache knows only the abstract ProfileStoreBackend
+ * interface (core must not include store headers — the store layer
+ * sits above core in the include DAG). This header provides the
+ * concrete backend over a ResultStore plus the one-call wiring helper
+ * the binaries use:
+ *
+ *     store::attachGlobalStoreFromEnv();   // honours ODRIPS_STORE=dir
+ *
+ * or, for explicit control (the query engine):
+ *
+ *     store::StoreProfileBackend backend(myStore);
+ *     CycleProfileCache::global().setBackend(&backend);
+ */
+
+#ifndef ODRIPS_STORE_PROFILE_STORE_HH
+#define ODRIPS_STORE_PROFILE_STORE_HH
+
+#include <memory>
+#include <string>
+
+#include "core/profile_cache.hh"
+#include "store/result_store.hh"
+
+namespace odrips::store
+{
+
+/** ProfileStoreBackend over a ResultStore (not owned). */
+class StoreProfileBackend : public ProfileStoreBackend
+{
+  public:
+    explicit StoreProfileBackend(ResultStore &store) : store_(store) {}
+
+    bool fetch(const ProfileKey &key, CyclePowerProfile &out) override;
+
+    void persist(const ProfileKey &key, const PlatformConfig &cfg,
+                 const TechniqueSet &techniques,
+                 const CyclePowerProfile &profile) override;
+
+    void reportTo(std::ostream &os) override;
+
+    ResultStore &resultStore() { return store_; }
+
+  private:
+    ResultStore &store_;
+};
+
+/**
+ * When ODRIPS_STORE names a directory, open (creating if needed) a
+ * ReadWrite ResultStore there, attach it behind the global
+ * CycleProfileCache, and return the owning handle — every subsequent
+ * measureCycleProfile() miss is then served from or persisted to disk.
+ * Returns nullptr (and attaches nothing) when the variable is unset or
+ * empty; warns and returns nullptr when the store cannot be opened (a
+ * broken store directory must not take the simulation down).
+ *
+ * The caller keeps the handle alive for as long as the cache may be
+ * used; letting it die detaches the backend first.
+ */
+class AttachedStore;
+std::unique_ptr<AttachedStore> attachGlobalStoreFromEnv();
+
+/** An opened store wired behind the global cache (RAII detach). */
+class AttachedStore
+{
+  public:
+    AttachedStore(const std::string &dir, ResultStore::Mode mode);
+    ~AttachedStore();
+
+    AttachedStore(const AttachedStore &) = delete;
+    AttachedStore &operator=(const AttachedStore &) = delete;
+
+    ResultStore &resultStore() { return store_; }
+
+  private:
+    ResultStore store_;
+    StoreProfileBackend backend_;
+};
+
+} // namespace odrips::store
+
+#endif // ODRIPS_STORE_PROFILE_STORE_HH

@@ -1,0 +1,200 @@
+#include "store/query.hh"
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "store/result_schema.hh"
+
+namespace odrips::store
+{
+
+namespace
+{
+
+TechniqueSet
+techniqueByName(const std::string &name, PlatformConfig &cfg)
+{
+    if (name == "baseline")
+        return TechniqueSet::baseline();
+    if (name == "wakeup-off")
+        return TechniqueSet::wakeupOffOnly();
+    if (name == "aon-io-gate")
+        return TechniqueSet::aonIoGated();
+    if (name == "ctx-sgx-dram")
+        return TechniqueSet::ctxSgxDram();
+    if (name == "odrips")
+        return TechniqueSet::odrips();
+    if (name == "odrips-mram")
+        return TechniqueSet::odripsMram();
+    if (name == "odrips-pcm") {
+        cfg.memoryKind = MainMemoryKind::Pcm;
+        return TechniqueSet::odripsPcm();
+    }
+    throw JsonError("unknown technique \"" + name + "\" (expected one "
+                    "of: baseline, wakeup-off, aon-io-gate, "
+                    "ctx-sgx-dram, odrips, odrips-mram, odrips-pcm)");
+}
+
+void
+setKnob(QuerySpec::Knob &knob, const JsonValue &v, const char *name)
+{
+    knob.set = true;
+    knob.value = v.asNumber(name);
+}
+
+} // namespace
+
+std::vector<std::string>
+techniqueNames()
+{
+    return {"baseline", "wakeup-off", "aon-io-gate", "ctx-sgx-dram",
+            "odrips", "odrips-mram", "odrips-pcm"};
+}
+
+QuerySpec
+parseQuery(const std::string &line, const std::string &default_id)
+{
+    const JsonValue v = parseJson(line);
+    if (!v.isObject())
+        throw JsonError("query line is not a JSON object");
+
+    QuerySpec spec;
+    spec.id = default_id;
+    for (const std::string &key : v.keys) {
+        const JsonValue &field = *v.find(key);
+        if (key == "id") {
+            spec.id = field.asString("id");
+        } else if (key == "technique") {
+            spec.technique = field.asString("technique");
+        } else if (key == "core_freq_ghz") {
+            setKnob(spec.coreFreqGhz, field, "core_freq_ghz");
+        } else if (key == "idle_dwell_s") {
+            setKnob(spec.idleDwellS, field, "idle_dwell_s");
+        } else if (key == "active_min_ms") {
+            setKnob(spec.activeMinMs, field, "active_min_ms");
+        } else if (key == "active_max_ms") {
+            setKnob(spec.activeMaxMs, field, "active_max_ms");
+        } else if (key == "scalable_fraction") {
+            setKnob(spec.scalableFraction, field, "scalable_fraction");
+        } else if (key == "network_wake_s") {
+            setKnob(spec.networkWakeS, field, "network_wake_s");
+        } else if (key == "coalescing_ms") {
+            setKnob(spec.coalescingMs, field, "coalescing_ms");
+        } else if (key == "emram_pessimism") {
+            setKnob(spec.emramPessimism, field, "emram_pessimism");
+        } else if (key == "llc_dirty_fraction") {
+            setKnob(spec.llcDirtyFraction, field, "llc_dirty_fraction");
+        } else if (key == "seed") {
+            setKnob(spec.seed, field, "seed");
+        } else if (key == "memory") {
+            const std::string &kind = field.asString("memory");
+            spec.memorySet = true;
+            if (kind == "ddr3l")
+                spec.memory = MainMemoryKind::Ddr3l;
+            else if (kind == "pcm")
+                spec.memory = MainMemoryKind::Pcm;
+            else
+                throw JsonError("unknown memory kind \"" + kind +
+                                "\" (expected ddr3l or pcm)");
+        } else if (key == "context_storage") {
+            const std::string &kind = field.asString("context_storage");
+            spec.contextStorageSet = true;
+            if (kind == "sr-sram")
+                spec.contextStorage = ContextStorage::SrSram;
+            else if (kind == "dram")
+                spec.contextStorage = ContextStorage::Dram;
+            else if (kind == "emram")
+                spec.contextStorage = ContextStorage::Emram;
+            else
+                throw JsonError("unknown context storage \"" + kind +
+                                "\" (expected sr-sram, dram, or emram)");
+        } else {
+            // Fail loudly: a typoed knob silently evaluating the
+            // default platform is the worst failure mode an oracle
+            // can have.
+            throw JsonError("unknown query field \"" + key + "\"");
+        }
+    }
+    return spec;
+}
+
+ResolvedQuery
+resolveQuery(const QuerySpec &spec)
+{
+    ResolvedQuery q;
+    q.spec = spec;
+    q.cfg = skylakeConfig();
+    q.techniques = techniqueByName(spec.technique, q.cfg);
+
+    if (spec.coreFreqGhz.set)
+        q.cfg.coreFrequencyHz = spec.coreFreqGhz.value * 1e9;
+    if (spec.idleDwellS.set)
+        q.cfg.workload.idleDwellSeconds = spec.idleDwellS.value;
+    if (spec.activeMinMs.set)
+        q.cfg.workload.activeMinSeconds = spec.activeMinMs.value * 1e-3;
+    if (spec.activeMaxMs.set)
+        q.cfg.workload.activeMaxSeconds = spec.activeMaxMs.value * 1e-3;
+    if (spec.scalableFraction.set)
+        q.cfg.workload.scalableFraction = spec.scalableFraction.value;
+    if (spec.networkWakeS.set)
+        q.cfg.workload.networkWakeMeanSeconds = spec.networkWakeS.value;
+    if (spec.coalescingMs.set)
+        q.cfg.workload.coalescingWindowSeconds =
+            spec.coalescingMs.value * 1e-3;
+    if (spec.emramPessimism.set)
+        q.cfg.emramPessimism = spec.emramPessimism.value;
+    if (spec.llcDirtyFraction.set)
+        q.cfg.llcDirtyFraction = spec.llcDirtyFraction.value;
+    if (spec.seed.set)
+        q.cfg.workload.seed =
+            static_cast<std::uint64_t>(spec.seed.value);
+    if (spec.memorySet)
+        q.cfg.memoryKind = spec.memory;
+    if (spec.contextStorageSet) {
+        q.cfg.contextStorage = spec.contextStorage;
+        if (q.techniques.contextOffload)
+            q.techniques.contextStorage = spec.contextStorage;
+    }
+
+    q.techniques.validate();
+    q.key = profileKey(q.cfg, q.techniques);
+    return q;
+}
+
+std::string
+keyHex(const ProfileKey &key)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(key.hi),
+                  static_cast<unsigned long long>(key.lo));
+    return buf;
+}
+
+std::string
+resultLine(const ResolvedQuery &q, const CyclePowerProfile &profile)
+{
+    const StoredResult derived = makeStoredResult(profile, q.cfg);
+
+    JsonObjectWriter w;
+    w.field("id", q.spec.id);
+    w.field("key", keyHex(q.key));
+    w.field("technique", q.spec.technique);
+    w.field("idle_power_w", profile.idlePower);
+    w.field("active_power_w", profile.activePower);
+    w.field("stall_power_w", profile.stallPower);
+    w.field("entry_latency_s", ticksToSeconds(profile.entryLatency));
+    w.field("exit_latency_s", ticksToSeconds(profile.exitLatency));
+    w.field("entry_energy_j", profile.entryEnergy);
+    w.field("exit_energy_j", profile.exitEnergy);
+    w.field("context_save_s",
+            ticksToSeconds(profile.contextSaveLatency));
+    w.field("context_restore_s",
+            ticksToSeconds(profile.contextRestoreLatency));
+    w.field("context_intact", profile.contextIntact);
+    w.field("avg_power_w", derived.averagePower);
+    w.field("transition_overhead_j", derived.transitionOverheadEnergy);
+    return w.done();
+}
+
+} // namespace odrips::store

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Batched what-if query schema.
+ *
+ * A query is one JSON-lines object naming a technique set and any
+ * subset of platform knobs to override on top of skylakeConfig():
+ *
+ *     {"id":"q1","technique":"odrips","core_freq_ghz":1.0,
+ *      "idle_dwell_s":10,"memory":"pcm"}
+ *
+ * parseQuery() rejects unknown fields loudly (a typoed knob must not
+ * silently evaluate the default platform), resolveQuery() produces the
+ * concrete (PlatformConfig, TechniqueSet) pair — i.e. the ProfileKey —
+ * and resultLine() renders the answer as one deterministic JSON line.
+ *
+ * Determinism contract: resultLine() depends only on the query and its
+ * CyclePowerProfile. Whether the profile came from the in-process
+ * memo, the persistent store, or a fresh simulation is *not* part of
+ * the line (it goes to the stderr telemetry instead), which is what
+ * lets the check.sh store gate diff hot vs cold stdout bytewise.
+ */
+
+#ifndef ODRIPS_STORE_QUERY_HH
+#define ODRIPS_STORE_QUERY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+#include "core/profile_cache.hh"
+#include "store/json_mini.hh"
+
+namespace odrips::store
+{
+
+/** One parsed what-if query (overrides only; nothing resolved yet). */
+struct QuerySpec
+{
+    std::string id;
+    std::string technique = "odrips";
+
+    /** Field is present <=> the knob is overridden. */
+    struct Knob
+    {
+        bool set = false;
+        double value = 0.0;
+    };
+
+    Knob coreFreqGhz;
+    Knob idleDwellS;
+    Knob activeMinMs;
+    Knob activeMaxMs;
+    Knob scalableFraction;
+    Knob networkWakeS;
+    Knob coalescingMs;
+    Knob emramPessimism;
+    Knob llcDirtyFraction;
+    Knob seed;
+
+    bool memorySet = false;
+    MainMemoryKind memory = MainMemoryKind::Ddr3l;
+    bool contextStorageSet = false;
+    ContextStorage contextStorage = ContextStorage::Dram;
+};
+
+/** A query resolved to its concrete configuration pair and key. */
+struct ResolvedQuery
+{
+    QuerySpec spec;
+    PlatformConfig cfg;
+    TechniqueSet techniques;
+    ProfileKey key;
+};
+
+/**
+ * Parse one JSON-lines query. @p default_id names the query when the
+ * line carries no "id". Throws JsonError on malformed JSON, unknown
+ * fields, or out-of-domain values.
+ */
+QuerySpec parseQuery(const std::string &line,
+                     const std::string &default_id);
+
+/** Apply @p spec on top of skylakeConfig() and compute the key. */
+ResolvedQuery resolveQuery(const QuerySpec &spec);
+
+/** Names accepted by the "technique" field. */
+std::vector<std::string> techniqueNames();
+
+/** Render @p key as 32 lowercase hex digits (hi then lo). */
+std::string keyHex(const ProfileKey &key);
+
+/**
+ * One deterministic JSON result line for @p q evaluated to
+ * @p profile: id, key, the profile fields, and the Eq. 1 average
+ * power at the query's own workload point.
+ */
+std::string resultLine(const ResolvedQuery &q,
+                       const CyclePowerProfile &profile);
+
+} // namespace odrips::store
+
+#endif // ODRIPS_STORE_QUERY_HH

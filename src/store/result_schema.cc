@@ -1,0 +1,64 @@
+#include "store/result_schema.hh"
+
+#include "core/experiment.hh"
+
+namespace odrips::store
+{
+
+StoredResult
+makeStoredResult(const CyclePowerProfile &profile,
+                 const PlatformConfig &cfg)
+{
+    StoredResult result;
+    result.profile = profile;
+    result.averagePower = standardWorkloadAverage(profile, cfg);
+    result.transitionOverheadEnergy = profile.transitionOverheadEnergy();
+    return result;
+}
+
+void
+encodeResult(ckpt::Writer &w, const StoredResult &result)
+{
+    const CyclePowerProfile &p = result.profile;
+    w.u32(kResultSchemaVersion);
+    w.f64(p.idlePower);
+    w.f64(p.activePower);
+    w.f64(p.stallPower);
+    w.i64(p.entryLatency);
+    w.i64(p.exitLatency);
+    w.f64(p.entryEnergy);
+    w.f64(p.exitEnergy);
+    w.i64(p.contextSaveLatency);
+    w.i64(p.contextRestoreLatency);
+    w.b(p.contextIntact);
+    w.f64(result.averagePower);
+    w.f64(result.transitionOverheadEnergy);
+}
+
+StoredResult
+decodeResult(const std::uint8_t *data, std::size_t size)
+{
+    ckpt::Reader r(data, size);
+    const std::uint32_t version = r.u32();
+    if (version != kResultSchemaVersion)
+        throw ckpt::SnapshotError("unsupported stored-result schema "
+                                  "version " + std::to_string(version));
+    StoredResult result;
+    CyclePowerProfile &p = result.profile;
+    p.idlePower = r.f64();
+    p.activePower = r.f64();
+    p.stallPower = r.f64();
+    p.entryLatency = r.i64();
+    p.exitLatency = r.i64();
+    p.entryEnergy = r.f64();
+    p.exitEnergy = r.f64();
+    p.contextSaveLatency = r.i64();
+    p.contextRestoreLatency = r.i64();
+    p.contextIntact = r.b();
+    result.averagePower = r.f64();
+    result.transitionOverheadEnergy = r.f64();
+    r.expectEnd("stored-result");
+    return result;
+}
+
+} // namespace odrips::store

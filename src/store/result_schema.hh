@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stable serialized result schema for memoized cycle-profile results.
+ *
+ * The persistent result store (result_store.hh) memoises
+ * measureCycleProfile() across *processes*; this header defines what a
+ * stored result looks like on disk: the full CyclePowerProfile plus the
+ * derived per-key statistics every consumer recomputes today
+ * (Eq. 1 average power at the key's own workload point and the
+ * transition-overhead energy). All values are encoded through the
+ * bounds-checked ckpt::Writer/Reader primitives, so doubles round-trip
+ * bit-exactly and a truncated payload can never turn into UB.
+ *
+ * Versioning: stored entries are only valid for the simulator physics
+ * that produced them. physicsVersion() combines kPhysicsEpoch — bump it
+ * whenever a change alters any measured profile value — with the result
+ * schema version; the store stamps the tag on every segment and skips
+ * segments whose tag does not match, so stale entries self-invalidate
+ * after a physics change instead of serving wrong answers.
+ */
+
+#ifndef ODRIPS_STORE_RESULT_SCHEMA_HH
+#define ODRIPS_STORE_RESULT_SCHEMA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.hh"
+#include "sim/checkpoint/serializer.hh"
+
+namespace odrips::store
+{
+
+/**
+ * Physics epoch of the simulator: the generation number of "what the
+ * measured numbers are". Any change that alters a measured
+ * CyclePowerProfile (power constants, flow timings, Eq. 1, calibration)
+ * must bump this, which orphans every previously persisted result.
+ * Pure refactors and perf work must NOT bump it — the golden-value
+ * suites pin that the numbers stayed put.
+ */
+constexpr std::uint32_t kPhysicsEpoch = 1;
+
+/** Version of the StoredResult payload encoding below. */
+constexpr std::uint32_t kResultSchemaVersion = 1;
+
+/** The 64-bit tag stamped on every store segment. */
+constexpr std::uint64_t
+physicsVersion()
+{
+    return (static_cast<std::uint64_t>(kPhysicsEpoch) << 32) |
+           kResultSchemaVersion;
+}
+
+/** One persisted result: the profile plus its derived statistics. */
+struct StoredResult
+{
+    CyclePowerProfile profile;
+    /** Eq. 1 average power at the key's own workload point. */
+    double averagePower = 0.0;
+    /** profile.transitionOverheadEnergy(), precomputed. */
+    double transitionOverheadEnergy = 0.0;
+};
+
+/** Build a StoredResult from a measured profile and its config. */
+StoredResult makeStoredResult(const CyclePowerProfile &profile,
+                              const PlatformConfig &cfg);
+
+/** Append the schema-versioned encoding of @p result to @p w. */
+void encodeResult(ckpt::Writer &w, const StoredResult &result);
+
+/**
+ * Decode one StoredResult; throws ckpt::SnapshotError on truncation,
+ * trailing bytes, or a schema-version mismatch.
+ */
+StoredResult decodeResult(const std::uint8_t *data, std::size_t size);
+
+inline StoredResult
+decodeResult(const std::vector<std::uint8_t> &buf)
+{
+    return decodeResult(buf.data(), buf.size());
+}
+
+} // namespace odrips::store
+
+#endif // ODRIPS_STORE_RESULT_SCHEMA_HH

@@ -1,0 +1,439 @@
+#include "store/result_store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace odrips::store
+{
+
+namespace
+{
+
+std::string
+segmentName(std::uint64_t number)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "seg-%08llu.odst",
+                  static_cast<unsigned long long>(number));
+    return buf;
+}
+
+/** Parse "seg-<n>.odst" -> n, or 0 when the name doesn't match. */
+std::uint64_t
+segmentNumber(const std::string &name)
+{
+    if (name.size() < 10 || name.compare(0, 4, "seg-") != 0)
+        return 0;
+    if (name.compare(name.size() - 5, 5, ".odst") != 0)
+        return 0;
+    std::uint64_t n = 0;
+    for (std::size_t i = 4; i < name.size() - 5; ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return 0;
+        n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return n;
+}
+
+std::uint64_t
+readLe(const std::uint8_t *p, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+/** One mapped, immutable segment file. */
+struct ResultStore::Segment
+{
+    std::string name;
+    std::uint64_t number = 0;
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+    void *mapping = nullptr;           ///< munmap() target (may be null)
+    std::vector<std::uint8_t> fallback; ///< used when mmap() fails
+
+    ~Segment()
+    {
+        if (mapping != nullptr)
+            ::munmap(mapping, size);
+    }
+};
+
+ResultStore::ResultStore(const std::string &dir, Mode mode,
+                         std::uint64_t physics_tag)
+    : dir_(dir), mode_(mode), physicsTag_(physics_tag)
+{
+    struct stat st{};
+    const bool exists =
+        ::stat(dir_.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+    if (!exists) {
+        if (mode_ == Mode::ReadOnly)
+            throw StoreError("result store directory does not exist: " +
+                             dir_);
+        if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+            throw StoreError("cannot create result store directory " +
+                             dir_ + ": " + std::strerror(errno));
+    }
+
+    if (mode_ == Mode::ReadWrite) {
+        const std::string lock_path = dir_ + "/LOCK";
+        lockFd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                         0644);
+        if (lockFd_ < 0)
+            throw StoreError("cannot open store lock file " + lock_path +
+                             ": " + std::strerror(errno));
+        if (::flock(lockFd_, LOCK_EX | LOCK_NB) == 0) {
+            writable_ = true;
+        } else {
+            // Another writer holds the store: degrade to read-only
+            // rather than failing — callers simply lose write-back.
+            ::close(lockFd_);
+            lockFd_ = -1;
+            warn("result store ", dir_,
+                 " is locked by another writer; continuing read-only");
+        }
+    }
+
+    std::lock_guard<std::mutex> guard(mtx_);
+    loadSegmentsLocked();
+}
+
+ResultStore::~ResultStore()
+{
+    try {
+        flush();
+    } catch (const std::exception &) {
+        // Destructor flush is best-effort; pending entries are a pure
+        // cache, losing them costs recomputation only.
+    }
+    if (lockFd_ >= 0)
+        ::close(lockFd_); // releases the flock
+}
+
+void
+ResultStore::loadSegmentsLocked()
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir_.c_str());
+    if (d == nullptr)
+        throw StoreError("cannot open result store directory " + dir_ +
+                         ": " + std::strerror(errno));
+    while (const dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (segmentNumber(name) != 0)
+            names.push_back(name);
+    }
+    ::closedir(d);
+
+    // Number order == creation order; later segments override earlier
+    // entries for the same key.
+    std::sort(names.begin(), names.end(),
+              [](const std::string &a, const std::string &b) {
+                  return segmentNumber(a) < segmentNumber(b);
+              });
+
+    for (const std::string &name : names) {
+        const std::uint64_t number = segmentNumber(name);
+        nextSegmentNumber_ = std::max(nextSegmentNumber_, number + 1);
+        const bool already = std::any_of(
+            segments_.begin(), segments_.end(),
+            [&](const auto &s) { return s->number == number; });
+        if (already)
+            continue;
+
+        const std::string path = dir_ + "/" + name;
+        const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0) {
+            ++counters_.segmentsBad;
+            continue;
+        }
+        struct stat st{};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            ++counters_.segmentsBad;
+            continue;
+        }
+
+        auto seg = std::make_unique<Segment>();
+        seg->name = name;
+        seg->number = number;
+        seg->size = static_cast<std::size_t>(st.st_size);
+        if (seg->size > 0) {
+            void *map = ::mmap(nullptr, seg->size, PROT_READ, MAP_SHARED,
+                               fd, 0);
+            if (map != MAP_FAILED) {
+                seg->mapping = map;
+                seg->data = static_cast<const std::uint8_t *>(map);
+            } else {
+                // Filesystems without mmap still get a working (if
+                // slower) read path.
+                seg->fallback.resize(seg->size);
+                std::size_t got = 0;
+                while (got < seg->size) {
+                    const ssize_t n =
+                        ::pread(fd, seg->fallback.data() + got,
+                                seg->size - got,
+                                static_cast<off_t>(got));
+                    if (n <= 0)
+                        break;
+                    got += static_cast<std::size_t>(n);
+                }
+                if (got != seg->size) {
+                    ::close(fd);
+                    ++counters_.segmentsBad;
+                    continue;
+                }
+                seg->data = seg->fallback.data();
+            }
+        }
+        ::close(fd);
+
+        segments_.push_back(std::move(seg));
+        if (!indexSegmentLocked(segments_.size() - 1))
+            segments_.pop_back();
+    }
+}
+
+bool
+ResultStore::indexSegmentLocked(std::size_t segment_idx)
+{
+    const Segment &seg = *segments_[segment_idx];
+    // Header: magic, format, physics tag, entry count.
+    if (seg.size < 20) {
+        ++counters_.segmentsBad;
+        return false;
+    }
+    const std::uint8_t *p = seg.data;
+    if (readLe(p, 4) != magic || readLe(p + 4, 4) != formatVersion) {
+        ++counters_.segmentsBad;
+        return false;
+    }
+    const std::uint64_t tag = readLe(p + 8, 8);
+    const std::uint64_t count = readLe(p + 16, 4);
+    if (tag != physicsTag_) {
+        // A physics change orphans old results wholesale; they stay on
+        // disk (an older binary can still read them) but are invisible
+        // here.
+        ++counters_.segmentsStalePhysics;
+        return false;
+    }
+
+    ++counters_.segmentsLoaded;
+    std::size_t off = 20;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        // Entry header: key.lo, key.hi, size, crc.
+        if (off + 24 > seg.size) {
+            counters_.entriesTorn += count - i;
+            break;
+        }
+        ProfileKey key;
+        key.lo = readLe(seg.data + off, 8);
+        key.hi = readLe(seg.data + off + 8, 8);
+        const std::uint64_t payload_size = readLe(seg.data + off + 16, 4);
+        const std::uint32_t stored_crc =
+            static_cast<std::uint32_t>(readLe(seg.data + off + 20, 4));
+        off += 24;
+        if (off + payload_size > seg.size) {
+            counters_.entriesTorn += count - i;
+            break;
+        }
+        const std::uint32_t actual_crc =
+            ckpt::crc32(seg.data + off, payload_size);
+        if (actual_crc != stored_crc) {
+            // Pinned to this entry: framing is intact, keep scanning.
+            ++counters_.entriesCorrupt;
+        } else {
+            index_[key] = Location{segment_idx, off,
+                                   static_cast<std::size_t>(payload_size),
+                                   0};
+        }
+        off += payload_size;
+    }
+    return true;
+}
+
+std::optional<StoredResult>
+ResultStore::decodeAtLocked(const Location &loc)
+{
+    const std::uint8_t *payload =
+        loc.segment == npos
+            ? pending_[loc.pending].second.data()
+            : segments_[loc.segment]->data + loc.offset;
+    const std::size_t size = loc.segment == npos
+                                 ? pending_[loc.pending].second.size()
+                                 : loc.size;
+    try {
+        return decodeResult(payload, size);
+    } catch (const ckpt::SnapshotError &) {
+        // CRC passed but the payload does not parse (e.g. written by a
+        // future schema with an unchanged physics tag — impossible
+        // today, defensive anyway): recompute instead of serving junk.
+        ++counters_.decodeFailures;
+        return std::nullopt;
+    }
+}
+
+std::optional<StoredResult>
+ResultStore::lookup(const ProfileKey &key)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    ++counters_.lookups;
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++counters_.misses;
+        return std::nullopt;
+    }
+    std::optional<StoredResult> result = decodeAtLocked(it->second);
+    if (result)
+        ++counters_.hits;
+    else
+        ++counters_.misses;
+    return result;
+}
+
+void
+ResultStore::insert(const ProfileKey &key, const StoredResult &result)
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    if (!writable_)
+        return;
+    ckpt::Writer w;
+    encodeResult(w, result);
+    pending_.emplace_back(key, w.take());
+    index_[key] = Location{npos, 0, 0, pending_.size() - 1};
+    ++counters_.inserts;
+    if (pending_.size() >= flushThreshold)
+        flushLocked();
+}
+
+void
+ResultStore::flush()
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    flushLocked();
+}
+
+void
+ResultStore::flushLocked()
+{
+    if (pending_.empty() || !writable_)
+        return;
+
+    ckpt::Writer w;
+    w.u32(magic);
+    w.u32(formatVersion);
+    w.u64(physicsTag_);
+    w.u32(static_cast<std::uint32_t>(pending_.size()));
+    for (const auto &[key, payload] : pending_) {
+        w.u64(key.lo);
+        w.u64(key.hi);
+        w.u32(static_cast<std::uint32_t>(payload.size()));
+        w.u32(ckpt::crc32(payload.data(), payload.size()));
+        w.bytes(payload.data(), payload.size());
+    }
+    const std::vector<std::uint8_t> &buf = w.data();
+
+    const std::string name = segmentName(nextSegmentNumber_);
+    const std::string path = dir_ + "/" + name;
+    const std::string tmp = path + ".tmp";
+
+    // Complete segment to a temp file, fsync, then an atomic rename:
+    // a crash at any point leaves either no segment or a whole one.
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        throw StoreError("cannot create store segment " + tmp + ": " +
+                         std::strerror(errno));
+    std::size_t written = 0;
+    while (written < buf.size()) {
+        const ssize_t n =
+            ::write(fd, buf.data() + written, buf.size() - written);
+        if (n <= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw StoreError("short write to store segment " + tmp);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw StoreError("cannot sync store segment " + tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw StoreError("cannot publish store segment " + path + ": " +
+                         std::strerror(errno));
+    }
+
+    ++nextSegmentNumber_;
+    ++counters_.flushes;
+
+    // Re-point the index at the sealed segment (self-read path).
+    auto seg = std::make_unique<Segment>();
+    seg->name = name;
+    seg->number = segmentNumber(name);
+    seg->fallback = buf;
+    seg->size = seg->fallback.size();
+    seg->data = seg->fallback.data();
+    segments_.push_back(std::move(seg));
+
+    const std::size_t seg_idx = segments_.size() - 1;
+    std::size_t off = 20;
+    for (const auto &[key, payload] : pending_) {
+        index_[key] = Location{seg_idx, off + 24, payload.size(), 0};
+        off += 24 + payload.size();
+    }
+    pending_.clear();
+}
+
+void
+ResultStore::refresh()
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    loadSegmentsLocked();
+}
+
+bool
+ResultStore::writable() const
+{
+    return writable_;
+}
+
+std::size_t
+ResultStore::entryCount() const
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    return index_.size();
+}
+
+std::size_t
+ResultStore::segmentCount() const
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    return segments_.size();
+}
+
+StoreCounters
+ResultStore::counters() const
+{
+    std::lock_guard<std::mutex> guard(mtx_);
+    return counters_;
+}
+
+} // namespace odrips::store

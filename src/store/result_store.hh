@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Persistent, versioned, append-only result store.
+ *
+ * A store is a directory of immutable segment files:
+ *
+ *     <dir>/seg-00000001.odst
+ *     <dir>/seg-00000002.odst
+ *     <dir>/LOCK
+ *
+ * Each segment holds a batch of (ProfileKey -> StoredResult) entries
+ * behind a fixed header:
+ *
+ *     u32 magic   'ODST' (0x5453444f little-endian on disk)
+ *     u32 format  segment format version (currently 1)
+ *     u64 physics physicsVersion() of the writer (result_schema.hh)
+ *     u32 count   number of entries
+ *     then per entry:
+ *         u64 key.lo     128-bit ProfileKey content hash
+ *         u64 key.hi
+ *         u32 size       payload byte count
+ *         u32 crc32      CRC-32 of the payload
+ *         payload        StoredResult encoding (result_schema.hh)
+ *
+ * Durability and concurrency:
+ *  - Writes are crash-safe: flush() assembles a complete segment in
+ *    memory, writes it to a temp file, fsyncs, and renames it into
+ *    place — readers can never observe a half-written segment under
+ *    its final name.
+ *  - Segments are append-only at the directory level: once renamed in,
+ *    a segment is never modified, so they are mmap()ed read-only and
+ *    shared freely across processes. refresh() picks up segments that
+ *    other processes sealed after open().
+ *  - A single writer is enforced with an advisory flock() on <dir>/LOCK
+ *    (released automatically if the writer dies). A second ReadWrite
+ *    open does not fail: it degrades to read-only and counts the
+ *    degradation, so "try to write back, else just read" needs no
+ *    caller-side coordination.
+ *  - Corruption is contained: a segment with a bad magic/format is
+ *    skipped whole, a stale physics tag invalidates the whole segment,
+ *    a torn entry ends the scan of its segment, and a payload whose
+ *    CRC-32 does not match is skipped individually. Every fallback is
+ *    counted and every surviving entry is exact — a damaged store can
+ *    cost recomputation, never a wrong answer.
+ *
+ * The in-memory index (key -> location) is built by one O(entries)
+ * walk per segment at open()/refresh(); lookups then decode straight
+ * out of the mapped segment at microsecond latency. Duplicate keys
+ * resolve to the newest segment (last writer wins).
+ */
+
+#ifndef ODRIPS_STORE_RESULT_STORE_HH
+#define ODRIPS_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile_cache.hh"
+#include "store/result_schema.hh"
+
+namespace odrips::store
+{
+
+/** Raised on unrecoverable store problems (unwritable directory...).
+ * Recoverable damage (bad CRC, stale physics) never throws — it is
+ * counted and treated as a miss. */
+class StoreError : public std::runtime_error
+{
+  public:
+    explicit StoreError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Monotonic per-store counters (all values since open()). */
+struct StoreCounters
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t segmentsLoaded = 0;
+    /** Segments skipped whole: stale physics tag. */
+    std::uint64_t segmentsStalePhysics = 0;
+    /** Segments skipped whole: bad magic / format / header. */
+    std::uint64_t segmentsBad = 0;
+    /** Entries whose payload failed its CRC-32 (skipped). */
+    std::uint64_t entriesCorrupt = 0;
+    /** Entries lost to a torn/truncated segment tail. */
+    std::uint64_t entriesTorn = 0;
+    /** Mapped entries whose payload failed to decode on lookup. */
+    std::uint64_t decodeFailures = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+    }
+};
+
+/** A persistent memo of measureCycleProfile results. Thread-safe. */
+class ResultStore
+{
+  public:
+    static constexpr std::uint32_t magic = 0x5453444fu; // "ODST"
+    static constexpr std::uint32_t formatVersion = 1;
+
+    enum class Mode
+    {
+        ReadOnly,  ///< never writes; directory must exist
+        ReadWrite, ///< creates the directory, takes the writer lock
+    };
+
+    /**
+     * Open (and in ReadWrite mode create) the store at @p dir, loading
+     * the index of every valid segment. @p physics_tag entries are the
+     * only ones served; segments with any other tag are skipped whole
+     * (the self-invalidation path after a physics change).
+     */
+    ResultStore(const std::string &dir, Mode mode,
+                std::uint64_t physics_tag = physicsVersion());
+
+    /** Flushes pending entries (best effort), unmaps, unlocks. */
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** Serve @p key from the store (mapped segments or pending batch). */
+    std::optional<StoredResult> lookup(const ProfileKey &key);
+
+    /**
+     * Buffer (@p key -> @p result) for the next flush(). Pending
+     * entries are visible to lookup() immediately; they reach disk at
+     * flush() (automatic every @c flushThreshold inserts and at
+     * destruction). No-op (counted) when the store is not writable.
+     */
+    void insert(const ProfileKey &key, const StoredResult &result);
+
+    /**
+     * Seal every pending entry into a new segment file (temp-file +
+     * rename). No-op when nothing is pending.
+     */
+    void flush();
+
+    /** Re-scan the directory for segments sealed by other processes. */
+    void refresh();
+
+    /**
+     * Whether insert() can reach disk: ReadWrite mode and the writer
+     * lock was won. False after degrading to read-only because another
+     * process holds the lock.
+     */
+    bool writable() const;
+
+    /** Number of distinct keys currently servable. */
+    std::size_t entryCount() const;
+
+    /** Number of mapped (sealed) segments. */
+    std::size_t segmentCount() const;
+
+    StoreCounters counters() const;
+
+    const std::string &directory() const { return dir_; }
+
+    /** Pending inserts that trigger an automatic flush(). */
+    static constexpr std::size_t flushThreshold = 64;
+
+  private:
+    struct Segment;
+    struct Location
+    {
+        // Indices rather than pointers: pending entries move on flush.
+        std::size_t segment;      ///< index into segments_,
+                                  ///  or npos for a pending entry
+        std::size_t offset = 0;   ///< payload offset inside the segment
+        std::size_t size = 0;     ///< payload byte count
+        std::size_t pending = 0;  ///< index into pending_ when npos
+    };
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    void loadSegmentsLocked();
+    bool indexSegmentLocked(std::size_t segment_idx);
+    void flushLocked();
+    std::optional<StoredResult> decodeAtLocked(const Location &loc);
+
+    std::string dir_;
+    Mode mode_;
+    std::uint64_t physicsTag_;
+    int lockFd_ = -1;
+    bool writable_ = false;
+
+    mutable std::mutex mtx_;
+    std::vector<std::unique_ptr<Segment>> segments_;
+    std::map<ProfileKey, Location> index_;
+    std::vector<std::pair<ProfileKey, std::vector<std::uint8_t>>>
+        pending_;
+    std::uint64_t nextSegmentNumber_ = 1;
+    StoreCounters counters_;
+};
+
+} // namespace odrips::store
+
+#endif // ODRIPS_STORE_RESULT_STORE_HH

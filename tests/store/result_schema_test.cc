@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Stored-result schema tests: encode/decode round-trips bit-exactly,
+ * version mismatches and truncation are loud errors (never garbage),
+ * and the physics tag composes epoch and schema version.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "store/result_schema.hh"
+
+using namespace odrips;
+using namespace odrips::store;
+
+namespace
+{
+
+/** A profile with awkward values: non-representable decimals, huge and
+ * tiny magnitudes, negative ticks would be invalid so latencies large. */
+CyclePowerProfile
+awkwardProfile()
+{
+    CyclePowerProfile p;
+    p.idlePower = 0.1 + 0.2; // 0.30000000000000004
+    p.activePower = 1.0 / 3.0;
+    p.stallPower = 5e-324; // smallest subnormal double
+    p.entryLatency = 123456789012345ll;
+    p.exitLatency = 1;
+    p.entryEnergy = 1.7976931348623157e308;
+    p.exitEnergy = 2.2250738585072014e-308;
+    p.contextSaveLatency = 0;
+    p.contextRestoreLatency = 987654321;
+    p.contextIntact = false;
+    return p;
+}
+
+std::vector<std::uint8_t>
+encoded(const StoredResult &result)
+{
+    ckpt::Writer w;
+    encodeResult(w, result);
+    return w.take();
+}
+
+bool
+bitEqual(double a, double b)
+{
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ba == bb;
+}
+
+TEST(ResultSchemaTest, RoundTripIsBitExact)
+{
+    StoredResult in;
+    in.profile = awkwardProfile();
+    in.averagePower = 0.061999999999999999;
+    in.transitionOverheadEnergy = 1e-9;
+
+    const StoredResult out = decodeResult(encoded(in));
+
+    EXPECT_TRUE(bitEqual(out.profile.idlePower, in.profile.idlePower));
+    EXPECT_TRUE(
+        bitEqual(out.profile.activePower, in.profile.activePower));
+    EXPECT_TRUE(bitEqual(out.profile.stallPower, in.profile.stallPower));
+    EXPECT_EQ(out.profile.entryLatency, in.profile.entryLatency);
+    EXPECT_EQ(out.profile.exitLatency, in.profile.exitLatency);
+    EXPECT_TRUE(
+        bitEqual(out.profile.entryEnergy, in.profile.entryEnergy));
+    EXPECT_TRUE(bitEqual(out.profile.exitEnergy, in.profile.exitEnergy));
+    EXPECT_EQ(out.profile.contextSaveLatency,
+              in.profile.contextSaveLatency);
+    EXPECT_EQ(out.profile.contextRestoreLatency,
+              in.profile.contextRestoreLatency);
+    EXPECT_EQ(out.profile.contextIntact, in.profile.contextIntact);
+    EXPECT_TRUE(bitEqual(out.averagePower, in.averagePower));
+    EXPECT_TRUE(bitEqual(out.transitionOverheadEnergy,
+                         in.transitionOverheadEnergy));
+}
+
+TEST(ResultSchemaTest, MakeStoredResultComputesDerivedStats)
+{
+    const PlatformConfig cfg = skylakeConfig();
+    CyclePowerProfile p = awkwardProfile();
+    p.idlePower = 0.05;
+    p.activePower = 1.5;
+    p.entryEnergy = 1e-4;
+    p.exitEnergy = 2e-4;
+
+    const StoredResult result = makeStoredResult(p, cfg);
+    EXPECT_GT(result.averagePower, 0.0);
+    EXPECT_TRUE(bitEqual(result.transitionOverheadEnergy,
+                         p.transitionOverheadEnergy()));
+}
+
+TEST(ResultSchemaTest, SchemaVersionMismatchThrows)
+{
+    StoredResult in;
+    in.profile = awkwardProfile();
+    std::vector<std::uint8_t> buf = encoded(in);
+    // The payload leads with the little-endian schema version; bump it.
+    buf[0] = static_cast<std::uint8_t>(kResultSchemaVersion + 1);
+    EXPECT_THROW(decodeResult(buf), ckpt::SnapshotError);
+}
+
+TEST(ResultSchemaTest, EveryTruncationThrowsInsteadOfMisreading)
+{
+    StoredResult in;
+    in.profile = awkwardProfile();
+    const std::vector<std::uint8_t> buf = encoded(in);
+    for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+        const std::vector<std::uint8_t> cut(buf.begin(),
+                                            buf.begin() +
+                                                static_cast<long>(keep));
+        EXPECT_THROW(decodeResult(cut), ckpt::SnapshotError)
+            << "prefix of " << keep << " bytes decoded";
+    }
+}
+
+TEST(ResultSchemaTest, TrailingBytesThrow)
+{
+    StoredResult in;
+    in.profile = awkwardProfile();
+    std::vector<std::uint8_t> buf = encoded(in);
+    buf.push_back(0);
+    EXPECT_THROW(decodeResult(buf), ckpt::SnapshotError);
+}
+
+TEST(ResultSchemaTest, PhysicsVersionComposesEpochAndSchema)
+{
+    EXPECT_EQ(physicsVersion() >> 32, kPhysicsEpoch);
+    EXPECT_EQ(physicsVersion() & 0xffffffffull, kResultSchemaVersion);
+    EXPECT_NE(physicsVersion(), 0u);
+}
+
+} // namespace

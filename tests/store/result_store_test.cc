@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Functional tests for the persistent result store: pending entries
+ * are served before they reach disk, flush seals immutable segments
+ * that survive reopen, duplicate keys resolve newest-wins, a second
+ * writer degrades to read-only, and refresh() picks up segments sealed
+ * by another handle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "store/result_store.hh"
+#include "store_test_util.hh"
+
+using namespace odrips;
+using namespace odrips::store;
+using odrips::test::TempDir;
+
+namespace
+{
+
+StoredResult
+resultWithMarker(double marker)
+{
+    StoredResult r;
+    r.profile.idlePower = marker;
+    r.profile.activePower = marker * 2;
+    r.profile.entryLatency = static_cast<Tick>(marker * 1000);
+    r.averagePower = marker / 3;
+    r.transitionOverheadEnergy = marker / 7;
+    return r;
+}
+
+TEST(ResultStoreTest, PendingEntriesServeBeforeFlush)
+{
+    TempDir dir;
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    EXPECT_TRUE(db.writable());
+
+    const ProfileKey key{1, 2};
+    db.insert(key, resultWithMarker(0.5));
+
+    const auto hit = db.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->profile.idlePower, 0.5);
+    EXPECT_EQ(db.entryCount(), 1u);
+    EXPECT_EQ(db.segmentCount(), 0u); // nothing sealed yet
+
+    const StoreCounters c = db.counters();
+    EXPECT_EQ(c.inserts, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.lookups, 1u);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 1.0);
+}
+
+TEST(ResultStoreTest, FlushSealsSegmentThatSurvivesReopen)
+{
+    TempDir dir;
+    {
+        ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+        db.insert(ProfileKey{10, 20}, resultWithMarker(1.25));
+        db.insert(ProfileKey{11, 21}, resultWithMarker(2.5));
+        db.flush();
+        EXPECT_EQ(db.segmentCount(), 1u);
+        // Entries still served after they moved from pending to disk.
+        const auto hit = db.lookup(ProfileKey{10, 20});
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->profile.idlePower, 1.25);
+    }
+    ASSERT_EQ(dir.segmentFiles().size(), 1u);
+
+    ResultStore reader(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_FALSE(reader.writable());
+    EXPECT_EQ(reader.entryCount(), 2u);
+    const auto hit = reader.lookup(ProfileKey{11, 21});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->profile.idlePower, 2.5);
+    EXPECT_EQ(hit->profile.activePower, 5.0);
+    EXPECT_EQ(reader.counters().segmentsLoaded, 1u);
+}
+
+TEST(ResultStoreTest, EmptyFlushIsANoOp)
+{
+    TempDir dir;
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    db.flush();
+    EXPECT_EQ(db.segmentCount(), 0u);
+    EXPECT_TRUE(dir.segmentFiles().empty());
+}
+
+TEST(ResultStoreTest, DuplicateKeysResolveNewestWins)
+{
+    TempDir dir;
+    const ProfileKey key{7, 9};
+    {
+        ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+        db.insert(key, resultWithMarker(1.0));
+        db.flush();
+        db.insert(key, resultWithMarker(2.0));
+        db.flush();
+        EXPECT_EQ(db.segmentCount(), 2u);
+        // In-handle view already sees the newer value.
+        ASSERT_TRUE(db.lookup(key).has_value());
+        EXPECT_EQ(db.lookup(key)->profile.idlePower, 2.0);
+        // Two segments, one distinct key.
+        EXPECT_EQ(db.entryCount(), 1u);
+    }
+
+    // A fresh open indexes segments in number order: last writer wins.
+    ResultStore reader(dir.path(), ResultStore::Mode::ReadOnly);
+    ASSERT_TRUE(reader.lookup(key).has_value());
+    EXPECT_EQ(reader.lookup(key)->profile.idlePower, 2.0);
+    EXPECT_EQ(reader.entryCount(), 1u);
+}
+
+TEST(ResultStoreTest, PendingOverridesSealedSegment)
+{
+    TempDir dir;
+    const ProfileKey key{3, 4};
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    db.insert(key, resultWithMarker(1.0));
+    db.flush();
+    db.insert(key, resultWithMarker(3.0)); // pending, not sealed
+    ASSERT_TRUE(db.lookup(key).has_value());
+    EXPECT_EQ(db.lookup(key)->profile.idlePower, 3.0);
+}
+
+TEST(ResultStoreTest, AutoFlushAtThreshold)
+{
+    TempDir dir;
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    for (std::uint64_t i = 0; i < ResultStore::flushThreshold; ++i)
+        db.insert(ProfileKey{i, i + 1},
+                  resultWithMarker(static_cast<double>(i)));
+    // The threshold-th insert sealed a segment without an explicit
+    // flush().
+    EXPECT_EQ(db.segmentCount(), 1u);
+    EXPECT_EQ(db.counters().flushes, 1u);
+    EXPECT_EQ(dir.segmentFiles().size(), 1u);
+    EXPECT_EQ(db.entryCount(), ResultStore::flushThreshold);
+}
+
+TEST(ResultStoreTest, ReadOnlyOpenOfMissingDirectoryThrows)
+{
+    TempDir dir;
+    EXPECT_THROW(
+        ResultStore(dir.file("nonexistent"), ResultStore::Mode::ReadOnly),
+        StoreError);
+}
+
+TEST(ResultStoreTest, ReadWriteCreatesDirectory)
+{
+    TempDir dir;
+    const std::string nested = dir.file("fresh");
+    ResultStore db(nested, ResultStore::Mode::ReadWrite);
+    EXPECT_TRUE(db.writable());
+    EXPECT_EQ(db.entryCount(), 0u);
+}
+
+TEST(ResultStoreTest, SecondWriterDegradesToReadOnly)
+{
+    TempDir dir;
+    ResultStore first(dir.path(), ResultStore::Mode::ReadWrite);
+    ASSERT_TRUE(first.writable());
+    first.insert(ProfileKey{1, 1}, resultWithMarker(4.0));
+    first.flush();
+
+    // flock() conflicts across descriptors even within one process, so
+    // this behaves exactly like a second process grabbing the store.
+    ResultStore second(dir.path(), ResultStore::Mode::ReadWrite);
+    EXPECT_FALSE(second.writable());
+
+    // The degraded handle still reads everything...
+    ASSERT_TRUE(second.lookup(ProfileKey{1, 1}).has_value());
+    // ...but its inserts are dropped (counted misses only), with no
+    // error and no interleaved corruption of the first writer's store.
+    second.insert(ProfileKey{2, 2}, resultWithMarker(5.0));
+    second.flush();
+    EXPECT_FALSE(second.lookup(ProfileKey{2, 2}).has_value());
+    EXPECT_EQ(second.counters().inserts, 0u);
+}
+
+TEST(ResultStoreTest, RefreshSeesSegmentsSealedByOtherHandle)
+{
+    TempDir dir;
+    ResultStore writer(dir.path(), ResultStore::Mode::ReadWrite);
+    ResultStore reader(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_FALSE(reader.lookup(ProfileKey{5, 6}).has_value());
+
+    writer.insert(ProfileKey{5, 6}, resultWithMarker(6.5));
+    writer.flush();
+
+    // Not visible until the reader rescans the directory...
+    EXPECT_FALSE(reader.lookup(ProfileKey{5, 6}).has_value());
+    reader.refresh();
+    const auto hit = reader.lookup(ProfileKey{5, 6});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->profile.idlePower, 6.5);
+}
+
+TEST(ResultStoreTest, DestructorFlushesPendingEntries)
+{
+    TempDir dir;
+    {
+        ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+        db.insert(ProfileKey{8, 8}, resultWithMarker(7.0));
+        // no explicit flush
+    }
+    ResultStore reader(dir.path(), ResultStore::Mode::ReadOnly);
+    ASSERT_TRUE(reader.lookup(ProfileKey{8, 8}).has_value());
+    EXPECT_EQ(reader.lookup(ProfileKey{8, 8})->profile.idlePower, 7.0);
+}
+
+TEST(ResultStoreTest, CountersTrackMissesAndHitRate)
+{
+    TempDir dir;
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    db.insert(ProfileKey{1, 0}, resultWithMarker(1.0));
+    db.lookup(ProfileKey{1, 0});
+    db.lookup(ProfileKey{2, 0});
+    db.lookup(ProfileKey{3, 0});
+    const StoreCounters c = db.counters();
+    EXPECT_EQ(c.lookups, 3u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 2u);
+    EXPECT_NEAR(c.hitRate(), 1.0 / 3.0, 1e-12);
+}
+
+} // namespace

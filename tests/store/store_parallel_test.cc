@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Thread-safety of the store-backed profile cache under real worker
+ * pools (odrips_tsan label: scripts/check.sh rebuilds this suite with
+ * -fsanitize=thread). A jobs sweep over {1, 2, 8} drives concurrent
+ * lookup/insert traffic through CycleProfileCache + StoreProfileBackend
+ * + ResultStore; every jobs count must produce results bit-identical
+ * to the serial reference, and the second pass must be served without
+ * re-measuring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profile_cache.hh"
+#include "exec/parallel_sweep.hh"
+#include "platform/techniques.hh"
+#include "store/profile_store.hh"
+#include "store/result_store.hh"
+#include "store_test_util.hh"
+
+using namespace odrips;
+using namespace odrips::store;
+using odrips::test::TempDir;
+
+namespace
+{
+
+/** A few distinct configurations, cycled across sweep points. */
+PlatformConfig
+configForPoint(std::size_t index)
+{
+    PlatformConfig cfg = skylakeConfig();
+    cfg.coreFrequencyHz = 0.4e9 + 0.1e9 * static_cast<double>(index % 4);
+    return cfg;
+}
+
+struct PointResult
+{
+    double idlePower = 0.0;
+    double activePower = 0.0;
+    Tick entryLatency = 0;
+};
+
+std::vector<PointResult>
+runSweep(CycleProfileCache &cache, std::size_t points, unsigned jobs)
+{
+    exec::ExecPolicy policy;
+    policy.jobs = jobs;
+    const TechniqueSet techniques = TechniqueSet::odrips();
+    return exec::parallelSweep(
+        "store-parallel-test", points,
+        [&](const exec::SweepPoint &point) {
+            const CyclePowerProfile p =
+                cache.getOrMeasure(configForPoint(point.index),
+                                   techniques);
+            return PointResult{p.idlePower, p.activePower,
+                               p.entryLatency};
+        },
+        policy);
+}
+
+TEST(StoreParallelTest, JobsSweepIsBitIdenticalAndStoreServed)
+{
+    Logger::quiet(true);
+    constexpr std::size_t kPoints = 16;
+
+    // Serial reference without any store.
+    CycleProfileCache reference;
+    const std::vector<PointResult> expected =
+        runSweep(reference, kPoints, 1);
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        TempDir dir;
+        ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+        StoreProfileBackend backend(db);
+
+        // Cold pass: concurrent misses measure and write back.
+        CycleProfileCache cold;
+        cold.setBackend(&backend);
+        const std::vector<PointResult> measured =
+            runSweep(cold, kPoints, jobs);
+        ASSERT_EQ(measured.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(measured[i].idlePower, expected[i].idlePower)
+                << "jobs=" << jobs << " point " << i;
+            EXPECT_EQ(measured[i].activePower, expected[i].activePower);
+            EXPECT_EQ(measured[i].entryLatency,
+                      expected[i].entryLatency);
+        }
+        // 4 distinct configs; concurrent first-touches of one key may
+        // legitimately both measure (identical results, last insert
+        // wins), so the count is bounded, not exact.
+        EXPECT_GE(cold.statistics().misses, 4u);
+        EXPECT_LE(cold.statistics().misses, kPoints);
+
+        // Hot pass through a fresh cache: every key must come from the
+        // store (concurrent mapped-segment + pending reads), zero
+        // re-measurements, identical bits.
+        CycleProfileCache hot;
+        hot.setBackend(&backend);
+        const std::vector<PointResult> served =
+            runSweep(hot, kPoints, jobs);
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(served[i].idlePower, expected[i].idlePower);
+            EXPECT_EQ(served[i].activePower, expected[i].activePower);
+            EXPECT_EQ(served[i].entryLatency, expected[i].entryLatency);
+        }
+        EXPECT_EQ(hot.statistics().misses, 0u)
+            << "jobs=" << jobs << " re-measured despite a warm store";
+        EXPECT_GE(hot.statistics().storeHits, 4u);
+    }
+}
+
+TEST(StoreParallelTest, ConcurrentRawInsertAndLookup)
+{
+    // Hammer the ResultStore API directly from many workers: disjoint
+    // inserts racing lookups (including auto-flush seals) must stay
+    // exact under TSan.
+    TempDir dir;
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+
+    constexpr std::size_t kOps = 512;
+    exec::ExecPolicy policy;
+    policy.jobs = 8;
+
+    struct OpResult
+    {
+        bool wrongValue = false;
+    };
+    const std::vector<OpResult> results = exec::parallelSweep(
+        "store-hammer", kOps,
+        [&](const exec::SweepPoint &point) {
+            const std::uint64_t i = point.index;
+            StoredResult r;
+            r.profile.idlePower = static_cast<double>(i);
+            db.insert(ProfileKey{i, ~i}, r);
+            // Probe random earlier keys; hits must be exact.
+            OpResult out;
+            Rng rng = point.rng;
+            for (int probe = 0; probe < 4; ++probe) {
+                const std::uint64_t j = rng.uniformInt(i + 1);
+                const auto hit = db.lookup(ProfileKey{j, ~j});
+                if (hit.has_value() &&
+                    hit->profile.idlePower != static_cast<double>(j))
+                    out.wrongValue = true;
+            }
+            return out;
+        },
+        policy);
+
+    for (const OpResult &r : results)
+        EXPECT_FALSE(r.wrongValue);
+    db.flush();
+    EXPECT_EQ(db.entryCount(), kOps);
+    EXPECT_GE(db.counters().flushes, kOps / ResultStore::flushThreshold);
+}
+
+} // namespace

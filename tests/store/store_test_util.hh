@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shared helpers for the result-store suites: scratch directories and
+ * raw segment-file surgery for the torture tests.
+ *
+ * This file deliberately performs raw I/O on .odst segment files —
+ * that is its purpose (corrupting stores to prove the read path
+ * degrades safely). Production code must go through
+ * store::ResultStore; the store-io lint rule enforces that, and the
+ * allow tags below are the torture suite's sanctioned exemption.
+ */
+
+#ifndef ODRIPS_TESTS_STORE_STORE_TEST_UTIL_HH
+#define ODRIPS_TESTS_STORE_STORE_TEST_UTIL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+namespace odrips::test
+{
+
+/** mkdtemp()-backed scratch directory, recursively removed on exit. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/odrips-store-test-XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr)
+            std::abort();
+        path_ = tmpl;
+    }
+
+    ~TempDir()
+    {
+        removeAll();
+    }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+    /** Names of the sealed segments, sorted. */
+    std::vector<std::string>
+    segmentFiles() const
+    {
+        std::vector<std::string> names;
+        if (DIR *dir = ::opendir(path_.c_str())) {
+            while (const dirent *ent = ::readdir(dir)) {
+                const std::string name = ent->d_name;
+                if (name.size() > 5 &&
+                    name.compare(name.size() - 5, 5, ".odst") == 0)
+                    names.push_back(name);
+            }
+            ::closedir(dir);
+        }
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+  private:
+    void
+    removeAll()
+    {
+        if (DIR *dir = ::opendir(path_.c_str())) {
+            while (const dirent *ent = ::readdir(dir)) {
+                const std::string name = ent->d_name;
+                if (name != "." && name != "..")
+                    ::unlink(file(name).c_str());
+            }
+            ::closedir(dir);
+            ::rmdir(path_.c_str());
+        }
+    }
+
+    std::string path_;
+};
+
+/** Read a whole file (torture fixture surgery). */
+inline std::vector<std::uint8_t>
+readRawFile(const std::string &path)
+{
+    std::vector<std::uint8_t> data;
+    // odrips-lint: allow(store-io)
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return data;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.insert(data.end(), buf, buf + n);
+    std::fclose(f);
+    return data;
+}
+
+/** Overwrite a whole file (torture fixture surgery). */
+inline void
+writeRawFile(const std::string &path,
+             const std::vector<std::uint8_t> &data)
+{
+    // odrips-lint: allow(store-io)
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        std::abort();
+    if (!data.empty())
+        std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+}
+
+/** XOR one byte of @p path in place. */
+inline void
+flipByteInFile(const std::string &path, std::size_t offset)
+{
+    std::vector<std::uint8_t> data = readRawFile(path);
+    if (offset < data.size()) {
+        data[offset] ^= 0xff;
+        writeRawFile(path, data);
+    }
+}
+
+/** Truncate @p path to its first @p keep bytes. */
+inline void
+truncateFile(const std::string &path, std::size_t keep)
+{
+    std::vector<std::uint8_t> data = readRawFile(path);
+    if (keep < data.size()) {
+        data.resize(keep);
+        writeRawFile(path, data);
+    }
+}
+
+} // namespace odrips::test
+
+#endif // ODRIPS_TESTS_STORE_STORE_TEST_UTIL_HH

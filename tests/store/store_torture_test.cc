@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Store torture suite: every corruption mode — torn tails, truncated
+ * headers, flipped payload bytes, wrong magic, stale physics tags —
+ * must degrade to "recompute the key", never to a wrong answer or a
+ * crash. The suite seals a known-good store through the public API,
+ * performs raw byte surgery on the segment files (store_test_util.hh
+ * carries the sanctioned store-io lint exemptions for that), reopens,
+ * and checks both the served values and the damage counters.
+ *
+ * Segment layout under surgery (see store/result_store.hh):
+ *   header  = magic(4) format(4) physics(8) count(4)      -> 20 bytes
+ *   entry i = key.lo(8) key.hi(8) size(4) crc(4) payload  -> 24 + size
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profile_cache.hh"
+#include "platform/techniques.hh"
+#include "store/profile_store.hh"
+#include "store/result_store.hh"
+#include "store_test_util.hh"
+
+using namespace odrips;
+using namespace odrips::store;
+using odrips::test::TempDir;
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 20;
+constexpr std::size_t kEntryHeaderBytes = 24;
+
+StoredResult
+resultWithMarker(double marker)
+{
+    StoredResult r;
+    r.profile.idlePower = marker;
+    r.profile.activePower = marker + 1;
+    r.averagePower = marker + 2;
+    return r;
+}
+
+/** Seal one segment holding @p count marker entries; keys are {i, i}. */
+std::size_t
+sealFixture(const TempDir &dir, std::uint64_t count)
+{
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    for (std::uint64_t i = 0; i < count; ++i)
+        db.insert(ProfileKey{i, i},
+                  resultWithMarker(static_cast<double>(i)));
+    db.flush();
+    const std::vector<std::uint8_t> raw =
+        odrips::test::readRawFile(dir.file(dir.segmentFiles().at(0)));
+    // Fixed-size payloads: derive one payload's size for offset math.
+    return (raw.size() - kHeaderBytes) / count - kEntryHeaderBytes;
+}
+
+TEST(StoreTortureTest, BadMagicSkipsSegmentWhole)
+{
+    TempDir dir;
+    sealFixture(dir, 3);
+    odrips::test::flipByteInFile(dir.file(dir.segmentFiles().at(0)), 0);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.entryCount(), 0u);
+    EXPECT_EQ(db.counters().segmentsBad, 1u);
+    EXPECT_FALSE(db.lookup(ProfileKey{0, 0}).has_value());
+}
+
+TEST(StoreTortureTest, BadFormatVersionSkipsSegmentWhole)
+{
+    TempDir dir;
+    sealFixture(dir, 3);
+    odrips::test::flipByteInFile(dir.file(dir.segmentFiles().at(0)), 4);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.entryCount(), 0u);
+    EXPECT_EQ(db.counters().segmentsBad, 1u);
+}
+
+TEST(StoreTortureTest, HeaderShorterThanFixedPartIsBad)
+{
+    TempDir dir;
+    sealFixture(dir, 2);
+    const std::string seg = dir.file(dir.segmentFiles().at(0));
+    odrips::test::truncateFile(seg, kHeaderBytes - 1);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.entryCount(), 0u);
+    EXPECT_EQ(db.counters().segmentsBad, 1u);
+}
+
+TEST(StoreTortureTest, StalePhysicsTagInvalidatesSegment)
+{
+    TempDir dir;
+    {
+        // Sealed by a store stamping a different physics tag...
+        ResultStore old(dir.path(), ResultStore::Mode::ReadWrite,
+                        physicsVersion() ^ 0xdeadbeefull);
+        old.insert(ProfileKey{1, 1}, resultWithMarker(1.0));
+        old.flush();
+    }
+    // ...is invisible to a current-physics open, wholesale.
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    EXPECT_EQ(db.entryCount(), 0u);
+    EXPECT_EQ(db.counters().segmentsStalePhysics, 1u);
+    EXPECT_EQ(db.counters().segmentsLoaded, 0u);
+    EXPECT_FALSE(db.lookup(ProfileKey{1, 1}).has_value());
+
+    // New writes under the current physics land in a fresh segment and
+    // are served; the stale segment stays quarantined on disk.
+    db.insert(ProfileKey{1, 1}, resultWithMarker(2.0));
+    db.flush();
+    ASSERT_TRUE(db.lookup(ProfileKey{1, 1}).has_value());
+    EXPECT_EQ(db.lookup(ProfileKey{1, 1})->profile.idlePower, 2.0);
+    EXPECT_EQ(dir.segmentFiles().size(), 2u);
+}
+
+TEST(StoreTortureTest, FlippedPayloadByteDropsOnlyThatEntry)
+{
+    TempDir dir;
+    const std::size_t payload = sealFixture(dir, 5);
+    const std::string seg = dir.file(dir.segmentFiles().at(0));
+    // Corrupt one byte inside entry 2's payload.
+    const std::size_t entry2 =
+        kHeaderBytes + 2 * (kEntryHeaderBytes + payload);
+    odrips::test::flipByteInFile(seg, entry2 + kEntryHeaderBytes + 3);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.counters().entriesCorrupt, 1u);
+    EXPECT_EQ(db.entryCount(), 4u);
+    // The corrupt key is a clean miss; its neighbours are intact and
+    // exact — damage can cost recomputation, never a wrong answer.
+    EXPECT_FALSE(db.lookup(ProfileKey{2, 2}).has_value());
+    for (std::uint64_t i : {0ull, 1ull, 3ull, 4ull}) {
+        const auto hit = db.lookup(ProfileKey{i, i});
+        ASSERT_TRUE(hit.has_value()) << "entry " << i;
+        EXPECT_EQ(hit->profile.idlePower, static_cast<double>(i));
+    }
+}
+
+TEST(StoreTortureTest, TornTailKeepsFullyWrittenPrefix)
+{
+    TempDir dir;
+    const std::size_t payload = sealFixture(dir, 5);
+    const std::string seg = dir.file(dir.segmentFiles().at(0));
+    // Cut mid-way through entry 3's payload: entries 0-2 survive,
+    // 3 and 4 are torn.
+    const std::size_t cut = kHeaderBytes +
+                            3 * (kEntryHeaderBytes + payload) +
+                            kEntryHeaderBytes + payload / 2;
+    odrips::test::truncateFile(seg, cut);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.counters().entriesTorn, 2u);
+    EXPECT_EQ(db.entryCount(), 3u);
+    for (std::uint64_t i : {0ull, 1ull, 2ull}) {
+        const auto hit = db.lookup(ProfileKey{i, i});
+        ASSERT_TRUE(hit.has_value()) << "entry " << i;
+        EXPECT_EQ(hit->profile.idlePower, static_cast<double>(i));
+    }
+    EXPECT_FALSE(db.lookup(ProfileKey{3, 3}).has_value());
+    EXPECT_FALSE(db.lookup(ProfileKey{4, 4}).has_value());
+}
+
+TEST(StoreTortureTest, TornEntryHeaderAtTailIsCounted)
+{
+    TempDir dir;
+    const std::size_t payload = sealFixture(dir, 2);
+    const std::string seg = dir.file(dir.segmentFiles().at(0));
+    // Keep entry 0 and only half of entry 1's header.
+    odrips::test::truncateFile(
+        dir.file(dir.segmentFiles().at(0)),
+        kHeaderBytes + (kEntryHeaderBytes + payload) + 10);
+    (void)seg;
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.counters().entriesTorn, 1u);
+    EXPECT_EQ(db.entryCount(), 1u);
+    ASSERT_TRUE(db.lookup(ProfileKey{0, 0}).has_value());
+}
+
+TEST(StoreTortureTest, OversizedEntrySizeFieldIsTornNotOverread)
+{
+    TempDir dir;
+    sealFixture(dir, 3);
+    const std::string seg = dir.file(dir.segmentFiles().at(0));
+    // Entry 0's size field (offset 20+16) -> enormous: the payload
+    // would run past end-of-file, which must read as torn, not as an
+    // out-of-bounds access.
+    std::vector<std::uint8_t> raw = odrips::test::readRawFile(seg);
+    raw[kHeaderBytes + 16 + 2] = 0x7f;
+    odrips::test::writeRawFile(seg, raw);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.counters().entriesTorn, 3u);
+    EXPECT_EQ(db.entryCount(), 0u);
+}
+
+TEST(StoreTortureTest, StrayTempFilesAreIgnored)
+{
+    TempDir dir;
+    sealFixture(dir, 2);
+    // A crash between write and rename leaves a .tmp behind; it must
+    // not be indexed (and not crash the directory scan).
+    odrips::test::writeRawFile(dir.file("seg-00000099.odst.tmp"),
+                               {1, 2, 3});
+    odrips::test::writeRawFile(dir.file("unrelated.txt"), {4, 5});
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.segmentCount(), 1u);
+    EXPECT_EQ(db.entryCount(), 2u);
+    EXPECT_EQ(db.counters().segmentsBad, 0u);
+}
+
+TEST(StoreTortureTest, EmptySegmentFileIsBadNotFatal)
+{
+    TempDir dir;
+    sealFixture(dir, 2);
+    odrips::test::writeRawFile(dir.file("seg-00000050.odst"), {});
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(db.counters().segmentsBad, 1u);
+    EXPECT_EQ(db.entryCount(), 2u);
+}
+
+/**
+ * The end-to-end guarantee the whole suite exists for: with a damaged
+ * store attached behind the profile cache, measureCycleProfile-level
+ * queries still return bit-exactly what an uncached measurement
+ * returns — the damage only costs a recomputation.
+ */
+TEST(StoreTortureTest, DamagedStoreFallsBackToRecomputeExactly)
+{
+    TempDir dir;
+    const PlatformConfig cfg = skylakeConfig();
+    const TechniqueSet techniques = TechniqueSet::odrips();
+    const ProfileKey key = profileKey(cfg, techniques);
+    const CyclePowerProfile fresh =
+        measureCycleProfileUncached(cfg, techniques);
+
+    {
+        // Persist the real measurement, then corrupt its payload.
+        ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+        db.insert(key, makeStoredResult(fresh, cfg));
+        db.flush();
+    }
+    odrips::test::flipByteInFile(dir.file(dir.segmentFiles().at(0)),
+                                 kHeaderBytes + kEntryHeaderBytes + 7);
+
+    ResultStore db(dir.path(), ResultStore::Mode::ReadWrite);
+    StoreProfileBackend backend(db);
+    CycleProfileCache cache;
+    cache.setBackend(&backend);
+
+    const CyclePowerProfile served = cache.getOrMeasure(cfg, techniques);
+    EXPECT_EQ(served.idlePower, fresh.idlePower);
+    EXPECT_EQ(served.activePower, fresh.activePower);
+    EXPECT_EQ(served.entryLatency, fresh.entryLatency);
+    EXPECT_EQ(served.exitLatency, fresh.exitLatency);
+    EXPECT_EQ(served.entryEnergy, fresh.entryEnergy);
+    EXPECT_EQ(served.exitEnergy, fresh.exitEnergy);
+
+    // The cache re-measured (store miss), then wrote the repaired
+    // entry back; a second fresh cache now gets a store hit.
+    const CycleProfileCacheStats stats = cache.statistics();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.storeHits, 0u);
+    db.flush();
+
+    CycleProfileCache second;
+    second.setBackend(&backend);
+    const CyclePowerProfile repaired =
+        second.getOrMeasure(cfg, techniques);
+    EXPECT_EQ(repaired.idlePower, fresh.idlePower);
+    EXPECT_EQ(second.statistics().storeHits, 1u);
+    EXPECT_EQ(second.statistics().misses, 0u);
+}
+
+} // namespace

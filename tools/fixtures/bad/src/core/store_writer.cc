@@ -1,0 +1,13 @@
+// Seeds store-io: raw segment I/O outside src/store/.
+#include <cstdio>
+#include <fstream>
+
+void
+scribbleSegment()
+{
+    std::ofstream out("seg-00000001.odst");
+    out << "x";
+    std::FILE *f = std::fopen("seg-00000002.odst", "rb");
+    if (f != nullptr)
+        std::fclose(f);
+}

@@ -1,0 +1,14 @@
+// Fixture surgery on .odst segments, sanctioned by the allow tag.
+#include <cstdio>
+
+bool
+probeSegment(const char *path)
+{
+    const char *suffix = ".odst";
+    // odrips-lint: allow(store-io)
+    std::FILE *f = std::fopen(path, "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return suffix[0] == '.';
+}

@@ -1,0 +1,13 @@
+// src/store/ is the sanctioned home for raw .odst segment I/O.
+#include <cstdio>
+#include <fstream>
+
+void
+sealSegment()
+{
+    std::ofstream out("seg-00000001.odst.tmp");
+    out << "x";
+    std::FILE *f = std::fopen("seg-00000002.odst", "rb");
+    if (f != nullptr)
+        std::fclose(f);
+}

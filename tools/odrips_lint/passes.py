@@ -10,10 +10,10 @@
   layering        the src/ include graph must respect the layer order
                   arch < sim < {clock,exec,stats} <
                   {power,timing,io,mem,security} <
-                  {platform,workload,flows} < core: no include may
-                  point at a higher tier, same-tier sibling includes
-                  must stay acyclic, and no file-level include cycle
-                  is permitted anywhere.
+                  {platform,workload,flows} < core < store: no
+                  include may point at a higher tier, same-tier
+                  sibling includes must stay acyclic, and no
+                  file-level include cycle is permitted anywhere.
   unordered-iter  (cross-file half) iterating an unordered container
                   member that was declared in a *header* from another
                   translation unit — the per-file rule cannot see the
@@ -43,6 +43,7 @@ LAYER_TIERS = (
     ("power", "timing", "io", "mem", "security"),
     ("platform", "workload", "flows"),
     ("core",),
+    ("store",),
 )
 
 _TIER_OF = {d: i for i, tier in enumerate(LAYER_TIERS) for d in tier}
@@ -87,7 +88,7 @@ def run_layering(ctx):
                            f"(tier {_TIER_OF[target_dir]}): the layer "
                            "order is arch < sim < {clock,exec,stats} < "
                            "{power,timing,io,mem,security} < "
-                           "{platform,workload,flows} < core")
+                           "{platform,workload,flows} < core < store")
             if target_dir != d:
                 dir_edges.setdefault(d, set()).add(target_dir)
         file_edges[rel] = edges
