@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tracked perf harness: builds Release, runs bench/microbench plus an
-# end-to-end fig6a_techniques wall-clock timing, and emits the
-# BENCH_kernel.json trajectory file.
+# Tracked perf harness: builds Release, runs bench/microbench plus
+# end-to-end wall-clock timings (fig6a_techniques, longtrace
+# throughput, the query_engine batch, and fleet_campaign device-days/s
+# in cold / warm / store-hot regimes), and emits the BENCH_kernel.json
+# trajectory file.
 #
 # Schema (odrips-bench-v1): {"benchmarks": {<name>: {"ns_per_op": N,
 # "bytes_per_second": N} | {"wall_clock_s": N}}}. scripts/check.sh
@@ -39,7 +41,8 @@ echo "== bench.sh: Release build in $build_dir =="
 build_log="$(mktemp)"
 micro_json="$(mktemp)"
 query_dir=""
-trap 'rm -f "$build_log" "$micro_json"; [ -n "$query_dir" ] && rm -rf "$query_dir"' EXIT
+fleet_dir=""
+trap 'rm -f "$build_log" "$micro_json"; [ -n "$query_dir" ] && rm -rf "$query_dir"; [ -n "$fleet_dir" ] && rm -rf "$fleet_dir"' EXIT
 
 # Ninja reports compile errors on stdout, so a bare >/dev/null would
 # swallow them; keep the build log and replay its tail on failure.
@@ -48,7 +51,7 @@ cmake -B "$build_dir" "${generator[@]}" -DCMAKE_BUILD_TYPE=Release \
     || { tail -40 "$build_log" >&2; fail "cmake configure failed"; }
 cmake --build "$build_dir" -j "$jobs" \
     --target microbench fig6a_techniques longtrace_throughput \
-    query_engine arch_info \
+    query_engine fleet_campaign arch_info \
     > "$build_log" 2>&1 \
     || { tail -40 "$build_log" >&2; fail "Release build failed"; }
 
@@ -114,8 +117,50 @@ hot_telemetry="$(grep -o 'query-engine-telemetry: .*' "$query_dir/hot.err" | tai
 [ -n "$cold_telemetry" ] && [ -n "$hot_telemetry" ] \
     || fail "query_engine emitted no telemetry line"
 
+# Fleet campaign throughput in device-days per host second, three
+# regimes: the naive cold loop (fresh platform per device), the warm
+# engine (phase-matched checkpoint forks + in-process profile cache),
+# and the warm engine backed by a pre-populated persistent profile
+# store (second run against the same ODRIPS_STORE directory). The warm
+# and store-hot stdouts must be bit-identical — the store is an
+# accelerator, not a physics input.
+fleet_cold_devices=200
+fleet_warm_devices=10000
+echo "== bench.sh: fleet_campaign device-days/s (cold $fleet_cold_devices, warm $fleet_warm_devices, store-hot $fleet_warm_devices) =="
+fleet_dir="$(mktemp -d)"
+t0=$(date +%s%N)
+"$build_dir/bench/fleet_campaign" --devices="$fleet_cold_devices" \
+    --cold --jobs="$jobs" >/dev/null 2>&1 \
+    || fail "fleet_campaign --cold exited non-zero"
+t1=$(date +%s%N)
+fleet_cold_ns=$((t1 - t0))
+t0=$(date +%s%N)
+"$build_dir/bench/fleet_campaign" --devices="$fleet_warm_devices" \
+    --jobs="$jobs" > "$fleet_dir/warm.txt" 2>/dev/null \
+    || fail "fleet_campaign warm exited non-zero"
+t1=$(date +%s%N)
+fleet_warm_ns=$((t1 - t0))
+ODRIPS_STORE="$fleet_dir/store" \
+    "$build_dir/bench/fleet_campaign" --devices="$fleet_warm_devices" \
+    --jobs="$jobs" >/dev/null 2>/dev/null \
+    || fail "fleet_campaign store-fill exited non-zero"
+t0=$(date +%s%N)
+ODRIPS_STORE="$fleet_dir/store" \
+    "$build_dir/bench/fleet_campaign" --devices="$fleet_warm_devices" \
+    --jobs="$jobs" > "$fleet_dir/hot.txt" 2> "$fleet_dir/hot.err" \
+    || fail "fleet_campaign store-hot exited non-zero"
+t1=$(date +%s%N)
+fleet_hot_ns=$((t1 - t0))
+cmp -s "$fleet_dir/warm.txt" "$fleet_dir/hot.txt" \
+    || fail "fleet_campaign store-hot stdout diverged from warm run"
+fleet_telemetry="$(grep -o 'fleet-campaign-telemetry: .*' "$fleet_dir/hot.err" | tail -1 | cut -d' ' -f2-)"
+[ -n "$fleet_telemetry" ] \
+    || fail "fleet_campaign emitted no telemetry line"
+
 python3 - "$micro_json" "$best_ns" "$out" "$arch_json" "$git_sha" \
     "$long_best_ns" "$long_cycles" "$cold_telemetry" "$hot_telemetry" \
+    "$fleet_cold_ns" "$fleet_warm_ns" "$fleet_hot_ns" \
+    "$fleet_cold_devices" "$fleet_warm_devices" "$fleet_telemetry" \
     <<'PY'
 import json
 import os
@@ -126,6 +171,10 @@ environment = json.loads(sys.argv[4])
 environment["git_sha"] = sys.argv[5]
 long_ns, long_cycles = int(sys.argv[6]), int(sys.argv[7])
 cold_tel, hot_tel = json.loads(sys.argv[8]), json.loads(sys.argv[9])
+fleet_cold_ns, fleet_warm_ns, fleet_hot_ns = (
+    int(sys.argv[10]), int(sys.argv[11]), int(sys.argv[12]))
+fleet_cold_n, fleet_warm_n = int(sys.argv[13]), int(sys.argv[14])
+fleet_tel = json.loads(sys.argv[15])
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -153,6 +202,34 @@ benches["query_engine_batch_cold"] = {
 }
 benches["query_engine_batch_hot"] = {
     "wall_clock_s": round(hot_tel["total_s"], 4),
+}
+# Fleet campaign throughput: device-days of connected standby
+# evaluated per host second, per regime. The headline number is
+# fleet_campaign_warm; cold is the naive foil, store_hot adds a
+# pre-populated persistent profile store.
+benches["fleet_campaign_cold"] = {
+    "wall_clock_s": round(fleet_cold_ns / 1e9, 3),
+    "device_days_per_second":
+        round(fleet_cold_n / (fleet_cold_ns / 1e9), 1),
+}
+benches["fleet_campaign_warm"] = {
+    "wall_clock_s": round(fleet_warm_ns / 1e9, 3),
+    "device_days_per_second":
+        round(fleet_warm_n / (fleet_warm_ns / 1e9), 1),
+}
+benches["fleet_campaign_store_hot"] = {
+    "wall_clock_s": round(fleet_hot_ns / 1e9, 3),
+    "device_days_per_second":
+        round(fleet_warm_n / (fleet_hot_ns / 1e9), 1),
+}
+# O(stats) proof + accelerator attribution for the fleet numbers.
+environment["fleet_campaign"] = {
+    "devices": fleet_tel["devices"],
+    "cycles": fleet_tel["cycles"],
+    "aggregation_bytes": fleet_tel["aggregation_bytes"],
+    "pool_restores": fleet_tel["pool_restores"],
+    "profile_cache_hits": fleet_tel["profile_cache_hits"],
+    "profile_store_hits": fleet_tel["profile_store_hits"],
 }
 environment["store_hit_rate"] = round(hot_tel["store_hit_rate"], 4)
 environment["store_batch"] = {

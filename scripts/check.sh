@@ -43,10 +43,20 @@
 #              served from the store, across ODRIPS_PROFILE_CACHE
 #              {1,0} x jobs {1,8}; and the engine-reported hot serve
 #              time beats the cold simulate time by >=100x.
-#  all         lint, then simd, then ckpt, then store, then tsan,
-#              then asan (default).
+#  fleet       the fleet campaign suites (`ctest -L odrips_fleet`:
+#              .odwl torture negatives, campaign determinism, quantile
+#              sketches, jobs-sweep stability) plus end-to-end checks
+#              on the fleet_campaign binary: the percentile report is
+#              bit-identical across jobs {1,2,8} x ODRIPS_CHECKPOINT
+#              {1,0} x ODRIPS_PROFILE_CACHE {1,0}, a population saved
+#              to .odwl and replayed reproduces it byte for byte, the
+#              naive cold loop agrees with the warm engine exactly,
+#              and the warm engine's device-days/s rate beats the cold
+#              loop by >=50x.
+#  all         lint, then simd, then ckpt, then store, then fleet,
+#              then tsan, then asan (default).
 #
-# Usage: scripts/check.sh [lint|simd|ckpt|store|tsan|asan|bench]   (default: all)
+# Usage: scripts/check.sh [lint|simd|ckpt|store|fleet|tsan|asan|bench]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -244,6 +254,104 @@ PY
     echo "store gate passed"
 }
 
+run_fleet() {
+    echo "== Fleet gate (ctest -L odrips_fleet + campaign bit-equality) =="
+    local gen=()
+    [ -d build ] || gen=("${generator[@]}")
+    cmake -B build "${gen[@]}" >/dev/null
+    cmake --build build -j "$jobs" \
+        --target odwl_test fleet_test fleet_parallel_test fleet_campaign
+
+    echo "-- ctest -L odrips_fleet --"
+    ctest --test-dir build -L odrips_fleet --output-on-failure -j "$jobs"
+
+    # The percentile report depends only on the campaign
+    # configuration: the worker count, the warm checkpoint pool and
+    # the profile cache/store are pure accelerators. Any divergence
+    # here means an accelerator changed the physics.
+    echo "-- fleet_campaign bit-equality: jobs {1,2,8} x ODRIPS_CHECKPOINT {1,0} x ODRIPS_PROFILE_CACHE {1,0} --"
+    local dir
+    dir="$(mktemp -d)"
+    ./build/bench/fleet_campaign --devices=600 --jobs=8 \
+        2>/dev/null > "$dir/ref.txt"
+    local j c p
+    for j in 1 2 8; do
+        for c in 1 0; do
+            for p in 1 0; do
+                ODRIPS_CHECKPOINT=$c ODRIPS_PROFILE_CACHE=$p \
+                    ./build/bench/fleet_campaign --devices=600 \
+                    --jobs="$j" 2>/dev/null > "$dir/scratch.txt"
+                if ! cmp -s "$dir/ref.txt" "$dir/scratch.txt"; then
+                    echo "fleet: campaign report diverged (jobs=$j," \
+                         "checkpoint=$c, profile_cache=$p)" >&2
+                    rm -rf "$dir"
+                    exit 1
+                fi
+            done
+        done
+    done
+
+    # A population saved to .odwl and replayed must reproduce the
+    # in-memory population's report byte for byte.
+    echo "-- .odwl population round-trip bit-equality --"
+    ./build/bench/fleet_campaign --emit-odwl="$dir/pop.odwl" 2>/dev/null
+    ./build/bench/fleet_campaign --odwl="$dir/pop.odwl" --devices=600 \
+        --jobs=8 2>/dev/null > "$dir/scratch.txt"
+    if ! cmp -s "$dir/ref.txt" "$dir/scratch.txt"; then
+        echo "fleet: .odwl-replayed report diverged from in-memory" \
+             "population" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+
+    # The naive cold loop is the semantic reference: same numbers,
+    # none of the machinery.
+    echo "-- naive cold loop == warm engine (40 devices) --"
+    ./build/bench/fleet_campaign --devices=40 --jobs=1 \
+        2>/dev/null > "$dir/warm40.txt"
+    ./build/bench/fleet_campaign --devices=40 --cold --jobs=1 \
+        2>/dev/null > "$dir/cold40.txt"
+    if ! cmp -s "$dir/warm40.txt" "$dir/cold40.txt"; then
+        echo "fleet: naive cold loop and warm engine disagree" >&2
+        rm -rf "$dir"
+        exit 1
+    fi
+
+    # The warm engine must be worth its machinery: device-days/s from
+    # external `date` timing (simulator sources cannot read host time).
+    echo "-- fleet speedup: warm fork vs naive cold rebuild (>=50x) --"
+    local t0 t1 cold_ns warm_ns
+    t0=$(date +%s%N)
+    ./build/bench/fleet_campaign --devices=100 --cold --jobs="$jobs" \
+        >/dev/null 2>&1
+    t1=$(date +%s%N)
+    cold_ns=$((t1 - t0))
+    t0=$(date +%s%N)
+    ./build/bench/fleet_campaign --devices=4000 --jobs="$jobs" \
+        >/dev/null 2>&1
+    t1=$(date +%s%N)
+    warm_ns=$((t1 - t0))
+    if ! python3 - "$cold_ns" "$warm_ns" <<'PY'
+import sys
+
+cold_ns, warm_ns = int(sys.argv[1]), int(sys.argv[2])
+cold_rate = 100 / (cold_ns / 1e9)
+warm_rate = 4000 / (warm_ns / 1e9)
+speedup = warm_rate / cold_rate if cold_rate > 0 else float("inf")
+print(f"fleet: cold {cold_rate:.1f} device-days/s, warm "
+      f"{warm_rate:.1f} device-days/s ({speedup:.0f}x)")
+if speedup < 50:
+    sys.exit("fleet: warm engine is <50x the naive cold loop; the "
+             "checkpoint pool is not earning its keep")
+PY
+    then
+        rm -rf "$dir"
+        exit 1
+    fi
+    rm -rf "$dir"
+    echo "fleet gate passed"
+}
+
 run_tsan() {
     echo "== TSan build (ctest -L odrips_tsan) =="
     cmake -B build-tsan "${generator[@]}" \
@@ -291,9 +399,11 @@ for name, entry in base.items():
         warned = True
         continue
     # lower-is-better keys, then higher-is-better ones (throughput).
-    for key in ("ns_per_op", "wall_clock_s", "cycles_per_second"):
+    for key in ("ns_per_op", "wall_clock_s", "cycles_per_second",
+                "device_days_per_second"):
         if key in entry and key in cur and entry[key] > 0 and cur[key] > 0:
-            higher_better = key == "cycles_per_second"
+            higher_better = key in ("cycles_per_second",
+                                    "device_days_per_second")
             ratio = (entry[key] / cur[key] if higher_better
                      else cur[key] / entry[key])
             marker = ""
@@ -318,6 +428,7 @@ lint) run_lint ;;
 simd) run_simd ;;
 ckpt) run_ckpt ;;
 store) run_store ;;
+fleet) run_fleet ;;
 tsan) run_tsan ;;
 asan) run_asan ;;
 bench) run_bench ;;
@@ -326,11 +437,12 @@ all)
     run_simd
     run_ckpt
     run_store
+    run_fleet
     run_tsan
     run_asan
     ;;
 *)
-    echo "usage: $0 [lint|simd|ckpt|store|tsan|asan|bench]" >&2
+    echo "usage: $0 [lint|simd|ckpt|store|fleet|tsan|asan|bench]" >&2
     exit 2
     ;;
 esac

@@ -134,6 +134,13 @@ ThreadPool::current()
     return currentPool;
 }
 
+std::size_t
+ThreadPool::currentWorkerIndex()
+{
+    return currentPool != nullptr ? static_cast<std::size_t>(currentWorker)
+                                  : kNoWorker;
+}
+
 TaskGroup::~TaskGroup()
 {
     // Tasks reference this group; leaving them running would be a

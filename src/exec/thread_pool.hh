@@ -60,6 +60,16 @@ class ThreadPool
      */
     static ThreadPool *current();
 
+    /** Sentinel returned by currentWorkerIndex() off the pool. */
+    static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+    /**
+     * Index of the pool worker running the calling thread, or
+     * kNoWorker on a non-worker thread. Lets callers keep per-worker
+     * arenas/accumulators without a thread-id map.
+     */
+    static std::size_t currentWorkerIndex();
+
   private:
     struct WorkerQueue
     {

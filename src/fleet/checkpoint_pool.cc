@@ -1,0 +1,103 @@
+#include "fleet/checkpoint_pool.hh"
+
+namespace odrips::fleet
+{
+
+CheckpointPool::CheckpointPool(const PlatformConfig &base_config,
+                               const FleetPopulation &pop,
+                               std::size_t slots)
+    : base(base_config), population(pop)
+{
+    keyOffset.reserve(population.classes.size() + 1);
+    std::size_t offset = 0;
+    for (const DeviceClass &cls : population.classes) {
+        keyOffset.push_back(offset);
+        offset += cls.profile.phases.size();
+    }
+    keyOffset.push_back(offset);
+    snapshots.resize(offset);
+    arenas.resize(slots * population.classes.size());
+}
+
+StandbyTrace
+CheckpointPool::warmTrace(const PhaseSpec &spec)
+{
+    const double mean_active =
+        0.5 * (spec.activeMinSeconds + spec.activeMaxSeconds);
+    return StandbyWorkloadGenerator::fixed(
+        4, secondsToTicks(spec.heartbeatPeriodSeconds),
+        secondsToTicks(mean_active), spec.scalableFraction,
+        DayCycleGenerator::kReferenceHz);
+}
+
+void
+CheckpointPool::prime(const exec::ExecPolicy &policy)
+{
+    if (!checkpointSweepsEnabled() || primed)
+        return;
+    const std::size_t keys = keyCount();
+    // Key index -> (class, phase) for the sweep body.
+    std::vector<std::pair<std::size_t, std::size_t>> keyMap(keys);
+    for (std::size_t c = 0; c < population.classes.size(); ++c)
+        for (std::size_t p = 0; p < keyOffset[c + 1] - keyOffset[c]; ++p)
+            keyMap[keyOffset[c] + p] = {c, p};
+
+    snapshots = exec::parallelSweep(
+        "fleet-pool-prime", keys,
+        [&](const exec::SweepPoint &point) {
+            const auto [cls, phase] = keyMap[point.index];
+            const DeviceClass &dc = population.classes[cls];
+            Platform platform(base);
+            StandbySimulator sim(platform, dc.techniques);
+            sim.run(warmTrace(dc.profile.phases[phase]));
+            captureCount.fetch_add(1, std::memory_order_relaxed);
+            return std::make_unique<Snapshot>(Snapshot::capture(sim));
+        },
+        policy);
+    primed = true;
+}
+
+void
+CheckpointPool::rebuildArena(Arena &arena, std::size_t class_index)
+{
+    arena.simulator.reset();
+    arena.platform = std::make_unique<Platform>(base);
+    arena.simulator = std::make_unique<StandbySimulator>(
+        *arena.platform, population.classes[class_index].techniques);
+}
+
+StandbySimulator &
+CheckpointPool::acquire(std::size_t slot, std::size_t class_index,
+                        std::size_t phase_index)
+{
+    Arena &arena = arenas[slot * population.classes.size() + class_index];
+    const std::size_t key = keyOf(class_index, phase_index);
+    if (primed && snapshots[key] != nullptr) {
+        if (arena.simulator == nullptr) {
+            rebuildArena(arena, class_index);
+            arenaBuildCount.fetch_add(1, std::memory_order_relaxed);
+        }
+        snapshots[key]->restoreInto(*arena.simulator);
+        restoreCount.fetch_add(1, std::memory_order_relaxed);
+        return *arena.simulator;
+    }
+    // Unprimed (checkpointing off / naive-cold): pay build + warm-up.
+    rebuildArena(arena, class_index);
+    const DeviceClass &dc = population.classes[class_index];
+    arena.simulator->run(warmTrace(dc.profile.phases[phase_index]));
+    coldBuildCount.fetch_add(1, std::memory_order_relaxed);
+    return *arena.simulator;
+}
+
+CheckpointPoolStats
+CheckpointPool::stats() const
+{
+    CheckpointPoolStats out;
+    out.captures = captureCount.load(std::memory_order_relaxed);
+    out.restores = restoreCount.load(std::memory_order_relaxed);
+    out.coldBuilds = coldBuildCount.load(std::memory_order_relaxed);
+    out.arenaBuilds = arenaBuildCount.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace odrips::fleet

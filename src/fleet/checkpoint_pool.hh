@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Phase-matched warm checkpoint pool for fleet campaigns.
+ *
+ * A campaign touches one simulator state per distinct
+ * (PlatformConfig x TechniqueSet x behavior phase) key: a simulator
+ * warmed with a few cycles shaped like that phase (its heartbeat
+ * period and mean active window). The pool captures that state ONCE
+ * per key (prime(), parallel) and then serves every calibration run
+ * and sim-sampled device by restoring the snapshot into a per-worker
+ * arena — O(restore) ~0.3 ms instead of O(build + warm-up) per use.
+ *
+ * Arenas are keyed (worker slot, device class): every class shares the
+ * base PlatformConfig, so one Platform+StandbySimulator per class per
+ * worker is enough, and a worker only ever touches its own slot — no
+ * locking on the acquire path. When checkpointing is off
+ * (ODRIPS_CHECKPOINT=0, or the campaign's naive-cold mode) acquire()
+ * instead rebuilds and re-warms a fresh simulator per use; the fork
+ * equivalence contract (core/checkpoint.hh) makes both paths
+ * bit-identical, which is what the check.sh fleet gate pins.
+ */
+
+#ifndef ODRIPS_FLEET_CHECKPOINT_POOL_HH
+#define ODRIPS_FLEET_CHECKPOINT_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "exec/parallel_sweep.hh"
+#include "workload/user_profile.hh"
+
+namespace odrips::fleet
+{
+
+/** Pool usage counters (relaxed atomics; telemetry only). */
+struct CheckpointPoolStats
+{
+    std::uint64_t captures = 0;   ///< snapshots taken by prime()
+    std::uint64_t restores = 0;   ///< acquires served by restore
+    std::uint64_t coldBuilds = 0; ///< acquires paid build + warm-up
+    std::uint64_t arenaBuilds = 0; ///< lazily built per-slot arenas
+};
+
+/** See file comment. */
+class CheckpointPool
+{
+  public:
+    /**
+     * @param base  platform configuration shared by every class
+     * @param pop   the population (class techniques + phase shapes)
+     * @param slots worker-slot count (1 + max workers; slot 0 is the
+     *              non-worker caller)
+     */
+    CheckpointPool(const PlatformConfig &base, const FleetPopulation &pop,
+                   std::size_t slots);
+
+    /** Capture one warm snapshot per (class, phase) key, in parallel.
+     * Skipped entirely when checkpointing is disabled. */
+    void prime(const exec::ExecPolicy &policy);
+
+    /**
+     * A simulator in the warmed state of (@p class_index,
+     * @p phase_index), owned by @p slot: snapshot-restored when primed,
+     * freshly built and re-warmed otherwise. The reference stays valid
+     * until the next acquire on the same (slot, class).
+     */
+    StandbySimulator &acquire(std::size_t slot, std::size_t class_index,
+                              std::size_t phase_index);
+
+    /** The fixed warm-up trace for a phase shape. */
+    static StandbyTrace warmTrace(const PhaseSpec &spec);
+
+    CheckpointPoolStats stats() const;
+
+    std::size_t keyCount() const { return keyOffset.back(); }
+
+  private:
+    struct Arena
+    {
+        std::unique_ptr<Platform> platform;
+        std::unique_ptr<StandbySimulator> simulator;
+    };
+
+    std::size_t keyOf(std::size_t class_index,
+                      std::size_t phase_index) const
+    {
+        return keyOffset[class_index] + phase_index;
+    }
+
+    void rebuildArena(Arena &arena, std::size_t class_index);
+
+    const PlatformConfig &base;
+    const FleetPopulation &population;
+    std::vector<std::size_t> keyOffset; ///< class -> first key index
+    std::vector<std::unique_ptr<Snapshot>> snapshots; ///< per key
+    std::vector<Arena> arenas; ///< slot-major: slot * classes + class
+    bool primed = false;
+
+    std::atomic<std::uint64_t> captureCount{0};
+    std::atomic<std::uint64_t> restoreCount{0};
+    std::atomic<std::uint64_t> coldBuildCount{0};
+    std::atomic<std::uint64_t> arenaBuildCount{0};
+};
+
+} // namespace odrips::fleet
+
+#endif // ODRIPS_FLEET_CHECKPOINT_POOL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mergeable streaming accumulators for fleet aggregation.
+ *
+ * KahanSum keeps a compensation term so that summing millions of
+ * similar-magnitude day-energies does not drift; the fleet engine sums
+ * each contiguous device batch serially into one KahanSum and merges
+ * the per-batch partials in batch-index order, which makes the final
+ * mean a pure function of the device set — independent of how workers
+ * were scheduled. merge() folds the other sum's value *and* its
+ * pending compensation through the same compensated path, so a chain
+ * of merges in a fixed order is deterministic too.
+ *
+ * Both types are plain value types with no allocation: safe to embed
+ * in per-batch partial arrays inside `// fleet: hotloop` code.
+ */
+
+#ifndef ODRIPS_STATS_ACCUMULATOR_HH
+#define ODRIPS_STATS_ACCUMULATOR_HH
+
+#include <cstdint>
+
+namespace odrips::stats
+{
+
+/** Compensated (Kahan) running sum. */
+struct KahanSum
+{
+    double sum = 0.0;
+    double compensation = 0.0;
+
+    void add(double value)
+    {
+        const double y = value - compensation;
+        const double t = sum + y;
+        compensation = (t - sum) - y;
+        sum = t;
+    }
+
+    /** Fold another partial in (deterministic for a fixed merge order). */
+    void merge(const KahanSum &other)
+    {
+        add(other.sum);
+        add(-other.compensation);
+    }
+
+    double value() const { return sum; }
+};
+
+/** Running minimum/maximum with a sample count. */
+struct MinMax
+{
+    double minimum = 0.0;
+    double maximum = 0.0;
+    std::uint64_t count = 0;
+
+    void add(double value)
+    {
+        if (count == 0) {
+            minimum = value;
+            maximum = value;
+        } else {
+            if (value < minimum)
+                minimum = value;
+            if (value > maximum)
+                maximum = value;
+        }
+        ++count;
+    }
+
+    void merge(const MinMax &other)
+    {
+        if (other.count == 0)
+            return;
+        if (count == 0) {
+            *this = other;
+            return;
+        }
+        if (other.minimum < minimum)
+            minimum = other.minimum;
+        if (other.maximum > maximum)
+            maximum = other.maximum;
+        count += other.count;
+    }
+};
+
+} // namespace odrips::stats
+
+#endif // ODRIPS_STATS_ACCUMULATOR_HH

@@ -1,0 +1,123 @@
+#include "stats/quantile_sketch.hh"
+
+#include <cmath>
+
+namespace odrips::stats
+{
+
+QuantileSketch::QuantileSketch() : counts(kBuckets, 0) {}
+
+void QuantileSketch::add(double value)
+{
+    ++total;
+    if (std::isnan(value)) {
+        // NaN has no order; count it with the negatives so totals
+        // balance but it can never claim a positive representative.
+        ++negativeCount;
+        return;
+    }
+    if (value < 0.0) {
+        ++negativeCount;
+        return;
+    }
+    if (value == 0.0) {
+        ++zeroCount;
+        return;
+    }
+    if (std::isinf(value)) {
+        ++overflowCount;
+        return;
+    }
+    int exp = 0;
+    // frexp: value = m * 2^exp with m in [0.5, 1).
+    const double m = std::frexp(value, &exp);
+    if (exp < kMinExp) {
+        ++underflowCount;
+        return;
+    }
+    if (exp > kMaxExp) {
+        ++overflowCount;
+        return;
+    }
+    int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+    if (sub < 0)
+        sub = 0;
+    if (sub >= kSubBuckets)
+        sub = kSubBuckets - 1;
+    const std::size_t index =
+        static_cast<std::size_t>(exp - kMinExp) * kSubBuckets +
+        static_cast<std::size_t>(sub);
+    ++counts[index];
+}
+
+void QuantileSketch::merge(const QuantileSketch &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts[i] += other.counts[i];
+    zeroCount += other.zeroCount;
+    negativeCount += other.negativeCount;
+    underflowCount += other.underflowCount;
+    overflowCount += other.overflowCount;
+    total += other.total;
+}
+
+double QuantileSketch::representative(std::size_t index)
+{
+    const int exp = static_cast<int>(index / kSubBuckets) + kMinExp;
+    const int sub = static_cast<int>(index % kSubBuckets);
+    // Midpoint of the bucket's mantissa interval
+    // [0.5 + sub/(2k), 0.5 + (sub+1)/(2k)).
+    const double m =
+        0.5 + (static_cast<double>(sub) + 0.5) / (2.0 * kSubBuckets);
+    return std::ldexp(m, exp);
+}
+
+double QuantileSketch::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank: the smallest value whose cumulative count reaches
+    // ceil(q * total), with rank 1 as the floor so q=0 is the minimum.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+
+    std::uint64_t cumulative = negativeCount;
+    if (rank <= cumulative)
+        return 0.0; // magnitude of negatives is not retained
+    cumulative += zeroCount;
+    if (rank <= cumulative)
+        return 0.0;
+    cumulative += underflowCount;
+    if (rank <= cumulative)
+        return std::ldexp(0.5, kMinExp); // below the smallest bucket
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += counts[i];
+        if (rank <= cumulative)
+            return representative(i);
+    }
+    // Remaining ranks live in the overflow bin.
+    return std::ldexp(1.0, kMaxExp + 1);
+}
+
+std::size_t QuantileSketch::stateBytes()
+{
+    return kBuckets * sizeof(std::uint64_t) + 5 * sizeof(std::uint64_t);
+}
+
+bool QuantileSketch::operator==(const QuantileSketch &other) const
+{
+    return counts == other.counts && zeroCount == other.zeroCount &&
+           negativeCount == other.negativeCount &&
+           underflowCount == other.underflowCount &&
+           overflowCount == other.overflowCount && total == other.total;
+}
+
+} // namespace odrips::stats

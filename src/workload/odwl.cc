@@ -1,0 +1,328 @@
+#include "workload/odwl.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "sim/checkpoint/serializer.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+constexpr std::uint32_t kOdwlMagic = 0x4C57444F; // "ODWL" little-endian
+constexpr std::uint32_t kOdwlVersion = 1;
+
+std::atomic<std::uint64_t> rejectedLoads{0};
+
+void
+encodePhase(ckpt::Writer &w, const PhaseSpec &spec)
+{
+    w.str(spec.name);
+    w.f64(spec.hours);
+    w.f64(spec.heartbeatPeriodSeconds);
+    w.f64(spec.heartbeatJitterFraction);
+    w.f64(spec.notificationMeanSeconds);
+    w.f64(spec.stormsPerHour);
+    w.u32(spec.stormBurst);
+    w.f64(spec.stormGapSeconds);
+    w.f64(spec.sensorWakesPerHour);
+    w.f64(spec.activeMinSeconds);
+    w.f64(spec.activeMaxSeconds);
+    w.f64(spec.scalableFraction);
+    w.f64(spec.coalescingWindowSeconds);
+}
+
+PhaseSpec
+decodePhase(ckpt::Reader &r)
+{
+    PhaseSpec spec;
+    spec.name = r.str();
+    spec.hours = r.f64();
+    spec.heartbeatPeriodSeconds = r.f64();
+    spec.heartbeatJitterFraction = r.f64();
+    spec.notificationMeanSeconds = r.f64();
+    spec.stormsPerHour = r.f64();
+    spec.stormBurst = r.u32();
+    spec.stormGapSeconds = r.f64();
+    spec.sensorWakesPerHour = r.f64();
+    spec.activeMinSeconds = r.f64();
+    spec.activeMaxSeconds = r.f64();
+    spec.scalableFraction = r.f64();
+    spec.coalescingWindowSeconds = r.f64();
+
+    if (!(spec.hours > 0.0))
+        throw OdwlError("odwl phase '" + spec.name +
+                        "': hours must be positive");
+    if (!(spec.activeMinSeconds >= 0.0) ||
+        !(spec.activeMaxSeconds >= spec.activeMinSeconds))
+        throw OdwlError("odwl phase '" + spec.name +
+                        "': bad active-window range");
+    if (!(spec.scalableFraction >= 0.0 && spec.scalableFraction <= 1.0))
+        throw OdwlError("odwl phase '" + spec.name +
+                        "': scalableFraction outside [0, 1]");
+    return spec;
+}
+
+std::vector<std::uint8_t>
+encodePopulation(const FleetPopulation &pop)
+{
+    ckpt::Writer w;
+    w.u64(pop.seed);
+    w.u32(static_cast<std::uint32_t>(pop.classes.size()));
+    for (const DeviceClass &cls : pop.classes) {
+        w.str(cls.profile.name);
+        w.u32(static_cast<std::uint32_t>(cls.profile.phases.size()));
+        for (const PhaseSpec &spec : cls.profile.phases)
+            encodePhase(w, spec);
+        w.b(cls.techniques.wakeupOff);
+        w.b(cls.techniques.aonIoGate);
+        w.b(cls.techniques.contextOffload);
+        w.u8(static_cast<std::uint8_t>(cls.techniques.contextStorage));
+        w.f64(cls.weight);
+    }
+    return w.take();
+}
+
+FleetPopulation
+decodePopulation(const std::vector<std::uint8_t> &payload)
+{
+    ckpt::Reader r(payload);
+    FleetPopulation pop;
+    pop.seed = r.u64();
+    const std::uint32_t classCount = r.u32();
+    if (classCount == 0)
+        throw OdwlError("odwl population has no device classes");
+    pop.classes.reserve(classCount);
+    for (std::uint32_t i = 0; i < classCount; ++i) {
+        DeviceClass cls;
+        cls.profile.name = r.str();
+        const std::uint32_t phaseCount = r.u32();
+        if (phaseCount == 0)
+            throw OdwlError("odwl class '" + cls.profile.name +
+                            "' has no phases");
+        cls.profile.phases.reserve(phaseCount);
+        for (std::uint32_t p = 0; p < phaseCount; ++p)
+            cls.profile.phases.push_back(decodePhase(r));
+        cls.techniques.wakeupOff = r.b();
+        cls.techniques.aonIoGate = r.b();
+        cls.techniques.contextOffload = r.b();
+        const std::uint8_t storage = r.u8();
+        if (storage > static_cast<std::uint8_t>(ContextStorage::Emram))
+            throw OdwlError("odwl class '" + cls.profile.name +
+                            "': context storage out of range");
+        cls.techniques.contextStorage =
+            static_cast<ContextStorage>(storage);
+        // Mirror TechniqueSet::validate() without its fatal() path.
+        if (cls.techniques.aonIoGate && !cls.techniques.wakeupOff)
+            throw OdwlError("odwl class '" + cls.profile.name +
+                            "': AON IO gating requires wake-up "
+                            "migration");
+        cls.weight = r.f64();
+        if (!(cls.weight > 0.0))
+            throw OdwlError("odwl class '" + cls.profile.name +
+                            "': weight must be positive");
+        pop.classes.push_back(std::move(cls));
+    }
+    r.expectEnd("odwl population");
+    return pop;
+}
+
+std::vector<std::uint8_t>
+encodeTraces(const std::vector<RecordedDeviceDay> &traces)
+{
+    ckpt::Writer w;
+    w.u32(static_cast<std::uint32_t>(traces.size()));
+    for (const RecordedDeviceDay &day : traces) {
+        w.u64(day.deviceId);
+        w.u32(day.classIndex);
+        w.u64(day.cycles.size());
+        for (const RecordedCycle &rec : day.cycles) {
+            w.i64(rec.cycle.idleDwell);
+            w.u64(rec.cycle.cpuCycles);
+            w.i64(rec.cycle.stallTime);
+            w.u8(static_cast<std::uint8_t>(rec.cycle.reason));
+            w.u32(rec.cycle.coalesced);
+            w.u32(rec.phase);
+        }
+    }
+    return w.take();
+}
+
+std::vector<RecordedDeviceDay>
+decodeTraces(const std::vector<std::uint8_t> &payload,
+             std::size_t classCount)
+{
+    ckpt::Reader r(payload);
+    const std::uint32_t dayCount = r.u32();
+    std::vector<RecordedDeviceDay> traces;
+    traces.reserve(dayCount);
+    for (std::uint32_t i = 0; i < dayCount; ++i) {
+        RecordedDeviceDay day;
+        day.deviceId = r.u64();
+        day.classIndex = r.u32();
+        if (day.classIndex >= classCount)
+            throw OdwlError("odwl trace references device class " +
+                            std::to_string(day.classIndex) +
+                            " beyond the population");
+        const std::uint64_t cycleCount = r.u64();
+        day.cycles.reserve(cycleCount);
+        for (std::uint64_t c = 0; c < cycleCount; ++c) {
+            RecordedCycle rec;
+            rec.cycle.idleDwell = r.i64();
+            rec.cycle.cpuCycles = r.u64();
+            rec.cycle.stallTime = r.i64();
+            const std::uint8_t reason = r.u8();
+            if (reason > static_cast<std::uint8_t>(WakeReason::User))
+                throw OdwlError("odwl trace wake reason out of range");
+            rec.cycle.reason = static_cast<WakeReason>(reason);
+            rec.cycle.coalesced = r.u32();
+            rec.phase = r.u32();
+            if (rec.cycle.idleDwell < 0 || rec.cycle.stallTime < 0)
+                throw OdwlError("odwl trace cycle has negative time");
+            day.cycles.push_back(rec);
+        }
+        traces.push_back(std::move(day));
+    }
+    r.expectEnd("odwl traces");
+    return traces;
+}
+
+OdwlDocument
+parseOdwl(const std::vector<std::uint8_t> &bytes)
+{
+    ckpt::Reader r(bytes);
+    if (r.u32() != kOdwlMagic)
+        throw OdwlError("not an .odwl file (bad magic)");
+    const std::uint32_t version = r.u32();
+    if (version != kOdwlVersion)
+        throw OdwlError("unsupported .odwl version " +
+                        std::to_string(version));
+    const std::uint32_t sectionCount = r.u32();
+
+    bool havePopulation = false;
+    std::vector<std::uint8_t> populationPayload;
+    bool haveTraces = false;
+    std::vector<std::uint8_t> tracesPayload;
+    for (std::uint32_t i = 0; i < sectionCount; ++i) {
+        const std::string name = r.str();
+        const std::uint32_t storedCrc = r.u32();
+        std::vector<std::uint8_t> payload = r.blob();
+        if (ckpt::crc32(payload.data(), payload.size()) != storedCrc)
+            throw OdwlError("odwl section '" + name + "' CRC mismatch");
+        if (name == "population") {
+            if (havePopulation)
+                throw OdwlError("duplicate odwl population section");
+            havePopulation = true;
+            populationPayload = std::move(payload);
+        } else if (name == "traces") {
+            if (haveTraces)
+                throw OdwlError("duplicate odwl traces section");
+            haveTraces = true;
+            tracesPayload = std::move(payload);
+        } else {
+            throw OdwlError("unknown odwl section '" + name + "'");
+        }
+    }
+    r.expectEnd("odwl file");
+    if (!havePopulation)
+        throw OdwlError("odwl file has no population section");
+
+    OdwlDocument doc;
+    doc.population = decodePopulation(populationPayload);
+    if (haveTraces)
+        doc.traces =
+            decodeTraces(tracesPayload, doc.population.classes.size());
+    return doc;
+}
+
+} // namespace
+
+std::uint64_t
+odwlRejectedLoads()
+{
+    return rejectedLoads.load(std::memory_order_relaxed);
+}
+
+void
+resetOdwlRejectedLoads()
+{
+    rejectedLoads.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t>
+writeOdwl(const OdwlDocument &doc)
+{
+    ckpt::Writer w;
+    w.u32(kOdwlMagic);
+    w.u32(kOdwlVersion);
+    const bool withTraces = !doc.traces.empty();
+    w.u32(withTraces ? 2u : 1u);
+
+    std::vector<std::uint8_t> population = encodePopulation(doc.population);
+    w.str("population");
+    w.u32(ckpt::crc32(population.data(), population.size()));
+    w.blob(population);
+
+    if (withTraces) {
+        std::vector<std::uint8_t> traces = encodeTraces(doc.traces);
+        w.str("traces");
+        w.u32(ckpt::crc32(traces.data(), traces.size()));
+        w.blob(traces);
+    }
+    return w.take();
+}
+
+OdwlDocument
+readOdwl(const std::vector<std::uint8_t> &bytes)
+{
+    try {
+        return parseOdwl(bytes);
+    } catch (const OdwlError &) {
+        rejectedLoads.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    } catch (const ckpt::SnapshotError &err) {
+        rejectedLoads.fetch_add(1, std::memory_order_relaxed);
+        throw OdwlError(std::string("odwl file truncated: ") + err.what());
+    }
+}
+
+void
+writeOdwlFile(const std::string &path, const OdwlDocument &doc)
+{
+    const std::vector<std::uint8_t> bytes = writeOdwl(doc);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        throw OdwlError("cannot open '" + path + "' for writing");
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !closed)
+        throw OdwlError("short write to '" + path + "'");
+}
+
+OdwlDocument
+readOdwlFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        rejectedLoads.fetch_add(1, std::memory_order_relaxed);
+        throw OdwlError("cannot open '" + path + "'");
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    std::size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError) {
+        rejectedLoads.fetch_add(1, std::memory_order_relaxed);
+        throw OdwlError("read error on '" + path + "'");
+    }
+    return readOdwl(bytes);
+}
+
+} // namespace odrips

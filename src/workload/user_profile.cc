@@ -1,0 +1,290 @@
+#include "workload/user_profile.hh"
+
+#include <cmath>
+
+#include "sim/ticks.hh"
+
+namespace odrips
+{
+
+namespace
+{
+
+PhaseSpec
+makePhase(const std::string &name, double hours,
+          double notification_mean, double sensor_per_hour,
+          double storms_per_hour)
+{
+    PhaseSpec spec;
+    spec.name = name;
+    spec.hours = hours;
+    spec.notificationMeanSeconds = notification_mean;
+    spec.sensorWakesPerHour = sensor_per_hour;
+    spec.stormsPerHour = storms_per_hour;
+    spec.coalescingWindowSeconds = 3.0;
+    return spec;
+}
+
+} // namespace
+
+UserProfile
+UserProfile::lightUser()
+{
+    UserProfile p;
+    p.name = "light-user";
+    p.phases = {makePhase("day", 24.0, 900.0, 1.0, 0.0)};
+    return p;
+}
+
+UserProfile
+UserProfile::heavyNotifier()
+{
+    UserProfile p;
+    p.name = "heavy-notifier";
+    PhaseSpec day = makePhase("day", 24.0, 120.0, 4.0, 1.5);
+    day.stormBurst = 10;
+    day.stormGapSeconds = 2.5;
+    p.phases = {day};
+    return p;
+}
+
+UserProfile
+UserProfile::commuter()
+{
+    UserProfile p;
+    p.name = "commuter";
+    p.phases = {makePhase("night", 7.0, 1800.0, 0.2, 0.0),
+                makePhase("commute", 2.0, 240.0, 6.0, 0.5),
+                makePhase("office", 9.0, 300.0, 2.0, 1.0),
+                makePhase("evening", 6.0, 600.0, 3.0, 0.25)};
+    return p;
+}
+
+UserProfile
+UserProfile::nightOwl()
+{
+    UserProfile p;
+    p.name = "night-owl";
+    p.phases = {makePhase("late-night", 4.0, 180.0, 3.0, 1.0),
+                makePhase("sleep", 6.0, 3600.0, 0.1, 0.0),
+                makePhase("day", 14.0, 600.0, 2.0, 0.25)};
+    return p;
+}
+
+std::size_t
+FleetPopulation::classForDevice(std::uint64_t deviceId) const
+{
+    if (classes.size() <= 1)
+        return 0;
+    double total = 0.0;
+    for (const DeviceClass &cls : classes)
+        total += cls.weight;
+    Rng device = Rng(seed).fork(deviceId);
+    const double draw = device.uniform(0.0, total);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        cumulative += classes[i].weight;
+        if (draw < cumulative)
+            return i;
+    }
+    return classes.size() - 1;
+}
+
+FleetPopulation
+FleetPopulation::mixedReference()
+{
+    FleetPopulation pop;
+    pop.seed = 1;
+    pop.classes = {
+        {UserProfile::lightUser(), TechniqueSet::odrips(), 0.40},
+        {UserProfile::heavyNotifier(), TechniqueSet::baseline(), 0.25},
+        {UserProfile::commuter(), TechniqueSet::odrips(), 0.20},
+        {UserProfile::nightOwl(), TechniqueSet::wakeupOffOnly(), 0.15},
+    };
+    return pop;
+}
+
+DayCycleGenerator::DayCycleGenerator(const UserProfile &user, Rng stream,
+                                     double day_seconds)
+    : profile(&user), rng(stream), daySeconds(day_seconds)
+{
+    if (profile->phases.empty())
+        finished = true;
+    else
+        enterPhase(0, 0.0);
+}
+
+void
+DayCycleGenerator::enterPhase(std::size_t index, double start_seconds)
+{
+    phaseIdx = index % profile->phases.size();
+    const PhaseSpec &spec = profile->phases[phaseIdx];
+    phaseEnd = start_seconds + spec.hours * 3600.0;
+
+    if (spec.heartbeatPeriodSeconds > 0.0) {
+        const double jitter =
+            rng.uniform(-spec.heartbeatJitterFraction,
+                        spec.heartbeatJitterFraction);
+        nextHeartbeat =
+            start_seconds + spec.heartbeatPeriodSeconds * (1.0 + jitter);
+    } else {
+        nextHeartbeat = kNever;
+    }
+    nextNotification = drawNotification(start_seconds);
+    nextSensor = drawSensor(start_seconds);
+    nextStormStart = drawStormStart(start_seconds);
+    nextStormWake = kNever;
+    stormRemaining = 0;
+}
+
+double
+DayCycleGenerator::drawNotification(double after)
+{
+    const PhaseSpec &spec = profile->phases[phaseIdx];
+    if (spec.notificationMeanSeconds <= 0.0)
+        return kNever;
+    return after + rng.exponential(spec.notificationMeanSeconds);
+}
+
+double
+DayCycleGenerator::drawSensor(double after)
+{
+    const PhaseSpec &spec = profile->phases[phaseIdx];
+    if (spec.sensorWakesPerHour <= 0.0)
+        return kNever;
+    return after + rng.exponential(3600.0 / spec.sensorWakesPerHour);
+}
+
+double
+DayCycleGenerator::drawStormStart(double after)
+{
+    const PhaseSpec &spec = profile->phases[phaseIdx];
+    if (spec.stormsPerHour <= 0.0)
+        return kNever;
+    return after + rng.exponential(3600.0 / spec.stormsPerHour);
+}
+
+// fleet: hotloop
+bool
+DayCycleGenerator::next(StandbyCycle &out, std::size_t &phase_index)
+{
+    if (finished)
+        return false;
+    if (cursor >= daySeconds) {
+        finished = true;
+        return false;
+    }
+    for (;;) {
+        const PhaseSpec &spec = profile->phases[phaseIdx];
+
+        // A pending storm-start spawns a burst; the wakes themselves
+        // are picked up as nextStormWake on the next pass.
+        double earliest = nextHeartbeat;
+        if (nextNotification < earliest)
+            earliest = nextNotification;
+        if (nextSensor < earliest)
+            earliest = nextSensor;
+        if (nextStormStart < earliest)
+            earliest = nextStormStart;
+        if (nextStormWake < earliest)
+            earliest = nextStormWake;
+
+        const double boundary =
+            phaseEnd < daySeconds ? phaseEnd : daySeconds;
+        if (earliest >= boundary) {
+            if (boundary >= daySeconds) {
+                // Clip the day exactly: one final idle-only dwell.
+                out = StandbyCycle{};
+                out.idleDwell = secondsToTicks(daySeconds - cursor);
+                out.reason = WakeReason::KernelTimer;
+                phase_index = phaseIdx;
+                finished = true;
+                return true;
+            }
+            enterPhase(phaseIdx + 1, phaseEnd);
+            continue;
+        }
+
+        if (earliest == nextStormStart) {
+            stormRemaining = spec.stormBurst;
+            nextStormWake = nextStormStart;
+            nextStormStart = drawStormStart(nextStormStart);
+            continue;
+        }
+
+        // Identify the firing source with a fixed priority order so
+        // exact ties resolve deterministically.
+        WakeReason reason = WakeReason::KernelTimer;
+        bool isHeartbeat = false;
+        if (earliest == nextHeartbeat) {
+            isHeartbeat = true;
+        } else if (earliest == nextStormWake) {
+            reason = WakeReason::Network;
+        } else if (earliest == nextNotification) {
+            reason = WakeReason::Network;
+        } else {
+            reason = WakeReason::User;
+        }
+
+        // Interrupt coalescing (paper Sec. 3, Observation 1): an
+        // external wake close before the next heartbeat is buffered
+        // and handled together with it.
+        if (!isHeartbeat && spec.coalescingWindowSeconds > 0.0 &&
+            nextHeartbeat < kNever &&
+            nextHeartbeat - earliest <= spec.coalescingWindowSeconds) {
+            ++pendingCoalesced;
+            ++coalescedTotal;
+            if (earliest == nextStormWake) {
+                --stormRemaining;
+                nextStormWake = stormRemaining > 0
+                                    ? earliest + spec.stormGapSeconds
+                                    : kNever;
+            } else if (earliest == nextNotification) {
+                nextNotification = drawNotification(earliest);
+            } else {
+                nextSensor = drawSensor(earliest);
+            }
+            continue;
+        }
+
+        std::uint32_t coalesced = 0;
+        if (isHeartbeat) {
+            coalesced = pendingCoalesced;
+            pendingCoalesced = 0;
+            const double jitter =
+                rng.uniform(-spec.heartbeatJitterFraction,
+                            spec.heartbeatJitterFraction);
+            nextHeartbeat =
+                earliest + spec.heartbeatPeriodSeconds * (1.0 + jitter);
+        } else if (earliest == nextStormWake) {
+            --stormRemaining;
+            nextStormWake = stormRemaining > 0
+                                ? earliest + spec.stormGapSeconds
+                                : kNever;
+        } else if (earliest == nextNotification) {
+            nextNotification = drawNotification(earliest);
+        } else {
+            nextSensor = drawSensor(earliest);
+        }
+
+        // Same active-window idiom as StandbyWorkloadGenerator:
+        // coalesced events extend the window by 30% each.
+        const double active =
+            rng.uniform(spec.activeMinSeconds, spec.activeMaxSeconds) *
+            (1.0 + 0.3 * coalesced);
+        const double wake = earliest > cursor ? earliest : cursor;
+
+        out.idleDwell = secondsToTicks(wake - cursor);
+        out.cpuCycles = static_cast<std::uint64_t>(
+            active * spec.scalableFraction * kReferenceHz);
+        out.stallTime =
+            secondsToTicks(active * (1.0 - spec.scalableFraction));
+        out.reason = reason;
+        out.coalesced = coalesced;
+        phase_index = phaseIdx;
+        cursor = wake + active;
+        return true;
+    }
+}
+
+} // namespace odrips

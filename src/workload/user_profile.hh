@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parameterized user behavior profiles for fleet campaigns.
+ *
+ * The paper evaluates one synthetic standby profile (30 s kernel
+ * heartbeat, 100-300 ms active); real connected-standby energy is a
+ * population distribution over diverse users. A UserProfile describes
+ * one user archetype as a sequence of behavior phases (night, commute,
+ * work-day, ...), each with its own wake-source mix: the periodic
+ * kernel/network heartbeat, Poisson push notifications, notification
+ * storms (a burst of closely spaced pushes, e.g. a group chat),
+ * and sensor/fingerprint wakes. A FleetPopulation weights several
+ * DeviceClasses (profile x TechniqueSet) and maps any device id to its
+ * class deterministically, so a campaign never needs a per-device
+ * table.
+ *
+ * DayCycleGenerator streams one device-day of StandbyCycles without
+ * allocating: all source state is a handful of scalars, advanced
+ * earliest-event-first, with the same coalescing and active-draw idiom
+ * as StandbyWorkloadGenerator. Same profile + same Rng => bit-identical
+ * cycle stream, which is what the campaign determinism gate leans on.
+ */
+
+#ifndef ODRIPS_WORKLOAD_USER_PROFILE_HH
+#define ODRIPS_WORKLOAD_USER_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/techniques.hh"
+#include "sim/random.hh"
+#include "workload/standby_workload.hh"
+
+namespace odrips
+{
+
+/** One behavior phase of a user's day (e.g. "night", "commute"). */
+struct PhaseSpec
+{
+    std::string name = "phase";
+    /** Phase length; phases repeat cyclically until the day ends. */
+    double hours = 24.0;
+
+    /** Periodic kernel/network heartbeat (paper: ~30 s). */
+    double heartbeatPeriodSeconds = 30.0;
+    /** Uniform jitter as a fraction of the heartbeat period. */
+    double heartbeatJitterFraction = 0.05;
+
+    /** Mean interval between push notifications; zero disables. */
+    double notificationMeanSeconds = 0.0;
+
+    /** Notification storms: bursts of closely spaced pushes. */
+    double stormsPerHour = 0.0;
+    std::uint32_t stormBurst = 8;
+    double stormGapSeconds = 3.0;
+
+    /** Sensor / fingerprint / lift-to-wake events per hour. */
+    double sensorWakesPerHour = 0.0;
+
+    /** Active-window draw (uniform), same shape as WorkloadConfig. */
+    double activeMinSeconds = 0.100;
+    double activeMaxSeconds = 0.300;
+    double scalableFraction = 0.70;
+
+    /** Interrupt-coalescing window before the next heartbeat. */
+    double coalescingWindowSeconds = 0.0;
+};
+
+/** A user archetype: named sequence of phases. */
+struct UserProfile
+{
+    std::string name = "user";
+    std::vector<PhaseSpec> phases;
+
+    /** Occasional notifications, long quiet stretches. */
+    static UserProfile lightUser();
+    /** Dense pushes plus hourly storms (group-chat style). */
+    static UserProfile heavyNotifier();
+    /** Night / commute / office phases with distinct wake mixes. */
+    static UserProfile commuter();
+    /** Active late hours, quiet mornings. */
+    static UserProfile nightOwl();
+};
+
+/** One weighted slice of the fleet: a profile on a technique config. */
+struct DeviceClass
+{
+    UserProfile profile;
+    TechniqueSet techniques;
+    double weight = 1.0;
+};
+
+/** Weighted mix of device classes plus the population seed. */
+struct FleetPopulation
+{
+    std::vector<DeviceClass> classes;
+    std::uint64_t seed = 1;
+
+    /**
+     * Deterministic class assignment: a weight-proportional draw from
+     * Rng(seed).fork(deviceId), independent of every other device.
+     */
+    std::size_t classForDevice(std::uint64_t deviceId) const;
+
+    /** The mixed-profile reference population used by bench + gates. */
+    static FleetPopulation mixedReference();
+};
+
+/**
+ * Streams one device-day of StandbyCycles for a profile.
+ *
+ * All state is fixed-size scalars; next() never allocates and is safe
+ * inside the campaign's per-device hot loop.
+ */
+class DayCycleGenerator
+{
+  public:
+    /** Core frequency the cycle cpuCycles are expressed against. */
+    static constexpr double kReferenceHz = 0.8e9;
+
+    DayCycleGenerator(const UserProfile &profile, Rng rng,
+                      double day_seconds = 86400.0);
+
+    /**
+     * Produce the next cycle; @p phase_index reports which phase the
+     * wake landed in. Returns false once the day is fully emitted (the
+     * last cycle's idle dwell is clipped exactly at the day boundary).
+     */
+    bool next(StandbyCycle &out, std::size_t &phase_index);
+
+    /** External wakes absorbed by coalescing so far. */
+    std::uint64_t coalescedWakes() const { return coalescedTotal; }
+
+  private:
+    void enterPhase(std::size_t index, double start_seconds);
+    double drawNotification(double after);
+    double drawSensor(double after);
+    double drawStormStart(double after);
+
+    const UserProfile *profile;
+    Rng rng;
+    double daySeconds;
+
+    double cursor = 0.0;     ///< absolute seconds, end of last active
+    std::size_t phaseIdx = 0;
+    double phaseEnd = 0.0;   ///< absolute end of the current phase
+
+    static constexpr double kNever = 1e18;
+    double nextHeartbeat = kNever;
+    double nextNotification = kNever;
+    double nextSensor = kNever;
+    double nextStormStart = kNever;
+    double nextStormWake = kNever;
+    std::uint32_t stormRemaining = 0;
+
+    std::uint32_t pendingCoalesced = 0;
+    std::uint64_t coalescedTotal = 0;
+    bool finished = false;
+};
+
+} // namespace odrips
+
+#endif // ODRIPS_WORKLOAD_USER_PROFILE_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fleet campaign engine tests (serial policies; the jobs sweep lives
+ * in fleet_parallel_test.cc): the warm engine is bit-identical to the
+ * naive cold foil, reruns reproduce byte-identical reports,
+ * aggregation state is O(stats) regardless of population size, and the
+ * percentile/days math is internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "fleet/campaign.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+using namespace odrips::fleet;
+
+namespace
+{
+
+/** Small campaign the cold foil can afford to run too. */
+CampaignConfig
+smallConfig(std::uint64_t devices)
+{
+    CampaignConfig cfg;
+    cfg.base = skylakeConfig();
+    cfg.population = FleetPopulation::mixedReference();
+    cfg.deviceDays = devices;
+    cfg.batchSize = 8;
+    cfg.simSampleEvery = 16;
+    return cfg;
+}
+
+std::string
+report(const CampaignConfig &cfg, const CampaignResult &result)
+{
+    std::ostringstream os;
+    printCampaignReport(os, cfg, result);
+    return os.str();
+}
+
+exec::ExecPolicy
+serialPolicy()
+{
+    exec::ExecPolicy policy;
+    policy.jobs = 1;
+    return policy;
+}
+
+TEST(CampaignTest, WarmEngineMatchesNaiveColdBitExactly)
+{
+    Logger::quiet(true);
+    CampaignConfig warm = smallConfig(12);
+    CampaignConfig cold = warm;
+    cold.naiveCold = true;
+
+    const CampaignResult a = runCampaign(warm, serialPolicy());
+    const CampaignResult b = runCampaign(cold, serialPolicy());
+
+    // The whole optimisation contract in one assertion set: skipping
+    // rebuild/re-measure/re-calibrate must not move a single bit.
+    EXPECT_EQ(a.meanPowerWatts, b.meanPowerWatts);
+    EXPECT_EQ(a.minPowerWatts, b.minPowerWatts);
+    EXPECT_EQ(a.maxPowerWatts, b.maxPowerWatts);
+    EXPECT_EQ(a.powerWatts.p50, b.powerWatts.p50);
+    EXPECT_EQ(a.powerWatts.p99, b.powerWatts.p99);
+    EXPECT_EQ(a.daysOfStandby.p1, b.daysOfStandby.p1);
+    EXPECT_TRUE(a.powerSketch == b.powerSketch);
+    EXPECT_EQ(report(warm, a), report(cold, b));
+
+    // And the foil really did pay the per-device costs the warm
+    // engine skips.
+    EXPECT_EQ(a.telemetry.profileMeasurements, 0u);
+    EXPECT_GE(b.telemetry.profileMeasurements, b.devices);
+    EXPECT_EQ(b.telemetry.pool.restores, 0u);
+}
+
+TEST(CampaignTest, RerunsAreByteIdentical)
+{
+    Logger::quiet(true);
+    const CampaignConfig cfg = smallConfig(40);
+    const CampaignResult a = runCampaign(cfg, serialPolicy());
+    const CampaignResult b = runCampaign(cfg, serialPolicy());
+    EXPECT_EQ(report(cfg, a), report(cfg, b));
+    EXPECT_TRUE(a.powerSketch == b.powerSketch);
+}
+
+TEST(CampaignTest, SeedChangesTheOutput)
+{
+    Logger::quiet(true);
+    CampaignConfig cfg = smallConfig(40);
+    const CampaignResult a = runCampaign(cfg, serialPolicy());
+    cfg.seed ^= 0x9e3779b97f4a7c15ULL;
+    const CampaignResult b = runCampaign(cfg, serialPolicy());
+    EXPECT_NE(report(cfg, a), report(cfg, b));
+}
+
+TEST(CampaignTest, AggregationStateIsIndependentOfFleetSize)
+{
+    Logger::quiet(true);
+    // batchSize 1 drives both runs to the 1024-partial cap, so every
+    // aggregation structure is at its size ceiling: doubling the fleet
+    // may not add a byte of resident stats state.
+    CampaignConfig small = smallConfig(1024);
+    small.batchSize = 1;
+    small.simSampleEvery = 0;
+    CampaignConfig large = smallConfig(2048);
+    large.batchSize = 1;
+    large.simSampleEvery = 0;
+
+    const CampaignResult a = runCampaign(small, serialPolicy());
+    const CampaignResult b = runCampaign(large, serialPolicy());
+    EXPECT_GT(a.telemetry.aggregationBytes, 0u);
+    EXPECT_EQ(a.telemetry.aggregationBytes, b.telemetry.aggregationBytes);
+    EXPECT_EQ(a.devices, 1024u);
+    EXPECT_EQ(b.devices, 2048u);
+}
+
+TEST(CampaignTest, PercentilesAreOrderedAndBracketed)
+{
+    Logger::quiet(true);
+    const CampaignConfig cfg = smallConfig(200);
+    const CampaignResult r = runCampaign(cfg, serialPolicy());
+
+    EXPECT_LE(r.powerWatts.p1, r.powerWatts.p10);
+    EXPECT_LE(r.powerWatts.p10, r.powerWatts.p50);
+    EXPECT_LE(r.powerWatts.p50, r.powerWatts.p90);
+    EXPECT_LE(r.powerWatts.p90, r.powerWatts.p99);
+    EXPECT_LE(r.daysOfStandby.p1, r.daysOfStandby.p10);
+    EXPECT_LE(r.daysOfStandby.p10, r.daysOfStandby.p50);
+    EXPECT_LE(r.daysOfStandby.p50, r.daysOfStandby.p90);
+    EXPECT_LE(r.daysOfStandby.p90, r.daysOfStandby.p99);
+
+    // Sketch representatives carry ~1/128 bucket half-width, so the
+    // percentile band sits within a hair of the exact min/max.
+    const double slack = 0.02;
+    EXPECT_GE(r.powerWatts.p1, r.minPowerWatts * (1.0 - slack));
+    EXPECT_LE(r.powerWatts.p99, r.maxPowerWatts * (1.0 + slack));
+    EXPECT_GT(r.meanPowerWatts, 0.0);
+    EXPECT_GE(r.meanPowerWatts, r.minPowerWatts);
+    EXPECT_LE(r.meanPowerWatts, r.maxPowerWatts);
+}
+
+TEST(CampaignTest, DaysOfStandbyIsTheBatteryTransform)
+{
+    Logger::quiet(true);
+    CampaignConfig cfg = smallConfig(100);
+    cfg.batteryWattHours = 36.0;
+    const CampaignResult r = runCampaign(cfg, serialPolicy());
+
+    // days pN mirrors power p(100-N): the best 1% of devices (p1
+    // power) last the longest (p99 days).
+    EXPECT_DOUBLE_EQ(r.daysOfStandby.p99,
+                     cfg.batteryWattHours / (r.powerWatts.p1 * 24.0));
+    EXPECT_DOUBLE_EQ(r.daysOfStandby.p50,
+                     cfg.batteryWattHours / (r.powerWatts.p50 * 24.0));
+    EXPECT_DOUBLE_EQ(r.daysOfStandby.p1,
+                     cfg.batteryWattHours / (r.powerWatts.p99 * 24.0));
+}
+
+TEST(CampaignTest, TelemetryAccountsForEveryDevice)
+{
+    Logger::quiet(true);
+    const CampaignConfig cfg = smallConfig(150);
+    const CampaignResult r = runCampaign(cfg, serialPolicy());
+
+    EXPECT_EQ(r.devices, cfg.deviceDays);
+    EXPECT_EQ(r.powerSketch.count(), cfg.deviceDays);
+    EXPECT_EQ(r.telemetry.devices, cfg.deviceDays);
+    EXPECT_GT(r.telemetry.cycles, cfg.deviceDays);
+    EXPECT_GT(r.telemetry.batches, 0u);
+    const std::uint64_t perWorker =
+        std::accumulate(r.telemetry.devicesPerWorker.begin(),
+                        r.telemetry.devicesPerWorker.end(),
+                        std::uint64_t{0});
+    EXPECT_EQ(perWorker, cfg.deviceDays);
+    // simSampleEvery=16: devices 0, 16, 32, ... replay on the sim.
+    EXPECT_EQ(r.telemetry.simSampledDevices, (cfg.deviceDays + 15) / 16);
+}
+
+TEST(CampaignTest, EmptyCampaignIsWellDefined)
+{
+    Logger::quiet(true);
+    CampaignConfig cfg = smallConfig(0);
+    const CampaignResult r = runCampaign(cfg, serialPolicy());
+    EXPECT_EQ(r.devices, 0u);
+    EXPECT_EQ(r.meanPowerWatts, 0.0);
+    EXPECT_EQ(r.powerSketch.count(), 0u);
+}
+
+} // namespace

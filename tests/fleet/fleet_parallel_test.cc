@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Jobs-sweep determinism of the fleet campaign engine: the report and
+ * every deterministic result field must be bit-identical whether the
+ * device sweep runs inline, on a 2-worker pool, or on a 5-worker pool
+ * — the campaign-level face of the parallelSweep ordered-slot and
+ * per-batch-partial reduction contracts. Runs under the odrips_tsan
+ * label, so check.sh also hammers it with ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "exec/thread_pool.hh"
+#include "fleet/campaign.hh"
+#include "sim/logging.hh"
+
+using namespace odrips;
+using namespace odrips::fleet;
+
+namespace
+{
+
+CampaignConfig
+testConfig(std::uint64_t devices)
+{
+    CampaignConfig cfg;
+    cfg.base = skylakeConfig();
+    cfg.population = FleetPopulation::mixedReference();
+    cfg.deviceDays = devices;
+    cfg.batchSize = 8;
+    cfg.simSampleEvery = 32;
+    return cfg;
+}
+
+std::string
+report(const CampaignConfig &cfg, const CampaignResult &result)
+{
+    std::ostringstream os;
+    printCampaignReport(os, cfg, result);
+    return os.str();
+}
+
+TEST(FleetParallelTest, ReportIsBitIdenticalAcrossWorkerCounts)
+{
+    Logger::quiet(true);
+    const CampaignConfig cfg = testConfig(96);
+
+    exec::ExecPolicy serial;
+    serial.jobs = 1;
+    const CampaignResult base = runCampaign(cfg, serial);
+    const std::string expected = report(cfg, base);
+
+    for (unsigned workers : {2u, 5u}) {
+        exec::ThreadPool pool(workers);
+        exec::ExecPolicy policy;
+        policy.pool = &pool;
+        const CampaignResult r = runCampaign(cfg, policy);
+        EXPECT_EQ(report(cfg, r), expected) << workers << " workers";
+        EXPECT_EQ(r.meanPowerWatts, base.meanPowerWatts) << workers;
+        EXPECT_EQ(r.powerWatts.p50, base.powerWatts.p50) << workers;
+        EXPECT_EQ(r.powerWatts.p99, base.powerWatts.p99) << workers;
+        EXPECT_TRUE(r.powerSketch == base.powerSketch) << workers;
+
+        // Work really was spread across workers, and none was lost.
+        const std::uint64_t total =
+            std::accumulate(r.telemetry.devicesPerWorker.begin(),
+                            r.telemetry.devicesPerWorker.end(),
+                            std::uint64_t{0});
+        EXPECT_EQ(total, cfg.deviceDays) << workers;
+    }
+}
+
+TEST(FleetParallelTest, RepeatedParallelRunsAreStable)
+{
+    Logger::quiet(true);
+    const CampaignConfig cfg = testConfig(64);
+    exec::ThreadPool pool(4);
+    exec::ExecPolicy policy;
+    policy.pool = &pool;
+
+    const std::string first = report(cfg, runCampaign(cfg, policy));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(report(cfg, runCampaign(cfg, policy)), first)
+            << "iteration " << i;
+}
+
+} // namespace

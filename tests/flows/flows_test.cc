@@ -44,8 +44,11 @@ TEST(FlowSequenceTest, StepsSeeMonotonicStartTimes)
     FlowSequence flow("f");
     std::vector<Tick> starts;
     for (int i = 0; i < 3; ++i) {
-        flow.addFixed("s" + std::to_string(i), oneUs,
-                      [&](Tick t) { starts.push_back(t); });
+        // Named lvalue sidesteps a GCC 12 -Wrestrict false positive on
+        // operator+(const char *, std::string &&) at -O3.
+        std::string name = "s";
+        name += std::to_string(i);
+        flow.addFixed(name, oneUs, [&](Tick t) { starts.push_back(t); });
     }
     eq.run(5 * oneUs); // start the flow at t = 5 us
     flow.execute(eq);

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * QuantileSketch accuracy and algebra tests.
+ *
+ * The fleet determinism gate leans on two properties proved here:
+ * merges are bit-exact regardless of association/order (so per-worker
+ * sketches merged in slot order equal the serial sketch), and the
+ * reported quantile is within the geometric bucket error (~1/128
+ * relative half-width) of the exact sorted quantile on distributions
+ * shaped like real campaign output (uniform, lognormal, bimodal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/random.hh"
+#include "stats/quantile_sketch.hh"
+
+using namespace odrips;
+using namespace odrips::stats;
+
+namespace
+{
+
+/** Exact nearest-rank quantile, the rule quantile() implements. */
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    const auto n = static_cast<double>(values.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+    return values[rank - 1];
+}
+
+/** Sketch vs exact at the campaign's five quantiles. */
+void
+expectQuantilesClose(const std::vector<double> &values, double rel_tol)
+{
+    QuantileSketch sketch;
+    for (double v : values)
+        sketch.add(v);
+    ASSERT_EQ(sketch.count(), values.size());
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99}) {
+        const double exact = exactQuantile(values, q);
+        const double approx = sketch.quantile(q);
+        EXPECT_NEAR(approx, exact, rel_tol * exact)
+            << "q=" << q << " exact=" << exact;
+    }
+}
+
+TEST(QuantileSketchTest, RankErrorUniform)
+{
+    Rng rng(11);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i)
+        values.push_back(rng.uniform(0.02, 0.25)); // watt-ish range
+    expectQuantilesClose(values, 0.02);
+}
+
+TEST(QuantileSketchTest, RankErrorLognormal)
+{
+    Rng rng(12);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i)
+        values.push_back(std::exp(rng.normal(-2.5, 0.8)));
+    expectQuantilesClose(values, 0.02);
+}
+
+TEST(QuantileSketchTest, RankErrorBimodal)
+{
+    // Two well-separated modes, like a fleet split between an
+    // aggressive-techniques class and a baseline class.
+    Rng rng(13);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.chance(0.7))
+            values.push_back(rng.uniform(0.05, 0.07));
+        else
+            values.push_back(rng.uniform(1.8, 2.2));
+    }
+    expectQuantilesClose(values, 0.02);
+}
+
+TEST(QuantileSketchTest, MergeAssociativityBitExact)
+{
+    Rng rng(14);
+    QuantileSketch a, b, c, serial;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.exponential(0.1);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(v);
+        serial.add(v);
+    }
+
+    // (a + b) + c
+    QuantileSketch left;
+    left.merge(a);
+    left.merge(b);
+    left.merge(c);
+    // a + (b + c), built in the opposite association and order
+    QuantileSketch bc;
+    bc.merge(c);
+    bc.merge(b);
+    QuantileSketch right;
+    right.merge(bc);
+    right.merge(a);
+
+    EXPECT_TRUE(left == right);
+    EXPECT_TRUE(left == serial);
+    EXPECT_EQ(left.count(), serial.count());
+}
+
+TEST(QuantileSketchTest, InsertionOrderIndependent)
+{
+    Rng rng(15);
+    std::vector<double> values;
+    for (int i = 0; i < 500; ++i)
+        values.push_back(rng.uniform(0.0, 10.0));
+
+    QuantileSketch forward, backward;
+    for (double v : values)
+        forward.add(v);
+    for (auto it = values.rbegin(); it != values.rend(); ++it)
+        backward.add(*it);
+    EXPECT_TRUE(forward == backward);
+}
+
+TEST(QuantileSketchTest, EmptySketch)
+{
+    const QuantileSketch sketch;
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_EQ(sketch.quantile(0.5), 0.0);
+    EXPECT_EQ(sketch.quantile(0.0), 0.0);
+    EXPECT_EQ(sketch.quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketchTest, ZeroAndNegativeOrderBelowPositives)
+{
+    QuantileSketch sketch;
+    sketch.add(-1.0);
+    sketch.add(0.0);
+    sketch.add(4.0);
+    sketch.add(8.0);
+    EXPECT_EQ(sketch.negativeValues(), 1u);
+    EXPECT_EQ(sketch.zeroValues(), 1u);
+    EXPECT_EQ(sketch.count(), 4u);
+    // Ranks 1 and 2 are the negative and the zero (both report 0.0);
+    // ranks 3 and 4 resolve to the positive buckets.
+    EXPECT_EQ(sketch.quantile(0.25), 0.0);
+    EXPECT_EQ(sketch.quantile(0.50), 0.0);
+    EXPECT_NEAR(sketch.quantile(0.75), 4.0, 0.02 * 4.0);
+    EXPECT_NEAR(sketch.quantile(1.00), 8.0, 0.02 * 8.0);
+}
+
+TEST(QuantileSketchTest, ExtremeMagnitudesLandInOverflowBins)
+{
+    QuantileSketch sketch;
+    sketch.add(std::ldexp(1.0, QuantileSketch::kMinExp - 8)); // underflow
+    sketch.add(1.0);
+    sketch.add(std::ldexp(1.0, QuantileSketch::kMaxExp + 8)); // overflow
+    EXPECT_EQ(sketch.count(), 3u);
+    // Underflow sorts below every bucketed value, overflow above; the
+    // representatives stay finite and ordered.
+    const double lo = sketch.quantile(0.01);
+    const double mid = sketch.quantile(0.5);
+    const double hi = sketch.quantile(0.99);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    EXPECT_TRUE(std::isfinite(lo));
+    EXPECT_TRUE(std::isfinite(hi));
+}
+
+TEST(QuantileSketchTest, StateSizeIndependentOfSampleCount)
+{
+    // O(stats): the counter array is fixed-geometry, so state size is
+    // a compile-time constant, not a function of adds.
+    const std::size_t bytes = QuantileSketch::stateBytes();
+    EXPECT_GT(bytes, 0u);
+    QuantileSketch sketch;
+    Rng rng(16);
+    for (int i = 0; i < 100000; ++i)
+        sketch.add(rng.uniform(0.0, 1.0));
+    EXPECT_EQ(QuantileSketch::stateBytes(), bytes);
+    EXPECT_EQ(sketch.count(), 100000u);
+}
+
+TEST(QuantileSketchTest, QuantileArgumentClamped)
+{
+    QuantileSketch sketch;
+    sketch.add(2.0);
+    sketch.add(4.0);
+    EXPECT_EQ(sketch.quantile(-0.5), sketch.quantile(0.0));
+    EXPECT_EQ(sketch.quantile(1.5), sketch.quantile(1.0));
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * User-profile / day-cycle-generator tests: bit-identical streams for
+ * equal seeds, decorrelated streams across device forks, exact day
+ * clipping, phase coverage, parameter responsiveness, coalescing, and
+ * weight-proportional class assignment. These are the properties the
+ * fleet campaign's determinism and population math stand on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/units.hh"
+#include "workload/user_profile.hh"
+
+using namespace odrips;
+
+namespace
+{
+
+/** Expand one device-day to a vector (tests only; hot path streams). */
+std::vector<StandbyCycle>
+expand(const UserProfile &profile, Rng rng, double day_seconds = 86400.0)
+{
+    std::vector<StandbyCycle> cycles;
+    DayCycleGenerator gen(profile, rng, day_seconds);
+    StandbyCycle cycle;
+    std::size_t phase = 0;
+    while (gen.next(cycle, phase))
+        cycles.push_back(cycle);
+    return cycles;
+}
+
+TEST(DayCycleGeneratorTest, SameSeedSameStream)
+{
+    const UserProfile profile = UserProfile::commuter();
+    const Rng base(77);
+    const auto a = expand(profile, base.fork(3));
+    const auto b = expand(profile, base.fork(3));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].idleDwell, b[i].idleDwell) << "cycle " << i;
+        EXPECT_EQ(a[i].cpuCycles, b[i].cpuCycles) << "cycle " << i;
+        EXPECT_EQ(a[i].stallTime, b[i].stallTime) << "cycle " << i;
+        EXPECT_EQ(a[i].reason, b[i].reason) << "cycle " << i;
+        EXPECT_EQ(a[i].coalesced, b[i].coalesced) << "cycle " << i;
+    }
+}
+
+TEST(DayCycleGeneratorTest, DeviceForksDecorrelated)
+{
+    const UserProfile profile = UserProfile::heavyNotifier();
+    const Rng base(77);
+    const auto a = expand(profile, base.fork(1));
+    const auto b = expand(profile, base.fork(2));
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].idleDwell != b[i].idleDwell ||
+                  a[i].cpuCycles != b[i].cpuCycles;
+    EXPECT_TRUE(differs);
+}
+
+TEST(DayCycleGeneratorTest, DayIsClippedExactly)
+{
+    // Total wall time of the emitted day (idle dwells + active
+    // windows at the reference frequency) lands exactly on the day
+    // boundary: the final cycle's dwell absorbs the remainder.
+    for (const UserProfile &profile :
+         {UserProfile::lightUser(), UserProfile::heavyNotifier(),
+          UserProfile::commuter(), UserProfile::nightOwl()}) {
+        const auto cycles = expand(profile, Rng(5).fork(9));
+        ASSERT_FALSE(cycles.empty()) << profile.name;
+        Tick total = 0;
+        for (const StandbyCycle &c : cycles)
+            total += c.idleDwell +
+                     c.activeDuration(DayCycleGenerator::kReferenceHz);
+        const Tick day = secondsToTicks(86400.0);
+        // Per-cycle quantisation: cpuCycles truncates to a whole core
+        // cycle (one reference-clock period) and each seconds->ticks
+        // conversion rounds within half a tick. The last active window
+        // may also run past the boundary (its wake fired before it).
+        const Tick perCycle =
+            secondsToTicks(1.0 / DayCycleGenerator::kReferenceHz) + 4;
+        const Tick rounding =
+            perCycle * static_cast<Tick>(cycles.size()) + 4;
+        const StandbyCycle &last = cycles.back();
+        const Tick slack =
+            last.activeDuration(DayCycleGenerator::kReferenceHz);
+        EXPECT_GE(total, day - rounding) << profile.name;
+        EXPECT_LE(total, day + slack + rounding) << profile.name;
+    }
+}
+
+TEST(DayCycleGeneratorTest, CommuterVisitsEveryPhase)
+{
+    const UserProfile profile = UserProfile::commuter();
+    DayCycleGenerator gen(profile, Rng(21).fork(0));
+    StandbyCycle cycle;
+    std::size_t phase = 0;
+    std::set<std::size_t> seen;
+    while (gen.next(cycle, phase))
+        seen.insert(phase);
+    EXPECT_EQ(seen.size(), profile.phases.size());
+}
+
+TEST(DayCycleGeneratorTest, NotificationRateDrivesWakeMix)
+{
+    // Both profiles share the ~30 s heartbeat floor; the notification
+    // and storm parameters show up as external (non-heartbeat) wakes.
+    const auto light = expand(UserProfile::lightUser(), Rng(8).fork(0));
+    const auto heavy =
+        expand(UserProfile::heavyNotifier(), Rng(8).fork(0));
+    const auto external = [](const std::vector<StandbyCycle> &cycles) {
+        std::size_t n = 0;
+        for (const StandbyCycle &c : cycles)
+            if (c.reason != WakeReason::KernelTimer)
+                ++n;
+        return n;
+    };
+    EXPECT_GT(heavy.size(), light.size());
+    EXPECT_GT(external(heavy), external(light) * 5);
+}
+
+TEST(DayCycleGeneratorTest, CoalescingAbsorbsWakes)
+{
+    // A wide coalescing window on a notification-dense phase absorbs
+    // pushes into the next heartbeat instead of emitting them.
+    UserProfile profile = UserProfile::heavyNotifier();
+    for (PhaseSpec &phase : profile.phases)
+        phase.coalescingWindowSeconds = 10.0;
+    DayCycleGenerator gen(profile, Rng(30).fork(0));
+    StandbyCycle cycle;
+    std::size_t phase = 0;
+    std::uint64_t tagged = 0;
+    while (gen.next(cycle, phase))
+        tagged += cycle.coalesced;
+    EXPECT_GT(gen.coalescedWakes(), 0u);
+    EXPECT_EQ(tagged, gen.coalescedWakes());
+}
+
+TEST(FleetPopulationTest, ClassAssignmentIsDeterministic)
+{
+    const FleetPopulation pop = FleetPopulation::mixedReference();
+    for (std::uint64_t id : {0ull, 1ull, 500ull, 99999ull})
+        EXPECT_EQ(pop.classForDevice(id), pop.classForDevice(id));
+}
+
+TEST(FleetPopulationTest, ClassAssignmentTracksWeights)
+{
+    FleetPopulation pop;
+    pop.seed = 3;
+    DeviceClass a;
+    a.profile = UserProfile::lightUser();
+    a.weight = 1.0;
+    DeviceClass b;
+    b.profile = UserProfile::heavyNotifier();
+    b.weight = 3.0;
+    pop.classes.push_back(a);
+    pop.classes.push_back(b);
+
+    const std::uint64_t n = 20000;
+    std::uint64_t hits = 0;
+    for (std::uint64_t id = 0; id < n; ++id)
+        if (pop.classForDevice(id) == 1)
+            ++hits;
+    const double fraction =
+        static_cast<double>(hits) / static_cast<double>(n);
+    EXPECT_NEAR(fraction, 0.75, 0.02);
+}
+
+TEST(FleetPopulationTest, MixedReferenceIsWellFormed)
+{
+    const FleetPopulation pop = FleetPopulation::mixedReference();
+    ASSERT_FALSE(pop.classes.empty());
+    for (const DeviceClass &cls : pop.classes) {
+        EXPECT_GT(cls.weight, 0.0);
+        EXPECT_FALSE(cls.profile.phases.empty());
+        for (const PhaseSpec &phase : cls.profile.phases) {
+            EXPECT_GT(phase.hours, 0.0);
+            EXPECT_LE(phase.activeMinSeconds, phase.activeMaxSeconds);
+            EXPECT_GE(phase.scalableFraction, 0.0);
+            EXPECT_LE(phase.scalableFraction, 1.0);
+        }
+    }
+}
+
+} // namespace

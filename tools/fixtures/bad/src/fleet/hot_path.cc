@@ -1,0 +1,22 @@
+/**
+ * Seeded fleet-hotloop violations: heap growth and an unordered-
+ * container walk inside the annotated hot function, plus a dangling
+ * annotation with no function body to attach to.
+ */
+
+#include <unordered_map>
+#include <vector>
+
+// fleet: hotloop
+double
+accumulateDay(std::vector<double> &samples, double joules)
+{
+    samples.push_back(joules);
+    std::unordered_map<int, double> byClass;
+    double sum = 0.0;
+    for (const auto &kv : byClass)
+        sum += kv.second;
+    return sum;
+}
+
+// fleet: hotloop

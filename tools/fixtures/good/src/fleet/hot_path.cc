@@ -1,0 +1,24 @@
+/**
+ * Clean fleet-hotloop shape: the annotated hot function only reads
+ * pre-sized state; all growth happens in the cold setup function,
+ * which may resize freely because it carries no annotation.
+ */
+
+#include <cstddef>
+#include <vector>
+
+void
+prepare(std::vector<double> &samples, std::size_t devices)
+{
+    samples.resize(devices, 0.0);
+}
+
+// fleet: hotloop
+double
+accumulateDay(const std::vector<double> &samples)
+{
+    double sum = 0.0;
+    for (const double sample : samples)
+        sum += sample;
+    return sum;
+}

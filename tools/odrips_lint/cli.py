@@ -24,7 +24,8 @@ CXX_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp")
 ALL_RULES = {"wall-clock", "raw-rand", "unordered-iter", "raw-units",
              "tsan-label", "cmake-target", "simd-intrinsic",
              "raw-thread", "state-memcpy", "store-io",
-             "ckpt-coverage", "layering", "stale-allow"}
+             "ckpt-coverage", "layering", "fleet-hotloop",
+             "stale-allow"}
 
 
 class Context:
@@ -144,6 +145,8 @@ def run(root, scan_paths, active_rules):
                     rules.check_raw_units(ctx, rel)
     if "unordered-iter" in active_rules:
         passes.run_unordered_iter(ctx, scan_files)
+    if "fleet-hotloop" in active_rules:
+        passes.run_fleet_hotloop(ctx, scan_files)
     if "layering" in active_rules:
         passes.run_layering(ctx)
     if "ckpt-coverage" in active_rules:

@@ -10,7 +10,7 @@
   layering        the src/ include graph must respect the layer order
                   arch < sim < {clock,exec,stats} <
                   {power,timing,io,mem,security} <
-                  {platform,workload,flows} < core < store: no
+                  {platform,workload,flows} < core < {store,fleet}: no
                   include may point at a higher tier, same-tier
                   sibling includes must stay acyclic, and no
                   file-level include cycle is permitted anywhere.
@@ -18,6 +18,12 @@
                   member that was declared in a *header* from another
                   translation unit — the per-file rule cannot see the
                   declaration, the index can.
+  fleet-hotloop   functions annotated `// fleet: hotloop` (the fleet
+                  campaign's per-device path) must stay free of heap
+                  allocation and of unordered-container iteration: a
+                  stray push_back or make_unique in the device loop
+                  costs throughput at fleet scale and an unordered walk
+                  breaks the determinism gate.
   stale-allow     `odrips-lint: allow(...)` comments that no longer
                   suppress any finding, so suppressions cannot rot.
 """
@@ -28,7 +34,8 @@ import re
 from odrips_lint.rules import STATE_COPY_TYPES
 
 __all__ = ["run_layering", "run_unordered_iter", "run_ckpt_coverage",
-           "run_stale_allow", "LAYER_TIERS", "CHECKPOINT_FILE"]
+           "run_fleet_hotloop", "run_stale_allow", "LAYER_TIERS",
+           "CHECKPOINT_FILE"]
 
 CHECKPOINT_FILE = "src/core/checkpoint.cc"
 
@@ -43,7 +50,7 @@ LAYER_TIERS = (
     ("power", "timing", "io", "mem", "security"),
     ("platform", "workload", "flows"),
     ("core",),
-    ("store",),
+    ("store", "fleet"),
 )
 
 _TIER_OF = {d: i for i, tier in enumerate(LAYER_TIERS) for d in tier}
@@ -88,7 +95,8 @@ def run_layering(ctx):
                            f"(tier {_TIER_OF[target_dir]}): the layer "
                            "order is arch < sim < {clock,exec,stats} < "
                            "{power,timing,io,mem,security} < "
-                           "{platform,workload,flows} < core < store")
+                           "{platform,workload,flows} < core < "
+                           "{store,fleet}")
             if target_dir != d:
                 dir_edges.setdefault(d, set()).add(target_dir)
         file_edges[rel] = edges
@@ -391,6 +399,95 @@ def run_ckpt_coverage(ctx):
                        "core/checkpoint.cc; serialize it or annotate "
                        "it with '// ckpt: skip(<reason>)' / "
                        "'// ckpt: derived' / '// ckpt: via(<carrier>)'")
+
+
+# --------------------------------------------------------- fleet-hotloop
+
+HOTLOOP_TAG_RE = re.compile(r"\bfleet:\s*hotloop\b")
+
+# How far below the annotation the function's opening brace may sit
+# (doc comment + template/attribute lines + a multi-line signature).
+_HOTLOOP_BRACE_WINDOW = 20
+
+# Heap-allocation tokens. `new` covers placement and array forms;
+# the member calls are the std container growth surface (push_back on
+# a reserved vector still reallocs on overflow, so it is banned too —
+# hot-loop state must be sized before the loop).
+HEAP_ALLOC_RE = re.compile(
+    r"\bnew\b"
+    r"|\bmake_(?:unique|shared)\s*<"
+    r"|\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\("
+    r"|\.\s*(?:push_back|emplace_back|emplace|resize|reserve|insert"
+    r"|append|push_front|emplace_front)\s*\(")
+
+
+def _hotloop_bodies(info):
+    """Yield (annotation_line, [body line indexes]) for each
+    `// fleet: hotloop` annotation in ``info``.
+
+    The body is the brace-balanced block opened by the first `{` found
+    within a few lines of the annotation; an annotation with no
+    followable brace yields an empty body (reported by the caller).
+    """
+    for idx, comment in enumerate(info.comments):
+        if not HOTLOOP_TAG_RE.search(comment):
+            continue
+        open_line = None
+        for probe in range(idx, min(idx + _HOTLOOP_BRACE_WINDOW,
+                                    len(info.code))):
+            if "{" in info.code[probe]:
+                open_line = probe
+                break
+        if open_line is None:
+            yield idx, []
+            continue
+        body = []
+        depth = 0
+        line = open_line
+        while line < len(info.code):
+            opened = info.code[line].count("{")
+            closed = info.code[line].count("}")
+            depth += opened - closed
+            body.append(line)
+            if depth <= 0 and opened + closed > 0:
+                break
+            line += 1
+        yield idx, body
+
+
+def run_fleet_hotloop(ctx, scan_files):
+    members = unordered_members(ctx.index)
+    for rel in scan_files:
+        info = ctx.file(rel)
+        if info is None:
+            continue
+        local_unordered = set()
+        for line in info.code:
+            local_unordered.update(UNORDERED_DECL_RE.findall(line))
+        for tag_line, body in _hotloop_bodies(info):
+            if not body:
+                ctx.report(rel, tag_line, "fleet-hotloop",
+                           "'fleet: hotloop' annotation is not followed "
+                           "by a function body")
+                continue
+            for idx in body:
+                line = info.code[idx]
+                if HEAP_ALLOC_RE.search(line):
+                    ctx.report(rel, idx, "fleet-hotloop",
+                               "heap allocation inside a 'fleet: "
+                               "hotloop' function; size all state "
+                               "before the per-device loop")
+                names = [m.group(1)
+                         for m in RANGE_FOR_RE.finditer(line)]
+                names += [m.group(1)
+                          for m in BEGIN_CALL_RE.finditer(line)]
+                for name in names:
+                    if name in local_unordered or name in members:
+                        ctx.report(rel, idx, "fleet-hotloop",
+                                   f"unordered-container iteration "
+                                   f"over '{name}' inside a 'fleet: "
+                                   "hotloop' function; hot-loop "
+                                   "traversal must be order-stable")
 
 
 # ----------------------------------------------------------- stale-allow

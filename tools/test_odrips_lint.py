@@ -315,6 +315,43 @@ class CrossFileUnorderedIter(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stdout)
 
 
+class FleetHotloop(unittest.TestCase):
+    """Functions annotated `// fleet: hotloop` must be allocation-free
+    and order-stable; the good tree's twin of the same shape (growth
+    in an unannotated setup function, ordered traversal in the hot
+    body) stays legal."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.proc = run_lint(os.path.join(FIXTURES, "bad"),
+                            "--rules", "fleet-hotloop")
+        cls.at = findings_at(cls.proc)
+
+    def test_heap_allocation_in_hot_body_is_flagged(self):
+        self.assertIn(("src/fleet/hot_path.cc", 14, "fleet-hotloop"),
+                      self.at, self.proc.stdout)
+        self.assertIn("heap allocation", self.proc.stdout)
+
+    def test_unordered_iteration_in_hot_body_is_flagged(self):
+        self.assertIn(("src/fleet/hot_path.cc", 17, "fleet-hotloop"),
+                      self.at, self.proc.stdout)
+        self.assertIn("order-stable", self.proc.stdout)
+
+    def test_dangling_annotation_is_flagged(self):
+        self.assertIn(("src/fleet/hot_path.cc", 22, "fleet-hotloop"),
+                      self.at, self.proc.stdout)
+        self.assertIn("not followed", self.proc.stdout)
+
+    def test_rule_scopes_to_annotated_bodies_only(self):
+        # The good fixture resizes a vector in its un-annotated setup
+        # function and walks an ordered container in the hot body;
+        # neither may be reported.
+        proc = run_lint(os.path.join(FIXTURES, "good"),
+                        "--rules", "fleet-hotloop")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertEqual(proc.stdout, "")
+
+
 class StaleAllow(unittest.TestCase):
     """allow() comments must keep earning their keep."""
 
